@@ -1,0 +1,32 @@
+//! E12 kernel: one point of the γ/α ablation sweep (open problem of §1.6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_gamma_sweep");
+    group.sample_size(10);
+    let gap = ((BENCH_N as f64).ln().powi(2)) as u64;
+    let a = (BENCH_N + gap) / 2;
+    let b_count = BENCH_N - a;
+    for ratio in [0.0, 0.25, 1.0] {
+        let model = LvModel::with_intraspecific(
+            CompetitionKind::SelfDestructive,
+            1.0,
+            1.0,
+            1.0,
+            ratio,
+        );
+        let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+        group.bench_function(format!("rho_gamma_over_alpha_{ratio}"), |b| {
+            b.iter(|| black_box(mc.success_probability(&model, black_box(a), black_box(b_count))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

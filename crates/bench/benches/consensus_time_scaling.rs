@@ -1,0 +1,28 @@
+//! E7 kernel: the consensus-time and bad-event statistics of Theorem 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consensus_time_scaling");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("self_destructive", CompetitionKind::SelfDestructive),
+        ("non_self_destructive", CompetitionKind::NonSelfDestructive),
+    ] {
+        let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+        let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+        let a = BENCH_N * 55 / 100;
+        let b_count = BENCH_N - a;
+        group.bench_function(format!("consensus_stats_{label}_n{BENCH_N}"), |b| {
+            b.iter(|| black_box(mc.consensus_stats(&model, black_box(a), black_box(b_count))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E8 kernel: extinction runs of the dominating nice chain (Lemmas 5–8).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_chains::{DominatingChain, ExtinctionStats};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let mut group = c.benchmark_group("nice_chain_bounds");
+    group.sample_size(10);
+    group.bench_function(format!("extinction_stats_n{BENCH_N}"), |b| {
+        b.iter(|| {
+            let mut rng = bench_seed().rng_for_trial(0);
+            black_box(ExtinctionStats::collect(
+                &chain,
+                black_box(BENCH_N),
+                BENCH_TRIALS,
+                &mut rng,
+                1_000_000_000,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E10 kernels: the deterministic ODE integration and the stochastic estimate
+//! it is compared against (Section 2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_ode::{CompetitiveLv, OdeIntegrator, Rk4, Rkf45};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ode_vs_stochastic");
+    group.sample_size(10);
+
+    let ode = CompetitiveLv::from_rates(1.0, 1.0, 1.0, 0.0);
+    let horizon = 10.0 / BENCH_N as f64;
+    let initial = [(BENCH_N / 2 + 16) as f64, (BENCH_N / 2 - 16) as f64];
+    group.bench_function("rk4_fixed_step", |b| {
+        b.iter(|| {
+            black_box(Rk4::new(horizon / 1_000.0).integrate(
+                &ode,
+                black_box(initial),
+                0.0,
+                horizon,
+            ))
+        })
+    });
+    group.bench_function("rkf45_adaptive", |b| {
+        b.iter(|| black_box(Rkf45::new(1e-9).integrate(&ode, black_box(initial), 0.0, horizon)))
+    });
+
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+    group.bench_function("stochastic_success_probability", |b| {
+        b.iter(|| {
+            black_box(mc.success_probability(
+                &model,
+                black_box(BENCH_N / 2 + 16),
+                black_box(BENCH_N / 2 - 16),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

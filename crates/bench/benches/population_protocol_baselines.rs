@@ -1,0 +1,55 @@
+//! E11 kernels: the population-protocol baselines of Section 2.2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N};
+use lv_protocols::{run_protocol, ApproximateMajority, CzyzowiczLvProtocol, ExactMajority4State};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_protocol_baselines");
+    group.sample_size(10);
+    let a = BENCH_N * 6 / 10;
+    let b_count = BENCH_N - a;
+    let budget = 200 * BENCH_N * 10;
+
+    group.bench_function(format!("approximate_majority_n{BENCH_N}"), |b| {
+        b.iter(|| {
+            let mut rng = bench_seed().rng_for_trial(0);
+            black_box(run_protocol(
+                &ApproximateMajority::new(),
+                black_box(a),
+                black_box(b_count),
+                &mut rng,
+                budget,
+            ))
+        })
+    });
+    group.bench_function(format!("czyzowicz_lv_n{BENCH_N}"), |b| {
+        b.iter(|| {
+            let mut rng = bench_seed().rng_for_trial(1);
+            black_box(run_protocol(
+                &CzyzowiczLvProtocol::new(),
+                black_box(a),
+                black_box(b_count),
+                &mut rng,
+                budget,
+            ))
+        })
+    });
+    group.bench_function("exact_majority_n128", |b| {
+        b.iter(|| {
+            let mut rng = bench_seed().rng_for_trial(2);
+            black_box(run_protocol(
+                &ExactMajority4State::new(),
+                black_box(70),
+                black_box(58),
+                &mut rng,
+                50_000_000,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! E13 kernel: one run of the asynchronous pseudo-coupling of Section 5.1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N};
+use lv_chains::PseudoCoupling;
+use lv_lotka::{CompetitionKind, LvConfiguration, LvJumpChain, LvModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pseudo_coupling_domination");
+    group.sample_size(10);
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 2.0);
+    let chain = model.dominating_chain().unwrap();
+    let a = BENCH_N * 55 / 100;
+    let b_count = BENCH_N - a;
+    group.bench_function(format!("coupled_run_n{BENCH_N}"), |b| {
+        b.iter(|| {
+            let mut rng = bench_seed().rng_for_trial(0);
+            let process = LvJumpChain::new(model, LvConfiguration::new(a, b_count));
+            let coupling = PseudoCoupling::new(process, chain, b_count);
+            black_box(coupling.run(&mut rng, 1_000_000_000))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! E9 kernel: one point of the ρ-vs-∆ separation curves (Section 1.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("separation_curves");
+    group.sample_size(10);
+    let gap = ((BENCH_N as f64).ln().powi(2)) as u64;
+    let a = (BENCH_N + gap) / 2;
+    let b_count = BENCH_N - a;
+    for (label, kind) in [
+        ("self_destructive", CompetitionKind::SelfDestructive),
+        ("non_self_destructive", CompetitionKind::NonSelfDestructive),
+    ] {
+        let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+        let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+        group.bench_function(format!("rho_at_log2n_gap_{label}"), |b| {
+            b.iter(|| black_box(mc.success_probability(&model, black_box(a), black_box(b_count))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

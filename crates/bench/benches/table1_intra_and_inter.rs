@@ -1,0 +1,27 @@
+//! E3 kernel: the proportional-law score of the balanced inter+intraspecific
+//! models (Table 1, row 2; Theorems 20 and 23).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_intra_and_inter");
+    group.sample_size(10);
+    for (label, kind) in [
+        ("self_destructive", CompetitionKind::SelfDestructive),
+        ("non_self_destructive", CompetitionKind::NonSelfDestructive),
+    ] {
+        let model = LvModel::balanced_intra_inter(kind, 1.0, 1.0, 1.0);
+        let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+        group.bench_function(format!("proportional_score_{label}_60_40"), |b| {
+            b.iter(|| black_box(mc.proportional_score(&model, black_box(60), black_box(40))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! E4 kernel: success probability under intraspecific-only competition
+//! (Table 1, row 3; Theorem 25).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LvModel::intraspecific_only(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+    let mut group = c.benchmark_group("table1_intraspecific_only");
+    group.sample_size(10);
+    group.bench_function("success_probability_n100_gap60", |b| {
+        b.iter(|| black_box(mc.success_probability(&model, black_box(80), black_box(20))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

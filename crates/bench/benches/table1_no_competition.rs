@@ -1,0 +1,21 @@
+//! E6 kernel: the no-competition baseline (Table 1, row 5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_TRIALS};
+use lv_lotka::LvModel;
+use lv_sim::MonteCarlo;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LvModel::no_competition(1.0, 1.0);
+    let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+    let mut group = c.benchmark_group("table1_no_competition");
+    group.sample_size(10);
+    group.bench_function("success_probability_60_40", |b| {
+        b.iter(|| black_box(mc.success_probability(&model, black_box(60), black_box(40))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

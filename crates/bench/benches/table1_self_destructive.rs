@@ -1,0 +1,22 @@
+//! E1 kernel: empirical threshold search for the self-destructive model
+//! (Table 1, row 1, left column).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::ThresholdSearch;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let search = ThresholdSearch::new(BENCH_TRIALS, bench_seed()).with_threads(1);
+    let mut group = c.benchmark_group("table1_self_destructive");
+    group.sample_size(10);
+    group.bench_function(format!("threshold_search_n{BENCH_N}"), |b| {
+        b.iter(|| black_box(search.find(&model, black_box(BENCH_N))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,219 @@
+use rand::Rng;
+use std::fmt;
+use std::sync::Arc;
+
+/// What happened in one step of a birth–death chain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// The state increased by one.
+    Birth,
+    /// The state decreased by one.
+    Death,
+    /// The state stayed the same (a holding step).
+    Hold,
+}
+
+/// A discrete-time birth–death chain on the non-negative integers.
+///
+/// The chain is defined by a birth probability `p(n)` and a death probability
+/// `q(n)` with `p(n) + q(n) ≤ 1`; with the remaining probability
+/// `1 − p(n) − q(n)` the chain holds in place. State `0` is required to be
+/// absorbing: `p(0) = q(0) = 0` (Section 4 of the paper).
+///
+/// Implementations only need to supply `p` and `q`; stepping, extinction runs
+/// and statistics are provided by [`step`](BirthDeathChain::step) and the
+/// [`simulate`](crate::simulate) module.
+pub trait BirthDeathChain {
+    /// Birth probability `p(n)` in state `n`.
+    fn birth_probability(&self, n: u64) -> f64;
+
+    /// Death probability `q(n)` in state `n`.
+    fn death_probability(&self, n: u64) -> f64;
+
+    /// Holding probability `1 − p(n) − q(n)` in state `n`.
+    fn holding_probability(&self, n: u64) -> f64 {
+        1.0 - self.birth_probability(n) - self.death_probability(n)
+    }
+
+    /// Whether the probabilities are valid in state `n`: both non-negative,
+    /// summing to at most one, and state `0` absorbing.
+    fn is_valid_at(&self, n: u64) -> bool {
+        let p = self.birth_probability(n);
+        let q = self.death_probability(n);
+        let basic = p >= 0.0 && q >= 0.0 && p + q <= 1.0 + 1e-12;
+        if n == 0 {
+            basic && p == 0.0 && q == 0.0
+        } else {
+            basic
+        }
+    }
+
+    /// Samples one transition from state `n` and returns the kind of step and
+    /// the new state.
+    fn step<R: Rng + ?Sized>(&self, n: u64, rng: &mut R) -> (StepKind, u64)
+    where
+        Self: Sized,
+    {
+        let p = self.birth_probability(n);
+        let q = self.death_probability(n);
+        let u: f64 = rng.gen();
+        if u < p {
+            (StepKind::Birth, n + 1)
+        } else if u >= 1.0 - q {
+            (StepKind::Death, n.saturating_sub(1))
+        } else {
+            (StepKind::Hold, n)
+        }
+    }
+}
+
+impl<T: BirthDeathChain + ?Sized> BirthDeathChain for &T {
+    fn birth_probability(&self, n: u64) -> f64 {
+        (**self).birth_probability(n)
+    }
+
+    fn death_probability(&self, n: u64) -> f64 {
+        (**self).death_probability(n)
+    }
+}
+
+/// A birth–death chain defined by two closures.
+///
+/// The closures are wrapped in [`Arc`]s so the chain is cheap to clone and can
+/// be shared across threads by the Monte-Carlo harness.
+///
+/// ```
+/// use lv_chains::{BirthDeathChain, FnChain};
+/// // A lazy random walk absorbed at zero: p = q = 1/4 away from zero.
+/// let chain = FnChain::new(
+///     |n| if n == 0 { 0.0 } else { 0.25 },
+///     |n| if n == 0 { 0.0 } else { 0.25 },
+/// );
+/// assert_eq!(chain.holding_probability(3), 0.5);
+/// assert!(chain.is_valid_at(0));
+/// ```
+#[derive(Clone)]
+pub struct FnChain {
+    birth: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
+    death: Arc<dyn Fn(u64) -> f64 + Send + Sync>,
+}
+
+impl FnChain {
+    /// Creates a chain from birth and death probability functions.
+    pub fn new(
+        birth: impl Fn(u64) -> f64 + Send + Sync + 'static,
+        death: impl Fn(u64) -> f64 + Send + Sync + 'static,
+    ) -> Self {
+        FnChain {
+            birth: Arc::new(birth),
+            death: Arc::new(death),
+        }
+    }
+}
+
+impl fmt::Debug for FnChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FnChain").finish_non_exhaustive()
+    }
+}
+
+impl BirthDeathChain for FnChain {
+    fn birth_probability(&self, n: u64) -> f64 {
+        (self.birth)(n)
+    }
+
+    fn death_probability(&self, n: u64) -> f64 {
+        (self.death)(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn lazy_walk() -> FnChain {
+        FnChain::new(
+            |n| if n == 0 { 0.0 } else { 0.3 },
+            |n| if n == 0 { 0.0 } else { 0.5 },
+        )
+    }
+
+    #[test]
+    fn holding_probability_is_complement() {
+        let chain = lazy_walk();
+        assert!((chain.holding_probability(5) - 0.2).abs() < 1e-12);
+        assert!((chain.holding_probability(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validity_requires_absorbing_zero() {
+        let chain = lazy_walk();
+        assert!(chain.is_valid_at(0));
+        assert!(chain.is_valid_at(10));
+        let bad = FnChain::new(|_| 0.6, |_| 0.6);
+        assert!(!bad.is_valid_at(1));
+        let not_absorbing = FnChain::new(|_| 0.1, |_| 0.1);
+        assert!(!not_absorbing.is_valid_at(0));
+    }
+
+    #[test]
+    fn step_moves_by_at_most_one() {
+        let chain = lazy_walk();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut n = 10u64;
+        for _ in 0..1000 {
+            let (kind, next) = chain.step(n, &mut rng);
+            match kind {
+                StepKind::Birth => assert_eq!(next, n + 1),
+                StepKind::Death => assert_eq!(next, n - 1),
+                StepKind::Hold => assert_eq!(next, n),
+            }
+            n = next;
+            if n == 0 {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn step_from_zero_always_holds() {
+        let chain = lazy_walk();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let (kind, next) = chain.step(0, &mut rng);
+            assert_eq!(kind, StepKind::Hold);
+            assert_eq!(next, 0);
+        }
+    }
+
+    #[test]
+    fn step_frequencies_match_probabilities() {
+        let chain = lazy_walk();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trials = 50_000;
+        let mut births = 0;
+        let mut deaths = 0;
+        for _ in 0..trials {
+            match chain.step(7, &mut rng).0 {
+                StepKind::Birth => births += 1,
+                StepKind::Death => deaths += 1,
+                StepKind::Hold => {}
+            }
+        }
+        let birth_frac = births as f64 / trials as f64;
+        let death_frac = deaths as f64 / trials as f64;
+        assert!((birth_frac - 0.3).abs() < 0.02, "birth fraction {birth_frac}");
+        assert!((death_frac - 0.5).abs() < 0.02, "death fraction {death_frac}");
+    }
+
+    #[test]
+    fn references_to_chains_are_chains_too() {
+        fn takes_chain<C: BirthDeathChain>(c: C) -> f64 {
+            c.birth_probability(2)
+        }
+        let chain = lazy_walk();
+        assert_eq!(takes_chain(&chain), 0.3);
+    }
+}

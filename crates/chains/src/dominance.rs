@@ -1,0 +1,141 @@
+//! Empirical stochastic-dominance tests.
+//!
+//! The chain-domination lemma (Lemma 9) states `T(S) ⪯ E(N)` and
+//! `J(S) ⪯ B(N)`, i.e. the survival function of the left random variable lies
+//! below the survival function of the right one everywhere. Given samples of
+//! both sides these functions compare the empirical survival functions and
+//! report the largest violation — with enough samples a true dominance
+//! relation shows up as a violation no larger than sampling noise.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two empirical distributions for stochastic dominance
+/// of the first by the second (`X ⪯ Y`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DominanceReport {
+    /// The largest value of `P̂[X ≥ t] − P̂[Y ≥ t]` over all thresholds `t`
+    /// (positive values are violations of dominance).
+    pub max_violation: f64,
+    /// The threshold at which the largest violation occurs.
+    pub worst_threshold: u64,
+    /// Number of samples of `X`.
+    pub x_samples: usize,
+    /// Number of samples of `Y`.
+    pub y_samples: usize,
+}
+
+impl DominanceReport {
+    /// Whether the empirical data is consistent with `X ⪯ Y` up to the given
+    /// tolerance (a bound on acceptable sampling noise, e.g. a few times
+    /// `1/√samples`).
+    pub fn is_dominated(&self, tolerance: f64) -> bool {
+        self.max_violation <= tolerance
+    }
+
+    /// A reasonable default tolerance: two times the binomial standard error
+    /// at probability 1/2 for the smaller sample, plus a small absolute slack.
+    pub fn default_tolerance(&self) -> f64 {
+        let n = self.x_samples.min(self.y_samples).max(1) as f64;
+        2.0 * (0.25 / n).sqrt() + 0.01
+    }
+}
+
+/// Compares empirical samples of `X` and `Y` for the stochastic-dominance
+/// relation `X ⪯ Y` (i.e. `P[X ≥ t] ≤ P[Y ≥ t]` for every `t`).
+///
+/// # Panics
+///
+/// Panics if either sample set is empty.
+pub fn empirical_dominance(x: &[u64], y: &[u64]) -> DominanceReport {
+    assert!(!x.is_empty() && !y.is_empty(), "samples must be non-empty");
+    let mut xs = x.to_vec();
+    let mut ys = y.to_vec();
+    xs.sort_unstable();
+    ys.sort_unstable();
+
+    // Candidate thresholds: all observed values (survival functions only jump
+    // there).
+    let mut thresholds: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+    thresholds.sort_unstable();
+    thresholds.dedup();
+
+    let survival = |sorted: &[u64], t: u64| -> f64 {
+        // fraction of samples >= t
+        let idx = sorted.partition_point(|&v| v < t);
+        (sorted.len() - idx) as f64 / sorted.len() as f64
+    };
+
+    let mut max_violation = f64::NEG_INFINITY;
+    let mut worst_threshold = 0u64;
+    for &t in &thresholds {
+        let violation = survival(&xs, t) - survival(&ys, t);
+        if violation > max_violation {
+            max_violation = violation;
+            worst_threshold = t;
+        }
+    }
+
+    DominanceReport {
+        max_violation,
+        worst_threshold,
+        x_samples: x.len(),
+        y_samples: y.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn identical_samples_dominate_each_other() {
+        let x = vec![1, 2, 3, 4, 5];
+        let report = empirical_dominance(&x, &x);
+        assert!(report.max_violation.abs() < 1e-12);
+        assert!(report.is_dominated(1e-9));
+    }
+
+    #[test]
+    fn shifted_samples_are_dominated() {
+        let x: Vec<u64> = (0..100).collect();
+        let y: Vec<u64> = (0..100).map(|v| v + 10).collect();
+        let report = empirical_dominance(&x, &y);
+        assert!(report.max_violation <= 0.0);
+        assert!(report.is_dominated(0.0));
+        // And the reverse direction is clearly violated.
+        let reverse = empirical_dominance(&y, &x);
+        assert!(reverse.max_violation > 0.05);
+        assert!(!reverse.is_dominated(0.05));
+    }
+
+    #[test]
+    fn dominance_detects_heavier_tails() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // X uniform on [0, 100), Y uniform on [0, 200): X ⪯ Y.
+        let x: Vec<u64> = (0..2_000).map(|_| rng.gen_range(0..100)).collect();
+        let y: Vec<u64> = (0..2_000).map(|_| rng.gen_range(0..200)).collect();
+        let report = empirical_dominance(&x, &y);
+        assert!(report.is_dominated(report.default_tolerance()));
+        let reverse = empirical_dominance(&y, &x);
+        assert!(!reverse.is_dominated(reverse.default_tolerance()));
+    }
+
+    #[test]
+    fn worst_threshold_is_reported() {
+        let x = vec![10, 10, 10];
+        let y = vec![0, 0, 0];
+        let report = empirical_dominance(&x, &y);
+        assert!(report.max_violation > 0.99);
+        assert!(report.worst_threshold > 0);
+        assert_eq!(report.x_samples, 3);
+        assert_eq!(report.y_samples, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "samples must be non-empty")]
+    fn empty_samples_panic() {
+        let _ = empirical_dominance(&[], &[1]);
+    }
+}

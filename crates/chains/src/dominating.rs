@@ -1,0 +1,210 @@
+use crate::chain::BirthDeathChain;
+use crate::nice::NiceChainWitness;
+use serde::{Deserialize, Serialize};
+
+/// The dominating nice birth–death chain of Section 5.2.
+///
+/// For a two-species Lotka–Volterra chain with interspecific competition rates
+/// `α_0, α_1 > 0` (no intraspecific competition, `γ = 0`) and individual rates
+/// `β, δ ≥ 0`, the paper defines `ϑ = β + δ`, `α = α_0 + α_1`,
+/// `α_min = min{α_0, α_1}` and the chain
+///
+/// ```text
+/// p(m) = ϑ / (αm + ϑ),      q(m) = α_min / (α + 2ϑ)      for m > 0,
+/// p(0) = q(0) = 0.
+/// ```
+///
+/// Lemma 12 shows this chain satisfies the domination conditions (D1)/(D2)
+/// for the two-species chain, and since `p(m) ∈ O(1/m)` and `q` is a positive
+/// constant it is *nice* in the sense of Section 4, so Lemmas 5–8 give
+/// `E(n) = Θ(n)` extinction time and `O(log n)` expected births.
+///
+/// ```
+/// use lv_chains::{BirthDeathChain, DominatingChain};
+/// let chain = DominatingChain::from_lv_rates(1.0, 1.0, 2.0, 0.5);
+/// // ϑ = 2, α = 2.5, α_min = 0.5
+/// assert!((chain.birth_probability(4) - 2.0 / (2.5 * 4.0 + 2.0)).abs() < 1e-12);
+/// assert!((chain.death_probability(4) - 0.5 / (2.5 + 4.0)).abs() < 1e-12);
+/// assert_eq!(chain.birth_probability(0), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DominatingChain {
+    theta: f64,
+    alpha: f64,
+    alpha_min: f64,
+}
+
+impl DominatingChain {
+    /// Builds the dominating chain directly from `ϑ = β + δ`, `α = α_0 + α_1`
+    /// and `α_min = min(α_0, α_1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha_min <= 0` (the construction of Section 5.2 requires
+    /// strictly positive interspecific competition), if `alpha < alpha_min`,
+    /// or if any parameter is negative or non-finite.
+    pub fn new(theta: f64, alpha: f64, alpha_min: f64) -> Self {
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "theta must be a non-negative finite number"
+        );
+        assert!(
+            alpha_min.is_finite() && alpha_min > 0.0,
+            "alpha_min must be positive: the dominating chain requires interspecific competition"
+        );
+        assert!(
+            alpha.is_finite() && alpha >= alpha_min,
+            "alpha must be at least alpha_min"
+        );
+        DominatingChain {
+            theta,
+            alpha,
+            alpha_min,
+        }
+    }
+
+    /// Builds the dominating chain from the raw Lotka–Volterra rates
+    /// `β, δ, α_0, α_1` (with `γ = 0`), computing `ϑ`, `α` and `α_min`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`DominatingChain::new`].
+    pub fn from_lv_rates(beta: f64, delta: f64, alpha0: f64, alpha1: f64) -> Self {
+        DominatingChain::new(beta + delta, alpha0 + alpha1, alpha0.min(alpha1))
+    }
+
+    /// The combined individual rate `ϑ = β + δ`.
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// The combined interspecific competition rate `α = α_0 + α_1`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The minimum interspecific competition rate `α_min`.
+    pub fn alpha_min(&self) -> f64 {
+        self.alpha_min
+    }
+
+    /// The nice-chain witness constants of Section 4 for this chain:
+    /// `C = ϑ/α` works because `p(m) = ϑ/(αm + ϑ) ≤ ϑ/(αm)`, and
+    /// `D = α_min/(α + 2ϑ)` is the constant death probability. For `ϑ = 0`
+    /// any positive `C` works; we report `C = 1/α` in that case so the witness
+    /// stays strictly positive.
+    pub fn nice_witness(&self) -> NiceChainWitness {
+        let c = if self.theta > 0.0 {
+            self.theta / self.alpha
+        } else {
+            1.0 / self.alpha
+        };
+        NiceChainWitness::new(c, self.alpha_min / (self.alpha + 2.0 * self.theta))
+    }
+}
+
+impl BirthDeathChain for DominatingChain {
+    fn birth_probability(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        if self.theta == 0.0 {
+            return 0.0;
+        }
+        self.theta / (self.alpha * n as f64 + self.theta)
+    }
+
+    fn death_probability(&self, n: u64) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        self.alpha_min / (self.alpha + 2.0 * self.theta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::BirthDeathChain;
+
+    #[test]
+    fn matches_section_5_2_formulas() {
+        // β = δ = 1, α0 = α1 = 1 ⇒ ϑ = 2, α = 2, α_min = 1.
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        assert_eq!(chain.theta(), 2.0);
+        assert_eq!(chain.alpha(), 2.0);
+        assert_eq!(chain.alpha_min(), 1.0);
+        for m in 1..200u64 {
+            let expected_p = 2.0 / (2.0 * m as f64 + 2.0);
+            let expected_q = 1.0 / (2.0 + 4.0);
+            assert!((chain.birth_probability(m) - expected_p).abs() < 1e-12);
+            assert!((chain.death_probability(m) - expected_q).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_is_absorbing() {
+        let chain = DominatingChain::from_lv_rates(1.0, 0.5, 1.0, 2.0);
+        assert_eq!(chain.birth_probability(0), 0.0);
+        assert_eq!(chain.death_probability(0), 0.0);
+        assert!(chain.is_valid_at(0));
+    }
+
+    #[test]
+    fn probabilities_are_valid_for_all_states() {
+        // p(1) is the maximum of p; Section 5.2 notes p(1) + q(m) ≤ 1.
+        let chain = DominatingChain::from_lv_rates(3.0, 2.0, 0.5, 0.7);
+        for m in 0..10_000u64 {
+            assert!(chain.is_valid_at(m), "invalid probabilities at {m}");
+        }
+    }
+
+    #[test]
+    fn birth_probability_decays_like_one_over_m() {
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let witness = chain.nice_witness();
+        for m in 1..5_000u64 {
+            assert!(
+                chain.birth_probability(m) <= witness.c() / m as f64 + 1e-12,
+                "p({m}) exceeds C/m"
+            );
+            assert!(chain.death_probability(m) >= witness.d() - 1e-12);
+        }
+    }
+
+    #[test]
+    fn delta_zero_special_case_has_smaller_birth_probability() {
+        // The Cho et al. regime has δ = 0; the dominating chain then has
+        // ϑ = β and even smaller birth probabilities.
+        let with_death = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let without_death = DominatingChain::from_lv_rates(1.0, 0.0, 1.0, 1.0);
+        for m in 1..100u64 {
+            assert!(
+                without_death.birth_probability(m) <= with_death.birth_probability(m) + 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn pure_competition_chain_never_births() {
+        // β = δ = 0 ⇒ ϑ = 0: the dominating chain only dies.
+        let chain = DominatingChain::from_lv_rates(0.0, 0.0, 1.0, 1.0);
+        for m in 1..50u64 {
+            assert_eq!(chain.birth_probability(m), 0.0);
+            assert!(chain.death_probability(m) > 0.0);
+        }
+        assert!(chain.nice_witness().c() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha_min must be positive")]
+    fn rejects_zero_competition() {
+        let _ = DominatingChain::from_lv_rates(1.0, 1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be at least alpha_min")]
+    fn rejects_inconsistent_alpha() {
+        let _ = DominatingChain::new(1.0, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,70 @@
+//! # lv-chains — birth–death chains, nice chains and the pseudo-coupling
+//!
+//! This crate implements Sections 4 and 5 of *“Majority consensus thresholds
+//! in competitive Lotka–Volterra populations”* (Függer, Nowak, Rybicki; PODC
+//! 2024):
+//!
+//! * [`BirthDeathChain`] — discrete-time single-species birth–death chains
+//!   defined by a birth probability `p(n)` and a death probability `q(n)`
+//!   with `p(n) + q(n) ≤ 1`, holding probability `1 − p(n) − q(n)` and the
+//!   unique absorbing state `0`.
+//! * [`NiceChainWitness`] — the paper's *nice chain* condition: constants
+//!   `C, D > 0` with `p(n) ≤ C/n` and `q(n) ≥ D` for all `n > 0`
+//!   (Section 4). Nice chains have extinction time `Θ(n)` (Lemma 5, Lemma 8)
+//!   and `O(log n)` births in expectation (Lemma 6) / `O(log² n)` with high
+//!   probability (Lemma 7).
+//! * [`DominatingChain`] — the concrete nice chain of Section 5.2 with
+//!   `p(m) = ϑ/(αm + ϑ)` and `q(m) = α_min/(α + 2ϑ)`, which dominates every
+//!   two-species Lotka–Volterra chain without intraspecific competition
+//!   (Lemma 12).
+//! * [`PseudoCoupling`] — the asynchronous pseudo-coupling of Section 5.1,
+//!   which jointly drives a [`TwoSpeciesProcess`] and a dominating
+//!   birth–death chain from one shared uniform random variable per step and
+//!   exposes the quantities the chain-domination lemma (Lemma 9) compares:
+//!   consensus time vs. extinction time and bad non-competitive events vs.
+//!   births.
+//! * [`simulate`] — Monte-Carlo drivers for single chains
+//!   ([`ChainRun`], [`ExtinctionStats`]) used by the experiment suite to
+//!   check Lemmas 5–8 empirically.
+//! * [`dominance`] — empirical stochastic-dominance tests between samples,
+//!   used to verify `T(S) ⪯ E(N)` and `J(S) ⪯ B(N)` (Lemma 9) numerically.
+//!
+//! # Example
+//!
+//! Simulate the dominating chain of Section 5.2 and check that the number of
+//! births before extinction is tiny compared to the starting population, as
+//! Lemma 6 predicts:
+//!
+//! ```
+//! use lv_chains::{BirthDeathChain, DominatingChain, simulate::run_to_extinction};
+//! use rand::SeedableRng;
+//!
+//! // β = δ = α0 = α1 = 1 ⇒ ϑ = 2, α = 2, α_min = 1.
+//! let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+//! assert!(chain.birth_probability(10) < 0.1);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+//! let run = run_to_extinction(&chain, 1_000, &mut rng, 10_000_000).unwrap();
+//! // Extinction needs at least one death per initial individual, and every
+//! // birth must be matched by an extra death.
+//! assert_eq!(run.deaths, 1_000 + run.births);
+//! assert!(run.births < run.deaths / 2);
+//! assert!(run.steps >= 1_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod chain;
+pub mod coupling;
+pub mod dominance;
+mod dominating;
+mod nice;
+pub mod simulate;
+
+pub use chain::{BirthDeathChain, FnChain, StepKind};
+pub use coupling::{CouplingRecord, PseudoCoupling, TwoSpeciesProcess};
+pub use dominance::{empirical_dominance, DominanceReport};
+pub use dominating::DominatingChain;
+pub use nice::NiceChainWitness;
+pub use simulate::{run_to_extinction, ChainRun, ExtinctionStats};

@@ -1,0 +1,165 @@
+use crate::chain::BirthDeathChain;
+use serde::{Deserialize, Serialize};
+
+/// Witness constants for the paper's *nice chain* condition (Section 4).
+///
+/// A birth–death chain is *nice* if there exist constants `C, D > 0` such
+/// that `p(n) ≤ C/n` and `q(n) ≥ D` for all `n > 0`. Nice chains have
+/// extinction time `Θ(n)` (Lemma 5), expected number of births `O(log n)`
+/// (Lemma 6), `O(log² n)` births with high probability (Lemma 7) and `O(n)`
+/// extinction time with high probability (Lemma 8).
+///
+/// A witness can be checked against a concrete chain over a range of states
+/// with [`NiceChainWitness::verify`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NiceChainWitness {
+    c: f64,
+    d: f64,
+}
+
+impl NiceChainWitness {
+    /// Creates a witness with constants `C` and `D`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either constant is not strictly positive and finite.
+    pub fn new(c: f64, d: f64) -> Self {
+        assert!(c.is_finite() && c > 0.0, "C must be a positive finite constant");
+        assert!(d.is_finite() && d > 0.0, "D must be a positive finite constant");
+        NiceChainWitness { c, d }
+    }
+
+    /// The constant `C` bounding `p(n) ≤ C/n`.
+    pub fn c(&self) -> f64 {
+        self.c
+    }
+
+    /// The constant `D` bounding `q(n) ≥ D`.
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Checks the nice-chain inequalities for every state `1 ..= max_state`,
+    /// plus the absorbing-state requirement `p(0) = q(0) = 0`.
+    ///
+    /// Returns the first violating state, or `None` if the witness holds on
+    /// the whole range.
+    pub fn verify<C: BirthDeathChain>(&self, chain: &C, max_state: u64) -> Option<u64> {
+        if chain.birth_probability(0) != 0.0 || chain.death_probability(0) != 0.0 {
+            return Some(0);
+        }
+        (1..=max_state).find(|&n| {
+            let p = chain.birth_probability(n);
+            let q = chain.death_probability(n);
+            !(p <= self.c / n as f64 + 1e-12 && q >= self.d - 1e-12 && chain.is_valid_at(n))
+        })
+    }
+
+    /// The harmonic-number part `C·H_n` of Lemma 6's bound on the expected
+    /// number of births of a nice chain started at `n` (the proof bounds
+    /// `E[B_R] ≤ C·H_n` and then `E[B(n)] ≤ (2C′+1)·E[B_R]`, where `C′` is the
+    /// — possibly large — constant of Lemma 5). This term captures the growth
+    /// in `n`; the multiplicative constant in front is chain-specific.
+    pub fn expected_births_bound(&self, n: u64) -> f64 {
+        self.c * harmonic(n)
+    }
+}
+
+/// The `n`-th harmonic number `H_n = Σ_{i=1}^n 1/i` (`H_0 = 0`).
+pub(crate) fn harmonic(n: u64) -> f64 {
+    // Exact summation for small n; asymptotic expansion for large n where the
+    // direct sum would be slow and lose precision.
+    if n == 0 {
+        0.0
+    } else if n <= 1_000_000 {
+        (1..=n).map(|i| 1.0 / i as f64).sum()
+    } else {
+        let nf = n as f64;
+        nf.ln() + 0.577_215_664_901_532_9 + 1.0 / (2.0 * nf) - 1.0 / (12.0 * nf * nf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::FnChain;
+    use crate::dominating::DominatingChain;
+
+    #[test]
+    fn harmonic_numbers_match_known_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(2) - 1.5).abs() < 1e-12);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+        // H_n ≥ ln n (stated in Section 3 of the paper).
+        for n in [10u64, 100, 10_000] {
+            assert!(harmonic(n) >= (n as f64).ln());
+        }
+    }
+
+    #[test]
+    fn harmonic_asymptotic_branch_is_continuous() {
+        let exact = (1..=1_000_000u64).map(|i| 1.0 / i as f64).sum::<f64>();
+        let approx = harmonic(1_000_001) - 1.0 / 1_000_001.0;
+        assert!((exact - approx).abs() < 1e-6);
+    }
+
+    #[test]
+    fn witness_accepts_dominating_chain() {
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let witness = chain.nice_witness();
+        assert_eq!(witness.verify(&chain, 10_000), None);
+    }
+
+    #[test]
+    fn witness_rejects_chain_with_constant_birth_probability() {
+        // p(n) = 0.4 does not decay like C/n for any C once n is large.
+        let chain = FnChain::new(
+            |n| if n == 0 { 0.0 } else { 0.4 },
+            |n| if n == 0 { 0.0 } else { 0.4 },
+        );
+        let witness = NiceChainWitness::new(1.0, 0.1);
+        let violation = witness.verify(&chain, 1_000);
+        assert!(violation.is_some());
+        assert!(violation.unwrap() > 1);
+    }
+
+    #[test]
+    fn witness_rejects_non_absorbing_zero() {
+        let chain = FnChain::new(|_| 0.1, |_| 0.1);
+        let witness = NiceChainWitness::new(1.0, 0.05);
+        assert_eq!(witness.verify(&chain, 10), Some(0));
+    }
+
+    #[test]
+    fn witness_rejects_vanishing_death_probability() {
+        let chain = FnChain::new(
+            |n| if n == 0 { 0.0 } else { 0.1 / n as f64 },
+            |n| if n == 0 { 0.0 } else { 1.0 / (n as f64 + 1.0) },
+        );
+        let witness = NiceChainWitness::new(1.0, 0.2);
+        assert!(witness.verify(&chain, 100).is_some());
+    }
+
+    #[test]
+    fn expected_births_bound_grows_logarithmically() {
+        let witness = NiceChainWitness::new(2.0, 0.25);
+        let b1 = witness.expected_births_bound(100);
+        let b2 = witness.expected_births_bound(10_000);
+        // Quadrupling the exponent of n only doubles the bound (log growth).
+        assert!(b2 < 2.5 * b1);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    #[should_panic(expected = "C must be a positive finite constant")]
+    fn witness_rejects_non_positive_c() {
+        let _ = NiceChainWitness::new(0.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "D must be a positive finite constant")]
+    fn witness_rejects_non_positive_d() {
+        let _ = NiceChainWitness::new(1.0, -0.1);
+    }
+}

@@ -1,0 +1,251 @@
+//! Monte-Carlo drivers for single birth–death chains.
+//!
+//! These helpers are the empirical counterpart of Section 4: they run a chain
+//! to absorption and record the quantities the paper's lemmas bound — the
+//! extinction time `E(n)` (Lemmas 5, 8), the number of birth events `B(n)`
+//! (Lemmas 6, 7) and the number of holding steps.
+
+use crate::chain::{BirthDeathChain, StepKind};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one run of a birth–death chain until absorption at zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChainRun {
+    /// The starting state.
+    pub initial_state: u64,
+    /// Total number of steps until absorption (the extinction time `E(n)`),
+    /// counting holding steps.
+    pub steps: u64,
+    /// Number of birth events (the paper's `B(n)`).
+    pub births: u64,
+    /// Number of death events.
+    pub deaths: u64,
+    /// Number of holding steps in non-absorbing states.
+    pub holds: u64,
+    /// The largest state visited during the run.
+    pub max_state: u64,
+}
+
+/// Runs the chain from `initial_state` until it hits the absorbing state `0`,
+/// or gives up after `max_steps` steps.
+///
+/// Returns `None` if the step budget is exhausted before absorption (for nice
+/// chains started at `n` a budget of a few times `n/D` is ample by Lemma 8).
+///
+/// # Panics
+///
+/// Panics if the chain reports invalid probabilities at the initial state.
+pub fn run_to_extinction<C: BirthDeathChain, R: Rng + ?Sized>(
+    chain: &C,
+    initial_state: u64,
+    rng: &mut R,
+    max_steps: u64,
+) -> Option<ChainRun> {
+    assert!(
+        chain.is_valid_at(initial_state),
+        "chain has invalid probabilities at the initial state"
+    );
+    let mut state = initial_state;
+    let mut run = ChainRun {
+        initial_state,
+        steps: 0,
+        births: 0,
+        deaths: 0,
+        holds: 0,
+        max_state: initial_state,
+    };
+    while state > 0 {
+        if run.steps >= max_steps {
+            return None;
+        }
+        let (kind, next) = chain.step(state, rng);
+        run.steps += 1;
+        match kind {
+            StepKind::Birth => run.births += 1,
+            StepKind::Death => run.deaths += 1,
+            StepKind::Hold => run.holds += 1,
+        }
+        state = next;
+        run.max_state = run.max_state.max(state);
+    }
+    Some(run)
+}
+
+/// Aggregate statistics over many extinction runs of the same chain from the
+/// same initial state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExtinctionStats {
+    /// The common initial state of all runs.
+    pub initial_state: u64,
+    /// Number of completed (non-truncated) runs.
+    pub trials: u64,
+    /// Number of runs that exhausted the step budget.
+    pub truncated: u64,
+    /// Mean extinction time over completed runs.
+    pub mean_steps: f64,
+    /// Mean number of births over completed runs.
+    pub mean_births: f64,
+    /// Maximum number of births observed in any completed run.
+    pub max_births: u64,
+    /// Maximum extinction time observed in any completed run.
+    pub max_steps: u64,
+    /// Raw per-run extinction times (completed runs only).
+    pub steps_samples: Vec<u64>,
+    /// Raw per-run birth counts (completed runs only).
+    pub births_samples: Vec<u64>,
+}
+
+impl ExtinctionStats {
+    /// Runs `trials` independent extinction runs and aggregates them.
+    pub fn collect<C: BirthDeathChain, R: Rng + ?Sized>(
+        chain: &C,
+        initial_state: u64,
+        trials: u64,
+        rng: &mut R,
+        max_steps_per_run: u64,
+    ) -> Self {
+        let mut stats = ExtinctionStats {
+            initial_state,
+            trials: 0,
+            truncated: 0,
+            mean_steps: 0.0,
+            mean_births: 0.0,
+            max_births: 0,
+            max_steps: 0,
+            steps_samples: Vec::with_capacity(trials as usize),
+            births_samples: Vec::with_capacity(trials as usize),
+        };
+        let mut total_steps = 0u64;
+        let mut total_births = 0u64;
+        for _ in 0..trials {
+            match run_to_extinction(chain, initial_state, rng, max_steps_per_run) {
+                Some(run) => {
+                    stats.trials += 1;
+                    total_steps += run.steps;
+                    total_births += run.births;
+                    stats.max_births = stats.max_births.max(run.births);
+                    stats.max_steps = stats.max_steps.max(run.steps);
+                    stats.steps_samples.push(run.steps);
+                    stats.births_samples.push(run.births);
+                }
+                None => stats.truncated += 1,
+            }
+        }
+        if stats.trials > 0 {
+            stats.mean_steps = total_steps as f64 / stats.trials as f64;
+            stats.mean_births = total_births as f64 / stats.trials as f64;
+        }
+        stats
+    }
+
+    /// Mean extinction time divided by the initial state — Lemma 5 says this
+    /// ratio is bounded by constants for nice chains.
+    pub fn steps_per_initial_individual(&self) -> f64 {
+        self.mean_steps / self.initial_state.max(1) as f64
+    }
+
+    /// Mean number of births divided by `ln(initial_state)` — Lemma 6 says
+    /// this ratio is bounded for nice chains.
+    pub fn births_per_log(&self) -> f64 {
+        let log = (self.initial_state.max(2) as f64).ln();
+        self.mean_births / log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::FnChain;
+    use crate::dominating::DominatingChain;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pure_death_chain_takes_exactly_n_steps() {
+        let chain = FnChain::new(|_| 0.0, |n| if n == 0 { 0.0 } else { 1.0 });
+        let run = run_to_extinction(&chain, 37, &mut rng(1), 1_000).unwrap();
+        assert_eq!(run.steps, 37);
+        assert_eq!(run.deaths, 37);
+        assert_eq!(run.births, 0);
+        assert_eq!(run.holds, 0);
+        assert_eq!(run.max_state, 37);
+    }
+
+    #[test]
+    fn run_from_zero_is_empty() {
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let run = run_to_extinction(&chain, 0, &mut rng(2), 10).unwrap();
+        assert_eq!(run.steps, 0);
+        assert_eq!(run.births + run.deaths + run.holds, 0);
+    }
+
+    #[test]
+    fn step_budget_exhaustion_returns_none() {
+        // A strongly supercritical chain will not die within a tiny budget.
+        let chain = FnChain::new(
+            |n| if n == 0 { 0.0 } else { 0.9 },
+            |n| if n == 0 { 0.0 } else { 0.05 },
+        );
+        assert!(run_to_extinction(&chain, 100, &mut rng(3), 500).is_none());
+    }
+
+    #[test]
+    fn dominating_chain_extinction_time_is_linear() {
+        // Lemma 5: E[E(n)] = Θ(n). Check that steps/n is similar for two very
+        // different n (within a factor of 2) and at least 1.
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let small = ExtinctionStats::collect(&chain, 200, 200, &mut rng(4), 10_000_000);
+        let large = ExtinctionStats::collect(&chain, 2_000, 200, &mut rng(5), 10_000_000);
+        assert_eq!(small.truncated, 0);
+        assert_eq!(large.truncated, 0);
+        let ratio_small = small.steps_per_initial_individual();
+        let ratio_large = large.steps_per_initial_individual();
+        assert!(ratio_small >= 1.0);
+        assert!(ratio_large >= 1.0);
+        assert!(
+            (ratio_small / ratio_large) < 2.0 && (ratio_large / ratio_small) < 2.0,
+            "extinction time per individual not stable: {ratio_small} vs {ratio_large}"
+        );
+    }
+
+    #[test]
+    fn dominating_chain_births_grow_logarithmically() {
+        // Lemma 6: E[B(n)] = O(log n). Compare n and n² — births should grow
+        // by roughly a factor of 2, far less than the factor-n growth a linear
+        // law would give.
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let small = ExtinctionStats::collect(&chain, 100, 400, &mut rng(6), 10_000_000);
+        let large = ExtinctionStats::collect(&chain, 10_000, 400, &mut rng(7), 100_000_000);
+        assert!(small.mean_births > 0.0);
+        assert!(
+            large.mean_births < 4.0 * small.mean_births,
+            "births grew too fast: {} -> {}",
+            small.mean_births,
+            large.mean_births
+        );
+    }
+
+    #[test]
+    fn stats_record_raw_samples() {
+        let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+        let stats = ExtinctionStats::collect(&chain, 50, 25, &mut rng(8), 1_000_000);
+        assert_eq!(stats.steps_samples.len(), 25);
+        assert_eq!(stats.births_samples.len(), 25);
+        assert_eq!(
+            stats.max_steps,
+            *stats.steps_samples.iter().max().unwrap()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probabilities")]
+    fn invalid_chain_is_rejected() {
+        let chain = FnChain::new(|_| 0.7, |_| 0.7);
+        let _ = run_to_extinction(&chain, 5, &mut rng(9), 100);
+    }
+}

@@ -1,0 +1,148 @@
+//! Integration tests for the quantitative lemmas of Section 4, checked on the
+//! concrete dominating chain of Section 5.2.
+
+use lv_chains::{
+    empirical_dominance, run_to_extinction, BirthDeathChain, DominatingChain, ExtinctionStats,
+    FnChain,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[test]
+fn lemma5_extinction_time_is_linear_in_n() {
+    // E[E(n)] = Θ(n). The chain spends an n-independent (but potentially
+    // large) amount of time escaping the metastable plateau around
+    // m ≈ C/D before it can hit zero, so the ratio E[E(n)]/n converges from
+    // above; it must stabilise once n dwarfs that additive constant and never
+    // grow with n.
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let mut ratios = Vec::new();
+    for (seed, n) in [(1u64, 1_000u64), (2, 4_000), (3, 16_000)] {
+        let stats = ExtinctionStats::collect(&chain, n, 150, &mut rng(seed), 100_000_000);
+        assert_eq!(stats.truncated, 0);
+        ratios.push(stats.steps_per_initial_individual());
+    }
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0, f64::max);
+    assert!(min >= 1.0, "extinction needs at least n steps");
+    assert!(
+        max / min < 1.6,
+        "E(n)/n not stable across n: ratios {ratios:?}"
+    );
+    // The ratio decreases (or stays flat) as n grows: superlinear growth would
+    // make it increase.
+    assert!(
+        ratios[2] <= ratios[0] * 1.1,
+        "E(n)/n grew with n: ratios {ratios:?}"
+    );
+}
+
+#[test]
+fn lemma6_births_grow_at_most_logarithmically() {
+    // E[B(n)] = O(log n): beyond the n-independent plateau contribution, the
+    // growth in the mean number of births over two decades of n is tiny —
+    // compatible with C·(H_{n2} − H_{n1}) and wildly incompatible with any
+    // polynomial growth.
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let small_n = 100u64;
+    let large_n = 10_000u64;
+    let small = ExtinctionStats::collect(&chain, small_n, 300, &mut rng(10), 100_000_000);
+    let large = ExtinctionStats::collect(&chain, large_n, 300, &mut rng(12), 100_000_000);
+    assert_eq!(small.truncated, 0);
+    assert_eq!(large.truncated, 0);
+    let growth = large.mean_births - small.mean_births;
+    let harmonic_growth = (large_n as f64).ln() - (small_n as f64).ln();
+    assert!(
+        growth < 10.0 * harmonic_growth + 10.0,
+        "births grew by {growth} over two decades of n (harmonic growth {harmonic_growth})"
+    );
+    // A √n law would have more than decupled the mean; a log law keeps the
+    // ratio close to one because the additive constant dominates.
+    assert!(
+        large.mean_births < 1.5 * small.mean_births,
+        "births grew too fast: {} -> {}",
+        small.mean_births,
+        large.mean_births
+    );
+}
+
+#[test]
+fn lemma7_births_are_polylogarithmic_with_high_probability() {
+    // B(n) = O(log² n) whp: the worst case over hundreds of runs grows far
+    // slower than any polynomial — compare the maxima at n and 100·n.
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let small = ExtinctionStats::collect(&chain, 200, 400, &mut rng(21), 100_000_000);
+    let large = ExtinctionStats::collect(&chain, 20_000, 400, &mut rng(22), 100_000_000);
+    assert_eq!(small.truncated, 0);
+    assert_eq!(large.truncated, 0);
+    assert!(
+        (large.max_births as f64) < 2.0 * (small.max_births as f64),
+        "max births grew from {} to {} over a factor-100 increase in n",
+        small.max_births,
+        large.max_births
+    );
+    // And the maximum stays sublinear in n by a wide margin.
+    assert!((large.max_births as f64) < 20_000.0 / 4.0);
+}
+
+#[test]
+fn lemma8_extinction_time_is_linear_with_high_probability() {
+    // E(n) = O(n) whp: the maximum extinction time over many runs stays within
+    // a constant multiple of n (the proof's constant is 6n/D; with D = 1/6 for
+    // unit rates that is 36n, we check a much tighter empirical bound).
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let n = 5_000u64;
+    let stats = ExtinctionStats::collect(&chain, n, 300, &mut rng(22), 100_000_000);
+    assert_eq!(stats.truncated, 0);
+    assert!(
+        (stats.max_steps as f64) < 36.0 * n as f64,
+        "max extinction time {} exceeds the Lemma 8 bound",
+        stats.max_steps
+    );
+}
+
+#[test]
+fn pure_death_chain_is_dominated_by_dominating_chain() {
+    // Sanity check for the dominance test helper on chain data: extinction
+    // times of a pure-death chain (exactly n steps) are dominated by those of
+    // the dominating chain (at least n steps, sometimes more).
+    let dominating = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let pure_death = FnChain::new(|_| 0.0, |n| if n == 0 { 0.0 } else { 1.0 });
+    let n = 500u64;
+    let trials = 200;
+    let mut r = rng(33);
+    let pure: Vec<u64> = (0..trials)
+        .map(|_| run_to_extinction(&pure_death, n, &mut r, 10_000_000).unwrap().steps)
+        .collect();
+    let dominated: Vec<u64> = (0..trials)
+        .map(|_| run_to_extinction(&dominating, n, &mut r, 10_000_000).unwrap().steps)
+        .collect();
+    let report = empirical_dominance(&pure, &dominated);
+    assert!(
+        report.is_dominated(report.default_tolerance()),
+        "pure death not dominated: violation {}",
+        report.max_violation
+    );
+}
+
+#[test]
+fn dominating_chain_rarely_exceeds_initial_state_by_much() {
+    // The proof of Lemma 8 uses that the chain never climbs much above
+    // n + O(log² n) with high probability; check the max state visited.
+    let chain = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
+    let n = 2_000u64;
+    let mut r = rng(44);
+    for _ in 0..200 {
+        let run = run_to_extinction(&chain, n, &mut r, 100_000_000).unwrap();
+        let log2n = (n as f64).log2();
+        assert!(
+            ((run.max_state - n) as f64) < 5.0 * log2n * log2n,
+            "chain climbed to {} from {n}",
+            run.max_state
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for the birth–death chain layer.
+
+use lv_chains::{BirthDeathChain, DominatingChain, FnChain};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn positive_rate() -> impl Strategy<Value = f64> {
+    0.01f64..10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The dominating chain of Section 5.2 is a valid birth–death chain and
+    /// satisfies its own nice-chain witness for every parameter choice with
+    /// α_min > 0.
+    #[test]
+    fn dominating_chain_is_always_nice(beta in 0.0f64..10.0, delta in 0.0f64..10.0,
+                                       alpha0 in positive_rate(), alpha1 in positive_rate()) {
+        let chain = DominatingChain::from_lv_rates(beta, delta, alpha0, alpha1);
+        let witness = chain.nice_witness();
+        prop_assert_eq!(witness.verify(&chain, 2_000), None);
+    }
+
+    /// p, q and the holding probability always form a distribution for the
+    /// dominating chain.
+    #[test]
+    fn dominating_chain_probabilities_are_distributions(beta in 0.0f64..10.0,
+                                                        delta in 0.0f64..10.0,
+                                                        alpha0 in positive_rate(),
+                                                        alpha1 in positive_rate(),
+                                                        n in 0u64..100_000) {
+        let chain = DominatingChain::from_lv_rates(beta, delta, alpha0, alpha1);
+        let p = chain.birth_probability(n);
+        let q = chain.death_probability(n);
+        let h = chain.holding_probability(n);
+        prop_assert!(p >= 0.0 && q >= 0.0);
+        prop_assert!(p + q <= 1.0 + 1e-12);
+        prop_assert!((p + q + h - 1.0).abs() < 1e-12);
+    }
+
+    /// Stepping a chain changes the state by at most one and zero stays
+    /// absorbing.
+    #[test]
+    fn steps_move_by_at_most_one(seed in 0u64..10_000, start in 0u64..1_000,
+                                 p in 0.0f64..0.5, q in 0.0f64..0.5) {
+        let chain = FnChain::new(
+            move |n| if n == 0 { 0.0 } else { p },
+            move |n| if n == 0 { 0.0 } else { q },
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut state = start;
+        for _ in 0..50 {
+            let (_, next) = chain.step(state, &mut rng);
+            prop_assert!(next.abs_diff(state) <= 1);
+            if state == 0 {
+                prop_assert_eq!(next, 0);
+            }
+            state = next;
+        }
+    }
+
+    /// The empirical dominance report of a sample against itself never shows a
+    /// positive violation, and dominance against strictly larger samples holds
+    /// exactly.
+    #[test]
+    fn dominance_is_reflexive_and_monotone(values in proptest::collection::vec(0u64..10_000, 1..200),
+                                           shift in 1u64..100) {
+        let shifted: Vec<u64> = values.iter().map(|v| v + shift).collect();
+        let same = lv_chains::empirical_dominance(&values, &values);
+        prop_assert!(same.max_violation.abs() < 1e-12);
+        let report = lv_chains::empirical_dominance(&values, &shifted);
+        prop_assert!(report.max_violation <= 1e-12);
+    }
+}

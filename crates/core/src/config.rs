@@ -1,0 +1,178 @@
+use crate::rates::SpeciesIndex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A configuration `(x_0, x_1)` of the two-species chain.
+///
+/// This is the state type of the paper's Markov chains. The majority-consensus
+/// vocabulary of Section 1.3 is provided as methods: the (current) majority
+/// species, the signed gap, whether consensus has been reached and who won.
+///
+/// ```
+/// use lv_lotka::{LvConfiguration, SpeciesIndex};
+/// let state = LvConfiguration::new(60, 40);
+/// assert_eq!(state.total(), 100);
+/// assert_eq!(state.gap(), 20);
+/// assert_eq!(state.majority(), Some(SpeciesIndex::Zero));
+/// assert!(!state.is_consensus());
+/// assert_eq!(LvConfiguration::new(5, 0).winner(), Some(SpeciesIndex::Zero));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LvConfiguration {
+    counts: [u64; 2],
+}
+
+impl LvConfiguration {
+    /// Creates the configuration `(x0, x1)`.
+    pub fn new(x0: u64, x1: u64) -> Self {
+        LvConfiguration { counts: [x0, x1] }
+    }
+
+    /// The count of the given species.
+    pub fn count(&self, species: SpeciesIndex) -> u64 {
+        self.counts[species.index()]
+    }
+
+    /// Both counts as `(x0, x1)`.
+    pub fn counts(&self) -> (u64, u64) {
+        (self.counts[0], self.counts[1])
+    }
+
+    /// The total population size `x0 + x1`.
+    pub fn total(&self) -> u64 {
+        self.counts[0] + self.counts[1]
+    }
+
+    /// The signed gap `x0 − x1` (positive when species 0 leads). For runs
+    /// started with species 0 as the initial majority this is the paper's
+    /// `∆_t`.
+    pub fn gap(&self) -> i64 {
+        self.counts[0] as i64 - self.counts[1] as i64
+    }
+
+    /// The current majority species, or `None` on a tie.
+    pub fn majority(&self) -> Option<SpeciesIndex> {
+        match self.counts[0].cmp(&self.counts[1]) {
+            std::cmp::Ordering::Greater => Some(SpeciesIndex::Zero),
+            std::cmp::Ordering::Less => Some(SpeciesIndex::One),
+            std::cmp::Ordering::Equal => None,
+        }
+    }
+
+    /// The current minority species, or `None` on a tie.
+    pub fn minority(&self) -> Option<SpeciesIndex> {
+        self.majority().map(SpeciesIndex::other)
+    }
+
+    /// The smaller of the two counts.
+    pub fn min_count(&self) -> u64 {
+        self.counts[0].min(self.counts[1])
+    }
+
+    /// The larger of the two counts.
+    pub fn max_count(&self) -> u64 {
+        self.counts[0].max(self.counts[1])
+    }
+
+    /// Whether consensus has been reached, i.e. some species is extinct.
+    pub fn is_consensus(&self) -> bool {
+        self.counts[0] == 0 || self.counts[1] == 0
+    }
+
+    /// The species that has *won* (positive count while the other is extinct),
+    /// if any. Returns `None` both before consensus and when both species are
+    /// extinct.
+    pub fn winner(&self) -> Option<SpeciesIndex> {
+        match (self.counts[0], self.counts[1]) {
+            (0, x) if x > 0 => Some(SpeciesIndex::One),
+            (x, 0) if x > 0 => Some(SpeciesIndex::Zero),
+            _ => None,
+        }
+    }
+
+    /// Returns the configuration with the count of `species` changed by
+    /// `delta`, saturating at zero.
+    pub fn with_change(mut self, species: SpeciesIndex, delta: i64) -> Self {
+        let index = species.index();
+        let current = self.counts[index] as i64;
+        self.counts[index] = (current + delta).max(0) as u64;
+        self
+    }
+}
+
+impl From<(u64, u64)> for LvConfiguration {
+    fn from((x0, x1): (u64, u64)) -> Self {
+        LvConfiguration::new(x0, x1)
+    }
+}
+
+impl fmt::Display for LvConfiguration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.counts[0], self.counts[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_gap() {
+        let state = LvConfiguration::new(30, 45);
+        assert_eq!(state.count(SpeciesIndex::Zero), 30);
+        assert_eq!(state.count(SpeciesIndex::One), 45);
+        assert_eq!(state.counts(), (30, 45));
+        assert_eq!(state.total(), 75);
+        assert_eq!(state.gap(), -15);
+        assert_eq!(state.min_count(), 30);
+        assert_eq!(state.max_count(), 45);
+    }
+
+    #[test]
+    fn majority_and_minority() {
+        assert_eq!(
+            LvConfiguration::new(10, 5).majority(),
+            Some(SpeciesIndex::Zero)
+        );
+        assert_eq!(
+            LvConfiguration::new(10, 5).minority(),
+            Some(SpeciesIndex::One)
+        );
+        assert_eq!(LvConfiguration::new(7, 7).majority(), None);
+        assert_eq!(LvConfiguration::new(7, 7).minority(), None);
+    }
+
+    #[test]
+    fn consensus_and_winner() {
+        assert!(!LvConfiguration::new(3, 2).is_consensus());
+        assert!(LvConfiguration::new(0, 2).is_consensus());
+        assert!(LvConfiguration::new(0, 0).is_consensus());
+        assert_eq!(
+            LvConfiguration::new(0, 2).winner(),
+            Some(SpeciesIndex::One)
+        );
+        assert_eq!(
+            LvConfiguration::new(9, 0).winner(),
+            Some(SpeciesIndex::Zero)
+        );
+        assert_eq!(LvConfiguration::new(0, 0).winner(), None);
+        assert_eq!(LvConfiguration::new(4, 4).winner(), None);
+    }
+
+    #[test]
+    fn with_change_saturates_at_zero() {
+        let state = LvConfiguration::new(2, 5);
+        assert_eq!(
+            state.with_change(SpeciesIndex::Zero, -3).counts(),
+            (0, 5)
+        );
+        assert_eq!(state.with_change(SpeciesIndex::One, 2).counts(), (2, 7));
+        assert_eq!(state.with_change(SpeciesIndex::Zero, 1).counts(), (3, 5));
+    }
+
+    #[test]
+    fn conversion_and_display() {
+        let state: LvConfiguration = (4, 9).into();
+        assert_eq!(state.to_string(), "(4, 9)");
+    }
+}

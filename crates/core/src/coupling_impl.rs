@@ -1,0 +1,247 @@
+//! Implementation of the pseudo-coupling interface for Lotka–Volterra chains.
+//!
+//! The pseudo-coupling of Section 5.1 (implemented in
+//! [`lv_chains::PseudoCoupling`]) drives a [`TwoSpeciesProcess`]; this module
+//! implements that trait for [`LvJumpChain`], defining the event classes
+//! exactly as in the paper:
+//!
+//! * **bad non-competitive** events are individual reactions that decrease the
+//!   gap between the current majority and minority species — a death of the
+//!   current majority or a birth of the current minority; their probability is
+//!   the paper's `P(a, b) = (δ·max + β·min)/φ(a, b)` (proof of Lemma 12);
+//! * **good competitive** events are competitive reactions in which the
+//!   current minority species loses an individual; their probability `Q(a,b)`
+//!   is at least `α_min·ab/φ(a, b)` as required by (D2).
+//!
+//! Ties are broken deterministically by treating species 0 as the majority, so
+//! the three classes always partition the reactions.
+
+use crate::jump_chain::LvJumpChain;
+use crate::rates::{CompetitionKind, SpeciesIndex};
+use lv_chains::coupling::EventClass;
+use lv_chains::TwoSpeciesProcess;
+use rand::Rng;
+
+/// Propensity indices of the model's reaction table
+/// (`[birth_0, death_0, inter_0, intra_0, birth_1, death_1, inter_1, intra_1]`)
+/// that form the *bad non-competitive* class when `majority` is the current
+/// majority species.
+fn bad_noncompetitive_indices(majority: SpeciesIndex) -> [usize; 2] {
+    match majority {
+        // death of majority (X0), birth of minority (X1)
+        SpeciesIndex::Zero => [1, 4],
+        // death of majority (X1), birth of minority (X0)
+        SpeciesIndex::One => [5, 0],
+    }
+}
+
+/// Propensity indices forming the *good competitive* class: competitive
+/// reactions in which the current minority loses an individual.
+fn good_competitive_indices(kind: CompetitionKind, majority: SpeciesIndex) -> Vec<usize> {
+    match kind {
+        // Self-destructive interspecific competition removes one of each
+        // species, so both directed reactions are good; the intraspecific
+        // reaction of the minority also decreases the minority.
+        CompetitionKind::SelfDestructive => match majority {
+            SpeciesIndex::Zero => vec![2, 6, 7],
+            SpeciesIndex::One => vec![2, 6, 3],
+        },
+        // Non-self-destructive: only the reaction initiated by the majority
+        // kills a minority individual; the minority's intraspecific reaction
+        // also decreases the minority.
+        CompetitionKind::NonSelfDestructive => match majority {
+            SpeciesIndex::Zero => vec![2, 7],
+            SpeciesIndex::One => vec![6, 3],
+        },
+    }
+}
+
+/// All eight propensity indices.
+const ALL_INDICES: [usize; 8] = [0, 1, 2, 3, 4, 5, 6, 7];
+
+impl LvJumpChain {
+    fn current_majority(&self) -> SpeciesIndex {
+        // Ties are attributed to species 0, consistently with the paper's
+        // convention that species 0 is the initial majority.
+        self.state().majority().unwrap_or(SpeciesIndex::Zero)
+    }
+
+    fn class_indices(&self, class: EventClass) -> Vec<usize> {
+        let majority = self.current_majority();
+        let bad = bad_noncompetitive_indices(majority);
+        let good = good_competitive_indices(self.model().kind(), majority);
+        match class {
+            EventClass::BadNonCompetitive => bad.to_vec(),
+            EventClass::GoodCompetitive => good,
+            EventClass::Other => ALL_INDICES
+                .iter()
+                .copied()
+                .filter(|i| !bad.contains(i) && !good.contains(i))
+                .collect(),
+        }
+    }
+
+    fn class_probability(&self, class: EventClass) -> f64 {
+        let propensities = self.model().propensities(self.state());
+        let total: f64 = propensities.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.class_indices(class)
+            .iter()
+            .map(|&i| propensities[i])
+            .sum::<f64>()
+            / total
+    }
+}
+
+impl TwoSpeciesProcess for LvJumpChain {
+    fn counts(&self) -> (u64, u64) {
+        self.state().counts()
+    }
+
+    fn bad_noncompetitive_probability(&self) -> f64 {
+        self.class_probability(EventClass::BadNonCompetitive)
+    }
+
+    fn good_competitive_probability(&self) -> f64 {
+        self.class_probability(EventClass::GoodCompetitive)
+    }
+
+    fn step_conditioned<R: Rng + ?Sized>(&mut self, class: EventClass, rng: &mut R) {
+        let indices = self.class_indices(class);
+        // If the requested class has zero probability (e.g. "other" in a
+        // corner state), fall back to an unconditioned step so the coupling
+        // still advances; this matches the measure-zero handling in the
+        // paper's construction.
+        if self.step_within(&indices, rng).is_none() {
+            let _ = self.step(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LvConfiguration;
+    use crate::model::LvModel;
+    use lv_chains::{BirthDeathChain, PseudoCoupling};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn bad_probability_matches_lemma12_formula() {
+        // P(a, b) = (δa + βb)/φ for a ≥ b with species 0 the majority.
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 2.0, 3.0, 1.0);
+        let chain = LvJumpChain::new(model, LvConfiguration::new(12, 5));
+        let phi = model.total_propensity(LvConfiguration::new(12, 5));
+        let expected = (3.0 * 12.0 + 2.0 * 5.0) / phi;
+        assert!((chain.bad_noncompetitive_probability() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn good_probability_is_at_least_alpha_min_ab_over_phi() {
+        // Condition (D2) needs Q(a,b) ≥ α_min·ab/φ; for the neutral model the
+        // good class contains both interspecific directions under
+        // self-destructive competition, so Q = α·ab/φ ≥ α_min·ab/φ.
+        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+            let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+            let state = LvConfiguration::new(20, 9);
+            let chain = LvJumpChain::new(model, state);
+            let phi = model.total_propensity(state);
+            let alpha_min = model.rates().alpha_min();
+            let lower = alpha_min * 20.0 * 9.0 / phi;
+            assert!(
+                chain.good_competitive_probability() >= lower - 1e-12,
+                "{kind:?}: Q = {} below α_min ab/φ = {lower}",
+                chain.good_competitive_probability()
+            );
+        }
+    }
+
+    #[test]
+    fn class_probabilities_partition_unity() {
+        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+            let model = LvModel::with_intraspecific(kind, 1.0, 0.5, 1.0, 0.5);
+            let chain = LvJumpChain::new(model, LvConfiguration::new(14, 14));
+            let p = chain.bad_noncompetitive_probability();
+            let q = chain.good_competitive_probability();
+            let other = chain.class_probability(EventClass::Other);
+            assert!((p + q + other - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conditioned_steps_only_fire_events_of_that_class() {
+        let model = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+        let mut r = rng(1);
+        for _ in 0..200 {
+            let mut chain = LvJumpChain::new(model, LvConfiguration::new(10, 6));
+            let before = chain.state();
+            chain.step_conditioned(EventClass::GoodCompetitive, &mut r);
+            let after = chain.state();
+            // A good competitive event decreases the minority (species 1).
+            assert_eq!(after.count(SpeciesIndex::One), before.count(SpeciesIndex::One) - 1);
+            assert_eq!(after.count(SpeciesIndex::Zero), before.count(SpeciesIndex::Zero));
+        }
+        for _ in 0..200 {
+            let mut chain = LvJumpChain::new(model, LvConfiguration::new(10, 6));
+            let before = chain.state();
+            chain.step_conditioned(EventClass::BadNonCompetitive, &mut r);
+            let after = chain.state();
+            let gap_before = before.gap().abs();
+            let gap_after = after.gap().abs();
+            assert_eq!(gap_after, gap_before - 1);
+        }
+    }
+
+    #[test]
+    fn domination_conditions_hold_at_every_visited_state() {
+        // Lemma 12: the dominating chain of the model satisfies (D1)/(D2) for
+        // every state, which the coupling verifies along its runs.
+        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+            // α_total = 2 keeps the dominating chain's metastable plateau low
+            // (p(m) = q around m ≈ 5) so its extinction time stays small and
+            // the joint run finishes quickly.
+            let model = LvModel::neutral(kind, 1.0, 1.0, 2.0);
+            let dominating = model.dominating_chain().unwrap();
+            for seed in 0..10 {
+                let process = LvJumpChain::new(model, LvConfiguration::new(60, 40));
+                let coupling = PseudoCoupling::new(process, dominating, 40);
+                let record = coupling.run(&mut rng(seed), 10_000_000);
+                assert!(record.dominating_absorbed);
+                assert!(record.domination_conditions_held, "{kind:?} seed {seed}");
+                assert!(record.min_invariant_held, "{kind:?} seed {seed}");
+                assert!(record.count_invariant_held, "{kind:?} seed {seed}");
+                assert!(record.process_reached_consensus, "{kind:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn d1_and_d2_hold_pointwise_for_dominating_chain() {
+        // Direct pointwise check of (D1) P(a,b) ≤ p(min) and (D2) Q(a,b) ≥ q(min).
+        let model = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.5, 0.5, 2.0);
+        let chain = model.dominating_chain().unwrap();
+        for a in 1..40u64 {
+            for b in 1..40u64 {
+                let process = LvJumpChain::new(model, LvConfiguration::new(a, b));
+                let m = a.min(b);
+                assert!(
+                    process.bad_noncompetitive_probability()
+                        <= chain.birth_probability(m) + 1e-12,
+                    "(D1) fails at ({a},{b})"
+                );
+                assert!(
+                    process.good_competitive_probability()
+                        >= chain.death_probability(m) - 1e-12,
+                    "(D2) fails at ({a},{b})"
+                );
+            }
+        }
+    }
+}

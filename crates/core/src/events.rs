@@ -1,0 +1,232 @@
+use crate::config::LvConfiguration;
+use crate::rates::{CompetitionKind, SpeciesIndex};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coarse classification of reactions used throughout the paper's analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// An individual (non-competitive) reaction: a birth or a death.
+    Individual,
+    /// A pairwise competitive interaction (inter- or intraspecific).
+    Competitive,
+}
+
+/// One reaction of the two-species Lotka–Volterra models.
+///
+/// The model of Section 1.3 has eight reactions; the enum collapses them into
+/// four shapes parameterised by the species involved. How a competitive event
+/// changes the configuration depends on the [`CompetitionKind`]:
+/// under self-destructive competition both participants die, under
+/// non-self-destructive competition only the victim dies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LvEvent {
+    /// `X_i → X_i + X_i`: an individual of `species` reproduces.
+    Birth(SpeciesIndex),
+    /// `X_i → ∅`: an individual of `species` dies.
+    Death(SpeciesIndex),
+    /// `X_i + X_{1−i} → …` with rate `α_i`: an individual of `attacker`
+    /// attacks an individual of the other species. Under self-destructive
+    /// competition both die; under non-self-destructive competition only the
+    /// victim (the other species) dies.
+    Interspecific {
+        /// The species initiating the attack (`i` in the reaction `X_i + X_{1−i}`).
+        attacker: SpeciesIndex,
+    },
+    /// `X_i + X_i → …` with rate `γ_i`: two individuals of `species` compete.
+    /// Under self-destructive competition both die; under non-self-destructive
+    /// competition one dies.
+    Intraspecific(SpeciesIndex),
+}
+
+impl LvEvent {
+    /// The coarse kind of the event (individual vs. competitive).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            LvEvent::Birth(_) | LvEvent::Death(_) => EventKind::Individual,
+            LvEvent::Interspecific { .. } | LvEvent::Intraspecific(_) => EventKind::Competitive,
+        }
+    }
+
+    /// Whether this is an individual (birth/death) reaction.
+    pub fn is_individual(&self) -> bool {
+        self.kind() == EventKind::Individual
+    }
+
+    /// Whether this is a competitive interaction.
+    pub fn is_competitive(&self) -> bool {
+        self.kind() == EventKind::Competitive
+    }
+
+    /// Whether this is an interspecific competition event.
+    pub fn is_interspecific(&self) -> bool {
+        matches!(self, LvEvent::Interspecific { .. })
+    }
+
+    /// Whether this is an intraspecific competition event.
+    pub fn is_intraspecific(&self) -> bool {
+        matches!(self, LvEvent::Intraspecific(_))
+    }
+
+    /// The change `(Δx_0, Δx_1)` this event causes under the given competition
+    /// kind.
+    pub fn delta(&self, kind: CompetitionKind) -> (i64, i64) {
+        match (self, kind) {
+            (LvEvent::Birth(SpeciesIndex::Zero), _) => (1, 0),
+            (LvEvent::Birth(SpeciesIndex::One), _) => (0, 1),
+            (LvEvent::Death(SpeciesIndex::Zero), _) => (-1, 0),
+            (LvEvent::Death(SpeciesIndex::One), _) => (0, -1),
+            (LvEvent::Interspecific { .. }, CompetitionKind::SelfDestructive) => (-1, -1),
+            (
+                LvEvent::Interspecific { attacker },
+                CompetitionKind::NonSelfDestructive,
+            ) => match attacker {
+                // The attacker survives; the other species loses one.
+                SpeciesIndex::Zero => (0, -1),
+                SpeciesIndex::One => (-1, 0),
+            },
+            (LvEvent::Intraspecific(species), CompetitionKind::SelfDestructive) => match species {
+                SpeciesIndex::Zero => (-2, 0),
+                SpeciesIndex::One => (0, -2),
+            },
+            (LvEvent::Intraspecific(species), CompetitionKind::NonSelfDestructive) => {
+                match species {
+                    SpeciesIndex::Zero => (-1, 0),
+                    SpeciesIndex::One => (0, -1),
+                }
+            }
+        }
+    }
+
+    /// Applies the event to a configuration under the given competition kind.
+    pub fn apply(&self, kind: CompetitionKind, state: LvConfiguration) -> LvConfiguration {
+        let (d0, d1) = self.delta(kind);
+        state
+            .with_change(SpeciesIndex::Zero, d0)
+            .with_change(SpeciesIndex::One, d1)
+    }
+
+    /// The change in the *signed* gap `x_0 − x_1` caused by this event.
+    pub fn gap_change(&self, kind: CompetitionKind) -> i64 {
+        let (d0, d1) = self.delta(kind);
+        d0 - d1
+    }
+}
+
+impl fmt::Display for LvEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LvEvent::Birth(s) => write!(f, "birth of {s}"),
+            LvEvent::Death(s) => write!(f, "death of {s}"),
+            LvEvent::Interspecific { attacker } => {
+                write!(f, "interspecific competition initiated by {attacker}")
+            }
+            LvEvent::Intraspecific(s) => write!(f, "intraspecific competition within {s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use CompetitionKind::{NonSelfDestructive, SelfDestructive};
+    use SpeciesIndex::{One, Zero};
+
+    #[test]
+    fn kind_classification() {
+        assert!(LvEvent::Birth(Zero).is_individual());
+        assert!(LvEvent::Death(One).is_individual());
+        assert!(LvEvent::Interspecific { attacker: Zero }.is_competitive());
+        assert!(LvEvent::Intraspecific(One).is_competitive());
+        assert!(LvEvent::Interspecific { attacker: One }.is_interspecific());
+        assert!(LvEvent::Intraspecific(Zero).is_intraspecific());
+        assert_eq!(LvEvent::Birth(Zero).kind(), EventKind::Individual);
+    }
+
+    #[test]
+    fn individual_event_deltas_are_competition_independent() {
+        for kind in [SelfDestructive, NonSelfDestructive] {
+            assert_eq!(LvEvent::Birth(Zero).delta(kind), (1, 0));
+            assert_eq!(LvEvent::Birth(One).delta(kind), (0, 1));
+            assert_eq!(LvEvent::Death(Zero).delta(kind), (-1, 0));
+            assert_eq!(LvEvent::Death(One).delta(kind), (0, -1));
+        }
+    }
+
+    #[test]
+    fn self_destructive_interspecific_kills_both() {
+        for attacker in [Zero, One] {
+            assert_eq!(
+                LvEvent::Interspecific { attacker }.delta(SelfDestructive),
+                (-1, -1)
+            );
+            // The gap is unchanged — the key observation of Section 6.
+            assert_eq!(
+                LvEvent::Interspecific { attacker }.gap_change(SelfDestructive),
+                0
+            );
+        }
+    }
+
+    #[test]
+    fn non_self_destructive_interspecific_kills_only_the_victim() {
+        assert_eq!(
+            LvEvent::Interspecific { attacker: Zero }.delta(NonSelfDestructive),
+            (0, -1)
+        );
+        assert_eq!(
+            LvEvent::Interspecific { attacker: One }.delta(NonSelfDestructive),
+            (-1, 0)
+        );
+        assert_eq!(
+            LvEvent::Interspecific { attacker: Zero }.gap_change(NonSelfDestructive),
+            1
+        );
+    }
+
+    #[test]
+    fn intraspecific_deltas_depend_on_kind() {
+        assert_eq!(LvEvent::Intraspecific(Zero).delta(SelfDestructive), (-2, 0));
+        assert_eq!(
+            LvEvent::Intraspecific(Zero).delta(NonSelfDestructive),
+            (-1, 0)
+        );
+        assert_eq!(LvEvent::Intraspecific(One).delta(SelfDestructive), (0, -2));
+        assert_eq!(
+            LvEvent::Intraspecific(One).delta(NonSelfDestructive),
+            (0, -1)
+        );
+    }
+
+    #[test]
+    fn apply_changes_configuration() {
+        let state = LvConfiguration::new(5, 3);
+        let after = LvEvent::Interspecific { attacker: Zero }.apply(SelfDestructive, state);
+        assert_eq!(after.counts(), (4, 2));
+        let after = LvEvent::Birth(One).apply(NonSelfDestructive, state);
+        assert_eq!(after.counts(), (5, 4));
+    }
+
+    #[test]
+    fn gap_change_matches_delta_difference() {
+        for event in [
+            LvEvent::Birth(Zero),
+            LvEvent::Death(One),
+            LvEvent::Interspecific { attacker: One },
+            LvEvent::Intraspecific(Zero),
+        ] {
+            for kind in [SelfDestructive, NonSelfDestructive] {
+                let (d0, d1) = event.delta(kind);
+                assert_eq!(event.gap_change(kind), d0 - d1);
+            }
+        }
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert_eq!(LvEvent::Birth(Zero).to_string(), "birth of X0");
+        assert!(LvEvent::Interspecific { attacker: One }
+            .to_string()
+            .contains("X1"));
+    }
+}

@@ -1,0 +1,389 @@
+//! Exact majority-consensus probabilities for small populations.
+//!
+//! The probability `ρ_i(a, b)` that species `i` wins (has positive count when
+//! the other species first hits zero) from the configuration `(a, b)`
+//! satisfies the first-step recurrence of Eq. (8):
+//!
+//! ```text
+//! ρ_i(a, b) = Σ_{(x,y)} P((a,b), (x,y)) · ρ_i(x, y),
+//! ρ_0(a, 0) = 1 for a > 0,   ρ_0(0, b) = 0 for b ≥ 0   (and symmetrically for ρ_1).
+//! ```
+//!
+//! For small populations this can be solved numerically by Gauss–Seidel
+//! iteration over a truncated state space. The truncation caps each species
+//! count at `cap`; birth reactions that would exceed the cap are redirected to
+//! the holding probability (i.e. the excess probability mass stays in place).
+//! Because the competitive Lotka–Volterra chains drift towards extinction,
+//! the error introduced by a cap of a few times the initial population is
+//! negligible.
+//!
+//! ## Simultaneous extinction
+//!
+//! Under **self-destructive** competition the state `(0, 0)` is reachable
+//! (through `X_0 + X_1 → ∅` from `(1, 1)`), in which case *neither* species
+//! wins: `ρ_0(a, b) + ρ_1(a, b) < 1` in general. The `a/(a+b)` law of
+//! Theorem 20 is exactly the optional-stopping identity
+//!
+//! ```text
+//! ρ_0(a, b) + ½ · P[both extinct] = a / (a + b),
+//! ```
+//!
+//! which [`proportional_law_residual`] evaluates; under non-self-destructive
+//! competition (Theorem 23) counts change by one individual at a time, so
+//! `(0, 0)` is unreachable from non-consensus states and the plain
+//! `ρ_0 = a/(a+b)` holds.
+
+use crate::config::LvConfiguration;
+use crate::model::LvModel;
+use crate::rates::SpeciesIndex;
+
+/// Options for the exact solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverOptions {
+    /// Per-species cap of the truncated state space.
+    pub cap: u64,
+    /// Convergence tolerance on the sup-norm change per sweep.
+    pub tolerance: f64,
+    /// Maximum number of Gauss–Seidel sweeps.
+    pub max_sweeps: u64,
+}
+
+impl Default for SolverOptions {
+    fn default() -> Self {
+        SolverOptions {
+            cap: 200,
+            tolerance: 1e-10,
+            max_sweeps: 100_000,
+        }
+    }
+}
+
+/// The solved win-probability table of one species over the truncated state
+/// space.
+#[derive(Debug, Clone)]
+pub struct AbsorptionTable {
+    winner: SpeciesIndex,
+    cap: u64,
+    values: Vec<f64>,
+    sweeps: u64,
+    converged: bool,
+}
+
+impl AbsorptionTable {
+    /// The probability that the table's winner species wins from `(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` exceeds the cap the table was solved with.
+    pub fn probability(&self, a: u64, b: u64) -> f64 {
+        assert!(a <= self.cap && b <= self.cap, "state exceeds solver cap");
+        self.values[self.index(a, b)]
+    }
+
+    /// The species whose win probability this table holds.
+    pub fn winner(&self) -> SpeciesIndex {
+        self.winner
+    }
+
+    /// Number of Gauss–Seidel sweeps performed.
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Whether the iteration reached the requested tolerance.
+    pub fn converged(&self) -> bool {
+        self.converged
+    }
+
+    /// The cap of the truncated state space.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    fn index(&self, a: u64, b: u64) -> usize {
+        (a * (self.cap + 1) + b) as usize
+    }
+}
+
+/// Solves the recurrence of Eq. (8) for species 0 (the paper's convention for
+/// the initial majority). Equivalent to
+/// [`solve_absorption_for`]`(model, SpeciesIndex::Zero, options)`.
+pub fn solve_absorption(model: &LvModel, options: SolverOptions) -> AbsorptionTable {
+    solve_absorption_for(model, SpeciesIndex::Zero, options)
+}
+
+/// Solves the recurrence of Eq. (8) for the win probability of the given
+/// species on a truncated state space.
+///
+/// # Panics
+///
+/// Panics if `options.cap == 0`.
+pub fn solve_absorption_for(
+    model: &LvModel,
+    winner: SpeciesIndex,
+    options: SolverOptions,
+) -> AbsorptionTable {
+    assert!(options.cap > 0, "cap must be positive");
+    let cap = options.cap;
+    let width = (cap + 1) as usize;
+    let mut table = AbsorptionTable {
+        winner,
+        cap,
+        values: vec![0.0; width * width],
+        sweeps: 0,
+        converged: false,
+    };
+    // Boundary conditions: the winner species wins in every consensus state
+    // where it is still present; (0, 0) has value 0.
+    for k in 1..=cap {
+        let idx = match winner {
+            SpeciesIndex::Zero => table.index(k, 0),
+            SpeciesIndex::One => table.index(0, k),
+        };
+        table.values[idx] = 1.0;
+    }
+    // Initialise the interior with the proportional guess, which is exact for
+    // some regimes and a good starting point for all of them.
+    for a in 1..=cap {
+        for b in 1..=cap {
+            let idx = table.index(a, b);
+            let share = match winner {
+                SpeciesIndex::Zero => a as f64 / (a + b) as f64,
+                SpeciesIndex::One => b as f64 / (a + b) as f64,
+            };
+            table.values[idx] = share;
+        }
+    }
+
+    // Value of a consensus (or capped) target state.
+    let boundary_value = |winner: SpeciesIndex, x: u64, y: u64| -> Option<f64> {
+        match (x, y) {
+            (0, 0) => Some(0.0),
+            (_, 0) => Some(if winner == SpeciesIndex::Zero { 1.0 } else { 0.0 }),
+            (0, _) => Some(if winner == SpeciesIndex::One { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    };
+
+    for sweep in 0..options.max_sweeps {
+        let mut max_change: f64 = 0.0;
+        for a in 1..=cap {
+            for b in 1..=cap {
+                let state = LvConfiguration::new(a, b);
+                let propensities = model.propensities(state);
+                let total: f64 = propensities.iter().sum();
+                if total <= 0.0 {
+                    continue;
+                }
+                let mut value = 0.0;
+                let mut mass = 0.0;
+                for (i, &p) in propensities.iter().enumerate() {
+                    if p <= 0.0 {
+                        continue;
+                    }
+                    let event = LvModel::event_for_index(i);
+                    let next = event.apply(model.kind(), state);
+                    let (x, y) = next.counts();
+                    let weight = p / total;
+                    // Redirect transitions that exceed the cap back to the
+                    // current state (treated as holding and renormalised
+                    // away).
+                    if x > cap || y > cap {
+                        continue;
+                    }
+                    mass += weight;
+                    let contribution = match boundary_value(winner, x, y) {
+                        Some(v) => v,
+                        None => table.values[table.index(x, y)],
+                    };
+                    value += weight * contribution;
+                }
+                let idx = table.index(a, b);
+                let new_value = if mass > 0.0 {
+                    value / mass
+                } else {
+                    table.values[idx]
+                };
+                let change = (new_value - table.values[idx]).abs();
+                max_change = max_change.max(change);
+                table.values[idx] = new_value;
+            }
+        }
+        table.sweeps = sweep + 1;
+        if max_change < options.tolerance {
+            table.converged = true;
+            break;
+        }
+    }
+    table
+}
+
+/// Both win probabilities `(ρ_0, ρ_1)` from `(a, b)`; their deficit to one is
+/// the probability of simultaneous extinction.
+pub fn win_probabilities(model: &LvModel, a: u64, b: u64, options: SolverOptions) -> (f64, f64) {
+    let zero = solve_absorption_for(model, SpeciesIndex::Zero, options);
+    let one = solve_absorption_for(model, SpeciesIndex::One, options);
+    (zero.probability(a, b), one.probability(a, b))
+}
+
+/// The residual of the proportional law of Theorems 20/23 at `(a, b)`:
+///
+/// ```text
+/// ρ_0(a,b) + ½·(1 − ρ_0(a,b) − ρ_1(a,b))  −  a/(a+b)
+/// ```
+///
+/// which is zero (up to solver tolerance) for the balanced models of
+/// [`LvModel::balanced_intra_inter`] and for
+/// [`LvModel::no_competition`], for any `(a, b)`.
+pub fn proportional_law_residual(model: &LvModel, a: u64, b: u64, options: SolverOptions) -> f64 {
+    let (p0, p1) = win_probabilities(model, a, b, options);
+    let both_extinct = (1.0 - p0 - p1).max(0.0);
+    p0 + 0.5 * both_extinct - a as f64 / (a + b) as f64
+}
+
+/// Convenience wrapper: the probability that the *initial majority* species
+/// wins from `(a, b)`, solved exactly on a truncated state space with a cap
+/// of `4·(a+b)` (clamped to at least 50).
+pub fn absorption_probability(model: &LvModel, a: u64, b: u64) -> f64 {
+    let cap = (4 * (a + b)).max(50);
+    let options = SolverOptions {
+        cap,
+        ..SolverOptions::default()
+    };
+    let majority = LvConfiguration::new(a, b)
+        .majority()
+        .unwrap_or(SpeciesIndex::Zero);
+    let table = solve_absorption_for(model, majority, options);
+    table.probability(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::CompetitionKind;
+
+    fn options(cap: u64) -> SolverOptions {
+        SolverOptions {
+            cap,
+            ..SolverOptions::default()
+        }
+    }
+
+    #[test]
+    fn boundary_conditions_hold() {
+        let model = LvModel::default();
+        let table = solve_absorption(&model, options(30));
+        assert!(table.converged());
+        assert_eq!(table.probability(5, 0), 1.0);
+        assert_eq!(table.probability(0, 5), 0.0);
+        assert_eq!(table.probability(0, 0), 0.0);
+        let table1 = solve_absorption_for(&model, SpeciesIndex::One, options(30));
+        assert_eq!(table1.probability(5, 0), 0.0);
+        assert_eq!(table1.probability(0, 5), 1.0);
+        assert_eq!(table1.winner(), SpeciesIndex::One);
+    }
+
+    #[test]
+    fn probabilities_are_monotone_in_the_gap() {
+        let model = LvModel::default();
+        let table = solve_absorption(&model, options(60));
+        let mut last = 0.0;
+        for a in 5..=15 {
+            let p = table.probability(a, 5);
+            assert!(p >= last - 1e-9, "not monotone at a={a}");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn neutral_model_is_symmetric_between_species() {
+        // For a neutral model, relabelling the species swaps the tables:
+        // ρ_0(a, b) = ρ_1(b, a). At a tie both are equal (and below 1/2 by the
+        // simultaneous-extinction deficit under self-destructive competition).
+        let model = LvModel::default();
+        let zero = solve_absorption_for(&model, SpeciesIndex::Zero, options(60));
+        let one = solve_absorption_for(&model, SpeciesIndex::One, options(60));
+        for (a, b) in [(8u64, 8u64), (12, 6), (3, 20), (30, 30)] {
+            assert!(
+                (zero.probability(a, b) - one.probability(b, a)).abs() < 1e-6,
+                "asymmetry at ({a},{b})"
+            );
+        }
+        let tie = zero.probability(8, 8);
+        assert!(tie < 0.5 && tie > 0.4, "tie probability {tie}");
+        // The deficit is exactly the probability of simultaneous extinction.
+        let deficit = 1.0 - zero.probability(8, 8) - one.probability(8, 8);
+        assert!(deficit > 0.0 && deficit < 0.2, "deficit {deficit}");
+    }
+
+    #[test]
+    fn non_self_destructive_has_no_simultaneous_extinction() {
+        let model = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+        let (p0, p1) = win_probabilities(&model, 10, 10, options(60));
+        assert!((p0 + p1 - 1.0).abs() < 1e-6, "p0 + p1 = {}", p0 + p1);
+        assert!((p0 - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn theorem20_proportional_law_for_balanced_self_destructive() {
+        let model = LvModel::balanced_intra_inter(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        for (a, b) in [(3u64, 2u64), (10, 5), (15, 12), (20, 1)] {
+            let residual = proportional_law_residual(&model, a, b, options(80));
+            assert!(
+                residual.abs() < 5e-3,
+                "proportional-law residual at ({a},{b}) is {residual}"
+            );
+        }
+    }
+
+    #[test]
+    fn theorem23_proportional_law_for_balanced_non_self_destructive() {
+        let model =
+            LvModel::balanced_intra_inter(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+        let table = solve_absorption(&model, options(80));
+        for (a, b) in [(3u64, 2u64), (10, 5), (15, 12)] {
+            let expected = a as f64 / (a + b) as f64;
+            let actual = table.probability(a, b);
+            assert!(
+                (actual - expected).abs() < 5e-3,
+                "ρ({a},{b}) = {actual}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn unbalanced_models_violate_the_proportional_law() {
+        // Sanity check that the residual is a meaningful discriminator: with
+        // interspecific competition only, the majority does much better than
+        // proportionally.
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let residual = proportional_law_residual(&model, 10, 5, options(80));
+        assert!(residual > 0.05, "residual {residual} unexpectedly small");
+    }
+
+    #[test]
+    fn interspecific_competition_beats_proportional_law() {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let p = absorption_probability(&model, 30, 20);
+        assert!(p > 0.75, "ρ(30,20) = {p} not better than proportional 0.6");
+    }
+
+    #[test]
+    fn absorption_probability_is_majority_relative() {
+        let model = LvModel::default();
+        let p_forward = absorption_probability(&model, 12, 6);
+        let p_swapped = absorption_probability(&model, 6, 12);
+        // Neutral model: the majority's win probability is the same whichever
+        // species holds the majority.
+        assert!((p_forward - p_swapped).abs() < 1e-6);
+        assert!(p_forward > 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "state exceeds solver cap")]
+    fn out_of_range_lookup_panics() {
+        let model = LvModel::default();
+        let table = solve_absorption(&model, options(10));
+        let _ = table.probability(11, 0);
+    }
+}

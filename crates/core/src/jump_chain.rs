@@ -1,0 +1,269 @@
+use crate::config::LvConfiguration;
+use crate::events::LvEvent;
+use crate::model::LvModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The embedded discrete-time jump chain of a two-species Lotka–Volterra
+/// model, specialised for speed.
+///
+/// This simulator works directly on the `(x_0, x_1)` configuration and the
+/// eight reaction propensities of the model; it is the chain
+/// `S = (S_t)_{t ≥ 0}` the paper analyses, and it is statistically identical
+/// to running [`lv_crn::simulators::JumpChain`] on
+/// [`LvModel::to_reaction_network`] (the integration tests cross-check this).
+/// The Monte-Carlo experiment harness uses this type in its inner loop.
+///
+/// ```
+/// use lv_lotka::{CompetitionKind, LvJumpChain, LvModel};
+/// use rand::SeedableRng;
+///
+/// let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+/// let mut chain = LvJumpChain::new(model, (80, 20).into());
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// while !chain.state().is_consensus() {
+///     chain.step(&mut rng);
+/// }
+/// assert!(chain.state().is_consensus());
+/// ```
+#[derive(Clone, Serialize, Deserialize)]
+pub struct LvJumpChain {
+    model: LvModel,
+    state: LvConfiguration,
+    steps: u64,
+}
+
+impl fmt::Debug for LvJumpChain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LvJumpChain")
+            .field("model", &self.model)
+            .field("state", &self.state)
+            .field("steps", &self.steps)
+            .finish()
+    }
+}
+
+impl LvJumpChain {
+    /// Creates the chain in the given initial configuration.
+    pub fn new(model: LvModel, initial: LvConfiguration) -> Self {
+        LvJumpChain {
+            model,
+            state: initial,
+            steps: 0,
+        }
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &LvModel {
+        &self.model
+    }
+
+    /// The current configuration.
+    pub fn state(&self) -> LvConfiguration {
+        self.state
+    }
+
+    /// The number of steps (reactions) taken so far.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Whether the chain is absorbed: no reaction has positive propensity.
+    pub fn is_absorbed(&self) -> bool {
+        self.model.total_propensity(self.state) <= 0.0
+    }
+
+    /// Samples and applies one reaction. Returns the event, or `None` if the
+    /// chain is absorbed (the state is then left unchanged).
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<LvEvent> {
+        let propensities = self.model.propensities(self.state);
+        let total: f64 = propensities.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut chosen = None;
+        for (i, &p) in propensities.iter().enumerate() {
+            if p > 0.0 {
+                acc += p;
+                chosen = Some(i);
+                if target < acc {
+                    break;
+                }
+            }
+        }
+        let index = chosen?;
+        let event = LvModel::event_for_index(index);
+        self.state = event.apply(self.model.kind(), self.state);
+        self.steps += 1;
+        Some(event)
+    }
+
+    /// Samples one reaction **conditioned on** it belonging to the given set
+    /// of propensity indices (used by the pseudo-coupling, which needs to
+    /// sample within an event class). Returns `None` if no reaction in the set
+    /// has positive propensity.
+    pub(crate) fn step_within<R: Rng + ?Sized>(
+        &mut self,
+        indices: &[usize],
+        rng: &mut R,
+    ) -> Option<LvEvent> {
+        let propensities = self.model.propensities(self.state);
+        let total: f64 = indices.iter().map(|&i| propensities[i]).sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let target = rng.gen::<f64>() * total;
+        let mut acc = 0.0;
+        let mut chosen = None;
+        for &i in indices {
+            let p = propensities[i];
+            if p > 0.0 {
+                acc += p;
+                chosen = Some(i);
+                if target < acc {
+                    break;
+                }
+            }
+        }
+        let index = chosen?;
+        let event = LvModel::event_for_index(index);
+        self.state = event.apply(self.model.kind(), self.state);
+        self.steps += 1;
+        Some(event)
+    }
+
+    /// The per-reaction transition probabilities `P(x, ·)` from the current
+    /// state (all zeros when absorbed), in the order of
+    /// [`LvModel::propensities`].
+    pub fn transition_probabilities(&self) -> [f64; 8] {
+        let propensities = self.model.propensities(self.state);
+        let total: f64 = propensities.iter().sum();
+        if total <= 0.0 {
+            return [0.0; 8];
+        }
+        let mut out = [0.0; 8];
+        for (o, p) in out.iter_mut().zip(propensities.iter()) {
+            *o = p / total;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rates::{CompetitionKind, SpeciesIndex};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn step_counts_and_state_updates() {
+        let model = LvModel::default();
+        let mut chain = LvJumpChain::new(model, LvConfiguration::new(20, 10));
+        let mut r = rng(1);
+        let before = chain.state().total();
+        let event = chain.step(&mut r).unwrap();
+        assert_eq!(chain.steps(), 1);
+        let after = chain.state().total();
+        // Every event changes the total population by at most 2.
+        assert!(before.abs_diff(after) <= 2, "event {event}");
+    }
+
+    #[test]
+    fn absorbed_chain_does_not_move() {
+        let model = LvModel::default();
+        let mut chain = LvJumpChain::new(model, LvConfiguration::new(0, 0));
+        assert!(chain.is_absorbed());
+        assert!(chain.step(&mut rng(2)).is_none());
+        assert_eq!(chain.steps(), 0);
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_one() {
+        let model =
+            LvModel::with_intraspecific(CompetitionKind::NonSelfDestructive, 1.0, 2.0, 0.5, 0.25);
+        let chain = LvJumpChain::new(model, LvConfiguration::new(9, 6));
+        let probs = chain.transition_probabilities();
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        let absorbed = LvJumpChain::new(model, LvConfiguration::new(0, 0));
+        assert_eq!(absorbed.transition_probabilities(), [0.0; 8]);
+    }
+
+    #[test]
+    fn event_frequencies_match_propensities() {
+        // In state (a, b) with unit neutral rates the probability of a
+        // competition event is 2·(α/2)·ab/φ = ab/φ.
+        let model = LvModel::default();
+        let state = LvConfiguration::new(10, 10);
+        let phi = model.total_propensity(state);
+        let expected_competitive = 100.0 / phi;
+        let mut r = rng(3);
+        let trials = 50_000;
+        let mut competitive = 0u64;
+        for _ in 0..trials {
+            let mut chain = LvJumpChain::new(model, state);
+            if chain.step(&mut r).unwrap().is_competitive() {
+                competitive += 1;
+            }
+        }
+        let frac = competitive as f64 / trials as f64;
+        assert!(
+            (frac - expected_competitive).abs() < 0.01,
+            "competitive fraction {frac} expected {expected_competitive}"
+        );
+    }
+
+    #[test]
+    fn step_within_only_fires_selected_reactions() {
+        let model = LvModel::default();
+        let mut r = rng(4);
+        for _ in 0..200 {
+            let mut chain = LvJumpChain::new(model, LvConfiguration::new(15, 8));
+            // Only birth (index 0) and death (index 1) of species 0.
+            let event = chain.step_within(&[0, 1], &mut r).unwrap();
+            match event {
+                LvEvent::Birth(SpeciesIndex::Zero) | LvEvent::Death(SpeciesIndex::Zero) => {}
+                other => panic!("unexpected event {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn step_within_empty_class_returns_none() {
+        // No intraspecific competition in the default model, so that class is
+        // empty.
+        let model = LvModel::default();
+        let mut chain = LvJumpChain::new(model, LvConfiguration::new(15, 8));
+        assert!(chain.step_within(&[3, 7], &mut rng(5)).is_none());
+        assert_eq!(chain.steps(), 0);
+    }
+
+    #[test]
+    fn self_destructive_competition_preserves_gap() {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 5.0);
+        let mut chain = LvJumpChain::new(model, LvConfiguration::new(500, 480));
+        let mut r = rng(6);
+        for _ in 0..2_000 {
+            let before = chain.state().gap();
+            if let Some(event) = chain.step(&mut r) {
+                let after = chain.state().gap();
+                if event.is_competitive() {
+                    assert_eq!(before, after, "competition changed the gap");
+                } else {
+                    assert_eq!((before - after).abs(), 1);
+                }
+            }
+            if chain.state().is_consensus() {
+                break;
+            }
+        }
+    }
+}

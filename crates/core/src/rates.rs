@@ -1,0 +1,271 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which of the two species of the model is meant.
+///
+/// The paper indexes species by `i ∈ {0, 1}`; throughout this workspace
+/// species `Zero` is, by the paper's convention (Section 1.3), the *initial
+/// majority* species in majority-consensus runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpeciesIndex {
+    /// Species `X_0` (the initial majority in consensus runs).
+    Zero,
+    /// Species `X_1` (the initial minority in consensus runs).
+    One,
+}
+
+impl SpeciesIndex {
+    /// The other species.
+    pub fn other(self) -> SpeciesIndex {
+        match self {
+            SpeciesIndex::Zero => SpeciesIndex::One,
+            SpeciesIndex::One => SpeciesIndex::Zero,
+        }
+    }
+
+    /// The numeric index `0` or `1`.
+    pub fn index(self) -> usize {
+        match self {
+            SpeciesIndex::Zero => 0,
+            SpeciesIndex::One => 1,
+        }
+    }
+
+    /// Converts a numeric index into a species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 1`.
+    pub fn from_index(index: usize) -> SpeciesIndex {
+        match index {
+            0 => SpeciesIndex::Zero,
+            1 => SpeciesIndex::One,
+            _ => panic!("two-species model has species 0 and 1 only, got {index}"),
+        }
+    }
+}
+
+impl fmt::Display for SpeciesIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "X{}", self.index())
+    }
+}
+
+/// The two interference-competition mechanisms the paper compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompetitionKind {
+    /// Both participants of a competitive encounter die (Eq. 1): e.g. cells
+    /// releasing a bacteriocin via lysis.
+    SelfDestructive,
+    /// Only the victim dies (Eq. 2): e.g. cells secreting a bacteriocin or
+    /// puncturing membranes on contact.
+    NonSelfDestructive,
+}
+
+impl fmt::Display for CompetitionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompetitionKind::SelfDestructive => write!(f, "self-destructive"),
+            CompetitionKind::NonSelfDestructive => write!(f, "non-self-destructive"),
+        }
+    }
+}
+
+/// The rate parameters of a two-species Lotka–Volterra model (Section 1.3).
+///
+/// All rates are per the paper's reaction notation: `beta` and `delta` are the
+/// per-capita birth and death rates shared by both species, `alpha[i]` is the
+/// rate at which an individual of species `i` encounters and attacks an
+/// individual of species `1 − i`, and `gamma[i]` is the rate of intraspecific
+/// competition within species `i`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LvRates {
+    /// Per-capita birth rate `β ≥ 0`.
+    pub beta: f64,
+    /// Per-capita death rate `δ ≥ 0`.
+    pub delta: f64,
+    /// Interspecific competition rates `α_0, α_1 ≥ 0`.
+    pub alpha: [f64; 2],
+    /// Intraspecific competition rates `γ_0, γ_1 ≥ 0`.
+    pub gamma: [f64; 2],
+}
+
+impl LvRates {
+    /// Creates a *neutral* rate set (both species identical) with the given
+    /// interspecific rate split evenly (`α_0 = α_1 = alpha / 2`) and no
+    /// intraspecific competition.
+    ///
+    /// The paper writes `α = α_0 + α_1`; this constructor takes that total.
+    pub fn neutral(beta: f64, delta: f64, alpha_total: f64) -> Self {
+        LvRates {
+            beta,
+            delta,
+            alpha: [alpha_total / 2.0, alpha_total / 2.0],
+            gamma: [0.0, 0.0],
+        }
+    }
+
+    /// Adds equal intraspecific competition `γ_0 = γ_1 = gamma_total / 2` to a
+    /// rate set.
+    pub fn with_intraspecific(mut self, gamma_total: f64) -> Self {
+        self.gamma = [gamma_total / 2.0, gamma_total / 2.0];
+        self
+    }
+
+    /// The combined interspecific rate `α = α_0 + α_1`.
+    pub fn alpha_total(&self) -> f64 {
+        self.alpha[0] + self.alpha[1]
+    }
+
+    /// The combined intraspecific rate `γ = γ_0 + γ_1`.
+    pub fn gamma_total(&self) -> f64 {
+        self.gamma[0] + self.gamma[1]
+    }
+
+    /// The smaller of the two interspecific rates, `α_min`.
+    pub fn alpha_min(&self) -> f64 {
+        self.alpha[0].min(self.alpha[1])
+    }
+
+    /// The combined individual rate `ϑ = β + δ`.
+    pub fn theta(&self) -> f64 {
+        self.beta + self.delta
+    }
+
+    /// Whether both species have identical rate parameters (the paper's
+    /// *neutral* system).
+    pub fn is_neutral(&self) -> bool {
+        self.alpha[0] == self.alpha[1] && self.gamma[0] == self.gamma[1]
+    }
+
+    /// Whether the rates describe a system without intraspecific competition
+    /// (`γ = 0`), the regime of Sections 6 and 7.
+    pub fn has_no_intraspecific(&self) -> bool {
+        self.gamma[0] == 0.0 && self.gamma[1] == 0.0
+    }
+
+    /// Whether the rates describe a system without interspecific competition
+    /// (`α = 0`), the regime of Section 8.2.
+    pub fn has_no_interspecific(&self) -> bool {
+        self.alpha[0] == 0.0 && self.alpha[1] == 0.0
+    }
+
+    /// Checks that every rate is finite and non-negative.
+    pub fn is_valid(&self) -> bool {
+        let all = [
+            self.beta,
+            self.delta,
+            self.alpha[0],
+            self.alpha[1],
+            self.gamma[0],
+            self.gamma[1],
+        ];
+        all.iter().all(|r| r.is_finite() && *r >= 0.0)
+    }
+}
+
+impl Default for LvRates {
+    /// The unit-rate neutral system used throughout the paper's examples:
+    /// `β = δ = 1`, `α_0 = α_1 = 1/2` (so `α = 1`), `γ = 0`.
+    fn default() -> Self {
+        LvRates::neutral(1.0, 1.0, 1.0)
+    }
+}
+
+impl fmt::Display for LvRates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "β={} δ={} α=({}, {}) γ=({}, {})",
+            self.beta, self.delta, self.alpha[0], self.alpha[1], self.gamma[0], self.gamma[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn species_index_other_and_roundtrip() {
+        assert_eq!(SpeciesIndex::Zero.other(), SpeciesIndex::One);
+        assert_eq!(SpeciesIndex::One.other(), SpeciesIndex::Zero);
+        assert_eq!(SpeciesIndex::from_index(0), SpeciesIndex::Zero);
+        assert_eq!(SpeciesIndex::from_index(1), SpeciesIndex::One);
+        assert_eq!(SpeciesIndex::Zero.index(), 0);
+        assert_eq!(SpeciesIndex::One.to_string(), "X1");
+    }
+
+    #[test]
+    #[should_panic(expected = "species 0 and 1 only")]
+    fn species_index_rejects_out_of_range() {
+        let _ = SpeciesIndex::from_index(2);
+    }
+
+    #[test]
+    fn neutral_rates_split_alpha_evenly() {
+        let rates = LvRates::neutral(1.0, 2.0, 3.0);
+        assert_eq!(rates.alpha, [1.5, 1.5]);
+        assert_eq!(rates.alpha_total(), 3.0);
+        assert_eq!(rates.theta(), 3.0);
+        assert!(rates.is_neutral());
+        assert!(rates.has_no_intraspecific());
+        assert!(!rates.has_no_interspecific());
+        assert!(rates.is_valid());
+    }
+
+    #[test]
+    fn with_intraspecific_sets_gamma() {
+        let rates = LvRates::neutral(1.0, 1.0, 1.0).with_intraspecific(2.0);
+        assert_eq!(rates.gamma, [1.0, 1.0]);
+        assert_eq!(rates.gamma_total(), 2.0);
+        assert!(!rates.has_no_intraspecific());
+    }
+
+    #[test]
+    fn alpha_min_picks_smaller_rate() {
+        let rates = LvRates {
+            beta: 1.0,
+            delta: 0.0,
+            alpha: [0.25, 0.75],
+            gamma: [0.0, 0.0],
+        };
+        assert_eq!(rates.alpha_min(), 0.25);
+        assert!(!rates.is_neutral());
+    }
+
+    #[test]
+    fn validity_rejects_negative_or_nan() {
+        let mut rates = LvRates::default();
+        assert!(rates.is_valid());
+        rates.beta = -1.0;
+        assert!(!rates.is_valid());
+        rates.beta = f64::NAN;
+        assert!(!rates.is_valid());
+    }
+
+    #[test]
+    fn default_is_unit_neutral_system() {
+        let rates = LvRates::default();
+        assert_eq!(rates.beta, 1.0);
+        assert_eq!(rates.delta, 1.0);
+        assert_eq!(rates.alpha_total(), 1.0);
+        assert_eq!(rates.gamma_total(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_rates() {
+        let text = LvRates::default().to_string();
+        for needle in ["β=1", "δ=1", "α=(0.5, 0.5)", "γ=(0, 0)"] {
+            assert!(text.contains(needle), "{text} lacks {needle}");
+        }
+        assert_eq!(
+            CompetitionKind::SelfDestructive.to_string(),
+            "self-destructive"
+        );
+        assert_eq!(
+            CompetitionKind::NonSelfDestructive.to_string(),
+            "non-self-destructive"
+        );
+    }
+}

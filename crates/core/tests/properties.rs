@@ -1,0 +1,115 @@
+//! Property-based tests for the Lotka–Volterra core.
+
+use lv_lotka::{
+    run_majority, CompetitionKind, LvConfiguration, LvJumpChain, LvModel, LvRates, SpeciesIndex,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn competition_kind() -> impl Strategy<Value = CompetitionKind> {
+    prop_oneof![
+        Just(CompetitionKind::SelfDestructive),
+        Just(CompetitionKind::NonSelfDestructive),
+    ]
+}
+
+fn rates() -> impl Strategy<Value = LvRates> {
+    (0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0).prop_map(
+        |(beta, delta, a0, a1, g0, g1)| LvRates {
+            beta,
+            delta,
+            alpha: [a0, a1],
+            gamma: [g0, g1],
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Transition probabilities of the jump chain always form a distribution
+    /// (or are all zero in absorbing states).
+    #[test]
+    fn transition_probabilities_normalise(kind in competition_kind(), r in rates(),
+                                          a in 0u64..200, b in 0u64..200) {
+        let model = LvModel::new(kind, r);
+        let chain = LvJumpChain::new(model, LvConfiguration::new(a, b));
+        let probs = chain.transition_probabilities();
+        let sum: f64 = probs.iter().sum();
+        prop_assert!(probs.iter().all(|&p| p >= 0.0));
+        prop_assert!((sum - 1.0).abs() < 1e-9 || sum == 0.0, "sum {}", sum);
+    }
+
+    /// Stepping the chain never produces more than +1 individual per species
+    /// per event and never lets a count underflow.
+    #[test]
+    fn steps_have_bounded_effect(kind in competition_kind(), r in rates(),
+                                 a in 0u64..100, b in 0u64..100, seed in 0u64..1_000) {
+        let model = LvModel::new(kind, r);
+        let mut chain = LvJumpChain::new(model, LvConfiguration::new(a, b));
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..30 {
+            let before = chain.state();
+            if chain.step(&mut rng).is_none() {
+                break;
+            }
+            let after = chain.state();
+            let d0 = after.count(SpeciesIndex::Zero) as i64 - before.count(SpeciesIndex::Zero) as i64;
+            let d1 = after.count(SpeciesIndex::One) as i64 - before.count(SpeciesIndex::One) as i64;
+            prop_assert!((-2..=1).contains(&d0), "d0 = {}", d0);
+            prop_assert!((-2..=1).contains(&d1), "d1 = {}", d1);
+        }
+    }
+
+    /// The telescoping identity F = ∆_0 − ∆_T holds on every completed run,
+    /// and the paper's success criterion (majority wins ⟺ F < ∆_0 given a
+    /// strict initial majority and extinction ending with a survivor) holds.
+    #[test]
+    fn noise_telescopes_and_predicts_the_winner(kind in competition_kind(),
+                                                b in 1u64..60, gap in 1u64..40,
+                                                seed in 0u64..10_000) {
+        let a = b + gap;
+        let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = run_majority(&model, a, b, &mut rng, 10_000_000);
+        prop_assert!(outcome.consensus_reached);
+        let (x, y) = outcome.final_state.counts();
+        let delta_final = x as i64 - y as i64;
+        prop_assert_eq!(outcome.noise.total(), gap as i64 - delta_final);
+        // The winner is the majority exactly when the final gap is positive.
+        prop_assert_eq!(outcome.majority_won(), delta_final > 0);
+        prop_assert_eq!(
+            outcome.events,
+            outcome.individual_events + outcome.competitive_events
+        );
+        prop_assert!(outcome.bad_noncompetitive_events <= outcome.individual_events);
+    }
+
+    /// Under self-destructive competition without intraspecific competition,
+    /// the competitive component of the noise is identically zero (Section 6).
+    #[test]
+    fn self_destructive_noise_is_purely_individual(b in 1u64..60, gap in 0u64..40,
+                                                   seed in 0u64..10_000) {
+        let a = b + gap;
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let outcome = run_majority(&model, a, b, &mut rng, 10_000_000);
+        prop_assert!(outcome.consensus_reached);
+        prop_assert_eq!(outcome.noise.competitive, 0);
+    }
+
+    /// The reaction network built from a model always has the same total
+    /// propensity as the model's own table, for random states.
+    #[test]
+    fn network_and_model_propensities_agree(kind in competition_kind(),
+                                            beta in 0.1f64..3.0, delta in 0.0f64..3.0,
+                                            alpha in 0.1f64..3.0, gamma in 0.0f64..3.0,
+                                            a in 0u64..100, b in 0u64..100) {
+        let model = LvModel::with_intraspecific(kind, beta, delta, alpha, gamma);
+        let net = model.to_reaction_network().unwrap();
+        let direct = model.total_propensity(LvConfiguration::new(a, b));
+        let generic = lv_crn::total_propensity(&net, &lv_crn::State::from(vec![a, b]));
+        prop_assert!((direct - generic).abs() <= 1e-9 * direct.max(1.0));
+    }
+}

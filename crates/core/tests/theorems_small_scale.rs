@@ -1,0 +1,205 @@
+//! Small-scale empirical checks of the paper's theorems, exercising the full
+//! public API of `lv-lotka`. The large-scale versions of these experiments
+//! live in the `lv-sim` experiment suite and the benchmark harness.
+
+use lv_lotka::exact::absorption_probability;
+use lv_lotka::{run_majority, CompetitionKind, LvModel, SpeciesIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+fn monte_carlo_rho(model: &LvModel, a: u64, b: u64, trials: u64, seed: u64) -> f64 {
+    let mut wins = 0u64;
+    for t in 0..trials {
+        let outcome = run_majority(model, a, b, &mut rng(seed * 1_000_003 + t), 10_000_000);
+        assert!(outcome.consensus_reached, "budget too small");
+        if outcome.majority_won() {
+            wins += 1;
+        }
+    }
+    wins as f64 / trials as f64
+}
+
+/// Monte-Carlo estimate of `P(majority wins) + ½·P(both species extinct)`,
+/// the optional-stopping form of the proportional law (see `lv_lotka::exact`).
+fn monte_carlo_proportional_score(model: &LvModel, a: u64, b: u64, trials: u64, seed: u64) -> f64 {
+    let mut score = 0.0;
+    for t in 0..trials {
+        let outcome = run_majority(model, a, b, &mut rng(seed * 1_000_003 + t), 10_000_000);
+        assert!(outcome.consensus_reached, "budget too small");
+        if outcome.majority_won() {
+            score += 1.0;
+        } else if outcome.winner.is_none() {
+            score += 0.5;
+        }
+    }
+    score / trials as f64
+}
+
+#[test]
+fn theorem20_balanced_self_destructive_rho_is_proportional() {
+    // α = γ (Theorem 20): P(majority wins) + ½·P(both extinct) = a/(a+b),
+    // checked by Monte-Carlo.
+    let model = LvModel::balanced_intra_inter(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    for (a, b) in [(30u64, 20u64), (45, 5)] {
+        let expected = a as f64 / (a + b) as f64;
+        let measured = monte_carlo_proportional_score(&model, a, b, 1_500, a);
+        assert!(
+            (measured - expected).abs() < 0.04,
+            "score({a},{b}) measured {measured}, expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn theorem23_balanced_non_self_destructive_rho_is_proportional() {
+    // γ = 2α under non-self-destructive competition ⇒ ρ = a/(a+b), and there
+    // is no simultaneous extinction, so the plain win probability matches.
+    let model = LvModel::balanced_intra_inter(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+    let (a, b) = (30u64, 20u64);
+    let expected = a as f64 / (a + b) as f64;
+    let measured = monte_carlo_rho(&model, a, b, 1_500, 7);
+    assert!(
+        (measured - expected).abs() < 0.04,
+        "measured {measured}, expected {expected}"
+    );
+}
+
+#[test]
+fn no_competition_rho_is_proportional() {
+    // Table 1 row 5 (Andaur et al.): two independent populations, ρ = a/(a+b).
+    let model = LvModel::no_competition(1.0, 1.0);
+    let (a, b) = (24u64, 12u64);
+    let expected = a as f64 / (a + b) as f64;
+    let measured = monte_carlo_rho(&model, a, b, 1_500, 11);
+    assert!(
+        (measured - expected).abs() < 0.04,
+        "measured {measured}, expected {expected}"
+    );
+}
+
+#[test]
+fn interspecific_competition_amplifies_small_gaps() {
+    // The headline qualitative claim: with pure interspecific competition a
+    // small relative gap already gives a large majority probability, far above
+    // the proportional law.
+    let sd = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let (a, b) = (60u64, 40u64);
+    let proportional = a as f64 / (a + b) as f64;
+    let measured = monte_carlo_rho(&sd, a, b, 800, 13);
+    assert!(
+        measured > proportional + 0.15,
+        "measured {measured} not clearly above proportional {proportional}"
+    );
+}
+
+#[test]
+fn self_destructive_beats_non_self_destructive_at_equal_small_gap() {
+    // The exponential separation (Sections 6 vs 7) at small scale: with a
+    // small absolute gap on a moderately large population, self-destructive
+    // competition reaches majority consensus more reliably than
+    // non-self-destructive competition.
+    let n = 600u64;
+    let gap = 30u64;
+    let (a, b) = ((n + gap) / 2, (n - gap) / 2);
+    let sd = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let nsd = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+    let p_sd = monte_carlo_rho(&sd, a, b, 600, 17);
+    let p_nsd = monte_carlo_rho(&nsd, a, b, 600, 19);
+    assert!(
+        p_sd > p_nsd + 0.05,
+        "self-destructive {p_sd} not clearly better than non-self-destructive {p_nsd}"
+    );
+}
+
+#[test]
+fn theorem25_intraspecific_only_fails_with_constant_probability() {
+    // Section 8.2: with only intraspecific competition, even a maximal gap
+    // leaves a constant failure probability.
+    let model = LvModel::intraspecific_only(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let (a, b) = (49u64, 1u64);
+    let measured = monte_carlo_rho(&model, a, b, 1_000, 23);
+    assert!(
+        measured < 0.995,
+        "intraspecific-only system reached majority consensus too reliably: {measured}"
+    );
+    // And the failure probability does not vanish when the gap is smaller.
+    let measured_small_gap = monte_carlo_rho(&model, 30, 20, 1_000, 29);
+    assert!(measured_small_gap < 0.95);
+}
+
+#[test]
+fn exact_solver_agrees_with_monte_carlo() {
+    let model = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+    let (a, b) = (18u64, 12u64);
+    let exact = absorption_probability(&model, a, b);
+    let measured = monte_carlo_rho(&model, a, b, 2_000, 31);
+    assert!(
+        (exact - measured).abs() < 0.03,
+        "exact {exact} vs Monte-Carlo {measured}"
+    );
+}
+
+#[test]
+fn consensus_time_is_linear_in_population_size() {
+    // Theorem 13(a): E[T(S)] = O(n) for γ = 0. Compare the mean consensus
+    // time at two population sizes an order of magnitude apart.
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let mean_events = |n: u64, seed: u64| -> f64 {
+        let trials = 150;
+        (0..trials)
+            .map(|t| {
+                run_majority(&model, n * 55 / 100, n * 45 / 100, &mut rng(seed + t), 100_000_000)
+                    .events as f64
+            })
+            .sum::<f64>()
+            / trials as f64
+    };
+    let small = mean_events(200, 41);
+    let large = mean_events(2_000, 43);
+    let growth = large / small;
+    assert!(
+        growth < 20.0,
+        "consensus time grew superlinearly: {small} -> {large}"
+    );
+    assert!(growth > 2.0, "consensus time did not grow with n");
+}
+
+#[test]
+fn bad_events_stay_polylogarithmic() {
+    // Theorem 13(b): J(S) = O(log n) in expectation. At n = 2000 the mean
+    // number of bad non-competitive events should be a small number, far below
+    // √n.
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let trials = 150u64;
+    let mean_bad: f64 = (0..trials)
+        .map(|t| {
+            run_majority(&model, 1_100, 900, &mut rng(53 + t), 100_000_000)
+                .bad_noncompetitive_events as f64
+        })
+        .sum::<f64>()
+        / trials as f64;
+    assert!(
+        mean_bad < (2_000f64).sqrt(),
+        "mean bad events {mean_bad} not small"
+    );
+    assert!(mean_bad > 0.0);
+}
+
+#[test]
+fn winner_is_initial_majority_for_overwhelming_gaps() {
+    for kind in [
+        CompetitionKind::SelfDestructive,
+        CompetitionKind::NonSelfDestructive,
+    ] {
+        let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+        for seed in 0..20 {
+            let outcome = run_majority(&model, 500, 5, &mut rng(1_000 + seed), 10_000_000);
+            assert!(outcome.consensus_reached);
+            assert_eq!(outcome.winner, Some(SpeciesIndex::Zero), "{kind:?}");
+        }
+    }
+}

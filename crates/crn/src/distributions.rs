@@ -1,0 +1,207 @@
+//! Small sampling utilities used by the stochastic simulators.
+//!
+//! The workspace deliberately restricts third-party dependencies to a small
+//! offline set; `rand_distr` is not among them, so the few distributions the
+//! simulators need (exponential waiting times for Gillespie-style methods,
+//! Poisson event counts for tau-leaping) are implemented here with standard
+//! textbook algorithms.
+
+use rand::Rng;
+
+/// Samples an exponential random variable with the given rate via inverse
+/// transform sampling.
+///
+/// Returns `f64::INFINITY` when `rate <= 0`, mirroring the convention that a
+/// reaction with zero propensity never fires.
+///
+/// # Panics
+///
+/// Panics if `rate` is NaN.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = lv_crn::distributions::sample_exponential(&mut rng, 2.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(!rate.is_nan(), "exponential rate must not be NaN");
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    // u ∈ (0, 1]: avoid ln(0).
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Samples a Poisson random variable with the given mean.
+///
+/// Uses Knuth's product-of-uniforms method for small means and a
+/// normal approximation (rounded, clamped at zero) for large means, which is
+/// accurate to within the tau-leaping error budget for `mean > 64`.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or NaN.
+pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "Poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean <= 64.0 {
+        // Knuth: multiply uniforms until the product drops below e^{-mean}.
+        let threshold = (-mean).exp();
+        let mut count = 0u64;
+        let mut product = 1.0;
+        loop {
+            product *= rng.gen::<f64>();
+            if product <= threshold {
+                return count;
+            }
+            count += 1;
+        }
+    } else {
+        // Normal approximation with continuity correction.
+        let z = sample_standard_normal(rng);
+        let value = mean + mean.sqrt() * z + 0.5;
+        if value <= 0.0 {
+            0
+        } else {
+            value.floor() as u64
+        }
+    }
+}
+
+/// Samples a standard normal random variable using the Box–Muller transform.
+pub fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Samples an index proportionally to the given non-negative weights.
+///
+/// Returns `None` if all weights are zero (or the slice is empty).
+pub fn sample_weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> Option<usize> {
+    let total: f64 = weights.iter().filter(|w| **w > 0.0).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let target = rng.gen::<f64>() * total;
+    let mut acc = 0.0;
+    let mut last_positive = None;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            acc += w;
+            last_positive = Some(i);
+            if target < acc {
+                return Some(i);
+            }
+        }
+    }
+    last_positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_is_inverse_rate() {
+        let mut r = rng(11);
+        let rate = 4.0;
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        assert!(
+            (mean - 1.0 / rate).abs() < 0.01,
+            "empirical mean {mean} far from {}",
+            1.0 / rate
+        );
+    }
+
+    #[test]
+    fn exponential_zero_rate_is_infinite() {
+        let mut r = rng(1);
+        assert!(sample_exponential(&mut r, 0.0).is_infinite());
+        assert!(sample_exponential(&mut r, -1.0).is_infinite());
+    }
+
+    #[test]
+    fn exponential_samples_are_non_negative() {
+        let mut r = rng(2);
+        for _ in 0..1000 {
+            assert!(sample_exponential(&mut r, 0.5) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn poisson_small_mean_matches_moments() {
+        let mut r = rng(3);
+        let mean = 3.5;
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, mean)).collect();
+        let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&x| (x as f64 - m).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((m - mean).abs() < 0.1, "mean {m}");
+        assert!((var - mean).abs() < 0.25, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approximation() {
+        let mut r = rng(4);
+        let mean = 400.0;
+        let n = 5_000;
+        let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, mean)).collect();
+        let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        assert!((m - mean).abs() < 3.0, "mean {m}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng(5);
+        assert_eq!(sample_poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng(6);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_standard_normal(&mut r)).collect();
+        let m: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - m).powi(2)).sum::<f64>() / n as f64;
+        assert!(m.abs() < 0.02, "mean {m}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng(7);
+        let weights = [1.0, 0.0, 3.0];
+        let n = 40_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sample_weighted_index(&mut r, &weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let frac0 = counts[0] as f64 / n as f64;
+        assert!((frac0 - 0.25).abs() < 0.02, "fraction {frac0}");
+    }
+
+    #[test]
+    fn weighted_index_none_for_zero_weights() {
+        let mut r = rng(8);
+        assert_eq!(sample_weighted_index(&mut r, &[0.0, 0.0]), None);
+        assert_eq!(sample_weighted_index(&mut r, &[]), None);
+    }
+}

@@ -1,0 +1,135 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or simulating a reaction network.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CrnError {
+    /// A reaction refers to a species id that is not part of the network.
+    UnknownSpecies {
+        /// The offending species index.
+        species: usize,
+        /// Number of species in the network.
+        species_count: usize,
+    },
+    /// A reaction has a negative or non-finite rate constant.
+    InvalidRate {
+        /// The offending rate.
+        rate: f64,
+    },
+    /// A reaction has no reactants and no products.
+    EmptyReaction,
+    /// The network has no reactions.
+    NoReactions,
+    /// The network has no species.
+    NoSpecies,
+    /// The initial state has the wrong number of species counts.
+    StateDimensionMismatch {
+        /// Number of counts provided.
+        provided: usize,
+        /// Number of species expected.
+        expected: usize,
+    },
+    /// A reaction could not be applied because a reactant count would go negative.
+    InsufficientReactants {
+        /// The reaction that failed to apply.
+        reaction: usize,
+        /// The species with too few individuals.
+        species: usize,
+    },
+    /// A numeric parameter was outside its domain (e.g. negative tau).
+    InvalidParameter {
+        /// Human-readable description of the violated constraint.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CrnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrnError::UnknownSpecies {
+                species,
+                species_count,
+            } => write!(
+                f,
+                "reaction refers to species {species} but the network has only {species_count} species"
+            ),
+            CrnError::InvalidRate { rate } => {
+                write!(f, "reaction rate {rate} is not a finite non-negative number")
+            }
+            CrnError::EmptyReaction => write!(f, "reaction has neither reactants nor products"),
+            CrnError::NoReactions => write!(f, "network has no reactions"),
+            CrnError::NoSpecies => write!(f, "network has no species"),
+            CrnError::StateDimensionMismatch { provided, expected } => write!(
+                f,
+                "state has {provided} species counts but the network has {expected} species"
+            ),
+            CrnError::InsufficientReactants { reaction, species } => write!(
+                f,
+                "cannot apply reaction {reaction}: species {species} has too few individuals"
+            ),
+            CrnError::InvalidParameter { what } => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl Error for CrnError {}
+
+/// Result alias for CRN operations.
+pub type Result<T> = std::result::Result<T, CrnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CrnError, &str)> = vec![
+            (
+                CrnError::UnknownSpecies {
+                    species: 3,
+                    species_count: 2,
+                },
+                "species 3",
+            ),
+            (CrnError::InvalidRate { rate: -1.0 }, "-1"),
+            (CrnError::EmptyReaction, "neither"),
+            (CrnError::NoReactions, "no reactions"),
+            (CrnError::NoSpecies, "no species"),
+            (
+                CrnError::StateDimensionMismatch {
+                    provided: 1,
+                    expected: 2,
+                },
+                "1 species counts",
+            ),
+            (
+                CrnError::InsufficientReactants {
+                    reaction: 0,
+                    species: 1,
+                },
+                "too few individuals",
+            ),
+            (
+                CrnError::InvalidParameter { what: "tau must be positive" },
+                "tau must be positive",
+            ),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "message {msg:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error>() {}
+        assert_error::<CrnError>();
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CrnError>();
+    }
+}

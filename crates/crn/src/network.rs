@@ -1,0 +1,322 @@
+use crate::error::{CrnError, Result};
+use crate::reaction::{Reaction, ReactionId};
+use crate::species::{Species, SpeciesId};
+use crate::state::State;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A chemical reaction network under construction: a set of named species and
+/// a list of mass-action reactions over them.
+///
+/// Networks are built incrementally and then checked with
+/// [`ReactionNetwork::validate`], which returns a [`ValidatedNetwork`] — the
+/// type accepted by all simulators. This two-step construction keeps the
+/// builder flexible while guaranteeing that simulators never observe a
+/// malformed network.
+///
+/// ```
+/// use lv_crn::{ReactionNetwork, Reaction};
+/// let mut net = ReactionNetwork::new();
+/// let a = net.add_species("A");
+/// net.add_reaction(Reaction::new(2.0).reactant(a, 1).product(a, 2));
+/// let net = net.validate()?;
+/// assert_eq!(net.species_count(), 1);
+/// assert_eq!(net.reaction_count(), 1);
+/// # Ok::<(), lv_crn::CrnError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ReactionNetwork {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+}
+
+impl ReactionNetwork {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        ReactionNetwork::default()
+    }
+
+    /// Adds a species with the given name and returns its id.
+    pub fn add_species(&mut self, name: impl Into<String>) -> SpeciesId {
+        let id = SpeciesId::new(self.species.len());
+        self.species.push(Species::new(id, name));
+        id
+    }
+
+    /// Adds a reaction and returns its id.
+    pub fn add_reaction(&mut self, reaction: Reaction) -> ReactionId {
+        let id = ReactionId::new(self.reactions.len());
+        self.reactions.push(reaction);
+        id
+    }
+
+    /// The species added so far.
+    pub fn species(&self) -> &[Species] {
+        &self.species
+    }
+
+    /// The reactions added so far.
+    pub fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+
+    /// Number of species.
+    pub fn species_count(&self) -> usize {
+        self.species.len()
+    }
+
+    /// Number of reactions.
+    pub fn reaction_count(&self) -> usize {
+        self.reactions.len()
+    }
+
+    /// Checks the network for well-formedness and freezes it.
+    ///
+    /// # Errors
+    ///
+    /// * [`CrnError::NoSpecies`] / [`CrnError::NoReactions`] if either list is
+    ///   empty.
+    /// * [`CrnError::UnknownSpecies`] if a reaction refers to a species id not
+    ///   added to this network.
+    /// * [`CrnError::InvalidRate`] if a rate constant is negative, NaN or
+    ///   infinite.
+    /// * [`CrnError::EmptyReaction`] if a reaction has no reactants and no
+    ///   products.
+    pub fn validate(self) -> Result<ValidatedNetwork> {
+        if self.species.is_empty() {
+            return Err(CrnError::NoSpecies);
+        }
+        if self.reactions.is_empty() {
+            return Err(CrnError::NoReactions);
+        }
+        for reaction in &self.reactions {
+            if !reaction.rate().is_finite() || reaction.rate() < 0.0 {
+                return Err(CrnError::InvalidRate {
+                    rate: reaction.rate(),
+                });
+            }
+            if reaction.is_empty() {
+                return Err(CrnError::EmptyReaction);
+            }
+            if let Some(max) = reaction.max_species_index() {
+                if max >= self.species.len() {
+                    return Err(CrnError::UnknownSpecies {
+                        species: max,
+                        species_count: self.species.len(),
+                    });
+                }
+            }
+        }
+        Ok(ValidatedNetwork { inner: self })
+    }
+}
+
+impl fmt::Display for ReactionNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "reaction network with {} species, {} reactions",
+            self.species.len(),
+            self.reactions.len()
+        )?;
+        for r in &self.reactions {
+            writeln!(f, "  {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A reaction network that has passed validation and can be simulated.
+///
+/// Obtained from [`ReactionNetwork::validate`]. All simulators borrow a
+/// `ValidatedNetwork`, so a single network can drive many concurrent
+/// simulations (it is `Send + Sync`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidatedNetwork {
+    inner: ReactionNetwork,
+}
+
+impl ValidatedNetwork {
+    /// The species of the network.
+    pub fn species(&self) -> &[Species] {
+        self.inner.species()
+    }
+
+    /// The reactions of the network.
+    pub fn reactions(&self) -> &[Reaction] {
+        self.inner.reactions()
+    }
+
+    /// A reaction by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id does not belong to this network.
+    pub fn reaction(&self, id: ReactionId) -> &Reaction {
+        &self.inner.reactions[id.index()]
+    }
+
+    /// Number of species.
+    pub fn species_count(&self) -> usize {
+        self.inner.species_count()
+    }
+
+    /// Number of reactions.
+    pub fn reaction_count(&self) -> usize {
+        self.inner.reaction_count()
+    }
+
+    /// Checks that a state has the right dimension for this network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::StateDimensionMismatch`] when it does not.
+    pub fn check_state(&self, state: &State) -> Result<()> {
+        if state.species_count() != self.species_count() {
+            return Err(CrnError::StateDimensionMismatch {
+                provided: state.species_count(),
+                expected: self.species_count(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Looks up a species id by name.
+    pub fn species_by_name(&self, name: &str) -> Option<SpeciesId> {
+        self.inner
+            .species
+            .iter()
+            .find(|s| s.name() == name)
+            .map(|s| s.id())
+    }
+
+    /// Gives back the underlying builder, e.g. to add further reactions.
+    pub fn into_inner(self) -> ReactionNetwork {
+        self.inner
+    }
+}
+
+impl AsRef<ReactionNetwork> for ValidatedNetwork {
+    fn as_ref(&self) -> &ReactionNetwork {
+        &self.inner
+    }
+}
+
+impl fmt::Display for ValidatedNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn birth_death_network() -> ReactionNetwork {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 2));
+        net.add_reaction(Reaction::new(0.5).reactant(a, 1));
+        net
+    }
+
+    #[test]
+    fn add_species_assigns_sequential_ids() {
+        let mut net = ReactionNetwork::new();
+        assert_eq!(net.add_species("A").index(), 0);
+        assert_eq!(net.add_species("B").index(), 1);
+        assert_eq!(net.species_count(), 2);
+        assert_eq!(net.species()[1].name(), "B");
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_network() {
+        let net = birth_death_network().validate().unwrap();
+        assert_eq!(net.species_count(), 1);
+        assert_eq!(net.reaction_count(), 2);
+        assert_eq!(net.species_by_name("A"), Some(SpeciesId::new(0)));
+        assert_eq!(net.species_by_name("missing"), None);
+    }
+
+    #[test]
+    fn validate_rejects_empty_species() {
+        let mut net = ReactionNetwork::new();
+        net.add_reaction(Reaction::new(1.0).reactant(SpeciesId::new(0), 1));
+        assert_eq!(net.validate().unwrap_err(), CrnError::NoSpecies);
+    }
+
+    #[test]
+    fn validate_rejects_empty_reactions() {
+        let mut net = ReactionNetwork::new();
+        net.add_species("A");
+        assert_eq!(net.validate().unwrap_err(), CrnError::NoReactions);
+    }
+
+    #[test]
+    fn validate_rejects_unknown_species() {
+        let mut net = ReactionNetwork::new();
+        net.add_species("A");
+        net.add_reaction(Reaction::new(1.0).reactant(SpeciesId::new(5), 1));
+        assert!(matches!(
+            net.validate().unwrap_err(),
+            CrnError::UnknownSpecies { species: 5, species_count: 1 }
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_bad_rates() {
+        for rate in [-1.0, f64::NAN, f64::INFINITY] {
+            let mut net = ReactionNetwork::new();
+            let a = net.add_species("A");
+            net.add_reaction(Reaction::new(rate).reactant(a, 1));
+            assert!(matches!(
+                net.validate().unwrap_err(),
+                CrnError::InvalidRate { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn validate_rejects_empty_reaction() {
+        let mut net = ReactionNetwork::new();
+        net.add_species("A");
+        net.add_reaction(Reaction::new(1.0));
+        assert_eq!(net.validate().unwrap_err(), CrnError::EmptyReaction);
+    }
+
+    #[test]
+    fn check_state_dimension() {
+        let net = birth_death_network().validate().unwrap();
+        assert!(net.check_state(&State::from(vec![5])).is_ok());
+        assert!(matches!(
+            net.check_state(&State::from(vec![5, 5])).unwrap_err(),
+            CrnError::StateDimensionMismatch {
+                provided: 2,
+                expected: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn display_lists_reactions() {
+        let net = birth_death_network();
+        let text = net.to_string();
+        assert!(text.contains("1 species"));
+        assert!(text.contains("2 reactions"));
+        assert!(text.contains("-->"));
+    }
+
+    #[test]
+    fn validated_network_roundtrips_to_builder() {
+        let net = birth_death_network().validate().unwrap();
+        let rebuilt = net.clone().into_inner();
+        assert_eq!(rebuilt.reaction_count(), 2);
+        assert_eq!(net.as_ref().reaction_count(), 2);
+    }
+
+    #[test]
+    fn validated_network_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ValidatedNetwork>();
+    }
+}

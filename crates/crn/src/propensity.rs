@@ -1,0 +1,260 @@
+use crate::network::ValidatedNetwork;
+use crate::reaction::Reaction;
+use crate::state::State;
+
+/// Mass-action propensity of a single reaction in a given state.
+///
+/// For a reaction with rate constant `k` and reactant multiset
+/// `{A: m_A, B: m_B, …}` the propensity is
+///
+/// ```text
+/// k · Π_species  C(x_s, m_s) · m_s!   =   k · Π_species  x_s · (x_s − 1) ⋯ (x_s − m_s + 1) / m_s!
+/// ```
+///
+/// i.e. the rate constant times the number of distinct reactant combinations.
+/// For the paper's reactions this reduces to exactly the propensities of
+/// Section 1.3:
+///
+/// * individual birth/death `Xi → …` with rate `β`/`δ`: propensity `β·x_i`,
+///   `δ·x_i`;
+/// * interspecific competition `Xi + X_{1−i} → …` with rate `α_i`: propensity
+///   `α_i·x_0·x_1` (distinct species, plain product);
+/// * intraspecific competition `Xi + Xi → …` with rate `γ_i`: propensity
+///   `γ_i·x_i·(x_i−1)/2`.
+///
+/// ```
+/// use lv_crn::{propensity, Reaction, SpeciesId, State};
+/// let x0 = SpeciesId::new(0);
+/// let x1 = SpeciesId::new(1);
+/// let state = State::from(vec![10, 4]);
+/// let inter = Reaction::new(0.5).reactant(x0, 1).reactant(x1, 1);
+/// assert_eq!(propensity(&inter, &state), 0.5 * 10.0 * 4.0);
+/// let intra = Reaction::new(2.0).reactant(x0, 2);
+/// assert_eq!(propensity(&intra, &state), 2.0 * 10.0 * 9.0 / 2.0);
+/// ```
+pub fn propensity(reaction: &Reaction, state: &State) -> f64 {
+    let mut combos = 1.0;
+    for s in reaction.reactants() {
+        let available = state.count(s.species);
+        let m = u64::from(s.count);
+        if available < m {
+            return 0.0;
+        }
+        // falling factorial / m!
+        let mut numer = 1.0;
+        for j in 0..m {
+            numer *= (available - j) as f64;
+        }
+        combos *= numer / factorial(m);
+    }
+    reaction.rate() * combos
+}
+
+/// Total propensity `φ(x) = Σ_R φ_R(x)` of a network in a state.
+///
+/// This is the exponential rate at which the continuous-time process leaves
+/// the configuration `x`.
+pub fn total_propensity(network: &ValidatedNetwork, state: &State) -> f64 {
+    network
+        .reactions()
+        .iter()
+        .map(|r| propensity(r, state))
+        .sum()
+}
+
+fn factorial(m: u64) -> f64 {
+    (1..=m).map(|v| v as f64).product()
+}
+
+/// A reusable buffer of per-reaction propensities.
+///
+/// Simulators recompute every propensity at each step (states are tiny in this
+/// workspace — two to four species — so incremental updates are not worth the
+/// complexity), but they reuse this buffer to avoid per-step allocation.
+#[derive(Debug, Clone, Default)]
+pub struct PropensityCache {
+    values: Vec<f64>,
+    total: f64,
+}
+
+impl PropensityCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        PropensityCache::default()
+    }
+
+    /// Recomputes all propensities for the network in the given state and
+    /// returns the total propensity.
+    pub fn refresh(&mut self, network: &ValidatedNetwork, state: &State) -> f64 {
+        self.values.clear();
+        self.values
+            .extend(network.reactions().iter().map(|r| propensity(r, state)));
+        self.total = self.values.iter().sum();
+        self.total
+    }
+
+    /// Propensities of each reaction, in network order, as of the last
+    /// [`refresh`](PropensityCache::refresh).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Total propensity as of the last [`refresh`](PropensityCache::refresh).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Selects the reaction index such that the cumulative propensity first
+    /// exceeds `target ∈ [0, total)`. Returns `None` if all propensities are
+    /// zero.
+    pub fn select(&self, target: f64) -> Option<usize> {
+        if self.total <= 0.0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        let mut last_positive = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v > 0.0 {
+                acc += v;
+                last_positive = Some(i);
+                if target < acc {
+                    return Some(i);
+                }
+            }
+        }
+        // Floating-point slack: fall back to the last reaction with positive
+        // propensity.
+        last_positive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ReactionNetwork;
+    use crate::species::SpeciesId;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::new(i)
+    }
+
+    fn lv_self_destructive() -> ValidatedNetwork {
+        let mut net = ReactionNetwork::new();
+        let x0 = net.add_species("X0");
+        let x1 = net.add_species("X1");
+        for (a, b) in [(x0, x1), (x1, x0)] {
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 2)); // birth
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1)); // death
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1).reactant(b, 1)); // interspecific
+            net.add_reaction(Reaction::new(1.0).reactant(a, 2)); // intraspecific
+        }
+        net.validate().unwrap()
+    }
+
+    #[test]
+    fn unimolecular_propensity_is_linear() {
+        let birth = Reaction::new(2.5).reactant(s(0), 1).product(s(0), 2);
+        let state = State::from(vec![12]);
+        assert!((propensity(&birth, &state) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimolecular_distinct_species_propensity_is_product() {
+        let comp = Reaction::new(0.25).reactant(s(0), 1).reactant(s(1), 1);
+        let state = State::from(vec![8, 5]);
+        assert!((propensity(&comp, &state) - 0.25 * 40.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bimolecular_same_species_uses_pairs() {
+        let intra = Reaction::new(3.0).reactant(s(0), 2);
+        let state = State::from(vec![7]);
+        assert!((propensity(&intra, &state) - 3.0 * 7.0 * 6.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propensity_zero_when_insufficient_reactants() {
+        let intra = Reaction::new(3.0).reactant(s(0), 2);
+        assert_eq!(propensity(&intra, &State::from(vec![1])), 0.0);
+        let comp = Reaction::new(1.0).reactant(s(0), 1).reactant(s(1), 1);
+        assert_eq!(propensity(&comp, &State::from(vec![4, 0])), 0.0);
+    }
+
+    #[test]
+    fn trimolecular_propensity_matches_falling_factorial() {
+        // 3A -> ... with rate k has propensity k * a(a-1)(a-2)/6.
+        let tri = Reaction::new(1.0).reactant(s(0), 3);
+        let state = State::from(vec![6]);
+        assert!((propensity(&tri, &state) - 6.0 * 5.0 * 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn total_propensity_matches_paper_formula() {
+        // φ(x0, x1) = Σ_i (α_i x0 x1 + β x_i + δ x_i + γ_i x_i (x_i−1)/2)
+        // with all rates 1 here.
+        let net = lv_self_destructive();
+        let (a, b) = (10u64, 4u64);
+        let state = State::from(vec![a, b]);
+        let expected = 2.0 * (a * b) as f64
+            + 2.0 * (a + b) as f64
+            + (a * (a - 1) / 2 + b * (b - 1) / 2) as f64;
+        assert!((total_propensity(&net, &state) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_propensity_zero_in_empty_state() {
+        let net = lv_self_destructive();
+        assert_eq!(total_propensity(&net, &State::from(vec![0, 0])), 0.0);
+    }
+
+    #[test]
+    fn cache_refresh_and_select() {
+        let net = lv_self_destructive();
+        let state = State::from(vec![3, 2]);
+        let mut cache = PropensityCache::new();
+        let total = cache.refresh(&net, &state);
+        assert!((total - total_propensity(&net, &state)).abs() < 1e-12);
+        assert_eq!(cache.values().len(), net.reaction_count());
+
+        // Selecting with target 0 returns the first reaction with positive
+        // propensity.
+        let first = cache.select(0.0).unwrap();
+        assert!(cache.values()[first] > 0.0);
+
+        // Selecting just below the total returns some positive-propensity
+        // reaction.
+        let last = cache.select(total - 1e-9).unwrap();
+        assert!(cache.values()[last] > 0.0);
+    }
+
+    #[test]
+    fn cache_select_none_when_total_zero() {
+        let net = lv_self_destructive();
+        let mut cache = PropensityCache::new();
+        cache.refresh(&net, &State::from(vec![0, 0]));
+        assert_eq!(cache.select(0.0), None);
+    }
+
+    #[test]
+    fn cache_select_partitions_by_cumulative_weight() {
+        let net = lv_self_destructive();
+        let state = State::from(vec![5, 5]);
+        let mut cache = PropensityCache::new();
+        let total = cache.refresh(&net, &state);
+        // Walk a fine grid of targets; every selection must be consistent with
+        // the cumulative sums.
+        let mut cumulative = vec![0.0];
+        for v in cache.values() {
+            let last = *cumulative.last().unwrap();
+            cumulative.push(last + v);
+        }
+        for step in 0..100 {
+            let target = total * (step as f64) / 100.0;
+            let chosen = cache.select(target).unwrap();
+            assert!(
+                cumulative[chosen] <= target + 1e-9 && target < cumulative[chosen + 1] + 1e-9,
+                "target {target} chose reaction {chosen}"
+            );
+        }
+    }
+}

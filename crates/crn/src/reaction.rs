@@ -1,0 +1,310 @@
+use crate::species::SpeciesId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a reaction within a [`ReactionNetwork`](crate::ReactionNetwork).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReactionId(pub(crate) usize);
+
+impl ReactionId {
+    /// Creates a reaction id from a raw index.
+    pub fn new(index: usize) -> Self {
+        ReactionId(index)
+    }
+
+    /// The zero-based index of this reaction in the network.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl From<usize> for ReactionId {
+    fn from(index: usize) -> Self {
+        ReactionId(index)
+    }
+}
+
+impl fmt::Display for ReactionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+/// A `(species, multiplicity)` pair appearing on one side of a reaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Stoichiometry {
+    /// Which species participates.
+    pub species: SpeciesId,
+    /// How many copies of the species participate.
+    pub count: u32,
+}
+
+/// A single reaction with mass-action kinetics.
+///
+/// Reactions are built with a lightweight builder: start from
+/// [`Reaction::new`] with the rate constant, then add reactants and products.
+/// Repeated calls with the same species accumulate multiplicity, so
+/// `Reaction::new(k).reactant(a, 1).reactant(a, 1)` is the bimolecular
+/// `A + A → …` reaction.
+///
+/// The paper's self-destructive interspecific competition
+/// `Xi + X_{1-i} --αi--> ∅` is, for example,
+/// `Reaction::new(alpha_i).reactant(xi, 1).reactant(xother, 1)`.
+///
+/// ```
+/// use lv_crn::{Reaction, SpeciesId};
+/// let a = SpeciesId::new(0);
+/// let b = SpeciesId::new(1);
+/// // A + B -> A  (non-self-destructive competition, species A survives)
+/// let r = Reaction::new(0.5).reactant(a, 1).reactant(b, 1).product(a, 1);
+/// assert_eq!(r.rate(), 0.5);
+/// assert_eq!(r.order(), 2);
+/// assert_eq!(r.net_change(a), 0);
+/// assert_eq!(r.net_change(b), -1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reaction {
+    rate: f64,
+    name: Option<String>,
+    reactants: Vec<Stoichiometry>,
+    products: Vec<Stoichiometry>,
+}
+
+impl Reaction {
+    /// Creates a reaction with the given mass-action rate constant and no
+    /// reactants or products yet.
+    pub fn new(rate: f64) -> Self {
+        Reaction {
+            rate,
+            name: None,
+            reactants: Vec::new(),
+            products: Vec::new(),
+        }
+    }
+
+    /// Attaches a human-readable name (used in `Display` and reports).
+    pub fn named(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Adds `count` copies of `species` to the reactant side.
+    pub fn reactant(mut self, species: SpeciesId, count: u32) -> Self {
+        add_stoichiometry(&mut self.reactants, species, count);
+        self
+    }
+
+    /// Adds `count` copies of `species` to the product side.
+    pub fn product(mut self, species: SpeciesId, count: u32) -> Self {
+        add_stoichiometry(&mut self.products, species, count);
+        self
+    }
+
+    /// The mass-action rate constant of this reaction.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The optional name of this reaction.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The reactant stoichiometries.
+    pub fn reactants(&self) -> &[Stoichiometry] {
+        &self.reactants
+    }
+
+    /// The product stoichiometries.
+    pub fn products(&self) -> &[Stoichiometry] {
+        &self.products
+    }
+
+    /// The order of the reaction: total number of reactant molecules.
+    ///
+    /// Individual reactions of the paper have order 1, pairwise interactions
+    /// have order 2.
+    pub fn order(&self) -> u32 {
+        self.reactants.iter().map(|s| s.count).sum()
+    }
+
+    /// Net change in the count of `species` when this reaction fires.
+    pub fn net_change(&self, species: SpeciesId) -> i64 {
+        let consumed: i64 = self
+            .reactants
+            .iter()
+            .filter(|s| s.species == species)
+            .map(|s| i64::from(s.count))
+            .sum();
+        let produced: i64 = self
+            .products
+            .iter()
+            .filter(|s| s.species == species)
+            .map(|s| i64::from(s.count))
+            .sum();
+        produced - consumed
+    }
+
+    /// All species mentioned by this reaction (reactants and products),
+    /// without duplicates, in first-mention order.
+    pub fn species(&self) -> Vec<SpeciesId> {
+        let mut out: Vec<SpeciesId> = Vec::new();
+        for s in self.reactants.iter().chain(self.products.iter()) {
+            if !out.contains(&s.species) {
+                out.push(s.species);
+            }
+        }
+        out
+    }
+
+    /// Whether the reaction has neither reactants nor products.
+    pub fn is_empty(&self) -> bool {
+        self.reactants.is_empty() && self.products.is_empty()
+    }
+
+    /// Largest species index mentioned by the reaction, if any.
+    pub(crate) fn max_species_index(&self) -> Option<usize> {
+        self.reactants
+            .iter()
+            .chain(self.products.iter())
+            .map(|s| s.species.index())
+            .max()
+    }
+}
+
+fn add_stoichiometry(side: &mut Vec<Stoichiometry>, species: SpeciesId, count: u32) {
+    if count == 0 {
+        return;
+    }
+    if let Some(existing) = side.iter_mut().find(|s| s.species == species) {
+        existing.count += count;
+    } else {
+        side.push(Stoichiometry { species, count });
+    }
+}
+
+impl fmt::Display for Reaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side(stoichs: &[Stoichiometry]) -> String {
+            if stoichs.is_empty() {
+                return "∅".to_string();
+            }
+            stoichs
+                .iter()
+                .map(|s| {
+                    if s.count == 1 {
+                        format!("{}", s.species)
+                    } else {
+                        format!("{}{}", s.count, s.species)
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join(" + ")
+        }
+        if let Some(name) = &self.name {
+            write!(f, "[{name}] ")?;
+        }
+        write!(
+            f,
+            "{} --{}--> {}",
+            side(&self.reactants),
+            self.rate,
+            side(&self.products)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::new(i)
+    }
+
+    #[test]
+    fn builder_accumulates_repeated_species() {
+        let r = Reaction::new(1.0).reactant(s(0), 1).reactant(s(0), 1);
+        assert_eq!(r.reactants().len(), 1);
+        assert_eq!(r.reactants()[0].count, 2);
+        assert_eq!(r.order(), 2);
+    }
+
+    #[test]
+    fn zero_count_stoichiometry_is_ignored() {
+        let r = Reaction::new(1.0).reactant(s(0), 0).product(s(1), 0);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn net_change_birth_reaction() {
+        // X -> 2X is a net +1 for X.
+        let r = Reaction::new(1.0).reactant(s(0), 1).product(s(0), 2);
+        assert_eq!(r.net_change(s(0)), 1);
+        assert_eq!(r.net_change(s(1)), 0);
+    }
+
+    #[test]
+    fn net_change_death_reaction() {
+        // X -> ∅ is a net -1 for X.
+        let r = Reaction::new(1.0).reactant(s(0), 1);
+        assert_eq!(r.net_change(s(0)), -1);
+    }
+
+    #[test]
+    fn net_change_self_destructive_competition() {
+        // X0 + X1 -> ∅ removes one of each.
+        let r = Reaction::new(1.0).reactant(s(0), 1).reactant(s(1), 1);
+        assert_eq!(r.net_change(s(0)), -1);
+        assert_eq!(r.net_change(s(1)), -1);
+        assert_eq!(r.order(), 2);
+    }
+
+    #[test]
+    fn net_change_non_self_destructive_competition() {
+        // X0 + X1 -> X0 removes only the other species.
+        let r = Reaction::new(1.0)
+            .reactant(s(0), 1)
+            .reactant(s(1), 1)
+            .product(s(0), 1);
+        assert_eq!(r.net_change(s(0)), 0);
+        assert_eq!(r.net_change(s(1)), -1);
+    }
+
+    #[test]
+    fn species_lists_unique_participants_in_order() {
+        let r = Reaction::new(1.0)
+            .reactant(s(2), 1)
+            .reactant(s(0), 1)
+            .product(s(2), 2);
+        assert_eq!(r.species(), vec![s(2), s(0)]);
+        assert_eq!(r.max_species_index(), Some(2));
+    }
+
+    #[test]
+    fn display_formats_sides_and_name() {
+        let r = Reaction::new(0.25)
+            .named("competition")
+            .reactant(s(0), 1)
+            .reactant(s(1), 1);
+        let text = r.to_string();
+        assert!(text.contains("competition"));
+        assert!(text.contains("S0 + S1"));
+        assert!(text.contains("∅"));
+        assert!(text.contains("0.25"));
+    }
+
+    #[test]
+    fn display_uses_multiplicities() {
+        let r = Reaction::new(1.0).reactant(s(0), 2);
+        assert!(r.to_string().contains("2S0"));
+    }
+
+    #[test]
+    fn reaction_id_roundtrip_and_display() {
+        let id = ReactionId::new(4);
+        assert_eq!(id.index(), 4);
+        assert_eq!(ReactionId::from(4), id);
+        assert_eq!(id.to_string(), "R4");
+    }
+}

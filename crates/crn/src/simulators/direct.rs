@@ -1,0 +1,218 @@
+use crate::distributions::sample_exponential;
+use crate::network::ValidatedNetwork;
+use crate::propensity::PropensityCache;
+use crate::reaction::ReactionId;
+use crate::simulators::{Event, StochasticSimulator};
+use crate::state::State;
+use rand::Rng;
+use std::fmt;
+
+/// The Gillespie direct method: exact continuous-time stochastic simulation.
+///
+/// At each step the simulator computes all propensities, samples an
+/// exponential waiting time with rate equal to the total propensity `φ(x)`,
+/// and selects the firing reaction with probability proportional to its
+/// propensity (Section 1.3 of the paper; Gillespie 1977).
+///
+/// ```
+/// use lv_crn::{ReactionNetwork, Reaction, State, StopCondition};
+/// use lv_crn::simulators::{GillespieDirect, StochasticSimulator};
+/// use rand::SeedableRng;
+///
+/// let mut net = ReactionNetwork::new();
+/// let a = net.add_species("A");
+/// net.add_reaction(Reaction::new(1.0).reactant(a, 1)); // pure death
+/// let net = net.validate()?;
+/// let mut sim = GillespieDirect::new(&net, State::from(vec![10]),
+///     rand::rngs::StdRng::seed_from_u64(1));
+/// let outcome = sim.run(&StopCondition::any_species_extinct());
+/// assert_eq!(outcome.events, 10);
+/// # Ok::<(), lv_crn::CrnError>(())
+/// ```
+pub struct GillespieDirect<'a, R> {
+    network: &'a ValidatedNetwork,
+    state: State,
+    time: f64,
+    events: u64,
+    rng: R,
+    cache: PropensityCache,
+}
+
+impl<'a, R: fmt::Debug> fmt::Debug for GillespieDirect<'a, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GillespieDirect")
+            .field("state", &self.state)
+            .field("time", &self.time)
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl<'a, R: Rng> GillespieDirect<'a, R> {
+    /// Creates a simulator for the network starting in `initial` at time 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state dimension does not match the network; use
+    /// [`ValidatedNetwork::check_state`] to validate states from untrusted
+    /// input first.
+    pub fn new(network: &'a ValidatedNetwork, initial: State, rng: R) -> Self {
+        network
+            .check_state(&initial)
+            .expect("initial state must match the network dimension");
+        GillespieDirect {
+            network,
+            state: initial,
+            time: 0.0,
+            events: 0,
+            rng,
+            cache: PropensityCache::new(),
+        }
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &'a ValidatedNetwork {
+        self.network
+    }
+}
+
+impl<'a, R: Rng> StochasticSimulator for GillespieDirect<'a, R> {
+    fn state(&self) -> &State {
+        &self.state
+    }
+
+    fn time(&self) -> f64 {
+        self.time
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn step(&mut self) -> Option<Event> {
+        let total = self.cache.refresh(self.network, &self.state);
+        if total <= 0.0 {
+            return None;
+        }
+        let wait = sample_exponential(&mut self.rng, total);
+        let target = self.rng.gen::<f64>() * total;
+        let index = self.cache.select(target)?;
+        let reaction = &self.network.reactions()[index];
+        self.state
+            .apply(reaction)
+            .expect("selected reaction must be applicable: propensity was positive");
+        self.time += wait;
+        self.events += 1;
+        Some(Event {
+            reaction: ReactionId::new(index),
+            time: self.time,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ReactionNetwork;
+    use crate::reaction::Reaction;
+    use crate::species::SpeciesId;
+    use crate::stop::StopCondition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Immigration–death process A: ∅ -> A at rate λ, A -> ∅ at rate μ per
+    /// capita. Stationary distribution is Poisson(λ/μ).
+    fn immigration_death(lambda: f64, mu: f64) -> (crate::ValidatedNetwork, SpeciesId) {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(lambda).product(a, 1));
+        net.add_reaction(Reaction::new(mu).reactant(a, 1));
+        (net.validate().unwrap(), a)
+    }
+
+    #[test]
+    fn pure_death_takes_exactly_n_events() {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(2.0).reactant(a, 1));
+        let net = net.validate().unwrap();
+        let mut sim = GillespieDirect::new(&net, State::from(vec![25]), rng(1));
+        let outcome = sim.run(&StopCondition::any_species_extinct());
+        assert_eq!(outcome.events, 25);
+        assert_eq!(outcome.final_state.counts(), &[0]);
+        assert!(outcome.time > 0.0);
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let (net, _) = immigration_death(3.0, 1.0);
+        let mut sim = GillespieDirect::new(&net, State::from(vec![0]), rng(2));
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let event = sim.step().unwrap();
+            assert!(event.time > last);
+            last = event.time;
+        }
+        assert_eq!(sim.events(), 200);
+    }
+
+    #[test]
+    fn immigration_death_stationary_mean_matches() {
+        // With λ = 8, μ = 1 the stationary mean is 8. Run long, then
+        // time-average the count.
+        let (net, a) = immigration_death(8.0, 1.0);
+        let mut sim = GillespieDirect::new(&net, State::from(vec![0]), rng(3));
+        // Burn in.
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        let mut weighted = 0.0;
+        let mut duration = 0.0;
+        let mut last_time = sim.time();
+        let mut last_count = sim.state().count(a) as f64;
+        for _ in 0..30_000 {
+            let event = sim.step().unwrap();
+            weighted += last_count * (event.time - last_time);
+            duration += event.time - last_time;
+            last_time = event.time;
+            last_count = sim.state().count(a) as f64;
+        }
+        let mean = weighted / duration;
+        assert!((mean - 8.0).abs() < 0.6, "time-averaged mean {mean}");
+    }
+
+    #[test]
+    fn absorbed_process_returns_none_and_keeps_state() {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(1.0).reactant(a, 2)); // needs two individuals
+        let net = net.validate().unwrap();
+        let mut sim = GillespieDirect::new(&net, State::from(vec![1]), rng(4));
+        assert!(sim.step().is_none());
+        assert_eq!(sim.state().counts(), &[1]);
+        assert_eq!(sim.events(), 0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let (net, _) = immigration_death(2.0, 1.0);
+        let run = |seed| {
+            let mut sim = GillespieDirect::new(&net, State::from(vec![5]), rng(seed));
+            let outcome = sim.run(&StopCondition::never().with_max_events(500));
+            (outcome.events, outcome.final_state, outcome.time)
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99).2, run(100).2);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial state must match")]
+    fn mismatched_state_dimension_panics() {
+        let (net, _) = immigration_death(1.0, 1.0);
+        let _ = GillespieDirect::new(&net, State::from(vec![1, 2]), rng(5));
+    }
+}

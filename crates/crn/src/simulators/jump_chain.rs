@@ -1,0 +1,203 @@
+use crate::network::ValidatedNetwork;
+use crate::propensity::PropensityCache;
+use crate::reaction::ReactionId;
+use crate::simulators::{Event, StochasticSimulator};
+use crate::state::State;
+use rand::Rng;
+use std::fmt;
+
+/// The embedded discrete-time jump chain of the stochastic kinetics.
+///
+/// This is the chain `S = (S_t)_{t ≥ 0}` the paper analyses (Section 1.3): at
+/// each step the next reaction `R` is chosen with probability
+/// `φ_R(x)/φ(x)`, without sampling the exponential holding time. The
+/// [`time`](StochasticSimulator::time) of this simulator is therefore the
+/// number of reactions fired so far — `S_t` represents the counts after `t`
+/// reactions.
+///
+/// Jump-chain sampling and the Gillespie direct method visit the same sequence
+/// of states in distribution; only the clock differs. For questions about the
+/// *number of events* before consensus (the paper's `T(S)`, `I(S)`, `K(S)`,
+/// `J(S)`), the jump chain is the natural simulator and is what `lv-lotka`
+/// uses by default.
+pub struct JumpChain<'a, R> {
+    network: &'a ValidatedNetwork,
+    state: State,
+    events: u64,
+    rng: R,
+    cache: PropensityCache,
+}
+
+impl<'a, R: fmt::Debug> fmt::Debug for JumpChain<'a, R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JumpChain")
+            .field("state", &self.state)
+            .field("events", &self.events)
+            .finish()
+    }
+}
+
+impl<'a, R: Rng> JumpChain<'a, R> {
+    /// Creates a jump-chain simulator for the network starting in `initial`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state dimension does not match the network.
+    pub fn new(network: &'a ValidatedNetwork, initial: State, rng: R) -> Self {
+        network
+            .check_state(&initial)
+            .expect("initial state must match the network dimension");
+        JumpChain {
+            network,
+            state: initial,
+            events: 0,
+            rng,
+            cache: PropensityCache::new(),
+        }
+    }
+
+    /// The network being simulated.
+    pub fn network(&self) -> &'a ValidatedNetwork {
+        self.network
+    }
+
+    /// The transition probability `P(x, ·)` of each reaction from the current
+    /// state, in network reaction order. All zeros when the state is
+    /// absorbing.
+    pub fn transition_probabilities(&mut self) -> Vec<f64> {
+        let total = self.cache.refresh(self.network, &self.state);
+        if total <= 0.0 {
+            return vec![0.0; self.network.reaction_count()];
+        }
+        self.cache.values().iter().map(|v| v / total).collect()
+    }
+}
+
+impl<'a, R: Rng> StochasticSimulator for JumpChain<'a, R> {
+    fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// For the jump chain, time is the number of steps taken.
+    fn time(&self) -> f64 {
+        self.events as f64
+    }
+
+    fn events(&self) -> u64 {
+        self.events
+    }
+
+    fn step(&mut self) -> Option<Event> {
+        let total = self.cache.refresh(self.network, &self.state);
+        if total <= 0.0 {
+            return None;
+        }
+        let target = self.rng.gen::<f64>() * total;
+        let index = self.cache.select(target)?;
+        let reaction = &self.network.reactions()[index];
+        self.state
+            .apply(reaction)
+            .expect("selected reaction must be applicable: propensity was positive");
+        self.events += 1;
+        Some(Event {
+            reaction: ReactionId::new(index),
+            time: self.events as f64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::ReactionNetwork;
+    use crate::reaction::Reaction;
+    use crate::stop::StopCondition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    /// Two-species self-destructive LV network with unit rates.
+    fn lv_network() -> crate::ValidatedNetwork {
+        let mut net = ReactionNetwork::new();
+        let x0 = net.add_species("X0");
+        let x1 = net.add_species("X1");
+        for (a, b) in [(x0, x1), (x1, x0)] {
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 2));
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1));
+            net.add_reaction(Reaction::new(1.0).reactant(a, 1).reactant(b, 1));
+        }
+        net.validate().unwrap()
+    }
+
+    #[test]
+    fn time_equals_event_count() {
+        let net = lv_network();
+        let mut sim = JumpChain::new(&net, State::from(vec![30, 20]), rng(1));
+        for expected in 1..=50u64 {
+            let event = sim.step().unwrap();
+            assert_eq!(event.time, expected as f64);
+            assert_eq!(sim.events(), expected);
+            assert_eq!(sim.time(), expected as f64);
+        }
+    }
+
+    #[test]
+    fn transition_probabilities_sum_to_one() {
+        let net = lv_network();
+        let mut sim = JumpChain::new(&net, State::from(vec![10, 7]), rng(2));
+        let probs = sim.transition_probabilities();
+        let sum: f64 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "sum {sum}");
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn transition_probabilities_zero_in_absorbing_state() {
+        let net = lv_network();
+        let mut sim = JumpChain::new(&net, State::from(vec![0, 0]), rng(3));
+        let probs = sim.transition_probabilities();
+        assert!(probs.iter().all(|&p| p == 0.0));
+        assert!(sim.step().is_none());
+    }
+
+    #[test]
+    fn per_step_transition_probabilities_match_paper_formula() {
+        // In state (a, b) with all rates one:
+        //   birth of X0: a / φ, death of X0: a / φ, competition (X0+X1): ab / φ, ...
+        // with φ = 2(a + b) + 2ab.
+        let net = lv_network();
+        let mut sim = JumpChain::new(&net, State::from(vec![6, 3]), rng(4));
+        let probs = sim.transition_probabilities();
+        let (a, b) = (6.0, 3.0);
+        let phi = 2.0 * (a + b) + 2.0 * a * b;
+        // Reaction order: birth0, death0, comp01, birth1, death1, comp10.
+        let expected = [a / phi, a / phi, a * b / phi, b / phi, b / phi, a * b / phi];
+        for (p, e) in probs.iter().zip(expected.iter()) {
+            assert!((p - e).abs() < 1e-12, "probability {p} expected {e}");
+        }
+    }
+
+    #[test]
+    fn reaches_consensus_from_unbalanced_start() {
+        let net = lv_network();
+        let mut sim = JumpChain::new(&net, State::from(vec![200, 2]), rng(5));
+        let outcome = sim.run(&StopCondition::any_species_extinct());
+        assert!(outcome.stopped_by_condition());
+        assert!(outcome.final_state.any_extinct());
+        assert!(outcome.events > 0);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let net = lv_network();
+        let run = |seed| {
+            let mut sim = JumpChain::new(&net, State::from(vec![40, 30]), rng(seed));
+            let outcome = sim.run(&StopCondition::any_species_extinct().with_max_events(100_000));
+            (outcome.events, outcome.final_state)
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

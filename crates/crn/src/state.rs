@@ -1,0 +1,253 @@
+use crate::error::{CrnError, Result};
+use crate::reaction::Reaction;
+use crate::species::SpeciesId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Index;
+
+/// A configuration of a reaction network: one non-negative count per species.
+///
+/// This is the paper's configuration vector `x = (x_0, x_1, …) ∈ ℕ^k`.
+///
+/// ```
+/// use lv_crn::{State, SpeciesId};
+/// let mut state = State::from(vec![60, 40]);
+/// let x0 = SpeciesId::new(0);
+/// assert_eq!(state.count(x0), 60);
+/// assert_eq!(state.total(), 100);
+/// state.set_count(x0, 0);
+/// assert!(state.is_extinct(x0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct State {
+    counts: Vec<u64>,
+}
+
+impl State {
+    /// Creates a state with `species_count` species, all with count zero.
+    pub fn zeros(species_count: usize) -> Self {
+        State {
+            counts: vec![0; species_count],
+        }
+    }
+
+    /// Creates a state from explicit counts.
+    pub fn new(counts: Vec<u64>) -> Self {
+        State { counts }
+    }
+
+    /// Number of species tracked by this state.
+    pub fn species_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of the given species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is out of range for this state.
+    pub fn count(&self, species: SpeciesId) -> u64 {
+        self.counts[species.index()]
+    }
+
+    /// Sets the count of the given species.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `species` is out of range for this state.
+    pub fn set_count(&mut self, species: SpeciesId, count: u64) {
+        self.counts[species.index()] = count;
+    }
+
+    /// Total number of individuals across all species.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Whether the given species has count zero.
+    pub fn is_extinct(&self, species: SpeciesId) -> bool {
+        self.count(species) == 0
+    }
+
+    /// Whether at least one species has count zero.
+    pub fn any_extinct(&self) -> bool {
+        self.counts.iter().any(|&c| c == 0)
+    }
+
+    /// The counts as a slice, indexed by species index.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Whether the reaction can fire in this state, i.e. every reactant has at
+    /// least its required multiplicity.
+    pub fn can_apply(&self, reaction: &Reaction) -> bool {
+        reaction
+            .reactants()
+            .iter()
+            .all(|s| self.counts[s.species.index()] >= u64::from(s.count))
+    }
+
+    /// Applies a reaction to this state, consuming reactants and adding
+    /// products.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CrnError::InsufficientReactants`] if some reactant count
+    /// would become negative; the state is left unchanged in that case.
+    pub fn apply(&mut self, reaction: &Reaction) -> Result<()> {
+        for s in reaction.reactants() {
+            if self.counts[s.species.index()] < u64::from(s.count) {
+                return Err(CrnError::InsufficientReactants {
+                    reaction: usize::MAX,
+                    species: s.species.index(),
+                });
+            }
+        }
+        for s in reaction.reactants() {
+            self.counts[s.species.index()] -= u64::from(s.count);
+        }
+        for s in reaction.products() {
+            self.counts[s.species.index()] += u64::from(s.count);
+        }
+        Ok(())
+    }
+
+    /// Returns a copy of the state with the reaction applied.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`State::apply`].
+    pub fn applying(&self, reaction: &Reaction) -> Result<State> {
+        let mut next = self.clone();
+        next.apply(reaction)?;
+        Ok(next)
+    }
+}
+
+impl From<Vec<u64>> for State {
+    fn from(counts: Vec<u64>) -> Self {
+        State::new(counts)
+    }
+}
+
+impl From<&[u64]> for State {
+    fn from(counts: &[u64]) -> Self {
+        State::new(counts.to_vec())
+    }
+}
+
+impl Index<SpeciesId> for State {
+    type Output = u64;
+
+    fn index(&self, species: SpeciesId) -> &u64 {
+        &self.counts[species.index()]
+    }
+}
+
+impl fmt::Display for State {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::new(i)
+    }
+
+    #[test]
+    fn zeros_and_total() {
+        let state = State::zeros(3);
+        assert_eq!(state.species_count(), 3);
+        assert_eq!(state.total(), 0);
+        assert!(state.any_extinct());
+    }
+
+    #[test]
+    fn count_and_set_count() {
+        let mut state = State::from(vec![5, 7]);
+        assert_eq!(state.count(s(0)), 5);
+        assert_eq!(state[s(1)], 7);
+        state.set_count(s(0), 9);
+        assert_eq!(state.count(s(0)), 9);
+        assert_eq!(state.total(), 16);
+    }
+
+    #[test]
+    fn apply_birth_reaction_increments() {
+        let mut state = State::from(vec![3, 2]);
+        let birth = Reaction::new(1.0).reactant(s(0), 1).product(s(0), 2);
+        state.apply(&birth).unwrap();
+        assert_eq!(state.counts(), &[4, 2]);
+    }
+
+    #[test]
+    fn apply_self_destructive_competition_removes_both() {
+        let mut state = State::from(vec![3, 2]);
+        let comp = Reaction::new(1.0).reactant(s(0), 1).reactant(s(1), 1);
+        state.apply(&comp).unwrap();
+        assert_eq!(state.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn apply_non_self_destructive_competition_removes_one() {
+        let mut state = State::from(vec![3, 2]);
+        let comp = Reaction::new(1.0)
+            .reactant(s(0), 1)
+            .reactant(s(1), 1)
+            .product(s(0), 1);
+        state.apply(&comp).unwrap();
+        assert_eq!(state.counts(), &[3, 1]);
+    }
+
+    #[test]
+    fn apply_fails_and_preserves_state_when_reactants_missing() {
+        let mut state = State::from(vec![0, 2]);
+        let comp = Reaction::new(1.0).reactant(s(0), 1).reactant(s(1), 1);
+        let err = state.apply(&comp).unwrap_err();
+        assert!(matches!(err, CrnError::InsufficientReactants { species: 0, .. }));
+        assert_eq!(state.counts(), &[0, 2]);
+    }
+
+    #[test]
+    fn can_apply_respects_multiplicity() {
+        let state = State::from(vec![1]);
+        let intra = Reaction::new(1.0).reactant(s(0), 2);
+        assert!(!state.can_apply(&intra));
+        let state = State::from(vec![2]);
+        assert!(state.can_apply(&intra));
+    }
+
+    #[test]
+    fn applying_returns_new_state() {
+        let state = State::from(vec![2, 2]);
+        let death = Reaction::new(1.0).reactant(s(1), 1);
+        let next = state.applying(&death).unwrap();
+        assert_eq!(state.counts(), &[2, 2]);
+        assert_eq!(next.counts(), &[2, 1]);
+    }
+
+    #[test]
+    fn extinction_checks() {
+        let state = State::from(vec![0, 4]);
+        assert!(state.is_extinct(s(0)));
+        assert!(!state.is_extinct(s(1)));
+        assert!(state.any_extinct());
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        assert_eq!(State::from(vec![1, 2, 3]).to_string(), "(1, 2, 3)");
+    }
+}

@@ -1,0 +1,188 @@
+use crate::species::SpeciesId;
+use crate::state::State;
+use serde::{Deserialize, Serialize};
+
+/// A `(time, state)` sample along a simulated trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Continuous simulation time (or the event index for discrete-time
+    /// simulators).
+    pub time: f64,
+    /// The configuration at that time.
+    pub state: State,
+}
+
+/// A recorded stochastic trajectory: an ordered list of `(time, state)`
+/// samples.
+///
+/// Trajectories are recorded by the simulators when asked (see
+/// [`StochasticSimulator::run_recording`](crate::simulators::StochasticSimulator::run_recording))
+/// and are the raw material for the gap-trajectory and noise-decomposition
+/// observables computed in `lv-lotka`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    points: Vec<TimePoint>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, time: f64, state: State) {
+        self.points.push(TimePoint { time, state });
+    }
+
+    /// The recorded samples in order.
+    pub fn points(&self) -> &[TimePoint] {
+        &self.points
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded sample, if any.
+    pub fn last(&self) -> Option<&TimePoint> {
+        self.points.last()
+    }
+
+    /// The time series of a single species' counts.
+    pub fn species_series(&self, species: SpeciesId) -> Vec<(f64, u64)> {
+        self.points
+            .iter()
+            .map(|p| (p.time, p.state.count(species)))
+            .collect()
+    }
+
+    /// The time series of the signed gap `count(a) − count(b)`.
+    ///
+    /// For the two-species Lotka–Volterra chains this is the paper's gap
+    /// process `∆_t = S_{t,0} − S_{t,1}`.
+    pub fn gap_series(&self, a: SpeciesId, b: SpeciesId) -> Vec<(f64, i64)> {
+        self.points
+            .iter()
+            .map(|p| {
+                (
+                    p.time,
+                    p.state.count(a) as i64 - p.state.count(b) as i64,
+                )
+            })
+            .collect()
+    }
+
+    /// The state at the latest sample with `time <= t`, if any (trajectories
+    /// are piecewise constant between events).
+    pub fn state_at(&self, t: f64) -> Option<&State> {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.time <= t)
+            .map(|p| &p.state)
+    }
+
+    /// Iterates over the recorded samples.
+    pub fn iter(&self) -> std::slice::Iter<'_, TimePoint> {
+        self.points.iter()
+    }
+}
+
+impl IntoIterator for Trajectory {
+    type Item = TimePoint;
+    type IntoIter = std::vec::IntoIter<TimePoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trajectory {
+    type Item = &'a TimePoint;
+    type IntoIter = std::slice::Iter<'a, TimePoint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl FromIterator<(f64, State)> for Trajectory {
+    fn from_iter<T: IntoIterator<Item = (f64, State)>>(iter: T) -> Self {
+        let mut trajectory = Trajectory::new();
+        for (time, state) in iter {
+            trajectory.push(time, state);
+        }
+        trajectory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: usize) -> SpeciesId {
+        SpeciesId::new(i)
+    }
+
+    fn example() -> Trajectory {
+        vec![
+            (0.0, State::from(vec![5, 5])),
+            (0.5, State::from(vec![6, 5])),
+            (1.5, State::from(vec![6, 4])),
+            (2.0, State::from(vec![6, 3])),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut t = Trajectory::new();
+        assert!(t.is_empty());
+        t.push(0.0, State::from(vec![1]));
+        t.push(1.0, State::from(vec![2]));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.last().unwrap().time, 1.0);
+    }
+
+    #[test]
+    fn species_series_extracts_counts() {
+        let t = example();
+        let series = t.species_series(s(1));
+        assert_eq!(series, vec![(0.0, 5), (0.5, 5), (1.5, 4), (2.0, 3)]);
+    }
+
+    #[test]
+    fn gap_series_is_signed_difference() {
+        let t = example();
+        let gaps = t.gap_series(s(0), s(1));
+        assert_eq!(gaps, vec![(0.0, 0), (0.5, 1), (1.5, 2), (2.0, 3)]);
+        // Reversed order gives the negated gap.
+        let gaps_rev = t.gap_series(s(1), s(0));
+        assert_eq!(gaps_rev[3].1, -3);
+    }
+
+    #[test]
+    fn state_at_uses_piecewise_constant_semantics() {
+        let t = example();
+        assert_eq!(t.state_at(0.0).unwrap().counts(), &[5, 5]);
+        assert_eq!(t.state_at(0.7).unwrap().counts(), &[6, 5]);
+        assert_eq!(t.state_at(10.0).unwrap().counts(), &[6, 3]);
+        assert!(t.state_at(-0.1).is_none());
+    }
+
+    #[test]
+    fn iteration_works_by_ref_and_by_value() {
+        let t = example();
+        assert_eq!((&t).into_iter().count(), 4);
+        assert_eq!(t.iter().count(), 4);
+        assert_eq!(t.into_iter().count(), 4);
+    }
+}

@@ -1,0 +1,53 @@
+//! # lv-ode — deterministic competitive Lotka–Volterra dynamics
+//!
+//! The paper compares its stochastic models against the classical
+//! deterministic mass-action approximation (Section 2.1, Eq. 4):
+//!
+//! ```text
+//! dx_i/dt = x_i (r − α′ x_{1−i} − γ′ x_i),        i ∈ {0, 1},
+//! ```
+//!
+//! where `r = β − δ` is the intrinsic growth rate, `α′` the interspecific and
+//! `γ′` the intraspecific competition coefficient. When `α′ > γ′` the species
+//! with the higher initial density deterministically wins — the ODE model
+//! cannot express the stochastic failure probabilities the paper is about,
+//! which is exactly the comparison experiment E10 makes.
+//!
+//! The crate provides:
+//!
+//! * [`OdeSystem`] — a minimal trait for autonomous first-order systems;
+//! * [`Rk4`] — the classical fixed-step fourth-order Runge–Kutta integrator;
+//! * [`Rkf45`] — an adaptive Runge–Kutta–Fehlberg 4(5) integrator;
+//! * [`CompetitiveLv`] — Eq. (4) with equilibrium analysis and the
+//!   deterministic winner prediction;
+//! * [`OdeSolution`] — a recorded solution with interpolation helpers.
+//!
+//! No third-party ODE crate is used; both integrators are implemented here
+//! and validated against closed-form solutions in the tests.
+//!
+//! # Example
+//!
+//! ```
+//! use lv_ode::{CompetitiveLv, Rk4, OdeIntegrator};
+//!
+//! // Strong interspecific competition: higher initial density wins.
+//! let system = CompetitiveLv::new(1.0, 0.002, 0.0005);
+//! let solution = Rk4::new(0.01).integrate(&system, [0.6, 0.4], 0.0, 40.0);
+//! let end = solution.last_state();
+//! assert!(end[0] > 100.0 * end[1]);
+//! assert_eq!(system.predicted_winner([0.6, 0.4]), Some(0));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod integrators;
+mod lotka;
+mod solution;
+mod system;
+
+pub use integrators::{OdeIntegrator, Rk4, Rkf45};
+pub use lotka::{CompetitiveLv, Equilibrium};
+pub use solution::OdeSolution;
+pub use system::OdeSystem;

@@ -1,0 +1,228 @@
+use crate::system::OdeSystem;
+use serde::{Deserialize, Serialize};
+
+/// The deterministic two-species competitive Lotka–Volterra equations of
+/// Section 2.1 (Eq. 4), for the neutral case:
+///
+/// ```text
+/// dx_i/dt = x_i (r − α′ x_{1−i} − γ′ x_i),      i ∈ {0, 1},
+/// ```
+///
+/// with intrinsic growth rate `r = β − δ`, interspecific coefficient `α′` and
+/// intraspecific coefficient `γ′`.
+///
+/// The paper's observation about this model (end of Section 2.1): when
+/// `α′ > γ′`, the species with the higher initial density deterministically
+/// always wins — the model has no notion of the stochastic failure
+/// probabilities the paper quantifies. [`CompetitiveLv::predicted_winner`]
+/// implements exactly that prediction, and experiment E10 compares it against
+/// the stochastic majority-consensus probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompetitiveLv {
+    r: f64,
+    alpha: f64,
+    gamma: f64,
+}
+
+/// Classification of the fixed points of the deterministic system.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Equilibrium {
+    /// The origin `(0, 0)`.
+    Extinction,
+    /// A single-species equilibrium `(r/γ′, 0)` or `(0, r/γ′)` (requires
+    /// `γ′ > 0`).
+    Exclusion {
+        /// Which species survives (0 or 1).
+        survivor: usize,
+        /// Its equilibrium density.
+        density: f64,
+    },
+    /// The interior coexistence equilibrium `x_0 = x_1 = r/(α′ + γ′)`.
+    Coexistence {
+        /// The common equilibrium density of both species.
+        density: f64,
+    },
+}
+
+impl CompetitiveLv {
+    /// Creates the system with intrinsic growth rate `r = β − δ`,
+    /// interspecific coefficient `alpha` and intraspecific coefficient
+    /// `gamma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` or `gamma` is negative or any parameter is
+    /// non-finite.
+    pub fn new(r: f64, alpha: f64, gamma: f64) -> Self {
+        assert!(
+            r.is_finite() && alpha.is_finite() && gamma.is_finite(),
+            "parameters must be finite"
+        );
+        assert!(alpha >= 0.0 && gamma >= 0.0, "competition coefficients must be non-negative");
+        CompetitiveLv { r, alpha, gamma }
+    }
+
+    /// Builds the deterministic counterpart of a stochastic model's rates:
+    /// `r = β − δ`, `α′ = α_0 + α_1` for self-destructive competition
+    /// (both reactions remove an individual of each species) and
+    /// `α′ = α_0 = α_1` for non-self-destructive competition, `γ′ = γ_i`
+    /// (see Section 2.1).
+    pub fn from_rates(beta: f64, delta: f64, alpha_prime: f64, gamma_prime: f64) -> Self {
+        CompetitiveLv::new(beta - delta, alpha_prime, gamma_prime)
+    }
+
+    /// The intrinsic growth rate `r`.
+    pub fn growth_rate(&self) -> f64 {
+        self.r
+    }
+
+    /// The interspecific coefficient `α′`.
+    pub fn interspecific(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The intraspecific coefficient `γ′`.
+    pub fn intraspecific(&self) -> f64 {
+        self.gamma
+    }
+
+    /// The fixed points of the system (for `r > 0`): extinction, the two
+    /// exclusion equilibria when `γ′ > 0`, and the coexistence equilibrium
+    /// when `α′ + γ′ > 0`.
+    pub fn equilibria(&self) -> Vec<Equilibrium> {
+        let mut out = vec![Equilibrium::Extinction];
+        if self.r > 0.0 && self.gamma > 0.0 {
+            for survivor in 0..2 {
+                out.push(Equilibrium::Exclusion {
+                    survivor,
+                    density: self.r / self.gamma,
+                });
+            }
+        }
+        if self.r > 0.0 && self.alpha + self.gamma > 0.0 {
+            out.push(Equilibrium::Coexistence {
+                density: self.r / (self.alpha + self.gamma),
+            });
+        }
+        out
+    }
+
+    /// Whether the coexistence equilibrium is stable (`γ′ > α′`) — in that
+    /// regime both species persist deterministically. When `α′ > γ′`
+    /// competitive exclusion operates and the initial majority wins.
+    pub fn coexistence_is_stable(&self) -> bool {
+        self.gamma > self.alpha
+    }
+
+    /// The deterministic winner from the given initial densities: the species
+    /// with the higher initial density when competitive exclusion operates
+    /// (`α′ > γ′`), `None` when the densities are equal or when coexistence is
+    /// stable.
+    pub fn predicted_winner(&self, initial: [f64; 2]) -> Option<usize> {
+        if self.coexistence_is_stable() || self.alpha == self.gamma {
+            return None;
+        }
+        if initial[0] > initial[1] {
+            Some(0)
+        } else if initial[1] > initial[0] {
+            Some(1)
+        } else {
+            None
+        }
+    }
+}
+
+impl OdeSystem<2> for CompetitiveLv {
+    fn derivative(&self, y: &[f64; 2]) -> [f64; 2] {
+        [
+            y[0] * (self.r - self.alpha * y[1] - self.gamma * y[0]),
+            y[1] * (self.r - self.alpha * y[0] - self.gamma * y[1]),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrators::{OdeIntegrator, Rk4, Rkf45};
+
+    #[test]
+    fn derivative_matches_equation_4() {
+        let sys = CompetitiveLv::new(1.0, 0.5, 0.25);
+        let d = sys.derivative(&[2.0, 4.0]);
+        assert!((d[0] - 2.0 * (1.0 - 0.5 * 4.0 - 0.25 * 2.0)).abs() < 1e-12);
+        assert!((d[1] - 4.0 * (1.0 - 0.5 * 2.0 - 0.25 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_regime_picks_the_larger_initial_density() {
+        // α′ > γ′: competitive exclusion; the majority deterministically wins.
+        let sys = CompetitiveLv::new(1.0, 0.01, 0.001);
+        assert_eq!(sys.predicted_winner([6.0, 4.0]), Some(0));
+        assert_eq!(sys.predicted_winner([4.0, 6.0]), Some(1));
+        assert_eq!(sys.predicted_winner([5.0, 5.0]), None);
+        assert!(!sys.coexistence_is_stable());
+
+        // The trajectory confirms it: the minority density collapses.
+        let solution = Rk4::new(0.01).integrate(&sys, [6.0, 4.0], 0.0, 100.0);
+        let end = solution.last_state();
+        assert!(end[0] > 10.0 * end[1], "end state {end:?}");
+    }
+
+    #[test]
+    fn coexistence_regime_preserves_both_species() {
+        // γ′ > α′: stable coexistence at density r/(α′+γ′).
+        let sys = CompetitiveLv::new(1.0, 0.001, 0.01);
+        assert!(sys.coexistence_is_stable());
+        assert_eq!(sys.predicted_winner([6.0, 4.0]), None);
+        let solution = Rkf45::new(1e-8).integrate(&sys, [6.0, 4.0], 0.0, 200.0);
+        let end = solution.last_state();
+        let expected = 1.0 / 0.011;
+        assert!((end[0] - expected).abs() < 0.5, "end state {end:?}");
+        assert!((end[1] - expected).abs() < 0.5, "end state {end:?}");
+    }
+
+    #[test]
+    fn equilibria_enumeration() {
+        let sys = CompetitiveLv::new(1.0, 0.5, 0.25);
+        let eqs = sys.equilibria();
+        assert!(eqs.contains(&Equilibrium::Extinction));
+        assert!(eqs
+            .iter()
+            .any(|e| matches!(e, Equilibrium::Coexistence { density } if (density - 1.0/0.75).abs() < 1e-12)));
+        assert_eq!(
+            eqs.iter()
+                .filter(|e| matches!(e, Equilibrium::Exclusion { .. }))
+                .count(),
+            2
+        );
+
+        // Without growth there is only extinction.
+        let dead = CompetitiveLv::new(-0.5, 0.5, 0.25);
+        assert_eq!(dead.equilibria(), vec![Equilibrium::Extinction]);
+    }
+
+    #[test]
+    fn exponential_phase_matches_closed_form_when_no_competition() {
+        // With α′ = γ′ = 0 the equation is pure exponential growth.
+        let sys = CompetitiveLv::new(0.5, 0.0, 0.0);
+        let solution = Rk4::new(0.001).integrate(&sys, [1.0, 2.0], 0.0, 3.0);
+        let end = solution.last_state();
+        assert!((end[0] - (1.5f64).exp()).abs() < 1e-6);
+        assert!((end[1] - 2.0 * (1.5f64).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let sys = CompetitiveLv::from_rates(1.5, 0.5, 0.2, 0.1);
+        assert_eq!(sys.growth_rate(), 1.0);
+        assert_eq!(sys.interspecific(), 0.2);
+        assert_eq!(sys.intraspecific(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_competition_is_rejected() {
+        let _ = CompetitiveLv::new(1.0, -0.1, 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+/// A recorded ODE solution: a sequence of `(t, y)` samples produced by an
+/// integrator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeSolution<const D: usize> {
+    times: Vec<f64>,
+    states: Vec<[f64; D]>,
+}
+
+impl<const D: usize> OdeSolution<D> {
+    /// Creates an empty solution.
+    pub fn new() -> Self {
+        OdeSolution {
+            times: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Appends a sample.
+    pub fn push(&mut self, time: f64, state: [f64; D]) {
+        self.times.push(time);
+        self.states.push(state);
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the solution has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The recorded time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The recorded states.
+    pub fn states(&self) -> &[[f64; D]] {
+        &self.states
+    }
+
+    /// The final recorded state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty.
+    pub fn last_state(&self) -> [f64; D] {
+        *self.states.last().expect("solution has at least one sample")
+    }
+
+    /// The final recorded time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty.
+    pub fn last_time(&self) -> f64 {
+        *self.times.last().expect("solution has at least one sample")
+    }
+
+    /// The state at time `t`, linearly interpolated between samples. Clamps to
+    /// the first/last sample outside the recorded range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution is empty.
+    pub fn state_at(&self, t: f64) -> [f64; D] {
+        assert!(!self.is_empty(), "solution has at least one sample");
+        if t <= self.times[0] {
+            return self.states[0];
+        }
+        if t >= *self.times.last().unwrap() {
+            return *self.states.last().unwrap();
+        }
+        let idx = self.times.partition_point(|&x| x < t);
+        let (t0, t1) = (self.times[idx - 1], self.times[idx]);
+        let (y0, y1) = (self.states[idx - 1], self.states[idx]);
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        let mut out = [0.0; D];
+        for i in 0..D {
+            out[i] = y0[i] + w * (y1[i] - y0[i]);
+        }
+        out
+    }
+
+    /// The time series of one component.
+    pub fn component(&self, index: usize) -> Vec<(f64, f64)> {
+        self.times
+            .iter()
+            .zip(self.states.iter())
+            .map(|(&t, y)| (t, y[index]))
+            .collect()
+    }
+}
+
+impl<const D: usize> Default for OdeSolution<D> {
+    fn default() -> Self {
+        OdeSolution::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OdeSolution<2> {
+        let mut s = OdeSolution::new();
+        s.push(0.0, [0.0, 10.0]);
+        s.push(1.0, [1.0, 20.0]);
+        s.push(2.0, [4.0, 40.0]);
+        s
+    }
+
+    #[test]
+    fn push_and_access() {
+        let s = sample();
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_state(), [4.0, 40.0]);
+        assert_eq!(s.last_time(), 2.0);
+        assert_eq!(s.times(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn interpolation_is_linear_between_samples() {
+        let s = sample();
+        assert_eq!(s.state_at(0.5), [0.5, 15.0]);
+        assert_eq!(s.state_at(1.5), [2.5, 30.0]);
+    }
+
+    #[test]
+    fn interpolation_clamps_outside_range() {
+        let s = sample();
+        assert_eq!(s.state_at(-1.0), [0.0, 10.0]);
+        assert_eq!(s.state_at(99.0), [4.0, 40.0]);
+    }
+
+    #[test]
+    fn component_extracts_a_series() {
+        let s = sample();
+        assert_eq!(s.component(1), vec![(0.0, 10.0), (1.0, 20.0), (2.0, 40.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_solution_panics_on_last_state() {
+        let s: OdeSolution<1> = OdeSolution::new();
+        let _ = s.last_state();
+    }
+}

@@ -1,0 +1,54 @@
+/// An autonomous first-order ODE system `dy/dt = f(y)` with a fixed number of
+/// state variables, given as a const generic dimension.
+///
+/// ```
+/// use lv_ode::OdeSystem;
+///
+/// /// Exponential decay dy/dt = -y.
+/// #[derive(Debug)]
+/// struct Decay;
+/// impl OdeSystem<1> for Decay {
+///     fn derivative(&self, y: &[f64; 1]) -> [f64; 1] {
+///         [-y[0]]
+///     }
+/// }
+/// assert_eq!(Decay.derivative(&[2.0]), [-2.0]);
+/// ```
+pub trait OdeSystem<const D: usize> {
+    /// The derivative `f(y)` at state `y`.
+    fn derivative(&self, y: &[f64; D]) -> [f64; D];
+}
+
+impl<const D: usize, T: OdeSystem<D> + ?Sized> OdeSystem<D> for &T {
+    fn derivative(&self, y: &[f64; D]) -> [f64; D] {
+        (**self).derivative(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Harmonic;
+
+    impl OdeSystem<2> for Harmonic {
+        fn derivative(&self, y: &[f64; 2]) -> [f64; 2] {
+            [y[1], -y[0]]
+        }
+    }
+
+    #[test]
+    fn derivative_is_evaluated() {
+        assert_eq!(Harmonic.derivative(&[1.0, 0.0]), [0.0, -1.0]);
+        assert_eq!(Harmonic.derivative(&[0.0, 2.0]), [2.0, 0.0]);
+    }
+
+    #[test]
+    fn references_implement_the_trait() {
+        fn f<S: OdeSystem<2>>(s: S) -> [f64; 2] {
+            s.derivative(&[1.0, 1.0])
+        }
+        assert_eq!(f(&Harmonic), [1.0, -1.0]);
+    }
+}

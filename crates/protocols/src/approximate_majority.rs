@@ -1,0 +1,153 @@
+use crate::protocol::{Opinion, PopulationProtocol};
+
+/// Per-agent state of the 3-state approximate-majority protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TriState {
+    /// Committed to opinion A.
+    A,
+    /// Committed to opinion B.
+    B,
+    /// Undecided ("blank").
+    Blank,
+}
+
+/// The 3-state approximate-majority population protocol of Angluin, Aspnes
+/// and Eisenstat \[8\].
+///
+/// Rules (initiator, responder):
+///
+/// ```text
+/// (A, B) → (A, Blank)        (B, A) → (B, Blank)
+/// (A, Blank) → (A, A)        (B, Blank) → (B, B)
+/// ```
+///
+/// i.e. opposite opinions cancel the responder to blank, and committed agents
+/// recruit blanks. The protocol converges in `O(n log n)` interactions and
+/// outputs the initial majority with high probability whenever the initial
+/// gap is `Ω(√n · log n)` — the same cancellation idea that powers the
+/// Lotka–Volterra protocols of the paper (see Section 2.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproximateMajority;
+
+impl ApproximateMajority {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        ApproximateMajority
+    }
+}
+
+impl PopulationProtocol for ApproximateMajority {
+    type State = TriState;
+
+    fn initial_state(&self, input: Opinion) -> TriState {
+        match input {
+            Opinion::A => TriState::A,
+            Opinion::B => TriState::B,
+        }
+    }
+
+    fn transition(&self, initiator: TriState, responder: TriState) -> (TriState, TriState) {
+        match (initiator, responder) {
+            (TriState::A, TriState::B) => (TriState::A, TriState::Blank),
+            (TriState::B, TriState::A) => (TriState::B, TriState::Blank),
+            (TriState::A, TriState::Blank) => (TriState::A, TriState::A),
+            (TriState::B, TriState::Blank) => (TriState::B, TriState::B),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: TriState) -> Option<Opinion> {
+        match state {
+            TriState::A => Some(Opinion::A),
+            TriState::B => Some(Opinion::B),
+            TriState::Blank => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::run_protocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transition_rules_match_the_protocol() {
+        let p = ApproximateMajority::new();
+        assert_eq!(
+            p.transition(TriState::A, TriState::B),
+            (TriState::A, TriState::Blank)
+        );
+        assert_eq!(
+            p.transition(TriState::B, TriState::Blank),
+            (TriState::B, TriState::B)
+        );
+        // Agreeing or blank-initiated pairs are inert.
+        assert_eq!(
+            p.transition(TriState::A, TriState::A),
+            (TriState::A, TriState::A)
+        );
+        assert_eq!(
+            p.transition(TriState::Blank, TriState::A),
+            (TriState::Blank, TriState::A)
+        );
+    }
+
+    #[test]
+    fn outputs_are_defined_only_for_committed_states() {
+        let p = ApproximateMajority::new();
+        assert_eq!(p.output(TriState::A), Some(Opinion::A));
+        assert_eq!(p.output(TriState::B), Some(Opinion::B));
+        assert_eq!(p.output(TriState::Blank), None);
+    }
+
+    #[test]
+    fn large_gap_converges_to_majority_quickly() {
+        let p = ApproximateMajority::new();
+        let n = 1_000u64;
+        let mut wins = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            // Gap of n/2 — far above the √n·log n threshold.
+            let outcome = run_protocol(&p, 750, 250, &mut rng, 200 * n * 64u64.ilog2() as u64);
+            assert!(!outcome.truncated, "seed {seed} did not converge");
+            if outcome.majority_won() {
+                wins += 1;
+            }
+        }
+        assert_eq!(wins, trials);
+    }
+
+    #[test]
+    fn convergence_takes_about_n_log_n_interactions() {
+        let p = ApproximateMajority::new();
+        let n = 2_000u64;
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = run_protocol(&p, 1_200, 800, &mut rng, 10_000_000);
+        assert!(!outcome.truncated);
+        let n_log_n = (n as f64) * (n as f64).ln();
+        assert!(
+            (outcome.interactions as f64) < 20.0 * n_log_n,
+            "took {} interactions, n log n = {n_log_n}",
+            outcome.interactions
+        );
+    }
+
+    #[test]
+    fn tiny_gap_can_fail() {
+        // With a gap of 2 on n = 400 (far below √n log n ≈ 120), the protocol
+        // should pick the minority at least occasionally.
+        let p = ApproximateMajority::new();
+        let mut minority_wins = 0;
+        for seed in 0..40 {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let outcome = run_protocol(&p, 201, 199, &mut rng, 10_000_000);
+            if outcome.decision == Some(Opinion::B) {
+                minority_wins += 1;
+            }
+        }
+        assert!(minority_wins > 0, "minority never won over 40 trials");
+    }
+}

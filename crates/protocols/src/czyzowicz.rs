@@ -1,0 +1,127 @@
+use crate::protocol::{Opinion, PopulationProtocol};
+
+/// The two-species discrete Lotka–Volterra population-protocol dynamics in the
+/// style of Czyzowicz et al. \[24\].
+///
+/// In their setting the total population is static (the population-protocol
+/// scheduler), and an interaction between individuals of different species
+/// lets the initiator convert the responder ("predation"):
+///
+/// ```text
+/// (A, B) → (A, A)         (B, A) → (B, B)
+/// ```
+///
+/// These are the basic two-state discrete Lotka–Volterra ("predation")
+/// dynamics on a fixed population. Because an `A`-converts-`B` step and a
+/// `B`-converts-`A` step are equally likely in any mixed configuration, the
+/// count of `A` performs an unbiased random walk and the majority wins with
+/// probability exactly `a/n` — the proportional law. High-probability
+/// majority consensus therefore needs a near-linear gap, which is why
+/// Czyzowicz et al. \[24\] both require a linear gap
+/// (`a/b = (1+ε)/(1−ε)`) and add extra states to their actual 4-state
+/// protocol. This two-state variant is the baseline experiment E11 contrasts
+/// with the paper's polylogarithmic self-destructive threshold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CzyzowiczLvProtocol;
+
+impl CzyzowiczLvProtocol {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        CzyzowiczLvProtocol
+    }
+}
+
+impl PopulationProtocol for CzyzowiczLvProtocol {
+    type State = Opinion;
+
+    fn initial_state(&self, input: Opinion) -> Opinion {
+        input
+    }
+
+    fn transition(&self, initiator: Opinion, responder: Opinion) -> (Opinion, Opinion) {
+        if initiator != responder {
+            (initiator, initiator)
+        } else {
+            (initiator, responder)
+        }
+    }
+
+    fn output(&self, state: Opinion) -> Option<Opinion> {
+        Some(state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::run_protocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn predation_converts_the_responder() {
+        let p = CzyzowiczLvProtocol::new();
+        assert_eq!(p.transition(Opinion::A, Opinion::B), (Opinion::A, Opinion::A));
+        assert_eq!(p.transition(Opinion::B, Opinion::A), (Opinion::B, Opinion::B));
+        assert_eq!(p.transition(Opinion::A, Opinion::A), (Opinion::A, Opinion::A));
+    }
+
+    #[test]
+    fn majority_probability_follows_the_proportional_law() {
+        // With a = 300, b = 100 the majority should win about 75% of runs.
+        let p = CzyzowiczLvProtocol::new();
+        let mut wins = 0;
+        let trials = 120;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = run_protocol(&p, 300, 100, &mut rng, 10_000_000);
+            assert!(!outcome.truncated);
+            if outcome.majority_won() {
+                wins += 1;
+            }
+        }
+        let fraction = wins as f64 / trials as f64;
+        assert!(
+            (fraction - 0.75).abs() < 0.1,
+            "majority won {fraction} of runs, expected ≈ 0.75"
+        );
+    }
+
+    #[test]
+    fn near_linear_gap_wins_reliably() {
+        let p = CzyzowiczLvProtocol::new();
+        let mut wins = 0;
+        let trials = 20;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(500 + seed);
+            let outcome = run_protocol(&p, 396, 4, &mut rng, 10_000_000);
+            assert!(!outcome.truncated);
+            if outcome.majority_won() {
+                wins += 1;
+            }
+        }
+        assert!(wins >= trials - 1, "only {wins}/{trials} majority wins");
+    }
+
+    #[test]
+    fn sublinear_gap_fails_with_constant_probability() {
+        // These dynamics are a fair duel up to the drift of order gap/n: with
+        // a gap of 4 on n = 400 the minority should win a sizable fraction of
+        // the time.
+        let p = CzyzowiczLvProtocol::new();
+        let mut minority_wins = 0;
+        let trials = 60;
+        for seed in 0..trials {
+            let mut rng = StdRng::seed_from_u64(1_000 + seed);
+            let outcome = run_protocol(&p, 202, 198, &mut rng, 10_000_000);
+            assert!(!outcome.truncated);
+            if outcome.decision == Some(Opinion::B) {
+                minority_wins += 1;
+            }
+        }
+        assert!(
+            minority_wins > trials / 10,
+            "minority won only {minority_wins}/{trials} times"
+        );
+    }
+}

@@ -1,0 +1,130 @@
+use crate::protocol::{Opinion, PopulationProtocol};
+
+/// Per-agent state of the 4-state exact-majority protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FourState {
+    /// Strong (token-carrying) opinion A.
+    StrongA,
+    /// Strong (token-carrying) opinion B.
+    StrongB,
+    /// Weak opinion A.
+    WeakA,
+    /// Weak opinion B.
+    WeakB,
+}
+
+/// The 4-state exact-majority population protocol of Draief–Vojnović \[31\]
+/// and Mertzios et al. \[61\].
+///
+/// Rules (symmetric in the initiator/responder):
+///
+/// ```text
+/// (StrongA, StrongB) → (WeakA, WeakB)         cancellation
+/// (StrongA, WeakB)   → (StrongA, WeakA)       strong recruits weak
+/// (StrongB, WeakA)   → (StrongB, WeakB)
+/// ```
+///
+/// The difference between the numbers of strong-A and strong-B agents is
+/// invariant, so the protocol is always correct for any non-zero initial gap
+/// (exact majority) — at the cost of `Θ(n²)` expected interactions when the
+/// gap is small (Table 1 context, Section 2.2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactMajority4State;
+
+impl ExactMajority4State {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        ExactMajority4State
+    }
+}
+
+impl PopulationProtocol for ExactMajority4State {
+    type State = FourState;
+
+    fn initial_state(&self, input: Opinion) -> FourState {
+        match input {
+            Opinion::A => FourState::StrongA,
+            Opinion::B => FourState::StrongB,
+        }
+    }
+
+    fn transition(&self, initiator: FourState, responder: FourState) -> (FourState, FourState) {
+        use FourState::*;
+        match (initiator, responder) {
+            (StrongA, StrongB) => (WeakA, WeakB),
+            (StrongB, StrongA) => (WeakB, WeakA),
+            (StrongA, WeakB) => (StrongA, WeakA),
+            (WeakB, StrongA) => (WeakA, StrongA),
+            (StrongB, WeakA) => (StrongB, WeakB),
+            (WeakA, StrongB) => (WeakB, StrongB),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: FourState) -> Option<Opinion> {
+        match state {
+            FourState::StrongA | FourState::WeakA => Some(Opinion::A),
+            FourState::StrongB | FourState::WeakB => Some(Opinion::B),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::run_protocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cancellation_preserves_the_strong_token_difference() {
+        let p = ExactMajority4State::new();
+        use FourState::*;
+        assert_eq!(p.transition(StrongA, StrongB), (WeakA, WeakB));
+        assert_eq!(p.transition(StrongB, StrongA), (WeakB, WeakA));
+        assert_eq!(p.transition(StrongA, WeakB), (StrongA, WeakA));
+        assert_eq!(p.transition(WeakA, StrongB), (WeakB, StrongB));
+        // Agreeing pairs are inert.
+        assert_eq!(p.transition(StrongA, WeakA), (StrongA, WeakA));
+        assert_eq!(p.transition(WeakA, WeakB), (WeakA, WeakB));
+    }
+
+    #[test]
+    fn every_state_has_an_output() {
+        let p = ExactMajority4State::new();
+        assert_eq!(p.output(FourState::StrongA), Some(Opinion::A));
+        assert_eq!(p.output(FourState::WeakA), Some(Opinion::A));
+        assert_eq!(p.output(FourState::StrongB), Some(Opinion::B));
+        assert_eq!(p.output(FourState::WeakB), Some(Opinion::B));
+    }
+
+    #[test]
+    fn exact_majority_is_always_correct_even_for_gap_one() {
+        // The defining property: with any positive gap the majority always
+        // wins (no failure probability), unlike the approximate protocol.
+        let p = ExactMajority4State::new();
+        for seed in 0..25 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = run_protocol(&p, 26, 25, &mut rng, 50_000_000);
+            assert!(!outcome.truncated, "seed {seed} exhausted the budget");
+            assert!(outcome.majority_won(), "seed {seed} decided the minority");
+        }
+    }
+
+    #[test]
+    fn small_gap_needs_many_more_interactions_than_approximate_majority() {
+        let exact = ExactMajority4State::new();
+        let approx = crate::ApproximateMajority::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let exact_outcome = run_protocol(&exact, 102, 98, &mut rng, 100_000_000);
+        let approx_outcome = run_protocol(&approx, 102, 98, &mut rng, 100_000_000);
+        assert!(!exact_outcome.truncated);
+        assert!(!approx_outcome.truncated);
+        assert!(
+            exact_outcome.interactions > 2 * approx_outcome.interactions,
+            "exact {} vs approximate {}",
+            exact_outcome.interactions,
+            approx_outcome.interactions
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # lv-protocols — baseline majority-consensus protocols
+//!
+//! The paper positions its Lotka–Volterra results against several baselines
+//! from the distributed-computing literature (Sections 1.1, 2.2 and the last
+//! two rows of Table 1). This crate implements those baselines so the
+//! benchmark harness can reproduce the comparisons:
+//!
+//! * [`ApproximateMajority`] — the 3-state approximate-majority population
+//!   protocol of Angluin, Aspnes and Eisenstat \[8\]: succeeds with high
+//!   probability when the initial gap is `Ω(√n·log n)` and converges in
+//!   `O(n log n)` interactions.
+//! * [`ExactMajority4State`] — the 4-state exact-majority protocol of
+//!   Draief–Vojnović / Mertzios et al. \[31, 61\]: always correct for any
+//!   positive gap, but needs `Θ(n²)` expected interactions.
+//! * [`CzyzowiczLvProtocol`] — the two-species discrete Lotka–Volterra-like
+//!   population protocol dynamics studied by Czyzowicz et al. \[24\]
+//!   (`X + Y → X + X`), which requires a *linear* gap for majority consensus.
+//! * [`AndaurResourceModel`] — the resource-consumer model of Andaur et
+//!   al. \[6\]: bounded (non-mass-action) growth, no individual deaths and
+//!   non-self-destructive interference competition; its majority-consensus
+//!   threshold is `O(√n·log n)`.
+//!
+//! All population protocols implement the [`PopulationProtocol`] trait and are
+//! run with [`run_protocol`], which pairs agents uniformly at random (the
+//! standard random scheduler) until consensus or an interaction budget is
+//! exhausted.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod andaur;
+mod approximate_majority;
+mod czyzowicz;
+mod exact_majority;
+mod protocol;
+
+pub use andaur::{AndaurOutcome, AndaurResourceModel};
+pub use approximate_majority::ApproximateMajority;
+pub use czyzowicz::CzyzowiczLvProtocol;
+pub use exact_majority::ExactMajority4State;
+pub use protocol::{run_protocol, Opinion, PopulationProtocol, ProtocolOutcome};

@@ -1,0 +1,218 @@
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The binary opinion a protocol agent may eventually output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opinion {
+    /// Opinion of the first input species (the initial majority in our runs).
+    A,
+    /// Opinion of the second input species.
+    B,
+}
+
+impl Opinion {
+    /// The other opinion.
+    pub fn other(self) -> Opinion {
+        match self {
+            Opinion::A => Opinion::B,
+            Opinion::B => Opinion::A,
+        }
+    }
+}
+
+/// A population protocol over a fixed population of `n` agents with a finite
+/// per-agent state space.
+///
+/// The scheduler (implemented by [`run_protocol`]) repeatedly picks an ordered
+/// pair of distinct agents uniformly at random and applies
+/// [`transition`](PopulationProtocol::transition) to their states.
+pub trait PopulationProtocol {
+    /// The per-agent state type.
+    type State: Copy + Eq + std::fmt::Debug;
+
+    /// The initial state of an agent with the given input opinion.
+    fn initial_state(&self, input: Opinion) -> Self::State;
+
+    /// The joint transition `(initiator, responder) → (initiator', responder')`.
+    fn transition(&self, initiator: Self::State, responder: Self::State)
+        -> (Self::State, Self::State);
+
+    /// The output opinion of an agent in the given state, or `None` if the
+    /// state is undecided.
+    fn output(&self, state: Self::State) -> Option<Opinion>;
+
+    /// Whether the configuration has converged: every agent outputs the same
+    /// opinion (and none is undecided). The default checks exactly that.
+    fn has_converged(&self, states: &[Self::State]) -> bool {
+        let mut consensus: Option<Opinion> = None;
+        for &s in states {
+            match self.output(s) {
+                None => return false,
+                Some(o) => match consensus {
+                    None => consensus = Some(o),
+                    Some(c) if c != o => return false,
+                    _ => {}
+                },
+            }
+        }
+        consensus.is_some()
+    }
+}
+
+/// The result of running a population protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolOutcome {
+    /// The number of agents.
+    pub population: u64,
+    /// The initial count of opinion-A agents.
+    pub initial_a: u64,
+    /// The initial count of opinion-B agents.
+    pub initial_b: u64,
+    /// The consensus opinion, if the protocol converged within the budget.
+    pub decision: Option<Opinion>,
+    /// The number of pairwise interactions performed.
+    pub interactions: u64,
+    /// Whether the interaction budget was exhausted before convergence.
+    pub truncated: bool,
+}
+
+impl ProtocolOutcome {
+    /// Whether the protocol converged to the initial majority opinion.
+    pub fn majority_won(&self) -> bool {
+        match (self.initial_a.cmp(&self.initial_b), self.decision) {
+            (std::cmp::Ordering::Greater, Some(Opinion::A)) => true,
+            (std::cmp::Ordering::Less, Some(Opinion::B)) => true,
+            _ => false,
+        }
+    }
+}
+
+/// Runs a population protocol with `a` agents holding opinion A and `b`
+/// agents holding opinion B under the uniformly random pairwise scheduler,
+/// until convergence or `max_interactions` interactions.
+///
+/// # Panics
+///
+/// Panics if the population `a + b` is smaller than two.
+pub fn run_protocol<P: PopulationProtocol, R: Rng + ?Sized>(
+    protocol: &P,
+    a: u64,
+    b: u64,
+    rng: &mut R,
+    max_interactions: u64,
+) -> ProtocolOutcome {
+    let n = a + b;
+    assert!(n >= 2, "population protocols need at least two agents");
+    let mut states: Vec<P::State> = Vec::with_capacity(n as usize);
+    states.extend((0..a).map(|_| protocol.initial_state(Opinion::A)));
+    states.extend((0..b).map(|_| protocol.initial_state(Opinion::B)));
+
+    let mut interactions = 0u64;
+    // Convergence is only checked every `n` interactions to keep the check
+    // from dominating the run time; this can overshoot the interaction count
+    // by at most one epoch.
+    let check_every = n.max(1);
+    let mut outcome = ProtocolOutcome {
+        population: n,
+        initial_a: a,
+        initial_b: b,
+        decision: None,
+        interactions: 0,
+        truncated: false,
+    };
+    loop {
+        if protocol.has_converged(&states) {
+            outcome.decision = states.first().and_then(|&s| protocol.output(s));
+            outcome.interactions = interactions;
+            return outcome;
+        }
+        if interactions >= max_interactions {
+            outcome.truncated = true;
+            outcome.interactions = interactions;
+            return outcome;
+        }
+        for _ in 0..check_every {
+            let i = rng.gen_range(0..states.len());
+            let mut j = rng.gen_range(0..states.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (si, sj) = protocol.transition(states[i], states[j]);
+            states[i] = si;
+            states[j] = sj;
+            interactions += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A trivial protocol where the initiator always converts the responder.
+    #[derive(Debug)]
+    struct Infection;
+
+    impl PopulationProtocol for Infection {
+        type State = Opinion;
+
+        fn initial_state(&self, input: Opinion) -> Opinion {
+            input
+        }
+
+        fn transition(&self, initiator: Opinion, _responder: Opinion) -> (Opinion, Opinion) {
+            (initiator, initiator)
+        }
+
+        fn output(&self, state: Opinion) -> Option<Opinion> {
+            Some(state)
+        }
+    }
+
+    #[test]
+    fn opinion_other_flips() {
+        assert_eq!(Opinion::A.other(), Opinion::B);
+        assert_eq!(Opinion::B.other(), Opinion::A);
+    }
+
+    #[test]
+    fn run_reaches_consensus_on_one_opinion() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let outcome = run_protocol(&Infection, 30, 20, &mut rng, 1_000_000);
+        assert!(!outcome.truncated);
+        assert!(outcome.decision.is_some());
+        assert_eq!(outcome.population, 50);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let outcome = run_protocol(&Infection, 500, 500, &mut rng, 10);
+        assert!(outcome.truncated || outcome.decision.is_some());
+    }
+
+    #[test]
+    fn majority_won_requires_matching_decision() {
+        let base = ProtocolOutcome {
+            population: 10,
+            initial_a: 6,
+            initial_b: 4,
+            decision: Some(Opinion::A),
+            interactions: 5,
+            truncated: false,
+        };
+        assert!(base.majority_won());
+        assert!(!ProtocolOutcome { decision: Some(Opinion::B), ..base }.majority_won());
+        assert!(!ProtocolOutcome { decision: None, ..base }.majority_won());
+        assert!(!ProtocolOutcome { initial_a: 4, initial_b: 6, ..base }.majority_won());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn tiny_population_is_rejected() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = run_protocol(&Infection, 1, 0, &mut rng, 10);
+    }
+}

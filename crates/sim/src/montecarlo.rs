@@ -1,0 +1,353 @@
+use crate::estimate::SuccessEstimate;
+use crate::seed::Seed;
+use crate::stats;
+use lv_lotka::{run_majority, LvModel, MajorityOutcome};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate statistics of the majority-consensus observables over a batch of
+/// trials (the quantities bounded by Theorem 13).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConsensusStats {
+    /// Number of completed (non-truncated) trials.
+    pub trials: u64,
+    /// Number of truncated trials.
+    pub truncated: u64,
+    /// Fraction of completed trials in which the initial majority won.
+    pub majority_fraction: f64,
+    /// Fraction of completed trials ending with both species extinct.
+    pub both_extinct_fraction: f64,
+    /// Mean consensus time `T(S)` in events.
+    pub mean_events: f64,
+    /// Maximum consensus time observed.
+    pub max_events: u64,
+    /// Mean number of individual reactions `I(S)`.
+    pub mean_individual_events: f64,
+    /// Mean number of competitive reactions `K(S)`.
+    pub mean_competitive_events: f64,
+    /// Mean number of bad non-competitive reactions `J(S)`.
+    pub mean_bad_events: f64,
+    /// Maximum number of bad non-competitive reactions observed.
+    pub max_bad_events: u64,
+    /// Mean total noise `F`.
+    pub mean_noise: f64,
+    /// Standard deviation of the total noise `F`.
+    pub noise_std_dev: f64,
+    /// Mean competitive-noise component `F_comp`.
+    pub mean_competitive_noise: f64,
+}
+
+impl fmt::Display for ConsensusStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trials {} (truncated {}), majority wins {:.3}, both extinct {:.3}",
+            self.trials, self.truncated, self.majority_fraction, self.both_extinct_fraction
+        )?;
+        writeln!(
+            f,
+            "T(S): mean {:.1} max {}; I(S) {:.1}; K(S) {:.1}; J(S) mean {:.2} max {}",
+            self.mean_events,
+            self.max_events,
+            self.mean_individual_events,
+            self.mean_competitive_events,
+            self.mean_bad_events,
+            self.max_bad_events
+        )?;
+        write!(
+            f,
+            "noise F: mean {:.2} sd {:.2}; F_comp mean {:.2}",
+            self.mean_noise, self.noise_std_dev, self.mean_competitive_noise
+        )
+    }
+}
+
+/// A seeded Monte-Carlo runner.
+///
+/// All estimates are reproducible given the seed: trial `i` always uses the
+/// RNG stream [`Seed::rng_for_trial`]`(i)`, independent of threading.
+/// When more than one thread is configured (the default uses all available
+/// cores) trials are split into contiguous chunks processed by scoped
+/// crossbeam threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MonteCarlo {
+    trials: u64,
+    seed: Seed,
+    threads: usize,
+    max_events_factor: u64,
+}
+
+impl MonteCarlo {
+    /// Creates a runner with the given number of trials per estimate, using
+    /// all available CPU cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(trials: u64, seed: Seed) -> Self {
+        assert!(trials > 0, "at least one trial is required");
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        MonteCarlo {
+            trials,
+            seed,
+            threads,
+            max_events_factor: 200,
+        }
+    }
+
+    /// Restricts the runner to a fixed number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the per-trial event budget to `factor · n` where `n` is the total
+    /// initial population (default 200, generous relative to the `O(n)`
+    /// consensus time of Theorem 13).
+    pub fn with_max_events_factor(mut self, factor: u64) -> Self {
+        self.max_events_factor = factor;
+        self
+    }
+
+    /// The number of trials per estimate.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The root seed.
+    pub fn seed(&self) -> Seed {
+        self.seed
+    }
+
+    fn budget(&self, n: u64) -> u64 {
+        self.max_events_factor.saturating_mul(n.max(16)).max(100_000)
+    }
+
+    /// Estimates an arbitrary per-trial success predicate in parallel.
+    pub fn estimate<F>(&self, success: F) -> SuccessEstimate
+    where
+        F: Fn(u64, &mut StdRng) -> bool + Sync,
+    {
+        let counts = self.map_reduce(
+            |trial, rng| u64::from(success(trial, rng)),
+            0u64,
+            |acc, v| acc + v,
+        );
+        SuccessEstimate::new(counts, self.trials)
+    }
+
+    /// Runs every trial through `map` and folds the results with `reduce`.
+    /// Trials are distributed over the configured number of threads.
+    pub fn map_reduce<T, M, R>(&self, map: M, init: T, reduce: R) -> T
+    where
+        T: Clone + Send,
+        M: Fn(u64, &mut StdRng) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send + Copy,
+    {
+        let threads = self.threads.min(self.trials as usize).max(1);
+        if threads == 1 {
+            let mut acc = init;
+            for trial in 0..self.trials {
+                let mut rng = self.seed.rng_for_trial(trial);
+                acc = reduce(acc, map(trial, &mut rng));
+            }
+            return acc;
+        }
+        let chunk = self.trials.div_ceil(threads as u64);
+        let partials = crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for worker in 0..threads as u64 {
+                let start = worker * chunk;
+                let end = ((worker + 1) * chunk).min(self.trials);
+                if start >= end {
+                    continue;
+                }
+                let map = &map;
+                let init = init.clone();
+                handles.push(scope.spawn(move |_| {
+                    let mut acc = init;
+                    for trial in start..end {
+                        let mut rng = self.seed.rng_for_trial(trial);
+                        acc = reduce(acc, map(trial, &mut rng));
+                    }
+                    acc
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("crossbeam scope failed");
+        partials.into_iter().fold(init, reduce)
+    }
+
+    /// Estimates the probability that the initial majority species wins
+    /// majority consensus from `(a, b)` under the given model.
+    pub fn success_probability(&self, model: &LvModel, a: u64, b: u64) -> SuccessEstimate {
+        let budget = self.budget(a + b);
+        self.estimate(|_, rng| run_majority(model, a, b, rng, budget).majority_won())
+    }
+
+    /// Estimates the paper's proportional-law score
+    /// `P(majority wins) + ½·P(both species extinct)` (see `lv_lotka::exact`).
+    pub fn proportional_score(&self, model: &LvModel, a: u64, b: u64) -> f64 {
+        let budget = self.budget(a + b);
+        let total = self.map_reduce(
+            |_, rng| {
+                let outcome = run_majority(model, a, b, rng, budget);
+                if outcome.majority_won() {
+                    1.0
+                } else if outcome.consensus_reached && outcome.winner.is_none() {
+                    0.5
+                } else {
+                    0.0
+                }
+            },
+            0.0,
+            |acc, v| acc + v,
+        );
+        total / self.trials as f64
+    }
+
+    /// Collects the full observable statistics of Theorem 13 over the trials.
+    pub fn consensus_stats(&self, model: &LvModel, a: u64, b: u64) -> ConsensusStats {
+        let budget = self.budget(a + b);
+        let outcomes: Vec<MajorityOutcome> = self.map_reduce(
+            |_, rng| vec![run_majority(model, a, b, rng, budget)],
+            Vec::new(),
+            |mut acc, mut v| {
+                acc.append(&mut v);
+                acc
+            },
+        );
+        let completed: Vec<&MajorityOutcome> =
+            outcomes.iter().filter(|o| o.consensus_reached).collect();
+        let truncated = outcomes.len() as u64 - completed.len() as u64;
+        let count = completed.len().max(1) as f64;
+        let events: Vec<f64> = completed.iter().map(|o| o.events as f64).collect();
+        let noise: Vec<f64> = completed.iter().map(|o| o.noise.total() as f64).collect();
+        ConsensusStats {
+            trials: completed.len() as u64,
+            truncated,
+            majority_fraction: completed.iter().filter(|o| o.majority_won()).count() as f64
+                / count,
+            both_extinct_fraction: completed
+                .iter()
+                .filter(|o| o.winner.is_none())
+                .count() as f64
+                / count,
+            mean_events: stats::mean(&events),
+            max_events: completed.iter().map(|o| o.events).max().unwrap_or(0),
+            mean_individual_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.individual_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_competitive_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.competitive_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_bad_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.bad_noncompetitive_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            max_bad_events: completed
+                .iter()
+                .map(|o| o.bad_noncompetitive_events)
+                .max()
+                .unwrap_or(0),
+            mean_noise: stats::mean(&noise),
+            noise_std_dev: stats::std_dev(&noise),
+            mean_competitive_noise: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.noise.competitive as f64)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_lotka::CompetitionKind;
+
+    fn model() -> LvModel {
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn estimates_are_reproducible_across_thread_counts() {
+        let mc1 = MonteCarlo::new(200, Seed::from(5)).with_threads(1);
+        let mc2 = MonteCarlo::new(200, Seed::from(5)).with_threads(4);
+        let e1 = mc1.success_probability(&model(), 60, 40);
+        let e2 = mc2.success_probability(&model(), 60, 40);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn clear_majorities_win_almost_always() {
+        let mc = MonteCarlo::new(150, Seed::from(1));
+        let estimate = mc.success_probability(&model(), 300, 100);
+        assert!(estimate.point() > 0.95, "estimate {estimate}");
+    }
+
+    #[test]
+    fn proportional_score_matches_theory_for_balanced_model() {
+        let balanced =
+            LvModel::balanced_intra_inter(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let mc = MonteCarlo::new(1_500, Seed::from(2));
+        let score = mc.proportional_score(&balanced, 30, 20);
+        assert!((score - 0.6).abs() < 0.05, "score {score}");
+    }
+
+    #[test]
+    fn consensus_stats_are_internally_consistent() {
+        let mc = MonteCarlo::new(100, Seed::from(3));
+        let stats = mc.consensus_stats(&model(), 80, 60);
+        assert_eq!(stats.trials, 100);
+        assert_eq!(stats.truncated, 0);
+        assert!(stats.mean_events > 0.0);
+        assert!(stats.mean_events >= stats.mean_individual_events);
+        assert!(
+            (stats.mean_events
+                - stats.mean_individual_events
+                - stats.mean_competitive_events)
+                .abs()
+                < 1e-9
+        );
+        assert!(stats.max_events as f64 >= stats.mean_events);
+        // Self-destructive competition: no competitive noise.
+        assert_eq!(stats.mean_competitive_noise, 0.0);
+        let text = stats.to_string();
+        assert!(text.contains("majority wins"));
+    }
+
+    #[test]
+    fn map_reduce_visits_every_trial_once() {
+        let mc = MonteCarlo::new(1_000, Seed::from(4)).with_threads(3);
+        let sum = mc.map_reduce(|trial, _| trial, 0u64, |a, b| a + b);
+        assert_eq!(sum, 999 * 1_000 / 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = MonteCarlo::new(0, Seed::from(1));
+    }
+}

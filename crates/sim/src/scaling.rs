@@ -1,0 +1,195 @@
+use crate::stats::fit_proportional;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Candidate asymptotic scaling laws for thresholds and running times, the
+/// ones appearing in Table 1 and Theorem 13 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ScalingLaw {
+    /// `√(log n)` — the lower bound for self-destructive competition.
+    SqrtLogN,
+    /// `log n`.
+    LogN,
+    /// `log² n` — the upper bound for self-destructive competition.
+    Log2N,
+    /// `√n` — the lower bound for non-self-destructive competition.
+    SqrtN,
+    /// `√(n log n)` — the upper bound for non-self-destructive competition
+    /// and the classical approximate-majority threshold.
+    SqrtNLogN,
+    /// `n` — linear (consensus time, or the no-competition threshold).
+    Linear,
+}
+
+impl ScalingLaw {
+    /// All candidate laws, in increasing asymptotic order.
+    pub fn all() -> [ScalingLaw; 6] {
+        [
+            ScalingLaw::SqrtLogN,
+            ScalingLaw::LogN,
+            ScalingLaw::Log2N,
+            ScalingLaw::SqrtN,
+            ScalingLaw::SqrtNLogN,
+            ScalingLaw::Linear,
+        ]
+    }
+
+    /// Evaluates the law at `n` (natural logarithms, `n ≥ 2` recommended).
+    pub fn eval(&self, n: f64) -> f64 {
+        let n = n.max(2.0);
+        let ln = n.ln();
+        match self {
+            ScalingLaw::SqrtLogN => ln.sqrt(),
+            ScalingLaw::LogN => ln,
+            ScalingLaw::Log2N => ln * ln,
+            ScalingLaw::SqrtN => n.sqrt(),
+            ScalingLaw::SqrtNLogN => (n * ln).sqrt(),
+            ScalingLaw::Linear => n,
+        }
+    }
+
+    /// Whether the law is polylogarithmic (as opposed to polynomial) in `n`.
+    pub fn is_polylogarithmic(&self) -> bool {
+        matches!(
+            self,
+            ScalingLaw::SqrtLogN | ScalingLaw::LogN | ScalingLaw::Log2N
+        )
+    }
+}
+
+impl fmt::Display for ScalingLaw {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ScalingLaw::SqrtLogN => "sqrt(log n)",
+            ScalingLaw::LogN => "log n",
+            ScalingLaw::Log2N => "log^2 n",
+            ScalingLaw::SqrtN => "sqrt(n)",
+            ScalingLaw::SqrtNLogN => "sqrt(n log n)",
+            ScalingLaw::Linear => "n",
+        };
+        write!(f, "{text}")
+    }
+}
+
+/// The result of fitting measurements `(n, y)` against every candidate law.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScalingFit {
+    fits: Vec<(ScalingLaw, f64, f64)>,
+}
+
+impl ScalingFit {
+    /// Fits `y ≈ c · law(n)` for every candidate law by least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the inputs are empty or of mismatched length.
+    pub fn fit(ns: &[f64], ys: &[f64]) -> Self {
+        assert_eq!(ns.len(), ys.len(), "mismatched sample lengths");
+        assert!(!ns.is_empty(), "cannot fit an empty sample");
+        let fits = ScalingLaw::all()
+            .into_iter()
+            .map(|law| {
+                let xs: Vec<f64> = ns.iter().map(|&n| law.eval(n)).collect();
+                let (c, rmse) = fit_proportional(&xs, ys);
+                (law, c, rmse)
+            })
+            .collect();
+        ScalingFit { fits }
+    }
+
+    /// The law with the smallest relative RMS error.
+    pub fn best(&self) -> (ScalingLaw, f64, f64) {
+        *self
+            .fits
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("errors are not NaN"))
+            .expect("at least one law was fitted")
+    }
+
+    /// The fit (coefficient, relative RMS error) of a particular law.
+    pub fn for_law(&self, law: ScalingLaw) -> (f64, f64) {
+        self.fits
+            .iter()
+            .find(|(l, _, _)| *l == law)
+            .map(|&(_, c, e)| (c, e))
+            .expect("all laws are fitted")
+    }
+
+    /// All fits in the order of [`ScalingLaw::all`].
+    pub fn all(&self) -> &[(ScalingLaw, f64, f64)] {
+        &self.fits
+    }
+}
+
+impl fmt::Display for ScalingFit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (law, c, err) in &self.fits {
+            writeln!(f, "  y ≈ {c:9.4} · {law:<14} (rel. RMSE {err:.3})")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laws_evaluate_to_expected_orders() {
+        let n = 1_000_000.0;
+        assert!(ScalingLaw::SqrtLogN.eval(n) < ScalingLaw::LogN.eval(n));
+        assert!(ScalingLaw::LogN.eval(n) < ScalingLaw::Log2N.eval(n));
+        assert!(ScalingLaw::Log2N.eval(n) < ScalingLaw::SqrtN.eval(n));
+        assert!(ScalingLaw::SqrtN.eval(n) < ScalingLaw::SqrtNLogN.eval(n));
+        assert!(ScalingLaw::SqrtNLogN.eval(n) < ScalingLaw::Linear.eval(n));
+    }
+
+    #[test]
+    fn polylogarithmic_classification() {
+        assert!(ScalingLaw::Log2N.is_polylogarithmic());
+        assert!(ScalingLaw::SqrtLogN.is_polylogarithmic());
+        assert!(!ScalingLaw::SqrtN.is_polylogarithmic());
+        assert!(!ScalingLaw::Linear.is_polylogarithmic());
+    }
+
+    #[test]
+    fn fit_identifies_the_generating_law() {
+        let ns: Vec<f64> = [256.0, 1024.0, 4096.0, 16384.0, 65536.0].to_vec();
+        for law in ScalingLaw::all() {
+            let ys: Vec<f64> = ns.iter().map(|&n| 3.0 * law.eval(n)).collect();
+            let fit = ScalingFit::fit(&ns, &ys);
+            let (best_law, c, err) = fit.best();
+            assert_eq!(best_law, law, "mis-identified {law}");
+            assert!((c - 3.0).abs() < 1e-9);
+            assert!(err < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fit_distinguishes_polylog_from_polynomial_data_with_noise() {
+        let ns: Vec<f64> = [256.0, 1024.0, 4096.0, 16384.0, 65536.0, 262144.0].to_vec();
+        // log² n data with ±10% multiplicative noise.
+        let noise = [1.05, 0.95, 1.08, 0.92, 1.03, 0.97];
+        let ys: Vec<f64> = ns
+            .iter()
+            .zip(noise.iter())
+            .map(|(&n, &w)| 2.0 * ScalingLaw::Log2N.eval(n) * w)
+            .collect();
+        let fit = ScalingFit::fit(&ns, &ys);
+        let (best_law, _, _) = fit.best();
+        assert!(best_law.is_polylogarithmic(), "best law was {best_law}");
+        // The √n fit must be clearly worse than the log² n fit.
+        let (_, err_poly) = fit.for_law(ScalingLaw::SqrtN);
+        let (_, err_log) = fit.for_law(ScalingLaw::Log2N);
+        assert!(err_poly > 2.0 * err_log);
+    }
+
+    #[test]
+    fn display_lists_all_laws() {
+        let fit = ScalingFit::fit(&[10.0, 100.0], &[1.0, 2.0]);
+        let text = fit.to_string();
+        assert!(text.contains("log^2 n"));
+        assert!(text.contains("sqrt(n log n)"));
+        assert_eq!(fit.all().len(), 6);
+    }
+}

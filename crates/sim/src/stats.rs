@@ -1,0 +1,159 @@
+//! Small statistics helpers shared by the experiments.
+
+/// The arithmetic mean of a sample. Returns 0 for an empty sample.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The (population) variance of a sample. Returns 0 for samples of size < 2.
+pub fn variance(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64
+}
+
+/// The standard deviation of a sample.
+pub fn std_dev(values: &[f64]) -> f64 {
+    variance(values).sqrt()
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample using nearest-rank interpolation.
+///
+/// # Panics
+///
+/// Panics if the sample is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of an empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not contain NaN"));
+    let rank = q * (sorted.len() - 1) as f64;
+    let low = rank.floor() as usize;
+    let high = rank.ceil() as usize;
+    if low == high {
+        sorted[low]
+    } else {
+        let w = rank - low as f64;
+        sorted[low] * (1.0 - w) + sorted[high] * w
+    }
+}
+
+/// Fits `y ≈ c · f(x)` by least squares (through the origin) and returns the
+/// coefficient `c` and the relative root-mean-square error of the fit.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths or are empty.
+pub fn fit_proportional(xs: &[f64], ys: &[f64]) -> (f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(!xs.is_empty(), "cannot fit an empty sample");
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let c = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let mut rel_sq = 0.0;
+    let mut count = 0usize;
+    for (x, y) in xs.iter().zip(ys) {
+        let predicted = c * x;
+        if *y != 0.0 {
+            rel_sq += ((predicted - y) / y).powi(2);
+            count += 1;
+        }
+    }
+    let rmse = if count > 0 {
+        (rel_sq / count as f64).sqrt()
+    } else {
+        0.0
+    };
+    (c, rmse)
+}
+
+/// Ordinary least squares for `y ≈ a + b·x`; returns `(a, b, r²)`.
+///
+/// # Panics
+///
+/// Panics if the inputs have different lengths or fewer than two points.
+pub fn linear_regression(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "mismatched sample lengths");
+    assert!(xs.len() >= 2, "regression needs at least two points");
+    let n = xs.len() as f64;
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let b = if sxx > 0.0 { sxy / sxx } else { 0.0 };
+    let a = my - b * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a + b * x)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
+    let _ = n;
+    (a, b, r2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_and_std_dev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(variance(&xs), 4.0);
+        assert_eq!(std_dev(&xs), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn quantile_of_empty_sample_panics() {
+        let _ = quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn proportional_fit_recovers_exact_coefficient() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 2.5 * x).collect();
+        let (c, rmse) = fit_proportional(&xs, &ys);
+        assert!((c - 2.5).abs() < 1e-12);
+        assert!(rmse < 1e-12);
+    }
+
+    #[test]
+    fn proportional_fit_reports_error_for_wrong_law() {
+        let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+        let (_, rmse) = fit_proportional(&xs, &ys);
+        assert!(rmse > 0.3, "quadratic data fit a linear law too well ({rmse})");
+    }
+
+    #[test]
+    fn linear_regression_recovers_line() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let (a, b, r2) = linear_regression(&xs, &ys);
+        assert!((a - 3.0).abs() < 1e-12);
+        assert!((b - 0.5).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,230 @@
+use crate::montecarlo::MonteCarlo;
+use crate::seed::Seed;
+use lv_lotka::LvModel;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The result of an empirical majority-consensus threshold search at one
+/// population size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdResult {
+    /// The total initial population size `n`.
+    pub n: u64,
+    /// The smallest tested gap `∆` whose estimated success probability reached
+    /// the target.
+    pub threshold: u64,
+    /// The success-probability target used (the paper's `1 − 1/n`, possibly
+    /// clamped).
+    pub target: f64,
+    /// The estimated success probability at the returned threshold.
+    pub success_at_threshold: f64,
+    /// Whether the search saturated at the maximum possible gap (`n − 2`),
+    /// i.e. no gap reached the target — the "no threshold" situation of
+    /// Section 8.
+    pub saturated: bool,
+}
+
+impl fmt::Display for ThresholdResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n = {:>8}: threshold ∆ = {:>7}{} (target {:.4}, measured {:.4})",
+            self.n,
+            self.threshold,
+            if self.saturated { " (saturated)" } else { "" },
+            self.target,
+            self.success_at_threshold
+        )
+    }
+}
+
+/// Empirical threshold search.
+///
+/// For a population size `n`, the search estimates the success probability
+/// `ρ(∆)` of majority consensus from the configuration
+/// `((n + ∆)/2, (n − ∆)/2)` and finds the smallest `∆` with
+/// `ρ(∆) ≥ target(n)` by doubling followed by binary search (using the
+/// monotonicity of ρ in ∆, which holds for all the paper's models).
+///
+/// The paper's criterion is `target(n) = 1 − 1/n`; resolving that exactly
+/// needs `ω(n)` trials per gap, so the search uses the configured trial count
+/// and a clamped target `min(1 − 1/n, 1 − 3/trials)` — enough to expose the
+/// asymptotic *shape* (polylog vs. polynomial) that Table 1 is about, which is
+/// how EXPERIMENTS.md reports it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSearch {
+    trials: u64,
+    seed: Seed,
+    threads: Option<usize>,
+}
+
+impl ThresholdSearch {
+    /// Creates a search using the given number of trials per probed gap.
+    pub fn new(trials: u64, seed: Seed) -> Self {
+        ThresholdSearch {
+            trials,
+            seed,
+            threads: None,
+        }
+    }
+
+    /// Restricts the underlying Monte-Carlo runs to a number of threads.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// The success-probability target for population size `n`.
+    pub fn target(&self, n: u64) -> f64 {
+        let paper = 1.0 - 1.0 / n as f64;
+        let resolvable = 1.0 - 3.0 / self.trials as f64;
+        paper.min(resolvable)
+    }
+
+    fn runner(&self, label: &str, n: u64, gap: u64) -> MonteCarlo {
+        let seed = self
+            .seed
+            .derive(label)
+            .derive(&format!("n={n}"))
+            .derive(&format!("gap={gap}"));
+        let mc = MonteCarlo::new(self.trials, seed);
+        match self.threads {
+            Some(t) => mc.with_threads(t),
+            None => mc,
+        }
+    }
+
+    fn success(&self, model: &LvModel, n: u64, gap: u64) -> f64 {
+        let a = (n + gap) / 2;
+        let b = n - a;
+        if b == 0 {
+            return 1.0;
+        }
+        self.runner("threshold", n, gap)
+            .success_probability(model, a, b)
+            .point()
+    }
+
+    /// Finds the empirical threshold for the model at population size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 4`.
+    pub fn find(&self, model: &LvModel, n: u64) -> ThresholdResult {
+        assert!(n >= 4, "threshold search needs a population of at least 4");
+        let target = self.target(n);
+        let max_gap = n - 2;
+
+        // Doubling phase: find an upper bound on the threshold.
+        let mut upper = 1u64;
+        let mut upper_success = self.success(model, n, upper);
+        while upper_success < target && upper < max_gap {
+            upper = (upper * 2).min(max_gap);
+            upper_success = self.success(model, n, upper);
+        }
+        if upper_success < target {
+            return ThresholdResult {
+                n,
+                threshold: max_gap,
+                target,
+                success_at_threshold: upper_success,
+                saturated: true,
+            };
+        }
+
+        // Binary search between lower (failing) and upper (succeeding).
+        let mut lower = if upper == 1 { 0 } else { upper / 2 };
+        let mut success_at_upper = upper_success;
+        while upper - lower > 1 && upper > 1 {
+            let mid = lower + (upper - lower) / 2;
+            let s = self.success(model, n, mid);
+            if s >= target {
+                upper = mid;
+                success_at_upper = s;
+            } else {
+                lower = mid;
+            }
+        }
+        ThresholdResult {
+            n,
+            threshold: upper,
+            target,
+            success_at_threshold: success_at_upper,
+            saturated: false,
+        }
+    }
+
+    /// Finds thresholds for a whole sweep of population sizes.
+    pub fn sweep(&self, model: &LvModel, sizes: &[u64]) -> Vec<ThresholdResult> {
+        sizes.iter().map(|&n| self.find(model, n)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_lotka::CompetitionKind;
+
+    #[test]
+    fn target_is_clamped_by_trial_count() {
+        let search = ThresholdSearch::new(100, Seed::from(1));
+        assert!(search.target(1_000_000) <= 1.0 - 3.0 / 100.0 + 1e-12);
+        assert!((search.target(10) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn self_destructive_threshold_is_small_at_moderate_n() {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let search = ThresholdSearch::new(150, Seed::from(2));
+        let result = search.find(&model, 1_000);
+        assert!(!result.saturated);
+        assert!(
+            result.threshold <= 120,
+            "self-destructive threshold {} unexpectedly large",
+            result.threshold
+        );
+        assert!(result.success_at_threshold >= search.target(1_000));
+    }
+
+    #[test]
+    fn non_self_destructive_threshold_is_much_larger() {
+        let sd = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let nsd = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+        let search = ThresholdSearch::new(120, Seed::from(3));
+        let n = 2_000;
+        let t_sd = search.find(&sd, n).threshold;
+        let t_nsd = search.find(&nsd, n).threshold;
+        assert!(
+            t_nsd >= 2 * t_sd,
+            "expected a clear separation, got SD {t_sd} vs NSD {t_nsd}"
+        );
+    }
+
+    #[test]
+    fn intraspecific_only_saturates() {
+        let model = LvModel::intraspecific_only(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let search = ThresholdSearch::new(80, Seed::from(4));
+        let result = search.find(&model, 60);
+        assert!(result.saturated, "expected saturation, got {result}");
+        assert_eq!(result.threshold, 58);
+    }
+
+    #[test]
+    fn sweep_returns_one_result_per_size() {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let search = ThresholdSearch::new(60, Seed::from(5));
+        let results = search.sweep(&model, &[128, 256]);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].n, 128);
+        assert_eq!(results[1].n, 256);
+        let text = results[0].to_string();
+        assert!(text.contains("threshold"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4")]
+    fn tiny_populations_are_rejected() {
+        let model = LvModel::default();
+        let _ = ThresholdSearch::new(10, Seed::from(6)).find(&model, 2);
+    }
+}

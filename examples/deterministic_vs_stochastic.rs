@@ -1,0 +1,58 @@
+//! Deterministic Lotka–Volterra ODE vs the stochastic jump chain.
+//!
+//! Section 2.1 of the paper: under deterministic mass-action kinetics with
+//! `α′ > γ′` the species with the higher initial density *always* wins, so the
+//! ODE model cannot express the failure probabilities that demographic noise
+//! causes in finite populations. This example integrates the ODE with the
+//! in-repo RK4/RKF45 integrators and compares its all-or-nothing prediction
+//! with the stochastic success probability at the same initial conditions.
+//!
+//! ```sh
+//! cargo run --release --example deterministic_vs_stochastic
+//! ```
+
+use lv_consensus::lotka::{CompetitionKind, LvModel};
+use lv_consensus::ode::{CompetitiveLv, OdeIntegrator, Rk4, Rkf45};
+use lv_consensus::sim::report::Table;
+use lv_consensus::sim::{MonteCarlo, Seed};
+
+fn main() {
+    let n: u64 = 2_000;
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    // Deterministic counterpart (Eq. 4): r = β − δ = 0, α′ = α_total, γ′ = 0.
+    let ode = CompetitiveLv::from_rates(1.0, 1.0, model.rates().alpha_total(), 0.0);
+
+    // Sanity check the two integrators against each other on one trajectory.
+    let horizon = 20.0 / n as f64;
+    let initial = [1_010.0, 990.0];
+    let rk4 = Rk4::new(horizon / 10_000.0).integrate(&ode, initial, 0.0, horizon);
+    let rkf = Rkf45::new(1e-10).integrate(&ode, initial, 0.0, horizon);
+    let a = rk4.last_state();
+    let b = rkf.last_state();
+    println!(
+        "integrator agreement at t = {horizon:.4}: RK4 ({:.3}, {:.3}) vs RKF45 ({:.3}, {:.3})",
+        a[0], a[1], b[0], b[1]
+    );
+
+    let mut table = Table::new(
+        format!("deterministic prediction vs stochastic ρ at n = {n}"),
+        &["∆", "ODE winner", "stochastic ρ (300 trials)"],
+    );
+    for gap in [2u64, 10, 40, 160, 640] {
+        let x0 = (n + gap) / 2;
+        let x1 = n - x0;
+        let winner = match ode.predicted_winner([x0 as f64, x1 as f64]) {
+            Some(0) => "species 0 (always)",
+            Some(1) => "species 1 (always)",
+            _ => "tie",
+        };
+        let mc = MonteCarlo::new(300, Seed::from(1_000 + gap));
+        let rho = mc.success_probability(&model, x0, x1).point();
+        table.push_row(&[gap.to_string(), winner.to_string(), format!("{rho:.3}")]);
+    }
+    println!("{table}");
+    println!(
+        "The ODE is blind to demographic noise: it declares the majority the certain winner for any ∆ > 0,\n\
+         while the stochastic probability only approaches 1 once ∆ reaches the paper's threshold scale."
+    );
+}

@@ -1,0 +1,45 @@
+//! Quickstart: build a competitive Lotka–Volterra model, run one trajectory,
+//! and estimate the probability of majority consensus.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use lv_consensus::lotka::{run_majority_with_trajectory, CompetitionKind, LvModel};
+use lv_consensus::sim::{MonteCarlo, Seed};
+use rand::SeedableRng;
+
+fn main() {
+    // A neutral self-destructive Lotka–Volterra system (Eq. 1 of the paper)
+    // with unit birth, death and competition rates.
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    println!("model: {model}");
+
+    // One trajectory from (550, 450): total population n = 1000, gap ∆ = 100.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+    let (outcome, gaps) = run_majority_with_trajectory(&model, 550, 450, &mut rng, 10_000_000);
+    println!(
+        "single run: consensus after {} events, winner = {:?}, J(S) = {}, noise F = {}",
+        outcome.events,
+        outcome.winner,
+        outcome.bad_noncompetitive_events,
+        outcome.noise.total()
+    );
+    println!(
+        "gap trajectory: start {} -> min {} -> end {}",
+        gaps.first().unwrap(),
+        gaps.iter().min().unwrap(),
+        gaps.last().unwrap()
+    );
+
+    // Monte-Carlo estimate of the majority-consensus probability ρ(S).
+    let mc = MonteCarlo::new(500, Seed::from(7));
+    let estimate = mc.success_probability(&model, 550, 450);
+    println!("ρ(550, 450) ≈ {estimate}");
+
+    // The same gap under non-self-destructive competition does much worse —
+    // the paper's headline separation.
+    let nsd = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+    let estimate_nsd = mc.success_probability(&nsd, 550, 450);
+    println!("ρ_non-self-destructive(550, 450) ≈ {estimate_nsd}");
+}

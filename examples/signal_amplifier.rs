@@ -1,0 +1,53 @@
+//! Majority consensus as a differential signal amplifier.
+//!
+//! The paper's motivation (Section 1.1): an upstream microbial sub-circuit
+//! produces two noisy signals encoded as the initial counts of two engineered
+//! strains; the consortium should amplify whichever signal is larger into an
+//! all-or-nothing population-level output. This example sweeps the input
+//! difference and reports how reliably each competition mechanism amplifies
+//! it.
+//!
+//! ```sh
+//! cargo run --release --example signal_amplifier
+//! ```
+
+use lv_consensus::lotka::{CompetitionKind, LvModel};
+use lv_consensus::sim::report::Table;
+use lv_consensus::sim::{MonteCarlo, Seed};
+
+fn main() {
+    let n: u64 = 4_000;
+    let trials = 300;
+    let sd = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let nsd = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+
+    let mut table = Table::new(
+        format!("signal amplification at n = {n} ({trials} trials per point)"),
+        &[
+            "input difference ∆",
+            "relative difference",
+            "P(correct output), self-destructive",
+            "P(correct output), non-self-destructive",
+        ],
+    );
+
+    for gap in [4u64, 16, 64, 128, 256, 512] {
+        let a = (n + gap) / 2;
+        let b = n - a;
+        let mc_sd = MonteCarlo::new(trials, Seed::from(100 + gap));
+        let mc_nsd = MonteCarlo::new(trials, Seed::from(200 + gap));
+        let p_sd = mc_sd.success_probability(&sd, a, b).point();
+        let p_nsd = mc_nsd.success_probability(&nsd, a, b).point();
+        table.push_row(&[
+            gap.to_string(),
+            format!("{:.2}%", 100.0 * gap as f64 / n as f64),
+            format!("{p_sd:.3}"),
+            format!("{p_nsd:.3}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "A lysis-based (self-destructive) consortium amplifies differences of a fraction of a percent;\n\
+         a contact-killing (non-self-destructive) consortium needs differences an order of magnitude larger."
+    );
+}

@@ -1,0 +1,53 @@
+//! Empirical majority-consensus thresholds and their scaling in n.
+//!
+//! A compact version of experiments E1/E2: for each population size, find the
+//! smallest initial gap that reaches the `1 − 1/n` success criterion, then fit
+//! the thresholds against the candidate asymptotic laws of Table 1.
+//!
+//! ```sh
+//! cargo run --release --example threshold_scaling
+//! ```
+
+use lv_consensus::lotka::{CompetitionKind, LvModel};
+use lv_consensus::sim::report::Table;
+use lv_consensus::sim::{ScalingFit, Seed, ThresholdSearch};
+
+fn main() {
+    let sizes = [256u64, 1_024, 4_096, 16_384];
+    let search = ThresholdSearch::new(150, Seed::from(11));
+
+    let mut table = Table::new(
+        "empirical thresholds (success criterion 1 − 1/n, 150 trials per probe)",
+        &["n", "∆* self-destructive", "∆* non-self-destructive"],
+    );
+    let mut sd_series = Vec::new();
+    let mut nsd_series = Vec::new();
+    for &n in &sizes {
+        let sd = search.find(
+            &LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+            n,
+        );
+        let nsd = search.find(
+            &LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0),
+            n,
+        );
+        sd_series.push((n as f64, sd.threshold as f64));
+        nsd_series.push((n as f64, nsd.threshold as f64));
+        table.push_row(&[
+            n.to_string(),
+            sd.threshold.to_string(),
+            nsd.threshold.to_string(),
+        ]);
+    }
+    println!("{table}");
+
+    for (label, series) in [("self-destructive", &sd_series), ("non-self-destructive", &nsd_series)] {
+        let ns: Vec<f64> = series.iter().map(|&(n, _)| n).collect();
+        let ys: Vec<f64> = series.iter().map(|&(_, y)| y).collect();
+        let fit = ScalingFit::fit(&ns, &ys);
+        let (best, coefficient, error) = fit.best();
+        println!("{label}: threshold ≈ {coefficient:.2} · {best} (relative RMSE {error:.3})");
+        print!("{fit}");
+        println!();
+    }
+}

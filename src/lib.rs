@@ -1,0 +1,43 @@
+//! # lv-consensus
+//!
+//! A reproduction of *“Majority consensus thresholds in competitive
+//! Lotka–Volterra populations”* (Függer, Nowak, Rybicki; PODC 2024).
+//!
+//! This facade crate re-exports the member crates of the workspace so that a
+//! downstream user can depend on a single crate:
+//!
+//! * [`crn`] — chemical reaction networks with mass-action stochastic kinetics
+//!   (Gillespie direct method, next-reaction method, tau-leaping, jump chain).
+//! * [`chains`] — single-species birth–death chains, the “nice chain”
+//!   abstraction, the dominating chain of §5.2 and the asynchronous
+//!   pseudo-coupling of §5.1.
+//! * [`lotka`] — the two-species competitive Lotka–Volterra models of §1.3 and
+//!   the majority-consensus observables (consensus time, winner, gap
+//!   trajectory, noise decomposition).
+//! * [`ode`] — the deterministic competitive Lotka–Volterra ODE (Eq. 4) with
+//!   in-repo Runge–Kutta integrators.
+//! * [`protocols`] — baseline protocols from related work (3-state approximate
+//!   majority, 4-state exact majority, Czyzowicz et al. LV population
+//!   protocol, Andaur et al. resource-consumer model).
+//! * [`sim`] — Monte-Carlo engine, estimators, threshold search, scaling fits
+//!   and the experiment suite that regenerates Table 1 of the paper.
+//!
+//! # Quick start
+//!
+//! ```
+//! use lv_consensus::lotka::{CompetitionKind, LvModel};
+//! use lv_consensus::sim::{MonteCarlo, Seed};
+//!
+//! // Neutral self-destructive Lotka–Volterra system with initial state (550, 450).
+//! let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+//! let mc = MonteCarlo::new(200, Seed::from(42));
+//! let estimate = mc.success_probability(&model, 550, 450);
+//! assert!(estimate.point() > 0.5);
+//! ```
+
+pub use lv_chains as chains;
+pub use lv_crn as crn;
+pub use lv_lotka as lotka;
+pub use lv_ode as ode;
+pub use lv_protocols as protocols;
+pub use lv_sim as sim;
