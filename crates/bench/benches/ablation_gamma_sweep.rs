@@ -13,13 +13,8 @@ fn bench(c: &mut Criterion) {
     let a = (BENCH_N + gap) / 2;
     let b_count = BENCH_N - a;
     for ratio in [0.0, 0.25, 1.0] {
-        let model = LvModel::with_intraspecific(
-            CompetitionKind::SelfDestructive,
-            1.0,
-            1.0,
-            1.0,
-            ratio,
-        );
+        let model =
+            LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0, ratio);
         let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
         group.bench_function(format!("rho_gamma_over_alpha_{ratio}"), |b| {
             b.iter(|| black_box(mc.success_probability(&model, black_box(a), black_box(b_count))))

@@ -1,8 +1,11 @@
-//! E10 kernels: the deterministic ODE integration and the stochastic estimate
-//! it is compared against (Section 2.1).
+//! E10 kernels through the backend registry: the deterministic ODE backend
+//! and the stochastic Monte-Carlo estimate share one scenario harness, plus
+//! the raw in-crate integrators for reference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_bench::{bench_seed, BENCH_N, BENCH_TRIALS};
+use lv_crn::StopCondition;
+use lv_engine::{backend, Scenario};
 use lv_lotka::{CompetitionKind, LvModel};
 use lv_ode::{CompetitiveLv, OdeIntegrator, Rk4, Rkf45};
 use lv_sim::MonteCarlo;
@@ -12,33 +15,39 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ode_vs_stochastic");
     group.sample_size(10);
 
-    let ode = CompetitiveLv::from_rates(1.0, 1.0, 1.0, 0.0);
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
     let horizon = 10.0 / BENCH_N as f64;
-    let initial = [(BENCH_N / 2 + 16) as f64, (BENCH_N / 2 - 16) as f64];
+    let (a, b_count) = (BENCH_N / 2 + 16, BENCH_N / 2 - 16);
+
+    // Raw integrator kernels (no harness), for reference.
+    let ode = CompetitiveLv::from_rates(1.0, 1.0, 1.0, 0.0);
+    let initial = [a as f64, b_count as f64];
     group.bench_function("rk4_fixed_step", |b| {
         b.iter(|| {
-            black_box(Rk4::new(horizon / 1_000.0).integrate(
-                &ode,
-                black_box(initial),
-                0.0,
-                horizon,
-            ))
+            black_box(Rk4::new(horizon / 1_000.0).integrate(&ode, black_box(initial), 0.0, horizon))
         })
     });
     group.bench_function("rkf45_adaptive", |b| {
         b.iter(|| black_box(Rkf45::new(1e-9).integrate(&ode, black_box(initial), 0.0, horizon)))
     });
 
-    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
-    let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed()).with_threads(1);
-    group.bench_function("stochastic_success_probability", |b| {
+    // The same comparison through the unified harness: one scenario, the
+    // registry's "ode" backend vs a Monte-Carlo batch on "jump-chain".
+    let scenario =
+        Scenario::new(model, (a, b_count)).with_stop(StopCondition::never().with_max_time(horizon));
+    let ode_backend = backend("ode").expect("registry has the ODE backend");
+    group.bench_function("ode_backend_scenario", |b| {
         b.iter(|| {
-            black_box(mc.success_probability(
-                &model,
-                black_box(BENCH_N / 2 + 16),
-                black_box(BENCH_N / 2 - 16),
-            ))
+            let mut rng = bench_seed().rng_for_trial(0);
+            black_box(ode_backend.run(black_box(&scenario), &mut rng))
         })
+    });
+
+    let mc = MonteCarlo::new(BENCH_TRIALS, bench_seed())
+        .with_threads(1)
+        .with_backend("jump-chain");
+    group.bench_function("stochastic_success_probability", |b| {
+        b.iter(|| black_box(mc.success_probability(&model, black_box(a), black_box(b_count))))
     });
     group.finish();
 }

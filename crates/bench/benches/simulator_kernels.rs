@@ -1,54 +1,35 @@
-//! Performance comparison of the simulation kernels themselves: the
-//! specialised Lotka–Volterra jump chain vs the generic CRN simulators
-//! (jump chain, Gillespie direct method, tau-leaping) on the same model.
+//! Performance comparison of the simulation kernels themselves, selected
+//! through the engine's backend registry: every kernel runs the *same*
+//! majority `Scenario`, so the numbers compare execution engines, not
+//! harness differences.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_bench::{bench_seed, BENCH_N};
-use lv_crn::prelude::*;
-use lv_crn::StopCondition;
-use lv_lotka::{run_majority, CompetitionKind, LvModel};
+use lv_engine::{BackendRegistry, Scenario};
+use lv_lotka::{CompetitionKind, LvModel};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
-    let network = model.to_reaction_network().unwrap();
     let a = BENCH_N * 55 / 100;
     let b_count = BENCH_N - a;
-    let stop = StopCondition::any_species_extinct().with_max_events(100_000_000);
+    // One scenario, every backend: consensus with a generous event budget
+    // (lean — no observers — so the numbers isolate the stepping kernels).
+    let scenario = Scenario::new(model, (a, b_count))
+        .with_stop(lv_crn::StopCondition::any_species_extinct().with_max_events(100_000_000))
+        .with_tau(1e-3);
 
     let mut group = c.benchmark_group("simulator_kernels");
     group.sample_size(20);
 
-    group.bench_function(format!("lv_jump_chain_to_consensus_n{BENCH_N}"), |b| {
-        b.iter(|| {
-            let mut rng = bench_seed().rng_for_trial(0);
-            black_box(run_majority(&model, a, b_count, &mut rng, 100_000_000))
-        })
-    });
-
-    group.bench_function(format!("crn_jump_chain_to_consensus_n{BENCH_N}"), |b| {
-        b.iter(|| {
-            let rng = bench_seed().rng_for_trial(1);
-            let mut sim = JumpChain::new(&network, State::from(vec![a, b_count]), rng);
-            black_box(sim.run(&stop))
-        })
-    });
-
-    group.bench_function(format!("gillespie_direct_to_consensus_n{BENCH_N}"), |b| {
-        b.iter(|| {
-            let rng = bench_seed().rng_for_trial(2);
-            let mut sim = GillespieDirect::new(&network, State::from(vec![a, b_count]), rng);
-            black_box(sim.run(&stop))
-        })
-    });
-
-    group.bench_function(format!("tau_leaping_to_consensus_n{BENCH_N}"), |b| {
-        b.iter(|| {
-            let rng = bench_seed().rng_for_trial(3);
-            let mut sim = TauLeaping::new(&network, State::from(vec![a, b_count]), 1e-3, rng);
-            black_box(sim.run(&stop))
-        })
-    });
+    for (trial, backend) in BackendRegistry::global().iter().enumerate() {
+        group.bench_function(format!("{}_to_consensus_n{BENCH_N}", backend.name()), |b| {
+            b.iter(|| {
+                let mut rng = bench_seed().rng_for_trial(trial as u64);
+                black_box(backend.run(black_box(&scenario), &mut rng))
+            })
+        });
+    }
 
     group.finish();
 }

@@ -28,7 +28,9 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--exp" => {
-                let value = iter.next().ok_or("--exp needs a value (e.g. e1,e2 or all)")?;
+                let value = iter
+                    .next()
+                    .ok_or("--exp needs a value (e.g. e1,e2 or all)")?;
                 args.experiments = value.split(',').map(|s| s.trim().to_string()).collect();
             }
             "--profile" => {

@@ -31,6 +31,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn bench_constants_are_sane() {
         assert!(BENCH_N >= 128);
         assert!(BENCH_TRIALS >= 10);

@@ -204,8 +204,14 @@ mod tests {
         }
         let birth_frac = births as f64 / trials as f64;
         let death_frac = deaths as f64 / trials as f64;
-        assert!((birth_frac - 0.3).abs() < 0.02, "birth fraction {birth_frac}");
-        assert!((death_frac - 0.5).abs() < 0.02, "death fraction {death_frac}");
+        assert!(
+            (birth_frac - 0.3).abs() < 0.02,
+            "birth fraction {birth_frac}"
+        );
+        assert!(
+            (death_frac - 0.5).abs() < 0.02,
+            "death fraction {death_frac}"
+        );
     }
 
     #[test]

@@ -353,8 +353,14 @@ mod tests {
             let coupling = PseudoCoupling::new(process, chain, 50);
             let record = coupling.run(&mut rng(seed), 1_000_000);
             assert!(record.dominating_absorbed, "budget too small");
-            assert!(record.min_invariant_held, "min invariant failed (seed {seed})");
-            assert!(record.count_invariant_held, "count invariant failed (seed {seed})");
+            assert!(
+                record.min_invariant_held,
+                "min invariant failed (seed {seed})"
+            );
+            assert!(
+                record.count_invariant_held,
+                "count invariant failed (seed {seed})"
+            );
             assert!(
                 record.domination_conditions_held,
                 "domination conditions failed (seed {seed})"

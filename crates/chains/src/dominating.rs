@@ -179,9 +179,7 @@ mod tests {
         let with_death = DominatingChain::from_lv_rates(1.0, 1.0, 1.0, 1.0);
         let without_death = DominatingChain::from_lv_rates(1.0, 0.0, 1.0, 1.0);
         for m in 1..100u64 {
-            assert!(
-                without_death.birth_probability(m) <= with_death.birth_probability(m) + 1e-12
-            );
+            assert!(without_death.birth_probability(m) <= with_death.birth_probability(m) + 1e-12);
         }
     }
 

@@ -24,8 +24,14 @@ impl NiceChainWitness {
     ///
     /// Panics if either constant is not strictly positive and finite.
     pub fn new(c: f64, d: f64) -> Self {
-        assert!(c.is_finite() && c > 0.0, "C must be a positive finite constant");
-        assert!(d.is_finite() && d > 0.0, "D must be a positive finite constant");
+        assert!(
+            c.is_finite() && c > 0.0,
+            "C must be a positive finite constant"
+        );
+        assert!(
+            d.is_finite() && d > 0.0,
+            "D must be a positive finite constant"
+        );
         NiceChainWitness { c, d }
     }
 

@@ -236,10 +236,7 @@ mod tests {
         let stats = ExtinctionStats::collect(&chain, 50, 25, &mut rng(8), 1_000_000);
         assert_eq!(stats.steps_samples.len(), 25);
         assert_eq!(stats.births_samples.len(), 25);
-        assert_eq!(
-            stats.max_steps,
-            *stats.steps_samples.iter().max().unwrap()
-        );
+        assert_eq!(stats.max_steps, *stats.steps_samples.iter().max().unwrap());
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! concrete dominating chain of Section 5.2.
 
 use lv_chains::{
-    empirical_dominance, run_to_extinction, BirthDeathChain, DominatingChain, ExtinctionStats,
-    FnChain,
+    empirical_dominance, run_to_extinction, DominatingChain, ExtinctionStats, FnChain,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -116,10 +115,18 @@ fn pure_death_chain_is_dominated_by_dominating_chain() {
     let trials = 200;
     let mut r = rng(33);
     let pure: Vec<u64> = (0..trials)
-        .map(|_| run_to_extinction(&pure_death, n, &mut r, 10_000_000).unwrap().steps)
+        .map(|_| {
+            run_to_extinction(&pure_death, n, &mut r, 10_000_000)
+                .unwrap()
+                .steps
+        })
         .collect();
     let dominated: Vec<u64> = (0..trials)
-        .map(|_| run_to_extinction(&dominating, n, &mut r, 10_000_000).unwrap().steps)
+        .map(|_| {
+            run_to_extinction(&dominating, n, &mut r, 10_000_000)
+                .unwrap()
+                .steps
+        })
         .collect();
     let report = empirical_dominance(&pure, &dominated);
     assert!(

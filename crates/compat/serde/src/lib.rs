@@ -1,0 +1,19 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde) crate.
+//!
+//! The workspace annotates its data types with `#[derive(Serialize,
+//! Deserialize)]` so that a real serde can be dropped in when the build
+//! environment has registry access, but nothing in-tree actually serializes.
+//! This shim therefore provides [`Serialize`] and [`Deserialize`] as marker
+//! traits (no methods) and re-exports no-op derive macros that implement
+//! them. Swapping this crate for the real `serde` is a manifest-only change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

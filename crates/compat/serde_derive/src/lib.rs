@@ -1,0 +1,56 @@
+//! No-op `Serialize`/`Deserialize` derives for the in-workspace serde
+//! stand-in.
+//!
+//! The shim's traits are empty markers, so the derives only need the type
+//! name. Generic types are rejected with a clear error; none of the types in
+//! this workspace that derive the serde traits are generic, and real serde
+//! can be substituted when registry access is available.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the identifier of the struct/enum/union a derive is attached to.
+///
+/// Panics (surfacing as a compile error) when the item is generic, since the
+/// no-op derive does not implement bound propagation.
+fn type_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(token) = tokens.next() {
+        if let TokenTree::Ident(ident) = &token {
+            let word = ident.to_string();
+            if word == "struct" || word == "enum" || word == "union" {
+                let name = match tokens.next() {
+                    Some(TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("expected a type name after `{word}`, found {other:?}"),
+                };
+                if let Some(TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "the offline serde derive shim does not support generic type \
+                             `{name}`; implement the marker trait manually"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("derive input contained no struct/enum/union");
+}
+
+/// No-op stand-in for `#[derive(serde::Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}
+
+/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl must parse")
+}

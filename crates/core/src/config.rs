@@ -147,10 +147,7 @@ mod tests {
         assert!(!LvConfiguration::new(3, 2).is_consensus());
         assert!(LvConfiguration::new(0, 2).is_consensus());
         assert!(LvConfiguration::new(0, 0).is_consensus());
-        assert_eq!(
-            LvConfiguration::new(0, 2).winner(),
-            Some(SpeciesIndex::One)
-        );
+        assert_eq!(LvConfiguration::new(0, 2).winner(), Some(SpeciesIndex::One));
         assert_eq!(
             LvConfiguration::new(9, 0).winner(),
             Some(SpeciesIndex::Zero)
@@ -162,10 +159,7 @@ mod tests {
     #[test]
     fn with_change_saturates_at_zero() {
         let state = LvConfiguration::new(2, 5);
-        assert_eq!(
-            state.with_change(SpeciesIndex::Zero, -3).counts(),
-            (0, 5)
-        );
+        assert_eq!(state.with_change(SpeciesIndex::Zero, -3).counts(), (0, 5));
         assert_eq!(state.with_change(SpeciesIndex::One, 2).counts(), (2, 7));
         assert_eq!(state.with_change(SpeciesIndex::Zero, 1).counts(), (3, 5));
     }

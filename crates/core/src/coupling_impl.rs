@@ -148,7 +148,10 @@ mod tests {
         // Condition (D2) needs Q(a,b) ≥ α_min·ab/φ; for the neutral model the
         // good class contains both interspecific directions under
         // self-destructive competition, so Q = α·ab/φ ≥ α_min·ab/φ.
-        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+        for kind in [
+            CompetitionKind::SelfDestructive,
+            CompetitionKind::NonSelfDestructive,
+        ] {
             let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
             let state = LvConfiguration::new(20, 9);
             let chain = LvJumpChain::new(model, state);
@@ -165,7 +168,10 @@ mod tests {
 
     #[test]
     fn class_probabilities_partition_unity() {
-        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+        for kind in [
+            CompetitionKind::SelfDestructive,
+            CompetitionKind::NonSelfDestructive,
+        ] {
             let model = LvModel::with_intraspecific(kind, 1.0, 0.5, 1.0, 0.5);
             let chain = LvJumpChain::new(model, LvConfiguration::new(14, 14));
             let p = chain.bad_noncompetitive_probability();
@@ -185,8 +191,14 @@ mod tests {
             chain.step_conditioned(EventClass::GoodCompetitive, &mut r);
             let after = chain.state();
             // A good competitive event decreases the minority (species 1).
-            assert_eq!(after.count(SpeciesIndex::One), before.count(SpeciesIndex::One) - 1);
-            assert_eq!(after.count(SpeciesIndex::Zero), before.count(SpeciesIndex::Zero));
+            assert_eq!(
+                after.count(SpeciesIndex::One),
+                before.count(SpeciesIndex::One) - 1
+            );
+            assert_eq!(
+                after.count(SpeciesIndex::Zero),
+                before.count(SpeciesIndex::Zero)
+            );
         }
         for _ in 0..200 {
             let mut chain = LvJumpChain::new(model, LvConfiguration::new(10, 6));
@@ -203,7 +215,10 @@ mod tests {
     fn domination_conditions_hold_at_every_visited_state() {
         // Lemma 12: the dominating chain of the model satisfies (D1)/(D2) for
         // every state, which the coupling verifies along its runs.
-        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+        for kind in [
+            CompetitionKind::SelfDestructive,
+            CompetitionKind::NonSelfDestructive,
+        ] {
             // α_total = 2 keeps the dominating chain's metastable plateau low
             // (p(m) = q around m ≈ 5) so its extinction time stays small and
             // the joint run finishes quickly.
@@ -232,13 +247,11 @@ mod tests {
                 let process = LvJumpChain::new(model, LvConfiguration::new(a, b));
                 let m = a.min(b);
                 assert!(
-                    process.bad_noncompetitive_probability()
-                        <= chain.birth_probability(m) + 1e-12,
+                    process.bad_noncompetitive_probability() <= chain.birth_probability(m) + 1e-12,
                     "(D1) fails at ({a},{b})"
                 );
                 assert!(
-                    process.good_competitive_probability()
-                        >= chain.death_probability(m) - 1e-12,
+                    process.good_competitive_probability() >= chain.death_probability(m) - 1e-12,
                     "(D2) fails at ({a},{b})"
                 );
             }

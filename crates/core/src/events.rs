@@ -77,24 +77,22 @@ impl LvEvent {
             (LvEvent::Death(SpeciesIndex::Zero), _) => (-1, 0),
             (LvEvent::Death(SpeciesIndex::One), _) => (0, -1),
             (LvEvent::Interspecific { .. }, CompetitionKind::SelfDestructive) => (-1, -1),
-            (
-                LvEvent::Interspecific { attacker },
-                CompetitionKind::NonSelfDestructive,
-            ) => match attacker {
-                // The attacker survives; the other species loses one.
-                SpeciesIndex::Zero => (0, -1),
-                SpeciesIndex::One => (-1, 0),
-            },
+            (LvEvent::Interspecific { attacker }, CompetitionKind::NonSelfDestructive) => {
+                match attacker {
+                    // The attacker survives; the other species loses one.
+                    SpeciesIndex::Zero => (0, -1),
+                    SpeciesIndex::One => (-1, 0),
+                }
+            }
             (LvEvent::Intraspecific(species), CompetitionKind::SelfDestructive) => match species {
                 SpeciesIndex::Zero => (-2, 0),
                 SpeciesIndex::One => (0, -2),
             },
-            (LvEvent::Intraspecific(species), CompetitionKind::NonSelfDestructive) => {
-                match species {
-                    SpeciesIndex::Zero => (-1, 0),
-                    SpeciesIndex::One => (0, -1),
-                }
-            }
+            (LvEvent::Intraspecific(species), CompetitionKind::NonSelfDestructive) => match species
+            {
+                SpeciesIndex::Zero => (-1, 0),
+                SpeciesIndex::One => (0, -1),
+            },
         }
     }
 

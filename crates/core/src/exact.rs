@@ -159,8 +159,16 @@ pub fn solve_absorption_for(
     let boundary_value = |winner: SpeciesIndex, x: u64, y: u64| -> Option<f64> {
         match (x, y) {
             (0, 0) => Some(0.0),
-            (_, 0) => Some(if winner == SpeciesIndex::Zero { 1.0 } else { 0.0 }),
-            (0, _) => Some(if winner == SpeciesIndex::One { 1.0 } else { 0.0 }),
+            (_, 0) => Some(if winner == SpeciesIndex::Zero {
+                1.0
+            } else {
+                0.0
+            }),
+            (0, _) => Some(if winner == SpeciesIndex::One {
+                1.0
+            } else {
+                0.0
+            }),
             _ => None,
         }
     };

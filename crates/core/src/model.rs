@@ -38,7 +38,10 @@ impl LvModel {
     ///
     /// Panics if any rate is negative or non-finite.
     pub fn new(kind: CompetitionKind, rates: LvRates) -> Self {
-        assert!(rates.is_valid(), "all rates must be finite and non-negative");
+        assert!(
+            rates.is_valid(),
+            "all rates must be finite and non-negative"
+        );
         LvModel { kind, rates }
     }
 
@@ -266,7 +269,11 @@ impl Default for LvModel {
 
 impl fmt::Display for LvModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Lotka–Volterra ({} competition, {})", self.kind, self.rates)
+        write!(
+            f,
+            "Lotka–Volterra ({} competition, {})",
+            self.kind, self.rates
+        )
     }
 }
 
@@ -277,7 +284,8 @@ mod tests {
 
     #[test]
     fn propensities_match_section_1_3() {
-        let model = LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 2.0, 3.0, 1.0, 4.0);
+        let model =
+            LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 2.0, 3.0, 1.0, 4.0);
         let state = LvConfiguration::new(10, 4);
         let p = model.propensities(state);
         assert_eq!(p[0], 2.0 * 10.0); // birth X0
@@ -329,19 +337,27 @@ mod tests {
             LvModel::balanced_intra_inter(CompetitionKind::SelfDestructive, 1.0, 1.0, 2.0);
         assert_eq!(balanced_sd.rates().gamma_total(), 4.0);
         // Theorem 20's condition α = γ: per-species γ_i equals the total α.
-        assert_eq!(balanced_sd.rates().gamma[0], balanced_sd.rates().alpha_total());
+        assert_eq!(
+            balanced_sd.rates().gamma[0],
+            balanced_sd.rates().alpha_total()
+        );
         let balanced_nsd =
             LvModel::balanced_intra_inter(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 2.0);
         assert_eq!(balanced_nsd.rates().gamma_total(), 4.0);
         // Theorem 23's condition γ_i = 2α_i per species.
-        assert_eq!(balanced_nsd.rates().gamma[0], 2.0 * balanced_nsd.rates().alpha[0]);
+        assert_eq!(
+            balanced_nsd.rates().gamma[0],
+            2.0 * balanced_nsd.rates().alpha[0]
+        );
     }
 
     #[test]
     fn dominating_chain_exists_only_without_intraspecific_competition() {
         assert!(LvModel::default().dominating_chain().is_some());
         assert!(LvModel::cho_et_al(1.0, 1.0).dominating_chain().is_some());
-        assert!(LvModel::no_competition(1.0, 1.0).dominating_chain().is_none());
+        assert!(LvModel::no_competition(1.0, 1.0)
+            .dominating_chain()
+            .is_none());
         assert!(
             LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0, 1.0)
                 .dominating_chain()
@@ -360,7 +376,10 @@ mod tests {
 
     #[test]
     fn reaction_network_matches_direct_propensities() {
-        for kind in [CompetitionKind::SelfDestructive, CompetitionKind::NonSelfDestructive] {
+        for kind in [
+            CompetitionKind::SelfDestructive,
+            CompetitionKind::NonSelfDestructive,
+        ] {
             let model = LvModel::with_intraspecific(kind, 1.5, 0.5, 2.0, 1.0);
             let net = model.to_reaction_network().unwrap();
             for (a, b) in [(0u64, 0u64), (1, 1), (10, 4), (3, 17)] {

@@ -15,14 +15,20 @@ fn competition_kind() -> impl Strategy<Value = CompetitionKind> {
 }
 
 fn rates() -> impl Strategy<Value = LvRates> {
-    (0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0, 0.0f64..3.0).prop_map(
-        |(beta, delta, a0, a1, g0, g1)| LvRates {
+    (
+        0.0f64..3.0,
+        0.0f64..3.0,
+        0.0f64..3.0,
+        0.0f64..3.0,
+        0.0f64..3.0,
+        0.0f64..3.0,
+    )
+        .prop_map(|(beta, delta, a0, a1, g0, g1)| LvRates {
             beta,
             delta,
             alpha: [a0, a1],
             gamma: [g0, g1],
-        },
-    )
+        })
 }
 
 proptest! {

@@ -152,8 +152,14 @@ fn consensus_time_is_linear_in_population_size() {
         let trials = 150;
         (0..trials)
             .map(|t| {
-                run_majority(&model, n * 55 / 100, n * 45 / 100, &mut rng(seed + t), 100_000_000)
-                    .events as f64
+                run_majority(
+                    &model,
+                    n * 55 / 100,
+                    n * 45 / 100,
+                    &mut rng(seed + t),
+                    100_000_000,
+                )
+                .events as f64
             })
             .sum::<f64>()
             / trials as f64

@@ -118,7 +118,10 @@ mod tests {
         let mut r = rng(11);
         let rate = 4.0;
         let n = 20_000;
-        let mean: f64 = (0..n).map(|_| sample_exponential(&mut r, rate)).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n)
+            .map(|_| sample_exponential(&mut r, rate))
+            .sum::<f64>()
+            / n as f64;
         assert!(
             (mean - 1.0 / rate).abs() < 0.01,
             "empirical mean {mean} far from {}",
@@ -148,11 +151,7 @@ mod tests {
         let n = 20_000;
         let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, mean)).collect();
         let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var: f64 = samples
-            .iter()
-            .map(|&x| (x as f64 - m).powi(2))
-            .sum::<f64>()
-            / n as f64;
+        let var: f64 = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
         assert!((m - mean).abs() < 0.1, "mean {m}");
         assert!((var - mean).abs() < 0.25, "variance {var}");
     }

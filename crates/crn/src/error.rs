@@ -111,7 +111,9 @@ mod tests {
                 "too few individuals",
             ),
             (
-                CrnError::InvalidParameter { what: "tau must be positive" },
+                CrnError::InvalidParameter {
+                    what: "tau must be positive",
+                },
                 "tau must be positive",
             ),
         ];

@@ -259,7 +259,10 @@ mod tests {
         net.add_reaction(Reaction::new(1.0).reactant(SpeciesId::new(5), 1));
         assert!(matches!(
             net.validate().unwrap_err(),
-            CrnError::UnknownSpecies { species: 5, species_count: 1 }
+            CrnError::UnknownSpecies {
+                species: 5,
+                species_count: 1
+            }
         ));
     }
 

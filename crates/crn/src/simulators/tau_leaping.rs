@@ -103,10 +103,9 @@ impl<'a, R: Rng> TauLeaping<'a, R> {
             if k == 0 {
                 continue;
             }
-            for species_index in 0..net.len() {
-                let change =
-                    reaction.net_change(crate::species::SpeciesId::new(species_index));
-                net[species_index] += change * k as i64;
+            for (species_index, entry) in net.iter_mut().enumerate() {
+                let change = reaction.net_change(crate::species::SpeciesId::new(species_index));
+                *entry += change * k as i64;
             }
         }
         for (index, delta) in net.iter().enumerate() {
@@ -127,8 +126,8 @@ impl<'a, R: Rng> TauLeaping<'a, R> {
                 continue;
             }
             total += k;
-            for species_index in 0..counts.len() {
-                counts[species_index] +=
+            for (species_index, count) in counts.iter_mut().enumerate() {
+                *count +=
                     reaction.net_change(crate::species::SpeciesId::new(species_index)) * k as i64;
             }
         }
@@ -189,10 +188,7 @@ impl<'a, R: Rng> StochasticSimulator for TauLeaping<'a, R> {
                 self.events += fired;
                 // Report the first reaction that fired in this leap (or 0) as
                 // the representative reaction for the Event record.
-                let representative = firings
-                    .iter()
-                    .position(|&k| k > 0)
-                    .unwrap_or(0);
+                let representative = firings.iter().position(|&k| k > 0).unwrap_or(0);
                 return Some(Event {
                     reaction: ReactionId::new(representative),
                     time: self.time,

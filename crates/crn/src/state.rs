@@ -71,7 +71,7 @@ impl State {
 
     /// Whether at least one species has count zero.
     pub fn any_extinct(&self) -> bool {
-        self.counts.iter().any(|&c| c == 0)
+        self.counts.contains(&0)
     }
 
     /// The counts as a slice, indexed by species index.
@@ -216,7 +216,10 @@ mod tests {
         let mut state = State::from(vec![0, 2]);
         let comp = Reaction::new(1.0).reactant(s(0), 1).reactant(s(1), 1);
         let err = state.apply(&comp).unwrap_err();
-        assert!(matches!(err, CrnError::InsufficientReactants { species: 0, .. }));
+        assert!(matches!(
+            err,
+            CrnError::InsufficientReactants { species: 0, .. }
+        ));
         assert_eq!(state.counts(), &[0, 2]);
     }
 

@@ -219,7 +219,9 @@ mod tests {
 
     #[test]
     fn never_condition_with_budgets() {
-        let cond = StopCondition::never().with_max_events(10).with_max_time(2.0);
+        let cond = StopCondition::never()
+            .with_max_events(10)
+            .with_max_time(2.0);
         assert!(!cond.is_met(&State::from(vec![0, 0])));
         assert_eq!(cond.max_events(), Some(10));
         assert_eq!(cond.max_time(), Some(2.0));
@@ -228,7 +230,9 @@ mod tests {
     #[test]
     fn or_combines_conditions_and_tightens_budgets() {
         let a = StopCondition::any_species_extinct().with_max_events(100);
-        let b = StopCondition::total_at_least(1000).with_max_events(50).with_max_time(7.0);
+        let b = StopCondition::total_at_least(1000)
+            .with_max_events(50)
+            .with_max_time(7.0);
         let combined = a.or(b);
         assert!(combined.is_met(&State::from(vec![0, 5])));
         assert!(combined.is_met(&State::from(vec![600, 500])));

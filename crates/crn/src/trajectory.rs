@@ -70,12 +70,7 @@ impl Trajectory {
     pub fn gap_series(&self, a: SpeciesId, b: SpeciesId) -> Vec<(f64, i64)> {
         self.points
             .iter()
-            .map(|p| {
-                (
-                    p.time,
-                    p.state.count(a) as i64 - p.state.count(b) as i64,
-                )
-            })
+            .map(|p| (p.time, p.state.count(a) as i64 - p.state.count(b) as i64))
             .collect()
     }
 

@@ -9,12 +9,7 @@ use rand::SeedableRng;
 /// Strategy for small two-species Lotka–Volterra-like networks with arbitrary
 /// non-negative rates.
 fn lv_rates() -> impl Strategy<Value = (f64, f64, f64, f64)> {
-    (
-        0.0f64..5.0,
-        0.0f64..5.0,
-        0.0f64..5.0,
-        0.0f64..5.0,
-    )
+    (0.0f64..5.0, 0.0f64..5.0, 0.0f64..5.0, 0.0f64..5.0)
 }
 
 fn build_lv(beta: f64, delta: f64, alpha: f64, gamma: f64) -> ValidatedNetwork {

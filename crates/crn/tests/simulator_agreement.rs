@@ -60,7 +60,10 @@ fn direct_and_jump_chain_agree_on_majority_probability() {
         "direct {p_direct} vs jump chain {p_jump}"
     );
     // Majority should win well over half the time with a 50% relative gap.
-    assert!(p_direct > 0.6, "direct method majority probability {p_direct}");
+    assert!(
+        p_direct > 0.6,
+        "direct method majority probability {p_direct}"
+    );
     assert!(p_jump > 0.6, "jump chain majority probability {p_jump}");
 }
 

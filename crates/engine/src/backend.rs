@@ -1,0 +1,228 @@
+//! The [`Backend`] trait and the shared run driver every backend uses.
+
+use crate::observer::{Observer, ObserverSpec, StepRecord};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use lv_crn::{State, StopReason};
+use lv_lotka::{LvConfiguration, LvEvent, SpeciesIndex};
+use rand::rngs::StdRng;
+
+/// A pluggable execution engine for [`Scenario`]s.
+///
+/// The trait is object-safe so backends can live behind the string-keyed
+/// [`registry`](crate::BackendRegistry) and be selected at runtime (CLI
+/// flags, bench parameters, config files). All stochastic backends draw
+/// every random decision from the `rng` argument, so a fixed seed fully
+/// determines a run.
+pub trait Backend: Send + Sync {
+    /// The canonical registry name (kebab-case, e.g. `"jump-chain"`).
+    fn name(&self) -> &'static str;
+
+    /// Alternative registry names accepted by lookup.
+    fn aliases(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// One-line human description shown by CLI listings.
+    fn description(&self) -> &'static str;
+
+    /// Whether this backend ignores the RNG (same scenario, same report,
+    /// every run). Batch runners use this to execute deterministic backends
+    /// once instead of once per trial.
+    fn deterministic(&self) -> bool {
+        false
+    }
+
+    /// Executes the scenario to completion.
+    ///
+    /// The deterministic ODE backend accepts the RNG for interface uniformity
+    /// and ignores it.
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport;
+}
+
+/// Shared driver state: stop-condition evaluation, observer dispatch and
+/// report assembly. Backends own the stepping; everything else lives here so
+/// all five backends honor a scenario identically.
+pub(crate) struct Driver<'a> {
+    scenario: &'a Scenario,
+    observers: Vec<(ObserverSpec, Box<dyn Observer>)>,
+    /// Two-species scratch state kept in sync with `state` so the CRN
+    /// [`StopCondition`](lv_crn::StopCondition) can be evaluated without
+    /// per-step allocation.
+    scratch: State,
+    state: LvConfiguration,
+    events: u64,
+    steps: u64,
+    time: f64,
+}
+
+impl<'a> Driver<'a> {
+    pub(crate) fn new(scenario: &'a Scenario) -> Self {
+        let initial = scenario.initial();
+        let mut observers: Vec<(ObserverSpec, Box<dyn Observer>)> = scenario
+            .observers()
+            .iter()
+            .map(|spec| (*spec, spec.build()))
+            .collect();
+        for (_, observer) in &mut observers {
+            observer.on_start(initial);
+        }
+        let (x0, x1) = initial.counts();
+        Driver {
+            scenario,
+            observers,
+            scratch: State::from(vec![x0, x1]),
+            state: initial,
+            events: 0,
+            steps: 0,
+            time: 0.0,
+        }
+    }
+
+    /// Reaction firings so far.
+    pub(crate) fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Driver steps so far (leaps/integration steps for aggregating
+    /// backends).
+    pub(crate) fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Checks the scenario's stop condition and budgets, in the same order
+    /// as `StochasticSimulator::run_with_observer`: state condition first,
+    /// then the event budget, then the time budget.
+    pub(crate) fn check_stop(&self) -> Option<StopReason> {
+        let stop = self.scenario.stop();
+        if stop.is_met(&self.scratch) {
+            return Some(StopReason::ConditionMet);
+        }
+        if let Some(max_events) = stop.max_events() {
+            if self.events >= max_events {
+                return Some(StopReason::MaxEventsReached);
+            }
+        }
+        if let Some(max_time) = stop.max_time() {
+            if self.time >= max_time {
+                return Some(StopReason::MaxTimeReached);
+            }
+        }
+        None
+    }
+
+    /// Records one completed step: advances the clocks, updates the tracked
+    /// state and notifies every observer.
+    pub(crate) fn record(
+        &mut self,
+        event: Option<LvEvent>,
+        after: LvConfiguration,
+        time: f64,
+        firings: u64,
+    ) {
+        let record = StepRecord {
+            event,
+            before: self.state,
+            after,
+            time,
+            firings,
+        };
+        for (_, observer) in &mut self.observers {
+            observer.on_step(&record);
+        }
+        self.state = after;
+        let (x0, x1) = after.counts();
+        self.scratch.set_count(lv_crn::SpeciesId::new(0), x0);
+        self.scratch.set_count(lv_crn::SpeciesId::new(1), x1);
+        self.events += firings;
+        self.steps += 1;
+        self.time = time;
+    }
+
+    /// Finalizes every observer and assembles the report.
+    pub(crate) fn finish(mut self, backend: &'static str, reason: StopReason) -> RunReport {
+        let observations = self
+            .observers
+            .iter_mut()
+            .map(|(spec, observer)| (*spec, observer.finish()))
+            .collect();
+        RunReport::new(
+            backend,
+            self.scenario.initial(),
+            self.state,
+            reason,
+            self.events,
+            self.steps,
+            self.time,
+            observations,
+        )
+    }
+}
+
+/// The reaction-index → [`LvEvent`] map for the network built by
+/// [`LvModel::to_reaction_network`](lv_lotka::LvModel::to_reaction_network),
+/// which adds (per species, in order) birth, death, interspecific and
+/// intraspecific reactions, skipping those with rate zero.
+pub(crate) fn reaction_event_map(model: &lv_lotka::LvModel) -> Vec<LvEvent> {
+    let rates = model.rates();
+    let mut map = Vec::with_capacity(8);
+    for species in [SpeciesIndex::Zero, SpeciesIndex::One] {
+        if rates.beta > 0.0 {
+            map.push(LvEvent::Birth(species));
+        }
+        if rates.delta > 0.0 {
+            map.push(LvEvent::Death(species));
+        }
+        if rates.alpha[species.index()] > 0.0 {
+            map.push(LvEvent::Interspecific { attacker: species });
+        }
+        if rates.gamma[species.index()] > 0.0 {
+            map.push(LvEvent::Intraspecific(species));
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_lotka::{CompetitionKind, LvModel};
+
+    #[test]
+    fn event_map_matches_network_reaction_order() {
+        let model =
+            LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 0.5, 2.0, 1.0);
+        let network = model.to_reaction_network().unwrap();
+        let map = reaction_event_map(&model);
+        assert_eq!(map.len(), network.reaction_count());
+        // Spot-check against the names lv-lotka assigns.
+        for (event, reaction) in map.iter().zip(network.reactions()) {
+            let name = reaction.name().expect("lv-lotka names every reaction");
+            let expected = match event {
+                LvEvent::Birth(_) => "birth",
+                LvEvent::Death(_) => "death",
+                LvEvent::Interspecific { .. } => "interspecific",
+                LvEvent::Intraspecific(_) => "intraspecific",
+            };
+            assert!(
+                name.starts_with(expected),
+                "event {event:?} mapped to reaction {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn event_map_skips_zero_rate_reactions() {
+        let model = LvModel::no_competition(1.0, 1.0);
+        let map = reaction_event_map(&model);
+        assert_eq!(
+            map,
+            vec![
+                LvEvent::Birth(SpeciesIndex::Zero),
+                LvEvent::Death(SpeciesIndex::Zero),
+                LvEvent::Birth(SpeciesIndex::One),
+                LvEvent::Death(SpeciesIndex::One),
+            ]
+        );
+    }
+}

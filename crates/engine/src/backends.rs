@@ -1,0 +1,362 @@
+//! The built-in backends: one exact specialised jump chain, three generic
+//! CRN simulators, and the deterministic ODE.
+
+use crate::backend::{Backend, Driver};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use lv_crn::simulators::{GillespieDirect, NextReaction, StochasticSimulator, TauLeaping};
+use lv_crn::{State, StopReason};
+use lv_lotka::{CompetitionKind, LvConfiguration, LvEvent, LvJumpChain};
+use lv_ode::{CompetitiveLv, OdeSystem, Rk4};
+use rand::rngs::StdRng;
+
+/// The exact discrete-time jump chain, specialised for the two-species
+/// Lotka–Volterra state space (the paper's chain `S = (S_t)`).
+///
+/// This is the migration of the bespoke loop that used to live in
+/// `lv_lotka::run_majority`: the same [`LvJumpChain`] stepping, with the
+/// observable collection moved into composable observers. On the same RNG
+/// stream it visits exactly the same states, so its reports reproduce
+/// `run_majority` bit for bit.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JumpChainBackend;
+
+impl Backend for JumpChainBackend {
+    fn name(&self) -> &'static str {
+        "jump-chain"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["jump", "exact"]
+    }
+
+    fn description(&self) -> &'static str {
+        "exact embedded jump chain, specialised for two-species LV (fastest exact backend)"
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        let mut chain = LvJumpChain::new(*scenario.model(), scenario.initial());
+        let mut driver = Driver::new(scenario);
+        loop {
+            if let Some(reason) = driver.check_stop() {
+                return driver.finish(self.name(), reason);
+            }
+            match chain.step(rng) {
+                Some(event) => {
+                    let time = (driver.events() + 1) as f64;
+                    driver.record(Some(event), chain.state(), time, 1);
+                }
+                None => return driver.finish(self.name(), StopReason::Absorbed),
+            }
+        }
+    }
+}
+
+/// Drives any generic CRN simulator through the shared [`Driver`].
+fn drive_crn<S: StochasticSimulator>(
+    name: &'static str,
+    scenario: &Scenario,
+    sim: &mut S,
+    event_map: &[LvEvent],
+) -> RunReport {
+    let mut driver = Driver::new(scenario);
+    loop {
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(name, reason);
+        }
+        let events_before = sim.events();
+        match sim.step() {
+            Some(event) => {
+                let firings = sim.events() - events_before;
+                let counts = sim.state().counts();
+                let after = LvConfiguration::new(counts[0], counts[1]);
+                // A step representing exactly one firing is a resolved event;
+                // multi-firing leaps stay unclassified.
+                let lv_event = if firings == 1 {
+                    Some(event_map[event.reaction.index()])
+                } else {
+                    None
+                };
+                driver.record(lv_event, after, sim.time(), firings);
+            }
+            None => return driver.finish(name, StopReason::Absorbed),
+        }
+    }
+}
+
+fn initial_state(scenario: &Scenario) -> State {
+    let (x0, x1) = scenario.initial().counts();
+    State::from(vec![x0, x1])
+}
+
+/// The Gillespie direct method on the model's reaction network: exact
+/// continuous-time stochastic simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GillespieDirectBackend;
+
+impl Backend for GillespieDirectBackend {
+    fn name(&self) -> &'static str {
+        "gillespie-direct"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["direct", "gillespie", "ssa"]
+    }
+
+    fn description(&self) -> &'static str {
+        "exact continuous-time Gillespie direct method on the generic CRN"
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        let crn = scenario.crn_form();
+        let mut sim = GillespieDirect::new(&crn.network, initial_state(scenario), rng);
+        drive_crn(self.name(), scenario, &mut sim, &crn.events)
+    }
+}
+
+/// The next-reaction method: exact continuous-time simulation keeping one
+/// exponential clock per reaction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NextReactionBackend;
+
+impl Backend for NextReactionBackend {
+    fn name(&self) -> &'static str {
+        "next-reaction"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["nrm"]
+    }
+
+    fn description(&self) -> &'static str {
+        "exact continuous-time next-reaction method (independent exponential clocks)"
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        let crn = scenario.crn_form();
+        let mut sim = NextReaction::new(&crn.network, initial_state(scenario), rng);
+        drive_crn(self.name(), scenario, &mut sim, &crn.events)
+    }
+}
+
+/// Approximate accelerated simulation via explicit tau-leaping; the leap
+/// length comes from [`Scenario::tau`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TauLeapingBackend;
+
+impl Backend for TauLeapingBackend {
+    fn name(&self) -> &'static str {
+        "tau-leaping"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["tau"]
+    }
+
+    fn description(&self) -> &'static str {
+        "approximate tau-leaping (Poisson leaps, rejection near boundaries)"
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        let crn = scenario.crn_form();
+        let mut sim = TauLeaping::new(&crn.network, initial_state(scenario), scenario.tau(), rng);
+        drive_crn(self.name(), scenario, &mut sim, &crn.events)
+    }
+}
+
+/// The deterministic mean-field backend: integrates the competitive
+/// Lotka–Volterra ODE (Eq. 4) with fixed-step RK4 and reports the rounded
+/// trajectory through the same scenario interface.
+///
+/// Densities map to the symmetric ODE coefficients as follows (neutral-rate
+/// interpretation; per-event population loss divided by the event rate):
+///
+/// | competition | `α′` | `γ′` |
+/// |---|---|---|
+/// | self-destructive | `α_0 + α_1` | `(γ_0 + γ_1)/2` |
+/// | non-self-destructive | `(α_0 + α_1)/2` | `(γ_0 + γ_1)/4` |
+///
+/// The backend is deterministic: the RNG argument is ignored, `events` stays
+/// zero and `steps` counts integration steps. Because no reactions fire, a
+/// scenario's `max_events` budget is applied to integration *steps* instead,
+/// so every budgeted scenario still terminates (and truncates) on this
+/// backend like on the stochastic ones. Step sizes adapt to the local
+/// dynamics (at most ~5% relative change per species per step, capped at
+/// [`Scenario::ode_step`]), which keeps the integration stable for the large
+/// mass-action propensities of big populations. A species is considered
+/// extinct when its density drops below one half (the rounded count hits
+/// zero). When the stop condition has no `max_time`, integration stops at
+/// [`Scenario::ode_horizon`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OdeBackend;
+
+impl OdeBackend {
+    /// The mean-field ODE for a scenario's model.
+    pub fn system_for(model: &lv_lotka::LvModel) -> CompetitiveLv {
+        let rates = model.rates();
+        let (alpha_factor, gamma_factor) = match model.kind() {
+            CompetitionKind::SelfDestructive => (1.0, 0.5),
+            CompetitionKind::NonSelfDestructive => (0.5, 0.25),
+        };
+        CompetitiveLv::new(
+            rates.beta - rates.delta,
+            alpha_factor * rates.alpha_total(),
+            gamma_factor * rates.gamma_total(),
+        )
+    }
+}
+
+fn rounded(y: [f64; 2]) -> LvConfiguration {
+    let clamp = |v: f64| if v <= 0.0 { 0.0 } else { v };
+    LvConfiguration::new(clamp(y[0]).round() as u64, clamp(y[1]).round() as u64)
+}
+
+impl Backend for OdeBackend {
+    fn name(&self) -> &'static str {
+        "ode"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["deterministic", "mean-field"]
+    }
+
+    fn description(&self) -> &'static str {
+        "deterministic mean-field ODE (Eq. 4) via fixed-step RK4; ignores the RNG"
+    }
+
+    fn deterministic(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, _rng: &mut StdRng) -> RunReport {
+        let system = OdeBackend::system_for(scenario.model());
+        let step_cap = scenario.ode_step();
+        let horizon = scenario
+            .stop()
+            .max_time()
+            .unwrap_or_else(|| scenario.ode_horizon());
+        let (x0, x1) = scenario.initial().counts();
+        let mut y = [x0 as f64, x1 as f64];
+        let mut t = 0.0;
+        let mut driver = Driver::new(scenario);
+        loop {
+            if let Some(reason) = driver.check_stop() {
+                return driver.finish(self.name(), reason);
+            }
+            // No reactions fire here, so the event budget (always vacuous on
+            // `driver.events()`) bounds integration steps instead — without
+            // this a scenario budgeted only by `max_events` would silently
+            // run to the horizon.
+            if let Some(max_events) = scenario.stop().max_events() {
+                if driver.steps() >= max_events {
+                    return driver.finish(self.name(), StopReason::MaxEventsReached);
+                }
+            }
+            if t >= horizon {
+                return driver.finish(self.name(), StopReason::MaxTimeReached);
+            }
+            // Mass-action propensities scale with population products, so a
+            // fixed step would be unstable for large populations. Bound the
+            // per-step *relative* change of either species to ~5% instead:
+            // h = 0.05 / max_i |y_i'| / max(y_i, 1), capped by `ode_step`.
+            let dy = system.derivative(&y);
+            let rate = (dy[0].abs() / y[0].max(1.0)).max(dy[1].abs() / y[1].max(1.0));
+            let h = if rate > 0.0 {
+                (0.05 / rate).min(step_cap)
+            } else {
+                step_cap
+            }
+            .min(horizon - t);
+            y = Rk4::single_step(&system, y, h);
+            y = [y[0].max(0.0), y[1].max(0.0)];
+            t += h;
+            driver.record(None, rounded(y), t, 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::ObserverSpec;
+    use lv_lotka::LvModel;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn jump_chain_backend_reaches_consensus() {
+        let scenario = Scenario::majority(LvModel::default(), 60, 40);
+        let report = JumpChainBackend.run(&scenario, &mut rng(1));
+        assert!(report.consensus_reached());
+        assert!(!report.truncated());
+        assert_eq!(report.events, report.steps);
+        assert_eq!(report.time, report.events as f64);
+        let counts = report.event_counts().unwrap();
+        assert_eq!(counts.individual + counts.competitive, report.events);
+        assert_eq!(counts.unclassified, 0);
+    }
+
+    #[test]
+    fn continuous_backends_report_physical_time() {
+        let scenario = Scenario::majority(LvModel::default(), 30, 20);
+        for backend in [
+            &GillespieDirectBackend as &dyn Backend,
+            &NextReactionBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(2));
+            assert!(report.consensus_reached(), "{}", backend.name());
+            assert!(report.time > 0.0);
+            assert_eq!(report.events, report.steps);
+        }
+    }
+
+    #[test]
+    fn tau_leaping_counts_firings_not_leaps() {
+        let scenario = Scenario::majority(LvModel::default(), 400, 300).with_tau(0.05);
+        let report = TauLeapingBackend.run(&scenario, &mut rng(3));
+        assert!(report.consensus_reached());
+        assert!(
+            report.steps < report.events,
+            "leaps {} should aggregate firings {}",
+            report.steps,
+            report.events
+        );
+    }
+
+    #[test]
+    fn ode_backend_is_deterministic_and_picks_the_majority() {
+        let scenario =
+            Scenario::majority(LvModel::default(), 600, 400).observe(ObserverSpec::GapTrajectory);
+        let a = OdeBackend.run(&scenario, &mut rng(4));
+        let b = OdeBackend.run(&scenario, &mut rng(999));
+        assert_eq!(a, b, "ODE backend must ignore the RNG");
+        assert!(a.consensus_reached());
+        assert_eq!(a.final_state.winner(), a.initial.majority());
+        assert_eq!(a.events, 0);
+        assert!(a.steps > 0);
+        // The recorded trajectory starts at the initial gap.
+        assert_eq!(a.gap_trajectory().unwrap()[0], 200);
+    }
+
+    #[test]
+    fn ode_backend_mean_field_mapping_matches_kind() {
+        let sd = OdeBackend::system_for(&LvModel::neutral(
+            CompetitionKind::SelfDestructive,
+            1.0,
+            0.25,
+            2.0,
+        ));
+        assert_eq!(sd.growth_rate(), 0.75);
+        assert_eq!(sd.interspecific(), 2.0);
+        let nsd = OdeBackend::system_for(&LvModel::neutral(
+            CompetitionKind::NonSelfDestructive,
+            1.0,
+            0.25,
+            2.0,
+        ));
+        assert_eq!(nsd.interspecific(), 1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! # lv-engine — one scenario description, five execution backends
+//!
+//! Every experiment in the reproduction of *“Majority consensus thresholds
+//! in competitive Lotka–Volterra populations”* (Függer, Nowak, Rybicki; PODC
+//! 2024) reduces to the same shape: *run a model under some kinetics until a
+//! stop condition, collect observables, aggregate over trials*. This crate
+//! is that shape, made explicit:
+//!
+//! * [`Scenario`] — the *what*: a model ([`lv_lotka::LvModel`]), an initial
+//!   configuration, a [`lv_crn::StopCondition`] and a set of composable
+//!   [`ObserverSpec`]s;
+//! * [`Backend`] — the *how*: an object-safe execution engine. Five are
+//!   built in — the exact specialised jump chain (the paper's chain `S`),
+//!   the Gillespie direct method, the next-reaction method, tau-leaping and
+//!   the deterministic mean-field ODE;
+//! * [`BackendRegistry`] — string-keyed backend selection for CLIs and
+//!   benches (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
+//!   `"tau-leaping"`, `"ode"`, plus aliases);
+//! * [`RunReport`] — the uniform result: summary fields plus one
+//!   [`Observation`] per observer, with
+//!   [`RunReport::to_majority_outcome`] as the derived majority-consensus
+//!   view.
+//!
+//! The Monte-Carlo layer (`lv_sim::MonteCarlo`), the experiment suite and
+//! the benchmark harness are all thin adapters over scenario batches, so a
+//! new kind of kinetics (or a k-species model) is *one new backend* — not a
+//! new bespoke simulation loop.
+//!
+//! # Example: one scenario, every backend
+//!
+//! ```
+//! use lv_engine::{BackendRegistry, Scenario};
+//! use lv_lotka::{CompetitionKind, LvModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+//! let scenario = Scenario::majority(model, 80, 20);
+//! for backend in BackendRegistry::global().iter() {
+//!     let mut rng = StdRng::seed_from_u64(7);
+//!     let report = backend.run(&scenario, &mut rng);
+//!     // A 4:1 initial majority wins under every backend.
+//!     assert!(report.majority_won(), "{}", backend.name());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod backend;
+mod backends;
+mod observer;
+mod registry;
+mod report;
+mod scenario;
+
+pub use backend::Backend;
+pub use backends::{
+    GillespieDirectBackend, JumpChainBackend, NextReactionBackend, OdeBackend, TauLeapingBackend,
+};
+pub use observer::{
+    EventCounts, NoiseObservation, Observation, Observer, ObserverSpec, StepRecord,
+};
+pub use registry::{backend, BackendRegistry};
+pub use report::RunReport;
+pub use scenario::{default_majority_budget, majority_budget, Scenario};

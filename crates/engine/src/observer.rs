@@ -1,0 +1,372 @@
+//! The composable observer API.
+//!
+//! A [`Scenario`](crate::Scenario) carries a set of [`ObserverSpec`]s; every
+//! backend builds one [`Observer`] per spec per run, feeds it a
+//! [`StepRecord`] after every simulated step, and collects one
+//! [`Observation`] from each observer when the run stops. What used to be the
+//! hard-coded field collection of `lv_lotka::run_majority` is now the four
+//! built-in observers — gap trajectory, noise decomposition, event counts and
+//! max population — and `MajorityOutcome` is a *derived view* assembled from
+//! their observations (see [`RunReport::to_majority_outcome`]).
+//!
+//! [`RunReport::to_majority_outcome`]: crate::RunReport::to_majority_outcome
+
+use lv_lotka::{EventKind, LvConfiguration, LvEvent, NoiseDecomposition, SpeciesIndex};
+use serde::{Deserialize, Serialize};
+
+/// One simulated step as seen by observers.
+///
+/// Exact per-event backends produce one record per reaction with
+/// `event = Some(..)` and `firings = 1`. Aggregating backends (tau-leaping
+/// leaps, ODE integration steps) produce one record per *step* with
+/// `event = None` and `firings` equal to the number of reaction firings the
+/// step represents (0 for the ODE).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepRecord {
+    /// The reaction that fired, when the backend resolves individual events.
+    pub event: Option<LvEvent>,
+    /// The configuration before the step.
+    pub before: LvConfiguration,
+    /// The configuration after the step.
+    pub after: LvConfiguration,
+    /// The backend clock after the step (continuous time for Gillespie-style
+    /// backends and the ODE, the event count for the jump chain).
+    pub time: f64,
+    /// Number of reaction firings this record represents.
+    pub firings: u64,
+}
+
+/// A streaming statistic computed along a run.
+///
+/// Observers are built per run from an [`ObserverSpec`], receive every
+/// [`StepRecord`], and emit their [`Observation`] when the run stops.
+pub trait Observer {
+    /// Called once with the initial configuration before any step.
+    fn on_start(&mut self, initial: LvConfiguration);
+
+    /// Called after every simulated step.
+    fn on_step(&mut self, step: &StepRecord);
+
+    /// Consumes the accumulated state into the final observation.
+    fn finish(&mut self) -> Observation;
+}
+
+/// The declarative description of an observer inside a scenario.
+///
+/// Specs are plain data so a [`Scenario`](crate::Scenario) stays cloneable
+/// and shareable across threads; each backend run instantiates fresh observer
+/// state from the spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ObserverSpec {
+    /// Record the signed gap `∆_t` (majority minus minority, relative to the
+    /// *initial* majority) after every step, plus the initial gap.
+    GapTrajectory,
+    /// Accumulate the demographic-noise decomposition `F = F_ind + F_comp`
+    /// of Eq. (3)/(7).
+    NoiseDecomposition,
+    /// Count individual, competitive and *bad non-competitive* events (the
+    /// paper's `I(S)`, `K(S)`, `J(S)`).
+    EventCounts,
+    /// Track the largest total population seen during the run.
+    MaxPopulation,
+}
+
+impl ObserverSpec {
+    /// Instantiates the observer for one run.
+    pub fn build(&self) -> Box<dyn Observer> {
+        match self {
+            ObserverSpec::GapTrajectory => Box::new(GapTrajectoryObserver::default()),
+            ObserverSpec::NoiseDecomposition => Box::new(NoiseObserver::default()),
+            ObserverSpec::EventCounts => Box::new(EventCountObserver::default()),
+            ObserverSpec::MaxPopulation => Box::new(MaxPopulationObserver::default()),
+        }
+    }
+}
+
+/// The value an [`Observer`] produced for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Observation {
+    /// Signed gap after every step (first entry: the initial gap).
+    GapTrajectory(Vec<i64>),
+    /// The demographic-noise decomposition.
+    Noise(NoiseObservation),
+    /// Event-class counters.
+    Events(EventCounts),
+    /// Largest total population observed.
+    MaxPopulation(u64),
+}
+
+/// Demographic noise collected by [`ObserverSpec::NoiseDecomposition`].
+///
+/// Per-event backends classify every contribution into
+/// [`NoiseObservation::classified`] (the paper's `F = F_ind + F_comp`).
+/// Aggregating backends (tau-leaping leaps with several firings) cannot
+/// attribute a step's gap change to an event class; that noise is reported
+/// separately in [`NoiseObservation::unclassified`] rather than silently
+/// folded into either component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NoiseObservation {
+    /// Noise from steps with a resolved event, split by event kind.
+    pub classified: NoiseDecomposition,
+    /// Noise from unresolved (multi-firing) steps.
+    pub unclassified: i64,
+}
+
+impl NoiseObservation {
+    /// The total noise `F` including unclassified contributions; by the
+    /// telescoping identity this always equals `∆_0 − ∆_T`.
+    pub fn total(&self) -> i64 {
+        self.classified.total() + self.unclassified
+    }
+}
+
+/// Event-class counters collected by [`ObserverSpec::EventCounts`].
+///
+/// For aggregating backends the per-class split is unavailable; firings of
+/// unresolved steps are counted in [`EventCounts::unclassified`] instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Individual (birth/death) reactions, the paper's `I(S)`.
+    pub individual: u64,
+    /// Competitive reactions, the paper's `K(S)`.
+    pub competitive: u64,
+    /// Individual reactions that decreased the absolute gap, the paper's
+    /// `J(S)`.
+    pub bad_noncompetitive: u64,
+    /// Firings inside steps whose events the backend did not resolve
+    /// (tau-leaping leaps with more than one firing).
+    pub unclassified: u64,
+}
+
+impl EventCounts {
+    /// Total number of classified firings.
+    pub fn classified(&self) -> u64 {
+        self.individual + self.competitive
+    }
+}
+
+/// The sign converting the raw gap `x_0 − x_1` into the paper's `∆`
+/// (initial-majority count minus initial-minority count; species 0 is the
+/// reference on a tie).
+fn majority_sign(initial: LvConfiguration) -> i64 {
+    match initial.majority() {
+        Some(SpeciesIndex::One) => -1,
+        _ => 1,
+    }
+}
+
+#[derive(Debug, Default)]
+struct GapTrajectoryObserver {
+    sign: i64,
+    trajectory: Vec<i64>,
+}
+
+impl Observer for GapTrajectoryObserver {
+    fn on_start(&mut self, initial: LvConfiguration) {
+        self.sign = majority_sign(initial);
+        self.trajectory.push(self.sign * initial.gap());
+    }
+
+    fn on_step(&mut self, step: &StepRecord) {
+        self.trajectory.push(self.sign * step.after.gap());
+    }
+
+    fn finish(&mut self) -> Observation {
+        Observation::GapTrajectory(std::mem::take(&mut self.trajectory))
+    }
+}
+
+#[derive(Debug, Default)]
+struct NoiseObserver {
+    sign: i64,
+    noise: NoiseObservation,
+}
+
+impl Observer for NoiseObserver {
+    fn on_start(&mut self, initial: LvConfiguration) {
+        self.sign = majority_sign(initial);
+    }
+
+    fn on_step(&mut self, step: &StepRecord) {
+        let f_t = self.sign * (step.before.gap() - step.after.gap());
+        match step.event.map(|e| e.kind()) {
+            Some(EventKind::Competitive) => self.noise.classified.competitive += f_t,
+            Some(EventKind::Individual) => self.noise.classified.individual += f_t,
+            // An unresolved leap mixes event classes; attributing its noise
+            // to either component would corrupt the `F_ind`/`F_comp` split
+            // (e.g. fabricate `F_comp = 0` for non-self-destructive models),
+            // so it is tracked separately.
+            None => self.noise.unclassified += f_t,
+        }
+    }
+
+    fn finish(&mut self) -> Observation {
+        Observation::Noise(self.noise)
+    }
+}
+
+#[derive(Debug, Default)]
+struct EventCountObserver {
+    counts: EventCounts,
+}
+
+impl Observer for EventCountObserver {
+    fn on_start(&mut self, _initial: LvConfiguration) {}
+
+    fn on_step(&mut self, step: &StepRecord) {
+        match step.event.map(|e| e.kind()) {
+            Some(EventKind::Individual) => {
+                self.counts.individual += 1;
+                if step.after.gap().abs() < step.before.gap().abs() {
+                    self.counts.bad_noncompetitive += 1;
+                }
+            }
+            Some(EventKind::Competitive) => self.counts.competitive += 1,
+            None => self.counts.unclassified += step.firings,
+        }
+    }
+
+    fn finish(&mut self) -> Observation {
+        Observation::Events(self.counts)
+    }
+}
+
+#[derive(Debug, Default)]
+struct MaxPopulationObserver {
+    max: u64,
+}
+
+impl Observer for MaxPopulationObserver {
+    fn on_start(&mut self, initial: LvConfiguration) {
+        self.max = initial.total();
+    }
+
+    fn on_step(&mut self, step: &StepRecord) {
+        self.max = self.max.max(step.after.total());
+    }
+
+    fn finish(&mut self) -> Observation {
+        Observation::MaxPopulation(self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(
+        event: Option<LvEvent>,
+        before: (u64, u64),
+        after: (u64, u64),
+        firings: u64,
+    ) -> StepRecord {
+        StepRecord {
+            event,
+            before: before.into(),
+            after: after.into(),
+            time: 0.0,
+            firings,
+        }
+    }
+
+    #[test]
+    fn gap_trajectory_is_relative_to_initial_majority() {
+        // Species 1 is the initial majority, so ∆ = x1 − x0.
+        let mut obs = ObserverSpec::GapTrajectory.build();
+        obs.on_start((3, 5).into());
+        obs.on_step(&record(
+            Some(LvEvent::Birth(SpeciesIndex::Zero)),
+            (3, 5),
+            (4, 5),
+            1,
+        ));
+        assert_eq!(obs.finish(), Observation::GapTrajectory(vec![2, 1]));
+    }
+
+    #[test]
+    fn noise_splits_by_event_kind() {
+        let mut obs = ObserverSpec::NoiseDecomposition.build();
+        obs.on_start((6, 4).into());
+        // Individual death of the majority: ∆ 2 → 1, F_ind += 1.
+        obs.on_step(&record(
+            Some(LvEvent::Death(SpeciesIndex::Zero)),
+            (6, 4),
+            (5, 4),
+            1,
+        ));
+        // Intraspecific competition in species 0 (self-destructive): ∆ 1 → −1.
+        obs.on_step(&record(
+            Some(LvEvent::Intraspecific(SpeciesIndex::Zero)),
+            (5, 4),
+            (3, 4),
+            1,
+        ));
+        match obs.finish() {
+            Observation::Noise(noise) => {
+                assert_eq!(noise.classified.individual, 1);
+                assert_eq!(noise.classified.competitive, 2);
+                assert_eq!(noise.total(), 3);
+            }
+            other => panic!("unexpected observation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unresolved_leap_noise_is_tracked_separately() {
+        let mut obs = ObserverSpec::NoiseDecomposition.build();
+        obs.on_start((6, 4).into());
+        // An unresolved multi-firing leap that moves the gap 2 → 1.
+        obs.on_step(&record(None, (6, 4), (5, 4), 3));
+        match obs.finish() {
+            Observation::Noise(noise) => {
+                assert_eq!(noise.classified, NoiseDecomposition::default());
+                assert_eq!(noise.unclassified, 1);
+                assert_eq!(noise.total(), 1);
+            }
+            other => panic!("unexpected observation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn event_counts_classify_bad_events_and_leaps() {
+        let mut obs = ObserverSpec::EventCounts.build();
+        obs.on_start((5, 4).into());
+        // A bad individual event: |gap| decreases.
+        obs.on_step(&record(
+            Some(LvEvent::Death(SpeciesIndex::Zero)),
+            (5, 4),
+            (4, 4),
+            1,
+        ));
+        // A competitive event.
+        obs.on_step(&record(
+            Some(LvEvent::Interspecific {
+                attacker: SpeciesIndex::Zero,
+            }),
+            (4, 4),
+            (3, 3),
+            1,
+        ));
+        // An unresolved leap worth five firings.
+        obs.on_step(&record(None, (3, 3), (2, 1), 5));
+        match obs.finish() {
+            Observation::Events(counts) => {
+                assert_eq!(counts.individual, 1);
+                assert_eq!(counts.bad_noncompetitive, 1);
+                assert_eq!(counts.competitive, 1);
+                assert_eq!(counts.unclassified, 5);
+                assert_eq!(counts.classified(), 2);
+            }
+            other => panic!("unexpected observation {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_population_tracks_the_peak() {
+        let mut obs = ObserverSpec::MaxPopulation.build();
+        obs.on_start((5, 5).into());
+        obs.on_step(&record(None, (5, 5), (9, 9), 8));
+        obs.on_step(&record(None, (9, 9), (2, 2), 14));
+        assert_eq!(obs.finish(), Observation::MaxPopulation(18));
+    }
+}

@@ -1,0 +1,115 @@
+//! The string-keyed backend registry used for CLI and bench selection.
+
+use crate::backend::Backend;
+use crate::backends::{
+    GillespieDirectBackend, JumpChainBackend, NextReactionBackend, OdeBackend, TauLeapingBackend,
+};
+use std::sync::OnceLock;
+
+/// The set of available [`Backend`]s, addressable by name or alias.
+///
+/// ```
+/// use lv_engine::BackendRegistry;
+///
+/// let registry = BackendRegistry::global();
+/// assert_eq!(registry.names().len(), 5);
+/// assert!(registry.get("gillespie-direct").is_some());
+/// // Aliases resolve to the same backend.
+/// assert_eq!(
+///     registry.get("ssa").unwrap().name(),
+///     "gillespie-direct"
+/// );
+/// ```
+pub struct BackendRegistry {
+    entries: Vec<Box<dyn Backend>>,
+}
+
+impl std::fmt::Debug for BackendRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BackendRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl BackendRegistry {
+    /// Builds a registry holding the five built-in backends.
+    fn builtin() -> Self {
+        BackendRegistry {
+            entries: vec![
+                Box::new(JumpChainBackend),
+                Box::new(GillespieDirectBackend),
+                Box::new(NextReactionBackend),
+                Box::new(TauLeapingBackend),
+                Box::new(OdeBackend),
+            ],
+        }
+    }
+
+    /// The process-wide registry of built-in backends.
+    pub fn global() -> &'static BackendRegistry {
+        static REGISTRY: OnceLock<BackendRegistry> = OnceLock::new();
+        REGISTRY.get_or_init(BackendRegistry::builtin)
+    }
+
+    /// Canonical names of every registered backend, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|b| b.name()).collect()
+    }
+
+    /// Looks a backend up by canonical name or alias (case-sensitive).
+    pub fn get(&self, name: &str) -> Option<&dyn Backend> {
+        self.entries
+            .iter()
+            .find(|b| b.name() == name || b.aliases().contains(&name))
+            .map(|b| b.as_ref())
+    }
+
+    /// Iterates over the registered backends.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Backend> {
+        self.entries.iter().map(|b| b.as_ref())
+    }
+}
+
+/// Shorthand for [`BackendRegistry::global`]`().get(name)`.
+pub fn backend(name: &str) -> Option<&'static dyn Backend> {
+    BackendRegistry::global().get(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_holds_all_five_backends() {
+        let names = BackendRegistry::global().names();
+        assert_eq!(
+            names,
+            vec![
+                "jump-chain",
+                "gillespie-direct",
+                "next-reaction",
+                "tau-leaping",
+                "ode"
+            ]
+        );
+        for name in names {
+            assert!(backend(name).is_some(), "missing backend {name}");
+        }
+    }
+
+    #[test]
+    fn aliases_resolve_and_unknown_names_do_not() {
+        assert_eq!(backend("exact").unwrap().name(), "jump-chain");
+        assert_eq!(backend("tau").unwrap().name(), "tau-leaping");
+        assert_eq!(backend("mean-field").unwrap().name(), "ode");
+        assert!(backend("does-not-exist").is_none());
+    }
+
+    #[test]
+    fn descriptions_are_nonempty() {
+        for backend in BackendRegistry::global().iter() {
+            assert!(!backend.description().is_empty(), "{}", backend.name());
+        }
+    }
+}

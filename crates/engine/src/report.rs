@@ -1,0 +1,228 @@
+//! The [`RunReport`] produced by every backend, plus the derived
+//! majority-consensus view.
+
+use crate::observer::{EventCounts, NoiseObservation, Observation, ObserverSpec};
+use lv_crn::StopReason;
+use lv_lotka::{LvConfiguration, MajorityOutcome};
+use serde::Serialize;
+
+/// The backend-independent result of running a [`Scenario`](crate::Scenario).
+///
+/// Every backend fills the same summary fields; whatever else was measured
+/// arrives as [`Observation`]s, one per observer attached to the scenario.
+// No `Deserialize`: `backend` is a `&'static str` registry key, which real
+// serde cannot deserialize into (the compat shims must stay swappable for
+// the real crates without code changes).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RunReport {
+    /// Registry name of the backend that produced this report.
+    pub backend: &'static str,
+    /// The initial configuration.
+    pub initial: LvConfiguration,
+    /// The configuration when the run stopped.
+    pub final_state: LvConfiguration,
+    /// Why the run stopped.
+    pub reason: StopReason,
+    /// Number of reaction firings (0 for the deterministic ODE backend).
+    pub events: u64,
+    /// Number of driver steps: equals `events` for per-event backends, the
+    /// number of leaps/integration steps for aggregating backends.
+    pub steps: u64,
+    /// The backend clock when the run stopped (continuous time for
+    /// Gillespie-style backends and the ODE; the event count for the jump
+    /// chain).
+    pub time: f64,
+    observations: Vec<(ObserverSpec, Observation)>,
+}
+
+impl RunReport {
+    /// Assembles a report (used by backend implementations).
+    #[allow(clippy::too_many_arguments)] // one argument per report field
+    pub fn new(
+        backend: &'static str,
+        initial: LvConfiguration,
+        final_state: LvConfiguration,
+        reason: StopReason,
+        events: u64,
+        steps: u64,
+        time: f64,
+        observations: Vec<(ObserverSpec, Observation)>,
+    ) -> Self {
+        RunReport {
+            backend,
+            initial,
+            final_state,
+            reason,
+            events,
+            steps,
+            time,
+            observations,
+        }
+    }
+
+    /// All recorded observations in scenario order.
+    pub fn observations(&self) -> &[(ObserverSpec, Observation)] {
+        &self.observations
+    }
+
+    /// The observation recorded for the given spec, if that observer was
+    /// attached.
+    pub fn observation(&self, spec: ObserverSpec) -> Option<&Observation> {
+        self.observations
+            .iter()
+            .find(|(s, _)| *s == spec)
+            .map(|(_, o)| o)
+    }
+
+    /// The recorded gap trajectory, if observed.
+    pub fn gap_trajectory(&self) -> Option<&[i64]> {
+        match self.observation(ObserverSpec::GapTrajectory)? {
+            Observation::GapTrajectory(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The recorded noise observation (classified decomposition plus any
+    /// unclassified leap noise), if observed.
+    pub fn noise(&self) -> Option<NoiseObservation> {
+        match self.observation(ObserverSpec::NoiseDecomposition)? {
+            Observation::Noise(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The recorded event counts, if observed.
+    pub fn event_counts(&self) -> Option<EventCounts> {
+        match self.observation(ObserverSpec::EventCounts)? {
+            Observation::Events(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The recorded maximum population, if observed.
+    pub fn max_population(&self) -> Option<u64> {
+        match self.observation(ObserverSpec::MaxPopulation)? {
+            Observation::MaxPopulation(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Whether the final state is a consensus state (some species extinct).
+    pub fn consensus_reached(&self) -> bool {
+        self.final_state.is_consensus()
+    }
+
+    /// Whether the run exhausted an event or time budget before its stop
+    /// condition was met.
+    pub fn truncated(&self) -> bool {
+        matches!(
+            self.reason,
+            StopReason::MaxEventsReached | StopReason::MaxTimeReached
+        )
+    }
+
+    /// Whether the run reached consensus with the *initial majority* winning.
+    pub fn majority_won(&self) -> bool {
+        let initial_majority = self.initial.majority();
+        initial_majority.is_some()
+            && self.consensus_reached()
+            && self.final_state.winner() == initial_majority
+    }
+
+    /// The derived majority-consensus view: the same [`MajorityOutcome`] the
+    /// bespoke `lv_lotka::run_majority` loop produces, reassembled from the
+    /// report summary plus the event-count / noise / max-population
+    /// observations (fields whose observer was not attached are zero).
+    ///
+    /// For per-event backends on the same RNG stream this reproduces
+    /// `run_majority` bit for bit (asserted by the engine's integration
+    /// tests). For aggregating backends the per-event-class fields are lower
+    /// bounds, with the remainder in
+    /// [`EventCounts::unclassified`](crate::EventCounts::unclassified).
+    pub fn to_majority_outcome(&self) -> MajorityOutcome {
+        let counts = self.event_counts().unwrap_or_default();
+        let noise = self.noise().unwrap_or_default();
+        MajorityOutcome {
+            initial: self.initial,
+            final_state: self.final_state,
+            initial_majority: self.initial.majority(),
+            winner: self.final_state.winner(),
+            consensus_reached: self.consensus_reached(),
+            truncated: self.truncated(),
+            events: self.events,
+            individual_events: counts.individual,
+            competitive_events: counts.competitive,
+            bad_noncompetitive_events: counts.bad_noncompetitive,
+            noise: noise.classified,
+            max_population: self.max_population().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_lotka::NoiseDecomposition;
+
+    fn report(final_state: (u64, u64), reason: StopReason) -> RunReport {
+        RunReport::new(
+            "test",
+            LvConfiguration::new(6, 4),
+            final_state.into(),
+            reason,
+            12,
+            12,
+            12.0,
+            vec![
+                (
+                    ObserverSpec::EventCounts,
+                    Observation::Events(EventCounts {
+                        individual: 9,
+                        competitive: 3,
+                        bad_noncompetitive: 2,
+                        unclassified: 0,
+                    }),
+                ),
+                (
+                    ObserverSpec::NoiseDecomposition,
+                    Observation::Noise(NoiseObservation {
+                        classified: NoiseDecomposition {
+                            individual: -1,
+                            competitive: 0,
+                        },
+                        unclassified: 0,
+                    }),
+                ),
+                (ObserverSpec::MaxPopulation, Observation::MaxPopulation(11)),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_find_observations() {
+        let report = report((7, 0), StopReason::ConditionMet);
+        assert_eq!(report.event_counts().unwrap().individual, 9);
+        assert_eq!(report.noise().unwrap().classified.individual, -1);
+        assert_eq!(report.max_population(), Some(11));
+        assert_eq!(report.gap_trajectory(), None);
+    }
+
+    #[test]
+    fn majority_view_matches_run_summary() {
+        let outcome = report((7, 0), StopReason::ConditionMet).to_majority_outcome();
+        assert!(outcome.consensus_reached);
+        assert!(!outcome.truncated);
+        assert!(outcome.majority_won());
+        assert_eq!(outcome.events, 12);
+        assert_eq!(outcome.individual_events, 9);
+        assert_eq!(outcome.max_population, 11);
+    }
+
+    #[test]
+    fn truncated_runs_do_not_win() {
+        let report = report((5, 4), StopReason::MaxEventsReached);
+        assert!(report.truncated());
+        assert!(!report.majority_won());
+        assert!(!report.to_majority_outcome().consensus_reached);
+    }
+}

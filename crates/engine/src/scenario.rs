@@ -1,0 +1,241 @@
+//! The [`Scenario`] description: *what* to simulate, independent of *how*.
+
+use crate::observer::ObserverSpec;
+use lv_crn::{StopCondition, ValidatedNetwork};
+use lv_lotka::{LvConfiguration, LvEvent, LvModel};
+use std::sync::{Arc, OnceLock};
+
+/// The CRN form of a scenario's model: the validated network plus the
+/// reaction-index → event map, built once per scenario and shared by every
+/// run (Monte-Carlo batches run thousands of trials against one scenario).
+#[derive(Debug)]
+pub(crate) struct CrnForm {
+    pub(crate) network: ValidatedNetwork,
+    pub(crate) events: Vec<LvEvent>,
+}
+
+/// A complete, backend-independent description of one simulation run: a
+/// model, an initial configuration, a [`StopCondition`] and a set of
+/// observers.
+///
+/// The same `Scenario` value runs unmodified on every registered
+/// [`Backend`](crate::Backend) — the exact jump chain, the Gillespie direct
+/// method, the next-reaction method, tau-leaping and the deterministic ODE —
+/// which is what lets the Monte-Carlo layer, the experiment suite and the
+/// benchmarks share one execution path.
+///
+/// ```
+/// use lv_engine::{backend, Scenario};
+/// use lv_lotka::{CompetitionKind, LvModel};
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+/// let scenario = Scenario::majority(model, 60, 40);
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let report = backend("jump-chain").unwrap().run(&scenario, &mut rng);
+/// assert!(report.final_state.is_consensus());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    model: LvModel,
+    initial: LvConfiguration,
+    stop: StopCondition,
+    observers: Vec<ObserverSpec>,
+    tau: f64,
+    ode_step: f64,
+    ode_horizon: f64,
+    /// Lazily-built CRN form shared across runs (cloning a scenario shares
+    /// the already-built network through the `Arc`).
+    crn: OnceLock<Arc<CrnForm>>,
+}
+
+/// Event budget for a majority run over total population `n`:
+/// `events_per_individual · max(n, 16)` events, at least 100 000 — the one
+/// formula both [`Scenario::majority`] and `MonteCarlo`'s configurable
+/// `max_events_factor` derive from.
+pub fn majority_budget(n: u64, events_per_individual: u64) -> u64 {
+    events_per_individual.saturating_mul(n.max(16)).max(100_000)
+}
+
+/// Default event budget for [`Scenario::majority`]:
+/// [`majority_budget`]`(n, 200)`, generous relative to the `O(n)` consensus
+/// time of Theorem 13.
+pub fn default_majority_budget(n: u64) -> u64 {
+    majority_budget(n, 200)
+}
+
+impl Scenario {
+    /// Creates a scenario with the given model and initial configuration.
+    ///
+    /// The default stop condition is consensus (any species extinct); no
+    /// observers are attached.
+    pub fn new(model: LvModel, initial: impl Into<LvConfiguration>) -> Self {
+        Scenario {
+            model,
+            initial: initial.into(),
+            stop: StopCondition::any_species_extinct(),
+            observers: Vec::new(),
+            tau: 1e-3,
+            ode_step: 0.5,
+            ode_horizon: 1_000.0,
+            crn: OnceLock::new(),
+        }
+    }
+
+    /// The cached CRN form of the model (network + reaction → event map),
+    /// built on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every rate of the model is zero (no reaction network
+    /// exists); such a model cannot be simulated by any CRN backend.
+    pub(crate) fn crn_form(&self) -> Arc<CrnForm> {
+        Arc::clone(self.crn.get_or_init(|| {
+            let network = self
+                .model
+                .to_reaction_network()
+                .expect("a model with at least one positive rate has a valid network");
+            let events = crate::backend::reaction_event_map(&self.model);
+            debug_assert_eq!(events.len(), network.reaction_count());
+            Arc::new(CrnForm { network, events })
+        }))
+    }
+
+    /// The standard majority-consensus scenario from `(a, b)`: run until one
+    /// species is extinct (with the default event budget of
+    /// [`default_majority_budget`]), observing event counts, the noise
+    /// decomposition and the maximum population — everything
+    /// [`RunReport::to_majority_outcome`](crate::RunReport::to_majority_outcome)
+    /// needs.
+    pub fn majority(model: LvModel, a: u64, b: u64) -> Self {
+        Scenario::new(model, (a, b))
+            .with_stop(
+                StopCondition::any_species_extinct()
+                    .with_max_events(default_majority_budget(a + b)),
+            )
+            .observe(ObserverSpec::EventCounts)
+            .observe(ObserverSpec::NoiseDecomposition)
+            .observe(ObserverSpec::MaxPopulation)
+    }
+
+    /// Replaces the stop condition.
+    pub fn with_stop(mut self, stop: StopCondition) -> Self {
+        self.stop = stop;
+        self
+    }
+
+    /// Adds an observer (duplicates are ignored).
+    pub fn observe(mut self, spec: ObserverSpec) -> Self {
+        if !self.observers.contains(&spec) {
+            self.observers.push(spec);
+        }
+        self
+    }
+
+    /// Sets the leap length used by the tau-leaping backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau` is not a positive finite number.
+    pub fn with_tau(mut self, tau: f64) -> Self {
+        assert!(tau.is_finite() && tau > 0.0, "tau must be positive");
+        self.tau = tau;
+        self
+    }
+
+    /// Sets the *maximum* integration step of the ODE backend (the backend
+    /// adapts its step to the local dynamics below this cap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step` is not a positive finite number.
+    pub fn with_ode_step(mut self, step: f64) -> Self {
+        assert!(step.is_finite() && step > 0.0, "step must be positive");
+        self.ode_step = step;
+        self
+    }
+
+    /// Sets the ODE backend's fallback time horizon, used when the stop
+    /// condition carries no `max_time` budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `horizon` is not a positive finite number.
+    pub fn with_ode_horizon(mut self, horizon: f64) -> Self {
+        assert!(
+            horizon.is_finite() && horizon > 0.0,
+            "horizon must be positive"
+        );
+        self.ode_horizon = horizon;
+        self
+    }
+
+    /// The model to simulate.
+    pub fn model(&self) -> &LvModel {
+        &self.model
+    }
+
+    /// The initial configuration.
+    pub fn initial(&self) -> LvConfiguration {
+        self.initial
+    }
+
+    /// The stop condition.
+    pub fn stop(&self) -> &StopCondition {
+        &self.stop
+    }
+
+    /// The attached observer specs.
+    pub fn observers(&self) -> &[ObserverSpec] {
+        &self.observers
+    }
+
+    /// The tau-leaping leap length.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The ODE maximum integration step.
+    pub fn ode_step(&self) -> f64 {
+        self.ode_step
+    }
+
+    /// The ODE fallback horizon.
+    pub fn ode_horizon(&self) -> f64 {
+        self.ode_horizon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_scenario_attaches_the_derived_view_observers() {
+        let scenario = Scenario::majority(LvModel::default(), 60, 40);
+        assert_eq!(scenario.initial().counts(), (60, 40));
+        assert_eq!(scenario.observers().len(), 3);
+        assert_eq!(scenario.stop().max_events(), Some(100_000));
+    }
+
+    #[test]
+    fn observe_deduplicates() {
+        let scenario = Scenario::new(LvModel::default(), (10, 10))
+            .observe(ObserverSpec::GapTrajectory)
+            .observe(ObserverSpec::GapTrajectory);
+        assert_eq!(scenario.observers(), &[ObserverSpec::GapTrajectory]);
+    }
+
+    #[test]
+    fn budget_grows_with_population() {
+        assert_eq!(default_majority_budget(0), 100_000);
+        assert_eq!(default_majority_budget(1_000), 200_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "tau must be positive")]
+    fn invalid_tau_is_rejected() {
+        let _ = Scenario::new(LvModel::default(), (1, 1)).with_tau(0.0);
+    }
+}

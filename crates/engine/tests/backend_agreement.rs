@@ -1,0 +1,274 @@
+//! Cross-backend integration tests: one `Scenario` description must run
+//! unmodified on every registered backend, the jump-chain backend must
+//! reproduce the legacy `lv_lotka::run_majority` loop bit for bit, and all
+//! backends must honor the same stop conditions identically.
+
+use lv_crn::{StopCondition, StopReason};
+use lv_engine::{backend, BackendRegistry, ObserverSpec, Scenario};
+use lv_lotka::{run_majority, CompetitionKind, LvModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// The acceptance criterion of the redesign: the same scenario value runs on
+/// all five backends through the registry, and every backend agrees on the
+/// qualitative outcome (a 4:1 majority wins).
+#[test]
+fn one_scenario_runs_on_all_five_backends() {
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let scenario = Scenario::majority(model, 400, 100).observe(ObserverSpec::GapTrajectory);
+    let registry = BackendRegistry::global();
+    assert_eq!(registry.names().len(), 5);
+    for backend in registry.iter() {
+        let report = backend.run(&scenario, &mut rng(11));
+        assert_eq!(report.backend, backend.name());
+        assert!(
+            report.majority_won(),
+            "backend {} did not reach majority consensus: {report:?}",
+            backend.name()
+        );
+        let trajectory = report.gap_trajectory().expect("trajectory was observed");
+        assert_eq!(trajectory[0], 300, "backend {}", backend.name());
+    }
+}
+
+/// The jump-chain backend is the migration of the bespoke `run_majority`
+/// loop: on the same RNG stream every derived observable must be identical.
+#[test]
+fn jump_chain_backend_reproduces_run_majority_bit_for_bit() {
+    let models = [
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+        LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0),
+        LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 0.5, 1.0, 2.0),
+        LvModel::balanced_intra_inter(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0),
+    ];
+    let backend = backend("jump-chain").unwrap();
+    for (m, model) in models.iter().enumerate() {
+        for seed in 0..10u64 {
+            let (a, b) = (60 + m as u64, 40);
+            let budget = lv_engine::default_majority_budget(a + b);
+            let legacy = run_majority(model, a, b, &mut rng(seed), budget);
+            let scenario = Scenario::majority(*model, a, b);
+            let report = backend.run(&scenario, &mut rng(seed));
+            assert_eq!(
+                report.to_majority_outcome(),
+                legacy,
+                "model {m} seed {seed} diverged"
+            );
+        }
+    }
+}
+
+/// A tie start and an immediate-consensus start behave like `run_majority`.
+#[test]
+fn degenerate_starts_match_legacy_semantics() {
+    let model = LvModel::default();
+    let backend = backend("jump-chain").unwrap();
+    for (a, b) in [(25, 25), (10, 0), (0, 0)] {
+        let legacy = run_majority(&model, a, b, &mut rng(3), 100_000);
+        let report = backend.run(
+            &Scenario::majority(model, a, b)
+                .with_stop(StopCondition::any_species_extinct().with_max_events(100_000)),
+            &mut rng(3),
+        );
+        assert_eq!(report.to_majority_outcome(), legacy, "start ({a}, {b})");
+    }
+}
+
+/// Every backend stops immediately (zero steps) when the stop condition
+/// already holds in the initial configuration.
+#[test]
+fn all_backends_stop_immediately_when_condition_already_met() {
+    let model = LvModel::default();
+    let scenario = Scenario::new(model, (40, 0));
+    for backend in BackendRegistry::global().iter() {
+        let report = backend.run(&scenario, &mut rng(5));
+        assert_eq!(
+            report.reason,
+            StopReason::ConditionMet,
+            "{}",
+            backend.name()
+        );
+        assert_eq!(report.steps, 0, "{}", backend.name());
+        assert_eq!(report.final_state.counts(), (40, 0), "{}", backend.name());
+    }
+}
+
+/// An `or`-composed condition (consensus OR total ≥ threshold) is honored by
+/// every backend: each run ends in a state satisfying the disjunction, never
+/// by budget exhaustion.
+#[test]
+fn all_backends_honor_or_composed_conditions_identically() {
+    let model = LvModel::no_competition(2.0, 1.0); // supercritical growth
+    let stop = StopCondition::any_species_extinct()
+        .or(StopCondition::total_at_least(5_000))
+        .with_max_events(10_000_000);
+    let scenario = Scenario::new(model, (100, 100)).with_stop(stop.clone());
+    for backend in BackendRegistry::global().iter() {
+        if backend.name() == "ode" {
+            // The deterministic mean-field of a no-competition model grows
+            // exponentially; it hits the population threshold too.
+            let report = backend.run(&scenario, &mut rng(6));
+            assert_eq!(report.reason, StopReason::ConditionMet);
+            assert!(report.final_state.total() >= 5_000);
+            continue;
+        }
+        let report = backend.run(&scenario, &mut rng(6));
+        assert_eq!(
+            report.reason,
+            StopReason::ConditionMet,
+            "{}",
+            backend.name()
+        );
+        let state = report.final_state;
+        assert!(
+            state.is_consensus() || state.total() >= 5_000,
+            "backend {} stopped in {state:?} without meeting either condition",
+            backend.name()
+        );
+    }
+}
+
+/// `max_events` truncation: with a tiny event budget every stochastic
+/// backend stops with `MaxEventsReached` without overshooting the budget by
+/// more than one step's worth of firings.
+#[test]
+fn all_backends_honor_the_event_budget() {
+    let model = LvModel::default();
+    let stop = StopCondition::any_species_extinct().with_max_events(16);
+    let scenario = Scenario::new(model, (5_000, 4_990)).with_stop(stop);
+    for name in ["jump-chain", "gillespie-direct", "next-reaction"] {
+        let report = backend(name).unwrap().run(&scenario, &mut rng(7));
+        assert_eq!(report.reason, StopReason::MaxEventsReached, "{name}");
+        assert_eq!(report.events, 16, "{name}");
+        assert!(report.truncated(), "{name}");
+    }
+    // Tau-leaping fires whole leaps, so the budget check happens between
+    // leaps: the final count is at least the budget.
+    let report = backend("tau-leaping").unwrap().run(&scenario, &mut rng(7));
+    assert_eq!(report.reason, StopReason::MaxEventsReached);
+    assert!(report.events >= 16);
+}
+
+/// `max_time` truncation for the continuous-clock backends, and the
+/// interaction rule: whichever budget binds first wins.
+#[test]
+fn continuous_backends_honor_the_time_budget() {
+    let model = LvModel::default();
+    let tight_time = StopCondition::any_species_extinct()
+        .with_max_events(1_000_000)
+        .with_max_time(1e-7);
+    let scenario = Scenario::new(model, (2_000, 1_990)).with_stop(tight_time);
+    for name in ["gillespie-direct", "next-reaction", "tau-leaping", "ode"] {
+        let report = backend(name).unwrap().run(&scenario, &mut rng(8));
+        assert_eq!(report.reason, StopReason::MaxTimeReached, "{name}");
+        assert!(report.truncated(), "{name}");
+    }
+    // The jump chain's clock is its event count; the budget check runs
+    // before each step (and time starts at 0), so exactly one event fires
+    // before a 1e-7 time budget binds.
+    let report = backend("jump-chain").unwrap().run(&scenario, &mut rng(8));
+    assert_eq!(report.reason, StopReason::MaxTimeReached);
+    assert_eq!(report.events, 1);
+}
+
+/// Predicate stop conditions run on every backend.
+#[test]
+fn all_backends_honor_predicate_conditions() {
+    let model = LvModel::no_competition(2.0, 1.0);
+    // Stop once species 0 at least doubles.
+    let stop = StopCondition::predicate(|state: &lv_crn::State| {
+        state.count(lv_crn::SpeciesId::new(0)) >= 400
+    })
+    .with_max_events(10_000_000);
+    let scenario = Scenario::new(model, (200, 200)).with_stop(stop);
+    for backend in BackendRegistry::global().iter() {
+        let report = backend.run(&scenario, &mut rng(9));
+        assert_eq!(
+            report.reason,
+            StopReason::ConditionMet,
+            "{}",
+            backend.name()
+        );
+        assert!(
+            report.final_state.count(lv_lotka::SpeciesIndex::Zero) >= 400,
+            "{}",
+            backend.name()
+        );
+    }
+}
+
+/// Seeded runs are reproducible per backend (same seed, same report).
+#[test]
+fn seeded_runs_are_reproducible_on_every_backend() {
+    let scenario = Scenario::majority(LvModel::default(), 80, 60);
+    for backend in BackendRegistry::global().iter() {
+        let a = backend.run(&scenario, &mut rng(42));
+        let b = backend.run(&scenario, &mut rng(42));
+        assert_eq!(a, b, "{}", backend.name());
+    }
+}
+
+/// The exact backends agree with each other *in distribution*: the majority
+/// win rate over a batch of seeds differs by at most a few percentage
+/// points between the jump chain, the direct method and the next-reaction
+/// method (they simulate the same chain with different clocks).
+#[test]
+fn exact_backends_agree_in_distribution() {
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let scenario = Scenario::majority(model, 33, 27);
+    let trials = 300u64;
+    let mut rates = Vec::new();
+    for name in ["jump-chain", "gillespie-direct", "next-reaction"] {
+        let backend = backend(name).unwrap();
+        let wins = (0..trials)
+            .filter(|&seed| backend.run(&scenario, &mut rng(seed)).majority_won())
+            .count();
+        rates.push(wins as f64 / trials as f64);
+    }
+    for pair in rates.windows(2) {
+        assert!(
+            (pair[0] - pair[1]).abs() < 0.12,
+            "win rates diverged: {rates:?}"
+        );
+    }
+}
+
+/// The ODE backend has no reaction events, so a scenario's `max_events`
+/// budget bounds its integration steps instead of being a silent no-op.
+#[test]
+fn ode_backend_applies_the_event_budget_to_steps() {
+    // Stable coexistence regime (γ' > α' after mapping): the mean field
+    // never reaches rounded extinction, so only the budget can stop it.
+    let model =
+        LvModel::with_intraspecific(CompetitionKind::NonSelfDestructive, 2.0, 1.0, 0.1, 2.0);
+    let stop = StopCondition::any_species_extinct().with_max_events(25);
+    let scenario = Scenario::new(model, (500, 400)).with_stop(stop);
+    let report = backend("ode").unwrap().run(&scenario, &mut rng(10));
+    assert_eq!(report.reason, StopReason::MaxEventsReached);
+    assert_eq!(report.steps, 25);
+    assert_eq!(report.events, 0);
+    assert!(report.truncated());
+}
+
+/// Tau-leaping reports leap-aggregated noise as `unclassified` instead of
+/// corrupting the `F_ind`/`F_comp` split, and the telescoping identity
+/// `F_total = ∆_0 − ∆_T` still holds over all three buckets.
+#[test]
+fn tau_leaping_noise_stays_honest() {
+    let model = LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0);
+    let scenario = Scenario::majority(model, 300, 240).with_tau(0.02);
+    let report = backend("tau-leaping").unwrap().run(&scenario, &mut rng(12));
+    assert!(report.consensus_reached());
+    let noise = report.noise().unwrap();
+    assert_ne!(
+        noise.unclassified, 0,
+        "leaps produced no unclassified noise"
+    );
+    let (x, y) = report.final_state.counts();
+    let delta_final = x as i64 - y as i64;
+    assert_eq!(noise.total(), 60 - delta_final);
+}

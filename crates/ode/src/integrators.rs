@@ -40,7 +40,15 @@ impl Rk4 {
         self.step
     }
 
-    fn rk4_step<const D: usize, S: OdeSystem<D>>(system: &S, y: [f64; D], h: f64) -> [f64; D] {
+    /// One classical RK4 step of length `h` from state `y`, without
+    /// recording a solution. Exposed so external drivers (e.g. the engine's
+    /// ODE backend, which interleaves stop-condition checks with stepping)
+    /// share this tableau instead of duplicating it.
+    pub fn single_step<const D: usize, S: OdeSystem<D>>(
+        system: &S,
+        y: [f64; D],
+        h: f64,
+    ) -> [f64; D] {
         let k1 = system.derivative(&y);
         let k2 = system.derivative(&add(y, scale(k1, h / 2.0)));
         let k3 = system.derivative(&add(y, scale(k2, h / 2.0)));
@@ -68,7 +76,7 @@ impl OdeIntegrator for Rk4 {
         solution.push(t, y);
         while t < t1 {
             let h = self.step.min(t1 - t);
-            y = Rk4::rk4_step(system, y, h);
+            y = Rk4::single_step(system, y, h);
             t += h;
             solution.push(t, y);
         }
@@ -142,7 +150,10 @@ impl Rkf45 {
         let k4 = system.derivative(&add(
             y,
             add(
-                add(scale(k1, 1932.0 * h / 2197.0), scale(k2, -7200.0 * h / 2197.0)),
+                add(
+                    scale(k1, 1932.0 * h / 2197.0),
+                    scale(k2, -7200.0 * h / 2197.0),
+                ),
                 scale(k3, 7296.0 * h / 2197.0),
             ),
         ));
@@ -150,7 +161,10 @@ impl Rkf45 {
             y,
             add(
                 add(scale(k1, 439.0 * h / 216.0), scale(k2, -8.0 * h)),
-                add(scale(k3, 3680.0 * h / 513.0), scale(k4, -845.0 * h / 4104.0)),
+                add(
+                    scale(k3, 3680.0 * h / 513.0),
+                    scale(k4, -845.0 * h / 4104.0),
+                ),
             ),
         ));
         let k6 = system.derivative(&add(
@@ -158,7 +172,10 @@ impl Rkf45 {
             add(
                 add(scale(k1, -8.0 * h / 27.0), scale(k2, 2.0 * h)),
                 add(
-                    add(scale(k3, -3544.0 * h / 2565.0), scale(k4, 1859.0 * h / 4104.0)),
+                    add(
+                        scale(k3, -3544.0 * h / 2565.0),
+                        scale(k4, 1859.0 * h / 4104.0),
+                    ),
                     scale(k5, -11.0 * h / 40.0),
                 ),
             ),
@@ -168,15 +185,11 @@ impl Rkf45 {
         let mut error = 0.0f64;
         for i in 0..D {
             let y5 = y[i]
-                + h * (16.0 / 135.0 * k1[i]
-                    + 6656.0 / 12825.0 * k3[i]
-                    + 28561.0 / 56430.0 * k4[i]
+                + h * (16.0 / 135.0 * k1[i] + 6656.0 / 12825.0 * k3[i] + 28561.0 / 56430.0 * k4[i]
                     - 9.0 / 50.0 * k5[i]
                     + 2.0 / 55.0 * k6[i]);
             let y4 = y[i]
-                + h * (25.0 / 216.0 * k1[i]
-                    + 1408.0 / 2565.0 * k3[i]
-                    + 2197.0 / 4104.0 * k4[i]
+                + h * (25.0 / 216.0 * k1[i] + 1408.0 / 2565.0 * k3[i] + 2197.0 / 4104.0 * k4[i]
                     - 1.0 / 5.0 * k5[i]);
             order5[i] = y5;
             error = error.max((y5 - y4).abs());

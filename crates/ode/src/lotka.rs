@@ -58,7 +58,10 @@ impl CompetitiveLv {
             r.is_finite() && alpha.is_finite() && gamma.is_finite(),
             "parameters must be finite"
         );
-        assert!(alpha >= 0.0 && gamma >= 0.0, "competition coefficients must be non-negative");
+        assert!(
+            alpha >= 0.0 && gamma >= 0.0,
+            "competition coefficients must be non-negative"
+        );
         CompetitiveLv { r, alpha, gamma }
     }
 

@@ -47,7 +47,10 @@ impl<const D: usize> OdeSolution<D> {
     ///
     /// Panics if the solution is empty.
     pub fn last_state(&self) -> [f64; D] {
-        *self.states.last().expect("solution has at least one sample")
+        *self
+            .states
+            .last()
+            .expect("solution has at least one sample")
     }
 
     /// The final recorded time.

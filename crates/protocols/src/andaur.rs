@@ -58,9 +58,15 @@ impl AndaurResourceModel {
     /// and `alpha` are zero.
     pub fn new(beta: f64, alpha: f64, capacity: f64) -> Self {
         for (name, v) in [("beta", beta), ("alpha", alpha), ("capacity", capacity)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be finite and non-negative");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be finite and non-negative"
+            );
         }
-        assert!(beta + alpha > 0.0, "the model needs at least one positive rate");
+        assert!(
+            beta + alpha > 0.0,
+            "the model needs at least one positive rate"
+        );
         AndaurResourceModel {
             beta,
             alpha,
@@ -128,8 +134,7 @@ impl AndaurResourceModel {
             final_counts: (x0, x1),
             events,
             consensus_reached,
-            majority_won: consensus_reached
-                && ((a > b && x0 > 0) || (b > a && x1 > 0)),
+            majority_won: consensus_reached && ((a > b && x0 > 0) || (b > a && x1 > 0)),
         }
     }
 }

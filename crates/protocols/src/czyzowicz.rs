@@ -61,9 +61,18 @@ mod tests {
     #[test]
     fn predation_converts_the_responder() {
         let p = CzyzowiczLvProtocol::new();
-        assert_eq!(p.transition(Opinion::A, Opinion::B), (Opinion::A, Opinion::A));
-        assert_eq!(p.transition(Opinion::B, Opinion::A), (Opinion::B, Opinion::B));
-        assert_eq!(p.transition(Opinion::A, Opinion::A), (Opinion::A, Opinion::A));
+        assert_eq!(
+            p.transition(Opinion::A, Opinion::B),
+            (Opinion::A, Opinion::A)
+        );
+        assert_eq!(
+            p.transition(Opinion::B, Opinion::A),
+            (Opinion::B, Opinion::B)
+        );
+        assert_eq!(
+            p.transition(Opinion::A, Opinion::A),
+            (Opinion::A, Opinion::A)
+        );
     }
 
     #[test]

@@ -34,8 +34,11 @@ pub trait PopulationProtocol {
     fn initial_state(&self, input: Opinion) -> Self::State;
 
     /// The joint transition `(initiator, responder) → (initiator', responder')`.
-    fn transition(&self, initiator: Self::State, responder: Self::State)
-        -> (Self::State, Self::State);
+    fn transition(
+        &self,
+        initiator: Self::State,
+        responder: Self::State,
+    ) -> (Self::State, Self::State);
 
     /// The output opinion of an agent in the given state, or `None` if the
     /// state is undecided.
@@ -79,11 +82,11 @@ pub struct ProtocolOutcome {
 impl ProtocolOutcome {
     /// Whether the protocol converged to the initial majority opinion.
     pub fn majority_won(&self) -> bool {
-        match (self.initial_a.cmp(&self.initial_b), self.decision) {
-            (std::cmp::Ordering::Greater, Some(Opinion::A)) => true,
-            (std::cmp::Ordering::Less, Some(Opinion::B)) => true,
-            _ => false,
-        }
+        matches!(
+            (self.initial_a.cmp(&self.initial_b), self.decision),
+            (std::cmp::Ordering::Greater, Some(Opinion::A))
+                | (std::cmp::Ordering::Less, Some(Opinion::B))
+        )
     }
 }
 
@@ -204,9 +207,22 @@ mod tests {
             truncated: false,
         };
         assert!(base.majority_won());
-        assert!(!ProtocolOutcome { decision: Some(Opinion::B), ..base }.majority_won());
-        assert!(!ProtocolOutcome { decision: None, ..base }.majority_won());
-        assert!(!ProtocolOutcome { initial_a: 4, initial_b: 6, ..base }.majority_won());
+        assert!(!ProtocolOutcome {
+            decision: Some(Opinion::B),
+            ..base
+        }
+        .majority_won());
+        assert!(!ProtocolOutcome {
+            decision: None,
+            ..base
+        }
+        .majority_won());
+        assert!(!ProtocolOutcome {
+            initial_a: 4,
+            initial_b: 6,
+            ..base
+        }
+        .majority_won());
     }
 
     #[test]

@@ -66,10 +66,7 @@ impl SuccessEstimate {
     /// Merges two estimates of the same quantity (e.g. from different worker
     /// threads).
     pub fn merge(&self, other: &SuccessEstimate) -> SuccessEstimate {
-        SuccessEstimate::new(
-            self.successes + other.successes,
-            self.trials + other.trials,
-        )
+        SuccessEstimate::new(self.successes + other.successes, self.trials + other.trials)
     }
 }
 

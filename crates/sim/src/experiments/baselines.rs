@@ -71,8 +71,10 @@ pub fn e11_population_protocols(config: ExperimentConfig) -> ExperimentReport {
             // The exact protocol needs Θ(n²) interactions for small gaps; keep
             // it to the smaller sizes so the experiment stays tractable.
             let p_exact = if n <= 1_024 {
-                let mc =
-                    MonteCarlo::new(trials.min(60), config.seed_for(&format!("e11-ex-{n}-{gap_label}")));
+                let mc = MonteCarlo::new(
+                    trials.min(60),
+                    config.seed_for(&format!("e11-ex-{n}-{gap_label}")),
+                );
                 format!(
                     "{:.4}",
                     mc.estimate(|_, rng| {

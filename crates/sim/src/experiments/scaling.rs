@@ -55,7 +55,9 @@ pub fn e7_consensus_time_scaling(config: ExperimentConfig) -> ExperimentReport {
         report.push_table(table);
     }
     report.push_finding("T(S)/n stays bounded (linear consensus time) for both competition kinds");
-    report.push_finding("J(S)/ln n and max J(S)/ln² n stay bounded — the bad-event noise is polylogarithmic");
+    report.push_finding(
+        "J(S)/ln n and max J(S)/ln² n stay bounded — the bad-event noise is polylogarithmic",
+    );
     report
 }
 

@@ -28,7 +28,11 @@ fn threshold_sweep(
     for r in &results {
         table.push_row(&[
             r.n.to_string(),
-            format!("{}{}", r.threshold, if r.saturated { " (sat.)" } else { "" }),
+            format!(
+                "{}{}",
+                r.threshold,
+                if r.saturated { " (sat.)" } else { "" }
+            ),
             format!("{:.4}", r.target),
             format!("{:.4}", r.success_at_threshold),
         ]);
@@ -124,7 +128,10 @@ pub fn e3_intra_and_inter(config: ExperimentConfig) -> ExperimentReport {
     let trials = config.trials() * 4;
     for (label, kind) in [
         ("self-destructive (α = γ)", CompetitionKind::SelfDestructive),
-        ("non-self-destructive (γ = 2α)", CompetitionKind::NonSelfDestructive),
+        (
+            "non-self-destructive (γ = 2α)",
+            CompetitionKind::NonSelfDestructive,
+        ),
     ] {
         let model = LvModel::balanced_intra_inter(kind, 1.0, 1.0, 1.0);
         let mut table = Table::new(
@@ -132,10 +139,7 @@ pub fn e3_intra_and_inter(config: ExperimentConfig) -> ExperimentReport {
             &["a", "b", "a/(a+b)", "measured score", "|error|"],
         );
         for (a, b) in [(30u64, 20u64), (60, 40), (90, 10), (75, 74)] {
-            let mc = MonteCarlo::new(
-                trials,
-                config.seed_for(&format!("e3-{kind:?}-{a}-{b}")),
-            );
+            let mc = MonteCarlo::new(trials, config.seed_for(&format!("e3-{kind:?}-{a}-{b}")));
             let score = mc.proportional_score(&model, a, b);
             let expected = a as f64 / (a + b) as f64;
             table.push_row(&[
@@ -290,7 +294,9 @@ pub fn e6_no_competition(config: ExperimentConfig) -> ExperimentReport {
         ]);
     }
     report.push_table(table);
-    report.push_finding("without competition the majority probability is proportional — no amplification at all");
+    report.push_finding(
+        "without competition the majority probability is proportional — no amplification at all",
+    );
     report
 }
 

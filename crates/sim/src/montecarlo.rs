@@ -1,17 +1,28 @@
 use crate::estimate::SuccessEstimate;
 use crate::seed::Seed;
 use crate::stats;
-use lv_lotka::{run_majority, LvModel, MajorityOutcome};
+use lv_crn::StopCondition;
+use lv_engine::{RunReport, Scenario};
+use lv_lotka::{LvModel, MajorityOutcome};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Aggregate statistics of the majority-consensus observables over a batch of
 /// trials (the quantities bounded by Theorem 13).
+///
+/// All fractions and means aggregate over the *completed* (non-truncated)
+/// trials only. When every trial was truncated ([`ConsensusStats::completed`]
+/// is zero) the aggregates are reported as `0.0` — never `NaN` — and
+/// [`ConsensusStats::has_completed_trials`] lets callers distinguish "no
+/// majority wins" from "nothing finished".
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ConsensusStats {
-    /// Number of completed (non-truncated) trials.
+    /// Total number of trials run.
     pub trials: u64,
+    /// Number of completed (non-truncated) trials; every aggregate below is
+    /// over these.
+    pub completed: u64,
     /// Number of truncated trials.
     pub truncated: u64,
     /// Fraction of completed trials in which the initial majority won.
@@ -38,12 +49,87 @@ pub struct ConsensusStats {
     pub mean_competitive_noise: f64,
 }
 
+impl ConsensusStats {
+    /// Whether any trial completed (reached consensus within its budget).
+    /// When this is `false` every fraction and mean in the struct is a
+    /// placeholder `0.0`, not a measurement.
+    pub fn has_completed_trials(&self) -> bool {
+        self.completed > 0
+    }
+
+    fn from_outcomes(outcomes: &[MajorityOutcome]) -> ConsensusStats {
+        let completed: Vec<&MajorityOutcome> =
+            outcomes.iter().filter(|o| o.consensus_reached).collect();
+        // Count actual budget exhaustions, not merely "did not reach
+        // consensus": a custom stop condition can end a trial legitimately
+        // (ConditionMet) without either consensus or truncation.
+        let truncated = outcomes.iter().filter(|o| o.truncated).count() as u64;
+        let events: Vec<f64> = completed.iter().map(|o| o.events as f64).collect();
+        let noise: Vec<f64> = completed.iter().map(|o| o.noise.total() as f64).collect();
+        // `fraction` and `stats::mean` are both 0.0 over the empty sample, so
+        // a fully-truncated batch yields finite (if vacuous) aggregates.
+        let fraction = |count: usize| {
+            if completed.is_empty() {
+                0.0
+            } else {
+                count as f64 / completed.len() as f64
+            }
+        };
+        ConsensusStats {
+            trials: outcomes.len() as u64,
+            completed: completed.len() as u64,
+            truncated,
+            majority_fraction: fraction(completed.iter().filter(|o| o.majority_won()).count()),
+            both_extinct_fraction: fraction(
+                completed.iter().filter(|o| o.winner.is_none()).count(),
+            ),
+            mean_events: stats::mean(&events),
+            max_events: completed.iter().map(|o| o.events).max().unwrap_or(0),
+            mean_individual_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.individual_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_competitive_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.competitive_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_bad_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.bad_noncompetitive_events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            max_bad_events: completed
+                .iter()
+                .map(|o| o.bad_noncompetitive_events)
+                .max()
+                .unwrap_or(0),
+            mean_noise: stats::mean(&noise),
+            noise_std_dev: stats::std_dev(&noise),
+            mean_competitive_noise: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.noise.competitive as f64)
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+}
+
 impl fmt::Display for ConsensusStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "trials {} (truncated {}), majority wins {:.3}, both extinct {:.3}",
-            self.trials, self.truncated, self.majority_fraction, self.both_extinct_fraction
+            "trials {} (completed {}, truncated {}), majority wins {:.3}, both extinct {:.3}",
+            self.trials,
+            self.completed,
+            self.truncated,
+            self.majority_fraction,
+            self.both_extinct_fraction
         )?;
         writeln!(
             f,
@@ -63,24 +149,35 @@ impl fmt::Display for ConsensusStats {
     }
 }
 
-/// A seeded Monte-Carlo runner.
+/// A seeded Monte-Carlo runner over [`Scenario`] batches.
 ///
 /// All estimates are reproducible given the seed: trial `i` always uses the
 /// RNG stream [`Seed::rng_for_trial`]`(i)`, independent of threading.
 /// When more than one thread is configured (the default uses all available
 /// cores) trials are split into contiguous chunks processed by scoped
-/// crossbeam threads.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// crossbeam threads — the per-trial RNG derivation makes the result
+/// bit-identical for every thread count.
+///
+/// Every trial executes through the engine [`Backend`](lv_engine::Backend)
+/// selected with [`MonteCarlo::with_backend`] (default: the exact
+/// `"jump-chain"` backend, the paper's chain `S`), so the same estimator runs
+/// unmodified on Gillespie direct, next-reaction, tau-leaping or the
+/// deterministic ODE.
+// No `Deserialize`: `backend` is a `&'static str` registry key, which real
+// serde cannot deserialize into (the compat shims must stay swappable for
+// the real crates without code changes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct MonteCarlo {
     trials: u64,
     seed: Seed,
     threads: usize,
     max_events_factor: u64,
+    backend: &'static str,
 }
 
 impl MonteCarlo {
     /// Creates a runner with the given number of trials per estimate, using
-    /// all available CPU cores.
+    /// all available CPU cores and the exact jump-chain backend.
     ///
     /// # Panics
     ///
@@ -95,6 +192,7 @@ impl MonteCarlo {
             seed,
             threads,
             max_events_factor: 200,
+            backend: "jump-chain",
         }
     }
 
@@ -117,6 +215,20 @@ impl MonteCarlo {
         self
     }
 
+    /// Selects the engine backend (by registry name or alias) that executes
+    /// every trial.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not in the
+    /// [`BackendRegistry`](lv_engine::BackendRegistry).
+    pub fn with_backend(mut self, name: &str) -> Self {
+        let backend = lv_engine::backend(name)
+            .unwrap_or_else(|| panic!("unknown backend {name:?}; see BackendRegistry::names()"));
+        self.backend = backend.name();
+        self
+    }
+
     /// The number of trials per estimate.
     pub fn trials(&self) -> u64 {
         self.trials
@@ -127,8 +239,27 @@ impl MonteCarlo {
         self.seed
     }
 
+    /// The canonical name of the backend trials run on.
+    pub fn backend(&self) -> &'static str {
+        self.backend
+    }
+
     fn budget(&self, n: u64) -> u64 {
-        self.max_events_factor.saturating_mul(n.max(16)).max(100_000)
+        lv_engine::majority_budget(n, self.max_events_factor)
+    }
+
+    /// The majority scenario for `(a, b)` under this runner's event budget,
+    /// with the observers needed by the derived `MajorityOutcome` view.
+    fn majority_scenario(&self, model: &LvModel, a: u64, b: u64) -> Scenario {
+        Scenario::majority(*model, a, b)
+            .with_stop(StopCondition::any_species_extinct().with_max_events(self.budget(a + b)))
+    }
+
+    /// A lean consensus scenario (no observers) for estimates that only need
+    /// the run summary — winner, consensus, truncation.
+    fn lean_scenario(&self, model: &LvModel, a: u64, b: u64) -> Scenario {
+        Scenario::new(*model, (a, b))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(self.budget(a + b)))
     }
 
     /// Estimates an arbitrary per-trial success predicate in parallel.
@@ -190,23 +321,58 @@ impl MonteCarlo {
         partials.into_iter().fold(init, reduce)
     }
 
+    /// Runs the scenario once per trial on the configured backend and folds
+    /// the reports — the primitive every estimator below is built on.
+    pub fn run_batch<T, M, R>(&self, scenario: &Scenario, map: M, init: T, reduce: R) -> T
+    where
+        T: Clone + Send,
+        M: Fn(u64, RunReport) -> T + Sync,
+        R: Fn(T, T) -> T + Sync + Send + Copy,
+    {
+        let backend =
+            lv_engine::backend(self.backend).expect("constructor validated the backend name");
+        if backend.deterministic() {
+            // Every trial of a deterministic backend yields the same report;
+            // run it once and fold that report through every trial slot so
+            // estimators keep their trial counts without redundant work.
+            let mut rng = self.seed.rng_for_trial(0);
+            let report = backend.run(scenario, &mut rng);
+            let mut acc = init;
+            for trial in 0..self.trials {
+                acc = reduce(acc, map(trial, report.clone()));
+            }
+            return acc;
+        }
+        self.map_reduce(
+            |trial, rng| map(trial, backend.run(scenario, rng)),
+            init,
+            reduce,
+        )
+    }
+
     /// Estimates the probability that the initial majority species wins
     /// majority consensus from `(a, b)` under the given model.
     pub fn success_probability(&self, model: &LvModel, a: u64, b: u64) -> SuccessEstimate {
-        let budget = self.budget(a + b);
-        self.estimate(|_, rng| run_majority(model, a, b, rng, budget).majority_won())
+        let scenario = self.lean_scenario(model, a, b);
+        let wins = self.run_batch(
+            &scenario,
+            |_, report| u64::from(report.majority_won()),
+            0u64,
+            |acc, v| acc + v,
+        );
+        SuccessEstimate::new(wins, self.trials)
     }
 
     /// Estimates the paper's proportional-law score
     /// `P(majority wins) + ½·P(both species extinct)` (see `lv_lotka::exact`).
     pub fn proportional_score(&self, model: &LvModel, a: u64, b: u64) -> f64 {
-        let budget = self.budget(a + b);
-        let total = self.map_reduce(
-            |_, rng| {
-                let outcome = run_majority(model, a, b, rng, budget);
-                if outcome.majority_won() {
+        let scenario = self.lean_scenario(model, a, b);
+        let total = self.run_batch(
+            &scenario,
+            |_, report| {
+                if report.majority_won() {
                     1.0
-                } else if outcome.consensus_reached && outcome.winner.is_none() {
+                } else if report.consensus_reached() && report.final_state.winner().is_none() {
                     0.5
                 } else {
                     0.0
@@ -220,65 +386,23 @@ impl MonteCarlo {
 
     /// Collects the full observable statistics of Theorem 13 over the trials.
     pub fn consensus_stats(&self, model: &LvModel, a: u64, b: u64) -> ConsensusStats {
-        let budget = self.budget(a + b);
-        let outcomes: Vec<MajorityOutcome> = self.map_reduce(
-            |_, rng| vec![run_majority(model, a, b, rng, budget)],
+        self.consensus_stats_scenario(&self.majority_scenario(model, a, b))
+    }
+
+    /// Like [`MonteCarlo::consensus_stats`], but over an explicit scenario
+    /// (which should carry the event-count, noise and max-population
+    /// observers — [`Scenario::majority`] does).
+    pub fn consensus_stats_scenario(&self, scenario: &Scenario) -> ConsensusStats {
+        let outcomes: Vec<MajorityOutcome> = self.run_batch(
+            scenario,
+            |_, report| vec![report.to_majority_outcome()],
             Vec::new(),
             |mut acc, mut v| {
                 acc.append(&mut v);
                 acc
             },
         );
-        let completed: Vec<&MajorityOutcome> =
-            outcomes.iter().filter(|o| o.consensus_reached).collect();
-        let truncated = outcomes.len() as u64 - completed.len() as u64;
-        let count = completed.len().max(1) as f64;
-        let events: Vec<f64> = completed.iter().map(|o| o.events as f64).collect();
-        let noise: Vec<f64> = completed.iter().map(|o| o.noise.total() as f64).collect();
-        ConsensusStats {
-            trials: completed.len() as u64,
-            truncated,
-            majority_fraction: completed.iter().filter(|o| o.majority_won()).count() as f64
-                / count,
-            both_extinct_fraction: completed
-                .iter()
-                .filter(|o| o.winner.is_none())
-                .count() as f64
-                / count,
-            mean_events: stats::mean(&events),
-            max_events: completed.iter().map(|o| o.events).max().unwrap_or(0),
-            mean_individual_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.individual_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            mean_competitive_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.competitive_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            mean_bad_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.bad_noncompetitive_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            max_bad_events: completed
-                .iter()
-                .map(|o| o.bad_noncompetitive_events)
-                .max()
-                .unwrap_or(0),
-            mean_noise: stats::mean(&noise),
-            noise_std_dev: stats::std_dev(&noise),
-            mean_competitive_noise: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.noise.competitive as f64)
-                    .collect::<Vec<_>>(),
-            ),
-        }
+        ConsensusStats::from_outcomes(&outcomes)
     }
 }
 
@@ -298,6 +422,29 @@ mod tests {
         let e1 = mc1.success_probability(&model(), 60, 40);
         let e2 = mc2.success_probability(&model(), 60, 40);
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn estimates_are_reproducible_across_thread_counts_on_every_backend() {
+        for name in [
+            "jump-chain",
+            "gillespie-direct",
+            "next-reaction",
+            "tau-leaping",
+            "ode",
+        ] {
+            let mc1 = MonteCarlo::new(64, Seed::from(5))
+                .with_threads(1)
+                .with_backend(name);
+            let mc2 = MonteCarlo::new(64, Seed::from(5))
+                .with_threads(4)
+                .with_backend(name);
+            assert_eq!(
+                mc1.success_probability(&model(), 60, 40),
+                mc2.success_probability(&model(), 60, 40),
+                "backend {name} is thread-count sensitive"
+            );
+        }
     }
 
     #[test]
@@ -321,13 +468,13 @@ mod tests {
         let mc = MonteCarlo::new(100, Seed::from(3));
         let stats = mc.consensus_stats(&model(), 80, 60);
         assert_eq!(stats.trials, 100);
+        assert_eq!(stats.completed, 100);
         assert_eq!(stats.truncated, 0);
+        assert!(stats.has_completed_trials());
         assert!(stats.mean_events > 0.0);
         assert!(stats.mean_events >= stats.mean_individual_events);
         assert!(
-            (stats.mean_events
-                - stats.mean_individual_events
-                - stats.mean_competitive_events)
+            (stats.mean_events - stats.mean_individual_events - stats.mean_competitive_events)
                 .abs()
                 < 1e-9
         );
@@ -339,10 +486,80 @@ mod tests {
     }
 
     #[test]
+    fn fully_truncated_batches_report_honest_nan_free_stats() {
+        // Regression test: a budget of 10 events cannot reach consensus from
+        // (5000, 4990), so *every* trial truncates; the old implementation's
+        // `count.max(1)` divisor silently fabricated fractions here.
+        let mc = MonteCarlo::new(20, Seed::from(4));
+        let scenario = Scenario::majority(model(), 5_000, 4_990)
+            .with_stop(StopCondition::any_species_extinct().with_max_events(10));
+        let stats = mc.consensus_stats_scenario(&scenario);
+        assert_eq!(stats.trials, 20);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.truncated, 20);
+        assert!(!stats.has_completed_trials());
+        for value in [
+            stats.majority_fraction,
+            stats.both_extinct_fraction,
+            stats.mean_events,
+            stats.mean_individual_events,
+            stats.mean_competitive_events,
+            stats.mean_bad_events,
+            stats.mean_noise,
+            stats.noise_std_dev,
+            stats.mean_competitive_noise,
+        ] {
+            assert!(value.is_finite(), "non-finite aggregate {value}");
+            assert_eq!(value, 0.0);
+        }
+        assert_eq!(stats.max_events, 0);
+        assert!(stats.to_string().contains("completed 0"));
+    }
+
+    #[test]
+    fn non_consensus_condition_stops_are_not_counted_as_truncated() {
+        // A population-threshold stop ends every trial with ConditionMet but
+        // without consensus: such trials are neither completed nor truncated.
+        let growth = LvModel::no_competition(2.0, 1.0);
+        let mc = MonteCarlo::new(10, Seed::from(8));
+        let scenario = Scenario::majority(growth, 50, 50)
+            .with_stop(StopCondition::total_at_least(500).with_max_events(1_000_000));
+        let stats = mc.consensus_stats_scenario(&scenario);
+        assert_eq!(stats.trials, 10);
+        assert_eq!(stats.completed, 0);
+        assert_eq!(
+            stats.truncated, 0,
+            "ConditionMet stops mislabeled as truncated"
+        );
+    }
+
+    #[test]
+    fn deterministic_backends_run_once_per_batch() {
+        // The ODE backend ignores the RNG, so a batch folds one run through
+        // every trial slot; the estimate is still over `trials` trials.
+        let mc = MonteCarlo::new(10_000, Seed::from(9)).with_backend("ode");
+        let estimate = mc.success_probability(&model(), 60, 40);
+        assert_eq!(estimate.trials(), 10_000);
+        assert!(estimate.point() == 0.0 || estimate.point() == 1.0);
+    }
+
+    #[test]
     fn map_reduce_visits_every_trial_once() {
         let mc = MonteCarlo::new(1_000, Seed::from(4)).with_threads(3);
         let sum = mc.map_reduce(|trial, _| trial, 0u64, |a, b| a + b);
         assert_eq!(sum, 999 * 1_000 / 2);
+    }
+
+    #[test]
+    fn backend_selection_resolves_aliases() {
+        let mc = MonteCarlo::new(10, Seed::from(6)).with_backend("ssa");
+        assert_eq!(mc.backend(), "gillespie-direct");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown backend")]
+    fn unknown_backends_are_rejected() {
+        let _ = MonteCarlo::new(10, Seed::from(7)).with_backend("quantum");
     }
 
     #[test]

@@ -115,7 +115,10 @@ mod tests {
         table.push_row(&["longer".to_string()]);
         let text = table.to_string();
         for line in text.lines().skip(1) {
-            assert_eq!(line.chars().count(), text.lines().nth(1).unwrap().chars().count());
+            assert_eq!(
+                line.chars().count(),
+                text.lines().nth(1).unwrap().chars().count()
+            );
         }
     }
 

@@ -144,7 +144,10 @@ mod tests {
         let xs = [1.0, 2.0, 4.0, 8.0, 16.0];
         let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
         let (_, rmse) = fit_proportional(&xs, &ys);
-        assert!(rmse > 0.3, "quadratic data fit a linear law too well ({rmse})");
+        assert!(
+            rmse > 0.3,
+            "quadratic data fit a linear law too well ({rmse})"
+        );
     }
 
     #[test]

@@ -35,9 +35,8 @@ fn main() {
     let initial = State::from(vec![620, 580]);
     let rng = rand::rngs::StdRng::seed_from_u64(33);
     let mut sim = GillespieDirect::new(&network, initial, rng);
-    let (outcome, trajectory) = sim.run_recording(
-        &StopCondition::any_species_extinct().with_max_events(5_000_000),
-    );
+    let (outcome, trajectory) =
+        sim.run_recording(&StopCondition::any_species_extinct().with_max_events(5_000_000));
 
     println!("bioreactor run ({}):", model);
     println!(
@@ -79,5 +78,7 @@ fn main() {
     let p_intra = mc.success_probability(&with_intra, 620, 580).point();
     println!("\nreliability of the 3% differential read-out over {trials} runs:");
     println!("  interspecific interference only : {p_clean:.3}");
-    println!("  + balanced intraspecific circuit: {p_intra:.3} (collapses towards a/(a+b) = 0.517)");
+    println!(
+        "  + balanced intraspecific circuit: {p_intra:.3} (collapses towards a/(a+b) = 0.517)"
+    );
 }

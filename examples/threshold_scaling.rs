@@ -41,7 +41,10 @@ fn main() {
     }
     println!("{table}");
 
-    for (label, series) in [("self-destructive", &sd_series), ("non-self-destructive", &nsd_series)] {
+    for (label, series) in [
+        ("self-destructive", &sd_series),
+        ("non-self-destructive", &nsd_series),
+    ] {
         let ns: Vec<f64> = series.iter().map(|&(n, _)| n).collect();
         let ys: Vec<f64> = series.iter().map(|&(_, y)| y).collect();
         let fit = ScalingFit::fit(&ns, &ys);

@@ -16,13 +16,22 @@
 //!   trajectory, noise decomposition).
 //! * [`ode`] — the deterministic competitive Lotka–Volterra ODE (Eq. 4) with
 //!   in-repo Runge–Kutta integrators.
+//! * [`engine`] — the unified simulation API: a [`engine::Scenario`]
+//!   description (model + initial configuration + stop condition + observers)
+//!   executed by any [`engine::Backend`] from the string-keyed registry
+//!   (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
+//!   `"tau-leaping"`, `"ode"`).
 //! * [`protocols`] — baseline protocols from related work (3-state approximate
 //!   majority, 4-state exact majority, Czyzowicz et al. LV population
 //!   protocol, Andaur et al. resource-consumer model).
-//! * [`sim`] — Monte-Carlo engine, estimators, threshold search, scaling fits
-//!   and the experiment suite that regenerates Table 1 of the paper.
+//! * [`sim`] — Monte-Carlo engine over scenario batches, estimators,
+//!   threshold search, scaling fits and the experiment suite that regenerates
+//!   Table 1 of the paper.
 //!
 //! # Quick start
+//!
+//! Estimate a success probability through the Monte-Carlo layer (which runs
+//! every trial through the engine's jump-chain backend):
 //!
 //! ```
 //! use lv_consensus::lotka::{CompetitionKind, LvModel};
@@ -34,9 +43,31 @@
 //! let estimate = mc.success_probability(&model, 550, 450);
 //! assert!(estimate.point() > 0.5);
 //! ```
+//!
+//! Or describe the run once as a [`engine::Scenario`] and execute it on any
+//! backend from the registry:
+//!
+//! ```
+//! use lv_consensus::engine::{backend, ObserverSpec, Scenario};
+//! use lv_consensus::lotka::{CompetitionKind, LvModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+//! let scenario = Scenario::majority(model, 550, 450).observe(ObserverSpec::GapTrajectory);
+//! for name in ["jump-chain", "gillespie-direct", "tau-leaping"] {
+//!     let mut rng = StdRng::seed_from_u64(42);
+//!     let report = backend(name).unwrap().run(&scenario, &mut rng);
+//!     assert!(report.consensus_reached(), "{name}");
+//!     // The derived view reproduces the classic MajorityOutcome fields.
+//!     let outcome = report.to_majority_outcome();
+//!     assert_eq!(outcome.consensus_reached, true);
+//! }
+//! ```
 
 pub use lv_chains as chains;
 pub use lv_crn as crn;
+pub use lv_engine as engine;
 pub use lv_lotka as lotka;
 pub use lv_ode as ode;
 pub use lv_protocols as protocols;

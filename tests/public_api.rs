@@ -16,7 +16,12 @@ fn crn_layer_is_usable_directly() {
     let mut net = ReactionNetwork::new();
     let a = net.add_species("A");
     let b = net.add_species("B");
-    net.add_reaction(Reaction::new(1.0).reactant(a, 1).reactant(b, 1).product(a, 1));
+    net.add_reaction(
+        Reaction::new(1.0)
+            .reactant(a, 1)
+            .reactant(b, 1)
+            .product(a, 1),
+    );
     net.add_reaction(Reaction::new(0.5).reactant(b, 1).product(b, 2));
     let net = net.validate().unwrap();
     let mut sim = JumpChain::new(
@@ -43,7 +48,8 @@ fn chains_layer_is_usable_directly() {
 
 #[test]
 fn lotka_layer_types_compose() {
-    let model = LvModel::with_intraspecific(CompetitionKind::NonSelfDestructive, 1.0, 0.5, 1.0, 0.2);
+    let model =
+        LvModel::with_intraspecific(CompetitionKind::NonSelfDestructive, 1.0, 0.5, 1.0, 0.2);
     let mut chain = LvJumpChain::new(model, LvConfiguration::new(40, 30));
     let mut rng = rand::rngs::StdRng::seed_from_u64(2);
     while !chain.state().is_consensus() {
