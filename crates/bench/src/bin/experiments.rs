@@ -73,7 +73,8 @@ fn usage() {
          \te10  deterministic ODE vs stochastic\n\
          \te11  population-protocol baselines\n\
          \te12  gamma/alpha ablation\n\
-         \te13  pseudo-coupling domination"
+         \te13  pseudo-coupling domination\n\
+         \te14  k-species plurality presets across backends"
     );
 }
 

@@ -111,6 +111,105 @@ impl LvEvent {
     }
 }
 
+/// One reaction of a `k`-species competitive Lotka–Volterra model, indexed
+/// by plain species indices.
+///
+/// This is the `k`-species generalisation of [`LvEvent`]: the same four
+/// reaction shapes, but over arbitrary species indices, with the
+/// interspecific reaction naming both participants explicitly. [`LvEvent`]
+/// embeds into it via `From` (the two-species special case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PopulationEvent {
+    /// `X_i → X_i + X_i`: an individual of species `i` reproduces.
+    Birth(usize),
+    /// `X_i → ∅`: an individual of species `i` dies.
+    Death(usize),
+    /// `X_i + X_j → …`: an individual of `attacker` attacks an individual of
+    /// `victim` (`i ≠ j`). Under self-destructive competition both die; under
+    /// non-self-destructive competition only the victim dies.
+    Interspecific {
+        /// The attacking species.
+        attacker: usize,
+        /// The attacked species.
+        victim: usize,
+    },
+    /// `X_i + X_i → …`: two individuals of species `i` compete.
+    Intraspecific(usize),
+}
+
+impl PopulationEvent {
+    /// The coarse kind of the event (individual vs. competitive).
+    pub fn kind(&self) -> EventKind {
+        match self {
+            PopulationEvent::Birth(_) | PopulationEvent::Death(_) => EventKind::Individual,
+            PopulationEvent::Interspecific { .. } | PopulationEvent::Intraspecific(_) => {
+                EventKind::Competitive
+            }
+        }
+    }
+
+    /// Whether this is an individual (birth/death) reaction.
+    pub fn is_individual(&self) -> bool {
+        self.kind() == EventKind::Individual
+    }
+
+    /// Whether this is a competitive interaction.
+    pub fn is_competitive(&self) -> bool {
+        self.kind() == EventKind::Competitive
+    }
+
+    /// The two-species view of this event, when every species index is 0 or 1
+    /// and the interspecific pair is `{0, 1}`.
+    pub fn as_lv_event(&self) -> Option<LvEvent> {
+        let species = |i: usize| match i {
+            0 => Some(SpeciesIndex::Zero),
+            1 => Some(SpeciesIndex::One),
+            _ => None,
+        };
+        Some(match *self {
+            PopulationEvent::Birth(i) => LvEvent::Birth(species(i)?),
+            PopulationEvent::Death(i) => LvEvent::Death(species(i)?),
+            PopulationEvent::Interspecific { attacker, victim } => {
+                let attacker = species(attacker)?;
+                if species(victim)? != attacker.other() {
+                    return None;
+                }
+                LvEvent::Interspecific { attacker }
+            }
+            PopulationEvent::Intraspecific(i) => LvEvent::Intraspecific(species(i)?),
+        })
+    }
+}
+
+impl From<LvEvent> for PopulationEvent {
+    fn from(event: LvEvent) -> Self {
+        match event {
+            LvEvent::Birth(s) => PopulationEvent::Birth(s.index()),
+            LvEvent::Death(s) => PopulationEvent::Death(s.index()),
+            LvEvent::Interspecific { attacker } => PopulationEvent::Interspecific {
+                attacker: attacker.index(),
+                victim: attacker.other().index(),
+            },
+            LvEvent::Intraspecific(s) => PopulationEvent::Intraspecific(s.index()),
+        }
+    }
+}
+
+impl fmt::Display for PopulationEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PopulationEvent::Birth(i) => write!(f, "birth of X{i}"),
+            PopulationEvent::Death(i) => write!(f, "death of X{i}"),
+            PopulationEvent::Interspecific { attacker, victim } => {
+                write!(f, "interspecific competition X{attacker} attacks X{victim}")
+            }
+            PopulationEvent::Intraspecific(i) => {
+                write!(f, "intraspecific competition within X{i}")
+            }
+        }
+    }
+}
+
 impl fmt::Display for LvEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -226,5 +325,44 @@ mod tests {
         assert!(LvEvent::Interspecific { attacker: One }
             .to_string()
             .contains("X1"));
+    }
+
+    #[test]
+    fn population_event_embeds_and_projects_lv_events() {
+        let cases = [
+            LvEvent::Birth(Zero),
+            LvEvent::Death(One),
+            LvEvent::Interspecific { attacker: Zero },
+            LvEvent::Interspecific { attacker: One },
+            LvEvent::Intraspecific(One),
+        ];
+        for event in cases {
+            let general = PopulationEvent::from(event);
+            assert_eq!(general.kind(), event.kind());
+            assert_eq!(general.as_lv_event(), Some(event), "{event}");
+        }
+        assert_eq!(
+            PopulationEvent::from(LvEvent::Interspecific { attacker: One }),
+            PopulationEvent::Interspecific {
+                attacker: 1,
+                victim: 0
+            }
+        );
+    }
+
+    #[test]
+    fn k_species_events_have_no_two_species_view() {
+        assert_eq!(PopulationEvent::Birth(2).as_lv_event(), None);
+        assert_eq!(
+            PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 2
+            }
+            .as_lv_event(),
+            None
+        );
+        assert!(PopulationEvent::Intraspecific(4).is_competitive());
+        assert!(PopulationEvent::Death(3).is_individual());
+        assert!(PopulationEvent::Birth(2).to_string().contains("X2"));
     }
 }

@@ -66,12 +66,16 @@ mod events;
 pub mod exact;
 mod jump_chain;
 mod model;
+mod multi;
+mod population;
 mod rates;
 mod run;
 
 pub use config::LvConfiguration;
-pub use events::{EventKind, LvEvent};
+pub use events::{EventKind, LvEvent, PopulationEvent};
 pub use jump_chain::LvJumpChain;
 pub use model::LvModel;
+pub use multi::MultiLvModel;
+pub use population::{margin_of, plurality_leader, Population};
 pub use rates::{CompetitionKind, LvRates, SpeciesIndex};
 pub use run::{run_majority, run_majority_with_trajectory, MajorityOutcome, NoiseDecomposition};

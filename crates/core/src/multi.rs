@@ -1,0 +1,469 @@
+use crate::model::LvModel;
+use crate::rates::CompetitionKind;
+use crate::PopulationEvent;
+use lv_crn::{Reaction, ReactionNetwork, ValidatedNetwork};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `k`-species competitive Lotka–Volterra model: per-species birth and
+/// death rates, a `k×k` interspecific attack-rate matrix and per-species
+/// intraspecific rates, under one of the two competition mechanisms.
+///
+/// This is the `k`-species generalisation of the paper's two-species models
+/// (Section 1.3), in the form analysed by Czyzowicz et al. for discrete LV
+/// population protocols: `alpha(i, j)` is the rate at which an individual of
+/// species `i` encounters and attacks an individual of species `j ≠ i`
+/// (propensity `alpha(i, j) · x_i · x_j`). [`LvModel`] embeds exactly via
+/// `From`, and the embedded model builds the *identical* reaction network —
+/// the two-species path is a special case, not a parallel code path.
+///
+/// ```
+/// use lv_lotka::{CompetitionKind, MultiLvModel};
+/// let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+/// assert_eq!(model.species_count(), 3);
+/// assert_eq!(model.alpha(0, 2), 0.5);
+/// let network = model.to_reaction_network().unwrap();
+/// assert_eq!(network.species_count(), 3);
+/// assert_eq!(network.reaction_count(), model.reaction_events().len());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiLvModel {
+    kind: CompetitionKind,
+    beta: Vec<f64>,
+    delta: Vec<f64>,
+    /// Row-major `k×k` attack rates; the diagonal is unused and kept zero.
+    alpha: Vec<f64>,
+    gamma: Vec<f64>,
+}
+
+fn all_valid(rates: &[f64]) -> bool {
+    rates.iter().all(|r| r.is_finite() && *r >= 0.0)
+}
+
+impl MultiLvModel {
+    /// Creates a model from explicit per-species rates.
+    ///
+    /// `alpha` is row-major `k×k` with `alpha[i·k + j]` the rate of species
+    /// `i` attacking species `j`; diagonal entries must be zero
+    /// (self-competition is `gamma`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`, any vector has the wrong length, any rate is
+    /// negative or non-finite, or the diagonal of `alpha` is nonzero.
+    pub fn new(
+        kind: CompetitionKind,
+        beta: Vec<f64>,
+        delta: Vec<f64>,
+        alpha: Vec<f64>,
+        gamma: Vec<f64>,
+    ) -> Self {
+        let k = beta.len();
+        assert!(k >= 2, "a competitive model needs at least two species");
+        assert_eq!(delta.len(), k, "delta must have one rate per species");
+        assert_eq!(gamma.len(), k, "gamma must have one rate per species");
+        assert_eq!(alpha.len(), k * k, "alpha must be a k×k matrix");
+        assert!(
+            all_valid(&beta) && all_valid(&delta) && all_valid(&alpha) && all_valid(&gamma),
+            "all rates must be finite and non-negative"
+        );
+        for i in 0..k {
+            assert_eq!(
+                alpha[i * k + i],
+                0.0,
+                "alpha diagonal must be zero (use gamma for intraspecific competition)"
+            );
+        }
+        MultiLvModel {
+            kind,
+            beta,
+            delta,
+            alpha,
+            gamma,
+        }
+    }
+
+    /// A fully symmetric all-vs-all model: every species has birth rate
+    /// `beta` and death rate `delta`, every ordered pair attacks at rate
+    /// `alpha_total / 2` (so each *unordered* pair competes with combined
+    /// rate `alpha_total`, matching [`LvModel::neutral`] for `k = 2`), and
+    /// there is no intraspecific competition.
+    pub fn symmetric(
+        kind: CompetitionKind,
+        k: usize,
+        beta: f64,
+        delta: f64,
+        alpha_total: f64,
+    ) -> Self {
+        assert!(k >= 2, "a competitive model needs at least two species");
+        let mut alpha = vec![alpha_total / 2.0; k * k];
+        for i in 0..k {
+            alpha[i * k + i] = 0.0;
+        }
+        MultiLvModel::new(kind, vec![beta; k], vec![delta; k], alpha, vec![0.0; k])
+    }
+
+    /// A cyclic (rock–paper–scissors style) model: species `i` attacks only
+    /// species `(i + 1) mod k`, at rate `alpha`.
+    pub fn cyclic(kind: CompetitionKind, k: usize, beta: f64, delta: f64, alpha: f64) -> Self {
+        assert!(k >= 2, "a cyclic model needs at least two species");
+        let mut matrix = vec![0.0; k * k];
+        for i in 0..k {
+            matrix[i * k + (i + 1) % k] = alpha;
+        }
+        MultiLvModel::new(kind, vec![beta; k], vec![delta; k], matrix, vec![0.0; k])
+    }
+
+    /// Replaces the intraspecific rates with `gamma` for every species.
+    pub fn with_uniform_gamma(mut self, gamma: f64) -> Self {
+        assert!(
+            gamma.is_finite() && gamma >= 0.0,
+            "all rates must be finite and non-negative"
+        );
+        self.gamma = vec![gamma; self.species_count()];
+        self
+    }
+
+    /// Overrides a single attack rate `alpha(attacker, victim)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attacker == victim`, an index is out of range, or the rate
+    /// is invalid.
+    pub fn with_alpha(mut self, attacker: usize, victim: usize, rate: f64) -> Self {
+        let k = self.species_count();
+        assert!(attacker < k && victim < k, "species index out of range");
+        assert_ne!(attacker, victim, "use gamma for intraspecific competition");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "all rates must be finite and non-negative"
+        );
+        self.alpha[attacker * k + victim] = rate;
+        self
+    }
+
+    /// The competition mechanism.
+    pub fn kind(&self) -> CompetitionKind {
+        self.kind
+    }
+
+    /// Number of species `k`.
+    pub fn species_count(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Birth rate of species `i`.
+    pub fn beta(&self, i: usize) -> f64 {
+        self.beta[i]
+    }
+
+    /// Death rate of species `i`.
+    pub fn delta(&self, i: usize) -> f64 {
+        self.delta[i]
+    }
+
+    /// Attack rate of species `attacker` on species `victim` (0 on the
+    /// diagonal).
+    pub fn alpha(&self, attacker: usize, victim: usize) -> f64 {
+        self.alpha[attacker * self.species_count() + victim]
+    }
+
+    /// Intraspecific competition rate of species `i`.
+    pub fn gamma(&self, i: usize) -> f64 {
+        self.gamma[i]
+    }
+
+    /// Builds the equivalent chemical reaction network, with species named
+    /// `"X0"`, …, `"X{k−1}"`. Reactions with rate zero are omitted. The
+    /// per-species reaction order is: birth, death, the interspecific attacks
+    /// `i → j` in victim order, intraspecific — exactly the order
+    /// [`MultiLvModel::reaction_events`] reports.
+    ///
+    /// For a model embedded from [`LvModel`] this produces a network
+    /// identical to [`LvModel::to_reaction_network`], so simulations of the
+    /// embedding consume the same RNG stream as the two-species original.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if *every* rate is zero (the network would have no
+    /// reactions).
+    pub fn to_reaction_network(&self) -> lv_crn::Result<ValidatedNetwork> {
+        let k = self.species_count();
+        let mut net = ReactionNetwork::new();
+        let x: Vec<_> = (0..k).map(|i| net.add_species(format!("X{i}"))).collect();
+        for i in 0..k {
+            if self.beta[i] > 0.0 {
+                net.add_reaction(
+                    Reaction::new(self.beta[i])
+                        .named(format!("birth X{i}"))
+                        .reactant(x[i], 1)
+                        .product(x[i], 2),
+                );
+            }
+            if self.delta[i] > 0.0 {
+                net.add_reaction(
+                    Reaction::new(self.delta[i])
+                        .named(format!("death X{i}"))
+                        .reactant(x[i], 1),
+                );
+            }
+            for j in 0..k {
+                if j == i || self.alpha(i, j) == 0.0 {
+                    continue;
+                }
+                let mut reaction = Reaction::new(self.alpha(i, j))
+                    .named(format!("interspecific X{i}+X{j}"))
+                    .reactant(x[i], 1)
+                    .reactant(x[j], 1);
+                if self.kind == CompetitionKind::NonSelfDestructive {
+                    reaction = reaction.product(x[i], 1);
+                }
+                net.add_reaction(reaction);
+            }
+            if self.gamma[i] > 0.0 {
+                let mut reaction = Reaction::new(self.gamma[i])
+                    .named(format!("intraspecific X{i}"))
+                    .reactant(x[i], 2);
+                if self.kind == CompetitionKind::NonSelfDestructive {
+                    reaction = reaction.product(x[i], 1);
+                }
+                net.add_reaction(reaction);
+            }
+        }
+        net.validate()
+    }
+
+    /// The reaction-index → [`PopulationEvent`] map for the network built by
+    /// [`MultiLvModel::to_reaction_network`], in the same order (zero-rate
+    /// reactions skipped).
+    pub fn reaction_events(&self) -> Vec<PopulationEvent> {
+        let k = self.species_count();
+        let mut events = Vec::new();
+        for i in 0..k {
+            if self.beta[i] > 0.0 {
+                events.push(PopulationEvent::Birth(i));
+            }
+            if self.delta[i] > 0.0 {
+                events.push(PopulationEvent::Death(i));
+            }
+            for j in 0..k {
+                if j != i && self.alpha(i, j) > 0.0 {
+                    events.push(PopulationEvent::Interspecific {
+                        attacker: i,
+                        victim: j,
+                    });
+                }
+            }
+            if self.gamma[i] > 0.0 {
+                events.push(PopulationEvent::Intraspecific(i));
+            }
+        }
+        events
+    }
+
+    /// Per-species intrinsic growth rates `r_i = β_i − δ_i` of the mean-field
+    /// ODE.
+    pub fn growth_rates(&self) -> Vec<f64> {
+        self.beta
+            .iter()
+            .zip(&self.delta)
+            .map(|(b, d)| b - d)
+            .collect()
+    }
+
+    /// The `k×k` interaction matrix `a` of the mean-field ODE
+    /// `dx_i/dt = x_i (r_i − Σ_j a_ij x_j)` (row-major), derived from the
+    /// stochastic rates by the per-event population loss divided by the event
+    /// rate — the same mapping the engine's two-species ODE backend uses:
+    ///
+    /// * self-destructive: `a_ij = α_ij + α_ji` (both participants die),
+    ///   `a_ii = γ_i`;
+    /// * non-self-destructive: `a_ij = α_ji` (only `j`'s attacks kill members
+    ///   of `i`), `a_ii = γ_i / 2`.
+    ///
+    /// This is the `k`-species competitive system whose equilibria
+    /// Champagnat–Jabin–Raoul analyse; the interior equilibrium solves
+    /// `a x = r`.
+    pub fn mean_field_matrix(&self) -> Vec<f64> {
+        let k = self.species_count();
+        let mut matrix = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                matrix[i * k + j] = if i == j {
+                    match self.kind {
+                        CompetitionKind::SelfDestructive => self.gamma[i],
+                        CompetitionKind::NonSelfDestructive => self.gamma[i] / 2.0,
+                    }
+                } else {
+                    match self.kind {
+                        CompetitionKind::SelfDestructive => self.alpha(i, j) + self.alpha(j, i),
+                        CompetitionKind::NonSelfDestructive => self.alpha(j, i),
+                    }
+                };
+            }
+        }
+        matrix
+    }
+}
+
+impl From<LvModel> for MultiLvModel {
+    /// The exact two-species embedding: same kind, same rates, and — crucial
+    /// for reproducibility — the identical reaction network.
+    fn from(model: LvModel) -> Self {
+        let rates = model.rates();
+        MultiLvModel::new(
+            model.kind(),
+            vec![rates.beta; 2],
+            vec![rates.delta; 2],
+            vec![0.0, rates.alpha[0], rates.alpha[1], 0.0],
+            vec![rates.gamma[0], rates.gamma[1]],
+        )
+    }
+}
+
+impl fmt::Display for MultiLvModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-species Lotka–Volterra ({} competition)",
+            self.species_count(),
+            self.kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompetitionKind, LvModel};
+    use lv_crn::State;
+
+    #[test]
+    fn embedding_builds_the_identical_network() {
+        for model in [
+            LvModel::default(),
+            LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 0.5, 2.0),
+            LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 0.5, 2.0, 1.0),
+            LvModel::cho_et_al(1.0, 1.0),
+            LvModel::no_competition(1.0, 1.0),
+        ] {
+            let direct = model.to_reaction_network().unwrap();
+            let embedded = MultiLvModel::from(model).to_reaction_network().unwrap();
+            assert_eq!(direct, embedded, "{model}");
+        }
+    }
+
+    #[test]
+    fn embedding_reaction_events_match_the_two_species_map() {
+        let model =
+            LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 0.5, 2.0, 1.0);
+        let events = MultiLvModel::from(model).reaction_events();
+        assert_eq!(events.len(), 8);
+        assert_eq!(events[0], PopulationEvent::Birth(0));
+        assert_eq!(
+            events[2],
+            PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 1
+            }
+        );
+        assert_eq!(events[7], PopulationEvent::Intraspecific(1));
+        // Every embedded event has a two-species view.
+        assert!(events.iter().all(|e| e.as_lv_event().is_some()));
+    }
+
+    #[test]
+    fn symmetric_pairwise_rate_matches_two_species_convention() {
+        let multi = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 2, 1.0, 1.0, 1.0);
+        let two = MultiLvModel::from(LvModel::neutral(
+            CompetitionKind::SelfDestructive,
+            1.0,
+            1.0,
+            1.0,
+        ));
+        assert_eq!(multi, two);
+    }
+
+    #[test]
+    fn cyclic_model_attacks_only_the_successor() {
+        let model = MultiLvModel::cyclic(CompetitionKind::NonSelfDestructive, 3, 1.0, 1.0, 2.0);
+        assert_eq!(model.alpha(0, 1), 2.0);
+        assert_eq!(model.alpha(1, 2), 2.0);
+        assert_eq!(model.alpha(2, 0), 2.0);
+        assert_eq!(model.alpha(0, 2), 0.0);
+        assert_eq!(model.alpha(1, 0), 0.0);
+        let events = model.reaction_events();
+        let attacks = events
+            .iter()
+            .filter(|e| matches!(e, PopulationEvent::Interspecific { .. }))
+            .count();
+        assert_eq!(attacks, 3);
+    }
+
+    #[test]
+    fn network_reaction_count_matches_event_map_for_three_species() {
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0)
+            .with_uniform_gamma(0.5);
+        let network = model.to_reaction_network().unwrap();
+        let events = model.reaction_events();
+        assert_eq!(network.reaction_count(), events.len());
+        // 3 × (birth + death + 2 attacks + intra) = 15 reactions.
+        assert_eq!(events.len(), 15);
+        // Propensity sanity at a concrete state: total = Σ_i (β+δ)x_i +
+        // Σ_{i≠j} α/2 x_i x_j + Σ_i γ_i x_i(x_i−1)/2.
+        let state = State::from(vec![4, 3, 2]);
+        let total = lv_crn::total_propensity(&network, &state);
+        let expected = 2.0 * 9.0 + 0.5 * (12.0 + 8.0 + 6.0) * 2.0 + 0.5 * (6.0 + 3.0 + 1.0);
+        assert!((total - expected).abs() < 1e-9, "total {total}");
+    }
+
+    #[test]
+    fn mean_field_matrix_matches_kind() {
+        let sd = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 0.25, 1.0)
+            .with_uniform_gamma(0.5);
+        let matrix = sd.mean_field_matrix();
+        assert_eq!(matrix[0], 0.5); // a_00 = γ
+        assert_eq!(matrix[1], 1.0); // a_01 = α_01 + α_10 = 0.5 + 0.5
+        assert_eq!(sd.growth_rates(), vec![0.75; 3]);
+
+        let nsd = MultiLvModel::symmetric(CompetitionKind::NonSelfDestructive, 3, 1.0, 0.25, 1.0)
+            .with_uniform_gamma(0.5);
+        let matrix = nsd.mean_field_matrix();
+        assert_eq!(matrix[0], 0.25); // a_00 = γ/2
+        assert_eq!(matrix[1], 0.5); // a_01 = α_10
+    }
+
+    #[test]
+    fn with_alpha_overrides_one_entry() {
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 4, 1.0, 1.0, 1.0)
+            .with_alpha(0, 1, 0.0)
+            .with_alpha(1, 0, 0.0);
+        assert_eq!(model.alpha(0, 1), 0.0);
+        assert_eq!(model.alpha(1, 0), 0.0);
+        assert_eq!(model.alpha(0, 2), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two species")]
+    fn single_species_is_rejected() {
+        let _ = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 1, 1.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "diagonal must be zero")]
+    fn nonzero_alpha_diagonal_is_rejected() {
+        let _ = MultiLvModel::new(
+            CompetitionKind::SelfDestructive,
+            vec![1.0; 2],
+            vec![1.0; 2],
+            vec![0.5, 0.5, 0.5, 0.5],
+            vec![0.0; 2],
+        );
+    }
+
+    #[test]
+    fn display_mentions_species_count() {
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 5, 1.0, 1.0, 1.0);
+        assert!(model.to_string().contains("5-species"));
+    }
+}

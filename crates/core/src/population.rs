@@ -1,0 +1,307 @@
+use crate::config::LvConfiguration;
+use crate::rates::SpeciesIndex;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A configuration of a `k`-species population: one non-negative count per
+/// species, `k ≥ 1`.
+///
+/// This is the dense state abstraction the engine's `Scenario`/`Backend`
+/// machinery runs on. The two-species [`LvConfiguration`] embeds into it via
+/// `From` (an exact, lossless conversion), and every majority-consensus
+/// notion of the paper generalises to its plurality counterpart:
+///
+/// * the *leader* ([`Population::leader`]) is the unique species with the
+///   strictly largest count — the paper's initial majority for `k = 2`;
+/// * the *margin* ([`Population::margin`]) is the leader's count minus the
+///   best other count — the paper's gap `∆` for `k = 2`;
+/// * *consensus* ([`Population::is_consensus`]) means at most one species
+///   still has a positive count, and the [`Population::winner`] is the single
+///   survivor, if any.
+///
+/// ```
+/// use lv_lotka::Population;
+/// let pop = Population::new(vec![50, 30, 20]);
+/// assert_eq!(pop.species_count(), 3);
+/// assert_eq!(pop.total(), 100);
+/// assert_eq!(pop.leader(), Some(0));
+/// assert_eq!(pop.margin(), 20);
+/// assert!(!pop.is_consensus());
+/// assert_eq!(Population::new(vec![0, 7, 0]).winner(), Some(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Population {
+    counts: Vec<u64>,
+}
+
+/// The unique index of the strictly largest count, or `None` when the slice
+/// is empty or the maximum is shared (a tie).
+pub fn plurality_leader(counts: &[u64]) -> Option<usize> {
+    let (leader, &max) = counts.iter().enumerate().max_by_key(|&(_, &count)| count)?;
+    if counts
+        .iter()
+        .enumerate()
+        .any(|(i, &count)| i != leader && count == max)
+    {
+        None
+    } else {
+        Some(leader)
+    }
+}
+
+/// The signed plurality margin of `reference`: its count minus the largest
+/// count among the *other* species (0 when there are no other species).
+///
+/// For two species with reference `r` this is exactly the paper's signed gap
+/// `∆ = x_r − x_{1−r}`.
+pub fn margin_of(counts: &[u64], reference: usize) -> i64 {
+    let best_other = counts
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != reference)
+        .map(|(_, &count)| count)
+        .max()
+        .unwrap_or(0);
+    counts[reference] as i64 - best_other as i64
+}
+
+impl Population {
+    /// Creates a population from explicit counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts` is empty.
+    pub fn new(counts: Vec<u64>) -> Self {
+        assert!(
+            !counts.is_empty(),
+            "a population needs at least one species"
+        );
+        Population { counts }
+    }
+
+    /// A population of `species_count` species, all with count zero.
+    pub fn zeros(species_count: usize) -> Self {
+        Population::new(vec![0; species_count])
+    }
+
+    /// Number of species.
+    pub fn species_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The count of species `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn count(&self, i: usize) -> u64 {
+        self.counts[i]
+    }
+
+    /// All counts, indexed by species.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of individuals across all species.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Number of species with a positive count.
+    pub fn alive_count(&self) -> usize {
+        self.counts.iter().filter(|&&c| c > 0).count()
+    }
+
+    /// Whether consensus has been reached: at most one species is still
+    /// alive. For two species this coincides with "some species is extinct"
+    /// (the paper's consensus time).
+    pub fn is_consensus(&self) -> bool {
+        self.alive_count() <= 1
+    }
+
+    /// The species that has *won* — the unique survivor of a consensus state.
+    /// `None` before consensus and when every species is extinct.
+    pub fn winner(&self) -> Option<usize> {
+        let mut alive = self.counts.iter().enumerate().filter(|&(_, &c)| c > 0);
+        let (index, _) = alive.next()?;
+        if alive.next().is_some() {
+            None
+        } else {
+            Some(index)
+        }
+    }
+
+    /// The current plurality leader: the unique species with the strictly
+    /// largest count, or `None` on a tie. For `k = 2` this is the paper's
+    /// (current) majority species.
+    pub fn leader(&self) -> Option<usize> {
+        plurality_leader(&self.counts)
+    }
+
+    /// The signed margin of the given species: its count minus the largest
+    /// count among the others (the paper's `∆` for `k = 2`).
+    pub fn margin_relative_to(&self, reference: usize) -> i64 {
+        margin_of(&self.counts, reference)
+    }
+
+    /// The plurality margin: the leader's count minus the runner-up's count,
+    /// or 0 on a tie (including the all-extinct state).
+    pub fn margin(&self) -> i64 {
+        match self.leader() {
+            Some(leader) => self.margin_relative_to(leader),
+            None => 0,
+        }
+    }
+
+    /// The two-species view of this population, when it has exactly two
+    /// species.
+    pub fn as_lv_configuration(&self) -> Option<LvConfiguration> {
+        match self.counts.as_slice() {
+            &[x0, x1] => Some(LvConfiguration::new(x0, x1)),
+            _ => None,
+        }
+    }
+}
+
+impl From<LvConfiguration> for Population {
+    /// The exact embedding of the paper's two-species configuration: the
+    /// two-species path is a special case, not a separate representation.
+    fn from(config: LvConfiguration) -> Self {
+        let (x0, x1) = config.counts();
+        Population::new(vec![x0, x1])
+    }
+}
+
+impl From<(u64, u64)> for Population {
+    fn from((x0, x1): (u64, u64)) -> Self {
+        Population::new(vec![x0, x1])
+    }
+}
+
+impl From<Vec<u64>> for Population {
+    fn from(counts: Vec<u64>) -> Self {
+        Population::new(counts)
+    }
+}
+
+impl From<&[u64]> for Population {
+    fn from(counts: &[u64]) -> Self {
+        Population::new(counts.to_vec())
+    }
+}
+
+impl TryFrom<&Population> for LvConfiguration {
+    type Error = usize;
+
+    /// Projects a two-species population back onto [`LvConfiguration`];
+    /// fails with the actual species count otherwise.
+    fn try_from(population: &Population) -> Result<Self, usize> {
+        population
+            .as_lv_configuration()
+            .ok_or(population.species_count())
+    }
+}
+
+impl std::ops::Index<SpeciesIndex> for Population {
+    type Output = u64;
+
+    fn index(&self, species: SpeciesIndex) -> &u64 {
+        &self.counts[species.index()]
+    }
+}
+
+impl fmt::Display for Population {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_totals() {
+        let pop = Population::new(vec![5, 0, 7]);
+        assert_eq!(pop.species_count(), 3);
+        assert_eq!(pop.count(2), 7);
+        assert_eq!(pop.counts(), &[5, 0, 7]);
+        assert_eq!(pop.total(), 12);
+        assert_eq!(pop.alive_count(), 2);
+        assert_eq!(Population::zeros(4).total(), 0);
+    }
+
+    #[test]
+    fn consensus_and_winner_generalise_two_species_semantics() {
+        assert!(!Population::new(vec![3, 2]).is_consensus());
+        assert!(Population::new(vec![0, 2]).is_consensus());
+        assert!(Population::new(vec![0, 0, 0]).is_consensus());
+        assert!(!Population::new(vec![1, 0, 2]).is_consensus());
+        assert_eq!(Population::new(vec![0, 2, 0]).winner(), Some(1));
+        assert_eq!(Population::new(vec![0, 0]).winner(), None);
+        assert_eq!(Population::new(vec![1, 0, 2]).winner(), None);
+    }
+
+    #[test]
+    fn leader_requires_a_strict_maximum() {
+        assert_eq!(Population::new(vec![10, 5, 5]).leader(), Some(0));
+        assert_eq!(Population::new(vec![5, 10, 5]).leader(), Some(1));
+        assert_eq!(Population::new(vec![7, 7, 3]).leader(), None);
+        assert_eq!(Population::new(vec![0, 0]).leader(), None);
+    }
+
+    #[test]
+    fn margin_matches_two_species_gap() {
+        let pop = Population::new(vec![60, 40]);
+        assert_eq!(pop.margin_relative_to(0), 20);
+        assert_eq!(pop.margin_relative_to(1), -20);
+        assert_eq!(pop.margin(), 20);
+        let lv = LvConfiguration::new(60, 40);
+        assert_eq!(pop.margin_relative_to(0), lv.gap());
+    }
+
+    #[test]
+    fn margin_uses_the_best_other_species() {
+        let pop = Population::new(vec![50, 30, 45]);
+        assert_eq!(pop.margin_relative_to(0), 5);
+        assert_eq!(pop.margin_relative_to(1), -20);
+        assert_eq!(pop.margin(), 5);
+        assert_eq!(Population::new(vec![7, 7]).margin(), 0);
+    }
+
+    #[test]
+    fn lv_configuration_roundtrips() {
+        let lv = LvConfiguration::new(9, 4);
+        let pop = Population::from(lv);
+        assert_eq!(pop.counts(), &[9, 4]);
+        assert_eq!(pop.as_lv_configuration(), Some(lv));
+        assert_eq!(LvConfiguration::try_from(&pop), Ok(lv));
+        let three = Population::new(vec![1, 2, 3]);
+        assert_eq!(three.as_lv_configuration(), None);
+        assert_eq!(LvConfiguration::try_from(&three), Err(3));
+    }
+
+    #[test]
+    fn conversions_and_display() {
+        let pop: Population = (4, 9).into();
+        assert_eq!(pop.to_string(), "(4, 9)");
+        let pop: Population = vec![1, 2, 3].into();
+        assert_eq!(pop.to_string(), "(1, 2, 3)");
+        let pop: Population = [5u64, 6].as_slice().into();
+        assert_eq!(pop[crate::SpeciesIndex::One], 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one species")]
+    fn empty_population_is_rejected() {
+        let _ = Population::new(Vec::new());
+    }
+}

@@ -68,7 +68,7 @@ mod trajectory;
 
 pub use error::{CrnError, Result};
 pub use network::{ReactionNetwork, ValidatedNetwork};
-pub use propensity::{propensity, total_propensity, PropensityCache};
+pub use propensity::{propensity, total_propensity, PropensityCache, ReactionDependencies};
 pub use reaction::{Reaction, ReactionId, Stoichiometry};
 pub use species::{Species, SpeciesId};
 pub use state::State;

@@ -66,11 +66,94 @@ fn factorial(m: u64) -> f64 {
     (1..=m).map(|v| v as f64).product()
 }
 
+/// The reaction-to-reaction dependency graph of a network: for each reaction
+/// `r`, the (sorted) set of reactions whose propensity can change when `r`
+/// fires — exactly those with a *reactant* among the species whose count `r`
+/// changes.
+///
+/// This is the structure behind reaction-local propensity updates (the
+/// classic optimisation of the next-reaction method, applied here to the
+/// direct method): after `r` fires, only `affected(r)` propensities need
+/// recomputing instead of all `R`. For the `k`-species Lotka–Volterra
+/// networks `|affected(r)|` is `O(k)` out of `O(k²)` reactions, which is what
+/// closes the gap between the generic CRN simulators and the specialised
+/// two-species jump chain.
+///
+/// ```
+/// use lv_crn::{Reaction, ReactionDependencies, ReactionNetwork};
+/// let mut net = ReactionNetwork::new();
+/// let a = net.add_species("A");
+/// let b = net.add_species("B");
+/// net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 2)); // birth A
+/// net.add_reaction(Reaction::new(1.0).reactant(b, 1)); // death B
+/// let net = net.validate()?;
+/// let deps = ReactionDependencies::new(&net);
+/// // Birth of A changes only A's count: the B-only death is unaffected.
+/// assert_eq!(deps.affected(0), &[0]);
+/// assert_eq!(deps.affected(1), &[1]);
+/// # Ok::<(), lv_crn::CrnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReactionDependencies {
+    affected: Vec<Vec<u32>>,
+}
+
+impl ReactionDependencies {
+    /// Builds the dependency graph for a validated network.
+    pub fn new(network: &ValidatedNetwork) -> Self {
+        let reactions = network.reactions();
+        // Which reactions consume each species (i.e. whose propensity depends
+        // on its count).
+        let mut consumers: Vec<Vec<u32>> = vec![Vec::new(); network.species_count()];
+        for (index, reaction) in reactions.iter().enumerate() {
+            for s in reaction.reactants() {
+                consumers[s.species.index()].push(index as u32);
+            }
+        }
+        let affected = reactions
+            .iter()
+            .map(|reaction| {
+                let mut set: Vec<u32> = Vec::new();
+                for s in reaction.reactants().iter().chain(reaction.products()) {
+                    if reaction.net_change(s.species) != 0 {
+                        set.extend_from_slice(&consumers[s.species.index()]);
+                    }
+                }
+                set.sort_unstable();
+                set.dedup();
+                set
+            })
+            .collect();
+        ReactionDependencies { affected }
+    }
+
+    /// The sorted indices of reactions whose propensity may change when the
+    /// given reaction fires.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reaction` is out of range for the network this graph was
+    /// built from.
+    pub fn affected(&self, reaction: usize) -> &[u32] {
+        &self.affected[reaction]
+    }
+
+    /// Number of reactions in the underlying network.
+    pub fn reaction_count(&self) -> usize {
+        self.affected.len()
+    }
+}
+
 /// A reusable buffer of per-reaction propensities.
 ///
-/// Simulators recompute every propensity at each step (states are tiny in this
-/// workspace — two to four species — so incremental updates are not worth the
-/// complexity), but they reuse this buffer to avoid per-step allocation.
+/// [`refresh`](PropensityCache::refresh) recomputes everything;
+/// [`refresh_affected`](PropensityCache::refresh_affected) recomputes only
+/// the reactions a [`ReactionDependencies`] graph marks as touched by the
+/// last firing. Both leave the cache in the same state bit for bit (an
+/// unaffected reaction's propensity is a pure function of unchanged counts,
+/// and the total is re-summed over the full value buffer in index order), so
+/// simulators can switch to the incremental path without perturbing any RNG
+/// stream.
 #[derive(Debug, Clone, Default)]
 pub struct PropensityCache {
     values: Vec<f64>,
@@ -89,6 +172,35 @@ impl PropensityCache {
         self.values.clear();
         self.values
             .extend(network.reactions().iter().map(|r| propensity(r, state)));
+        self.total = self.values.iter().sum();
+        self.total
+    }
+
+    /// Recomputes only the propensities of `affected` reactions (the
+    /// dependency set of the last firing) and re-sums the total; every other
+    /// value is reused. Requires a prior full
+    /// [`refresh`](PropensityCache::refresh) against the same network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cache has not been filled for this network (value buffer
+    /// length mismatch) or an index is out of range.
+    pub fn refresh_affected(
+        &mut self,
+        network: &ValidatedNetwork,
+        state: &State,
+        affected: &[u32],
+    ) -> f64 {
+        assert_eq!(
+            self.values.len(),
+            network.reaction_count(),
+            "refresh_affected requires a prior full refresh of the same network"
+        );
+        let reactions = network.reactions();
+        for &index in affected {
+            let index = index as usize;
+            self.values[index] = propensity(&reactions[index], state);
+        }
         self.total = self.values.iter().sum();
         self.total
     }
@@ -225,6 +337,74 @@ mod tests {
         // reaction.
         let last = cache.select(total - 1e-9).unwrap();
         assert!(cache.values()[last] > 0.0);
+    }
+
+    #[test]
+    fn dependencies_cover_reactant_overlaps_only() {
+        let net = lv_self_destructive();
+        let deps = ReactionDependencies::new(&net);
+        assert_eq!(deps.reaction_count(), net.reaction_count());
+        // Reaction order: birth0, death0, inter(0,1), intra0, birth1, death1,
+        // inter(1,0), intra1. Birth of species 0 changes only x0, so every
+        // reaction consuming x0 is affected — and none that consume only x1.
+        assert_eq!(deps.affected(0), &[0, 1, 2, 3, 6]);
+        // Interspecific competition changes both counts: everything depends
+        // on it.
+        assert_eq!(deps.affected(2), &[0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn dependencies_ignore_catalytic_species() {
+        // A + B -> A: the count of A is unchanged (net zero), so firing this
+        // reaction must not mark A-only consumers as affected.
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        let b = net.add_species("B");
+        net.add_reaction(
+            Reaction::new(1.0)
+                .reactant(a, 1)
+                .reactant(b, 1)
+                .product(a, 1),
+        );
+        net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 2));
+        net.add_reaction(Reaction::new(1.0).reactant(b, 1));
+        let net = net.validate().unwrap();
+        let deps = ReactionDependencies::new(&net);
+        // Firing reaction 0 changes only B.
+        assert_eq!(deps.affected(0), &[0, 2]);
+        // The pure birth of A changes A: affects the catalytic reaction and
+        // itself, not the B-only death.
+        assert_eq!(deps.affected(1), &[0, 1]);
+    }
+
+    #[test]
+    fn refresh_affected_matches_full_refresh_bit_for_bit() {
+        let net = lv_self_destructive();
+        let deps = ReactionDependencies::new(&net);
+        let mut incremental = PropensityCache::new();
+        let mut state = State::from(vec![9, 7]);
+        incremental.refresh(&net, &state);
+        // Walk a fixed firing sequence, updating incrementally, and compare
+        // against a from-scratch refresh after every firing.
+        for &fired in &[0usize, 2, 3, 5, 6, 1, 4, 7] {
+            if !state.can_apply(&net.reactions()[fired]) {
+                continue;
+            }
+            state.apply(&net.reactions()[fired]).unwrap();
+            let total = incremental.refresh_affected(&net, &state, deps.affected(fired));
+            let mut fresh = PropensityCache::new();
+            let fresh_total = fresh.refresh(&net, &state);
+            assert_eq!(incremental.values(), fresh.values(), "after firing {fired}");
+            assert_eq!(total.to_bits(), fresh_total.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "prior full refresh")]
+    fn refresh_affected_requires_a_full_refresh_first() {
+        let net = lv_self_destructive();
+        let mut cache = PropensityCache::new();
+        cache.refresh_affected(&net, &State::from(vec![1, 1]), &[0]);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 use crate::distributions::sample_exponential;
 use crate::network::ValidatedNetwork;
-use crate::propensity::PropensityCache;
+use crate::propensity::{PropensityCache, ReactionDependencies};
 use crate::reaction::ReactionId;
 use crate::simulators::{Event, StochasticSimulator};
 use crate::state::State;
@@ -9,10 +9,15 @@ use std::fmt;
 
 /// The Gillespie direct method: exact continuous-time stochastic simulation.
 ///
-/// At each step the simulator computes all propensities, samples an
-/// exponential waiting time with rate equal to the total propensity `φ(x)`,
-/// and selects the firing reaction with probability proportional to its
-/// propensity (Section 1.3 of the paper; Gillespie 1977).
+/// At each step the simulator samples an exponential waiting time with rate
+/// equal to the total propensity `φ(x)` and selects the firing reaction with
+/// probability proportional to its propensity (Section 1.3 of the paper;
+/// Gillespie 1977). Propensity maintenance is *reaction-local*: after a
+/// firing, only the propensities in the fired reaction's
+/// [`ReactionDependencies`] set are recomputed — bit-identical to a full
+/// recomputation (unaffected propensities are pure functions of unchanged
+/// counts, and the total is re-summed in index order), so seeded runs produce
+/// exactly the same trajectories as the naive implementation.
 ///
 /// ```
 /// use lv_crn::{ReactionNetwork, Reaction, State, StopCondition};
@@ -36,6 +41,11 @@ pub struct GillespieDirect<'a, R> {
     events: u64,
     rng: R,
     cache: PropensityCache,
+    dependencies: ReactionDependencies,
+    /// The reaction fired by the previous step, whose dependency set is the
+    /// only part of the cache that can be stale. `None` before the first
+    /// step (full refresh required).
+    last_fired: Option<usize>,
 }
 
 impl<'a, R: fmt::Debug> fmt::Debug for GillespieDirect<'a, R> {
@@ -67,6 +77,8 @@ impl<'a, R: Rng> GillespieDirect<'a, R> {
             events: 0,
             rng,
             cache: PropensityCache::new(),
+            dependencies: ReactionDependencies::new(network),
+            last_fired: None,
         }
     }
 
@@ -90,7 +102,14 @@ impl<'a, R: Rng> StochasticSimulator for GillespieDirect<'a, R> {
     }
 
     fn step(&mut self) -> Option<Event> {
-        let total = self.cache.refresh(self.network, &self.state);
+        let total = match self.last_fired {
+            Some(fired) => self.cache.refresh_affected(
+                self.network,
+                &self.state,
+                self.dependencies.affected(fired),
+            ),
+            None => self.cache.refresh(self.network, &self.state),
+        };
         if total <= 0.0 {
             return None;
         }
@@ -101,6 +120,7 @@ impl<'a, R: Rng> StochasticSimulator for GillespieDirect<'a, R> {
         self.state
             .apply(reaction)
             .expect("selected reaction must be applicable: propensity was positive");
+        self.last_fired = Some(index);
         self.time += wait;
         self.events += 1;
         Some(Event {
@@ -214,5 +234,50 @@ mod tests {
     fn mismatched_state_dimension_panics() {
         let (net, _) = immigration_death(1.0, 1.0);
         let _ = GillespieDirect::new(&net, State::from(vec![1, 2]), rng(5));
+    }
+
+    /// The reaction-local propensity path must be bit-identical to a naive
+    /// full-recompute reference on the same RNG stream.
+    #[test]
+    fn reaction_local_updates_match_full_recompute_reference() {
+        let mut net = ReactionNetwork::new();
+        let species: Vec<_> = (0..3).map(|i| net.add_species(format!("X{i}"))).collect();
+        for (i, &s) in species.iter().enumerate() {
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1).product(s, 2));
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1));
+            let other = species[(i + 1) % 3];
+            net.add_reaction(Reaction::new(0.5).reactant(s, 1).reactant(other, 1));
+        }
+        let net = net.validate().unwrap();
+
+        // Reference: full refresh before every step, same sampling order.
+        let mut reference_rng = rng(42);
+        let mut reference_state = State::from(vec![30, 25, 20]);
+        let mut reference_cache = crate::propensity::PropensityCache::new();
+        let mut reference: Vec<(usize, u64)> = Vec::new();
+        let mut reference_time = 0.0f64;
+        for _ in 0..500 {
+            let total = reference_cache.refresh(&net, &reference_state);
+            if total <= 0.0 {
+                break;
+            }
+            let wait = crate::distributions::sample_exponential(&mut reference_rng, total);
+            let target = reference_rng.gen::<f64>() * total;
+            let Some(index) = reference_cache.select(target) else {
+                break;
+            };
+            reference_state.apply(&net.reactions()[index]).unwrap();
+            reference_time += wait;
+            reference.push((index, reference_time.to_bits()));
+        }
+        assert!(reference.len() > 100, "reference run ended early");
+
+        let mut sim = GillespieDirect::new(&net, State::from(vec![30, 25, 20]), rng(42));
+        for &(expected_reaction, expected_time) in &reference {
+            let event = sim.step().expect("simulator died before the reference");
+            assert_eq!(event.reaction.index(), expected_reaction);
+            assert_eq!(event.time.to_bits(), expected_time);
+        }
+        assert_eq!(sim.state(), &reference_state);
     }
 }

@@ -26,6 +26,7 @@ enum StopKind {
     SpeciesExtinct(SpeciesId),
     TotalAtLeast(u64),
     TotalIsZero,
+    AtMostOneAlive,
     Predicate(Arc<dyn Fn(&State) -> bool + Send + Sync>),
 }
 
@@ -67,6 +68,14 @@ impl StopCondition {
     /// Stop when every species is extinct (the whole population has died out).
     pub fn total_extinction() -> Self {
         StopCondition::from_kind(StopKind::TotalIsZero)
+    }
+
+    /// Stop as soon as at most one species is still alive — *plurality
+    /// consensus* for `k`-species populations. For two species this is
+    /// equivalent to [`StopCondition::any_species_extinct`]; for `k > 2` a
+    /// single extinction does not end the contest, this condition does.
+    pub fn consensus() -> Self {
+        StopCondition::from_kind(StopKind::AtMostOneAlive)
     }
 
     /// Stop when the given predicate over the state becomes true.
@@ -120,6 +129,9 @@ impl StopCondition {
             StopKind::SpeciesExtinct(s) => state.is_extinct(*s),
             StopKind::TotalAtLeast(t) => state.total() >= *t,
             StopKind::TotalIsZero => state.total() == 0,
+            StopKind::AtMostOneAlive => {
+                state.counts().iter().filter(|&&count| count > 0).count() <= 1
+            }
             StopKind::Predicate(f) => f(state),
         })
     }
@@ -208,6 +220,17 @@ mod tests {
         assert!(!StopCondition::total_at_least(11).is_met(&State::from(vec![6, 4])));
         assert!(StopCondition::total_extinction().is_met(&State::from(vec![0, 0])));
         assert!(!StopCondition::total_extinction().is_met(&State::from(vec![0, 1])));
+    }
+
+    #[test]
+    fn consensus_triggers_when_at_most_one_species_lives() {
+        let cond = StopCondition::consensus();
+        assert!(!cond.is_met(&State::from(vec![2, 3])));
+        assert!(cond.is_met(&State::from(vec![0, 3])));
+        // For k > 2 a single extinction is not consensus.
+        assert!(!cond.is_met(&State::from(vec![0, 3, 1])));
+        assert!(cond.is_met(&State::from(vec![0, 3, 0])));
+        assert!(cond.is_met(&State::from(vec![0, 0, 0])));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::observer::{Observer, ObserverSpec, StepRecord};
 use crate::report::RunReport;
 use crate::scenario::Scenario;
 use lv_crn::{State, StopReason};
-use lv_lotka::{LvConfiguration, LvEvent, SpeciesIndex};
+use lv_lotka::{Population, PopulationEvent};
 use rand::rngs::StdRng;
 
 /// A pluggable execution engine for [`Scenario`]s.
@@ -33,6 +33,20 @@ pub trait Backend: Send + Sync {
         false
     }
 
+    /// Whether this backend can run scenarios over `species` species. The
+    /// five Lotka–Volterra backends support any `k ≥ 2`; protocol baselines
+    /// like `"approx-majority"` are two-opinion only.
+    fn supports_species(&self, species: usize) -> bool {
+        species >= 2
+    }
+
+    /// Whether this backend simulates the scenario's kinetic *model*.
+    /// Protocol-baseline backends use only the initial configuration and
+    /// the stop budgets; model-sensitive comparisons should skip them.
+    fn models_kinetics(&self) -> bool {
+        true
+    }
+
     /// Executes the scenario to completion.
     ///
     /// The deterministic ODE backend accepts the RNG for interface uniformity
@@ -42,15 +56,19 @@ pub trait Backend: Send + Sync {
 
 /// Shared driver state: stop-condition evaluation, observer dispatch and
 /// report assembly. Backends own the stepping; everything else lives here so
-/// all five backends honor a scenario identically.
+/// every backend honors a scenario identically.
 pub(crate) struct Driver<'a> {
     scenario: &'a Scenario,
     observers: Vec<(ObserverSpec, Box<dyn Observer>)>,
-    /// Two-species scratch state kept in sync with `state` so the CRN
+    /// Scratch state kept in sync with `state` so the CRN
     /// [`StopCondition`](lv_crn::StopCondition) can be evaluated without
     /// per-step allocation.
     scratch: State,
-    state: LvConfiguration,
+    /// Current counts, one per species.
+    state: Vec<u64>,
+    /// Staging buffer for the after-step counts (swapped with `state` after
+    /// observers run, so recording never allocates).
+    staging: Vec<u64>,
     events: u64,
     steps: u64,
     time: f64,
@@ -67,12 +85,13 @@ impl<'a> Driver<'a> {
         for (_, observer) in &mut observers {
             observer.on_start(initial);
         }
-        let (x0, x1) = initial.counts();
+        let counts = initial.counts().to_vec();
         Driver {
             scenario,
             observers,
-            scratch: State::from(vec![x0, x1]),
-            state: initial,
+            scratch: State::from(initial.counts()),
+            staging: counts.clone(),
+            state: counts,
             events: 0,
             steps: 0,
             time: 0.0,
@@ -113,27 +132,33 @@ impl<'a> Driver<'a> {
 
     /// Records one completed step: advances the clocks, updates the tracked
     /// state and notifies every observer.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `after` has the wrong species count.
     pub(crate) fn record(
         &mut self,
-        event: Option<LvEvent>,
-        after: LvConfiguration,
+        event: Option<PopulationEvent>,
+        after: &[u64],
         time: f64,
         firings: u64,
     ) {
+        debug_assert_eq!(after.len(), self.state.len());
+        self.staging.copy_from_slice(after);
         let record = StepRecord {
             event,
-            before: self.state,
-            after,
+            before: &self.state,
+            after: &self.staging,
             time,
             firings,
         };
         for (_, observer) in &mut self.observers {
             observer.on_step(&record);
         }
-        self.state = after;
-        let (x0, x1) = after.counts();
-        self.scratch.set_count(lv_crn::SpeciesId::new(0), x0);
-        self.scratch.set_count(lv_crn::SpeciesId::new(1), x1);
+        std::mem::swap(&mut self.state, &mut self.staging);
+        for (index, &count) in self.state.iter().enumerate() {
+            self.scratch.set_count(lv_crn::SpeciesId::new(index), count);
+        }
         self.events += firings;
         self.steps += 1;
         self.time = time;
@@ -148,8 +173,8 @@ impl<'a> Driver<'a> {
             .collect();
         RunReport::new(
             backend,
-            self.scenario.initial(),
-            self.state,
+            self.scenario.initial().clone(),
+            Population::new(self.state),
             reason,
             self.events,
             self.steps,
@@ -159,50 +184,26 @@ impl<'a> Driver<'a> {
     }
 }
 
-/// The reaction-index → [`LvEvent`] map for the network built by
-/// [`LvModel::to_reaction_network`](lv_lotka::LvModel::to_reaction_network),
-/// which adds (per species, in order) birth, death, interspecific and
-/// intraspecific reactions, skipping those with rate zero.
-pub(crate) fn reaction_event_map(model: &lv_lotka::LvModel) -> Vec<LvEvent> {
-    let rates = model.rates();
-    let mut map = Vec::with_capacity(8);
-    for species in [SpeciesIndex::Zero, SpeciesIndex::One] {
-        if rates.beta > 0.0 {
-            map.push(LvEvent::Birth(species));
-        }
-        if rates.delta > 0.0 {
-            map.push(LvEvent::Death(species));
-        }
-        if rates.alpha[species.index()] > 0.0 {
-            map.push(LvEvent::Interspecific { attacker: species });
-        }
-        if rates.gamma[species.index()] > 0.0 {
-            map.push(LvEvent::Intraspecific(species));
-        }
-    }
-    map
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lv_lotka::{CompetitionKind, LvModel};
+    use lv_lotka::{CompetitionKind, LvModel, MultiLvModel};
 
     #[test]
-    fn event_map_matches_network_reaction_order() {
+    fn scenario_crn_form_event_map_matches_network_reaction_order() {
         let model =
             LvModel::with_intraspecific(CompetitionKind::SelfDestructive, 1.0, 0.5, 2.0, 1.0);
-        let network = model.to_reaction_network().unwrap();
-        let map = reaction_event_map(&model);
-        assert_eq!(map.len(), network.reaction_count());
+        let scenario = Scenario::new(model, (5, 5));
+        let crn = scenario.crn_form();
+        assert_eq!(crn.events.len(), crn.network.reaction_count());
         // Spot-check against the names lv-lotka assigns.
-        for (event, reaction) in map.iter().zip(network.reactions()) {
+        for (event, reaction) in crn.events.iter().zip(crn.network.reactions()) {
             let name = reaction.name().expect("lv-lotka names every reaction");
             let expected = match event {
-                LvEvent::Birth(_) => "birth",
-                LvEvent::Death(_) => "death",
-                LvEvent::Interspecific { .. } => "interspecific",
-                LvEvent::Intraspecific(_) => "intraspecific",
+                PopulationEvent::Birth(_) => "birth",
+                PopulationEvent::Death(_) => "death",
+                PopulationEvent::Interspecific { .. } => "interspecific",
+                PopulationEvent::Intraspecific(_) => "intraspecific",
             };
             assert!(
                 name.starts_with(expected),
@@ -212,17 +213,36 @@ mod tests {
     }
 
     #[test]
-    fn event_map_skips_zero_rate_reactions() {
-        let model = LvModel::no_competition(1.0, 1.0);
-        let map = reaction_event_map(&model);
-        assert_eq!(
-            map,
-            vec![
-                LvEvent::Birth(SpeciesIndex::Zero),
-                LvEvent::Death(SpeciesIndex::Zero),
-                LvEvent::Birth(SpeciesIndex::One),
-                LvEvent::Death(SpeciesIndex::One),
-            ]
+    fn driver_tracks_multi_species_state_and_stops_at_consensus() {
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![4, 2, 0]);
+        let mut driver = Driver::new(&scenario);
+        // Not yet consensus: two species alive.
+        assert_eq!(driver.check_stop(), None);
+        driver.record(
+            Some(PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 1,
+            }),
+            &[3, 1, 0],
+            1.0,
+            1,
         );
+        assert_eq!(driver.check_stop(), None);
+        driver.record(
+            Some(PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 1,
+            }),
+            &[2, 0, 0],
+            2.0,
+            1,
+        );
+        assert_eq!(driver.check_stop(), Some(StopReason::ConditionMet));
+        assert_eq!(driver.events(), 2);
+        assert_eq!(driver.steps(), 2);
+        let report = driver.finish("test", StopReason::ConditionMet);
+        assert_eq!(report.final_state.counts(), &[2, 0, 0]);
+        assert_eq!(report.final_state.winner(), Some(0));
     }
 }

@@ -1,23 +1,26 @@
 //! The built-in backends: one exact specialised jump chain, three generic
-//! CRN simulators, and the deterministic ODE.
+//! CRN simulators, and the deterministic ODE — all defined over `k`-species
+//! scenarios.
 
 use crate::backend::{Backend, Driver};
 use crate::report::RunReport;
-use crate::scenario::Scenario;
-use lv_crn::simulators::{GillespieDirect, NextReaction, StochasticSimulator, TauLeaping};
+use crate::scenario::{Scenario, ScenarioModel};
+use lv_crn::simulators::{
+    GillespieDirect, JumpChain, NextReaction, StochasticSimulator, TauLeaping,
+};
 use lv_crn::{State, StopReason};
-use lv_lotka::{CompetitionKind, LvConfiguration, LvEvent, LvJumpChain};
-use lv_ode::{CompetitiveLv, OdeSystem, Rk4};
+use lv_lotka::{CompetitionKind, LvJumpChain, MultiLvModel, PopulationEvent};
+use lv_ode::{CompetitiveLv, CompetitiveLvK, DynRk4, OdeSystem, Rk4};
 use rand::rngs::StdRng;
 
-/// The exact discrete-time jump chain, specialised for the two-species
-/// Lotka–Volterra state space (the paper's chain `S = (S_t)`).
+/// The exact discrete-time jump chain (the paper's chain `S = (S_t)`).
 ///
-/// This is the migration of the bespoke loop that used to live in
-/// `lv_lotka::run_majority`: the same [`LvJumpChain`] stepping, with the
-/// observable collection moved into composable observers. On the same RNG
-/// stream it visits exactly the same states, so its reports reproduce
-/// `run_majority` bit for bit.
+/// Two-species scenarios run on [`LvJumpChain`], the bespoke specialised
+/// stepper migrated from `lv_lotka::run_majority`: on the same RNG stream it
+/// visits exactly the same states, so its reports reproduce `run_majority`
+/// bit for bit. `k`-species scenarios run the same embedded jump chain
+/// through the generic CRN simulator ([`lv_crn::simulators::JumpChain`]) on
+/// the model's reaction network.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct JumpChainBackend;
 
@@ -31,11 +34,26 @@ impl Backend for JumpChainBackend {
     }
 
     fn description(&self) -> &'static str {
-        "exact embedded jump chain, specialised for two-species LV (fastest exact backend)"
+        "exact embedded jump chain (specialised two-species fast path; CRN chain for k > 2)"
     }
 
     fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
-        let mut chain = LvJumpChain::new(*scenario.model(), scenario.initial());
+        let model = match scenario.model() {
+            ScenarioModel::TwoSpecies(model) => model,
+            ScenarioModel::MultiSpecies(_) => {
+                // The generic CRN jump chain simulates the identical embedded
+                // chain; only the two-species case has a faster specialised
+                // stepper.
+                let crn = scenario.crn_form();
+                let mut sim = JumpChain::new(&crn.network, initial_state(scenario), rng);
+                return drive_crn(self.name(), scenario, &mut sim, &crn.events);
+            }
+        };
+        let initial = scenario
+            .initial()
+            .as_lv_configuration()
+            .expect("two-species model has a two-species initial population");
+        let mut chain = LvJumpChain::new(*model, initial);
         let mut driver = Driver::new(scenario);
         loop {
             if let Some(reason) = driver.check_stop() {
@@ -44,7 +62,8 @@ impl Backend for JumpChainBackend {
             match chain.step(rng) {
                 Some(event) => {
                     let time = (driver.events() + 1) as f64;
-                    driver.record(Some(event), chain.state(), time, 1);
+                    let (x0, x1) = chain.state().counts();
+                    driver.record(Some(event.into()), &[x0, x1], time, 1);
                 }
                 None => return driver.finish(self.name(), StopReason::Absorbed),
             }
@@ -57,7 +76,7 @@ fn drive_crn<S: StochasticSimulator>(
     name: &'static str,
     scenario: &Scenario,
     sim: &mut S,
-    event_map: &[LvEvent],
+    event_map: &[PopulationEvent],
 ) -> RunReport {
     let mut driver = Driver::new(scenario);
     loop {
@@ -68,8 +87,6 @@ fn drive_crn<S: StochasticSimulator>(
         match sim.step() {
             Some(event) => {
                 let firings = sim.events() - events_before;
-                let counts = sim.state().counts();
-                let after = LvConfiguration::new(counts[0], counts[1]);
                 // A step representing exactly one firing is a resolved event;
                 // multi-firing leaps stay unclassified.
                 let lv_event = if firings == 1 {
@@ -77,7 +94,7 @@ fn drive_crn<S: StochasticSimulator>(
                 } else {
                     None
                 };
-                driver.record(lv_event, after, sim.time(), firings);
+                driver.record(lv_event, sim.state().counts(), sim.time(), firings);
             }
             None => return driver.finish(name, StopReason::Absorbed),
         }
@@ -85,12 +102,12 @@ fn drive_crn<S: StochasticSimulator>(
 }
 
 fn initial_state(scenario: &Scenario) -> State {
-    let (x0, x1) = scenario.initial().counts();
-    State::from(vec![x0, x1])
+    State::from(scenario.initial().counts())
 }
 
 /// The Gillespie direct method on the model's reaction network: exact
-/// continuous-time stochastic simulation.
+/// continuous-time stochastic simulation with reaction-local propensity
+/// updates.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct GillespieDirectBackend;
 
@@ -165,16 +182,22 @@ impl Backend for TauLeapingBackend {
 }
 
 /// The deterministic mean-field backend: integrates the competitive
-/// Lotka–Volterra ODE (Eq. 4) with fixed-step RK4 and reports the rounded
-/// trajectory through the same scenario interface.
+/// Lotka–Volterra ODE (Eq. 4, generalised to `k` species) with fixed-step
+/// RK4 and reports the rounded trajectory through the same scenario
+/// interface.
 ///
-/// Densities map to the symmetric ODE coefficients as follows (neutral-rate
-/// interpretation; per-event population loss divided by the event rate):
+/// For two-species models, densities map to the symmetric ODE coefficients
+/// as follows (neutral-rate interpretation; per-event population loss
+/// divided by the event rate):
 ///
 /// | competition | `α′` | `γ′` |
 /// |---|---|---|
 /// | self-destructive | `α_0 + α_1` | `(γ_0 + γ_1)/2` |
 /// | non-self-destructive | `(α_0 + α_1)/2` | `(γ_0 + γ_1)/4` |
+///
+/// `k`-species models use the per-entry generalisation of the same mapping
+/// ([`MultiLvModel::mean_field_matrix`]) on the
+/// [`CompetitiveLvK`] system.
 ///
 /// The backend is deterministic: the RNG argument is ignored, `events` stays
 /// zero and `steps` counts integration steps. Because no reactions fire, a
@@ -191,7 +214,7 @@ impl Backend for TauLeapingBackend {
 pub struct OdeBackend;
 
 impl OdeBackend {
-    /// The mean-field ODE for a scenario's model.
+    /// The symmetric two-species mean-field ODE for a scenario's model.
     pub fn system_for(model: &lv_lotka::LvModel) -> CompetitiveLv {
         let rates = model.rates();
         let (alpha_factor, gamma_factor) = match model.kind() {
@@ -204,11 +227,37 @@ impl OdeBackend {
             gamma_factor * rates.gamma_total(),
         )
     }
+
+    /// The `k`-species mean-field ODE for a multi-species model:
+    /// `dx_i/dt = x_i (r_i − Σ_j a_ij x_j)` with `r` the per-species growth
+    /// rates and `a` the [`MultiLvModel::mean_field_matrix`].
+    pub fn system_for_multi(model: &MultiLvModel) -> CompetitiveLvK {
+        CompetitiveLvK::new(model.growth_rates(), model.mean_field_matrix())
+    }
 }
 
-fn rounded(y: [f64; 2]) -> LvConfiguration {
-    let clamp = |v: f64| if v <= 0.0 { 0.0 } else { v };
-    LvConfiguration::new(clamp(y[0]).round() as u64, clamp(y[1]).round() as u64)
+fn rounded_count(v: f64) -> u64 {
+    if v <= 0.0 {
+        0
+    } else {
+        v.round() as u64
+    }
+}
+
+/// The shared adaptive-step control: bound the per-step *relative* change of
+/// every species to ~5% (mass-action propensities scale with population
+/// products, so a fixed step would be unstable for large populations).
+fn adaptive_step(y: &[f64], dy: &[f64], step_cap: f64, remaining: f64) -> f64 {
+    let mut rate = 0.0f64;
+    for (value, slope) in y.iter().zip(dy) {
+        rate = rate.max(slope.abs() / value.max(1.0));
+    }
+    let h = if rate > 0.0 {
+        (0.05 / rate).min(step_cap)
+    } else {
+        step_cap
+    };
+    h.min(remaining)
 }
 
 impl Backend for OdeBackend {
@@ -221,7 +270,7 @@ impl Backend for OdeBackend {
     }
 
     fn description(&self) -> &'static str {
-        "deterministic mean-field ODE (Eq. 4) via fixed-step RK4; ignores the RNG"
+        "deterministic mean-field ODE (Eq. 4, k-species) via fixed-step RK4; ignores the RNG"
     }
 
     fn deterministic(&self) -> bool {
@@ -229,49 +278,89 @@ impl Backend for OdeBackend {
     }
 
     fn run(&self, scenario: &Scenario, _rng: &mut StdRng) -> RunReport {
-        let system = OdeBackend::system_for(scenario.model());
-        let step_cap = scenario.ode_step();
-        let horizon = scenario
-            .stop()
-            .max_time()
-            .unwrap_or_else(|| scenario.ode_horizon());
-        let (x0, x1) = scenario.initial().counts();
-        let mut y = [x0 as f64, x1 as f64];
-        let mut t = 0.0;
-        let mut driver = Driver::new(scenario);
-        loop {
-            if let Some(reason) = driver.check_stop() {
-                return driver.finish(self.name(), reason);
+        match scenario.model() {
+            ScenarioModel::TwoSpecies(model) => {
+                let system = OdeBackend::system_for(model);
+                let sys = &system;
+                run_ode(
+                    self.name(),
+                    scenario,
+                    |y, dy| {
+                        let d = sys.derivative(&[y[0], y[1]]);
+                        dy.copy_from_slice(&d);
+                    },
+                    |y, h| {
+                        let next = Rk4::single_step(sys, [y[0], y[1]], h);
+                        y.copy_from_slice(&next);
+                    },
+                )
             }
-            // No reactions fire here, so the event budget (always vacuous on
-            // `driver.events()`) bounds integration steps instead — without
-            // this a scenario budgeted only by `max_events` would silently
-            // run to the horizon.
-            if let Some(max_events) = scenario.stop().max_events() {
-                if driver.steps() >= max_events {
-                    return driver.finish(self.name(), StopReason::MaxEventsReached);
-                }
+            ScenarioModel::MultiSpecies(model) => {
+                let system = OdeBackend::system_for_multi(model);
+                let mut stepper = DynRk4::new(model.species_count());
+                let sys = &system;
+                run_ode(
+                    self.name(),
+                    scenario,
+                    |y, dy| sys.derivative_into(y, dy),
+                    |y, h| stepper.step(sys, y, h),
+                )
             }
-            if t >= horizon {
-                return driver.finish(self.name(), StopReason::MaxTimeReached);
-            }
-            // Mass-action propensities scale with population products, so a
-            // fixed step would be unstable for large populations. Bound the
-            // per-step *relative* change of either species to ~5% instead:
-            // h = 0.05 / max_i |y_i'| / max(y_i, 1), capped by `ode_step`.
-            let dy = system.derivative(&y);
-            let rate = (dy[0].abs() / y[0].max(1.0)).max(dy[1].abs() / y[1].max(1.0));
-            let h = if rate > 0.0 {
-                (0.05 / rate).min(step_cap)
-            } else {
-                step_cap
-            }
-            .min(horizon - t);
-            y = Rk4::single_step(&system, y, h);
-            y = [y[0].max(0.0), y[1].max(0.0)];
-            t += h;
-            driver.record(None, rounded(y), t, 0);
         }
+    }
+}
+
+/// The shared ODE driver loop, parameterised over the derivative and the
+/// RK4 step (two-species const-generic path vs `k`-species dynamic path —
+/// identical control flow, so both truncate, adapt and round the same way).
+fn run_ode(
+    name: &'static str,
+    scenario: &Scenario,
+    mut derivative: impl FnMut(&[f64], &mut [f64]),
+    mut rk4_step: impl FnMut(&mut [f64], f64),
+) -> RunReport {
+    let step_cap = scenario.ode_step();
+    let horizon = scenario
+        .stop()
+        .max_time()
+        .unwrap_or_else(|| scenario.ode_horizon());
+    let mut y: Vec<f64> = scenario
+        .initial()
+        .counts()
+        .iter()
+        .map(|&c| c as f64)
+        .collect();
+    let mut dy = vec![0.0; y.len()];
+    let mut counts = vec![0u64; y.len()];
+    let mut t = 0.0;
+    let mut driver = Driver::new(scenario);
+    loop {
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(name, reason);
+        }
+        // No reactions fire here, so the event budget (always vacuous on
+        // `driver.events()`) bounds integration steps instead — without
+        // this a scenario budgeted only by `max_events` would silently
+        // run to the horizon.
+        if let Some(max_events) = scenario.stop().max_events() {
+            if driver.steps() >= max_events {
+                return driver.finish(name, StopReason::MaxEventsReached);
+            }
+        }
+        if t >= horizon {
+            return driver.finish(name, StopReason::MaxTimeReached);
+        }
+        derivative(&y, &mut dy);
+        let h = adaptive_step(&y, &dy, step_cap, horizon - t);
+        rk4_step(&mut y, h);
+        for value in y.iter_mut() {
+            *value = value.max(0.0);
+        }
+        t += h;
+        for (count, &value) in counts.iter_mut().zip(&y) {
+            *count = rounded_count(value);
+        }
+        driver.record(None, &counts, t, 0);
     }
 }
 
@@ -297,6 +386,21 @@ mod tests {
         let counts = report.event_counts().unwrap();
         assert_eq!(counts.individual + counts.competitive, report.events);
         assert_eq!(counts.unclassified, 0);
+    }
+
+    #[test]
+    fn jump_chain_backend_runs_three_species_scenarios() {
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![60, 25, 15]);
+        let report = JumpChainBackend.run(&scenario, &mut rng(5));
+        assert_eq!(report.species_count(), 3);
+        assert!(report.consensus_reached());
+        assert_eq!(report.events, report.steps);
+        // Jump-chain clock: time is the event count.
+        assert_eq!(report.time, report.events as f64);
+        let outcome = report.to_plurality_outcome();
+        assert_eq!(outcome.initial_leader, Some(0));
+        assert!(outcome.winner.is_some() || outcome.final_state.total() == 0);
     }
 
     #[test]
@@ -334,11 +438,26 @@ mod tests {
         let b = OdeBackend.run(&scenario, &mut rng(999));
         assert_eq!(a, b, "ODE backend must ignore the RNG");
         assert!(a.consensus_reached());
-        assert_eq!(a.final_state.winner(), a.initial.majority());
+        assert_eq!(a.final_state.winner(), a.initial.leader());
         assert_eq!(a.events, 0);
         assert!(a.steps > 0);
         // The recorded trajectory starts at the initial gap.
         assert_eq!(a.gap_trajectory().unwrap()[0], 200);
+    }
+
+    #[test]
+    fn ode_backend_integrates_k_species_mean_field() {
+        // Symmetric competitive exclusion: the planted 3-species majority
+        // deterministically wins under the mean field.
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![500, 300, 200]);
+        let a = OdeBackend.run(&scenario, &mut rng(6));
+        let b = OdeBackend.run(&scenario, &mut rng(77));
+        assert_eq!(a, b, "ODE backend must ignore the RNG");
+        assert!(a.consensus_reached());
+        assert_eq!(a.final_state.winner(), Some(0));
+        assert_eq!(a.events, 0);
+        assert!(a.steps > 0);
     }
 
     #[test]
@@ -358,5 +477,27 @@ mod tests {
             2.0,
         ));
         assert_eq!(nsd.interspecific(), 1.0);
+    }
+
+    #[test]
+    fn two_species_mean_field_agrees_with_the_multi_mapping() {
+        // For a neutral model the symmetric two-species system and the k = 2
+        // multi mapping must be the same ODE.
+        for kind in [
+            CompetitionKind::SelfDestructive,
+            CompetitionKind::NonSelfDestructive,
+        ] {
+            let model = LvModel::with_intraspecific(kind, 1.0, 0.5, 2.0, 1.0);
+            let symmetric = OdeBackend::system_for(&model);
+            let multi = OdeBackend::system_for_multi(&MultiLvModel::from(model));
+            let y = [7.0, 3.0];
+            let reference = symmetric.derivative(&y);
+            let mut out = [0.0; 2];
+            multi.derivative_into(&y, &mut out);
+            assert!(
+                (out[0] - reference[0]).abs() < 1e-12 && (out[1] - reference[1]).abs() < 1e-12,
+                "{kind:?}: {out:?} vs {reference:?}"
+            );
+        }
     }
 }

@@ -1,30 +1,36 @@
-//! # lv-engine — one scenario description, five execution backends
+//! # lv-engine — one scenario description, six execution backends
 //!
 //! Every experiment in the reproduction of *“Majority consensus thresholds
 //! in competitive Lotka–Volterra populations”* (Függer, Nowak, Rybicki; PODC
 //! 2024) reduces to the same shape: *run a model under some kinetics until a
 //! stop condition, collect observables, aggregate over trials*. This crate
-//! is that shape, made explicit:
+//! is that shape, made explicit — over populations of any `k ≥ 2` species:
 //!
-//! * [`Scenario`] — the *what*: a model ([`lv_lotka::LvModel`]), an initial
-//!   configuration, a [`lv_crn::StopCondition`] and a set of composable
-//!   [`ObserverSpec`]s;
-//! * [`Backend`] — the *how*: an object-safe execution engine. Five are
+//! * [`Scenario`] — the *what*: a model (the paper's two-species
+//!   [`lv_lotka::LvModel`] or the general `k`-species
+//!   [`lv_lotka::MultiLvModel`]), an initial [`lv_lotka::Population`], a
+//!   [`lv_crn::StopCondition`] and a set of composable [`ObserverSpec`]s;
+//! * [`Backend`] — the *how*: an object-safe execution engine. Six are
 //!   built in — the exact specialised jump chain (the paper's chain `S`),
-//!   the Gillespie direct method, the next-reaction method, tau-leaping and
-//!   the deterministic mean-field ODE;
+//!   the Gillespie direct method, the next-reaction method, tau-leaping,
+//!   the deterministic mean-field ODE, and the 3-state approximate-majority
+//!   population protocol as a baseline;
 //! * [`BackendRegistry`] — string-keyed backend selection for CLIs and
 //!   benches (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
-//!   `"tau-leaping"`, `"ode"`, plus aliases);
+//!   `"tau-leaping"`, `"ode"`, `"approx-majority"`, plus aliases), open for
+//!   external registration via [`BackendRegistry::register`];
+//! * [`presets`] — named multi-species scenario presets (3-species cyclic
+//!   competition, planted `k`-species plurality, two-vs-many coalition);
 //! * [`RunReport`] — the uniform result: summary fields plus one
 //!   [`Observation`] per observer, with
-//!   [`RunReport::to_majority_outcome`] as the derived majority-consensus
-//!   view.
+//!   [`RunReport::to_plurality_outcome`] as the derived plurality-consensus
+//!   view and [`RunReport::to_majority_outcome`] as its two-species
+//!   projection.
 //!
 //! The Monte-Carlo layer (`lv_sim::MonteCarlo`), the experiment suite and
 //! the benchmark harness are all thin adapters over scenario batches, so a
-//! new kind of kinetics (or a k-species model) is *one new backend* — not a
-//! new bespoke simulation loop.
+//! new kind of kinetics — or a new `k`-species workload — is *one new
+//! backend or preset*, not a new bespoke simulation loop.
 //!
 //! # Example: one scenario, every backend
 //!
@@ -39,9 +45,29 @@
 //! for backend in BackendRegistry::global().iter() {
 //!     let mut rng = StdRng::seed_from_u64(7);
 //!     let report = backend.run(&scenario, &mut rng);
-//!     // A 4:1 initial majority wins under every backend.
+//!     // A 4:1 initial majority wins under every backend — including the
+//!     // approximate-majority protocol baseline.
 //!     assert!(report.majority_won(), "{}", backend.name());
 //! }
+//! ```
+//!
+//! # Example: a three-species plurality contest
+//!
+//! ```
+//! use lv_engine::{backend, Scenario};
+//! use lv_lotka::{CompetitionKind, MultiLvModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+//! let scenario = Scenario::plurality(model, vec![70, 20, 10]);
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let outcome = backend("jump-chain")
+//!     .unwrap()
+//!     .run(&scenario, &mut rng)
+//!     .to_plurality_outcome();
+//! assert_eq!(outcome.initial_leader, Some(0));
+//! assert!(outcome.consensus_reached);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -51,6 +77,8 @@
 mod backend;
 mod backends;
 mod observer;
+pub mod presets;
+mod protocol_backend;
 mod registry;
 mod report;
 mod scenario;
@@ -62,6 +90,8 @@ pub use backends::{
 pub use observer::{
     EventCounts, NoiseObservation, Observation, Observer, ObserverSpec, StepRecord,
 };
-pub use registry::{backend, BackendRegistry};
-pub use report::RunReport;
-pub use scenario::{default_majority_budget, majority_budget, Scenario};
+pub use presets::{preset, ScenarioPreset};
+pub use protocol_backend::ApproxMajorityBackend;
+pub use registry::{backend, BackendRegistry, DuplicateBackendError};
+pub use report::{PluralityOutcome, RunReport};
+pub use scenario::{default_majority_budget, majority_budget, Scenario, ScenarioModel};

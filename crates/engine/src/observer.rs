@@ -6,12 +6,19 @@
 //! [`Observation`] from each observer when the run stops. What used to be the
 //! hard-coded field collection of `lv_lotka::run_majority` is now the four
 //! built-in observers — gap trajectory, noise decomposition, event counts and
-//! max population — and `MajorityOutcome` is a *derived view* assembled from
-//! their observations (see [`RunReport::to_majority_outcome`]).
+//! max population — and `MajorityOutcome`/`PluralityOutcome` are *derived
+//! views* assembled from their observations (see
+//! [`RunReport::to_majority_outcome`] and [`RunReport::to_plurality_outcome`]).
+//!
+//! All observers are defined over `k`-species populations: the paper's
+//! signed gap `∆_t` generalises to the *plurality margin* of the initial
+//! leader (its count minus the best other count, see
+//! [`lv_lotka::margin_of`]), which coincides with `∆_t` for `k = 2`.
 //!
 //! [`RunReport::to_majority_outcome`]: crate::RunReport::to_majority_outcome
+//! [`RunReport::to_plurality_outcome`]: crate::RunReport::to_plurality_outcome
 
-use lv_lotka::{EventKind, LvConfiguration, LvEvent, NoiseDecomposition, SpeciesIndex};
+use lv_lotka::{margin_of, EventKind, NoiseDecomposition, Population, PopulationEvent};
 use serde::{Deserialize, Serialize};
 
 /// One simulated step as seen by observers.
@@ -20,15 +27,16 @@ use serde::{Deserialize, Serialize};
 /// `event = Some(..)` and `firings = 1`. Aggregating backends (tau-leaping
 /// leaps, ODE integration steps) produce one record per *step* with
 /// `event = None` and `firings` equal to the number of reaction firings the
-/// step represents (0 for the ODE).
+/// step represents (0 for the ODE). The count slices are borrowed from the
+/// driver's buffers, so recording a step never allocates regardless of `k`.
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct StepRecord {
+pub struct StepRecord<'a> {
     /// The reaction that fired, when the backend resolves individual events.
-    pub event: Option<LvEvent>,
-    /// The configuration before the step.
-    pub before: LvConfiguration,
-    /// The configuration after the step.
-    pub after: LvConfiguration,
+    pub event: Option<PopulationEvent>,
+    /// Species counts before the step.
+    pub before: &'a [u64],
+    /// Species counts after the step.
+    pub after: &'a [u64],
     /// The backend clock after the step (continuous time for Gillespie-style
     /// backends and the ODE, the event count for the jump chain).
     pub time: f64,
@@ -41,11 +49,11 @@ pub struct StepRecord {
 /// Observers are built per run from an [`ObserverSpec`], receive every
 /// [`StepRecord`], and emit their [`Observation`] when the run stops.
 pub trait Observer {
-    /// Called once with the initial configuration before any step.
-    fn on_start(&mut self, initial: LvConfiguration);
+    /// Called once with the initial population before any step.
+    fn on_start(&mut self, initial: &Population);
 
     /// Called after every simulated step.
-    fn on_step(&mut self, step: &StepRecord);
+    fn on_step(&mut self, step: &StepRecord<'_>);
 
     /// Consumes the accumulated state into the final observation.
     fn finish(&mut self) -> Observation;
@@ -58,11 +66,13 @@ pub trait Observer {
 /// state from the spec.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ObserverSpec {
-    /// Record the signed gap `∆_t` (majority minus minority, relative to the
-    /// *initial* majority) after every step, plus the initial gap.
+    /// Record the signed plurality margin `∆_t` of the *initial* leader
+    /// after every step, plus the initial margin. For `k = 2` this is the
+    /// paper's signed gap (majority minus minority, relative to the initial
+    /// majority).
     GapTrajectory,
     /// Accumulate the demographic-noise decomposition `F = F_ind + F_comp`
-    /// of Eq. (3)/(7).
+    /// of Eq. (3)/(7), over the margin of the initial leader.
     NoiseDecomposition,
     /// Count individual, competitive and *bad non-competitive* events (the
     /// paper's `I(S)`, `K(S)`, `J(S)`).
@@ -86,7 +96,7 @@ impl ObserverSpec {
 /// The value an [`Observer`] produced for one run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Observation {
-    /// Signed gap after every step (first entry: the initial gap).
+    /// Signed margin after every step (first entry: the initial margin).
     GapTrajectory(Vec<i64>),
     /// The demographic-noise decomposition.
     Noise(NoiseObservation),
@@ -101,7 +111,7 @@ pub enum Observation {
 /// Per-event backends classify every contribution into
 /// [`NoiseObservation::classified`] (the paper's `F = F_ind + F_comp`).
 /// Aggregating backends (tau-leaping leaps with several firings) cannot
-/// attribute a step's gap change to an event class; that noise is reported
+/// attribute a step's margin change to an event class; that noise is reported
 /// separately in [`NoiseObservation::unclassified`] rather than silently
 /// folded into either component.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -130,7 +140,7 @@ pub struct EventCounts {
     pub individual: u64,
     /// Competitive reactions, the paper's `K(S)`.
     pub competitive: u64,
-    /// Individual reactions that decreased the absolute gap, the paper's
+    /// Individual reactions that decreased the absolute margin, the paper's
     /// `J(S)`.
     pub bad_noncompetitive: u64,
     /// Firings inside steps whose events the backend did not resolve
@@ -145,30 +155,28 @@ impl EventCounts {
     }
 }
 
-/// The sign converting the raw gap `x_0 − x_1` into the paper's `∆`
-/// (initial-majority count minus initial-minority count; species 0 is the
-/// reference on a tie).
-fn majority_sign(initial: LvConfiguration) -> i64 {
-    match initial.majority() {
-        Some(SpeciesIndex::One) => -1,
-        _ => 1,
-    }
+/// The reference species the paper's `∆` is measured against: the initial
+/// plurality leader (species 0 on a tie, matching the paper's convention
+/// that the first species is the majority).
+fn reference_species(initial: &Population) -> usize {
+    initial.leader().unwrap_or(0)
 }
 
 #[derive(Debug, Default)]
 struct GapTrajectoryObserver {
-    sign: i64,
+    reference: usize,
     trajectory: Vec<i64>,
 }
 
 impl Observer for GapTrajectoryObserver {
-    fn on_start(&mut self, initial: LvConfiguration) {
-        self.sign = majority_sign(initial);
-        self.trajectory.push(self.sign * initial.gap());
+    fn on_start(&mut self, initial: &Population) {
+        self.reference = reference_species(initial);
+        self.trajectory
+            .push(initial.margin_relative_to(self.reference));
     }
 
-    fn on_step(&mut self, step: &StepRecord) {
-        self.trajectory.push(self.sign * step.after.gap());
+    fn on_step(&mut self, step: &StepRecord<'_>) {
+        self.trajectory.push(margin_of(step.after, self.reference));
     }
 
     fn finish(&mut self) -> Observation {
@@ -178,17 +186,17 @@ impl Observer for GapTrajectoryObserver {
 
 #[derive(Debug, Default)]
 struct NoiseObserver {
-    sign: i64,
+    reference: usize,
     noise: NoiseObservation,
 }
 
 impl Observer for NoiseObserver {
-    fn on_start(&mut self, initial: LvConfiguration) {
-        self.sign = majority_sign(initial);
+    fn on_start(&mut self, initial: &Population) {
+        self.reference = reference_species(initial);
     }
 
-    fn on_step(&mut self, step: &StepRecord) {
-        let f_t = self.sign * (step.before.gap() - step.after.gap());
+    fn on_step(&mut self, step: &StepRecord<'_>) {
+        let f_t = margin_of(step.before, self.reference) - margin_of(step.after, self.reference);
         match step.event.map(|e| e.kind()) {
             Some(EventKind::Competitive) => self.noise.classified.competitive += f_t,
             Some(EventKind::Individual) => self.noise.classified.individual += f_t,
@@ -207,17 +215,22 @@ impl Observer for NoiseObserver {
 
 #[derive(Debug, Default)]
 struct EventCountObserver {
+    reference: usize,
     counts: EventCounts,
 }
 
 impl Observer for EventCountObserver {
-    fn on_start(&mut self, _initial: LvConfiguration) {}
+    fn on_start(&mut self, initial: &Population) {
+        self.reference = reference_species(initial);
+    }
 
-    fn on_step(&mut self, step: &StepRecord) {
+    fn on_step(&mut self, step: &StepRecord<'_>) {
         match step.event.map(|e| e.kind()) {
             Some(EventKind::Individual) => {
                 self.counts.individual += 1;
-                if step.after.gap().abs() < step.before.gap().abs() {
+                if margin_of(step.after, self.reference).abs()
+                    < margin_of(step.before, self.reference).abs()
+                {
                     self.counts.bad_noncompetitive += 1;
                 }
             }
@@ -237,12 +250,12 @@ struct MaxPopulationObserver {
 }
 
 impl Observer for MaxPopulationObserver {
-    fn on_start(&mut self, initial: LvConfiguration) {
+    fn on_start(&mut self, initial: &Population) {
         self.max = initial.total();
     }
 
-    fn on_step(&mut self, step: &StepRecord) {
-        self.max = self.max.max(step.after.total());
+    fn on_step(&mut self, step: &StepRecord<'_>) {
+        self.max = self.max.max(step.after.iter().sum());
     }
 
     fn finish(&mut self) -> Observation {
@@ -253,52 +266,80 @@ impl Observer for MaxPopulationObserver {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use lv_lotka::{LvEvent, SpeciesIndex};
 
-    fn record(
-        event: Option<LvEvent>,
-        before: (u64, u64),
-        after: (u64, u64),
+    fn record<'a>(
+        event: Option<PopulationEvent>,
+        before: &'a [u64],
+        after: &'a [u64],
         firings: u64,
-    ) -> StepRecord {
+    ) -> StepRecord<'a> {
         StepRecord {
             event,
-            before: before.into(),
-            after: after.into(),
+            before,
+            after,
             time: 0.0,
             firings,
         }
+    }
+
+    fn pop(counts: &[u64]) -> Population {
+        Population::from(counts)
     }
 
     #[test]
     fn gap_trajectory_is_relative_to_initial_majority() {
         // Species 1 is the initial majority, so ∆ = x1 − x0.
         let mut obs = ObserverSpec::GapTrajectory.build();
-        obs.on_start((3, 5).into());
+        obs.on_start(&pop(&[3, 5]));
         obs.on_step(&record(
-            Some(LvEvent::Birth(SpeciesIndex::Zero)),
-            (3, 5),
-            (4, 5),
+            Some(PopulationEvent::Birth(0)),
+            &[3, 5],
+            &[4, 5],
             1,
         ));
         assert_eq!(obs.finish(), Observation::GapTrajectory(vec![2, 1]));
     }
 
     #[test]
+    fn gap_trajectory_tracks_the_initial_leader_for_three_species() {
+        // Species 2 leads initially; ∆ = x2 − max(x0, x1).
+        let mut obs = ObserverSpec::GapTrajectory.build();
+        obs.on_start(&pop(&[3, 1, 5]));
+        obs.on_step(&record(
+            Some(PopulationEvent::Birth(0)),
+            &[3, 1, 5],
+            &[4, 1, 5],
+            1,
+        ));
+        obs.on_step(&record(
+            Some(PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 2,
+            }),
+            &[4, 1, 5],
+            &[3, 1, 4],
+            1,
+        ));
+        assert_eq!(obs.finish(), Observation::GapTrajectory(vec![2, 1, 1]));
+    }
+
+    #[test]
     fn noise_splits_by_event_kind() {
         let mut obs = ObserverSpec::NoiseDecomposition.build();
-        obs.on_start((6, 4).into());
+        obs.on_start(&pop(&[6, 4]));
         // Individual death of the majority: ∆ 2 → 1, F_ind += 1.
         obs.on_step(&record(
-            Some(LvEvent::Death(SpeciesIndex::Zero)),
-            (6, 4),
-            (5, 4),
+            Some(LvEvent::Death(SpeciesIndex::Zero).into()),
+            &[6, 4],
+            &[5, 4],
             1,
         ));
         // Intraspecific competition in species 0 (self-destructive): ∆ 1 → −1.
         obs.on_step(&record(
-            Some(LvEvent::Intraspecific(SpeciesIndex::Zero)),
-            (5, 4),
-            (3, 4),
+            Some(LvEvent::Intraspecific(SpeciesIndex::Zero).into()),
+            &[5, 4],
+            &[3, 4],
             1,
         ));
         match obs.finish() {
@@ -314,9 +355,9 @@ mod tests {
     #[test]
     fn unresolved_leap_noise_is_tracked_separately() {
         let mut obs = ObserverSpec::NoiseDecomposition.build();
-        obs.on_start((6, 4).into());
+        obs.on_start(&pop(&[6, 4]));
         // An unresolved multi-firing leap that moves the gap 2 → 1.
-        obs.on_step(&record(None, (6, 4), (5, 4), 3));
+        obs.on_step(&record(None, &[6, 4], &[5, 4], 3));
         match obs.finish() {
             Observation::Noise(noise) => {
                 assert_eq!(noise.classified, NoiseDecomposition::default());
@@ -330,25 +371,26 @@ mod tests {
     #[test]
     fn event_counts_classify_bad_events_and_leaps() {
         let mut obs = ObserverSpec::EventCounts.build();
-        obs.on_start((5, 4).into());
-        // A bad individual event: |gap| decreases.
+        obs.on_start(&pop(&[5, 4]));
+        // A bad individual event: |∆| decreases.
         obs.on_step(&record(
-            Some(LvEvent::Death(SpeciesIndex::Zero)),
-            (5, 4),
-            (4, 4),
+            Some(PopulationEvent::Death(0)),
+            &[5, 4],
+            &[4, 4],
             1,
         ));
         // A competitive event.
         obs.on_step(&record(
-            Some(LvEvent::Interspecific {
-                attacker: SpeciesIndex::Zero,
+            Some(PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 1,
             }),
-            (4, 4),
-            (3, 3),
+            &[4, 4],
+            &[3, 3],
             1,
         ));
         // An unresolved leap worth five firings.
-        obs.on_step(&record(None, (3, 3), (2, 1), 5));
+        obs.on_step(&record(None, &[3, 3], &[2, 1], 5));
         match obs.finish() {
             Observation::Events(counts) => {
                 assert_eq!(counts.individual, 1);
@@ -364,9 +406,9 @@ mod tests {
     #[test]
     fn max_population_tracks_the_peak() {
         let mut obs = ObserverSpec::MaxPopulation.build();
-        obs.on_start((5, 5).into());
-        obs.on_step(&record(None, (5, 5), (9, 9), 8));
-        obs.on_step(&record(None, (9, 9), (2, 2), 14));
+        obs.on_start(&pop(&[5, 5]));
+        obs.on_step(&record(None, &[5, 5], &[9, 9], 8));
+        obs.on_step(&record(None, &[9, 9], &[2, 2], 14));
         assert_eq!(obs.finish(), Observation::MaxPopulation(18));
     }
 }

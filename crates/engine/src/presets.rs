@@ -1,0 +1,195 @@
+//! Named multi-species scenario presets.
+//!
+//! Each preset builds a runnable `k`-species plurality [`Scenario`] from a
+//! total population size, so CLIs, benches and the experiment suite can
+//! select workloads by string — the scenario-level counterpart of the
+//! string-keyed [`BackendRegistry`](crate::BackendRegistry).
+
+use crate::scenario::Scenario;
+use lv_lotka::{CompetitionKind, MultiLvModel, Population};
+
+/// A named, parameterised multi-species scenario: a builder from the total
+/// population size `n` to a plurality [`Scenario`].
+#[derive(Clone, Copy)]
+pub struct ScenarioPreset {
+    name: &'static str,
+    description: &'static str,
+    species: usize,
+    build: fn(u64) -> Scenario,
+}
+
+impl std::fmt::Debug for ScenarioPreset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScenarioPreset")
+            .field("name", &self.name)
+            .field("species", &self.species)
+            .finish()
+    }
+}
+
+impl ScenarioPreset {
+    /// The registry name of the preset.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human description.
+    pub fn description(&self) -> &'static str {
+        self.description
+    }
+
+    /// Number of species in the scenarios this preset builds.
+    pub fn species_count(&self) -> usize {
+        self.species
+    }
+
+    /// Builds the scenario for a total population of (approximately) `n`
+    /// individuals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is too small to give every species at least one
+    /// individual (presets need `n ≥ 4·k`).
+    pub fn build(&self, n: u64) -> Scenario {
+        assert!(
+            n >= 4 * self.species as u64,
+            "preset {:?} needs n >= {}",
+            self.name,
+            4 * self.species
+        );
+        (self.build)(n)
+    }
+}
+
+/// Splits `n` across `weights` proportionally (weights in percent; the
+/// remainder goes to species 0, the planted leader).
+fn split(n: u64, weights: &[u64]) -> Population {
+    debug_assert_eq!(weights.iter().sum::<u64>(), 100);
+    let mut counts: Vec<u64> = weights.iter().map(|w| n * w / 100).collect();
+    let assigned: u64 = counts.iter().sum();
+    counts[0] += n - assigned;
+    Population::new(counts)
+}
+
+/// Three-species cyclic (rock–paper–scissors) competition with a planted
+/// leader: species `i` attacks species `i+1 mod 3`; species 0 starts with
+/// 40% of the population. Non-self-destructive competition keeps the
+/// attacker alive, so chases around the cycle are visible in the margins.
+fn cyclic_three(n: u64) -> Scenario {
+    let model = MultiLvModel::cyclic(CompetitionKind::NonSelfDestructive, 3, 1.0, 1.0, 1.0);
+    Scenario::plurality(model, split(n, &[40, 30, 30]))
+}
+
+/// Four-species symmetric all-vs-all competition with one planted majority:
+/// species 0 starts with 40% of the population, the three challengers with
+/// 20% each — the `k`-species analogue of the paper's `(a, b)` majority
+/// start.
+fn planted_plurality_four(n: u64) -> Scenario {
+    let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 4, 1.0, 1.0, 1.0);
+    Scenario::plurality(model, split(n, &[40, 20, 20, 20]))
+}
+
+/// Two-vs-many coalition over six species: species 0 and 1 form a coalition
+/// (they attack each other at a quarter of the base rate) while everyone
+/// else fights everyone at the full rate; the coalition starts with half
+/// the population (slightly tilted toward species 0, the planted leader),
+/// the four outsiders share the rest.
+fn coalition_two_vs_four(n: u64) -> Scenario {
+    let mut model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 6, 1.0, 1.0, 1.0);
+    model = model.with_alpha(0, 1, 0.125).with_alpha(1, 0, 0.125);
+    Scenario::plurality(model, split(n, &[27, 23, 13, 13, 12, 12]))
+}
+
+const PRESETS: &[ScenarioPreset] = &[
+    ScenarioPreset {
+        name: "cyclic-3",
+        description: "3-species cyclic (rock-paper-scissors) competition, planted 40% leader",
+        species: 3,
+        build: cyclic_three,
+    },
+    ScenarioPreset {
+        name: "planted-plurality-4",
+        description: "4-species symmetric all-vs-all competition, one planted 40% majority",
+        species: 4,
+        build: planted_plurality_four,
+    },
+    ScenarioPreset {
+        name: "coalition-2v4",
+        description: "two-species coalition (reduced mutual attack) vs four independent rivals",
+        species: 6,
+        build: coalition_two_vs_four,
+    },
+];
+
+/// All built-in scenario presets.
+pub fn presets() -> &'static [ScenarioPreset] {
+    PRESETS
+}
+
+/// Looks a preset up by name.
+pub fn preset(name: &str) -> Option<&'static ScenarioPreset> {
+    PRESETS.iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::BackendRegistry;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_are_listed_and_looked_up_by_name() {
+        let names: Vec<_> = presets().iter().map(|p| p.name()).collect();
+        assert_eq!(
+            names,
+            vec!["cyclic-3", "planted-plurality-4", "coalition-2v4"]
+        );
+        for name in names {
+            let preset = preset(name).unwrap();
+            assert!(!preset.description().is_empty());
+            assert!(preset.species_count() >= 3);
+        }
+        assert!(preset("missing").is_none());
+    }
+
+    #[test]
+    fn built_scenarios_have_the_advertised_shape() {
+        for preset in presets() {
+            let scenario = preset.build(200);
+            assert_eq!(scenario.species_count(), preset.species_count());
+            assert_eq!(scenario.initial().total(), 200, "{}", preset.name());
+            assert!(scenario.initial().counts().iter().all(|&c| c > 0));
+            // The planted leader is species 0 in every preset.
+            assert_eq!(scenario.initial().leader(), Some(0), "{}", preset.name());
+            assert_eq!(scenario.observers().len(), 3);
+            assert!(scenario.stop().max_events().is_some());
+        }
+    }
+
+    #[test]
+    fn every_preset_runs_on_every_k_species_backend() {
+        for preset in presets() {
+            let scenario = preset.build(60);
+            for backend in BackendRegistry::global().iter_supporting(preset.species_count()) {
+                let mut rng = StdRng::seed_from_u64(9);
+                let report = backend.run(&scenario, &mut rng);
+                assert_eq!(report.species_count(), preset.species_count());
+                let outcome = report.to_plurality_outcome();
+                assert_eq!(outcome.initial_leader, Some(0));
+                assert!(
+                    outcome.consensus_reached || outcome.truncated,
+                    "{} on {} neither converged nor truncated",
+                    preset.name(),
+                    backend.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "needs n >=")]
+    fn tiny_populations_are_rejected() {
+        let _ = preset("coalition-2v4").unwrap().build(10);
+    }
+}

@@ -1,0 +1,238 @@
+//! Protocol baselines as backends: the 3-state approximate-majority
+//! population protocol behind the same [`Backend`] interface as the
+//! Lotka–Volterra kernels, so E11-style protocol-vs-LV comparisons run
+//! through one registry and one Monte-Carlo harness.
+
+use crate::backend::{Backend, Driver};
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use lv_crn::StopReason;
+use lv_lotka::PopulationEvent;
+use lv_protocols::{ApproximateMajority, Opinion, ProtocolSimulation};
+use rand::rngs::StdRng;
+
+/// The 3-state approximate-majority protocol of Angluin–Aspnes–Eisenstat as
+/// an execution backend for *two-species* scenarios.
+///
+/// The backend is a baseline, not a Lotka–Volterra simulator: it reads only
+/// the scenario's initial configuration `(a, b)` — `a` agents with opinion A,
+/// `b` with opinion B — and its stop budgets; the model's rates are ignored
+/// ([`Backend::models_kinetics`] is `false`). Each pairwise interaction
+/// counts as one event, and the reported state is the pair of *committed*
+/// counts `(#A, #B)` (blank agents are internal). A committed count hitting
+/// zero is irrevocable — that opinion can never reappear — so the consensus
+/// semantics of the two-species stop conditions carry over: the survivor is
+/// the protocol's decision.
+///
+/// Interactions map onto the two-species event vocabulary: a cancellation
+/// `(A, B) → (A, blank)` is a competitive attack by the initiator, a
+/// recruitment `(A, blank) → (A, A)` is a birth, and inert interactions are
+/// unclassified firings.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxMajorityBackend;
+
+impl Backend for ApproxMajorityBackend {
+    fn name(&self) -> &'static str {
+        "approx-majority"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["am", "3-state"]
+    }
+
+    fn description(&self) -> &'static str {
+        "3-state approximate-majority population protocol baseline (two-species, ignores rates)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        assert_eq!(
+            scenario.species_count(),
+            2,
+            "the approx-majority backend runs two-species scenarios only"
+        );
+        let initial = scenario.initial();
+        let (a, b) = (initial.count(0), initial.count(1));
+        let mut driver = Driver::new(scenario);
+        // Degenerate starts must stop before the first interaction, like
+        // every other backend.
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(self.name(), reason);
+        }
+        // The pairwise scheduler cannot run on fewer than two agents: no
+        // interaction can ever fire, which is an absorbed state in every
+        // backend's vocabulary.
+        if a + b < 2 {
+            return driver.finish(self.name(), StopReason::Absorbed);
+        }
+        let protocol = ApproximateMajority::new();
+        let mut sim = ProtocolSimulation::new(&protocol, a, b);
+        loop {
+            if let Some(reason) = driver.check_stop() {
+                return driver.finish(self.name(), reason);
+            }
+            // Once every agent is committed to one opinion, every further
+            // interaction is inert: the chain is absorbed. Without this exit
+            // an unsatisfiable stop condition with no budget would spin
+            // forever — the LV backends escape the same situation through
+            // their zero-propensity absorption check. O(1) via the
+            // incrementally maintained committed counts.
+            let (committed_a, committed_b) = sim.opinion_counts();
+            if committed_a + committed_b == sim.population()
+                && (committed_a == 0 || committed_b == 0)
+            {
+                return driver.finish(self.name(), StopReason::Absorbed);
+            }
+            let interaction = sim.step(rng);
+            let (after_a, after_b) = sim.opinion_counts();
+            // Classify the interaction for the observers. The initiator is
+            // never changed by the protocol's rules, so the responder's
+            // transition determines the class.
+            let event = classify(
+                protocol_output(interaction.initiator_before),
+                protocol_output(interaction.responder_before),
+                protocol_output(interaction.responder_after),
+            );
+            driver.record(event, &[after_a, after_b], sim.interactions() as f64, 1);
+        }
+    }
+}
+
+fn protocol_output(state: lv_protocols::TriState) -> Option<Opinion> {
+    use lv_protocols::PopulationProtocol;
+    ApproximateMajority::new().output(state)
+}
+
+fn species(opinion: Opinion) -> usize {
+    match opinion {
+        Opinion::A => 0,
+        Opinion::B => 1,
+    }
+}
+
+/// Maps one interaction onto the LV event vocabulary: cancellation is a
+/// competitive attack, recruitment a birth, anything else unclassified.
+fn classify(
+    initiator: Option<Opinion>,
+    responder_before: Option<Opinion>,
+    responder_after: Option<Opinion>,
+) -> Option<PopulationEvent> {
+    match (initiator, responder_before, responder_after) {
+        // (X, Y) → (X, blank): X cancelled Y.
+        (Some(attacker), Some(victim), None) if attacker != victim => {
+            Some(PopulationEvent::Interspecific {
+                attacker: species(attacker),
+                victim: species(victim),
+            })
+        }
+        // (X, blank) → (X, X): X recruited a blank.
+        (Some(opinion), None, Some(recruited)) if opinion == recruited => {
+            Some(PopulationEvent::Birth(species(opinion)))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_crn::StopCondition;
+    use lv_lotka::LvModel;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn clear_majority_wins_and_reports_interactions() {
+        let scenario = Scenario::majority(LvModel::default(), 400, 100);
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(1));
+        assert_eq!(report.backend, "approx-majority");
+        assert!(report.consensus_reached());
+        assert!(report.majority_won());
+        assert!(report.events > 0);
+        assert_eq!(report.events, report.steps);
+        // The derived view works exactly like for the LV backends.
+        let outcome = report.to_majority_outcome();
+        assert!(outcome.majority_won());
+        assert!(outcome.individual_events > 0, "recruitments happened");
+        assert!(outcome.competitive_events > 0, "cancellations happened");
+    }
+
+    #[test]
+    fn committed_counts_never_exceed_the_population() {
+        let scenario = Scenario::majority(LvModel::default(), 30, 20);
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(2));
+        assert!(report.max_population().unwrap() <= 50);
+        assert!(report.final_state.total() <= 50);
+    }
+
+    #[test]
+    fn event_budget_truncates_runs() {
+        let scenario = Scenario::new(LvModel::default(), (500, 480))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(25));
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(3));
+        assert_eq!(report.reason, StopReason::MaxEventsReached);
+        assert_eq!(report.events, 25);
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let scenario = Scenario::majority(LvModel::default(), 60, 40);
+        let a = ApproxMajorityBackend.run(&scenario, &mut rng(4));
+        let b = ApproxMajorityBackend.run(&scenario, &mut rng(4));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn converged_runs_absorb_under_unsatisfiable_stop_conditions() {
+        // Committed counts are capped at the population, so total ≥ 1000 can
+        // never hold; once the protocol converges every interaction is inert
+        // and the run must end as absorbed rather than spinning forever.
+        let scenario = Scenario::new(LvModel::default(), (60, 40))
+            .with_stop(StopCondition::total_at_least(1_000));
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(7));
+        assert_eq!(report.reason, StopReason::Absorbed);
+        assert!(report.final_state.is_consensus());
+        assert_eq!(report.final_state.total(), 100, "everyone committed");
+    }
+
+    #[test]
+    fn sub_scheduler_populations_absorb_instead_of_panicking() {
+        // Fewer than two agents and a stop condition that is not already
+        // met: the scheduler can never fire an interaction, so the run is
+        // absorbed (not a panic, unlike ProtocolSimulation::new).
+        let scenario =
+            Scenario::new(LvModel::default(), (1, 0)).with_stop(StopCondition::total_at_least(10));
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(6));
+        assert_eq!(report.reason, StopReason::Absorbed);
+        assert_eq!(report.events, 0);
+        assert_eq!(report.final_state.counts(), &[1, 0]);
+    }
+
+    #[test]
+    fn capability_flags_mark_the_baseline() {
+        let backend = ApproxMajorityBackend;
+        assert!(backend.supports_species(2));
+        assert!(!backend.supports_species(3));
+        assert!(!backend.models_kinetics());
+        assert!(!backend.deterministic());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-species scenarios only")]
+    fn k_species_scenarios_are_rejected() {
+        use lv_lotka::{CompetitionKind, MultiLvModel};
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![10, 10, 10]);
+        let _ = ApproxMajorityBackend.run(&scenario, &mut rng(5));
+    }
+}

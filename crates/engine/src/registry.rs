@@ -1,18 +1,47 @@
-//! The string-keyed backend registry used for CLI and bench selection.
+//! The string-keyed backend registry used for CLI and bench selection, open
+//! for external registration.
 
 use crate::backend::Backend;
 use crate::backends::{
     GillespieDirectBackend, JumpChainBackend, NextReactionBackend, OdeBackend, TauLeapingBackend,
 };
+use crate::protocol_backend::ApproxMajorityBackend;
+use std::fmt;
 use std::sync::OnceLock;
 
+/// Error returned by [`BackendRegistry::register`] when a backend's name or
+/// alias collides with one already registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateBackendError {
+    /// The colliding name or alias.
+    pub name: String,
+}
+
+impl fmt::Display for DuplicateBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "a backend named or aliased {:?} is already registered",
+            self.name
+        )
+    }
+}
+
+impl std::error::Error for DuplicateBackendError {}
+
 /// The set of available [`Backend`]s, addressable by name or alias.
+///
+/// The process-wide [`BackendRegistry::global`] holds the six built-ins;
+/// downstream crates can build their own registries and plug in custom
+/// backends with [`BackendRegistry::register`] /
+/// [`BackendRegistry::with_backend`] — duplicate names or aliases are
+/// rejected with a [`DuplicateBackendError`] instead of silently shadowing.
 ///
 /// ```
 /// use lv_engine::BackendRegistry;
 ///
 /// let registry = BackendRegistry::global();
-/// assert_eq!(registry.names().len(), 5);
+/// assert_eq!(registry.names().len(), 6);
 /// assert!(registry.get("gillespie-direct").is_some());
 /// // Aliases resolve to the same backend.
 /// assert_eq!(
@@ -32,24 +61,77 @@ impl std::fmt::Debug for BackendRegistry {
     }
 }
 
+impl Default for BackendRegistry {
+    fn default() -> Self {
+        BackendRegistry::builtin()
+    }
+}
+
 impl BackendRegistry {
-    /// Builds a registry holding the five built-in backends.
-    fn builtin() -> Self {
+    /// An empty registry; populate it with [`BackendRegistry::register`].
+    pub fn empty() -> Self {
         BackendRegistry {
-            entries: vec![
-                Box::new(JumpChainBackend),
-                Box::new(GillespieDirectBackend),
-                Box::new(NextReactionBackend),
-                Box::new(TauLeapingBackend),
-                Box::new(OdeBackend),
-            ],
+            entries: Vec::new(),
         }
+    }
+
+    /// A registry holding the six built-in backends: the five Lotka–Volterra
+    /// kernels plus the `"approx-majority"` protocol baseline.
+    pub fn builtin() -> Self {
+        let mut registry = BackendRegistry::empty();
+        let builtins: Vec<Box<dyn Backend>> = vec![
+            Box::new(JumpChainBackend),
+            Box::new(GillespieDirectBackend),
+            Box::new(NextReactionBackend),
+            Box::new(TauLeapingBackend),
+            Box::new(OdeBackend),
+            Box::new(ApproxMajorityBackend),
+        ];
+        for backend in builtins {
+            registry
+                .register(backend)
+                .expect("built-in backend names are distinct");
+        }
+        registry
     }
 
     /// The process-wide registry of built-in backends.
     pub fn global() -> &'static BackendRegistry {
         static REGISTRY: OnceLock<BackendRegistry> = OnceLock::new();
         REGISTRY.get_or_init(BackendRegistry::builtin)
+    }
+
+    /// Registers a backend, rejecting any name or alias that collides with
+    /// an already-registered backend's name or alias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateBackendError`] naming the colliding key; the
+    /// registry is unchanged in that case.
+    pub fn register(&mut self, backend: Box<dyn Backend>) -> Result<(), DuplicateBackendError> {
+        let mut keys = std::iter::once(backend.name()).chain(backend.aliases().iter().copied());
+        if let Some(duplicate) = keys.find(|key| self.get(key).is_some()) {
+            return Err(DuplicateBackendError {
+                name: duplicate.to_string(),
+            });
+        }
+        self.entries.push(backend);
+        Ok(())
+    }
+
+    /// Builder-style [`BackendRegistry::register`]: returns the extended
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DuplicateBackendError`] naming the colliding key (the
+    /// registry is consumed in that case).
+    pub fn with_backend(
+        mut self,
+        backend: Box<dyn Backend>,
+    ) -> Result<Self, DuplicateBackendError> {
+        self.register(backend)?;
+        Ok(self)
     }
 
     /// Canonical names of every registered backend, in registration order.
@@ -69,6 +151,12 @@ impl BackendRegistry {
     pub fn iter(&self) -> impl Iterator<Item = &dyn Backend> {
         self.entries.iter().map(|b| b.as_ref())
     }
+
+    /// Iterates over the backends that can run `species`-species scenarios
+    /// (see [`Backend::supports_species`]).
+    pub fn iter_supporting(&self, species: usize) -> impl Iterator<Item = &dyn Backend> {
+        self.iter().filter(move |b| b.supports_species(species))
+    }
 }
 
 /// Shorthand for [`BackendRegistry::global`]`().get(name)`.
@@ -79,9 +167,12 @@ pub fn backend(name: &str) -> Option<&'static dyn Backend> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::RunReport;
+    use crate::scenario::Scenario;
+    use rand::rngs::StdRng;
 
     #[test]
-    fn registry_holds_all_five_backends() {
+    fn registry_holds_all_builtin_backends() {
         let names = BackendRegistry::global().names();
         assert_eq!(
             names,
@@ -90,7 +181,8 @@ mod tests {
                 "gillespie-direct",
                 "next-reaction",
                 "tau-leaping",
-                "ode"
+                "ode",
+                "approx-majority"
             ]
         );
         for name in names {
@@ -103,6 +195,7 @@ mod tests {
         assert_eq!(backend("exact").unwrap().name(), "jump-chain");
         assert_eq!(backend("tau").unwrap().name(), "tau-leaping");
         assert_eq!(backend("mean-field").unwrap().name(), "ode");
+        assert_eq!(backend("am").unwrap().name(), "approx-majority");
         assert!(backend("does-not-exist").is_none());
     }
 
@@ -111,5 +204,112 @@ mod tests {
         for backend in BackendRegistry::global().iter() {
             assert!(!backend.description().is_empty(), "{}", backend.name());
         }
+    }
+
+    #[test]
+    fn iter_supporting_filters_by_species_count() {
+        let registry = BackendRegistry::global();
+        let all: Vec<_> = registry.iter_supporting(2).map(|b| b.name()).collect();
+        assert_eq!(all.len(), 6);
+        let k3: Vec<_> = registry.iter_supporting(3).map(|b| b.name()).collect();
+        assert_eq!(
+            k3,
+            vec![
+                "jump-chain",
+                "gillespie-direct",
+                "next-reaction",
+                "tau-leaping",
+                "ode"
+            ]
+        );
+    }
+
+    /// A downstream backend for registration tests.
+    struct NullBackend {
+        name: &'static str,
+        aliases: &'static [&'static str],
+    }
+
+    impl crate::Backend for NullBackend {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn aliases(&self) -> &'static [&'static str] {
+            self.aliases
+        }
+
+        fn description(&self) -> &'static str {
+            "test double"
+        }
+
+        fn run(&self, _scenario: &Scenario, _rng: &mut StdRng) -> RunReport {
+            unimplemented!("never executed in these tests")
+        }
+    }
+
+    #[test]
+    fn external_backends_can_be_registered() {
+        let registry = BackendRegistry::builtin()
+            .with_backend(Box::new(NullBackend {
+                name: "custom",
+                aliases: &["c"],
+            }))
+            .unwrap();
+        assert_eq!(registry.names().len(), 7);
+        assert_eq!(registry.get("c").unwrap().name(), "custom");
+        // The global registry is unaffected.
+        assert!(BackendRegistry::global().get("custom").is_none());
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut registry = BackendRegistry::builtin();
+        let err = registry
+            .register(Box::new(NullBackend {
+                name: "jump-chain",
+                aliases: &[],
+            }))
+            .unwrap_err();
+        assert_eq!(err.name, "jump-chain");
+        assert_eq!(
+            registry.names().len(),
+            6,
+            "failed registration must not mutate"
+        );
+        assert!(err.to_string().contains("jump-chain"));
+    }
+
+    #[test]
+    fn duplicate_aliases_are_rejected_both_ways() {
+        // New backend's name collides with an existing alias.
+        let err = BackendRegistry::builtin()
+            .with_backend(Box::new(NullBackend {
+                name: "ssa",
+                aliases: &[],
+            }))
+            .unwrap_err();
+        assert_eq!(err.name, "ssa");
+        // New backend's alias collides with an existing name.
+        let err = BackendRegistry::builtin()
+            .with_backend(Box::new(NullBackend {
+                name: "fresh",
+                aliases: &["ode"],
+            }))
+            .unwrap_err();
+        assert_eq!(err.name, "ode");
+    }
+
+    #[test]
+    fn empty_registry_grows_incrementally() {
+        let mut registry = BackendRegistry::empty();
+        assert!(registry.names().is_empty());
+        registry
+            .register(Box::new(NullBackend {
+                name: "only",
+                aliases: &[],
+            }))
+            .unwrap();
+        assert_eq!(registry.names(), vec!["only"]);
     }
 }

@@ -1,9 +1,9 @@
 //! The [`RunReport`] produced by every backend, plus the derived
-//! majority-consensus view.
+//! plurality- and majority-consensus views.
 
 use crate::observer::{EventCounts, NoiseObservation, Observation, ObserverSpec};
 use lv_crn::StopReason;
-use lv_lotka::{LvConfiguration, MajorityOutcome};
+use lv_lotka::{MajorityOutcome, NoiseDecomposition, Population, SpeciesIndex};
 use serde::Serialize;
 
 /// The backend-independent result of running a [`Scenario`](crate::Scenario).
@@ -17,10 +17,10 @@ use serde::Serialize;
 pub struct RunReport {
     /// Registry name of the backend that produced this report.
     pub backend: &'static str,
-    /// The initial configuration.
-    pub initial: LvConfiguration,
-    /// The configuration when the run stopped.
-    pub final_state: LvConfiguration,
+    /// The initial population.
+    pub initial: Population,
+    /// The population when the run stopped.
+    pub final_state: Population,
     /// Why the run stopped.
     pub reason: StopReason,
     /// Number of reaction firings (0 for the deterministic ODE backend).
@@ -40,8 +40,8 @@ impl RunReport {
     #[allow(clippy::too_many_arguments)] // one argument per report field
     pub fn new(
         backend: &'static str,
-        initial: LvConfiguration,
-        final_state: LvConfiguration,
+        initial: Population,
+        final_state: Population,
         reason: StopReason,
         events: u64,
         steps: u64,
@@ -60,6 +60,11 @@ impl RunReport {
         }
     }
 
+    /// Number of species in the simulated population.
+    pub fn species_count(&self) -> usize {
+        self.initial.species_count()
+    }
+
     /// All recorded observations in scenario order.
     pub fn observations(&self) -> &[(ObserverSpec, Observation)] {
         &self.observations
@@ -74,7 +79,7 @@ impl RunReport {
             .map(|(_, o)| o)
     }
 
-    /// The recorded gap trajectory, if observed.
+    /// The recorded margin (gap) trajectory, if observed.
     pub fn gap_trajectory(&self) -> Option<&[i64]> {
         match self.observation(ObserverSpec::GapTrajectory)? {
             Observation::GapTrajectory(t) => Some(t),
@@ -107,7 +112,8 @@ impl RunReport {
         }
     }
 
-    /// Whether the final state is a consensus state (some species extinct).
+    /// Whether the final state is a consensus state (at most one species
+    /// alive).
     pub fn consensus_reached(&self) -> bool {
         self.final_state.is_consensus()
     }
@@ -121,32 +127,34 @@ impl RunReport {
         )
     }
 
-    /// Whether the run reached consensus with the *initial majority* winning.
-    pub fn majority_won(&self) -> bool {
-        let initial_majority = self.initial.majority();
-        initial_majority.is_some()
+    /// Whether the run reached consensus with the *initial leader* winning —
+    /// the paper's "majority wins" for `k = 2`, plurality for `k > 2`.
+    pub fn plurality_won(&self) -> bool {
+        let initial_leader = self.initial.leader();
+        initial_leader.is_some()
             && self.consensus_reached()
-            && self.final_state.winner() == initial_majority
+            && self.final_state.winner() == initial_leader
     }
 
-    /// The derived majority-consensus view: the same [`MajorityOutcome`] the
-    /// bespoke `lv_lotka::run_majority` loop produces, reassembled from the
-    /// report summary plus the event-count / noise / max-population
-    /// observations (fields whose observer was not attached are zero).
-    ///
-    /// For per-event backends on the same RNG stream this reproduces
-    /// `run_majority` bit for bit (asserted by the engine's integration
-    /// tests). For aggregating backends the per-event-class fields are lower
-    /// bounds, with the remainder in
-    /// [`EventCounts::unclassified`](crate::EventCounts::unclassified).
-    pub fn to_majority_outcome(&self) -> MajorityOutcome {
+    /// Alias of [`RunReport::plurality_won`], keeping the paper's two-species
+    /// vocabulary.
+    pub fn majority_won(&self) -> bool {
+        self.plurality_won()
+    }
+
+    /// The derived plurality-consensus view: winner index, final margin,
+    /// truncation and the event/noise observables, assembled from the report
+    /// summary plus the event-count / noise / max-population observations
+    /// (fields whose observer was not attached are zero).
+    pub fn to_plurality_outcome(&self) -> PluralityOutcome {
         let counts = self.event_counts().unwrap_or_default();
         let noise = self.noise().unwrap_or_default();
-        MajorityOutcome {
-            initial: self.initial,
-            final_state: self.final_state,
-            initial_majority: self.initial.majority(),
+        PluralityOutcome {
+            initial: self.initial.clone(),
+            final_state: self.final_state.clone(),
+            initial_leader: self.initial.leader(),
             winner: self.final_state.winner(),
+            margin: self.final_state.margin(),
             consensus_reached: self.consensus_reached(),
             truncated: self.truncated(),
             events: self.events,
@@ -157,6 +165,103 @@ impl RunReport {
             max_population: self.max_population().unwrap_or(0),
         }
     }
+
+    /// The derived majority-consensus view of a *two-species* report: the
+    /// same [`MajorityOutcome`] the bespoke `lv_lotka::run_majority` loop
+    /// produces.
+    ///
+    /// For per-event backends on the same RNG stream this reproduces
+    /// `run_majority` bit for bit (asserted by the engine's integration
+    /// tests). For aggregating backends the per-event-class fields are lower
+    /// bounds, with the remainder in
+    /// [`EventCounts::unclassified`](crate::EventCounts::unclassified).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report has more than two species; use
+    /// [`RunReport::to_plurality_outcome`] there.
+    pub fn to_majority_outcome(&self) -> MajorityOutcome {
+        self.to_plurality_outcome()
+            .to_majority_outcome()
+            .expect("to_majority_outcome requires a two-species report")
+    }
+}
+
+/// The observables of one plurality-consensus run over `k` species: who led
+/// initially, who won, by what margin, whether the run was truncated, plus
+/// the event-class counts and the demographic-noise decomposition measured
+/// against the initial leader's margin.
+///
+/// [`MajorityOutcome`] is exactly the `k = 2` projection
+/// ([`PluralityOutcome::to_majority_outcome`]).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PluralityOutcome {
+    /// The initial population.
+    pub initial: Population,
+    /// The final population when the run stopped.
+    pub final_state: Population,
+    /// The initial plurality leader (`None` if the run started from a tie).
+    pub initial_leader: Option<usize>,
+    /// The winning species, if consensus was reached with a positive count.
+    pub winner: Option<usize>,
+    /// The final plurality margin: the current leader's count minus the
+    /// runner-up's (0 on a tie or total extinction).
+    pub margin: i64,
+    /// Whether consensus (at most one species alive) was reached within the
+    /// budget.
+    pub consensus_reached: bool,
+    /// Whether the run exhausted its event or time budget before consensus.
+    pub truncated: bool,
+    /// The consensus time `T(S)`: number of reactions until the run stopped.
+    pub events: u64,
+    /// Number of individual (birth/death) reactions, the paper's `I(S)`.
+    pub individual_events: u64,
+    /// Number of competitive reactions, the paper's `K(S)`.
+    pub competitive_events: u64,
+    /// Number of *bad non-competitive* reactions — individual reactions that
+    /// decreased the absolute margin — the paper's `J(S)`.
+    pub bad_noncompetitive_events: u64,
+    /// The demographic-noise decomposition `F = F_ind + F_comp` over the
+    /// initial leader's margin.
+    pub noise: NoiseDecomposition,
+    /// The largest total population observed during the run.
+    pub max_population: u64,
+}
+
+impl PluralityOutcome {
+    /// Number of species.
+    pub fn species_count(&self) -> usize {
+        self.initial.species_count()
+    }
+
+    /// Whether the run reached consensus with the initial leader winning.
+    pub fn plurality_won(&self) -> bool {
+        self.consensus_reached
+            && self.initial_leader.is_some()
+            && self.winner == self.initial_leader
+    }
+
+    /// The `k = 2` projection onto the paper's [`MajorityOutcome`], or
+    /// `None` for more than two species.
+    pub fn to_majority_outcome(&self) -> Option<MajorityOutcome> {
+        let initial = self.initial.as_lv_configuration()?;
+        let final_state = self.final_state.as_lv_configuration()?;
+        let species = |index: Option<usize>| index.map(SpeciesIndex::from_index);
+        Some(MajorityOutcome {
+            initial,
+            final_state,
+            initial_majority: species(self.initial_leader),
+            winner: species(self.winner),
+            consensus_reached: self.consensus_reached,
+            truncated: self.truncated,
+            events: self.events,
+            individual_events: self.individual_events,
+            competitive_events: self.competitive_events,
+            bad_noncompetitive_events: self.bad_noncompetitive_events,
+            noise: self.noise,
+            max_population: self.max_population,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -164,37 +269,54 @@ mod tests {
     use super::*;
     use lv_lotka::NoiseDecomposition;
 
+    fn observations() -> Vec<(ObserverSpec, Observation)> {
+        vec![
+            (
+                ObserverSpec::EventCounts,
+                Observation::Events(EventCounts {
+                    individual: 9,
+                    competitive: 3,
+                    bad_noncompetitive: 2,
+                    unclassified: 0,
+                }),
+            ),
+            (
+                ObserverSpec::NoiseDecomposition,
+                Observation::Noise(NoiseObservation {
+                    classified: NoiseDecomposition {
+                        individual: -1,
+                        competitive: 0,
+                    },
+                    unclassified: 0,
+                }),
+            ),
+            (ObserverSpec::MaxPopulation, Observation::MaxPopulation(11)),
+        ]
+    }
+
     fn report(final_state: (u64, u64), reason: StopReason) -> RunReport {
         RunReport::new(
             "test",
-            LvConfiguration::new(6, 4),
-            final_state.into(),
+            Population::new(vec![6, 4]),
+            Population::from(final_state),
             reason,
             12,
             12,
             12.0,
-            vec![
-                (
-                    ObserverSpec::EventCounts,
-                    Observation::Events(EventCounts {
-                        individual: 9,
-                        competitive: 3,
-                        bad_noncompetitive: 2,
-                        unclassified: 0,
-                    }),
-                ),
-                (
-                    ObserverSpec::NoiseDecomposition,
-                    Observation::Noise(NoiseObservation {
-                        classified: NoiseDecomposition {
-                            individual: -1,
-                            competitive: 0,
-                        },
-                        unclassified: 0,
-                    }),
-                ),
-                (ObserverSpec::MaxPopulation, Observation::MaxPopulation(11)),
-            ],
+            observations(),
+        )
+    }
+
+    fn three_species_report(final_counts: Vec<u64>, reason: StopReason) -> RunReport {
+        RunReport::new(
+            "test",
+            Population::new(vec![5, 3, 2]),
+            Population::new(final_counts),
+            reason,
+            12,
+            12,
+            12.0,
+            observations(),
         )
     }
 
@@ -205,6 +327,7 @@ mod tests {
         assert_eq!(report.noise().unwrap().classified.individual, -1);
         assert_eq!(report.max_population(), Some(11));
         assert_eq!(report.gap_trajectory(), None);
+        assert_eq!(report.species_count(), 2);
     }
 
     #[test]
@@ -224,5 +347,48 @@ mod tests {
         assert!(report.truncated());
         assert!(!report.majority_won());
         assert!(!report.to_majority_outcome().consensus_reached);
+    }
+
+    #[test]
+    fn plurality_view_reports_winner_and_margin() {
+        let report = three_species_report(vec![0, 8, 0], StopReason::ConditionMet);
+        let outcome = report.to_plurality_outcome();
+        assert_eq!(outcome.species_count(), 3);
+        assert_eq!(outcome.initial_leader, Some(0));
+        assert_eq!(outcome.winner, Some(1));
+        assert_eq!(outcome.margin, 8);
+        assert!(outcome.consensus_reached);
+        assert!(!outcome.plurality_won(), "the initial leader lost");
+        assert_eq!(outcome.individual_events, 9);
+        // No k = 2 projection for three species.
+        assert_eq!(outcome.to_majority_outcome(), None);
+    }
+
+    #[test]
+    fn plurality_margin_before_consensus_is_the_current_lead() {
+        let report = three_species_report(vec![4, 3, 1], StopReason::MaxEventsReached);
+        let outcome = report.to_plurality_outcome();
+        assert_eq!(outcome.winner, None);
+        assert_eq!(outcome.margin, 1);
+        assert!(outcome.truncated);
+        assert!(!outcome.plurality_won());
+    }
+
+    #[test]
+    fn two_species_plurality_projects_onto_majority() {
+        let report = report((7, 0), StopReason::ConditionMet);
+        let plurality = report.to_plurality_outcome();
+        assert_eq!(
+            plurality.to_majority_outcome().unwrap(),
+            report.to_majority_outcome()
+        );
+        assert_eq!(plurality.margin, 7);
+        assert!(plurality.plurality_won());
+    }
+
+    #[test]
+    #[should_panic(expected = "two-species report")]
+    fn majority_view_rejects_k_species_reports() {
+        let _ = three_species_report(vec![0, 8, 0], StopReason::ConditionMet).to_majority_outcome();
     }
 }

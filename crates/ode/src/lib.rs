@@ -20,6 +20,10 @@
 //! * [`Rkf45`] — an adaptive Runge–Kutta–Fehlberg 4(5) integrator;
 //! * [`CompetitiveLv`] — Eq. (4) with equilibrium analysis and the
 //!   deterministic winner prediction;
+//! * [`CompetitiveLvK`] — the `k`-species generalisation
+//!   `dx_i/dt = x_i (r_i − Σ_j a_ij x_j)` with a runtime dimension, the
+//!   interior-equilibrium solver (`a x = r`, Champagnat–Jabin–Raoul) and the
+//!   allocation-free [`DynRk4`] stepper;
 //! * [`OdeSolution`] — a recorded solution with interpolation helpers.
 //!
 //! No third-party ODE crate is used; both integrators are implemented here
@@ -44,10 +48,12 @@
 
 mod integrators;
 mod lotka;
+mod multik;
 mod solution;
 mod system;
 
 pub use integrators::{OdeIntegrator, Rk4, Rkf45};
 pub use lotka::{CompetitiveLv, Equilibrium};
+pub use multik::{CompetitiveLvK, DynRk4};
 pub use solution::OdeSolution;
 pub use system::OdeSystem;

@@ -1,0 +1,319 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The deterministic `k`-species competitive Lotka–Volterra system
+///
+/// ```text
+/// dx_i/dt = x_i (r_i − Σ_j a_ij x_j),      i ∈ {0, …, k−1},
+/// ```
+///
+/// with per-species intrinsic growth rates `r_i` and a `k×k` interaction
+/// matrix `a` (row-major; `a_ii` is intraspecific, `a_ij` interspecific).
+/// This is the mean-field counterpart of the stochastic `k`-species models
+/// and the system whose convergence to equilibrium Champagnat–Jabin–Raoul
+/// analyse: when the interaction matrix is positive definite the dynamics
+/// converge to the unique saturated equilibrium, and the interior coexistence
+/// equilibrium (when it exists with positive entries) solves the linear
+/// system `a x = r` — see [`CompetitiveLvK::interior_equilibrium`].
+///
+/// Unlike [`CompetitiveLv`](crate::CompetitiveLv), the dimension is a runtime
+/// value, so the system does not implement the const-generic
+/// [`OdeSystem`](crate::OdeSystem) trait; use
+/// [`derivative_into`](CompetitiveLvK::derivative_into) with the slice-based
+/// [`DynRk4`] stepper instead.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompetitiveLvK {
+    growth: Vec<f64>,
+    interaction: Vec<f64>,
+}
+
+impl CompetitiveLvK {
+    /// Creates the system from growth rates `r` (length `k`) and the
+    /// row-major interaction matrix `a` (length `k²`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, the matrix is not `k×k`, or any entry is
+    /// non-finite.
+    pub fn new(growth: Vec<f64>, interaction: Vec<f64>) -> Self {
+        let k = growth.len();
+        assert!(k > 0, "the system needs at least one species");
+        assert_eq!(
+            interaction.len(),
+            k * k,
+            "interaction matrix must be k×k (row-major)"
+        );
+        assert!(
+            growth.iter().chain(&interaction).all(|v| v.is_finite()),
+            "parameters must be finite"
+        );
+        CompetitiveLvK {
+            growth,
+            interaction,
+        }
+    }
+
+    /// Number of species `k`.
+    pub fn dimension(&self) -> usize {
+        self.growth.len()
+    }
+
+    /// The intrinsic growth rate `r_i`.
+    pub fn growth(&self, i: usize) -> f64 {
+        self.growth[i]
+    }
+
+    /// The interaction coefficient `a_ij`.
+    pub fn coefficient(&self, i: usize, j: usize) -> f64 {
+        self.interaction[i * self.dimension() + j]
+    }
+
+    /// Evaluates the derivative `f(y)` into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` or `out` has the wrong length.
+    pub fn derivative_into(&self, y: &[f64], out: &mut [f64]) {
+        let k = self.dimension();
+        assert_eq!(y.len(), k, "state dimension mismatch");
+        assert_eq!(out.len(), k, "output dimension mismatch");
+        for i in 0..k {
+            let mut pressure = 0.0;
+            let row = &self.interaction[i * k..(i + 1) * k];
+            for (a, &yj) in row.iter().zip(y) {
+                pressure += a * yj;
+            }
+            out[i] = y[i] * (self.growth[i] - pressure);
+        }
+    }
+
+    /// The interior (all-species) coexistence equilibrium: the solution `x`
+    /// of `a x = r`, computed by Gaussian elimination with partial pivoting.
+    ///
+    /// Returns `None` when the interaction matrix is (numerically) singular.
+    /// Note the solution may have non-positive entries, in which case no
+    /// feasible interior equilibrium exists — callers who need feasibility
+    /// should check the signs (Champagnat–Jabin–Raoul's saturated equilibrium
+    /// then lives on a boundary face).
+    pub fn interior_equilibrium(&self) -> Option<Vec<f64>> {
+        let k = self.dimension();
+        // Augmented system [a | r], eliminated in place.
+        let mut m = vec![0.0; k * (k + 1)];
+        for i in 0..k {
+            m[i * (k + 1)..i * (k + 1) + k].copy_from_slice(&self.interaction[i * k..(i + 1) * k]);
+            m[i * (k + 1) + k] = self.growth[i];
+        }
+        let width = k + 1;
+        for col in 0..k {
+            let pivot_row = (col..k)
+                .max_by(|&a, &b| {
+                    m[a * width + col]
+                        .abs()
+                        .total_cmp(&m[b * width + col].abs())
+                })
+                .unwrap();
+            let pivot = m[pivot_row * width + col];
+            if pivot.abs() < 1e-12 {
+                return None;
+            }
+            if pivot_row != col {
+                for j in 0..width {
+                    m.swap(col * width + j, pivot_row * width + j);
+                }
+            }
+            for row in 0..k {
+                if row == col {
+                    continue;
+                }
+                let factor = m[row * width + col] / m[col * width + col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for j in col..width {
+                    m[row * width + j] -= factor * m[col * width + j];
+                }
+            }
+        }
+        Some(
+            (0..k)
+                .map(|i| m[i * width + k] / m[i * width + i])
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for CompetitiveLvK {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-species competitive LV ODE", self.dimension())
+    }
+}
+
+/// A classical RK4 stepper over runtime-dimensioned states, with reusable
+/// stage buffers so stepping never allocates.
+///
+/// The tableau is identical to [`Rk4::single_step`](crate::Rk4::single_step);
+/// only the state representation differs (slices instead of const-generic
+/// arrays).
+///
+/// ```
+/// use lv_ode::{CompetitiveLvK, DynRk4};
+/// // Two uncoupled logistic species: dy/dt = y (1 − y).
+/// let sys = CompetitiveLvK::new(vec![1.0, 1.0], vec![1.0, 0.0, 0.0, 1.0]);
+/// let mut stepper = DynRk4::new(2);
+/// let mut y = vec![0.1, 0.5];
+/// for _ in 0..2_000 {
+///     stepper.step(&sys, &mut y, 0.01);
+/// }
+/// assert!((y[0] - 1.0).abs() < 1e-6 && (y[1] - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynRk4 {
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl DynRk4 {
+    /// Creates a stepper for `dimension`-dimensional states.
+    pub fn new(dimension: usize) -> Self {
+        DynRk4 {
+            k1: vec![0.0; dimension],
+            k2: vec![0.0; dimension],
+            k3: vec![0.0; dimension],
+            k4: vec![0.0; dimension],
+            scratch: vec![0.0; dimension],
+        }
+    }
+
+    /// Advances `y` in place by one RK4 step of length `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y`'s length differs from the stepper's dimension or the
+    /// system's.
+    pub fn step(&mut self, system: &CompetitiveLvK, y: &mut [f64], h: f64) {
+        let d = self.k1.len();
+        assert_eq!(y.len(), d, "state dimension mismatch");
+        system.derivative_into(y, &mut self.k1);
+        for ((s, &yi), &k) in self.scratch.iter_mut().zip(y.iter()).zip(&self.k1) {
+            *s = yi + h / 2.0 * k;
+        }
+        system.derivative_into(&self.scratch, &mut self.k2);
+        for ((s, &yi), &k) in self.scratch.iter_mut().zip(y.iter()).zip(&self.k2) {
+            *s = yi + h / 2.0 * k;
+        }
+        system.derivative_into(&self.scratch, &mut self.k3);
+        for ((s, &yi), &k) in self.scratch.iter_mut().zip(y.iter()).zip(&self.k3) {
+            *s = yi + h * k;
+        }
+        system.derivative_into(&self.scratch, &mut self.k4);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi += h / 6.0 * (self.k1[i] + 2.0 * self.k2[i] + 2.0 * self.k3[i] + self.k4[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompetitiveLv, OdeSystem, Rk4};
+
+    fn symmetric_3(r: f64, alpha: f64, gamma: f64) -> CompetitiveLvK {
+        let mut a = vec![alpha; 9];
+        for i in 0..3 {
+            a[i * 3 + i] = gamma;
+        }
+        CompetitiveLvK::new(vec![r; 3], a)
+    }
+
+    #[test]
+    fn derivative_matches_equation() {
+        let sys = symmetric_3(1.0, 0.5, 0.25);
+        let y = [2.0, 4.0, 1.0];
+        let mut out = [0.0; 3];
+        sys.derivative_into(&y, &mut out);
+        let expected0 = 2.0 * (1.0 - 0.25 * 2.0 - 0.5 * 4.0 - 0.5 * 1.0);
+        assert!((out[0] - expected0).abs() < 1e-12, "{out:?}");
+    }
+
+    #[test]
+    fn two_species_case_agrees_with_competitive_lv() {
+        let sym = CompetitiveLv::new(1.0, 0.5, 0.25);
+        let dynamic = CompetitiveLvK::new(vec![1.0, 1.0], vec![0.25, 0.5, 0.5, 0.25]);
+        let y = [3.0, 7.0];
+        let reference = sym.derivative(&y);
+        let mut out = [0.0; 2];
+        dynamic.derivative_into(&y, &mut out);
+        assert!((out[0] - reference[0]).abs() < 1e-12);
+        assert!((out[1] - reference[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dyn_rk4_matches_const_generic_rk4() {
+        let sym = CompetitiveLv::new(1.0, 0.1, 0.05);
+        let dynamic = CompetitiveLvK::new(vec![1.0, 1.0], vec![0.05, 0.1, 0.1, 0.05]);
+        let mut stepper = DynRk4::new(2);
+        let mut y_dyn = vec![5.0, 3.0];
+        let mut y_const = [5.0, 3.0];
+        for _ in 0..500 {
+            stepper.step(&dynamic, &mut y_dyn, 0.01);
+            y_const = Rk4::single_step(&sym, y_const, 0.01);
+        }
+        assert!((y_dyn[0] - y_const[0]).abs() < 1e-12);
+        assert!((y_dyn[1] - y_const[1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interior_equilibrium_solves_the_linear_system() {
+        // Symmetric stable-coexistence regime: γ > α ⇒ the interior
+        // equilibrium x_i = r / (γ + (k−1) α) exists and is positive.
+        let sys = symmetric_3(1.0, 0.1, 0.5);
+        let x = sys.interior_equilibrium().unwrap();
+        let expected = 1.0 / (0.5 + 2.0 * 0.1);
+        for v in &x {
+            assert!((v - expected).abs() < 1e-9, "{x:?}");
+        }
+        // The trajectory converges to it.
+        let mut stepper = DynRk4::new(3);
+        let mut y = vec![1.0, 0.5, 2.0];
+        for _ in 0..20_000 {
+            stepper.step(&sys, &mut y, 0.01);
+        }
+        for v in &y {
+            assert!((v - expected).abs() < 1e-4, "{y:?}");
+        }
+    }
+
+    #[test]
+    fn singular_interaction_matrix_has_no_interior_equilibrium() {
+        let sys = CompetitiveLvK::new(vec![1.0, 1.0], vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(sys.interior_equilibrium(), None);
+    }
+
+    #[test]
+    fn equilibrium_can_be_infeasible() {
+        // Strong asymmetric competition: the "interior" solution has a
+        // negative entry, signalling exclusion.
+        let sys = CompetitiveLvK::new(vec![1.0, 0.1], vec![1.0, 2.0, 2.0, 1.0]);
+        let x = sys.interior_equilibrium().unwrap();
+        assert!(x.iter().any(|&v| v < 0.0), "{x:?}");
+    }
+
+    #[test]
+    fn accessors_report_parameters() {
+        let sys = symmetric_3(0.75, 0.5, 0.25);
+        assert_eq!(sys.dimension(), 3);
+        assert_eq!(sys.growth(1), 0.75);
+        assert_eq!(sys.coefficient(0, 0), 0.25);
+        assert_eq!(sys.coefficient(0, 2), 0.5);
+        assert!(sys.to_string().contains("3-species"));
+    }
+
+    #[test]
+    #[should_panic(expected = "k×k")]
+    fn wrong_matrix_shape_is_rejected() {
+        let _ = CompetitiveLvK::new(vec![1.0; 3], vec![0.0; 6]);
+    }
+}

@@ -36,7 +36,9 @@ mod exact_majority;
 mod protocol;
 
 pub use andaur::{AndaurOutcome, AndaurResourceModel};
-pub use approximate_majority::ApproximateMajority;
+pub use approximate_majority::{ApproximateMajority, TriState};
 pub use czyzowicz::CzyzowiczLvProtocol;
 pub use exact_majority::ExactMajority4State;
-pub use protocol::{run_protocol, Opinion, PopulationProtocol, ProtocolOutcome};
+pub use protocol::{
+    run_protocol, Interaction, Opinion, PopulationProtocol, ProtocolOutcome, ProtocolSimulation,
+};

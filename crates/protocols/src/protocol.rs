@@ -90,6 +90,163 @@ impl ProtocolOutcome {
     }
 }
 
+/// One applied pairwise interaction, as reported by
+/// [`ProtocolSimulation::step`]: the states of the scheduled initiator and
+/// responder before and after the transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction<S> {
+    /// Initiator state before the transition.
+    pub initiator_before: S,
+    /// Responder state before the transition.
+    pub responder_before: S,
+    /// Initiator state after the transition.
+    pub initiator_after: S,
+    /// Responder state after the transition.
+    pub responder_after: S,
+}
+
+impl<S: PartialEq> Interaction<S> {
+    /// Whether the interaction changed either agent's state.
+    pub fn changed(&self) -> bool {
+        self.initiator_before != self.initiator_after
+            || self.responder_before != self.responder_after
+    }
+}
+
+/// An incremental stepper for a population protocol under the uniformly
+/// random pairwise scheduler.
+///
+/// [`run_protocol`] is a convergence-checking loop over this stepper; external
+/// drivers (e.g. the engine's `approx-majority` backend) step it one
+/// interaction at a time and interleave their own stop conditions and
+/// observers.
+///
+/// ```
+/// use lv_protocols::{ApproximateMajority, ProtocolSimulation};
+/// use rand::SeedableRng;
+///
+/// let protocol = ApproximateMajority::new();
+/// let mut sim = ProtocolSimulation::new(&protocol, 60, 40);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// while sim.opinion_counts().1 > 0 {
+///     sim.step(&mut rng);
+/// }
+/// // Opinion B can no longer win once its last supporter is gone.
+/// assert_eq!(sim.opinion_counts().1, 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProtocolSimulation<'a, P: PopulationProtocol> {
+    protocol: &'a P,
+    states: Vec<P::State>,
+    interactions: u64,
+    /// Committed-opinion counts `(#A, #B)`, maintained incrementally.
+    opinions: (u64, u64),
+}
+
+impl<'a, P: PopulationProtocol> ProtocolSimulation<'a, P> {
+    /// Creates a simulation with `a` agents holding opinion A and `b` agents
+    /// holding opinion B.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population `a + b` is smaller than two.
+    pub fn new(protocol: &'a P, a: u64, b: u64) -> Self {
+        let n = a + b;
+        assert!(n >= 2, "population protocols need at least two agents");
+        let mut states: Vec<P::State> = Vec::with_capacity(n as usize);
+        states.extend((0..a).map(|_| protocol.initial_state(Opinion::A)));
+        states.extend((0..b).map(|_| protocol.initial_state(Opinion::B)));
+        let mut sim = ProtocolSimulation {
+            protocol,
+            states,
+            interactions: 0,
+            opinions: (0, 0),
+        };
+        sim.opinions = sim.count_opinions();
+        sim
+    }
+
+    fn count_opinions(&self) -> (u64, u64) {
+        let mut counts = (0u64, 0u64);
+        for &s in &self.states {
+            match self.protocol.output(s) {
+                Some(Opinion::A) => counts.0 += 1,
+                Some(Opinion::B) => counts.1 += 1,
+                None => {}
+            }
+        }
+        counts
+    }
+
+    /// The per-agent states.
+    pub fn states(&self) -> &[P::State] {
+        &self.states
+    }
+
+    /// Number of agents.
+    pub fn population(&self) -> u64 {
+        self.states.len() as u64
+    }
+
+    /// Number of interactions performed so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The number of agents currently outputting opinion A and B
+    /// (undecided agents are in neither count), maintained incrementally.
+    pub fn opinion_counts(&self) -> (u64, u64) {
+        self.opinions
+    }
+
+    /// Whether every agent outputs the same opinion.
+    pub fn has_converged(&self) -> bool {
+        self.protocol.has_converged(&self.states)
+    }
+
+    /// The consensus opinion, if converged.
+    pub fn decision(&self) -> Option<Opinion> {
+        if self.has_converged() {
+            self.states.first().and_then(|&s| self.protocol.output(s))
+        } else {
+            None
+        }
+    }
+
+    /// Schedules one uniformly random ordered pair of distinct agents and
+    /// applies the protocol's transition.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Interaction<P::State> {
+        let i = rng.gen_range(0..self.states.len());
+        let mut j = rng.gen_range(0..self.states.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (initiator_before, responder_before) = (self.states[i], self.states[j]);
+        let (si, sj) = self.protocol.transition(initiator_before, responder_before);
+        self.states[i] = si;
+        self.states[j] = sj;
+        self.interactions += 1;
+        for (before, after) in [(initiator_before, si), (responder_before, sj)] {
+            match self.protocol.output(before) {
+                Some(Opinion::A) => self.opinions.0 -= 1,
+                Some(Opinion::B) => self.opinions.1 -= 1,
+                None => {}
+            }
+            match self.protocol.output(after) {
+                Some(Opinion::A) => self.opinions.0 += 1,
+                Some(Opinion::B) => self.opinions.1 += 1,
+                None => {}
+            }
+        }
+        Interaction {
+            initiator_before,
+            responder_before,
+            initiator_after: si,
+            responder_after: sj,
+        }
+    }
+}
+
 /// Runs a population protocol with `a` agents holding opinion A and `b`
 /// agents holding opinion B under the uniformly random pairwise scheduler,
 /// until convergence or `max_interactions` interactions.
@@ -104,13 +261,8 @@ pub fn run_protocol<P: PopulationProtocol, R: Rng + ?Sized>(
     rng: &mut R,
     max_interactions: u64,
 ) -> ProtocolOutcome {
-    let n = a + b;
-    assert!(n >= 2, "population protocols need at least two agents");
-    let mut states: Vec<P::State> = Vec::with_capacity(n as usize);
-    states.extend((0..a).map(|_| protocol.initial_state(Opinion::A)));
-    states.extend((0..b).map(|_| protocol.initial_state(Opinion::B)));
-
-    let mut interactions = 0u64;
+    let mut sim = ProtocolSimulation::new(protocol, a, b);
+    let n = sim.population();
     // Convergence is only checked every `n` interactions to keep the check
     // from dominating the run time; this can overshoot the interaction count
     // by at most one epoch.
@@ -124,26 +276,18 @@ pub fn run_protocol<P: PopulationProtocol, R: Rng + ?Sized>(
         truncated: false,
     };
     loop {
-        if protocol.has_converged(&states) {
-            outcome.decision = states.first().and_then(|&s| protocol.output(s));
-            outcome.interactions = interactions;
+        if sim.has_converged() {
+            outcome.decision = sim.decision();
+            outcome.interactions = sim.interactions();
             return outcome;
         }
-        if interactions >= max_interactions {
+        if sim.interactions() >= max_interactions {
             outcome.truncated = true;
-            outcome.interactions = interactions;
+            outcome.interactions = sim.interactions();
             return outcome;
         }
         for _ in 0..check_every {
-            let i = rng.gen_range(0..states.len());
-            let mut j = rng.gen_range(0..states.len() - 1);
-            if j >= i {
-                j += 1;
-            }
-            let (si, sj) = protocol.transition(states[i], states[j]);
-            states[i] = si;
-            states[j] = sj;
-            interactions += 1;
+            sim.step(rng);
         }
     }
 }
@@ -230,5 +374,48 @@ mod tests {
     fn tiny_population_is_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
         let _ = run_protocol(&Infection, 1, 0, &mut rng, 10);
+    }
+
+    #[test]
+    fn stepper_tracks_interactions_and_opinion_counts() {
+        let mut sim = ProtocolSimulation::new(&Infection, 3, 2);
+        assert_eq!(sim.population(), 5);
+        assert_eq!(sim.opinion_counts(), (3, 2));
+        assert!(!sim.has_converged());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut changes = 0u64;
+        while !sim.has_converged() {
+            let interaction = sim.step(&mut rng);
+            if interaction.changed() {
+                changes += 1;
+            }
+        }
+        let (a, b) = sim.opinion_counts();
+        assert!(a == 5 || b == 5, "({a}, {b})");
+        assert!(changes > 0 && changes <= sim.interactions());
+        assert!(sim.decision().is_some());
+        // The incremental counts match a from-scratch recount.
+        assert_eq!(sim.opinion_counts(), sim.count_opinions());
+    }
+
+    #[test]
+    fn run_protocol_is_a_loop_over_the_stepper() {
+        // Same seed ⇒ same RNG consumption order ⇒ identical outcome whether
+        // driven by run_protocol or manually through the stepper.
+        let by_run = {
+            let mut rng = StdRng::seed_from_u64(11);
+            run_protocol(&Infection, 20, 10, &mut rng, 1_000_000)
+        };
+        let by_stepper = {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut sim = ProtocolSimulation::new(&Infection, 20, 10);
+            while !sim.has_converged() {
+                for _ in 0..sim.population() {
+                    sim.step(&mut rng);
+                }
+            }
+            sim.interactions()
+        };
+        assert_eq!(by_run.interactions, by_stepper);
     }
 }

@@ -22,10 +22,12 @@
 //! | E11 | §2.2 population-protocol baselines | [`baselines::e11_population_protocols`] |
 //! | E12 | §1.6 ablation: γ/α sweep | [`ablation::e12_gamma_sweep`] |
 //! | E13 | §5.1 pseudo-coupling domination | [`ablation::e13_pseudo_coupling`] |
+//! | E14 | k-species plurality consensus (beyond the paper) | [`multispecies::e14_multispecies_plurality`] |
 
 pub mod ablation;
 pub mod baselines;
 pub mod curves;
+pub mod multispecies;
 pub mod scaling;
 pub mod table1;
 
@@ -167,6 +169,7 @@ pub fn run_all(config: ExperimentConfig) -> Vec<ExperimentReport> {
         baselines::e11_population_protocols(config),
         ablation::e12_gamma_sweep(config),
         ablation::e13_pseudo_coupling(config),
+        multispecies::e14_multispecies_plurality(config),
     ]
 }
 
@@ -187,6 +190,7 @@ pub fn run_by_id(id: &str, config: ExperimentConfig) -> Option<ExperimentReport>
         "e11" => baselines::e11_population_protocols(config),
         "e12" => ablation::e12_gamma_sweep(config),
         "e13" => ablation::e13_pseudo_coupling(config),
+        "e14" => multispecies::e14_multispecies_plurality(config),
         _ => return None,
     };
     Some(report)

@@ -12,9 +12,10 @@
 //! * [`ScalingLaw`] / [`ScalingFit`] — least-squares fits of measured
 //!   thresholds or times against the candidate asymptotic laws
 //!   (`log² n`, `√(n log n)`, `√n`, `n`, …);
-//! * [`experiments`] — one module per experiment of DESIGN.md (E1–E13), each
+//! * [`experiments`] — one module per experiment of DESIGN.md (E1–E14), each
 //!   producing a printable report; together they regenerate every row of
-//!   Table 1 plus the supporting scaling results;
+//!   Table 1 plus the supporting scaling results and the k-species
+//!   plurality suite;
 //! * [`report`] — minimal ASCII table rendering used by the reports and the
 //!   `experiments` binary in the benchmark crate.
 //!
@@ -46,7 +47,7 @@ pub mod stats;
 mod threshold;
 
 pub use estimate::SuccessEstimate;
-pub use montecarlo::{ConsensusStats, MonteCarlo};
+pub use montecarlo::{ConsensusStats, MonteCarlo, PluralityStats};
 pub use scaling::{ScalingFit, ScalingLaw};
 pub use seed::Seed;
 pub use threshold::{ThresholdResult, ThresholdSearch};

@@ -2,7 +2,7 @@ use crate::estimate::SuccessEstimate;
 use crate::seed::Seed;
 use crate::stats;
 use lv_crn::StopCondition;
-use lv_engine::{RunReport, Scenario};
+use lv_engine::{PluralityOutcome, RunReport, Scenario};
 use lv_lotka::{LvModel, MajorityOutcome};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
@@ -145,6 +145,110 @@ impl fmt::Display for ConsensusStats {
             f,
             "noise F: mean {:.2} sd {:.2}; F_comp mean {:.2}",
             self.mean_noise, self.noise_std_dev, self.mean_competitive_noise
+        )
+    }
+}
+
+/// Aggregate statistics of plurality-consensus observables over a batch of
+/// `k`-species trials — the multi-species counterpart of
+/// [`ConsensusStats`].
+///
+/// All fractions and means aggregate over the *completed* (consensus-
+/// reaching) trials only; [`PluralityStats::has_completed_trials`]
+/// distinguishes "species 0 never won" from "nothing finished".
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PluralityStats {
+    /// Number of species `k`.
+    pub species: usize,
+    /// Total number of trials run.
+    pub trials: u64,
+    /// Number of completed (consensus-reaching) trials.
+    pub completed: u64,
+    /// Number of truncated trials.
+    pub truncated: u64,
+    /// Per-species fraction of completed trials won, indexed by species.
+    pub win_fractions: Vec<f64>,
+    /// Fraction of completed trials ending with *every* species extinct.
+    pub no_survivor_fraction: f64,
+    /// Fraction of completed trials won by the initial plurality leader.
+    pub leader_win_fraction: f64,
+    /// Mean consensus time `T(S)` in events over completed trials.
+    pub mean_events: f64,
+    /// Mean final plurality margin over completed trials.
+    pub mean_margin: f64,
+    /// Largest total population observed over all trials.
+    pub max_population: u64,
+}
+
+impl PluralityStats {
+    /// Whether any trial completed. When `false`, every fraction and mean is
+    /// a placeholder `0.0`, not a measurement.
+    pub fn has_completed_trials(&self) -> bool {
+        self.completed > 0
+    }
+
+    fn from_outcomes(species: usize, outcomes: &[PluralityOutcome]) -> PluralityStats {
+        let completed: Vec<&PluralityOutcome> =
+            outcomes.iter().filter(|o| o.consensus_reached).collect();
+        let truncated = outcomes.iter().filter(|o| o.truncated).count() as u64;
+        let fraction = |count: usize| {
+            if completed.is_empty() {
+                0.0
+            } else {
+                count as f64 / completed.len() as f64
+            }
+        };
+        let win_fractions = (0..species)
+            .map(|i| fraction(completed.iter().filter(|o| o.winner == Some(i)).count()))
+            .collect();
+        PluralityStats {
+            species,
+            trials: outcomes.len() as u64,
+            completed: completed.len() as u64,
+            truncated,
+            win_fractions,
+            no_survivor_fraction: fraction(completed.iter().filter(|o| o.winner.is_none()).count()),
+            leader_win_fraction: fraction(completed.iter().filter(|o| o.plurality_won()).count()),
+            mean_events: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.events as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            mean_margin: stats::mean(
+                &completed
+                    .iter()
+                    .map(|o| o.margin as f64)
+                    .collect::<Vec<_>>(),
+            ),
+            max_population: outcomes.iter().map(|o| o.max_population).max().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Display for PluralityStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "k = {}: trials {} (completed {}, truncated {}), leader wins {:.3}, none survive {:.3}",
+            self.species,
+            self.trials,
+            self.completed,
+            self.truncated,
+            self.leader_win_fraction,
+            self.no_survivor_fraction
+        )?;
+        write!(f, "wins by species: [")?;
+        for (i, w) in self.win_fractions.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{w:.3}")?;
+        }
+        write!(
+            f,
+            "]; T(S) mean {:.1}; margin mean {:.1}; max pop {}",
+            self.mean_events, self.mean_margin, self.max_population
         )
     }
 }
@@ -392,7 +496,17 @@ impl MonteCarlo {
     /// Like [`MonteCarlo::consensus_stats`], but over an explicit scenario
     /// (which should carry the event-count, noise and max-population
     /// observers — [`Scenario::majority`] does).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has more than two species; use
+    /// [`MonteCarlo::plurality_stats`] there.
     pub fn consensus_stats_scenario(&self, scenario: &Scenario) -> ConsensusStats {
+        assert_eq!(
+            scenario.species_count(),
+            2,
+            "consensus_stats_scenario requires a two-species scenario; use plurality_stats"
+        );
         let outcomes: Vec<MajorityOutcome> = self.run_batch(
             scenario,
             |_, report| vec![report.to_majority_outcome()],
@@ -403,6 +517,35 @@ impl MonteCarlo {
             },
         );
         ConsensusStats::from_outcomes(&outcomes)
+    }
+
+    /// Collects plurality-consensus statistics over a batch of trials of a
+    /// `k`-species scenario (which should carry the observers
+    /// [`Scenario::plurality`] attaches).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured backend does not support the scenario's
+    /// species count (e.g. `"approx-majority"` on a `k > 2` scenario).
+    pub fn plurality_stats(&self, scenario: &Scenario) -> PluralityStats {
+        let backend =
+            lv_engine::backend(self.backend).expect("constructor validated the backend name");
+        assert!(
+            backend.supports_species(scenario.species_count()),
+            "backend {:?} does not support {}-species scenarios",
+            self.backend,
+            scenario.species_count()
+        );
+        let outcomes: Vec<PluralityOutcome> = self.run_batch(
+            scenario,
+            |_, report| vec![report.to_plurality_outcome()],
+            Vec::new(),
+            |mut acc, mut v| {
+                acc.append(&mut v);
+                acc
+            },
+        );
+        PluralityStats::from_outcomes(scenario.species_count(), &outcomes)
     }
 }
 
@@ -432,6 +575,7 @@ mod tests {
             "next-reaction",
             "tau-leaping",
             "ode",
+            "approx-majority",
         ] {
             let mc1 = MonteCarlo::new(64, Seed::from(5))
                 .with_threads(1)
@@ -531,6 +675,89 @@ mod tests {
             stats.truncated, 0,
             "ConditionMet stops mislabeled as truncated"
         );
+    }
+
+    #[test]
+    fn plurality_stats_cover_k_species_batches() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![60, 20, 20]);
+        let mc = MonteCarlo::new(60, Seed::from(11));
+        let stats = mc.plurality_stats(&scenario);
+        assert_eq!(stats.species, 3);
+        assert_eq!(stats.trials, 60);
+        assert!(stats.has_completed_trials());
+        assert_eq!(stats.win_fractions.len(), 3);
+        let total_wins: f64 = stats.win_fractions.iter().sum::<f64>() + stats.no_survivor_fraction;
+        assert!((total_wins - 1.0).abs() < 1e-9, "win fractions {stats:?}");
+        // A 3:1 planted majority wins most of the time.
+        assert!(
+            stats.leader_win_fraction > 0.7,
+            "leader won only {}",
+            stats.leader_win_fraction
+        );
+        assert!(stats.mean_events > 0.0);
+        assert!(stats.max_population >= 100);
+        assert!(stats.to_string().contains("k = 3"));
+    }
+
+    #[test]
+    fn k3_batches_run_on_all_five_lv_backends() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![60, 20, 20]).with_tau(0.01);
+        for name in [
+            "jump-chain",
+            "gillespie-direct",
+            "next-reaction",
+            "tau-leaping",
+            "ode",
+        ] {
+            let mc = MonteCarlo::new(16, Seed::from(14)).with_backend(name);
+            let stats = mc.plurality_stats(&scenario);
+            assert_eq!(stats.species, 3, "{name}");
+            assert_eq!(stats.trials, 16, "{name}");
+            assert!(stats.has_completed_trials(), "{name}: nothing finished");
+            assert!(
+                stats.leader_win_fraction > 0.5,
+                "{name}: planted 3:1 majority won only {}",
+                stats.leader_win_fraction
+            );
+        }
+    }
+
+    #[test]
+    fn plurality_stats_are_reproducible_across_thread_counts() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::cyclic(CompetitionKind::NonSelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![30, 25, 25]);
+        let a = MonteCarlo::new(40, Seed::from(12))
+            .with_threads(1)
+            .plurality_stats(&scenario);
+        let b = MonteCarlo::new(40, Seed::from(12))
+            .with_threads(4)
+            .plurality_stats(&scenario);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a two-species scenario")]
+    fn consensus_stats_reject_k_species_scenarios_up_front() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![10, 10, 10]);
+        let _ = MonteCarlo::new(5, Seed::from(15)).consensus_stats_scenario(&scenario);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn plurality_stats_reject_unsupported_backends() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![10, 10, 10]);
+        let _ = MonteCarlo::new(5, Seed::from(13))
+            .with_backend("approx-majority")
+            .plurality_stats(&scenario);
     }
 
     #[test]

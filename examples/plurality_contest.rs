@@ -1,0 +1,49 @@
+//! k-species plurality consensus: run the named multi-species scenario
+//! presets — 3-species cyclic competition, the planted 4-species plurality
+//! and the two-vs-many coalition — on every backend that supports them, and
+//! aggregate plurality statistics over a Monte-Carlo batch.
+//!
+//! ```sh
+//! cargo run --release --example plurality_contest
+//! ```
+
+use lv_consensus::engine::{presets, BackendRegistry};
+use lv_consensus::sim::{MonteCarlo, Seed};
+
+fn main() {
+    let n = 600;
+    let trials = 200;
+
+    for preset in presets::presets() {
+        let scenario = preset.build(n);
+        println!(
+            "## {} (k = {}, n = {}): {}",
+            preset.name(),
+            preset.species_count(),
+            n,
+            preset.description()
+        );
+        println!("   initial population: {}", scenario.initial());
+
+        for backend in BackendRegistry::global().iter_supporting(preset.species_count()) {
+            let mc = MonteCarlo::new(trials, Seed::from(2024)).with_backend(backend.name());
+            let stats = mc.plurality_stats(&scenario);
+            print!(
+                "   {:>16}: leader wins {:.3}, wins by species [",
+                backend.name(),
+                stats.leader_win_fraction
+            );
+            for (i, w) in stats.win_fractions.iter().enumerate() {
+                if i > 0 {
+                    print!(", ");
+                }
+                print!("{w:.2}");
+            }
+            println!(
+                "], mean T(S) {:.0}, truncated {}/{}",
+                stats.mean_events, stats.truncated, stats.trials
+            );
+        }
+        println!();
+    }
+}

@@ -11,22 +11,27 @@
 //! * [`chains`] — single-species birth–death chains, the “nice chain”
 //!   abstraction, the dominating chain of §5.2 and the asynchronous
 //!   pseudo-coupling of §5.1.
-//! * [`lotka`] — the two-species competitive Lotka–Volterra models of §1.3 and
-//!   the majority-consensus observables (consensus time, winner, gap
-//!   trajectory, noise decomposition).
-//! * [`ode`] — the deterministic competitive Lotka–Volterra ODE (Eq. 4) with
-//!   in-repo Runge–Kutta integrators.
-//! * [`engine`] — the unified simulation API: a [`engine::Scenario`]
-//!   description (model + initial configuration + stop condition + observers)
-//!   executed by any [`engine::Backend`] from the string-keyed registry
-//!   (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
-//!   `"tau-leaping"`, `"ode"`).
+//! * [`lotka`] — the competitive Lotka–Volterra models: the paper's
+//!   two-species models of §1.3, the general `k`-species
+//!   [`lotka::MultiLvModel`] (k×k attack matrix) with the dense
+//!   [`lotka::Population`] state, and the majority/plurality observables
+//!   (consensus time, winner, margin trajectory, noise decomposition).
+//! * [`ode`] — the deterministic competitive Lotka–Volterra ODE (Eq. 4), its
+//!   `k`-species generalisation with the Champagnat–Jabin–Raoul interior
+//!   equilibrium solver, and in-repo Runge–Kutta integrators.
+//! * [`engine`] — the unified simulation API: a `k`-species
+//!   [`engine::Scenario`] description (model + initial population + stop
+//!   condition + observers) executed by any [`engine::Backend`] from the
+//!   open string-keyed registry (`"jump-chain"`, `"gillespie-direct"`,
+//!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, `"approx-majority"`),
+//!   plus named multi-species scenario presets ([`engine::presets`]).
 //! * [`protocols`] — baseline protocols from related work (3-state approximate
 //!   majority, 4-state exact majority, Czyzowicz et al. LV population
 //!   protocol, Andaur et al. resource-consumer model).
-//! * [`sim`] — Monte-Carlo engine over scenario batches, estimators,
-//!   threshold search, scaling fits and the experiment suite that regenerates
-//!   Table 1 of the paper.
+//! * [`sim`] — Monte-Carlo engine over scenario batches, estimators
+//!   (including `k`-species [`sim::PluralityStats`]), threshold search,
+//!   scaling fits and the experiment suite that regenerates Table 1 of the
+//!   paper plus the multi-species plurality suite.
 //!
 //! # Quick start
 //!
