@@ -1,0 +1,56 @@
+//! Throughput of the streaming batch executor: the same Monte-Carlo batch
+//! folded sequentially, on the work-stealing worker pool, and with early
+//! stopping — the numbers show the sharded stream's scaling and how many
+//! trials the sequential stopping rule saves on an easy margin.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lv_bench::{bench_seed, BENCH_N};
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_sim::{EarlyStop, MonteCarlo};
+use std::hint::black_box;
+
+/// Enough trials that worker spawn/teardown amortises and the sharded
+/// stream's scaling is visible (the per-trial kernel is a few microseconds).
+const STREAM_TRIALS: u64 = 512;
+
+fn bench(c: &mut Criterion) {
+    let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+    let a = BENCH_N * 55 / 100;
+    let b_count = BENCH_N - a;
+
+    let mut group = c.benchmark_group("batch_streaming");
+    group.sample_size(10);
+
+    for threads in [1usize, 4] {
+        let mc = MonteCarlo::new(STREAM_TRIALS, bench_seed()).with_threads(threads);
+        group.bench_function(
+            format!("success_probability_{STREAM_TRIALS}trials_{threads}threads"),
+            |b| {
+                b.iter(|| {
+                    black_box(mc.success_probability(&model, black_box(a), black_box(b_count)))
+                })
+            },
+        );
+    }
+
+    // Early stopping on a clear majority: the Wilson half-width target is
+    // reached long before the trial cap, so the measured time is the cost of
+    // "run until the estimate is tight" rather than a fixed batch.
+    let mc = MonteCarlo::new(100_000, bench_seed()).with_threads(4);
+    let rule = EarlyStop::at_half_width(0.05).with_min_trials(16);
+    group.bench_function("success_probability_until_hw0.05_4threads", |b| {
+        b.iter(|| {
+            black_box(mc.success_probability_until(
+                &model,
+                black_box(BENCH_N * 3 / 4),
+                black_box(BENCH_N / 4),
+                rule,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_bench::{bench_seed, BENCH_N};
 use lv_engine::{BackendRegistry, Scenario};
-use lv_lotka::{CompetitionKind, LvModel};
+use lv_lotka::{CompetitionKind, LvModel, MultiLvModel};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -27,6 +27,40 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut rng = bench_seed().rng_for_trial(trial as u64);
                 black_box(backend.run(black_box(&scenario), &mut rng))
+            })
+        });
+    }
+
+    group.finish();
+    bench_k6(c);
+}
+
+/// The `k`-species kernels, where reaction-local (Gibson–Bruck style)
+/// propensity and clock maintenance pays: a symmetric 6-species network has
+/// O(k²) reactions of which each firing touches only O(k), so the exact CRN
+/// simulators skip most of the per-event recomputation. The budget fixes the
+/// work at exactly 5000 events per run, making the per-event kernel cost
+/// comparable even across code versions with different RNG streams.
+fn bench_k6(c: &mut Criterion) {
+    let k = 6usize;
+    let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, k, 1.0, 1.0, 1.0);
+    let scenario = Scenario::new(model, vec![5_000u64; k])
+        .with_stop(lv_crn::StopCondition::consensus().with_max_events(5_000));
+
+    let mut group = c.benchmark_group("simulator_kernels_k6");
+    group.sample_size(20);
+
+    for (trial, name) in ["jump-chain", "gillespie-direct", "next-reaction"]
+        .iter()
+        .enumerate()
+    {
+        let backend = lv_engine::backend(name).unwrap();
+        group.bench_function(format!("{name}_5000events_k6"), |b| {
+            b.iter(|| {
+                let mut rng = bench_seed().rng_for_trial(100 + trial as u64);
+                let report = backend.run(black_box(&scenario), &mut rng);
+                assert_eq!(report.events, 5_000, "{name}: run must truncate");
+                black_box(report)
             })
         });
     }

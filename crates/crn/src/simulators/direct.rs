@@ -123,10 +123,7 @@ impl<'a, R: Rng> StochasticSimulator for GillespieDirect<'a, R> {
         self.last_fired = Some(index);
         self.time += wait;
         self.events += 1;
-        Some(Event {
-            reaction: ReactionId::new(index),
-            time: self.time,
-        })
+        Some(Event::fired(ReactionId::new(index), self.time))
     }
 }
 
@@ -275,7 +272,7 @@ mod tests {
         let mut sim = GillespieDirect::new(&net, State::from(vec![30, 25, 20]), rng(42));
         for &(expected_reaction, expected_time) in &reference {
             let event = sim.step().expect("simulator died before the reference");
-            assert_eq!(event.reaction.index(), expected_reaction);
+            assert_eq!(event.reaction, Some(ReactionId::new(expected_reaction)));
             assert_eq!(event.time.to_bits(), expected_time);
         }
         assert_eq!(sim.state(), &reference_state);

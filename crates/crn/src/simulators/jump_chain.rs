@@ -1,5 +1,5 @@
 use crate::network::ValidatedNetwork;
-use crate::propensity::PropensityCache;
+use crate::propensity::{PropensityCache, ReactionDependencies};
 use crate::reaction::ReactionId;
 use crate::simulators::{Event, StochasticSimulator};
 use crate::state::State;
@@ -20,12 +20,23 @@ use std::fmt;
 /// *number of events* before consensus (the paper's `T(S)`, `I(S)`, `K(S)`,
 /// `J(S)`), the jump chain is the natural simulator and is what `lv-lotka`
 /// uses by default.
+///
+/// Propensity maintenance is *reaction-local* (Gibson–Bruck style), exactly
+/// as in [`GillespieDirect`](crate::simulators::GillespieDirect): after a
+/// firing only the propensities in the fired reaction's
+/// [`ReactionDependencies`] set are recomputed, which is bit-identical to a
+/// full recomputation and therefore perturbs no RNG stream.
 pub struct JumpChain<'a, R> {
     network: &'a ValidatedNetwork,
     state: State,
     events: u64,
     rng: R,
     cache: PropensityCache,
+    dependencies: ReactionDependencies,
+    /// The reaction fired by the previous step, whose dependency set is the
+    /// only part of the cache that can be stale. `None` before the first
+    /// step (full refresh required).
+    last_fired: Option<usize>,
 }
 
 impl<'a, R: fmt::Debug> fmt::Debug for JumpChain<'a, R> {
@@ -53,6 +64,8 @@ impl<'a, R: Rng> JumpChain<'a, R> {
             events: 0,
             rng,
             cache: PropensityCache::new(),
+            dependencies: ReactionDependencies::new(network),
+            last_fired: None,
         }
     }
 
@@ -88,7 +101,14 @@ impl<'a, R: Rng> StochasticSimulator for JumpChain<'a, R> {
     }
 
     fn step(&mut self) -> Option<Event> {
-        let total = self.cache.refresh(self.network, &self.state);
+        let total = match self.last_fired {
+            Some(fired) => self.cache.refresh_affected(
+                self.network,
+                &self.state,
+                self.dependencies.affected(fired),
+            ),
+            None => self.cache.refresh(self.network, &self.state),
+        };
         if total <= 0.0 {
             return None;
         }
@@ -98,11 +118,9 @@ impl<'a, R: Rng> StochasticSimulator for JumpChain<'a, R> {
         self.state
             .apply(reaction)
             .expect("selected reaction must be applicable: propensity was positive");
+        self.last_fired = Some(index);
         self.events += 1;
-        Some(Event {
-            reaction: ReactionId::new(index),
-            time: self.events as f64,
-        })
+        Some(Event::fired(ReactionId::new(index), self.events as f64))
     }
 }
 
@@ -202,5 +220,51 @@ mod tests {
             (outcome.events, outcome.final_state)
         };
         assert_eq!(run(7), run(7));
+    }
+
+    /// The reaction-local propensity path must be bit-identical to a naive
+    /// full-recompute reference on the same RNG stream (the same pinning the
+    /// direct method carries).
+    #[test]
+    fn reaction_local_updates_match_full_recompute_reference() {
+        let mut net = ReactionNetwork::new();
+        let species: Vec<_> = (0..4).map(|i| net.add_species(format!("X{i}"))).collect();
+        for (i, &s) in species.iter().enumerate() {
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1).product(s, 2));
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1));
+            let other = species[(i + 1) % 4];
+            net.add_reaction(Reaction::new(0.5).reactant(s, 1).reactant(other, 1));
+        }
+        let net = net.validate().unwrap();
+
+        // Reference: full refresh before every step, same sampling order.
+        let mut reference_rng = rng(42);
+        let mut reference_state = State::from(vec![30, 25, 20, 15]);
+        let mut reference_cache = crate::propensity::PropensityCache::new();
+        let mut reference: Vec<usize> = Vec::new();
+        for _ in 0..500 {
+            let total = reference_cache.refresh(&net, &reference_state);
+            if total <= 0.0 {
+                break;
+            }
+            let target = reference_rng.gen::<f64>() * total;
+            let Some(index) = reference_cache.select(target) else {
+                break;
+            };
+            reference_state.apply(&net.reactions()[index]).unwrap();
+            reference.push(index);
+        }
+        assert!(reference.len() > 100, "reference run ended early");
+
+        let mut sim = JumpChain::new(&net, State::from(vec![30, 25, 20, 15]), rng(42));
+        for (step, &expected_reaction) in reference.iter().enumerate() {
+            let event = sim.step().expect("simulator died before the reference");
+            assert_eq!(
+                event.reaction,
+                Some(ReactionId::new(expected_reaction)),
+                "diverged at step {step}"
+            );
+        }
+        assert_eq!(sim.state(), &reference_state);
     }
 }

@@ -39,11 +39,31 @@ use crate::trajectory::Trajectory;
 /// A single simulated event: which reaction fired and at what time.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Event {
-    /// The reaction that fired.
-    pub reaction: ReactionId,
+    /// The reaction that fired. `None` marks an *empty step*: an accepted
+    /// tau-leap in which no reaction fired, which advances the clock but
+    /// changes no counts. Per-event simulators always report `Some`.
+    pub reaction: Option<ReactionId>,
     /// The simulation time immediately after the event. For discrete-time
     /// simulators this is the event index.
     pub time: f64,
+}
+
+impl Event {
+    /// An event reporting a firing of `reaction` at `time`.
+    pub fn fired(reaction: ReactionId, time: f64) -> Event {
+        Event {
+            reaction: Some(reaction),
+            time,
+        }
+    }
+
+    /// An empty step (no reaction fired; the clock advanced to `time`).
+    pub fn empty(time: f64) -> Event {
+        Event {
+            reaction: None,
+            time,
+        }
+    }
 }
 
 /// Common interface of all stochastic simulators.

@@ -1,24 +1,30 @@
 use crate::distributions::sample_exponential;
 use crate::network::ValidatedNetwork;
-use crate::propensity::propensity;
+use crate::propensity::{propensity, ReactionDependencies};
 use crate::reaction::ReactionId;
 use crate::simulators::{Event, StochasticSimulator};
 use crate::state::State;
 use rand::Rng;
 use std::fmt;
 
-/// The next-reaction formulation of exact stochastic simulation.
+/// The next-reaction formulation of exact stochastic simulation
+/// (Gibson–Bruck 2000).
 ///
 /// Each reaction keeps a putative absolute firing time, exponentially
-/// distributed with its current propensity; the earliest clock fires. Because
-/// the Lotka–Volterra networks in this workspace are tiny (a handful of
-/// reactions) and *every* propensity depends on the species counts touched by
-/// every reaction, all clocks are redrawn after each event. This keeps the
-/// method exact and statistically identical to [`GillespieDirect`]
-/// (it is then Gillespie's first-reaction method, the degenerate case of the
-/// Gibson–Bruck next-reaction method when the dependency graph is complete)
-/// while exercising an independent code path — useful as a cross-validation
-/// oracle in tests.
+/// distributed with its current propensity; the earliest clock fires. After a
+/// firing, only the clocks of the reactions in the fired reaction's
+/// [`ReactionDependencies`] set are redrawn — every other reaction's
+/// propensity is a pure function of unchanged species counts, so by
+/// memorylessness its putative absolute time remains exactly distributed and
+/// can be kept as is. (The classic Gibson–Bruck method *rescales* surviving
+/// affected clocks to reuse randomness; redrawing them instead is equally
+/// exact and keeps the implementation free of per-clock bookkeeping.)
+///
+/// For the `k`-species Lotka–Volterra networks only `O(k)` of the `O(k²)`
+/// reactions are affected per firing, so both the propensity updates and the
+/// exponential draws drop from `O(k²)` to `O(k)` per event. The method stays
+/// statistically identical to [`GillespieDirect`] and is exercised as a
+/// cross-validation oracle in tests.
 ///
 /// [`GillespieDirect`]: crate::simulators::GillespieDirect
 pub struct NextReaction<'a, R> {
@@ -28,6 +34,16 @@ pub struct NextReaction<'a, R> {
     events: u64,
     rng: R,
     clocks: Vec<f64>,
+    /// For each reaction `r`, the sorted set of clocks to redraw after `r`
+    /// fires: `affected(r) ∪ {r}` (the fired clock must always be redrawn,
+    /// even for a net-zero catalytic reaction whose propensity is unchanged).
+    /// Propensities are computed on demand for exactly these reactions —
+    /// unaffected propensities are never read, so no cache (and no total
+    /// re-sum) is maintained at all.
+    redraw_sets: Vec<Vec<u32>>,
+    /// The reaction fired by the previous step; `None` before the first step
+    /// (all clocks need drawing).
+    last_fired: Option<usize>,
 }
 
 impl<'a, R: fmt::Debug> fmt::Debug for NextReaction<'a, R> {
@@ -50,6 +66,16 @@ impl<'a, R: Rng> NextReaction<'a, R> {
         network
             .check_state(&initial)
             .expect("initial state must match the network dimension");
+        let dependencies = ReactionDependencies::new(network);
+        let redraw_sets = (0..network.reaction_count())
+            .map(|r| {
+                let mut set: Vec<u32> = dependencies.affected(r).to_vec();
+                if let Err(slot) = set.binary_search(&(r as u32)) {
+                    set.insert(slot, r as u32);
+                }
+                set
+            })
+            .collect();
         let clocks = vec![f64::INFINITY; network.reaction_count()];
         NextReaction {
             network,
@@ -58,23 +84,14 @@ impl<'a, R: Rng> NextReaction<'a, R> {
             events: 0,
             rng,
             clocks,
+            redraw_sets,
+            last_fired: None,
         }
     }
 
     /// The network being simulated.
     pub fn network(&self) -> &'a ValidatedNetwork {
         self.network
-    }
-
-    fn redraw_clocks(&mut self) {
-        for (i, reaction) in self.network.reactions().iter().enumerate() {
-            let a = propensity(reaction, &self.state);
-            self.clocks[i] = if a > 0.0 {
-                self.time + sample_exponential(&mut self.rng, a)
-            } else {
-                f64::INFINITY
-            };
-        }
     }
 }
 
@@ -92,7 +109,30 @@ impl<'a, R: Rng> StochasticSimulator for NextReaction<'a, R> {
     }
 
     fn step(&mut self) -> Option<Event> {
-        self.redraw_clocks();
+        let reactions = self.network.reactions();
+        match self.last_fired {
+            Some(fired) => {
+                for &index in &self.redraw_sets[fired] {
+                    let index = index as usize;
+                    let a = propensity(&reactions[index], &self.state);
+                    self.clocks[index] = if a > 0.0 {
+                        self.time + sample_exponential(&mut self.rng, a)
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+            None => {
+                for (clock, reaction) in self.clocks.iter_mut().zip(reactions) {
+                    let a = propensity(reaction, &self.state);
+                    *clock = if a > 0.0 {
+                        self.time + sample_exponential(&mut self.rng, a)
+                    } else {
+                        f64::INFINITY
+                    };
+                }
+            }
+        }
         let (index, &fire_time) = self
             .clocks
             .iter()
@@ -107,10 +147,8 @@ impl<'a, R: Rng> StochasticSimulator for NextReaction<'a, R> {
             .expect("selected reaction must be applicable: propensity was positive");
         self.time = fire_time;
         self.events += 1;
-        Some(Event {
-            reaction: ReactionId::new(index),
-            time: self.time,
-        })
+        self.last_fired = Some(index);
+        Some(Event::fired(ReactionId::new(index), self.time))
     }
 }
 
@@ -195,5 +233,126 @@ mod tests {
             relative < 0.15,
             "direct {direct} vs next-reaction {next} differ by {relative}"
         );
+    }
+
+    /// Clock reuse must preserve the continuous-time law: the time-averaged
+    /// count of an immigration–death process matches its Poisson(λ/μ)
+    /// stationary mean.
+    #[test]
+    fn immigration_death_stationary_mean_matches() {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(8.0).product(a, 1));
+        net.add_reaction(Reaction::new(1.0).reactant(a, 1));
+        let net = net.validate().unwrap();
+        let mut sim = NextReaction::new(&net, State::from(vec![0]), rng(9));
+        for _ in 0..2_000 {
+            sim.step();
+        }
+        let mut weighted = 0.0;
+        let mut duration = 0.0;
+        let mut last_time = sim.time();
+        let mut last_count = sim.state().counts()[0] as f64;
+        for _ in 0..30_000 {
+            let event = sim.step().unwrap();
+            weighted += last_count * (event.time - last_time);
+            duration += event.time - last_time;
+            last_time = event.time;
+            last_count = sim.state().counts()[0] as f64;
+        }
+        let mean = weighted / duration;
+        assert!((mean - 8.0).abs() < 0.6, "time-averaged mean {mean}");
+    }
+
+    /// The reaction-local propensity maintenance behind the clock redraws
+    /// must be bit-identical to recomputing every propensity from scratch on
+    /// the same RNG stream: same firing sequence, same clock values.
+    #[test]
+    fn reaction_local_updates_match_full_recompute_reference() {
+        let mut net = ReactionNetwork::new();
+        let species: Vec<_> = (0..3).map(|i| net.add_species(format!("X{i}"))).collect();
+        for (i, &s) in species.iter().enumerate() {
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1).product(s, 2));
+            net.add_reaction(Reaction::new(1.0).reactant(s, 1));
+            let other = species[(i + 1) % 3];
+            net.add_reaction(Reaction::new(0.5).reactant(s, 1).reactant(other, 1));
+        }
+        let net = net.validate().unwrap();
+        let deps = ReactionDependencies::new(&net);
+
+        // Reference stepper: identical clock-redraw schedule, but every
+        // propensity is recomputed from scratch each step (the incremental
+        // path must not drift from it by even a bit).
+        let mut reference_rng = rng(24);
+        let mut reference_state = State::from(vec![90, 75, 60]);
+        let mut reference_clocks = vec![f64::INFINITY; net.reaction_count()];
+        let mut reference_time = 0.0f64;
+        let mut reference_last: Option<usize> = None;
+        let mut reference: Vec<(usize, u64)> = Vec::new();
+        'outer: for _ in 0..400 {
+            let all: Vec<f64> = net
+                .reactions()
+                .iter()
+                .map(|r| crate::propensity::propensity(r, &reference_state))
+                .collect();
+            let redraw: Vec<usize> = match reference_last {
+                Some(fired) => {
+                    let mut set: Vec<u32> = deps.affected(fired).to_vec();
+                    if let Err(slot) = set.binary_search(&(fired as u32)) {
+                        set.insert(slot, fired as u32);
+                    }
+                    set.into_iter().map(|i| i as usize).collect()
+                }
+                None => (0..net.reaction_count()).collect(),
+            };
+            for index in redraw {
+                reference_clocks[index] = if all[index] > 0.0 {
+                    reference_time + sample_exponential(&mut reference_rng, all[index])
+                } else {
+                    f64::INFINITY
+                };
+            }
+            let (index, &fire_time) = reference_clocks
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| a.partial_cmp(b).unwrap())
+                .unwrap();
+            if !fire_time.is_finite() {
+                break 'outer;
+            }
+            reference_state.apply(&net.reactions()[index]).unwrap();
+            reference_time = fire_time;
+            reference_last = Some(index);
+            reference.push((index, fire_time.to_bits()));
+        }
+        assert!(reference.len() > 100, "reference run ended early");
+
+        let mut sim = NextReaction::new(&net, State::from(vec![90, 75, 60]), rng(24));
+        for &(expected_reaction, expected_time) in &reference {
+            let event = sim.step().expect("simulator died before the reference");
+            assert_eq!(event.reaction, Some(ReactionId::new(expected_reaction)));
+            assert_eq!(event.time.to_bits(), expected_time);
+        }
+        assert_eq!(sim.state(), &reference_state);
+    }
+
+    /// A net-zero (purely catalytic) reaction leaves every propensity
+    /// unchanged, but its own clock must still be redrawn after it fires —
+    /// otherwise the simulator would replay the same firing time forever.
+    #[test]
+    fn catalytic_reactions_redraw_their_own_clock() {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        net.add_reaction(Reaction::new(1.0).reactant(a, 1).product(a, 1));
+        let net = net.validate().unwrap();
+        let mut sim = NextReaction::new(&net, State::from(vec![5]), rng(4));
+        let mut last = 0.0;
+        for _ in 0..50 {
+            let event = sim.step().expect("catalysis never absorbs");
+            assert!(event.time > last, "clock stuck at {last}");
+            last = event.time;
+        }
+        assert_eq!(sim.events(), 50);
+        assert_eq!(sim.state().counts(), &[5]);
     }
 }

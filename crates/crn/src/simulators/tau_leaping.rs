@@ -1,4 +1,4 @@
-use crate::distributions::sample_poisson;
+use crate::distributions::{sample_exponential, sample_poisson};
 use crate::network::ValidatedNetwork;
 use crate::propensity::propensity;
 use crate::reaction::ReactionId;
@@ -20,10 +20,17 @@ use std::fmt;
 /// * if a leap would drive any species count negative, the leap is rejected
 ///   and retried with `tau/2` (down to a minimum of 1/64 of the configured
 ///   leap, after which the simulator falls back to a single exact
-///   jump-chain-style event);
+///   Gillespie-style event: an exponential holding time with rate equal to
+///   the total propensity, then a propensity-proportional reaction choice —
+///   so event-time statistics stay unbiased near absorbing boundaries);
 /// * a species whose count is zero never gains a "negative" contribution —
 ///   counts are saturating at zero only via the rejection rule above, never by
 ///   clamping, so population totals stay consistent.
+///
+/// An accepted leap in which *zero* reactions fired still advances the clock
+/// by `tau`, but is reported as an empty [`Event`] (`reaction: None`) rather
+/// than a spurious firing of reaction 0, so observers never see phantom
+/// reactions.
 ///
 /// The [`events`](StochasticSimulator::events) counter reports the total
 /// number of reaction firings (not the number of leaps), so downstream code
@@ -186,23 +193,32 @@ impl<'a, R: Rng> StochasticSimulator for TauLeaping<'a, R> {
                 let fired = self.apply_leap(&firings);
                 self.time += tau;
                 self.events += fired;
-                // Report the first reaction that fired in this leap (or 0) as
-                // the representative reaction for the Event record.
-                let representative = firings.iter().position(|&k| k > 0).unwrap_or(0);
-                return Some(Event {
-                    reaction: ReactionId::new(representative),
-                    time: self.time,
-                });
+                if fired == 0 {
+                    // An honest empty leap: the clock advanced, nothing
+                    // fired. Reporting `Some` (not `None`) keeps the run
+                    // driver's time-budget checks engaged.
+                    return Some(Event::empty(self.time));
+                }
+                // Report the first reaction that fired in this leap as the
+                // representative reaction for the Event record.
+                let representative = firings
+                    .iter()
+                    .position(|&k| k > 0)
+                    .expect("a non-empty leap has a fired reaction");
+                return Some(Event::fired(ReactionId::new(representative), self.time));
             }
             tau /= 2.0;
             if tau < min_tau {
+                // Exact Gillespie-style fallback: the holding time in the
+                // current state is exponential with rate equal to the total
+                // propensity — advancing by the fixed `min_tau` instead
+                // would bias event-time statistics near absorbing
+                // boundaries (the states where the fallback fires).
+                let wait = sample_exponential(&mut self.rng, total_propensity);
                 let index = self.exact_fallback_step()?;
-                self.time += min_tau;
+                self.time += wait;
                 self.events += 1;
-                return Some(Event {
-                    reaction: ReactionId::new(index),
-                    time: self.time,
-                });
+                return Some(Event::fired(ReactionId::new(index), self.time));
             }
         }
     }
@@ -288,5 +304,69 @@ mod tests {
         let before = sim.time();
         sim.step().unwrap();
         assert!(sim.time() >= before + 0.25 / 64.0);
+    }
+
+    /// Regression test: the exact fallback must advance the clock by an
+    /// exponential holding time with rate equal to the total propensity, not
+    /// by the fixed `min_tau`. The catalysed death A + B → B with B = 1000
+    /// rejects every leap down to `min_tau` (the Poisson mean stays ≥ 10, so
+    /// two or more firings of a reaction that can fire at most once are
+    /// sampled almost surely), forcing the fallback; the extinction time of
+    /// the single A is then Exp(1000) with mean 1/1000 — the old fixed
+    /// advance reported `min_tau = 0.01` on every trial, ten times too long.
+    #[test]
+    fn exact_fallback_samples_the_holding_time() {
+        let mut net = ReactionNetwork::new();
+        let a = net.add_species("A");
+        let b = net.add_species("B");
+        net.add_reaction(
+            Reaction::new(1.0)
+                .reactant(a, 1)
+                .reactant(b, 1)
+                .product(b, 1),
+        );
+        let net = net.validate().unwrap();
+        let trials = 400;
+        let mut total_time = 0.0;
+        let mut saw_sub_min_tau = false;
+        for t in 0..trials {
+            let mut sim = TauLeaping::new(&net, State::from(vec![1, 1_000]), 0.64, rng(7_000 + t));
+            let outcome = sim.run(&StopCondition::any_species_extinct().with_max_events(1_000));
+            assert_eq!(outcome.final_state.counts()[0], 0);
+            total_time += outcome.time;
+            saw_sub_min_tau |= outcome.time < 0.64 / 64.0;
+        }
+        let mean = total_time / trials as f64;
+        // Exp(1000) mean is 1e-3; the old biased clock reported 1e-2 exactly.
+        assert!(
+            (0.0005..0.002).contains(&mean),
+            "mean extinction time {mean} is biased"
+        );
+        assert!(
+            saw_sub_min_tau,
+            "no holding time ever undercut min_tau: the clock is still quantised"
+        );
+    }
+
+    /// Regression test: an accepted leap in which zero reactions fired must
+    /// be reported as an empty event (no phantom firing of reaction 0), while
+    /// still advancing the clock so time budgets keep working.
+    #[test]
+    fn empty_leaps_are_reported_without_a_phantom_reaction() {
+        // Birth propensity 1e-6: a 0.1-leap samples Poisson(1e-7) ≈ 0 firings.
+        let net = birth_death(1e-6, 0.0);
+        let mut sim = TauLeaping::new(&net, State::from(vec![1]), 0.1, rng(6));
+        let event = sim.step().expect("positive propensity cannot absorb");
+        assert_eq!(event.reaction, None, "phantom reaction reported");
+        assert_eq!(sim.events(), 0);
+        assert_eq!(sim.state().counts(), &[1]);
+        assert!((sim.time() - 0.1).abs() < 1e-12);
+
+        // Empty leaps must not break `with_max_time`: the run stops on the
+        // time budget instead of spinning or mislabeling the stop reason.
+        let mut sim = TauLeaping::new(&net, State::from(vec![1]), 0.1, rng(8));
+        let outcome = sim.run(&StopCondition::never().with_max_time(1.0));
+        assert_eq!(outcome.reason, crate::StopReason::MaxTimeReached);
+        assert!(outcome.time >= 1.0);
     }
 }

@@ -88,11 +88,11 @@ fn drive_crn<S: StochasticSimulator>(
             Some(event) => {
                 let firings = sim.events() - events_before;
                 // A step representing exactly one firing is a resolved event;
-                // multi-firing leaps stay unclassified.
-                let lv_event = if firings == 1 {
-                    Some(event_map[event.reaction.index()])
-                } else {
-                    None
+                // multi-firing leaps (and empty leaps, which report no
+                // reaction at all) stay unclassified.
+                let lv_event = match event.reaction {
+                    Some(reaction) if firings == 1 => Some(event_map[reaction.index()]),
+                    _ => None,
                 };
                 driver.record(lv_event, sim.state().counts(), sim.time(), firings);
             }

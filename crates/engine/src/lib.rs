@@ -25,7 +25,12 @@
 //!   [`Observation`] per observer, with
 //!   [`RunReport::to_plurality_outcome`] as the derived plurality-consensus
 //!   view and [`RunReport::to_majority_outcome`] as its two-species
-//!   projection.
+//!   projection;
+//! * [`stream`] — streaming sharded batch execution: a work-stealing
+//!   [`ShardQueue`], a [`ReportStream`] yielding reports in trial order as
+//!   trials finish, [`OnlineAccumulator`]s folded incrementally (no batch
+//!   is ever materialised) and [`EarlyStop`], a sequential stopping rule on
+//!   the success-probability confidence width.
 //!
 //! The Monte-Carlo layer (`lv_sim::MonteCarlo`), the experiment suite and
 //! the benchmark harness are all thin adapters over scenario batches, so a
@@ -82,6 +87,7 @@ mod protocol_backend;
 mod registry;
 mod report;
 mod scenario;
+pub mod stream;
 
 pub use backend::Backend;
 pub use backends::{
@@ -95,3 +101,7 @@ pub use protocol_backend::ApproxMajorityBackend;
 pub use registry::{backend, BackendRegistry, DuplicateBackendError};
 pub use report::{PluralityOutcome, RunReport};
 pub use scenario::{default_majority_budget, majority_budget, Scenario, ScenarioModel};
+pub use stream::{
+    EarlyStop, OnlineAccumulator, PluralityTally, Progress, ReportStream, RunMoments, ShardQueue,
+    StreamConfig, SuccessTally, TrialRngFactory, Welford,
+};

@@ -1,0 +1,1163 @@
+//! Streaming sharded batch execution: run a [`Scenario`] many times and
+//! consume the [`RunReport`]s *as trials finish*, without ever materialising
+//! a batch.
+//!
+//! The pieces compose bottom-up:
+//!
+//! * [`ShardQueue`] — a lock-free work-stealing dispenser of dynamic trial
+//!   chunks: idle workers claim the next shard instead of being pinned to a
+//!   static range, so stragglers (trials that run long) never leave cores
+//!   idle;
+//! * [`ReportStream`] — an iterator over `(trial, RunReport)` pairs in
+//!   strict trial order. Workers run trials out of order and feed a
+//!   crossbeam channel; a small reorder buffer on the consuming side
+//!   restores trial order, which is what makes every downstream fold
+//!   bit-identical at every thread count (trial `i` always uses the RNG the
+//!   factory returns for `i`, and results are always folded `0, 1, 2, …`);
+//! * [`OnlineAccumulator`] — a statistic folded one report at a time:
+//!   [`SuccessTally`] (win counts), [`RunMoments`] (Welford mean/variance
+//!   of consensus event counts and extinction times), [`PluralityTally`]
+//!   (per-species win counts for `k`-species scenarios);
+//! * [`EarlyStop`] — a sequential stopping rule: end the stream as soon as
+//!   the Wilson confidence half-width of the success probability drops to a
+//!   target, so batches near the critical margin spend trials only until
+//!   the estimate is tight enough;
+//! * [`ReportStream::fold_with`] — the driver tying them together, with a
+//!   [`Progress`] callback per folded trial.
+//!
+//! ```
+//! use lv_engine::stream::{ReportStream, StreamConfig, SuccessTally};
+//! use lv_engine::{backend, Scenario};
+//! use lv_lotka::{CompetitionKind, LvModel};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use std::sync::Arc;
+//!
+//! let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+//! let scenario = Scenario::majority(model, 80, 40);
+//! let stream = ReportStream::new(
+//!     &scenario,
+//!     backend("jump-chain").unwrap(),
+//!     StreamConfig::new(64).with_threads(4),
+//!     Arc::new(|trial| StdRng::seed_from_u64(0xC0FFEE ^ trial)),
+//! );
+//! let tally = stream.fold(SuccessTally::new());
+//! assert_eq!(tally.trials(), 64);
+//! assert!(tally.successes() > 32, "a 2:1 majority mostly wins");
+//! ```
+
+use crate::backend::Backend;
+use crate::report::RunReport;
+use crate::scenario::Scenario;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Derives the per-trial random number generator. Trial `i` must always
+/// receive the same stream regardless of scheduling — this is the whole
+/// reproducibility contract of the streaming executor (the Monte-Carlo layer
+/// passes `Seed::rng_for_trial`).
+pub type TrialRngFactory = Arc<dyn Fn(u64) -> StdRng + Send + Sync>;
+
+/// How a [`ReportStream`] schedules its trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamConfig {
+    trials: u64,
+    threads: usize,
+    shard_size: Option<u64>,
+}
+
+impl StreamConfig {
+    /// A configuration running `trials` trials on all available cores with
+    /// an automatically sized shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn new(trials: u64) -> Self {
+        assert!(trials > 0, "at least one trial is required");
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        StreamConfig {
+            trials,
+            threads,
+            shard_size: None,
+        }
+    }
+
+    /// Restricts execution to a fixed number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "at least one thread is required");
+        self.threads = threads;
+        self
+    }
+
+    /// Fixes the shard size (trials claimed per queue access). Smaller
+    /// shards balance load better; larger shards amortise queue traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size == 0`.
+    pub fn with_shard_size(mut self, shard_size: u64) -> Self {
+        assert!(shard_size > 0, "shards must hold at least one trial");
+        self.shard_size = Some(shard_size);
+        self
+    }
+
+    /// The number of trials to run.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// The configured worker thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The effective shard size: the configured one, or an automatic choice
+    /// giving each worker several claims (for load balancing) while keeping
+    /// shards no larger than 256 trials.
+    pub fn effective_shard_size(&self) -> u64 {
+        self.shard_size
+            .unwrap_or_else(|| (self.trials / (self.threads as u64 * 4).max(1)).clamp(1, 256))
+    }
+}
+
+/// A lock-free dispenser of dynamic trial shards.
+///
+/// Workers repeatedly [`claim`](ShardQueue::claim) the next contiguous chunk
+/// of trial indices until the queue is exhausted or
+/// [`halt`](ShardQueue::halt)ed. This replaces static per-worker ranges:
+/// a worker that finishes early simply claims more work.
+#[derive(Debug)]
+pub struct ShardQueue {
+    next: AtomicU64,
+    trials: u64,
+    shard: u64,
+    halted: AtomicBool,
+}
+
+impl ShardQueue {
+    /// A queue over trials `0..trials` handed out in chunks of `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard == 0`.
+    pub fn new(trials: u64, shard: u64) -> Self {
+        assert!(shard > 0, "shards must hold at least one trial");
+        ShardQueue {
+            next: AtomicU64::new(0),
+            trials,
+            shard,
+            halted: AtomicBool::new(false),
+        }
+    }
+
+    /// Claims the next shard of trial indices, or `None` when the queue is
+    /// exhausted or halted.
+    pub fn claim(&self) -> Option<Range<u64>> {
+        if self.is_halted() {
+            return None;
+        }
+        let start = self.next.fetch_add(self.shard, Ordering::AcqRel);
+        if start >= self.trials {
+            return None;
+        }
+        Some(start..(start + self.shard).min(self.trials))
+    }
+
+    /// Stops the queue: every subsequent [`claim`](ShardQueue::claim)
+    /// returns `None`. Used by early stopping.
+    pub fn halt(&self) {
+        self.halted.store(true, Ordering::Release);
+    }
+
+    /// Whether the queue has been halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted.load(Ordering::Acquire)
+    }
+}
+
+/// A statistic over a stream of [`RunReport`]s, folded one trial at a time —
+/// the streaming replacement for materialising a `Vec` of outcomes and
+/// aggregating it afterwards.
+///
+/// Implementations must be insensitive to *when* trials arrive but may (and
+/// the built-in ones do) depend on their *order*; [`ReportStream`] always
+/// delivers trials in index order, so any accumulator folded over it is
+/// bit-identical at every thread count.
+pub trait OnlineAccumulator {
+    /// The finished statistic.
+    type Output;
+
+    /// Folds one trial's report into the statistic.
+    fn record(&mut self, trial: u64, report: &RunReport);
+
+    /// Number of trials folded so far.
+    fn trials(&self) -> u64;
+
+    /// The running success count, when this statistic tracks one — this is
+    /// what [`EarlyStop`] watches. The default (`None`) disables early
+    /// stopping for the accumulator.
+    fn successes(&self) -> Option<u64> {
+        None
+    }
+
+    /// Finalises the statistic.
+    fn finish(self) -> Self::Output;
+}
+
+/// Success tallies: how many trials reached consensus with the initial
+/// leader winning ([`RunReport::plurality_won`]) — the streaming core of
+/// `success_probability`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SuccessTally {
+    trials: u64,
+    successes: u64,
+}
+
+impl SuccessTally {
+    /// An empty tally.
+    pub fn new() -> Self {
+        SuccessTally::default()
+    }
+
+    /// Number of successful trials so far.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of trials folded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+}
+
+impl OnlineAccumulator for SuccessTally {
+    type Output = SuccessTally;
+
+    fn record(&mut self, _trial: u64, report: &RunReport) {
+        self.trials += 1;
+        self.successes += u64::from(report.plurality_won());
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn successes(&self) -> Option<u64> {
+        Some(self.successes)
+    }
+
+    fn finish(self) -> SuccessTally {
+        self
+    }
+}
+
+/// Welford's online mean and variance: numerically stable single-pass
+/// moments, the building block of the streaming accumulators.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The running mean (`0.0` over the empty sample, matching the
+    /// workspace's batch statistics convention).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The population variance (`0.0` for fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// The sample (Bessel-corrected) variance.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// The population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Welford moments of the consensus observables over a streamed batch:
+/// event counts (the paper's consensus time `T(S)`) and extinction times
+/// (the backend clock at the stop), over completed trials.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMoments {
+    trials: u64,
+    completed: u64,
+    truncated: u64,
+    events: Welford,
+    time: Welford,
+}
+
+impl RunMoments {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        RunMoments::default()
+    }
+
+    /// Number of trials folded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of completed (consensus-reaching) trials.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of truncated trials.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Moments of the consensus event count over completed trials.
+    pub fn events(&self) -> &Welford {
+        &self.events
+    }
+
+    /// Moments of the stop-time (extinction time for consensus runs) over
+    /// completed trials.
+    pub fn time(&self) -> &Welford {
+        &self.time
+    }
+}
+
+impl OnlineAccumulator for RunMoments {
+    type Output = RunMoments;
+
+    fn record(&mut self, _trial: u64, report: &RunReport) {
+        self.trials += 1;
+        if report.truncated() {
+            self.truncated += 1;
+        }
+        if report.consensus_reached() {
+            self.completed += 1;
+            self.events.push(report.events as f64);
+            self.time.push(report.time);
+        }
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn finish(self) -> RunMoments {
+        self
+    }
+}
+
+/// Per-species plurality tallies over a streamed `k`-species batch: who won
+/// each completed trial, how often the initial leader prevailed, how often
+/// nobody survived.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PluralityTally {
+    species: usize,
+    trials: u64,
+    completed: u64,
+    truncated: u64,
+    wins: Vec<u64>,
+    no_survivor: u64,
+    leader_wins: u64,
+}
+
+impl PluralityTally {
+    /// An empty tally over `species` species.
+    pub fn new(species: usize) -> Self {
+        PluralityTally {
+            species,
+            wins: vec![0; species],
+            ..PluralityTally::default()
+        }
+    }
+
+    /// Number of species.
+    pub fn species(&self) -> usize {
+        self.species
+    }
+
+    /// Number of trials folded so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Number of completed (consensus-reaching) trials.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Number of truncated trials.
+    pub fn truncated(&self) -> u64 {
+        self.truncated
+    }
+
+    /// Completed trials won by each species, indexed by species.
+    pub fn wins(&self) -> &[u64] {
+        &self.wins
+    }
+
+    /// Completed trials in which every species went extinct.
+    pub fn no_survivor(&self) -> u64 {
+        self.no_survivor
+    }
+
+    /// Completed trials won by the initial plurality leader.
+    pub fn leader_wins(&self) -> u64 {
+        self.leader_wins
+    }
+}
+
+impl OnlineAccumulator for PluralityTally {
+    type Output = PluralityTally;
+
+    fn record(&mut self, _trial: u64, report: &RunReport) {
+        debug_assert_eq!(report.species_count(), self.species);
+        self.trials += 1;
+        if report.truncated() {
+            self.truncated += 1;
+        }
+        if report.consensus_reached() {
+            self.completed += 1;
+            match report.final_state.winner() {
+                Some(winner) => self.wins[winner] += 1,
+                None => self.no_survivor += 1,
+            }
+            if report.plurality_won() {
+                self.leader_wins += 1;
+            }
+        }
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn successes(&self) -> Option<u64> {
+        Some(self.leader_wins)
+    }
+
+    fn finish(self) -> PluralityTally {
+        self
+    }
+}
+
+/// A sequential early-stopping rule: end the stream once the Wilson score
+/// confidence interval of the success probability is narrower than a target
+/// half-width.
+///
+/// The rule is evaluated after every folded trial, in trial order, so the
+/// stopping point — and therefore the reported estimate — is identical at
+/// every thread count. Because the Wilson half-width at the moment the rule
+/// fires is at most the target, an early-stopped estimate never reports a
+/// wider interval than requested.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EarlyStop {
+    target_half_width: f64,
+    z: f64,
+    min_trials: u64,
+}
+
+impl EarlyStop {
+    /// Stop once the Wilson half-width at `z = 1.96` (95%) is at most
+    /// `target_half_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < target_half_width < 1`.
+    pub fn at_half_width(target_half_width: f64) -> Self {
+        assert!(
+            target_half_width > 0.0 && target_half_width < 1.0,
+            "the target half-width must be in (0, 1)"
+        );
+        EarlyStop {
+            target_half_width,
+            z: 1.96,
+            min_trials: 1,
+        }
+    }
+
+    /// Replaces the z-value (1.96 for 95%, 2.576 for 99%).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z` is not a positive finite number.
+    pub fn with_z(mut self, z: f64) -> Self {
+        assert!(z.is_finite() && z > 0.0, "z must be a positive number");
+        self.z = z;
+        self
+    }
+
+    /// Requires at least `min_trials` trials before the rule may fire.
+    pub fn with_min_trials(mut self, min_trials: u64) -> Self {
+        self.min_trials = min_trials.max(1);
+        self
+    }
+
+    /// The target half-width.
+    pub fn target_half_width(&self) -> f64 {
+        self.target_half_width
+    }
+
+    /// The Wilson score half-width of `successes / trials` at this rule's
+    /// z-value (the same interval `lv_sim::SuccessEstimate` reports).
+    pub fn half_width(&self, successes: u64, trials: u64) -> f64 {
+        if trials == 0 {
+            return f64::INFINITY;
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = self.z * self.z;
+        let denom = 1.0 + z2 / n;
+        (self.z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+    }
+
+    /// Whether the rule fires for the given running tally.
+    pub fn satisfied(&self, successes: u64, trials: u64) -> bool {
+        trials >= self.min_trials && self.half_width(successes, trials) <= self.target_half_width
+    }
+}
+
+/// A progress snapshot handed to the callback of
+/// [`ReportStream::fold_with`] after every folded trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Trials folded so far.
+    pub trials: u64,
+    /// Trials originally scheduled (early stopping may end the stream
+    /// before reaching this).
+    pub scheduled: u64,
+    /// The running success count, when the accumulator tracks one.
+    pub successes: Option<u64>,
+}
+
+enum StreamInner {
+    /// Single-threaded: trials run lazily, one per `next()` call.
+    Sequential {
+        scenario: Arc<Scenario>,
+        backend: &'static dyn Backend,
+        rng_for_trial: TrialRngFactory,
+    },
+    /// A deterministic backend yields the same report every trial: run it
+    /// once, replicate the report (matching the batch runner's behaviour of
+    /// executing deterministic backends a single time).
+    Deterministic { report: RunReport },
+    /// Sharded multi-threaded execution feeding a reorder buffer.
+    Parallel {
+        receiver: Receiver<(u64, RunReport)>,
+        pending: BTreeMap<u64, RunReport>,
+        queue: Arc<ShardQueue>,
+        workers: Vec<JoinHandle<()>>,
+        /// The first worker panic, caught on the worker so the queue halts
+        /// *immediately* (instead of the surviving workers burning through
+        /// every remaining trial) and re-raised on the consuming thread.
+        panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>>,
+    },
+}
+
+/// An iterator over `(trial, RunReport)` pairs of a streamed batch, in
+/// strict trial order.
+///
+/// Trials execute on worker threads claiming dynamic shards from a
+/// [`ShardQueue`] and may *finish* in any order; a reorder buffer on the
+/// consuming side restores index order before yielding. Combined with the
+/// per-trial RNG contract of [`TrialRngFactory`], every fold over the stream
+/// is bit-identical regardless of thread count or scheduling. No batch is
+/// ever materialised, no matter how slow the consumer: reports flow through
+/// a *bounded* channel (capacity ≈ threads × shard size), so workers block
+/// on a full channel instead of racing ahead, and the reorder buffer only
+/// ever holds what the channel could carry.
+///
+/// Dropping the stream halts the queue and joins the workers; a panic on a
+/// worker thread is re-raised on the consuming thread once the stream
+/// reaches the panicked trial.
+pub struct ReportStream {
+    inner: StreamInner,
+    /// Next trial index to yield.
+    next: u64,
+    /// Total trials scheduled.
+    scheduled: u64,
+    /// Set once the stream has been halted (early stop).
+    halted: bool,
+}
+
+impl std::fmt::Debug for ReportStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReportStream")
+            .field("next", &self.next)
+            .field("scheduled", &self.scheduled)
+            .field("halted", &self.halted)
+            .finish()
+    }
+}
+
+impl ReportStream {
+    /// Starts streaming `config.trials()` runs of the scenario on the given
+    /// backend. Trial `i` draws its randomness from `rng_for_trial(i)`.
+    ///
+    /// Deterministic backends (the ODE) execute once — on
+    /// `rng_for_trial(0)`, which they ignore — and the single report is
+    /// yielded for every trial slot. Single-threaded configurations run
+    /// trials lazily on the consuming thread, one per `next()` call.
+    pub fn new(
+        scenario: &Scenario,
+        backend: &'static dyn Backend,
+        config: StreamConfig,
+        rng_for_trial: TrialRngFactory,
+    ) -> Self {
+        let scheduled = config.trials();
+        if backend.deterministic() {
+            let mut rng = rng_for_trial(0);
+            let report = backend.run(scenario, &mut rng);
+            return ReportStream {
+                inner: StreamInner::Deterministic { report },
+                next: 0,
+                scheduled,
+                halted: false,
+            };
+        }
+        let threads = config.threads().min(scheduled as usize).max(1);
+        if threads == 1 {
+            return ReportStream {
+                inner: StreamInner::Sequential {
+                    scenario: Arc::new(scenario.clone()),
+                    backend,
+                    rng_for_trial,
+                },
+                next: 0,
+                scheduled,
+                halted: false,
+            };
+        }
+        let shard = config.effective_shard_size();
+        let queue = Arc::new(ShardQueue::new(scheduled, shard));
+        // Bounded channel = backpressure: a consumer slower than the worker
+        // pool makes the workers block on `send` instead of racing ahead and
+        // buffering the whole batch — in-flight reports are capped at the
+        // channel capacity plus one blocked send per worker.
+        let capacity = (threads as u64 * shard).clamp(threads as u64, 4_096) as usize;
+        let (sender, receiver) = bounded(capacity);
+        // Build the scenario's CRN form once, before the workers clone the
+        // Arc, so the reaction network is shared instead of rebuilt per
+        // thread (protocol backends have no CRN form; skip for them).
+        let scenario = Arc::new(scenario.clone());
+        if backend.models_kinetics() {
+            let _ = scenario.crn_form();
+        }
+        let panic: Arc<Mutex<Option<Box<dyn std::any::Any + Send>>>> = Arc::new(Mutex::new(None));
+        let workers = (0..threads)
+            .map(|_| {
+                let scenario = Arc::clone(&scenario);
+                let queue = Arc::clone(&queue);
+                let rng_for_trial = Arc::clone(&rng_for_trial);
+                let sender: Sender<(u64, RunReport)> = sender.clone();
+                let panic = Arc::clone(&panic);
+                std::thread::spawn(move || {
+                    while let Some(shard) = queue.claim() {
+                        for trial in shard {
+                            if queue.is_halted() {
+                                return;
+                            }
+                            // Catch backend panics here rather than letting
+                            // the thread die: the queue halts at once (so the
+                            // surviving workers stop claiming trials instead
+                            // of running — and buffering — the whole rest of
+                            // the batch) and the payload is re-raised on the
+                            // consuming thread.
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    let mut rng = rng_for_trial(trial);
+                                    backend.run(&scenario, &mut rng)
+                                }));
+                            let report = match result {
+                                Ok(report) => report,
+                                Err(payload) => {
+                                    queue.halt();
+                                    let mut slot =
+                                        panic.lock().unwrap_or_else(|poison| poison.into_inner());
+                                    slot.get_or_insert(payload);
+                                    return;
+                                }
+                            };
+                            if sender.send((trial, report)).is_err() {
+                                // Receiver gone: the stream was dropped.
+                                return;
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        ReportStream {
+            inner: StreamInner::Parallel {
+                receiver,
+                pending: BTreeMap::new(),
+                queue,
+                workers,
+                panic,
+            },
+            next: 0,
+            scheduled,
+            halted: false,
+        }
+    }
+
+    /// Trials originally scheduled.
+    pub fn scheduled(&self) -> u64 {
+        self.scheduled
+    }
+
+    /// Trials yielded so far.
+    pub fn yielded(&self) -> u64 {
+        self.next
+    }
+
+    /// Stops the stream: in-flight and unclaimed trials are discarded and
+    /// the iterator ends. Used by early stopping; idempotent.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        if let StreamInner::Parallel { queue, .. } = &self.inner {
+            queue.halt();
+        }
+    }
+
+    /// Joins the parallel workers, re-raising the first worker panic
+    /// (whether caught into the panic slot or propagated through a handle).
+    fn join_workers(&mut self) {
+        if let StreamInner::Parallel { workers, panic, .. } = &mut self.inner {
+            let mut first = None;
+            for worker in workers.drain(..) {
+                if let Err(payload) = worker.join() {
+                    first.get_or_insert(payload);
+                }
+            }
+            let caught = panic
+                .lock()
+                .unwrap_or_else(|poison| poison.into_inner())
+                .take();
+            if let Some(payload) = caught.or(first) {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+
+    /// Folds the whole stream into the accumulator.
+    pub fn fold<A: OnlineAccumulator>(self, accumulator: A) -> A {
+        self.fold_with(accumulator, None, |_| {})
+    }
+
+    /// Folds the stream into the accumulator with an optional early-stopping
+    /// rule and a per-trial progress callback.
+    ///
+    /// The rule is checked after every folded trial against the
+    /// accumulator's [`successes`](OnlineAccumulator::successes) tally (it
+    /// never fires for accumulators that report `None`); when it fires the
+    /// stream is halted and the accumulator — whose
+    /// [`trials`](OnlineAccumulator::trials) then reports the *actual* trial
+    /// count — is returned.
+    pub fn fold_with<A, P>(
+        mut self,
+        mut accumulator: A,
+        early: Option<EarlyStop>,
+        mut progress: P,
+    ) -> A
+    where
+        A: OnlineAccumulator,
+        P: FnMut(Progress),
+    {
+        let scheduled = self.scheduled;
+        while let Some((trial, report)) = self.next() {
+            accumulator.record(trial, &report);
+            progress(Progress {
+                trials: accumulator.trials(),
+                scheduled,
+                successes: accumulator.successes(),
+            });
+            if let (Some(rule), Some(successes)) = (&early, accumulator.successes()) {
+                if rule.satisfied(successes, accumulator.trials()) {
+                    self.halt();
+                    break;
+                }
+            }
+        }
+        accumulator
+    }
+}
+
+impl Iterator for ReportStream {
+    type Item = (u64, RunReport);
+
+    fn next(&mut self) -> Option<(u64, RunReport)> {
+        if self.halted || self.next >= self.scheduled {
+            return None;
+        }
+        let trial = self.next;
+        let report = match &mut self.inner {
+            StreamInner::Sequential {
+                scenario,
+                backend,
+                rng_for_trial,
+            } => {
+                let mut rng = rng_for_trial(trial);
+                Some(backend.run(scenario, &mut rng))
+            }
+            StreamInner::Deterministic { report } => Some(report.clone()),
+            StreamInner::Parallel {
+                receiver, pending, ..
+            } => loop {
+                if let Some(report) = pending.remove(&trial) {
+                    break Some(report);
+                }
+                match receiver.recv() {
+                    Ok((index, report)) => {
+                        debug_assert!(index >= trial, "trial {index} delivered twice");
+                        pending.insert(index, report);
+                    }
+                    // Every sender hung up with trials still owed: a worker
+                    // must have panicked — re-raise it below, outside this
+                    // borrow of `inner`.
+                    Err(_) => break None,
+                }
+            },
+        };
+        let Some(report) = report else {
+            // Every sender hung up with trials still owed: a worker panicked
+            // and halted the queue. `join_workers` re-raises the payload; if
+            // it was already consumed by an earlier call, the stream is
+            // simply over.
+            self.join_workers();
+            self.halted = true;
+            return None;
+        };
+        self.next += 1;
+        Some((trial, report))
+    }
+}
+
+impl Drop for ReportStream {
+    fn drop(&mut self) {
+        self.halt();
+        if let StreamInner::Parallel {
+            receiver, workers, ..
+        } = &mut self.inner
+        {
+            // Drain the channel first: a worker blocked on a full bounded
+            // channel must be released before it can observe the halt and
+            // exit (each worker sends at most one more report after the
+            // halt, then drops its sender, ending this loop).
+            while receiver.recv().is_ok() {}
+            // Reap the workers, swallowing panics (they were either already
+            // re-raised by `next`, or the stream was deliberately
+            // abandoned).
+            for worker in workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::backend;
+    use lv_lotka::{CompetitionKind, LvModel};
+    use rand::SeedableRng;
+
+    fn factory(root: u64) -> TrialRngFactory {
+        Arc::new(move |trial| StdRng::seed_from_u64(root ^ (trial.wrapping_mul(0x9E37_79B9))))
+    }
+
+    fn scenario() -> Scenario {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        Scenario::majority(model, 60, 40)
+    }
+
+    #[test]
+    fn shard_queue_hands_out_every_trial_exactly_once() {
+        let queue = ShardQueue::new(103, 10);
+        let mut seen = [false; 103];
+        while let Some(range) = queue.claim() {
+            for trial in range {
+                assert!(!seen[trial as usize], "trial {trial} claimed twice");
+                seen[trial as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some trial was never claimed");
+    }
+
+    #[test]
+    fn halted_queue_stops_claiming() {
+        let queue = ShardQueue::new(100, 7);
+        assert!(queue.claim().is_some());
+        queue.halt();
+        assert!(queue.is_halted());
+        assert!(queue.claim().is_none());
+    }
+
+    #[test]
+    fn stream_yields_trials_in_order_at_every_thread_count() {
+        let scenario = scenario();
+        let backend = backend("jump-chain").unwrap();
+        let sequential: Vec<(u64, RunReport)> = ReportStream::new(
+            &scenario,
+            backend,
+            StreamConfig::new(24).with_threads(1),
+            factory(1),
+        )
+        .collect();
+        assert_eq!(sequential.len(), 24);
+        for threads in [2, 4, 8] {
+            let parallel: Vec<(u64, RunReport)> = ReportStream::new(
+                &scenario,
+                backend,
+                StreamConfig::new(24)
+                    .with_threads(threads)
+                    .with_shard_size(3),
+                factory(1),
+            )
+            .collect();
+            assert_eq!(parallel, sequential, "{threads} threads diverged");
+        }
+        for (index, (trial, _)) in sequential.iter().enumerate() {
+            assert_eq!(*trial, index as u64);
+        }
+    }
+
+    #[test]
+    fn deterministic_backends_run_once_and_replicate() {
+        let stream = ReportStream::new(
+            &scenario(),
+            backend("ode").unwrap(),
+            StreamConfig::new(50).with_threads(8),
+            factory(2),
+        );
+        let reports: Vec<(u64, RunReport)> = stream.collect();
+        assert_eq!(reports.len(), 50);
+        assert!(reports.windows(2).all(|w| w[0].1 == w[1].1));
+    }
+
+    #[test]
+    fn welford_matches_two_pass_reference() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut welford = Welford::new();
+        for v in values {
+            welford.push(v);
+        }
+        assert!((welford.mean() - 5.0).abs() < 1e-12);
+        assert!((welford.variance() - 4.0).abs() < 1e-12);
+        assert!((welford.std_dev() - 2.0).abs() < 1e-12);
+        assert!((welford.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(Welford::new().mean(), 0.0);
+        assert_eq!(Welford::new().variance(), 0.0);
+    }
+
+    #[test]
+    fn run_moments_track_completed_trials() {
+        let stream = ReportStream::new(
+            &scenario(),
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(32).with_threads(4),
+            factory(3),
+        );
+        let moments = stream.fold(RunMoments::new());
+        assert_eq!(moments.trials(), 32);
+        assert_eq!(moments.completed(), 32);
+        assert_eq!(moments.truncated(), 0);
+        assert!(moments.events().mean() > 0.0);
+        assert!(moments.events().variance() > 0.0);
+        assert_eq!(moments.events().count(), 32);
+    }
+
+    #[test]
+    fn early_stop_halts_the_stream_and_meets_its_target() {
+        // A 4:1 majority wins essentially always: the half-width shrinks
+        // fast, so a loose target stops long before 100 000 trials.
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let scenario = Scenario::majority(model, 80, 20);
+        let rule = EarlyStop::at_half_width(0.08).with_min_trials(8);
+        let stream = ReportStream::new(
+            &scenario,
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(100_000).with_threads(4),
+            factory(4),
+        );
+        let tally = stream.fold_with(SuccessTally::new(), Some(rule), |_| {});
+        assert!(tally.trials() >= 8);
+        assert!(
+            tally.trials() < 1_000,
+            "early stopping never fired ({} trials)",
+            tally.trials()
+        );
+        assert!(rule.half_width(tally.successes(), tally.trials()) <= 0.08);
+    }
+
+    #[test]
+    fn early_stopped_trial_count_is_thread_invariant() {
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let scenario = Scenario::majority(model, 60, 50);
+        let rule = EarlyStop::at_half_width(0.15).with_min_trials(4);
+        let run = |threads| {
+            ReportStream::new(
+                &scenario,
+                backend("jump-chain").unwrap(),
+                StreamConfig::new(50_000).with_threads(threads),
+                factory(5),
+            )
+            .fold_with(SuccessTally::new(), Some(rule), |_| {})
+        };
+        let single = run(1);
+        assert_eq!(single, run(2));
+        assert_eq!(single, run(8));
+        assert!(single.trials() < 50_000, "rule never fired");
+    }
+
+    #[test]
+    fn progress_callback_sees_every_folded_trial() {
+        let stream = ReportStream::new(
+            &scenario(),
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(16).with_threads(2),
+            factory(6),
+        );
+        let mut seen = Vec::new();
+        let _ = stream.fold_with(SuccessTally::new(), None, |p| seen.push(p));
+        assert_eq!(seen.len(), 16);
+        assert_eq!(seen.last().unwrap().trials, 16);
+        assert!(seen.iter().all(|p| p.scheduled == 16));
+        assert!(seen.windows(2).all(|w| w[1].trials == w[0].trials + 1));
+    }
+
+    #[test]
+    fn plurality_tally_counts_wins_per_species() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![60, 20, 20]);
+        let stream = ReportStream::new(
+            &scenario,
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(40).with_threads(4),
+            factory(7),
+        );
+        let tally = stream.fold(PluralityTally::new(3));
+        assert_eq!(tally.trials(), 40);
+        assert_eq!(tally.species(), 3);
+        assert_eq!(
+            tally.wins().iter().sum::<u64>() + tally.no_survivor(),
+            tally.completed()
+        );
+        assert!(tally.leader_wins() > tally.completed() / 2);
+    }
+
+    #[test]
+    fn halt_mid_iteration_discards_the_tail() {
+        let mut stream = ReportStream::new(
+            &scenario(),
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(1_000).with_threads(4),
+            factory(8),
+        );
+        for _ in 0..5 {
+            assert!(stream.next().is_some());
+        }
+        stream.halt();
+        assert_eq!(stream.next(), None);
+        assert_eq!(stream.yielded(), 5);
+        assert_eq!(stream.scheduled(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_rejected() {
+        let _ = StreamConfig::new(0);
+    }
+
+    #[test]
+    fn worker_panics_halt_the_queue_and_reach_the_consumer() {
+        struct Exploding;
+        impl Backend for Exploding {
+            fn name(&self) -> &'static str {
+                "exploding-test"
+            }
+            fn description(&self) -> &'static str {
+                "panics on every run"
+            }
+            fn run(&self, _scenario: &Scenario, _rng: &mut StdRng) -> RunReport {
+                panic!("backend exploded")
+            }
+        }
+        let backend: &'static dyn Backend = Box::leak(Box::new(Exploding));
+        let mut stream = ReportStream::new(
+            &scenario(),
+            backend,
+            StreamConfig::new(10_000).with_threads(4),
+            factory(9),
+        );
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| stream.next()));
+        let payload = result.expect_err("the worker panic must reach the consumer");
+        assert_eq!(
+            payload.downcast_ref::<&str>(),
+            Some(&"backend exploded"),
+            "unexpected panic payload"
+        );
+        // The queue was halted by the panicking worker, so the surviving
+        // workers did not burn through (and buffer) the remaining trials.
+        assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn early_stop_half_width_matches_wilson_formula() {
+        let rule = EarlyStop::at_half_width(0.05);
+        // 75/100 at z = 1.96: compare against the direct formula.
+        let (s, n) = (75u64, 100u64);
+        let z = 1.96f64;
+        let p = s as f64 / n as f64;
+        let denom = 1.0 + z * z / n as f64;
+        let expected =
+            (z / denom) * (p * (1.0 - p) / n as f64 + z * z / (4.0 * n as f64 * n as f64)).sqrt();
+        assert!((rule.half_width(s, n) - expected).abs() < 1e-15);
+        assert_eq!(rule.half_width(0, 0), f64::INFINITY);
+        assert!(!rule.satisfied(0, 0));
+    }
+}

@@ -5,7 +5,12 @@
 //! paper reports:
 //!
 //! * [`MonteCarlo`] — a seeded, optionally multi-threaded trial runner with
-//!   [`SuccessEstimate`] results (Wilson confidence intervals);
+//!   [`SuccessEstimate`] results (Wilson confidence intervals). Batches run
+//!   on the engine's streaming executor (work-stealing shards, reports
+//!   folded into [`OnlineAccumulator`]s in trial order as trials finish —
+//!   nothing materialised, bit-identical at every thread count), and the
+//!   `_until` estimator variants stop early once an [`EarlyStop`]
+//!   confidence-width target is met;
 //! * [`ThresholdSearch`] — empirical majority-consensus thresholds: the
 //!   smallest initial gap `∆` for which the estimated success probability
 //!   reaches the paper's `1 − 1/n` criterion;
@@ -47,7 +52,15 @@ pub mod stats;
 mod threshold;
 
 pub use estimate::SuccessEstimate;
-pub use montecarlo::{ConsensusStats, MonteCarlo, PluralityStats};
+pub use montecarlo::{
+    ConsensusAccumulator, ConsensusStats, MonteCarlo, PluralityAccumulator, PluralityStats,
+};
 pub use scaling::{ScalingFit, ScalingLaw};
 pub use seed::Seed;
 pub use threshold::{ThresholdResult, ThresholdSearch};
+// The streaming vocabulary used by `MonteCarlo`'s batch API, re-exported so
+// estimator callers need not depend on `lv_engine` directly.
+pub use lv_engine::stream::{
+    EarlyStop, OnlineAccumulator, Progress, ReportStream, RunMoments, StreamConfig, SuccessTally,
+    Welford,
+};

@@ -1,12 +1,16 @@
 use crate::estimate::SuccessEstimate;
 use crate::seed::Seed;
-use crate::stats;
 use lv_crn::StopCondition;
-use lv_engine::{PluralityOutcome, RunReport, Scenario};
-use lv_lotka::{LvModel, MajorityOutcome};
+use lv_engine::stream::{
+    EarlyStop, OnlineAccumulator, Progress, ReportStream, StreamConfig, SuccessTally,
+    TrialRngFactory,
+};
+use lv_engine::{RunReport, Scenario};
+use lv_lotka::LvModel;
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Aggregate statistics of the majority-consensus observables over a batch of
 /// trials (the quantities bounded by Theorem 13).
@@ -56,66 +60,137 @@ impl ConsensusStats {
     pub fn has_completed_trials(&self) -> bool {
         self.completed > 0
     }
+}
 
-    fn from_outcomes(outcomes: &[MajorityOutcome]) -> ConsensusStats {
-        let completed: Vec<&MajorityOutcome> =
-            outcomes.iter().filter(|o| o.consensus_reached).collect();
-        // Count actual budget exhaustions, not merely "did not reach
-        // consensus": a custom stop condition can end a trial legitimately
-        // (ConditionMet) without either consensus or truncation.
-        let truncated = outcomes.iter().filter(|o| o.truncated).count() as u64;
-        let events: Vec<f64> = completed.iter().map(|o| o.events as f64).collect();
-        let noise: Vec<f64> = completed.iter().map(|o| o.noise.total() as f64).collect();
-        // `fraction` and `stats::mean` are both 0.0 over the empty sample, so
-        // a fully-truncated batch yields finite (if vacuous) aggregates.
-        let fraction = |count: usize| {
-            if completed.is_empty() {
-                0.0
-            } else {
-                count as f64 / completed.len() as f64
-            }
-        };
+/// Streaming accumulator behind [`MonteCarlo::consensus_stats`]: folds one
+/// [`RunReport`] at a time into the running sums a [`ConsensusStats`] needs,
+/// so no batch of outcomes is ever materialised.
+///
+/// Every mean is a running left-to-right sum over the completed trials in
+/// trial order — bit-identical to collecting the outcomes into a `Vec` and
+/// averaging it, at every thread count (the [`ReportStream`] delivers trials
+/// in index order). The noise standard deviation is computed from *exact*
+/// integer moments (`Σv`, `Σv²` in 128-bit integers — noise totals are
+/// integers), making it deterministic and order-independent with a single
+/// final rounding; a two-pass float reference agrees to within an ulp.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ConsensusAccumulator {
+    trials: u64,
+    completed: u64,
+    // Count actual budget exhaustions, not merely "did not reach consensus":
+    // a custom stop condition can end a trial legitimately (ConditionMet)
+    // without either consensus or truncation.
+    truncated: u64,
+    majority_wins: u64,
+    both_extinct: u64,
+    sum_events: f64,
+    max_events: u64,
+    sum_individual: f64,
+    sum_competitive: f64,
+    sum_bad: f64,
+    max_bad: u64,
+    sum_noise: f64,
+    noise_sum: i128,
+    noise_sum_sq: i128,
+    sum_competitive_noise: f64,
+}
+
+impl ConsensusAccumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        ConsensusAccumulator::default()
+    }
+
+    fn fraction(&self, count: u64) -> f64 {
+        // 0.0 over the empty sample, so a fully-truncated batch yields
+        // finite (if vacuous) aggregates.
+        if self.completed == 0 {
+            0.0
+        } else {
+            count as f64 / self.completed as f64
+        }
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            sum / self.completed as f64
+        }
+    }
+
+    /// The population standard deviation of the noise totals from the exact
+    /// integer moments: `n·Σv² − (Σv)²` is computed without rounding, so the
+    /// result is independent of accumulation order.
+    fn noise_std_dev(&self) -> f64 {
+        if self.completed < 2 {
+            return 0.0;
+        }
+        let n = self.completed as i128;
+        let numerator = n * self.noise_sum_sq - self.noise_sum * self.noise_sum;
+        let n = self.completed as f64;
+        ((numerator as f64) / (n * n)).sqrt()
+    }
+}
+
+impl OnlineAccumulator for ConsensusAccumulator {
+    type Output = ConsensusStats;
+
+    fn record(&mut self, _trial: u64, report: &RunReport) {
+        debug_assert_eq!(report.species_count(), 2);
+        self.trials += 1;
+        if report.truncated() {
+            self.truncated += 1;
+        }
+        if !report.consensus_reached() {
+            return;
+        }
+        self.completed += 1;
+        if report.majority_won() {
+            self.majority_wins += 1;
+        }
+        if report.final_state.winner().is_none() {
+            self.both_extinct += 1;
+        }
+        self.sum_events += report.events as f64;
+        self.max_events = self.max_events.max(report.events);
+        let counts = report.event_counts().unwrap_or_default();
+        self.sum_individual += counts.individual as f64;
+        self.sum_competitive += counts.competitive as f64;
+        self.sum_bad += counts.bad_noncompetitive as f64;
+        self.max_bad = self.max_bad.max(counts.bad_noncompetitive);
+        let noise = report.noise().unwrap_or_default().classified;
+        let total = noise.total();
+        self.sum_noise += total as f64;
+        self.noise_sum += i128::from(total);
+        self.noise_sum_sq += i128::from(total) * i128::from(total);
+        self.sum_competitive_noise += noise.competitive as f64;
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn successes(&self) -> Option<u64> {
+        Some(self.majority_wins)
+    }
+
+    fn finish(self) -> ConsensusStats {
         ConsensusStats {
-            trials: outcomes.len() as u64,
-            completed: completed.len() as u64,
-            truncated,
-            majority_fraction: fraction(completed.iter().filter(|o| o.majority_won()).count()),
-            both_extinct_fraction: fraction(
-                completed.iter().filter(|o| o.winner.is_none()).count(),
-            ),
-            mean_events: stats::mean(&events),
-            max_events: completed.iter().map(|o| o.events).max().unwrap_or(0),
-            mean_individual_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.individual_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            mean_competitive_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.competitive_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            mean_bad_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.bad_noncompetitive_events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            max_bad_events: completed
-                .iter()
-                .map(|o| o.bad_noncompetitive_events)
-                .max()
-                .unwrap_or(0),
-            mean_noise: stats::mean(&noise),
-            noise_std_dev: stats::std_dev(&noise),
-            mean_competitive_noise: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.noise.competitive as f64)
-                    .collect::<Vec<_>>(),
-            ),
+            trials: self.trials,
+            completed: self.completed,
+            truncated: self.truncated,
+            majority_fraction: self.fraction(self.majority_wins),
+            both_extinct_fraction: self.fraction(self.both_extinct),
+            mean_events: self.mean(self.sum_events),
+            max_events: self.max_events,
+            mean_individual_events: self.mean(self.sum_individual),
+            mean_competitive_events: self.mean(self.sum_competitive),
+            mean_bad_events: self.mean(self.sum_bad),
+            max_bad_events: self.max_bad,
+            mean_noise: self.mean(self.sum_noise),
+            noise_std_dev: self.noise_std_dev(),
+            mean_competitive_noise: self.mean(self.sum_competitive_noise),
         }
     }
 }
@@ -186,42 +261,95 @@ impl PluralityStats {
     pub fn has_completed_trials(&self) -> bool {
         self.completed > 0
     }
+}
 
-    fn from_outcomes(species: usize, outcomes: &[PluralityOutcome]) -> PluralityStats {
-        let completed: Vec<&PluralityOutcome> =
-            outcomes.iter().filter(|o| o.consensus_reached).collect();
-        let truncated = outcomes.iter().filter(|o| o.truncated).count() as u64;
-        let fraction = |count: usize| {
-            if completed.is_empty() {
-                0.0
-            } else {
-                count as f64 / completed.len() as f64
-            }
-        };
-        let win_fractions = (0..species)
-            .map(|i| fraction(completed.iter().filter(|o| o.winner == Some(i)).count()))
+/// Streaming accumulator behind [`MonteCarlo::plurality_stats`]: the
+/// `k`-species counterpart of [`ConsensusAccumulator`], folding one
+/// [`RunReport`] at a time so no batch of outcomes is ever materialised.
+///
+/// The win/truncation bookkeeping *is* the engine's
+/// [`PluralityTally`](lv_engine::stream::PluralityTally), so the two
+/// accumulators can never diverge; this type adds the event/margin running
+/// sums and the max-population watermark that [`PluralityStats`] reports.
+/// All means are running sums over completed trials in trial order,
+/// bit-identical to the materialising implementation at every thread count.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PluralityAccumulator {
+    tally: lv_engine::stream::PluralityTally,
+    sum_events: f64,
+    sum_margin: f64,
+    /// Over *all* trials, not just completed ones.
+    max_population: u64,
+}
+
+impl PluralityAccumulator {
+    /// An empty accumulator over `species` species.
+    pub fn new(species: usize) -> Self {
+        PluralityAccumulator {
+            tally: lv_engine::stream::PluralityTally::new(species),
+            sum_events: 0.0,
+            sum_margin: 0.0,
+            max_population: 0,
+        }
+    }
+
+    fn fraction(&self, count: u64) -> f64 {
+        if self.tally.completed() == 0 {
+            0.0
+        } else {
+            count as f64 / self.tally.completed() as f64
+        }
+    }
+
+    fn mean(&self, sum: f64) -> f64 {
+        if self.tally.completed() == 0 {
+            0.0
+        } else {
+            sum / self.tally.completed() as f64
+        }
+    }
+}
+
+impl OnlineAccumulator for PluralityAccumulator {
+    type Output = PluralityStats;
+
+    fn record(&mut self, trial: u64, report: &RunReport) {
+        self.tally.record(trial, report);
+        self.max_population = self
+            .max_population
+            .max(report.max_population().unwrap_or(0));
+        if report.consensus_reached() {
+            self.sum_events += report.events as f64;
+            self.sum_margin += report.final_state.margin() as f64;
+        }
+    }
+
+    fn trials(&self) -> u64 {
+        self.tally.trials()
+    }
+
+    fn successes(&self) -> Option<u64> {
+        Some(self.tally.leader_wins())
+    }
+
+    fn finish(self) -> PluralityStats {
+        let win_fractions = self
+            .tally
+            .wins()
+            .iter()
+            .map(|&w| self.fraction(w))
             .collect();
         PluralityStats {
-            species,
-            trials: outcomes.len() as u64,
-            completed: completed.len() as u64,
-            truncated,
+            species: self.tally.species(),
+            trials: self.tally.trials(),
+            completed: self.tally.completed(),
+            truncated: self.tally.truncated(),
             win_fractions,
-            no_survivor_fraction: fraction(completed.iter().filter(|o| o.winner.is_none()).count()),
-            leader_win_fraction: fraction(completed.iter().filter(|o| o.plurality_won()).count()),
-            mean_events: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.events as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            mean_margin: stats::mean(
-                &completed
-                    .iter()
-                    .map(|o| o.margin as f64)
-                    .collect::<Vec<_>>(),
-            ),
-            max_population: outcomes.iter().map(|o| o.max_population).max().unwrap_or(0),
+            no_survivor_fraction: self.fraction(self.tally.no_survivor()),
+            leader_win_fraction: self.fraction(self.tally.leader_wins()),
+            mean_events: self.mean(self.sum_events),
+            mean_margin: self.mean(self.sum_margin),
+            max_population: self.max_population,
         }
     }
 }
@@ -257,10 +385,15 @@ impl fmt::Display for PluralityStats {
 ///
 /// All estimates are reproducible given the seed: trial `i` always uses the
 /// RNG stream [`Seed::rng_for_trial`]`(i)`, independent of threading.
-/// When more than one thread is configured (the default uses all available
-/// cores) trials are split into contiguous chunks processed by scoped
-/// crossbeam threads — the per-trial RNG derivation makes the result
-/// bit-identical for every thread count.
+/// Batches execute through the engine's streaming executor
+/// ([`ReportStream`]): worker threads claim dynamic shards from a
+/// work-stealing queue and reports are folded into
+/// [`OnlineAccumulator`]s *in trial order, as trials finish* — no estimator
+/// materialises a batch, and every result is bit-identical for every thread
+/// count (the default uses all available cores). The `_until` estimator
+/// variants add sequential early stopping: they end the stream once the
+/// success-probability confidence interval is tight enough and report the
+/// actual number of trials spent.
 ///
 /// Every trial executes through the engine [`Backend`](lv_engine::Backend)
 /// selected with [`MonteCarlo::with_backend`] (default: the exact
@@ -277,6 +410,7 @@ pub struct MonteCarlo {
     threads: usize,
     max_events_factor: u64,
     backend: &'static str,
+    shard_size: Option<u64>,
 }
 
 impl MonteCarlo {
@@ -297,6 +431,7 @@ impl MonteCarlo {
             threads,
             max_events_factor: 200,
             backend: "jump-chain",
+            shard_size: None,
         }
     }
 
@@ -316,6 +451,19 @@ impl MonteCarlo {
     /// consensus time of Theorem 13).
     pub fn with_max_events_factor(mut self, factor: u64) -> Self {
         self.max_events_factor = factor;
+        self
+    }
+
+    /// Fixes the streaming shard size (trials claimed per work-stealing
+    /// queue access; the default sizes shards automatically). Results are
+    /// identical for every shard size — only scheduling granularity changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_size == 0`.
+    pub fn with_shard_size(mut self, shard_size: u64) -> Self {
+        assert!(shard_size > 0, "shards must hold at least one trial");
+        self.shard_size = Some(shard_size);
         self
     }
 
@@ -381,6 +529,15 @@ impl MonteCarlo {
 
     /// Runs every trial through `map` and folds the results with `reduce`.
     /// Trials are distributed over the configured number of threads.
+    ///
+    /// `reduce` must be associative; `init` must be a left identity of it
+    /// (or at least the caller must accept the canonical grouping below).
+    /// The result is the canonical left fold
+    /// `reduce(…reduce(reduce(init, p₀), p₁)…, pₖ)` where each partial `pᵢ`
+    /// is the reduction of one worker's chunk of mapped values *without*
+    /// `init` — so `init` enters the fold exactly once regardless of the
+    /// thread count, and any associative accumulator (including a
+    /// non-identity `init`) is thread-count invariant.
     pub fn map_reduce<T, M, R>(&self, map: M, init: T, reduce: R) -> T
     where
         T: Clone + Send,
@@ -406,10 +563,15 @@ impl MonteCarlo {
                     continue;
                 }
                 let map = &map;
-                let init = init.clone();
                 handles.push(scope.spawn(move |_| {
-                    let mut acc = init;
-                    for trial in start..end {
+                    // Seed each worker's partial with its first mapped value
+                    // (not with `init`): folding `init` into every partial
+                    // *and* into the final fold would make any non-identity
+                    // `init` enter the result once per thread plus once more,
+                    // i.e. a thread-count-dependent answer.
+                    let mut rng = self.seed.rng_for_trial(start);
+                    let mut acc = map(start, &mut rng);
+                    for trial in start + 1..end {
                         let mut rng = self.seed.rng_for_trial(trial);
                         acc = reduce(acc, map(trial, &mut rng));
                     }
@@ -425,67 +587,115 @@ impl MonteCarlo {
         partials.into_iter().fold(init, reduce)
     }
 
+    /// The resolved backend for this runner.
+    fn resolved_backend(&self) -> &'static dyn lv_engine::Backend {
+        lv_engine::backend(self.backend).expect("constructor validated the backend name")
+    }
+
+    /// The streaming configuration for this runner's trial/thread settings.
+    fn stream_config(&self) -> StreamConfig {
+        let config = StreamConfig::new(self.trials).with_threads(self.threads);
+        match self.shard_size {
+            Some(shard) => config.with_shard_size(shard),
+            None => config,
+        }
+    }
+
+    /// The per-trial RNG factory: exactly [`Seed::rng_for_trial`], the
+    /// reproducibility contract every estimator relies on.
+    fn rng_factory(&self) -> TrialRngFactory {
+        let seed = self.seed;
+        Arc::new(move |trial| seed.rng_for_trial(trial))
+    }
+
+    /// Streams this runner's batch of the scenario: an iterator yielding
+    /// `(trial, RunReport)` pairs in trial order as trials finish on the
+    /// worker pool. This is the primitive every estimator below folds over.
+    pub fn stream(&self, scenario: &Scenario) -> ReportStream {
+        ReportStream::new(
+            scenario,
+            self.resolved_backend(),
+            self.stream_config(),
+            self.rng_factory(),
+        )
+    }
+
+    /// Folds the streamed batch into the accumulator — the allocation-free
+    /// way to compute custom statistics over a batch.
+    pub fn fold<A: OnlineAccumulator>(&self, scenario: &Scenario, accumulator: A) -> A {
+        self.stream(scenario).fold(accumulator)
+    }
+
+    /// Like [`MonteCarlo::fold`], with a sequential early-stopping rule and
+    /// a per-trial progress callback. When the rule fires, remaining trials
+    /// are discarded and the accumulator's
+    /// [`trials`](OnlineAccumulator::trials) reports the actual count.
+    pub fn fold_with<A, P>(
+        &self,
+        scenario: &Scenario,
+        accumulator: A,
+        early: Option<EarlyStop>,
+        progress: P,
+    ) -> A
+    where
+        A: OnlineAccumulator,
+        P: FnMut(Progress),
+    {
+        self.stream(scenario)
+            .fold_with(accumulator, early, progress)
+    }
+
     /// Runs the scenario once per trial on the configured backend and folds
-    /// the reports — the primitive every estimator below is built on.
+    /// the reports.
+    ///
+    /// Reports are folded strictly in trial order (`reduce(acc, map(i, rᵢ))`
+    /// for `i = 0, 1, …`), so for an associative `reduce` the result is
+    /// thread-count invariant. Prefer implementing an
+    /// [`OnlineAccumulator`] and using [`MonteCarlo::fold`] for new code —
+    /// this adapter exists for closure-style callers.
     pub fn run_batch<T, M, R>(&self, scenario: &Scenario, map: M, init: T, reduce: R) -> T
     where
-        T: Clone + Send,
-        M: Fn(u64, RunReport) -> T + Sync,
-        R: Fn(T, T) -> T + Sync + Send + Copy,
+        M: Fn(u64, RunReport) -> T,
+        R: Fn(T, T) -> T,
     {
-        let backend =
-            lv_engine::backend(self.backend).expect("constructor validated the backend name");
-        if backend.deterministic() {
-            // Every trial of a deterministic backend yields the same report;
-            // run it once and fold that report through every trial slot so
-            // estimators keep their trial counts without redundant work.
-            let mut rng = self.seed.rng_for_trial(0);
-            let report = backend.run(scenario, &mut rng);
-            let mut acc = init;
-            for trial in 0..self.trials {
-                acc = reduce(acc, map(trial, report.clone()));
-            }
-            return acc;
+        let mut acc = init;
+        for (trial, report) in self.stream(scenario) {
+            acc = reduce(acc, map(trial, report));
         }
-        self.map_reduce(
-            |trial, rng| map(trial, backend.run(scenario, rng)),
-            init,
-            reduce,
-        )
+        acc
     }
 
     /// Estimates the probability that the initial majority species wins
     /// majority consensus from `(a, b)` under the given model.
     pub fn success_probability(&self, model: &LvModel, a: u64, b: u64) -> SuccessEstimate {
         let scenario = self.lean_scenario(model, a, b);
-        let wins = self.run_batch(
-            &scenario,
-            |_, report| u64::from(report.majority_won()),
-            0u64,
-            |acc, v| acc + v,
-        );
-        SuccessEstimate::new(wins, self.trials)
+        let tally = self.fold(&scenario, SuccessTally::new());
+        SuccessEstimate::new(tally.successes(), tally.trials())
+    }
+
+    /// Like [`MonteCarlo::success_probability`], but with sequential early
+    /// stopping: the batch ends as soon as the rule's confidence half-width
+    /// target is met (or after this runner's configured trial budget,
+    /// whichever comes first), and the estimate reports the number of
+    /// trials actually spent. Bit-identical at every thread count.
+    pub fn success_probability_until(
+        &self,
+        model: &LvModel,
+        a: u64,
+        b: u64,
+        rule: EarlyStop,
+    ) -> SuccessEstimate {
+        let scenario = self.lean_scenario(model, a, b);
+        let tally = self.fold_with(&scenario, SuccessTally::new(), Some(rule), |_| {});
+        SuccessEstimate::new(tally.successes(), tally.trials())
     }
 
     /// Estimates the paper's proportional-law score
     /// `P(majority wins) + ½·P(both species extinct)` (see `lv_lotka::exact`).
     pub fn proportional_score(&self, model: &LvModel, a: u64, b: u64) -> f64 {
         let scenario = self.lean_scenario(model, a, b);
-        let total = self.run_batch(
-            &scenario,
-            |_, report| {
-                if report.majority_won() {
-                    1.0
-                } else if report.consensus_reached() && report.final_state.winner().is_none() {
-                    0.5
-                } else {
-                    0.0
-                }
-            },
-            0.0,
-            |acc, v| acc + v,
-        );
-        total / self.trials as f64
+        let score = self.fold(&scenario, ProportionalScore::default());
+        score.sum / score.trials as f64
     }
 
     /// Collects the full observable statistics of Theorem 13 over the trials.
@@ -507,16 +717,7 @@ impl MonteCarlo {
             2,
             "consensus_stats_scenario requires a two-species scenario; use plurality_stats"
         );
-        let outcomes: Vec<MajorityOutcome> = self.run_batch(
-            scenario,
-            |_, report| vec![report.to_majority_outcome()],
-            Vec::new(),
-            |mut acc, mut v| {
-                acc.append(&mut v);
-                acc
-            },
-        );
-        ConsensusStats::from_outcomes(&outcomes)
+        self.fold(scenario, ConsensusAccumulator::new()).finish()
     }
 
     /// Collects plurality-consensus statistics over a batch of trials of a
@@ -528,24 +729,50 @@ impl MonteCarlo {
     /// Panics if the configured backend does not support the scenario's
     /// species count (e.g. `"approx-majority"` on a `k > 2` scenario).
     pub fn plurality_stats(&self, scenario: &Scenario) -> PluralityStats {
-        let backend =
-            lv_engine::backend(self.backend).expect("constructor validated the backend name");
         assert!(
-            backend.supports_species(scenario.species_count()),
+            self.resolved_backend()
+                .supports_species(scenario.species_count()),
             "backend {:?} does not support {}-species scenarios",
             self.backend,
             scenario.species_count()
         );
-        let outcomes: Vec<PluralityOutcome> = self.run_batch(
+        self.fold(
             scenario,
-            |_, report| vec![report.to_plurality_outcome()],
-            Vec::new(),
-            |mut acc, mut v| {
-                acc.append(&mut v);
-                acc
-            },
-        );
-        PluralityStats::from_outcomes(scenario.species_count(), &outcomes)
+            PluralityAccumulator::new(scenario.species_count()),
+        )
+        .finish()
+    }
+}
+
+/// Running proportional-law score: `1` per majority win, `½` per mutual
+/// extinction, folded in trial order (sums of halves are exact in `f64`, so
+/// the mean is bit-identical to the materialising implementation).
+#[derive(Debug, Clone, Copy, Default)]
+struct ProportionalScore {
+    trials: u64,
+    sum: f64,
+}
+
+impl OnlineAccumulator for ProportionalScore {
+    type Output = ProportionalScore;
+
+    fn record(&mut self, _trial: u64, report: &RunReport) {
+        self.trials += 1;
+        self.sum += if report.majority_won() {
+            1.0
+        } else if report.consensus_reached() && report.final_state.winner().is_none() {
+            0.5
+        } else {
+            0.0
+        };
+    }
+
+    fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    fn finish(self) -> ProportionalScore {
+        self
     }
 }
 
@@ -775,6 +1002,69 @@ mod tests {
         let mc = MonteCarlo::new(1_000, Seed::from(4)).with_threads(3);
         let sum = mc.map_reduce(|trial, _| trial, 0u64, |a, b| a + b);
         assert_eq!(sum, 999 * 1_000 / 2);
+    }
+
+    #[test]
+    fn map_reduce_folds_a_non_identity_init_exactly_once() {
+        // Regression test: the old implementation seeded every worker's
+        // partial with `init` *and* folded `init` into the final result, so
+        // a non-identity accumulator gave thread-count-dependent answers
+        // (1 thread: init + Σ; w threads: (w + 1)·init + Σ).
+        let expected = 100 + 999 * 1_000 / 2;
+        for threads in [1, 2, 8] {
+            let mc = MonteCarlo::new(1_000, Seed::from(4)).with_threads(threads);
+            let sum = mc.map_reduce(|trial, _| trial, 100u64, |a, b| a + b);
+            assert_eq!(sum, expected, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn early_stopped_estimates_report_actual_trials_and_meet_the_target() {
+        let rule = EarlyStop::at_half_width(0.1).with_min_trials(8);
+        let mc = MonteCarlo::new(100_000, Seed::from(21));
+        let estimate = mc.success_probability_until(&model(), 80, 20, rule);
+        assert!(estimate.trials() >= 8);
+        assert!(estimate.trials() < 100_000, "the rule never fired");
+        let (low, high) = estimate.wilson_interval(1.96);
+        assert!((high - low) / 2.0 <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn streamed_reports_arrive_in_trial_order() {
+        let mc = MonteCarlo::new(64, Seed::from(22)).with_threads(4);
+        let scenario = Scenario::majority(model(), 60, 40);
+        let trials: Vec<u64> = mc.stream(&scenario).map(|(trial, _)| trial).collect();
+        assert_eq!(trials, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn custom_accumulators_fold_over_the_stream() {
+        // Max consensus time via a closure-free accumulator: the same
+        // statistic as folding the reports by hand.
+        #[derive(Default)]
+        struct MaxEvents {
+            trials: u64,
+            max: u64,
+        }
+        impl OnlineAccumulator for MaxEvents {
+            type Output = u64;
+            fn record(&mut self, _trial: u64, report: &RunReport) {
+                self.trials += 1;
+                self.max = self.max.max(report.events);
+            }
+            fn trials(&self) -> u64 {
+                self.trials
+            }
+            fn finish(self) -> u64 {
+                self.max
+            }
+        }
+        let mc = MonteCarlo::new(32, Seed::from(23)).with_threads(4);
+        let scenario = Scenario::majority(model(), 50, 40);
+        let max = mc.fold(&scenario, MaxEvents::default()).finish();
+        let reference = mc.run_batch(&scenario, |_, r| r.events, 0, u64::max);
+        assert_eq!(max, reference);
+        assert!(max > 0);
     }
 
     #[test]
