@@ -49,6 +49,30 @@ fn bench(c: &mut Criterion) {
         })
     });
 
+    // An adaptive threshold probe far from the threshold: the decision
+    // boundary at the search target lets the Wilson interval clear it after
+    // a handful of trials, so this measures the early-stopping win the
+    // threshold search banks on at every doubling probe (contrast with the
+    // fixed STREAM_TRIALS batch above, which runs all 512 trials).
+    let target = 1.0 - 1.0 / BENCH_N as f64;
+    let probe_rule = EarlyStop::at_half_width(1.0 / STREAM_TRIALS as f64)
+        .with_boundary(target)
+        .with_min_trials(8);
+    let mc = MonteCarlo::new(STREAM_TRIALS, bench_seed()).with_threads(4);
+    group.bench_function("adaptive_threshold_probe_far_gap_4threads", |b| {
+        b.iter(|| {
+            black_box(mc.success_probability_until(
+                &model,
+                // Gap 2, far below the self-destructive threshold: ρ ≈ 1/2,
+                // nowhere near the 1 − 1/n target, so the interval clears
+                // the boundary almost immediately.
+                black_box(BENCH_N / 2 + 1),
+                black_box(BENCH_N / 2 - 1),
+                probe_rule,
+            ))
+        })
+    });
+
     group.finish();
 }
 

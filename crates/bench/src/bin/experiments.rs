@@ -74,7 +74,8 @@ fn usage() {
          \te11  population-protocol baselines\n\
          \te12  gamma/alpha ablation\n\
          \te13  pseudo-coupling domination\n\
-         \te14  k-species plurality presets across backends"
+         \te14  k-species plurality presets across backends\n\
+         \te15  threshold scaling per backend + k-species plurality margins"
     );
 }
 

@@ -10,15 +10,17 @@
 //!   [`lv_lotka::LvModel`] or the general `k`-species
 //!   [`lv_lotka::MultiLvModel`]), an initial [`lv_lotka::Population`], a
 //!   [`lv_crn::StopCondition`] and a set of composable [`ObserverSpec`]s;
-//! * [`Backend`] — the *how*: an object-safe execution engine. Six are
+//! * [`Backend`] — the *how*: an object-safe execution engine. Eight are
 //!   built in — the exact specialised jump chain (the paper's chain `S`),
 //!   the Gillespie direct method, the next-reaction method, tau-leaping,
-//!   the deterministic mean-field ODE, and the 3-state approximate-majority
-//!   population protocol as a baseline;
+//!   the deterministic mean-field ODE, and three population-protocol
+//!   baselines (3-state approximate majority, 4-state exact majority, the
+//!   2-state Czyzowicz et al. discrete LV dynamics);
 //! * [`BackendRegistry`] — string-keyed backend selection for CLIs and
 //!   benches (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
-//!   `"tau-leaping"`, `"ode"`, `"approx-majority"`, plus aliases), open for
-//!   external registration via [`BackendRegistry::register`];
+//!   `"tau-leaping"`, `"ode"`, `"approx-majority"`, `"exact-majority"`,
+//!   `"czyzowicz-lv"`, plus aliases), open for external registration via
+//!   [`BackendRegistry::register`];
 //! * [`presets`] — named multi-species scenario presets (3-species cyclic
 //!   competition, planted `k`-species plurality, two-vs-many coalition);
 //! * [`RunReport`] — the uniform result: summary fields plus one
@@ -50,9 +52,11 @@
 //! for backend in BackendRegistry::global().iter() {
 //!     let mut rng = StdRng::seed_from_u64(7);
 //!     let report = backend.run(&scenario, &mut rng);
-//!     // A 4:1 initial majority wins under every backend — including the
-//!     // approximate-majority protocol baseline.
-//!     assert!(report.majority_won(), "{}", backend.name());
+//!     // Every backend — LV kernels and protocol baselines alike — drives
+//!     // the run to consensus. (Who wins is another matter: the Czyzowicz
+//!     // baseline follows the proportional law, so a 4:1 majority only
+//!     // wins 80% of its runs.)
+//!     assert!(report.consensus_reached(), "{}", backend.name());
 //! }
 //! ```
 //!
@@ -97,7 +101,7 @@ pub use observer::{
     EventCounts, NoiseObservation, Observation, Observer, ObserverSpec, StepRecord,
 };
 pub use presets::{preset, ScenarioPreset};
-pub use protocol_backend::ApproxMajorityBackend;
+pub use protocol_backend::{ApproxMajorityBackend, CzyzowiczLvBackend, ExactMajorityBackend};
 pub use registry::{backend, BackendRegistry, DuplicateBackendError};
 pub use report::{PluralityOutcome, RunReport};
 pub use scenario::{default_majority_budget, majority_budget, Scenario, ScenarioModel};

@@ -1,15 +1,216 @@
-//! Protocol baselines as backends: the 3-state approximate-majority
-//! population protocol behind the same [`Backend`] interface as the
-//! Lotka–Volterra kernels, so E11-style protocol-vs-LV comparisons run
-//! through one registry and one Monte-Carlo harness.
+//! Protocol baselines as backends: population protocols behind the same
+//! [`Backend`] interface as the Lotka–Volterra kernels, so protocol-vs-LV
+//! comparisons (E11, E15 threshold sweeps) run through one registry and one
+//! Monte-Carlo harness.
+//!
+//! Three baselines are built in:
+//!
+//! * [`ApproxMajorityBackend`] — the 3-state approximate-majority protocol
+//!   of Angluin–Aspnes–Eisenstat (`"approx-majority"`);
+//! * [`ExactMajorityBackend`] — the 4-state exact-majority protocol of
+//!   Draief–Vojnović / Mertzios et al. (`"exact-majority"`): always correct
+//!   for any non-zero gap, at `Θ(n²)` expected interactions;
+//! * [`CzyzowiczLvBackend`] — the two-state discrete Lotka–Volterra
+//!   dynamics of Czyzowicz et al. (`"czyzowicz-lv"`): the proportional law
+//!   `P(majority wins) = a/n`, so high-probability consensus needs a
+//!   *linear* gap.
+//!
+//! All three share one generic stepper, [`run_two_opinion_protocol`]: the
+//! protocol-specific parts are the [`PopulationProtocol`] itself (stepped
+//! through [`ProtocolSimulation`], with opinions read through
+//! `PopulationProtocol::output`) and an absorption [`ProtocolMonitor`] that
+//! knows when no future interaction can change any state.
 
 use crate::backend::{Backend, Driver};
 use crate::report::RunReport;
 use crate::scenario::Scenario;
 use lv_crn::StopReason;
 use lv_lotka::PopulationEvent;
-use lv_protocols::{ApproximateMajority, Opinion, ProtocolSimulation};
+use lv_protocols::{
+    ApproximateMajority, CzyzowiczLvProtocol, ExactMajority4State, FourState, Interaction, Opinion,
+    PopulationProtocol, ProtocolSimulation,
+};
 use rand::rngs::StdRng;
+
+/// Protocol-specific absorption bookkeeping for the generic stepper: decides
+/// when the configuration is *absorbed* (no future interaction can change
+/// any agent's state), optionally maintaining incremental state from the
+/// observed interactions.
+///
+/// Without this exit, an unsatisfiable stop condition with no budget would
+/// spin forever on inert interactions — the LV backends escape the same
+/// situation through their zero-propensity absorption check.
+trait ProtocolMonitor<P: PopulationProtocol> {
+    /// Whether the current configuration is absorbed.
+    fn absorbed(&self, sim: &ProtocolSimulation<P>) -> bool;
+
+    /// Observes one applied interaction (for incremental bookkeeping).
+    fn observe(&mut self, _interaction: &Interaction<P::State>) {}
+}
+
+/// Absorption by committed consensus: every agent outputs the same opinion.
+/// Correct for protocols where any mixed-output configuration can still
+/// react (approximate majority, the two-state Czyzowicz dynamics). O(1) via
+/// the incrementally maintained committed counts.
+struct CommittedConsensus;
+
+impl<P: PopulationProtocol> ProtocolMonitor<P> for CommittedConsensus {
+    fn absorbed(&self, sim: &ProtocolSimulation<P>) -> bool {
+        let (a, b) = sim.opinion_counts();
+        a + b == sim.population() && (a == 0 || b == 0)
+    }
+}
+
+/// Absorption for the 4-state exact-majority protocol: every transition
+/// needs a strong (token-carrying) agent, so the chain is absorbed once the
+/// strong tokens are exhausted (possible only from a tied start, since the
+/// strong-A/strong-B difference is invariant) or once one opinion has died
+/// out. The strong count is maintained in O(1) from the interactions —
+/// cancellation `(StrongA, StrongB) → (WeakA, WeakB)` is the only
+/// strong-consuming transition.
+struct StrongTokens {
+    strongs: u64,
+}
+
+impl ProtocolMonitor<ExactMajority4State> for StrongTokens {
+    fn absorbed(&self, sim: &ProtocolSimulation<ExactMajority4State>) -> bool {
+        let (a, b) = sim.opinion_counts();
+        self.strongs == 0 || a == 0 || b == 0
+    }
+
+    fn observe(&mut self, interaction: &Interaction<FourState>) {
+        if matches!(
+            (interaction.initiator_before, interaction.responder_before),
+            (FourState::StrongA, FourState::StrongB) | (FourState::StrongB, FourState::StrongA)
+        ) {
+            self.strongs -= 2;
+        }
+    }
+}
+
+/// Runs any two-opinion [`PopulationProtocol`] as an execution backend: the
+/// scenario's initial configuration `(a, b)` seeds `a` agents with opinion A
+/// and `b` with opinion B, each pairwise interaction counts as one event,
+/// and the reported state is the pair of *committed* counts
+/// `(#output A, #output B)` read through `PopulationProtocol::output`
+/// (undecided agents are internal). The model's rates are ignored
+/// ([`Backend::models_kinetics`] is `false` on all protocol backends).
+fn run_two_opinion_protocol<P, M>(
+    protocol: &P,
+    name: &'static str,
+    scenario: &Scenario,
+    rng: &mut StdRng,
+    mut monitor: M,
+) -> RunReport
+where
+    P: PopulationProtocol,
+    M: ProtocolMonitor<P>,
+{
+    assert_eq!(
+        scenario.species_count(),
+        2,
+        "the {name} backend runs two-species scenarios only"
+    );
+    let initial = scenario.initial();
+    let (a, b) = (initial.count(0), initial.count(1));
+    let mut driver = Driver::new(scenario);
+    // Degenerate starts must stop before the first interaction, like every
+    // other backend.
+    if let Some(reason) = driver.check_stop() {
+        return driver.finish(name, reason);
+    }
+    // The pairwise scheduler cannot run on fewer than two agents: no
+    // interaction can ever fire, which is an absorbed state in every
+    // backend's vocabulary.
+    if a + b < 2 {
+        return driver.finish(name, StopReason::Absorbed);
+    }
+    let mut sim = ProtocolSimulation::new(protocol, a, b);
+    loop {
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(name, reason);
+        }
+        if monitor.absorbed(&sim) {
+            return driver.finish(name, StopReason::Absorbed);
+        }
+        let interaction = sim.step(rng);
+        monitor.observe(&interaction);
+        let (after_a, after_b) = sim.opinion_counts();
+        // Classify the interaction for the observers by the agents' output
+        // transitions. Protocol rules may change either agent — the
+        // exact-majority strong-recruits-weak rule flips the *initiator*
+        // when the weak agent is scheduled first — so both sides are
+        // considered (at most one output changes in the built-in protocols).
+        let event = classify(
+            protocol.output(interaction.initiator_before),
+            protocol.output(interaction.initiator_after),
+            protocol.output(interaction.responder_before),
+            protocol.output(interaction.responder_after),
+        );
+        driver.record(event, &[after_a, after_b], sim.interactions() as f64, 1);
+    }
+}
+
+fn species(opinion: Opinion) -> usize {
+    match opinion {
+        Opinion::A => 0,
+        Opinion::B => 1,
+    }
+}
+
+/// Maps one interaction onto the LV event vocabulary by output transitions:
+/// cancellation and direct conversion are competitive attacks, recruitment
+/// of an undecided agent is a birth, anything else unclassified. Whichever
+/// agent's output changed determines the class — the other agent is the
+/// attacker/recruiter — so conversions count identically no matter which of
+/// the pair the scheduler drew as initiator.
+fn classify(
+    initiator_before: Option<Opinion>,
+    initiator_after: Option<Opinion>,
+    responder_before: Option<Opinion>,
+    responder_after: Option<Opinion>,
+) -> Option<PopulationEvent> {
+    if responder_before != responder_after {
+        classify_transition(initiator_before, responder_before, responder_after)
+    } else if initiator_before != initiator_after {
+        classify_transition(responder_before, initiator_before, initiator_after)
+    } else {
+        None
+    }
+}
+
+/// Classifies one agent's output transition given the unchanged `other`
+/// agent of the pair.
+fn classify_transition(
+    other: Option<Opinion>,
+    before: Option<Opinion>,
+    after: Option<Opinion>,
+) -> Option<PopulationEvent> {
+    match (other, before, after) {
+        // (X, Y) → (X, blank): X cancelled Y.
+        (Some(attacker), Some(victim), None) if attacker != victim => {
+            Some(PopulationEvent::Interspecific {
+                attacker: species(attacker),
+                victim: species(victim),
+            })
+        }
+        // (X, blank) → (X, X): X recruited a blank.
+        (Some(opinion), None, Some(recruited)) if opinion == recruited => {
+            Some(PopulationEvent::Birth(species(opinion)))
+        }
+        // (X, Y) → (X, X): X converted Y directly (Czyzowicz predation, the
+        // exact-majority strong-recruits-weak rule).
+        (Some(attacker), Some(victim), Some(converted))
+            if attacker != victim && converted == attacker =>
+        {
+            Some(PopulationEvent::Interspecific {
+                attacker: species(attacker),
+                victim: species(victim),
+            })
+        }
+        _ => None,
+    }
+}
 
 /// The 3-state approximate-majority protocol of Angluin–Aspnes–Eisenstat as
 /// an execution backend for *two-species* scenarios.
@@ -53,90 +254,104 @@ impl Backend for ApproxMajorityBackend {
     }
 
     fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
-        assert_eq!(
-            scenario.species_count(),
-            2,
-            "the approx-majority backend runs two-species scenarios only"
-        );
+        run_two_opinion_protocol(
+            &ApproximateMajority::new(),
+            self.name(),
+            scenario,
+            rng,
+            CommittedConsensus,
+        )
+    }
+}
+
+/// The 4-state exact-majority protocol of Draief–Vojnović / Mertzios et al.
+/// as an execution backend for *two-species* scenarios.
+///
+/// The strong-token difference is invariant, so the protocol decides the
+/// true initial majority for *any* non-zero gap — there is no threshold to
+/// find — but pays `Θ(n²)` expected interactions when the gap is small
+/// (Table 1, Section 2.2). Like every protocol baseline it ignores the
+/// model's rates and reports committed opinion counts; a tied start can
+/// exhaust its strong tokens and freeze in a mixed weak configuration,
+/// which the backend reports as an absorbed (non-consensus) run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactMajorityBackend;
+
+impl Backend for ExactMajorityBackend {
+    fn name(&self) -> &'static str {
+        "exact-majority"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["em", "4-state"]
+    }
+
+    fn description(&self) -> &'static str {
+        "4-state exact-majority population protocol baseline (always correct, ~n^2 interactions)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
         let initial = scenario.initial();
-        let (a, b) = (initial.count(0), initial.count(1));
-        let mut driver = Driver::new(scenario);
-        // Degenerate starts must stop before the first interaction, like
-        // every other backend.
-        if let Some(reason) = driver.check_stop() {
-            return driver.finish(self.name(), reason);
-        }
-        // The pairwise scheduler cannot run on fewer than two agents: no
-        // interaction can ever fire, which is an absorbed state in every
-        // backend's vocabulary.
-        if a + b < 2 {
-            return driver.finish(self.name(), StopReason::Absorbed);
-        }
-        let protocol = ApproximateMajority::new();
-        let mut sim = ProtocolSimulation::new(&protocol, a, b);
-        loop {
-            if let Some(reason) = driver.check_stop() {
-                return driver.finish(self.name(), reason);
-            }
-            // Once every agent is committed to one opinion, every further
-            // interaction is inert: the chain is absorbed. Without this exit
-            // an unsatisfiable stop condition with no budget would spin
-            // forever — the LV backends escape the same situation through
-            // their zero-propensity absorption check. O(1) via the
-            // incrementally maintained committed counts.
-            let (committed_a, committed_b) = sim.opinion_counts();
-            if committed_a + committed_b == sim.population()
-                && (committed_a == 0 || committed_b == 0)
-            {
-                return driver.finish(self.name(), StopReason::Absorbed);
-            }
-            let interaction = sim.step(rng);
-            let (after_a, after_b) = sim.opinion_counts();
-            // Classify the interaction for the observers. The initiator is
-            // never changed by the protocol's rules, so the responder's
-            // transition determines the class.
-            let event = classify(
-                protocol_output(interaction.initiator_before),
-                protocol_output(interaction.responder_before),
-                protocol_output(interaction.responder_after),
-            );
-            driver.record(event, &[after_a, after_b], sim.interactions() as f64, 1);
-        }
+        let strongs = initial.count(0) + initial.count(1);
+        run_two_opinion_protocol(
+            &ExactMajority4State::new(),
+            self.name(),
+            scenario,
+            rng,
+            StrongTokens { strongs },
+        )
     }
 }
 
-fn protocol_output(state: lv_protocols::TriState) -> Option<Opinion> {
-    use lv_protocols::PopulationProtocol;
-    ApproximateMajority::new().output(state)
-}
+/// The two-state discrete Lotka–Volterra dynamics of Czyzowicz et al.
+/// (`(A, B) → (A, A)`, `(B, A) → (B, B)`) as an execution backend for
+/// *two-species* scenarios.
+///
+/// On a static population these conversions are an unbiased random walk in
+/// the count of A, so the majority wins with probability exactly `a/n` —
+/// the proportional law — and high-probability majority consensus needs a
+/// gap *linear* in `n`, the baseline E15's threshold sweep contrasts with
+/// the paper's polylogarithmic self-destructive threshold.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CzyzowiczLvBackend;
 
-fn species(opinion: Opinion) -> usize {
-    match opinion {
-        Opinion::A => 0,
-        Opinion::B => 1,
+impl Backend for CzyzowiczLvBackend {
+    fn name(&self) -> &'static str {
+        "czyzowicz-lv"
     }
-}
 
-/// Maps one interaction onto the LV event vocabulary: cancellation is a
-/// competitive attack, recruitment a birth, anything else unclassified.
-fn classify(
-    initiator: Option<Opinion>,
-    responder_before: Option<Opinion>,
-    responder_after: Option<Opinion>,
-) -> Option<PopulationEvent> {
-    match (initiator, responder_before, responder_after) {
-        // (X, Y) → (X, blank): X cancelled Y.
-        (Some(attacker), Some(victim), None) if attacker != victim => {
-            Some(PopulationEvent::Interspecific {
-                attacker: species(attacker),
-                victim: species(victim),
-            })
-        }
-        // (X, blank) → (X, X): X recruited a blank.
-        (Some(opinion), None, Some(recruited)) if opinion == recruited => {
-            Some(PopulationEvent::Birth(species(opinion)))
-        }
-        _ => None,
+    fn aliases(&self) -> &'static [&'static str] {
+        &["cz", "2-state-lv"]
+    }
+
+    fn description(&self) -> &'static str {
+        "2-state Czyzowicz et al. discrete LV protocol baseline (proportional law, linear gap)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_two_opinion_protocol(
+            &CzyzowiczLvProtocol::new(),
+            self.name(),
+            scenario,
+            rng,
+            CommittedConsensus,
+        )
     }
 }
 
@@ -187,9 +402,15 @@ mod tests {
     #[test]
     fn seeded_runs_are_reproducible() {
         let scenario = Scenario::majority(LvModel::default(), 60, 40);
-        let a = ApproxMajorityBackend.run(&scenario, &mut rng(4));
-        let b = ApproxMajorityBackend.run(&scenario, &mut rng(4));
-        assert_eq!(a, b);
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ExactMajorityBackend,
+            &CzyzowiczLvBackend,
+        ] {
+            let a = backend.run(&scenario, &mut rng(4));
+            let b = backend.run(&scenario, &mut rng(4));
+            assert_eq!(a, b, "{}", backend.name());
+        }
     }
 
     #[test]
@@ -212,19 +433,30 @@ mod tests {
         // absorbed (not a panic, unlike ProtocolSimulation::new).
         let scenario =
             Scenario::new(LvModel::default(), (1, 0)).with_stop(StopCondition::total_at_least(10));
-        let report = ApproxMajorityBackend.run(&scenario, &mut rng(6));
-        assert_eq!(report.reason, StopReason::Absorbed);
-        assert_eq!(report.events, 0);
-        assert_eq!(report.final_state.counts(), &[1, 0]);
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ExactMajorityBackend,
+            &CzyzowiczLvBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(6));
+            assert_eq!(report.reason, StopReason::Absorbed, "{}", backend.name());
+            assert_eq!(report.events, 0, "{}", backend.name());
+            assert_eq!(report.final_state.counts(), &[1, 0], "{}", backend.name());
+        }
     }
 
     #[test]
-    fn capability_flags_mark_the_baseline() {
-        let backend = ApproxMajorityBackend;
-        assert!(backend.supports_species(2));
-        assert!(!backend.supports_species(3));
-        assert!(!backend.models_kinetics());
-        assert!(!backend.deterministic());
+    fn capability_flags_mark_the_baselines() {
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ExactMajorityBackend,
+            &CzyzowiczLvBackend,
+        ] {
+            assert!(backend.supports_species(2), "{}", backend.name());
+            assert!(!backend.supports_species(3), "{}", backend.name());
+            assert!(!backend.models_kinetics(), "{}", backend.name());
+            assert!(!backend.deterministic(), "{}", backend.name());
+        }
     }
 
     #[test]
@@ -234,5 +466,130 @@ mod tests {
         let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
         let scenario = Scenario::plurality(model, vec![10, 10, 10]);
         let _ = ApproxMajorityBackend.run(&scenario, &mut rng(5));
+    }
+
+    #[test]
+    fn exact_majority_decides_the_true_majority_even_for_tiny_gaps() {
+        // The defining property: the strong-token difference is invariant,
+        // so any non-zero gap decides correctly — no threshold exists.
+        let scenario = Scenario::majority(LvModel::default(), 26, 25);
+        for seed in 0..10 {
+            let report = ExactMajorityBackend.run(&scenario, &mut rng(seed));
+            assert_eq!(report.backend, "exact-majority");
+            assert!(report.consensus_reached(), "seed {seed} truncated");
+            assert!(report.majority_won(), "seed {seed} decided the minority");
+        }
+    }
+
+    #[test]
+    fn conversions_are_classified_whichever_agent_the_scheduler_flips() {
+        use Opinion::{A, B};
+        // Responder-side conversion: (StrongA, WeakB) → (StrongA, WeakA).
+        let responder_side = classify(Some(A), Some(A), Some(B), Some(A));
+        // Initiator-side conversion: (WeakB, StrongA) → (WeakA, StrongA) —
+        // the regression case: the weak agent is the scheduled initiator,
+        // so *its* output flips while the responder is unchanged.
+        let initiator_side = classify(Some(B), Some(A), Some(A), Some(A));
+        let expected = Some(PopulationEvent::Interspecific {
+            attacker: 0,
+            victim: 1,
+        });
+        assert_eq!(responder_side, expected);
+        assert_eq!(initiator_side, expected, "initiator-side conversion lost");
+        // Cancellation leaves both outputs unchanged: unclassified.
+        assert_eq!(classify(Some(A), Some(A), Some(B), Some(B)), None);
+        // Approx-majority shapes are untouched: cancel and recruit.
+        assert_eq!(
+            classify(Some(A), Some(A), Some(B), None),
+            Some(PopulationEvent::Interspecific {
+                attacker: 0,
+                victim: 1
+            })
+        );
+        assert_eq!(
+            classify(Some(B), Some(B), None, Some(B)),
+            Some(PopulationEvent::Birth(1))
+        );
+    }
+
+    #[test]
+    fn exact_majority_counts_conversions_from_both_scheduling_orders() {
+        // Statistical regression for the initiator-side classification: to
+        // reach consensus from (a, b), every one of the b minority agents
+        // (and the majority agents weakened by cancellation) must be
+        // converted individually, and roughly half of those conversions
+        // schedule the weak agent as initiator. Consensus from (40, 20)
+        // needs at least 20 + 2·(cancellations) conversions; with only
+        // responder-side events classified the count halves, so requiring
+        // the full minimum catches the regression deterministically.
+        let scenario = Scenario::majority(LvModel::default(), 40, 20);
+        for seed in 0..5 {
+            let report = ExactMajorityBackend.run(&scenario, &mut rng(seed));
+            assert!(report.consensus_reached(), "seed {seed}");
+            let outcome = report.to_majority_outcome();
+            assert!(
+                outcome.competitive_events >= 20,
+                "seed {seed}: only {} conversions classified — initiator-side \
+                 conversions are being dropped",
+                outcome.competitive_events
+            );
+        }
+    }
+
+    #[test]
+    fn exact_majority_classifies_conversions_as_competitive() {
+        let scenario = Scenario::majority(LvModel::default(), 40, 20);
+        let report = ExactMajorityBackend.run(&scenario, &mut rng(9));
+        let outcome = report.to_majority_outcome();
+        // Cancellations leave both outputs unchanged (strong → weak of the
+        // same opinion), so the competitive events are the conversions.
+        assert!(
+            outcome.competitive_events > 0,
+            "strong-recruits-weak conversions are competitive"
+        );
+        // The 4-state protocol never creates agents from blanks.
+        assert_eq!(outcome.individual_events, 0);
+    }
+
+    #[test]
+    fn tied_exact_majority_runs_absorb_when_the_tokens_run_out() {
+        // From a tie the strong difference is 0: cancellations can exhaust
+        // every token and freeze a mixed weak configuration. Without the
+        // strong-token monitor this would spin forever on the unsatisfiable
+        // stop condition below.
+        let scenario = Scenario::new(LvModel::default(), (20, 20))
+            .with_stop(StopCondition::total_at_least(1_000));
+        let report = ExactMajorityBackend.run(&scenario, &mut rng(10));
+        assert_eq!(report.reason, StopReason::Absorbed);
+        assert_eq!(report.final_state.total(), 40, "agents never disappear");
+    }
+
+    #[test]
+    fn czyzowicz_conversions_preserve_the_population() {
+        let scenario = Scenario::majority(LvModel::default(), 30, 20);
+        let report = CzyzowiczLvBackend.run(&scenario, &mut rng(11));
+        assert_eq!(report.backend, "czyzowicz-lv");
+        assert!(report.consensus_reached());
+        assert_eq!(report.final_state.total(), 50, "conversions preserve n");
+        let outcome = report.to_majority_outcome();
+        assert!(outcome.competitive_events > 0, "conversions are attacks");
+        assert_eq!(
+            outcome.individual_events, 0,
+            "no births in a static population"
+        );
+    }
+
+    #[test]
+    fn czyzowicz_minority_can_win() {
+        // The proportional law: from (30, 20) the minority wins 40% of runs,
+        // so some seed in a small window must decide B.
+        let scenario = Scenario::majority(LvModel::default(), 30, 20);
+        let minority_wins = (0..20)
+            .filter(|&seed| {
+                let report = CzyzowiczLvBackend.run(&scenario, &mut rng(100 + seed));
+                report.consensus_reached() && report.final_state.winner() == Some(1)
+            })
+            .count();
+        assert!(minority_wins > 0, "no minority win in 20 seeded runs");
     }
 }

@@ -5,7 +5,7 @@ use crate::backend::Backend;
 use crate::backends::{
     GillespieDirectBackend, JumpChainBackend, NextReactionBackend, OdeBackend, TauLeapingBackend,
 };
-use crate::protocol_backend::ApproxMajorityBackend;
+use crate::protocol_backend::{ApproxMajorityBackend, CzyzowiczLvBackend, ExactMajorityBackend};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -31,7 +31,8 @@ impl std::error::Error for DuplicateBackendError {}
 
 /// The set of available [`Backend`]s, addressable by name or alias.
 ///
-/// The process-wide [`BackendRegistry::global`] holds the six built-ins;
+/// The process-wide [`BackendRegistry::global`] holds the eight built-ins
+/// (five Lotka–Volterra kernels plus three population-protocol baselines);
 /// downstream crates can build their own registries and plug in custom
 /// backends with [`BackendRegistry::register`] /
 /// [`BackendRegistry::with_backend`] — duplicate names or aliases are
@@ -41,7 +42,7 @@ impl std::error::Error for DuplicateBackendError {}
 /// use lv_engine::BackendRegistry;
 ///
 /// let registry = BackendRegistry::global();
-/// assert_eq!(registry.names().len(), 6);
+/// assert_eq!(registry.names().len(), 8);
 /// assert!(registry.get("gillespie-direct").is_some());
 /// // Aliases resolve to the same backend.
 /// assert_eq!(
@@ -75,8 +76,9 @@ impl BackendRegistry {
         }
     }
 
-    /// A registry holding the six built-in backends: the five Lotka–Volterra
-    /// kernels plus the `"approx-majority"` protocol baseline.
+    /// A registry holding the eight built-in backends: the five
+    /// Lotka–Volterra kernels plus the `"approx-majority"`,
+    /// `"exact-majority"` and `"czyzowicz-lv"` protocol baselines.
     pub fn builtin() -> Self {
         let mut registry = BackendRegistry::empty();
         let builtins: Vec<Box<dyn Backend>> = vec![
@@ -86,6 +88,8 @@ impl BackendRegistry {
             Box::new(TauLeapingBackend),
             Box::new(OdeBackend),
             Box::new(ApproxMajorityBackend),
+            Box::new(ExactMajorityBackend),
+            Box::new(CzyzowiczLvBackend),
         ];
         for backend in builtins {
             registry
@@ -182,7 +186,9 @@ mod tests {
                 "next-reaction",
                 "tau-leaping",
                 "ode",
-                "approx-majority"
+                "approx-majority",
+                "exact-majority",
+                "czyzowicz-lv"
             ]
         );
         for name in names {
@@ -196,6 +202,10 @@ mod tests {
         assert_eq!(backend("tau").unwrap().name(), "tau-leaping");
         assert_eq!(backend("mean-field").unwrap().name(), "ode");
         assert_eq!(backend("am").unwrap().name(), "approx-majority");
+        assert_eq!(backend("em").unwrap().name(), "exact-majority");
+        assert_eq!(backend("4-state").unwrap().name(), "exact-majority");
+        assert_eq!(backend("cz").unwrap().name(), "czyzowicz-lv");
+        assert_eq!(backend("2-state-lv").unwrap().name(), "czyzowicz-lv");
         assert!(backend("does-not-exist").is_none());
     }
 
@@ -210,7 +220,7 @@ mod tests {
     fn iter_supporting_filters_by_species_count() {
         let registry = BackendRegistry::global();
         let all: Vec<_> = registry.iter_supporting(2).map(|b| b.name()).collect();
-        assert_eq!(all.len(), 6);
+        assert_eq!(all.len(), 8);
         let k3: Vec<_> = registry.iter_supporting(3).map(|b| b.name()).collect();
         assert_eq!(
             k3,
@@ -256,7 +266,7 @@ mod tests {
                 aliases: &["c"],
             }))
             .unwrap();
-        assert_eq!(registry.names().len(), 7);
+        assert_eq!(registry.names().len(), 9);
         assert_eq!(registry.get("c").unwrap().name(), "custom");
         // The global registry is unaffected.
         assert!(BackendRegistry::global().get("custom").is_none());
@@ -274,7 +284,7 @@ mod tests {
         assert_eq!(err.name, "jump-chain");
         assert_eq!(
             registry.names().len(),
-            6,
+            8,
             "failed registration must not mutate"
         );
         assert!(err.to_string().contains("jump-chain"));

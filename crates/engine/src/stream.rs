@@ -21,7 +21,10 @@
 //! * [`EarlyStop`] — a sequential stopping rule: end the stream as soon as
 //!   the Wilson confidence half-width of the success probability drops to a
 //!   target, so batches near the critical margin spend trials only until
-//!   the estimate is tight enough;
+//!   the estimate is tight enough; an optional decision
+//!   [`boundary`](EarlyStop::with_boundary) instead stops as soon as the
+//!   interval clears a success-probability boundary (how threshold probes
+//!   avoid spending the full budget far from the threshold);
 //! * [`ReportStream::fold_with`] — the driver tying them together, with a
 //!   [`Progress`] callback per folded trial.
 //!
@@ -486,18 +489,26 @@ impl OnlineAccumulator for PluralityTally {
 
 /// A sequential early-stopping rule: end the stream once the Wilson score
 /// confidence interval of the success probability is narrower than a target
-/// half-width.
+/// half-width, or — when a decision [`boundary`](EarlyStop::with_boundary)
+/// is set — once the interval clears that boundary entirely.
 ///
 /// The rule is evaluated after every folded trial, in trial order, so the
 /// stopping point — and therefore the reported estimate — is identical at
 /// every thread count. Because the Wilson half-width at the moment the rule
 /// fires is at most the target, an early-stopped estimate never reports a
 /// wider interval than requested.
+///
+/// The boundary mode is what adaptive threshold probes use: a probe far
+/// from the threshold has a success probability far from the target, so the
+/// interval stops straddling the boundary after a handful of trials, while
+/// a probe near the threshold keeps sampling until the width target or the
+/// trial budget binds.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EarlyStop {
     target_half_width: f64,
     z: f64,
     min_trials: u64,
+    boundary: Option<f64>,
 }
 
 impl EarlyStop {
@@ -516,7 +527,25 @@ impl EarlyStop {
             target_half_width,
             z: 1.96,
             min_trials: 1,
+            boundary: None,
         }
+    }
+
+    /// Additionally stop as soon as the Wilson interval lies entirely above
+    /// or entirely below `boundary` — i.e. as soon as the sample *decides*
+    /// whether the success probability clears the boundary, regardless of
+    /// how wide the interval still is.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < boundary < 1`.
+    pub fn with_boundary(mut self, boundary: f64) -> Self {
+        assert!(
+            boundary > 0.0 && boundary < 1.0,
+            "the decision boundary must be in (0, 1)"
+        );
+        self.boundary = Some(boundary);
+        self
     }
 
     /// Replaces the z-value (1.96 for 95%, 2.576 for 99%).
@@ -541,6 +570,11 @@ impl EarlyStop {
         self.target_half_width
     }
 
+    /// The decision boundary, when one is set.
+    pub fn boundary(&self) -> Option<f64> {
+        self.boundary
+    }
+
     /// The Wilson score half-width of `successes / trials` at this rule's
     /// z-value (the same interval `lv_sim::SuccessEstimate` reports).
     pub fn half_width(&self, successes: u64, trials: u64) -> f64 {
@@ -554,9 +588,38 @@ impl EarlyStop {
         (self.z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
     }
 
-    /// Whether the rule fires for the given running tally.
+    /// The Wilson score interval of `successes / trials` at this rule's
+    /// z-value, clamped to `[0, 1]` (`(0, 1)` over the empty sample).
+    pub fn interval(&self, successes: u64, trials: u64) -> (f64, f64) {
+        if trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = trials as f64;
+        let p = successes as f64 / n;
+        let z2 = self.z * self.z;
+        let denom = 1.0 + z2 / n;
+        let centre = (p + z2 / (2.0 * n)) / denom;
+        let half = self.half_width(successes, trials);
+        ((centre - half).max(0.0), (centre + half).min(1.0))
+    }
+
+    /// Whether the rule fires for the given running tally: the half-width
+    /// target is met, or (in boundary mode) the interval no longer
+    /// straddles the decision boundary.
     pub fn satisfied(&self, successes: u64, trials: u64) -> bool {
-        trials >= self.min_trials && self.half_width(successes, trials) <= self.target_half_width
+        if trials < self.min_trials {
+            return false;
+        }
+        if self.half_width(successes, trials) <= self.target_half_width {
+            return true;
+        }
+        match self.boundary {
+            Some(boundary) => {
+                let (low, high) = self.interval(successes, trials);
+                low > boundary || high < boundary
+            }
+            None => false,
+        }
     }
 }
 
@@ -1144,6 +1207,58 @@ mod tests {
         // The queue was halted by the panicking worker, so the surviving
         // workers did not burn through (and buffer) the remaining trials.
         assert!(stream.next().is_none());
+    }
+
+    #[test]
+    fn boundary_rule_fires_once_the_interval_clears_the_boundary() {
+        let rule = EarlyStop::at_half_width(0.001)
+            .with_boundary(0.9)
+            .with_min_trials(4);
+        // 2/10: the interval is far below 0.9 — decided, even though the
+        // half-width target is nowhere near met.
+        assert!(rule.satisfied(2, 10));
+        // 9/10: the interval straddles 0.9 — undecided.
+        assert!(!rule.satisfied(9, 10));
+        // 100/100: entirely above 0.9 — decided.
+        assert!(rule.satisfied(100, 100));
+        // Below min_trials the rule never fires.
+        assert!(!rule.satisfied(0, 3));
+        // The interval accessor brackets the boundary exactly when the rule
+        // holds off.
+        let (low, high) = rule.interval(9, 10);
+        assert!(low < 0.9 && high > 0.9);
+        assert_eq!(rule.boundary(), Some(0.9));
+        assert_eq!(EarlyStop::at_half_width(0.1).boundary(), None);
+    }
+
+    #[test]
+    fn boundary_probe_spends_few_trials_far_from_the_threshold() {
+        // A 4:1 majority wins nearly always, so an interval that only needs
+        // to clear a 0.6 boundary decides within a couple dozen trials.
+        let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
+        let scenario = Scenario::majority(model, 80, 20);
+        let rule = EarlyStop::at_half_width(0.001)
+            .with_boundary(0.6)
+            .with_min_trials(8);
+        let stream = ReportStream::new(
+            &scenario,
+            backend("jump-chain").unwrap(),
+            StreamConfig::new(100_000).with_threads(4),
+            factory(11),
+        );
+        let tally = stream.fold_with(SuccessTally::new(), Some(rule), |_| {});
+        assert!(tally.trials() >= 8);
+        assert!(
+            tally.trials() <= 64,
+            "decision probe burned {} trials",
+            tally.trials()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "decision boundary")]
+    fn out_of_range_boundaries_are_rejected() {
+        let _ = EarlyStop::at_half_width(0.1).with_boundary(1.0);
     }
 
     #[test]

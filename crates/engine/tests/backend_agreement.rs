@@ -14,23 +14,29 @@ fn rng(seed: u64) -> StdRng {
 }
 
 /// The acceptance criterion of the redesign: the same scenario value runs on
-/// every backend through the registry — the five LV kernels plus the
-/// approximate-majority baseline — and every backend agrees on the
+/// every backend through the registry — the five LV kernels plus the three
+/// protocol baselines — and every model-faithful backend agrees on the
 /// qualitative outcome (a 4:1 majority wins).
 #[test]
 fn one_scenario_runs_on_every_backend() {
     let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
     let scenario = Scenario::majority(model, 400, 100).observe(ObserverSpec::GapTrajectory);
     let registry = BackendRegistry::global();
-    assert_eq!(registry.names().len(), 6);
+    assert_eq!(registry.names().len(), 8);
     for backend in registry.iter() {
         let report = backend.run(&scenario, &mut rng(11));
         assert_eq!(report.backend, backend.name());
-        assert!(
-            report.majority_won(),
-            "backend {} did not reach majority consensus: {report:?}",
-            backend.name()
-        );
+        // The Czyzowicz baseline follows the proportional law (a 4:1
+        // majority wins only 80% of runs) and needs ~n² interactions, so
+        // neither a win nor consensus within the default budget is
+        // guaranteed for it — for every other backend both are.
+        if backend.name() != "czyzowicz-lv" {
+            assert!(
+                report.majority_won(),
+                "backend {} did not reach majority consensus: {report:?}",
+                backend.name()
+            );
+        }
         let trajectory = report.gap_trajectory().expect("trajectory was observed");
         assert_eq!(trajectory[0], 300, "backend {}", backend.name());
     }
@@ -150,6 +156,8 @@ fn all_backends_honor_the_event_budget() {
         "gillespie-direct",
         "next-reaction",
         "approx-majority",
+        "exact-majority",
+        "czyzowicz-lv",
     ] {
         let report = backend(name).unwrap().run(&scenario, &mut rng(7));
         assert_eq!(report.reason, StopReason::MaxEventsReached, "{name}");
@@ -179,9 +187,14 @@ fn continuous_backends_honor_the_time_budget() {
     }
     // The jump chain's clock is its event count; the budget check runs
     // before each step (and time starts at 0), so exactly one event fires
-    // before a 1e-7 time budget binds. The approximate-majority baseline
-    // uses the same interaction-count clock.
-    for name in ["jump-chain", "approx-majority"] {
+    // before a 1e-7 time budget binds. The protocol baselines use the same
+    // interaction-count clock.
+    for name in [
+        "jump-chain",
+        "approx-majority",
+        "exact-majority",
+        "czyzowicz-lv",
+    ] {
         let report = backend(name).unwrap().run(&scenario, &mut rng(8));
         assert_eq!(report.reason, StopReason::MaxTimeReached, "{name}");
         assert_eq!(report.events, 1, "{name}");

@@ -1,0 +1,108 @@
+//! Protocol-baseline backends vs the raw `lv_protocols` steppers: each
+//! backend must be a thin driver around `ProtocolSimulation` — bit-identical
+//! to a hand-written stepper loop on the same RNG stream — and the
+//! Czyzowicz backend must reproduce the proportional law `P(A wins) = a/n`.
+
+use lv_crn::StopCondition;
+use lv_engine::{backend, Scenario};
+use lv_lotka::LvModel;
+use lv_protocols::{
+    ApproximateMajority, CzyzowiczLvProtocol, ExactMajority4State, PopulationProtocol,
+    ProtocolSimulation,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Drives `ProtocolSimulation` by hand with the backend's stop semantics:
+/// stop as soon as a committed-opinion count hits zero (the two-species
+/// "any species extinct" condition over the reported counts), or once the
+/// interaction budget is exhausted — checked *before* each step, in the
+/// driver's order (state condition first, then the event budget).
+fn reference_run<P: PopulationProtocol>(
+    protocol: &P,
+    a: u64,
+    b: u64,
+    seed: u64,
+    max_interactions: u64,
+) -> ([u64; 2], u64) {
+    let mut sim = ProtocolSimulation::new(protocol, a, b);
+    let mut rng = StdRng::seed_from_u64(seed);
+    loop {
+        let (x, y) = sim.opinion_counts();
+        if x == 0 || y == 0 || sim.interactions() >= max_interactions {
+            return ([x, y], sim.interactions());
+        }
+        sim.step(&mut rng);
+    }
+}
+
+fn backend_run(name: &str, a: u64, b: u64, seed: u64, max_interactions: u64) -> ([u64; 2], u64) {
+    let scenario = Scenario::new(LvModel::default(), (a, b))
+        .with_stop(StopCondition::any_species_extinct().with_max_events(max_interactions));
+    let report = backend(name)
+        .unwrap()
+        .run(&scenario, &mut StdRng::seed_from_u64(seed));
+    (
+        [report.final_state.count(0), report.final_state.count(1)],
+        report.events,
+    )
+}
+
+/// The backends consume randomness only through `ProtocolSimulation::step`,
+/// so on the same seed they must reproduce a hand-driven stepper loop bit
+/// for bit — final committed counts and interaction counts alike.
+#[test]
+fn protocol_backends_match_a_direct_stepper_loop_bit_for_bit() {
+    for seed in 0..8u64 {
+        for (a, b) in [(30u64, 20u64), (25, 25), (40, 8)] {
+            let budget = 500_000;
+            assert_eq!(
+                backend_run("approx-majority", a, b, seed, budget),
+                reference_run(&ApproximateMajority::new(), a, b, seed, budget),
+                "approx-majority diverged at seed {seed}, ({a}, {b})"
+            );
+            assert_eq!(
+                backend_run("czyzowicz-lv", a, b, seed, budget),
+                reference_run(&CzyzowiczLvProtocol::new(), a, b, seed, budget),
+                "czyzowicz-lv diverged at seed {seed}, ({a}, {b})"
+            );
+            if a != b {
+                // Ties can absorb all-weak without any count reaching zero;
+                // the reference loop does not model that, so pin the
+                // non-degenerate starts only.
+                assert_eq!(
+                    backend_run("exact-majority", a, b, seed, budget),
+                    reference_run(&ExactMajority4State::new(), a, b, seed, budget),
+                    "exact-majority diverged at seed {seed}, ({a}, {b})"
+                );
+            }
+        }
+    }
+}
+
+/// The Czyzowicz dynamics are a fair gambler's ruin in the count of A, so
+/// the majority wins with probability *exactly* `a/n` — the statistical
+/// check behind the backend's linear-gap threshold scaling.
+#[test]
+fn czyzowicz_backend_follows_the_proportional_law() {
+    let czyzowicz = backend("czyzowicz-lv").unwrap();
+    for (a, b) in [(30u64, 10u64), (10, 30)] {
+        let n = a + b;
+        let scenario = Scenario::new(LvModel::default(), (a, b))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(10_000_000));
+        let trials = 400u64;
+        let wins = (0..trials)
+            .filter(|&seed| {
+                let report = czyzowicz.run(&scenario, &mut StdRng::seed_from_u64(seed));
+                assert!(report.consensus_reached(), "seed {seed} truncated");
+                report.final_state.winner() == Some(0)
+            })
+            .count();
+        let fraction = wins as f64 / trials as f64;
+        let expected = a as f64 / n as f64;
+        assert!(
+            (fraction - expected).abs() < 0.07,
+            "A won {fraction} of runs from ({a}, {b}); the proportional law says {expected}"
+        );
+    }
+}

@@ -38,7 +38,7 @@ mod protocol;
 pub use andaur::{AndaurOutcome, AndaurResourceModel};
 pub use approximate_majority::{ApproximateMajority, TriState};
 pub use czyzowicz::CzyzowiczLvProtocol;
-pub use exact_majority::ExactMajority4State;
+pub use exact_majority::{ExactMajority4State, FourState};
 pub use protocol::{
     run_protocol, Interaction, Opinion, PopulationProtocol, ProtocolOutcome, ProtocolSimulation,
 };

@@ -23,6 +23,7 @@
 //! | E12 | §1.6 ablation: γ/α sweep | [`ablation::e12_gamma_sweep`] |
 //! | E13 | §5.1 pseudo-coupling domination | [`ablation::e13_pseudo_coupling`] |
 //! | E14 | k-species plurality consensus (beyond the paper) | [`multispecies::e14_multispecies_plurality`] |
+//! | E15 | threshold scaling per backend + plurality margins | [`thresholds::e15_threshold_scaling_backends`] |
 
 pub mod ablation;
 pub mod baselines;
@@ -30,6 +31,7 @@ pub mod curves;
 pub mod multispecies;
 pub mod scaling;
 pub mod table1;
+pub mod thresholds;
 
 use crate::report::Table;
 use crate::seed::Seed;
@@ -170,6 +172,7 @@ pub fn run_all(config: ExperimentConfig) -> Vec<ExperimentReport> {
         ablation::e12_gamma_sweep(config),
         ablation::e13_pseudo_coupling(config),
         multispecies::e14_multispecies_plurality(config),
+        thresholds::e15_threshold_scaling_backends(config),
     ]
 }
 
@@ -191,6 +194,7 @@ pub fn run_by_id(id: &str, config: ExperimentConfig) -> Option<ExperimentReport>
         "e12" => ablation::e12_gamma_sweep(config),
         "e13" => ablation::e13_pseudo_coupling(config),
         "e14" => multispecies::e14_multispecies_plurality(config),
+        "e15" => thresholds::e15_threshold_scaling_backends(config),
         _ => return None,
     };
     Some(report)

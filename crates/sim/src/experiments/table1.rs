@@ -23,18 +23,23 @@ fn threshold_sweep(
 
     let mut table = Table::new(
         format!("{label}: empirical majority-consensus threshold vs n"),
-        &["n", "threshold ∆", "target ρ", "measured ρ"],
+        &[
+            "n",
+            "threshold ∆",
+            "target ρ",
+            "measured ρ",
+            "probes",
+            "trials spent",
+        ],
     );
     for r in &results {
         table.push_row(&[
             r.n.to_string(),
-            format!(
-                "{}{}",
-                r.threshold,
-                if r.saturated { " (sat.)" } else { "" }
-            ),
+            r.threshold_cell(),
             format!("{:.4}", r.target),
             format!("{:.4}", r.success_at_threshold),
+            r.probes.len().to_string(),
+            r.trials_spent().to_string(),
         ]);
     }
     report.push_table(table);

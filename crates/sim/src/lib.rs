@@ -11,16 +11,19 @@
 //!   nothing materialised, bit-identical at every thread count), and the
 //!   `_until` estimator variants stop early once an [`EarlyStop`]
 //!   confidence-width target is met;
-//! * [`ThresholdSearch`] — empirical majority-consensus thresholds: the
-//!   smallest initial gap `∆` for which the estimated success probability
-//!   reaches the paper's `1 − 1/n` criterion;
+//! * [`ThresholdSearch`] — empirical consensus thresholds: the smallest
+//!   initial gap `∆` (two species) or plurality margin (`k` species, via
+//!   the [`GapScenario`] factories) for which the estimated success
+//!   probability reaches the paper's `1 − 1/n` criterion, on any registered
+//!   backend, with adaptive early-stopped probes that report the trials
+//!   actually spent;
 //! * [`ScalingLaw`] / [`ScalingFit`] — least-squares fits of measured
 //!   thresholds or times against the candidate asymptotic laws
 //!   (`log² n`, `√(n log n)`, `√n`, `n`, …);
-//! * [`experiments`] — one module per experiment of DESIGN.md (E1–E14), each
+//! * [`experiments`] — one module per experiment of DESIGN.md (E1–E15), each
 //!   producing a printable report; together they regenerate every row of
-//!   Table 1 plus the supporting scaling results and the k-species
-//!   plurality suite;
+//!   Table 1 plus the supporting scaling results, the k-species plurality
+//!   suite and the backend-generic threshold-scaling comparison;
 //! * [`report`] — minimal ASCII table rendering used by the reports and the
 //!   `experiments` binary in the benchmark crate.
 //!
@@ -57,7 +60,9 @@ pub use montecarlo::{
 };
 pub use scaling::{ScalingFit, ScalingLaw};
 pub use seed::Seed;
-pub use threshold::{ThresholdResult, ThresholdSearch};
+pub use threshold::{
+    GapProbe, GapScenario, PluralityGap, ThresholdResult, ThresholdSearch, TwoSpeciesGap,
+};
 // The streaming vocabulary used by `MonteCarlo`'s batch API, re-exported so
 // estimator callers need not depend on `lv_engine` directly.
 pub use lv_engine::stream::{

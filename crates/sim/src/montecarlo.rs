@@ -690,6 +690,52 @@ impl MonteCarlo {
         SuccessEstimate::new(tally.successes(), tally.trials())
     }
 
+    /// Estimates the probability that the *initial plurality leader* wins
+    /// consensus in the given scenario — the scenario-level generalisation
+    /// of [`MonteCarlo::success_probability`] that works for any species
+    /// count and any registered backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured backend does not support the scenario's
+    /// species count.
+    pub fn scenario_success_probability(&self, scenario: &Scenario) -> SuccessEstimate {
+        self.assert_backend_supports(scenario);
+        let tally = self.fold(scenario, SuccessTally::new());
+        SuccessEstimate::new(tally.successes(), tally.trials())
+    }
+
+    /// Like [`MonteCarlo::scenario_success_probability`], but with
+    /// sequential early stopping: the batch ends as soon as the rule fires —
+    /// on its Wilson half-width target, or, in
+    /// [`boundary`](EarlyStop::with_boundary) mode, as soon as the interval
+    /// stops straddling the decision boundary — and the estimate reports
+    /// the trials actually spent. Bit-identical at every thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configured backend does not support the scenario's
+    /// species count.
+    pub fn scenario_success_probability_until(
+        &self,
+        scenario: &Scenario,
+        rule: EarlyStop,
+    ) -> SuccessEstimate {
+        self.assert_backend_supports(scenario);
+        let tally = self.fold_with(scenario, SuccessTally::new(), Some(rule), |_| {});
+        SuccessEstimate::new(tally.successes(), tally.trials())
+    }
+
+    fn assert_backend_supports(&self, scenario: &Scenario) {
+        assert!(
+            self.resolved_backend()
+                .supports_species(scenario.species_count()),
+            "backend {:?} does not support {}-species scenarios",
+            self.backend,
+            scenario.species_count()
+        );
+    }
+
     /// Estimates the paper's proportional-law score
     /// `P(majority wins) + ½·P(both species extinct)` (see `lv_lotka::exact`).
     pub fn proportional_score(&self, model: &LvModel, a: u64, b: u64) -> f64 {
@@ -729,13 +775,7 @@ impl MonteCarlo {
     /// Panics if the configured backend does not support the scenario's
     /// species count (e.g. `"approx-majority"` on a `k > 2` scenario).
     pub fn plurality_stats(&self, scenario: &Scenario) -> PluralityStats {
-        assert!(
-            self.resolved_backend()
-                .supports_species(scenario.species_count()),
-            "backend {:?} does not support {}-species scenarios",
-            self.backend,
-            scenario.species_count()
-        );
+        self.assert_backend_supports(scenario);
         self.fold(
             scenario,
             PluralityAccumulator::new(scenario.species_count()),
@@ -803,6 +843,8 @@ mod tests {
             "tau-leaping",
             "ode",
             "approx-majority",
+            "exact-majority",
+            "czyzowicz-lv",
         ] {
             let mc1 = MonteCarlo::new(64, Seed::from(5))
                 .with_threads(1)
@@ -1027,6 +1069,76 @@ mod tests {
         assert!(estimate.trials() < 100_000, "the rule never fired");
         let (low, high) = estimate.wilson_interval(1.96);
         assert!((high - low) / 2.0 <= 0.1 + 1e-12);
+    }
+
+    #[test]
+    fn scenario_estimator_matches_the_model_level_estimator() {
+        let mc = MonteCarlo::new(120, Seed::from(24));
+        let scenario = Scenario::new(model(), (60, 40)).with_stop(
+            StopCondition::any_species_extinct()
+                .with_max_events(lv_engine::default_majority_budget(100)),
+        );
+        assert_eq!(
+            mc.scenario_success_probability(&scenario),
+            mc.success_probability(&model(), 60, 40)
+        );
+    }
+
+    #[test]
+    fn scenario_estimator_with_boundary_stops_once_decided() {
+        // An 80:20 majority wins nearly always; the interval clears a 0.6
+        // boundary after a couple dozen trials instead of the 50 000 cap.
+        let mc = MonteCarlo::new(50_000, Seed::from(25));
+        let scenario = Scenario::new(model(), (80, 20)).with_stop(
+            StopCondition::any_species_extinct()
+                .with_max_events(lv_engine::default_majority_budget(100)),
+        );
+        let rule = EarlyStop::at_half_width(0.001)
+            .with_boundary(0.6)
+            .with_min_trials(8);
+        let estimate = mc.scenario_success_probability_until(&scenario, rule);
+        assert!(estimate.trials() >= 8);
+        assert!(
+            estimate.trials() <= 64,
+            "decision probe spent {} trials",
+            estimate.trials()
+        );
+        assert!(estimate.point() > 0.6);
+    }
+
+    #[test]
+    fn scenario_estimators_run_k_species_scenarios() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![60, 20, 20]);
+        let estimate = MonteCarlo::new(40, Seed::from(26)).scenario_success_probability(&scenario);
+        assert!(
+            estimate.point() > 0.5,
+            "planted 3:1 leader lost: {estimate}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn scenario_estimators_reject_unsupported_backends() {
+        use lv_lotka::MultiLvModel;
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![10, 10, 10]);
+        let _ = MonteCarlo::new(5, Seed::from(27))
+            .with_backend("exact-majority")
+            .scenario_success_probability(&scenario);
+    }
+
+    #[test]
+    fn czyzowicz_backend_probability_is_proportional_through_the_estimator() {
+        // The proportional law through the Monte-Carlo layer: from (30, 10)
+        // the majority wins with probability exactly 3/4.
+        let mc = MonteCarlo::new(300, Seed::from(28)).with_backend("czyzowicz-lv");
+        let estimate = mc.success_probability(&model(), 30, 10);
+        assert!(
+            (estimate.point() - 0.75).abs() < 0.08,
+            "measured {estimate}, proportional law says 0.75"
+        );
     }
 
     #[test]

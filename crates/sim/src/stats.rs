@@ -22,7 +22,12 @@ pub fn std_dev(values: &[f64]) -> f64 {
     variance(values).sqrt()
 }
 
-/// The `q`-quantile (0 ≤ q ≤ 1) of a sample using nearest-rank interpolation.
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample by *linear interpolation*
+/// between the two closest order statistics (the `C = 1` / "type 7"
+/// convention, the default of R and NumPy): the fractional rank is
+/// `q·(len − 1)` and the value is interpolated between the ranks either
+/// side of it. This is **not** the nearest-rank quantile — e.g. the median
+/// of `[1, 2, 3, 4]` is `2.5`, not an element of the sample.
 ///
 /// # Panics
 ///
@@ -122,6 +127,19 @@ mod tests {
         assert_eq!(quantile(&xs, 0.0), 1.0);
         assert_eq!(quantile(&xs, 1.0), 4.0);
         assert_eq!(quantile(&xs, 0.5), 2.5);
+    }
+
+    #[test]
+    fn quantiles_are_linearly_interpolated_not_nearest_rank() {
+        // Pins the documented contract: fractional rank q·(len − 1), value
+        // linearly interpolated. Nearest-rank would return 2.0 here.
+        let xs = [4.0, 1.0, 3.0, 2.0]; // unsorted on purpose
+        assert_eq!(quantile(&xs, 0.25), 1.75);
+        assert_eq!(quantile(&xs, 0.75), 3.25);
+        // And at exact ranks the order statistic itself comes back.
+        assert_eq!(quantile(&xs, 1.0 / 3.0), 2.0);
+        // Singleton samples are constant in q.
+        assert_eq!(quantile(&[7.0], 0.3), 7.0);
     }
 
     #[test]

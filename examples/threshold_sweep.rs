@@ -1,0 +1,79 @@
+//! Backend-selectable, early-stopping threshold sweep: the paper's two LV
+//! competition mechanisms next to the population-protocol baselines, at
+//! small n so the whole comparison runs in seconds.
+//!
+//! Every probe is adaptive — far from the threshold the Wilson interval
+//! clears the target after a handful of trials — and the per-size output
+//! shows the trials actually spent, so the early-stopping win is visible
+//! directly.
+//!
+//! ```sh
+//! cargo run --release --example threshold_sweep
+//! ```
+
+use lv_consensus::lotka::{CompetitionKind, LvModel};
+use lv_consensus::sim::report::Table;
+use lv_consensus::sim::{ScalingFit, Seed, ThresholdSearch, TwoSpeciesGap};
+
+fn main() {
+    let sizes = [64u64, 128, 256];
+    let trials = 60;
+
+    // (label, backend, needs a quadratic interaction budget?)
+    let series: [(&str, &str, bool); 5] = [
+        ("LV self-destructive", "jump-chain", false),
+        ("LV non-self-destructive", "jump-chain", false),
+        ("approx-majority", "approx-majority", true),
+        ("czyzowicz-lv", "czyzowicz-lv", true),
+        ("exact-majority", "exact-majority", true),
+    ];
+
+    let mut table = Table::new(
+        format!("empirical thresholds, adaptive probes ({trials}-trial budget per probe)"),
+        &[
+            "series",
+            "n",
+            "threshold ∆",
+            "measured ρ",
+            "probes",
+            "trials spent",
+        ],
+    );
+    for (label, backend, quadratic) in series {
+        let model = match label {
+            "LV non-self-destructive" => {
+                LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0)
+            }
+            // Protocol baselines ignore the rates entirely.
+            _ => LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+        };
+        let search = ThresholdSearch::new(trials, Seed::from(17)).with_backend(backend);
+        let mut ns = Vec::new();
+        let mut thresholds = Vec::new();
+        for &n in &sizes {
+            let mut factory = TwoSpeciesGap::new(model, n);
+            if quadratic {
+                factory = factory.with_max_events(100 * n * n);
+            }
+            let result = search.find_gap(&factory);
+            table.push_row(&[
+                label.to_string(),
+                n.to_string(),
+                result.threshold_cell(),
+                format!("{:.3}", result.success_at_threshold),
+                result.probes.len().to_string(),
+                result.trials_spent().to_string(),
+            ]);
+            ns.push(n as f64);
+            thresholds.push(result.threshold as f64);
+        }
+        let (best, coefficient, error) = ScalingFit::fit(&ns, &thresholds).best();
+        println!("{label:>24}: threshold ≈ {coefficient:6.2} · {best} (rel. RMSE {error:.3})");
+    }
+    println!();
+    println!("{table}");
+    println!(
+        "The self-destructive LV threshold is polylog-scale, czyzowicz-lv needs a linear gap,\n\
+         and exact-majority succeeds at the smallest feasible gap (its cost is ~n² interactions)."
+    );
+}

@@ -23,15 +23,18 @@
 //!   [`engine::Scenario`] description (model + initial population + stop
 //!   condition + observers) executed by any [`engine::Backend`] from the
 //!   open string-keyed registry (`"jump-chain"`, `"gillespie-direct"`,
-//!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, `"approx-majority"`),
-//!   plus named multi-species scenario presets ([`engine::presets`]).
+//!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, `"approx-majority"`,
+//!   `"exact-majority"`, `"czyzowicz-lv"`), plus named multi-species
+//!   scenario presets ([`engine::presets`]).
 //! * [`protocols`] — baseline protocols from related work (3-state approximate
 //!   majority, 4-state exact majority, Czyzowicz et al. LV population
 //!   protocol, Andaur et al. resource-consumer model).
 //! * [`sim`] — Monte-Carlo engine over scenario batches, estimators
-//!   (including `k`-species [`sim::PluralityStats`]), threshold search,
-//!   scaling fits and the experiment suite that regenerates Table 1 of the
-//!   paper plus the multi-species plurality suite.
+//!   (including `k`-species [`sim::PluralityStats`]), the backend-generic
+//!   adaptive threshold search ([`sim::ThresholdSearch`] over
+//!   [`sim::GapScenario`] factories), scaling fits and the experiment suite
+//!   that regenerates Table 1 of the paper plus the multi-species plurality
+//!   suite and the per-backend threshold-scaling comparison.
 //!
 //! # Quick start
 //!
