@@ -75,7 +75,8 @@ fn usage() {
          \te12  gamma/alpha ablation\n\
          \te13  pseudo-coupling domination\n\
          \te14  k-species plurality presets across backends\n\
-         \te15  threshold scaling per backend + k-species plurality margins"
+         \te15  threshold scaling per backend + k-species plurality margins\n\
+         \te16  large-n batched protocol threshold sweeps (10^4 .. 10^7)"
     );
 }
 

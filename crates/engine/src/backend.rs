@@ -47,6 +47,19 @@ pub trait Backend: Send + Sync {
         true
     }
 
+    /// Whether this backend executes in count-based *batches* (epochs of
+    /// `Θ(√n)` collision-free interactions applied as count deltas) rather
+    /// than resolving every event individually. Batched backends agree with
+    /// their per-event counterparts *statistically* — equal outcome
+    /// distributions — but not bit-for-bit: the RNG stream differs, steps
+    /// aggregate many firings (`StepRecord::firings > 1`, `event = None`),
+    /// and absorption is detected at epoch granularity. Registries report
+    /// this flag so callers can pick bit-exact legacy execution (e.g.
+    /// `"approx-majority-agents"`) when they need it.
+    fn batched(&self) -> bool {
+        false
+    }
+
     /// Executes the scenario to completion.
     ///
     /// The deterministic ODE backend accepts the RNG for interface uniformity

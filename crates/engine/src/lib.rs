@@ -10,17 +10,21 @@
 //!   [`lv_lotka::LvModel`] or the general `k`-species
 //!   [`lv_lotka::MultiLvModel`]), an initial [`lv_lotka::Population`], a
 //!   [`lv_crn::StopCondition`] and a set of composable [`ObserverSpec`]s;
-//! * [`Backend`] — the *how*: an object-safe execution engine. Eight are
+//! * [`Backend`] — the *how*: an object-safe execution engine. Thirteen are
 //!   built in — the exact specialised jump chain (the paper's chain `S`),
 //!   the Gillespie direct method, the next-reaction method, tau-leaping,
-//!   the deterministic mean-field ODE, and three population-protocol
-//!   baselines (3-state approximate majority, 4-state exact majority, the
-//!   2-state Czyzowicz et al. discrete LV dynamics);
+//!   the deterministic mean-field ODE, five count-based *batched*
+//!   population-protocol baselines (3-state approximate majority, 4-state
+//!   exact majority, the 2-state Czyzowicz et al. discrete LV dynamics, the
+//!   self-destructive annihilation dynamics, and the `k`-opinion Czyzowicz
+//!   dynamics), plus bit-exact agent-list legacy variants of the first
+//!   three protocol baselines ([`Backend::batched`] reports the mode);
 //! * [`BackendRegistry`] — string-keyed backend selection for CLIs and
 //!   benches (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
 //!   `"tau-leaping"`, `"ode"`, `"approx-majority"`, `"exact-majority"`,
-//!   `"czyzowicz-lv"`, plus aliases), open for external registration via
-//!   [`BackendRegistry::register`];
+//!   `"czyzowicz-lv"`, `"annihilation-lv"`, `"czyzowicz-lv-k"`, the
+//!   `-agents` legacy variants, plus aliases), open for external
+//!   registration via [`BackendRegistry::register`];
 //! * [`presets`] — named multi-species scenario presets (3-species cyclic
 //!   competition, planted `k`-species plurality, two-vs-many coalition);
 //! * [`RunReport`] — the uniform result: summary fields plus one
@@ -101,7 +105,10 @@ pub use observer::{
     EventCounts, NoiseObservation, Observation, Observer, ObserverSpec, StepRecord,
 };
 pub use presets::{preset, ScenarioPreset};
-pub use protocol_backend::{ApproxMajorityBackend, CzyzowiczLvBackend, ExactMajorityBackend};
+pub use protocol_backend::{
+    AnnihilationLvBackend, ApproxMajorityAgentsBackend, ApproxMajorityBackend, CzyzowiczKBackend,
+    CzyzowiczLvAgentsBackend, CzyzowiczLvBackend, ExactMajorityAgentsBackend, ExactMajorityBackend,
+};
 pub use registry::{backend, BackendRegistry, DuplicateBackendError};
 pub use report::{PluralityOutcome, RunReport};
 pub use scenario::{default_majority_budget, majority_budget, Scenario, ScenarioModel};

@@ -1,9 +1,9 @@
 //! Protocol baselines as backends: population protocols behind the same
 //! [`Backend`] interface as the Lotka–Volterra kernels, so protocol-vs-LV
-//! comparisons (E11, E15 threshold sweeps) run through one registry and one
-//! Monte-Carlo harness.
+//! comparisons (E11, E15/E16 threshold sweeps) run through one registry and
+//! one Monte-Carlo harness.
 //!
-//! Three baselines are built in:
+//! Five protocol baselines are built in:
 //!
 //! * [`ApproxMajorityBackend`] — the 3-state approximate-majority protocol
 //!   of Angluin–Aspnes–Eisenstat (`"approx-majority"`);
@@ -13,13 +13,38 @@
 //! * [`CzyzowiczLvBackend`] — the two-state discrete Lotka–Volterra
 //!   dynamics of Czyzowicz et al. (`"czyzowicz-lv"`): the proportional law
 //!   `P(majority wins) = a/n`, so high-probability consensus needs a
-//!   *linear* gap.
+//!   *linear* gap;
+//! * [`AnnihilationLvBackend`] — the *self-destructive* discrete LV
+//!   dynamics (`"annihilation-lv"`): a competitive encounter destroys both
+//!   participants, the gap is invariant, and any non-zero gap decides
+//!   correctly in `Θ(n log n)` interactions;
+//! * [`CzyzowiczKBackend`] — the `k`-opinion Czyzowicz conversion dynamics
+//!   (`"czyzowicz-lv-k"`), the `k`-species protocol baseline over
+//!   [`Population`](lv_lotka::Population) counts.
 //!
-//! All three share one generic stepper, [`run_two_opinion_protocol`]: the
-//! protocol-specific parts are the [`PopulationProtocol`] itself (stepped
-//! through [`ProtocolSimulation`], with opinions read through
-//! `PopulationProtocol::output`) and an absorption [`ProtocolMonitor`] that
-//! knows when no future interaction can change any state.
+//! # Batched vs agent-list execution
+//!
+//! The default protocol backends execute **count-based and batched**
+//! ([`lv_protocols::CountedSimulation`]): an epoch samples a collision-free
+//! batch of `Θ(√n)` interactions from the birthday-bound distribution,
+//! applies the transitions as count deltas via hypergeometric splits, and
+//! resolves the one colliding interaction exactly. Epochs are equal *in
+//! distribution* to the same number of per-interaction steps, but consume a
+//! different RNG stream and report aggregated [`StepRecord`]s
+//! (`event = None`, `firings = epoch length` — the same vocabulary as
+//! tau-leaping), so agreement with the agent-list stepper is statistical,
+//! not bit-exact. Absorption — no schedulable pair can change any state —
+//! is detected by an `O(#states²)` count check at epoch boundaries, which
+//! subsumes the per-protocol monitors (committed consensus, exhausted
+//! strong tokens) of the agent-list path.
+//!
+//! The legacy agent-list backends are kept and registered under `-agents`
+//! names ([`ApproxMajorityAgentsBackend`], [`ExactMajorityAgentsBackend`],
+//! [`CzyzowiczLvAgentsBackend`]) for bit-exact runs against hand-driven
+//! [`ProtocolSimulation`] loops; [`Backend::batched`] reports which
+//! execution mode a backend uses.
+//!
+//! [`StepRecord`]: crate::StepRecord
 
 use crate::backend::{Backend, Driver};
 use crate::report::RunReport;
@@ -27,19 +52,28 @@ use crate::scenario::Scenario;
 use lv_crn::StopReason;
 use lv_lotka::PopulationEvent;
 use lv_protocols::{
-    ApproximateMajority, CzyzowiczLvProtocol, ExactMajority4State, FourState, Interaction, Opinion,
-    PopulationProtocol, ProtocolSimulation,
+    ApproximateMajority, CountedDynamics, CountedSimulation, CzyzowiczLvProtocol,
+    ExactMajority4State, FourState, Interaction, Opinion, PopulationProtocol, ProtocolSimulation,
+    SelfDestructiveLvProtocol,
 };
 use rand::rngs::StdRng;
 
-/// Protocol-specific absorption bookkeeping for the generic stepper: decides
-/// when the configuration is *absorbed* (no future interaction can change
-/// any agent's state), optionally maintaining incremental state from the
-/// observed interactions.
+/// Populations below this size are single-stepped even by the batched
+/// backends: birthday-bound batches hold only a handful of interactions
+/// there (`E[ℓ] = Θ(√n)`), so the epoch set-up cost is not amortised — the
+/// regime "near absorption" where batches degenerate.
+const BATCH_MIN_POPULATION: u64 = 64;
+
+/// Protocol-specific absorption bookkeeping for the generic agent-list
+/// stepper: decides when the configuration is *absorbed* (no future
+/// interaction can change any agent's state), optionally maintaining
+/// incremental state from the observed interactions.
 ///
 /// Without this exit, an unsatisfiable stop condition with no budget would
 /// spin forever on inert interactions — the LV backends escape the same
-/// situation through their zero-propensity absorption check.
+/// situation through their zero-propensity absorption check. (The counted
+/// path needs no monitors: it checks pair inertness over the counts in
+/// `O(#states²)`.)
 trait ProtocolMonitor<P: PopulationProtocol> {
     /// Whether the current configuration is absorbed.
     fn absorbed(&self, sim: &ProtocolSimulation<P>) -> bool;
@@ -88,13 +122,14 @@ impl ProtocolMonitor<ExactMajority4State> for StrongTokens {
     }
 }
 
-/// Runs any two-opinion [`PopulationProtocol`] as an execution backend: the
-/// scenario's initial configuration `(a, b)` seeds `a` agents with opinion A
-/// and `b` with opinion B, each pairwise interaction counts as one event,
-/// and the reported state is the pair of *committed* counts
-/// `(#output A, #output B)` read through `PopulationProtocol::output`
-/// (undecided agents are internal). The model's rates are ignored
-/// ([`Backend::models_kinetics`] is `false` on all protocol backends).
+/// Runs any two-opinion [`PopulationProtocol`] as an execution backend with
+/// the legacy *agent-list* stepper: the scenario's initial configuration
+/// `(a, b)` seeds `a` agents with opinion A and `b` with opinion B, each
+/// pairwise interaction counts as one event, and the reported state is the
+/// pair of *committed* counts `(#output A, #output B)` read through
+/// `PopulationProtocol::output` (undecided agents are internal). The model's
+/// rates are ignored ([`Backend::models_kinetics`] is `false` on all
+/// protocol backends).
 fn run_two_opinion_protocol<P, M>(
     protocol: &P,
     name: &'static str,
@@ -142,12 +177,83 @@ where
         // when the weak agent is scheduled first — so both sides are
         // considered (at most one output changes in the built-in protocols).
         let event = classify(
-            protocol.output(interaction.initiator_before),
-            protocol.output(interaction.initiator_after),
-            protocol.output(interaction.responder_before),
-            protocol.output(interaction.responder_after),
+            protocol.output(interaction.initiator_before).map(species),
+            protocol.output(interaction.initiator_after).map(species),
+            protocol.output(interaction.responder_before).map(species),
+            protocol.output(interaction.responder_after).map(species),
         );
         driver.record(event, &[after_a, after_b], sim.interactions() as f64, 1);
+    }
+}
+
+/// Runs compiled [`CountedDynamics`] as an execution backend: count-based
+/// state, batched epochs above [`BATCH_MIN_POPULATION`] agents, exact
+/// single-stepping below it and whenever a sampled epoch would overrun the
+/// event budget. Single steps report classified per-event records exactly
+/// like the agent-list path; epochs report one aggregated record
+/// (`event = None`, `firings` = epoch length).
+fn run_counted(
+    dynamics: &CountedDynamics,
+    name: &'static str,
+    scenario: &Scenario,
+    rng: &mut StdRng,
+) -> RunReport {
+    assert_eq!(
+        scenario.species_count(),
+        dynamics.species_count(),
+        "the {name} backend cannot run {}-species scenarios",
+        scenario.species_count()
+    );
+    let mut driver = Driver::new(scenario);
+    if let Some(reason) = driver.check_stop() {
+        return driver.finish(name, reason);
+    }
+    let initial = scenario.initial();
+    if initial.total() < 2 {
+        return driver.finish(name, StopReason::Absorbed);
+    }
+    let mut sim = CountedSimulation::new(dynamics, initial.counts());
+    let mut opinions = vec![0u64; dynamics.species_count()];
+    loop {
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(name, reason);
+        }
+        if sim.is_absorbed() {
+            return driver.finish(name, StopReason::Absorbed);
+        }
+        // check_stop just passed, so the budget has at least one event left.
+        let mut remaining = scenario
+            .stop()
+            .max_events()
+            .map_or(u64::MAX, |max| max - driver.events());
+        if let Some(max_time) = scenario.stop().max_time() {
+            // The protocol clock *is* the interaction count, so a time
+            // budget is an interaction budget: the smallest number of
+            // further interactions m with interactions + m ≥ max_time.
+            let more = (max_time - sim.interactions() as f64).ceil().max(1.0);
+            if more < u64::MAX as f64 {
+                remaining = remaining.min(more as u64);
+            }
+        }
+        if sim.total() >= BATCH_MIN_POPULATION {
+            if let Some(fired) = sim.step_epoch(rng, remaining) {
+                sim.opinion_counts_into(&mut opinions);
+                driver.record(None, &opinions, sim.interactions() as f64, fired);
+                continue;
+            }
+            // The sampled epoch would overrun the event budget; the run ends
+            // within `remaining` interactions either way, so finish it one
+            // exact interaction at a time (no bias in the truncated prefix).
+        }
+        let interaction = sim.step(rng);
+        sim.opinion_counts_into(&mut opinions);
+        let event = classify(
+            dynamics.output(interaction.initiator_before),
+            dynamics.output(interaction.initiator_after),
+            dynamics.output(interaction.responder_before),
+            dynamics.output(interaction.responder_after),
+        );
+        driver.record(event, &opinions, sim.interactions() as f64, 1);
     }
 }
 
@@ -158,17 +264,19 @@ fn species(opinion: Opinion) -> usize {
     }
 }
 
-/// Maps one interaction onto the LV event vocabulary by output transitions:
-/// cancellation and direct conversion are competitive attacks, recruitment
-/// of an undecided agent is a birth, anything else unclassified. Whichever
-/// agent's output changed determines the class — the other agent is the
-/// attacker/recruiter — so conversions count identically no matter which of
-/// the pair the scheduler drew as initiator.
+/// Maps one interaction onto the LV event vocabulary by output transitions
+/// (species indices): cancellation and direct conversion are competitive
+/// attacks, recruitment of an undecided agent is a birth, death of a
+/// committed agent against a rival (the annihilation dynamics) is also a
+/// competitive attack, anything else unclassified. Whichever agent's output
+/// changed determines the class — the other agent is the attacker/recruiter
+/// — so conversions count identically no matter which of the pair the
+/// scheduler drew as initiator.
 fn classify(
-    initiator_before: Option<Opinion>,
-    initiator_after: Option<Opinion>,
-    responder_before: Option<Opinion>,
-    responder_after: Option<Opinion>,
+    initiator_before: Option<usize>,
+    initiator_after: Option<usize>,
+    responder_before: Option<usize>,
+    responder_after: Option<usize>,
 ) -> Option<PopulationEvent> {
     if responder_before != responder_after {
         classify_transition(initiator_before, responder_before, responder_after)
@@ -182,38 +290,33 @@ fn classify(
 /// Classifies one agent's output transition given the unchanged `other`
 /// agent of the pair.
 fn classify_transition(
-    other: Option<Opinion>,
-    before: Option<Opinion>,
-    after: Option<Opinion>,
+    other: Option<usize>,
+    before: Option<usize>,
+    after: Option<usize>,
 ) -> Option<PopulationEvent> {
     match (other, before, after) {
         // (X, Y) → (X, blank): X cancelled Y.
         (Some(attacker), Some(victim), None) if attacker != victim => {
-            Some(PopulationEvent::Interspecific {
-                attacker: species(attacker),
-                victim: species(victim),
-            })
+            Some(PopulationEvent::Interspecific { attacker, victim })
         }
         // (X, blank) → (X, X): X recruited a blank.
         (Some(opinion), None, Some(recruited)) if opinion == recruited => {
-            Some(PopulationEvent::Birth(species(opinion)))
+            Some(PopulationEvent::Birth(opinion))
         }
         // (X, Y) → (X, X): X converted Y directly (Czyzowicz predation, the
         // exact-majority strong-recruits-weak rule).
         (Some(attacker), Some(victim), Some(converted))
             if attacker != victim && converted == attacker =>
         {
-            Some(PopulationEvent::Interspecific {
-                attacker: species(attacker),
-                victim: species(victim),
-            })
+            Some(PopulationEvent::Interspecific { attacker, victim })
         }
         _ => None,
     }
 }
 
 /// The 3-state approximate-majority protocol of Angluin–Aspnes–Eisenstat as
-/// an execution backend for *two-species* scenarios.
+/// an execution backend for *two-species* scenarios, in count-based batched
+/// mode (see the [module docs](self)).
 ///
 /// The backend is a baseline, not a Lotka–Volterra simulator: it reads only
 /// the scenario's initial configuration `(a, b)` — `a` agents with opinion A,
@@ -225,10 +328,8 @@ fn classify_transition(
 /// semantics of the two-species stop conditions carry over: the survivor is
 /// the protocol's decision.
 ///
-/// Interactions map onto the two-species event vocabulary: a cancellation
-/// `(A, B) → (A, blank)` is a competitive attack by the initiator, a
-/// recruitment `(A, blank) → (A, A)` is a birth, and inert interactions are
-/// unclassified firings.
+/// For bit-exact agreement with hand-driven [`ProtocolSimulation`] loops use
+/// [`ApproxMajorityAgentsBackend`] (`"approx-majority-agents"`).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ApproxMajorityBackend;
 
@@ -242,7 +343,49 @@ impl Backend for ApproxMajorityBackend {
     }
 
     fn description(&self) -> &'static str {
-        "3-state approximate-majority population protocol baseline (two-species, ignores rates)"
+        "3-state approximate-majority protocol baseline (two-species, batched counts)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_counted(
+            &CountedDynamics::from_protocol(&ApproximateMajority::new()),
+            self.name(),
+            scenario,
+            rng,
+        )
+    }
+}
+
+/// The legacy agent-list stepper behind `"approx-majority"`, registered as
+/// `"approx-majority-agents"`: bit-identical to a hand-driven
+/// [`ProtocolSimulation`] loop on the same RNG stream — the reference the
+/// batched [`ApproxMajorityBackend`] is cross-validated against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ApproxMajorityAgentsBackend;
+
+impl Backend for ApproxMajorityAgentsBackend {
+    fn name(&self) -> &'static str {
+        "approx-majority-agents"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["am-agents"]
+    }
+
+    fn description(&self) -> &'static str {
+        "3-state approximate-majority baseline, per-interaction agent list (bit-exact legacy)"
     }
 
     fn supports_species(&self, species: usize) -> bool {
@@ -265,7 +408,8 @@ impl Backend for ApproxMajorityBackend {
 }
 
 /// The 4-state exact-majority protocol of Draief–Vojnović / Mertzios et al.
-/// as an execution backend for *two-species* scenarios.
+/// as an execution backend for *two-species* scenarios, in count-based
+/// batched mode.
 ///
 /// The strong-token difference is invariant, so the protocol decides the
 /// true initial majority for *any* non-zero gap — there is no threshold to
@@ -273,7 +417,8 @@ impl Backend for ApproxMajorityBackend {
 /// (Table 1, Section 2.2). Like every protocol baseline it ignores the
 /// model's rates and reports committed opinion counts; a tied start can
 /// exhaust its strong tokens and freeze in a mixed weak configuration,
-/// which the backend reports as an absorbed (non-consensus) run.
+/// which the count-level absorption check reports as an absorbed
+/// (non-consensus) run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactMajorityBackend;
 
@@ -287,7 +432,47 @@ impl Backend for ExactMajorityBackend {
     }
 
     fn description(&self) -> &'static str {
-        "4-state exact-majority population protocol baseline (always correct, ~n^2 interactions)"
+        "4-state exact-majority protocol baseline (always correct, ~n^2 interactions, batched)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_counted(
+            &CountedDynamics::from_protocol(&ExactMajority4State::new()),
+            self.name(),
+            scenario,
+            rng,
+        )
+    }
+}
+
+/// The legacy agent-list stepper behind `"exact-majority"`, registered as
+/// `"exact-majority-agents"` (bit-exact, strong-token absorption monitor).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactMajorityAgentsBackend;
+
+impl Backend for ExactMajorityAgentsBackend {
+    fn name(&self) -> &'static str {
+        "exact-majority-agents"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["em-agents"]
+    }
+
+    fn description(&self) -> &'static str {
+        "4-state exact-majority baseline, per-interaction agent list (bit-exact legacy)"
     }
 
     fn supports_species(&self, species: usize) -> bool {
@@ -313,13 +498,13 @@ impl Backend for ExactMajorityBackend {
 
 /// The two-state discrete Lotka–Volterra dynamics of Czyzowicz et al.
 /// (`(A, B) → (A, A)`, `(B, A) → (B, B)`) as an execution backend for
-/// *two-species* scenarios.
+/// *two-species* scenarios, in count-based batched mode.
 ///
 /// On a static population these conversions are an unbiased random walk in
 /// the count of A, so the majority wins with probability exactly `a/n` —
 /// the proportional law — and high-probability majority consensus needs a
-/// gap *linear* in `n`, the baseline E15's threshold sweep contrasts with
-/// the paper's polylogarithmic self-destructive threshold.
+/// gap *linear* in `n`, the baseline E15/E16's threshold sweeps contrast
+/// with the paper's polylogarithmic self-destructive threshold.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CzyzowiczLvBackend;
 
@@ -333,7 +518,47 @@ impl Backend for CzyzowiczLvBackend {
     }
 
     fn description(&self) -> &'static str {
-        "2-state Czyzowicz et al. discrete LV protocol baseline (proportional law, linear gap)"
+        "2-state Czyzowicz et al. discrete LV baseline (proportional law, linear gap, batched)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_counted(
+            &CountedDynamics::from_protocol(&CzyzowiczLvProtocol::new()),
+            self.name(),
+            scenario,
+            rng,
+        )
+    }
+}
+
+/// The legacy agent-list stepper behind `"czyzowicz-lv"`, registered as
+/// `"czyzowicz-lv-agents"` (bit-exact).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CzyzowiczLvAgentsBackend;
+
+impl Backend for CzyzowiczLvAgentsBackend {
+    fn name(&self) -> &'static str {
+        "czyzowicz-lv-agents"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["cz-agents"]
+    }
+
+    fn description(&self) -> &'static str {
+        "2-state Czyzowicz et al. baseline, per-interaction agent list (bit-exact legacy)"
     }
 
     fn supports_species(&self, species: usize) -> bool {
@@ -355,6 +580,103 @@ impl Backend for CzyzowiczLvBackend {
     }
 }
 
+/// The *self-destructive* discrete Lotka–Volterra dynamics
+/// (`(A, B) → (∅, ∅)`) as an execution backend for *two-species* scenarios,
+/// in count-based batched mode.
+///
+/// Pairwise annihilation preserves the signed gap `a − b`, so the initial
+/// majority wins for **any** non-zero gap — the population-protocol
+/// rendition of the paper's claim that self-destructive interference
+/// collapses the consensus threshold — and consensus (the minority's
+/// committed count reaching zero) takes only `Θ(n log n)` interactions,
+/// which keeps threshold sweeps tractable at `n = 10⁷` under batching,
+/// unlike the `Θ(n²)` conversion dynamics of `"czyzowicz-lv"`. Destroyed
+/// agents have no output, so a tied start annihilates completely (both
+/// committed counts reach zero — mutual extinction, exactly like the
+/// continuous model's `δ = 0` cancellation).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnnihilationLvBackend;
+
+impl Backend for AnnihilationLvBackend {
+    fn name(&self) -> &'static str {
+        "annihilation-lv"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["sd-lv", "annihilation"]
+    }
+
+    fn description(&self) -> &'static str {
+        "self-destructive discrete LV baseline (gap-invariant annihilation, batched)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_counted(
+            &CountedDynamics::from_protocol(&SelfDestructiveLvProtocol::new()),
+            self.name(),
+            scenario,
+            rng,
+        )
+    }
+}
+
+/// The `k`-opinion Czyzowicz conversion dynamics as an execution backend
+/// for scenarios over **any** `k ≥ 2` species — the `k`-species protocol
+/// baseline, running directly over [`Population`](lv_lotka::Population)
+/// counts in count-based batched mode.
+///
+/// One state per opinion; an initiator of a different opinion converts the
+/// responder. Each pairwise conversion between species `i` and `j` is an
+/// unbiased step in their counts, so species `i` wins the plurality contest
+/// with probability exactly `cᵢ/n` — the `k`-species proportional law — and
+/// plurality-margin thresholds scale *linearly*, the `k`-species contrast
+/// to the paper's self-destructive amplification (E15's plurality sweeps).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CzyzowiczKBackend;
+
+impl Backend for CzyzowiczKBackend {
+    fn name(&self) -> &'static str {
+        "czyzowicz-lv-k"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["cz-k", "k-opinion-lv"]
+    }
+
+    fn description(&self) -> &'static str {
+        "k-opinion Czyzowicz conversion dynamics (k-species proportional law, batched)"
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_counted(
+            &CountedDynamics::k_opinion_czyzowicz(scenario.species_count()),
+            self.name(),
+            scenario,
+            rng,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,20 +688,53 @@ mod tests {
         StdRng::seed_from_u64(seed)
     }
 
+    fn all_protocol_backends() -> Vec<&'static dyn Backend> {
+        vec![
+            &ApproxMajorityBackend,
+            &ExactMajorityBackend,
+            &CzyzowiczLvBackend,
+            &AnnihilationLvBackend,
+            &CzyzowiczKBackend,
+            &ApproxMajorityAgentsBackend,
+            &ExactMajorityAgentsBackend,
+            &CzyzowiczLvAgentsBackend,
+        ]
+    }
+
     #[test]
     fn clear_majority_wins_and_reports_interactions() {
         let scenario = Scenario::majority(LvModel::default(), 400, 100);
-        let report = ApproxMajorityBackend.run(&scenario, &mut rng(1));
-        assert_eq!(report.backend, "approx-majority");
-        assert!(report.consensus_reached());
-        assert!(report.majority_won());
-        assert!(report.events > 0);
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ApproxMajorityAgentsBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(1));
+            assert_eq!(report.backend, backend.name());
+            assert!(report.consensus_reached(), "{}", backend.name());
+            assert!(report.majority_won(), "{}", backend.name());
+            assert!(report.events > 0, "{}", backend.name());
+            let outcome = report.to_majority_outcome();
+            assert!(outcome.majority_won());
+        }
+        // The agent-list path resolves every event: one step per event and
+        // classified births/attacks for the derived view.
+        let report = ApproxMajorityAgentsBackend.run(&scenario, &mut rng(1));
         assert_eq!(report.events, report.steps);
-        // The derived view works exactly like for the LV backends.
         let outcome = report.to_majority_outcome();
-        assert!(outcome.majority_won());
         assert!(outcome.individual_events > 0, "recruitments happened");
         assert!(outcome.competitive_events > 0, "cancellations happened");
+        // The batched path aggregates: far fewer steps than events, and the
+        // aggregated firings land in the unclassified counter (the
+        // tau-leaping vocabulary).
+        let report = ApproxMajorityBackend.run(&scenario, &mut rng(1));
+        assert!(
+            report.steps < report.events / 4,
+            "batching did not aggregate: {} steps for {} events",
+            report.steps,
+            report.events
+        );
+        let counts = report.event_counts().unwrap();
+        assert!(counts.unclassified > 0);
     }
 
     #[test]
@@ -391,22 +746,31 @@ mod tests {
     }
 
     #[test]
-    fn event_budget_truncates_runs() {
+    fn event_budget_truncates_runs_exactly() {
+        // Also on the batched path: a sampled epoch that would overrun the
+        // budget falls back to single exact steps, so the event count is
+        // exact, not epoch-granular.
         let scenario = Scenario::new(LvModel::default(), (500, 480))
             .with_stop(StopCondition::any_species_extinct().with_max_events(25));
-        let report = ApproxMajorityBackend.run(&scenario, &mut rng(3));
-        assert_eq!(report.reason, StopReason::MaxEventsReached);
-        assert_eq!(report.events, 25);
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ApproxMajorityAgentsBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(3));
+            assert_eq!(
+                report.reason,
+                StopReason::MaxEventsReached,
+                "{}",
+                backend.name()
+            );
+            assert_eq!(report.events, 25, "{}", backend.name());
+        }
     }
 
     #[test]
     fn seeded_runs_are_reproducible() {
         let scenario = Scenario::majority(LvModel::default(), 60, 40);
-        for backend in [
-            &ApproxMajorityBackend as &dyn Backend,
-            &ExactMajorityBackend,
-            &CzyzowiczLvBackend,
-        ] {
+        for backend in all_protocol_backends() {
             let a = backend.run(&scenario, &mut rng(4));
             let b = backend.run(&scenario, &mut rng(4));
             assert_eq!(a, b, "{}", backend.name());
@@ -420,24 +784,25 @@ mod tests {
         // and the run must end as absorbed rather than spinning forever.
         let scenario = Scenario::new(LvModel::default(), (60, 40))
             .with_stop(StopCondition::total_at_least(1_000));
-        let report = ApproxMajorityBackend.run(&scenario, &mut rng(7));
-        assert_eq!(report.reason, StopReason::Absorbed);
-        assert!(report.final_state.is_consensus());
-        assert_eq!(report.final_state.total(), 100, "everyone committed");
+        for backend in [
+            &ApproxMajorityBackend as &dyn Backend,
+            &ApproxMajorityAgentsBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(7));
+            assert_eq!(report.reason, StopReason::Absorbed, "{}", backend.name());
+            assert!(report.final_state.is_consensus(), "{}", backend.name());
+            assert_eq!(report.final_state.total(), 100, "everyone committed");
+        }
     }
 
     #[test]
     fn sub_scheduler_populations_absorb_instead_of_panicking() {
         // Fewer than two agents and a stop condition that is not already
         // met: the scheduler can never fire an interaction, so the run is
-        // absorbed (not a panic, unlike ProtocolSimulation::new).
+        // absorbed (not a panic, unlike the steppers' constructors).
         let scenario =
             Scenario::new(LvModel::default(), (1, 0)).with_stop(StopCondition::total_at_least(10));
-        for backend in [
-            &ApproxMajorityBackend as &dyn Backend,
-            &ExactMajorityBackend,
-            &CzyzowiczLvBackend,
-        ] {
+        for backend in all_protocol_backends() {
             let report = backend.run(&scenario, &mut rng(6));
             assert_eq!(report.reason, StopReason::Absorbed, "{}", backend.name());
             assert_eq!(report.events, 0, "{}", backend.name());
@@ -447,21 +812,31 @@ mod tests {
 
     #[test]
     fn capability_flags_mark_the_baselines() {
-        for backend in [
-            &ApproxMajorityBackend as &dyn Backend,
-            &ExactMajorityBackend,
-            &CzyzowiczLvBackend,
-        ] {
+        for backend in all_protocol_backends() {
             assert!(backend.supports_species(2), "{}", backend.name());
-            assert!(!backend.supports_species(3), "{}", backend.name());
             assert!(!backend.models_kinetics(), "{}", backend.name());
             assert!(!backend.deterministic(), "{}", backend.name());
         }
+        // Two-opinion protocols are two-species only; the k-opinion
+        // dynamics run any k.
+        assert!(!ApproxMajorityBackend.supports_species(3));
+        assert!(!CzyzowiczLvBackend.supports_species(3));
+        assert!(CzyzowiczKBackend.supports_species(3));
+        assert!(CzyzowiczKBackend.supports_species(6));
+        // Batched vs agent-list execution is reported.
+        assert!(ApproxMajorityBackend.batched());
+        assert!(ExactMajorityBackend.batched());
+        assert!(CzyzowiczLvBackend.batched());
+        assert!(AnnihilationLvBackend.batched());
+        assert!(CzyzowiczKBackend.batched());
+        assert!(!ApproxMajorityAgentsBackend.batched());
+        assert!(!ExactMajorityAgentsBackend.batched());
+        assert!(!CzyzowiczLvAgentsBackend.batched());
     }
 
     #[test]
-    #[should_panic(expected = "two-species scenarios only")]
-    fn k_species_scenarios_are_rejected() {
+    #[should_panic(expected = "cannot run 3-species")]
+    fn k_species_scenarios_are_rejected_by_two_opinion_backends() {
         use lv_lotka::{CompetitionKind, MultiLvModel};
         let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
         let scenario = Scenario::plurality(model, vec![10, 10, 10]);
@@ -482,14 +857,38 @@ mod tests {
     }
 
     #[test]
+    fn annihilation_decides_any_gap_and_preserves_it() {
+        let scenario = Scenario::majority(LvModel::default(), 51, 50);
+        for seed in 0..10 {
+            let report = AnnihilationLvBackend.run(&scenario, &mut rng(seed));
+            assert!(report.consensus_reached(), "seed {seed} truncated");
+            assert!(report.majority_won(), "seed {seed} decided the minority");
+            // The gap is invariant: exactly ∆ majority agents survive.
+            assert_eq!(report.final_state.counts(), &[1, 0], "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn tied_annihilation_runs_end_in_mutual_extinction() {
+        let scenario = Scenario::majority(LvModel::default(), 40, 40);
+        let report = AnnihilationLvBackend.run(&scenario, &mut rng(8));
+        assert!(report.consensus_reached());
+        assert_eq!(
+            report.final_state.counts(),
+            &[0, 0],
+            "complete annihilation"
+        );
+        assert_eq!(report.final_state.winner(), None);
+    }
+
+    #[test]
     fn conversions_are_classified_whichever_agent_the_scheduler_flips() {
-        use Opinion::{A, B};
         // Responder-side conversion: (StrongA, WeakB) → (StrongA, WeakA).
-        let responder_side = classify(Some(A), Some(A), Some(B), Some(A));
+        let responder_side = classify(Some(0), Some(0), Some(1), Some(0));
         // Initiator-side conversion: (WeakB, StrongA) → (WeakA, StrongA) —
         // the regression case: the weak agent is the scheduled initiator,
         // so *its* output flips while the responder is unchanged.
-        let initiator_side = classify(Some(B), Some(A), Some(A), Some(A));
+        let initiator_side = classify(Some(1), Some(0), Some(0), Some(0));
         let expected = Some(PopulationEvent::Interspecific {
             attacker: 0,
             victim: 1,
@@ -497,23 +896,23 @@ mod tests {
         assert_eq!(responder_side, expected);
         assert_eq!(initiator_side, expected, "initiator-side conversion lost");
         // Cancellation leaves both outputs unchanged: unclassified.
-        assert_eq!(classify(Some(A), Some(A), Some(B), Some(B)), None);
+        assert_eq!(classify(Some(0), Some(0), Some(1), Some(1)), None);
         // Approx-majority shapes are untouched: cancel and recruit.
         assert_eq!(
-            classify(Some(A), Some(A), Some(B), None),
+            classify(Some(0), Some(0), Some(1), None),
             Some(PopulationEvent::Interspecific {
                 attacker: 0,
                 victim: 1
             })
         );
         assert_eq!(
-            classify(Some(B), Some(B), None, Some(B)),
+            classify(Some(1), Some(1), None, Some(1)),
             Some(PopulationEvent::Birth(1))
         );
     }
 
     #[test]
-    fn exact_majority_counts_conversions_from_both_scheduling_orders() {
+    fn exact_majority_agents_counts_conversions_from_both_scheduling_orders() {
         // Statistical regression for the initiator-side classification: to
         // reach consensus from (a, b), every one of the b minority agents
         // (and the majority agents weakened by cancellation) must be
@@ -524,7 +923,7 @@ mod tests {
         // the full minimum catches the regression deterministically.
         let scenario = Scenario::majority(LvModel::default(), 40, 20);
         for seed in 0..5 {
-            let report = ExactMajorityBackend.run(&scenario, &mut rng(seed));
+            let report = ExactMajorityAgentsBackend.run(&scenario, &mut rng(seed));
             assert!(report.consensus_reached(), "seed {seed}");
             let outcome = report.to_majority_outcome();
             assert!(
@@ -537,9 +936,9 @@ mod tests {
     }
 
     #[test]
-    fn exact_majority_classifies_conversions_as_competitive() {
+    fn exact_majority_agents_classifies_conversions_as_competitive() {
         let scenario = Scenario::majority(LvModel::default(), 40, 20);
-        let report = ExactMajorityBackend.run(&scenario, &mut rng(9));
+        let report = ExactMajorityAgentsBackend.run(&scenario, &mut rng(9));
         let outcome = report.to_majority_outcome();
         // Cancellations leave both outputs unchanged (strong → weak of the
         // same opinion), so the competitive events are the conversions.
@@ -555,13 +954,19 @@ mod tests {
     fn tied_exact_majority_runs_absorb_when_the_tokens_run_out() {
         // From a tie the strong difference is 0: cancellations can exhaust
         // every token and freeze a mixed weak configuration. Without the
-        // strong-token monitor this would spin forever on the unsatisfiable
-        // stop condition below.
+        // absorption check (strong-token monitor on the agent-list path,
+        // pair-inertness count check on the counted path) this would spin
+        // forever on the unsatisfiable stop condition below.
         let scenario = Scenario::new(LvModel::default(), (20, 20))
             .with_stop(StopCondition::total_at_least(1_000));
-        let report = ExactMajorityBackend.run(&scenario, &mut rng(10));
-        assert_eq!(report.reason, StopReason::Absorbed);
-        assert_eq!(report.final_state.total(), 40, "agents never disappear");
+        for backend in [
+            &ExactMajorityBackend as &dyn Backend,
+            &ExactMajorityAgentsBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(10));
+            assert_eq!(report.reason, StopReason::Absorbed, "{}", backend.name());
+            assert_eq!(report.final_state.total(), 40, "agents never disappear");
+        }
     }
 
     #[test]
@@ -591,5 +996,77 @@ mod tests {
             })
             .count();
         assert!(minority_wins > 0, "no minority win in 20 seeded runs");
+    }
+
+    #[test]
+    fn k_opinion_backend_runs_plurality_scenarios() {
+        use lv_lotka::{CompetitionKind, MultiLvModel};
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![120, 40, 40]);
+        let report = CzyzowiczKBackend.run(&scenario, &mut rng(12));
+        assert_eq!(report.backend, "czyzowicz-lv-k");
+        assert!(report.consensus_reached());
+        assert_eq!(
+            report.final_state.total(),
+            200,
+            "conversions preserve the population"
+        );
+        assert!(report.final_state.is_consensus());
+    }
+
+    #[test]
+    fn k_opinion_backend_follows_the_k_species_proportional_law() {
+        use lv_lotka::{CompetitionKind, MultiLvModel};
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        // Species 0 holds half the population: it should win half the runs.
+        let scenario = Scenario::plurality(model, vec![60, 30, 30])
+            .with_stop(StopCondition::consensus().with_max_events(10_000_000));
+        let trials = 300u64;
+        let wins = (0..trials)
+            .filter(|&seed| {
+                let report = CzyzowiczKBackend.run(&scenario, &mut rng(300 + seed));
+                assert!(report.consensus_reached(), "seed {seed} truncated");
+                report.final_state.winner() == Some(0)
+            })
+            .count();
+        let fraction = wins as f64 / trials as f64;
+        assert!(
+            (fraction - 0.5).abs() < 0.09,
+            "leader won {fraction}, k-species proportional law says 0.5"
+        );
+    }
+
+    #[test]
+    fn batched_runs_match_agent_list_runs_statistically() {
+        // The engine-level distributional cross-validation: batched and
+        // agent-list backends must estimate the same win probability. The
+        // population is above BATCH_MIN_POPULATION so epochs really batch.
+        let scenario = Scenario::new(LvModel::default(), (90, 70))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(10_000_000));
+        let trials = 400u64;
+        let measure = |backend: &dyn Backend, offset: u64| {
+            (0..trials)
+                .filter(|&seed| {
+                    let report = backend.run(&scenario, &mut rng(offset + seed));
+                    report.final_state.winner() == Some(0)
+                })
+                .count() as f64
+                / trials as f64
+        };
+        for (batched, agents) in [
+            (
+                &ApproxMajorityBackend as &dyn Backend,
+                &ApproxMajorityAgentsBackend as &dyn Backend,
+            ),
+            (&CzyzowiczLvBackend, &CzyzowiczLvAgentsBackend),
+        ] {
+            let p_batched = measure(batched, 1_000);
+            let p_agents = measure(agents, 2_000);
+            assert!(
+                (p_batched - p_agents).abs() < 0.1,
+                "{}: batched {p_batched} vs agent-list {p_agents}",
+                batched.name()
+            );
+        }
     }
 }

@@ -5,7 +5,10 @@ use crate::backend::Backend;
 use crate::backends::{
     GillespieDirectBackend, JumpChainBackend, NextReactionBackend, OdeBackend, TauLeapingBackend,
 };
-use crate::protocol_backend::{ApproxMajorityBackend, CzyzowiczLvBackend, ExactMajorityBackend};
+use crate::protocol_backend::{
+    AnnihilationLvBackend, ApproxMajorityAgentsBackend, ApproxMajorityBackend, CzyzowiczKBackend,
+    CzyzowiczLvAgentsBackend, CzyzowiczLvBackend, ExactMajorityAgentsBackend, ExactMajorityBackend,
+};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -31,10 +34,13 @@ impl std::error::Error for DuplicateBackendError {}
 
 /// The set of available [`Backend`]s, addressable by name or alias.
 ///
-/// The process-wide [`BackendRegistry::global`] holds the eight built-ins
-/// (five Lotka–Volterra kernels plus three population-protocol baselines);
-/// downstream crates can build their own registries and plug in custom
-/// backends with [`BackendRegistry::register`] /
+/// The process-wide [`BackendRegistry::global`] holds the thirteen built-ins:
+/// five Lotka–Volterra kernels, five count-based *batched* protocol
+/// baselines (including the `k`-species `"czyzowicz-lv-k"` dynamics), and
+/// the bit-exact agent-list legacy variants of the original three protocol
+/// baselines (`-agents` names — [`Backend::batched`] reports which mode a
+/// backend uses). Downstream crates can build their own registries and plug
+/// in custom backends with [`BackendRegistry::register`] /
 /// [`BackendRegistry::with_backend`] — duplicate names or aliases are
 /// rejected with a [`DuplicateBackendError`] instead of silently shadowing.
 ///
@@ -42,13 +48,16 @@ impl std::error::Error for DuplicateBackendError {}
 /// use lv_engine::BackendRegistry;
 ///
 /// let registry = BackendRegistry::global();
-/// assert_eq!(registry.names().len(), 8);
+/// assert_eq!(registry.names().len(), 13);
 /// assert!(registry.get("gillespie-direct").is_some());
 /// // Aliases resolve to the same backend.
 /// assert_eq!(
 ///     registry.get("ssa").unwrap().name(),
 ///     "gillespie-direct"
 /// );
+/// // Batched vs agent-list protocol execution is a reported capability.
+/// assert!(registry.get("approx-majority").unwrap().batched());
+/// assert!(!registry.get("approx-majority-agents").unwrap().batched());
 /// ```
 pub struct BackendRegistry {
     entries: Vec<Box<dyn Backend>>,
@@ -76,9 +85,11 @@ impl BackendRegistry {
         }
     }
 
-    /// A registry holding the eight built-in backends: the five
-    /// Lotka–Volterra kernels plus the `"approx-majority"`,
-    /// `"exact-majority"` and `"czyzowicz-lv"` protocol baselines.
+    /// A registry holding the thirteen built-in backends: the five
+    /// Lotka–Volterra kernels, the batched `"approx-majority"`,
+    /// `"exact-majority"`, `"czyzowicz-lv"`, `"annihilation-lv"` and
+    /// `"czyzowicz-lv-k"` protocol baselines, and the bit-exact `-agents`
+    /// legacy variants of the first three.
     pub fn builtin() -> Self {
         let mut registry = BackendRegistry::empty();
         let builtins: Vec<Box<dyn Backend>> = vec![
@@ -90,6 +101,11 @@ impl BackendRegistry {
             Box::new(ApproxMajorityBackend),
             Box::new(ExactMajorityBackend),
             Box::new(CzyzowiczLvBackend),
+            Box::new(AnnihilationLvBackend),
+            Box::new(CzyzowiczKBackend),
+            Box::new(ApproxMajorityAgentsBackend),
+            Box::new(ExactMajorityAgentsBackend),
+            Box::new(CzyzowiczLvAgentsBackend),
         ];
         for backend in builtins {
             registry
@@ -188,7 +204,12 @@ mod tests {
                 "ode",
                 "approx-majority",
                 "exact-majority",
-                "czyzowicz-lv"
+                "czyzowicz-lv",
+                "annihilation-lv",
+                "czyzowicz-lv-k",
+                "approx-majority-agents",
+                "exact-majority-agents",
+                "czyzowicz-lv-agents"
             ]
         );
         for name in names {
@@ -206,6 +227,18 @@ mod tests {
         assert_eq!(backend("4-state").unwrap().name(), "exact-majority");
         assert_eq!(backend("cz").unwrap().name(), "czyzowicz-lv");
         assert_eq!(backend("2-state-lv").unwrap().name(), "czyzowicz-lv");
+        assert_eq!(backend("sd-lv").unwrap().name(), "annihilation-lv");
+        assert_eq!(backend("cz-k").unwrap().name(), "czyzowicz-lv-k");
+        assert_eq!(backend("k-opinion-lv").unwrap().name(), "czyzowicz-lv-k");
+        assert_eq!(
+            backend("am-agents").unwrap().name(),
+            "approx-majority-agents"
+        );
+        assert_eq!(
+            backend("em-agents").unwrap().name(),
+            "exact-majority-agents"
+        );
+        assert_eq!(backend("cz-agents").unwrap().name(), "czyzowicz-lv-agents");
         assert!(backend("does-not-exist").is_none());
     }
 
@@ -220,7 +253,7 @@ mod tests {
     fn iter_supporting_filters_by_species_count() {
         let registry = BackendRegistry::global();
         let all: Vec<_> = registry.iter_supporting(2).map(|b| b.name()).collect();
-        assert_eq!(all.len(), 8);
+        assert_eq!(all.len(), 13);
         let k3: Vec<_> = registry.iter_supporting(3).map(|b| b.name()).collect();
         assert_eq!(
             k3,
@@ -229,9 +262,35 @@ mod tests {
                 "gillespie-direct",
                 "next-reaction",
                 "tau-leaping",
-                "ode"
+                "ode",
+                "czyzowicz-lv-k"
             ]
         );
+    }
+
+    #[test]
+    fn batched_capability_is_reported_per_backend() {
+        let registry = BackendRegistry::global();
+        let batched: Vec<_> = registry
+            .iter()
+            .filter(|b| b.batched())
+            .map(|b| b.name())
+            .collect();
+        assert_eq!(
+            batched,
+            vec![
+                "approx-majority",
+                "exact-majority",
+                "czyzowicz-lv",
+                "annihilation-lv",
+                "czyzowicz-lv-k"
+            ]
+        );
+        // The LV kernels and the legacy agent-list baselines resolve every
+        // event individually.
+        for name in ["jump-chain", "ode", "approx-majority-agents"] {
+            assert!(!registry.get(name).unwrap().batched(), "{name}");
+        }
     }
 
     /// A downstream backend for registration tests.
@@ -266,7 +325,7 @@ mod tests {
                 aliases: &["c"],
             }))
             .unwrap();
-        assert_eq!(registry.names().len(), 9);
+        assert_eq!(registry.names().len(), 14);
         assert_eq!(registry.get("c").unwrap().name(), "custom");
         // The global registry is unaffected.
         assert!(BackendRegistry::global().get("custom").is_none());
@@ -284,7 +343,7 @@ mod tests {
         assert_eq!(err.name, "jump-chain");
         assert_eq!(
             registry.names().len(),
-            8,
+            13,
             "failed registration must not mutate"
         );
         assert!(err.to_string().contains("jump-chain"));

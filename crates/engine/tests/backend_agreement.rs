@@ -14,23 +14,24 @@ fn rng(seed: u64) -> StdRng {
 }
 
 /// The acceptance criterion of the redesign: the same scenario value runs on
-/// every backend through the registry — the five LV kernels plus the three
-/// protocol baselines — and every model-faithful backend agrees on the
-/// qualitative outcome (a 4:1 majority wins).
+/// every backend through the registry — the five LV kernels plus the
+/// protocol baselines (batched and agent-list) — and every model-faithful
+/// backend agrees on the qualitative outcome (a 4:1 majority wins).
 #[test]
 fn one_scenario_runs_on_every_backend() {
     let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
     let scenario = Scenario::majority(model, 400, 100).observe(ObserverSpec::GapTrajectory);
     let registry = BackendRegistry::global();
-    assert_eq!(registry.names().len(), 8);
+    assert_eq!(registry.names().len(), 13);
+    // The Czyzowicz conversion baselines follow the proportional law (a 4:1
+    // majority wins only 80% of runs) and need ~n² interactions, so neither
+    // a win nor consensus within the default budget is guaranteed for them —
+    // for every other backend both are.
+    let proportional = ["czyzowicz-lv", "czyzowicz-lv-agents", "czyzowicz-lv-k"];
     for backend in registry.iter() {
         let report = backend.run(&scenario, &mut rng(11));
         assert_eq!(report.backend, backend.name());
-        // The Czyzowicz baseline follows the proportional law (a 4:1
-        // majority wins only 80% of runs) and needs ~n² interactions, so
-        // neither a win nor consensus within the default budget is
-        // guaranteed for it — for every other backend both are.
-        if backend.name() != "czyzowicz-lv" {
+        if !proportional.contains(&backend.name()) {
             assert!(
                 report.majority_won(),
                 "backend {} did not reach majority consensus: {report:?}",
@@ -188,12 +189,17 @@ fn continuous_backends_honor_the_time_budget() {
     // The jump chain's clock is its event count; the budget check runs
     // before each step (and time starts at 0), so exactly one event fires
     // before a 1e-7 time budget binds. The protocol baselines use the same
-    // interaction-count clock.
+    // interaction-count clock — including the batched ones, which translate
+    // the time budget into an interaction cap instead of overshooting by an
+    // epoch.
     for name in [
         "jump-chain",
         "approx-majority",
         "exact-majority",
         "czyzowicz-lv",
+        "annihilation-lv",
+        "czyzowicz-lv-k",
+        "approx-majority-agents",
     ] {
         let report = backend(name).unwrap().run(&scenario, &mut rng(8));
         assert_eq!(report.reason, StopReason::MaxTimeReached, "{name}");

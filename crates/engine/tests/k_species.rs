@@ -20,7 +20,13 @@ fn k3_scenario_runs_end_to_end_on_all_five_lv_backends() {
     let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
     let scenario =
         Scenario::plurality(model, vec![120, 40, 40]).observe(ObserverSpec::GapTrajectory);
-    let lv_backends: Vec<_> = BackendRegistry::global().iter_supporting(3).collect();
+    let k3_backends: Vec<_> = BackendRegistry::global().iter_supporting(3).collect();
+    // Five LV kernels plus the k-opinion Czyzowicz protocol baseline.
+    assert_eq!(k3_backends.len(), 6);
+    let lv_backends: Vec<_> = k3_backends
+        .into_iter()
+        .filter(|b| b.models_kinetics())
+        .collect();
     assert_eq!(lv_backends.len(), 5);
     for backend in lv_backends {
         let report = backend.run(&scenario, &mut rng(2));

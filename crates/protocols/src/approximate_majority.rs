@@ -1,3 +1,4 @@
+use crate::counted::EnumerableProtocol;
 use crate::protocol::{Opinion, PopulationProtocol};
 
 /// Per-agent state of the 3-state approximate-majority protocol.
@@ -62,6 +63,12 @@ impl PopulationProtocol for ApproximateMajority {
             TriState::B => Some(Opinion::B),
             TriState::Blank => None,
         }
+    }
+}
+
+impl EnumerableProtocol for ApproximateMajority {
+    fn state_space(&self) -> Vec<TriState> {
+        vec![TriState::A, TriState::B, TriState::Blank]
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::counted::EnumerableProtocol;
 use crate::protocol::{Opinion, PopulationProtocol};
 
 /// The two-species discrete Lotka–Volterra population-protocol dynamics in the
@@ -48,6 +49,12 @@ impl PopulationProtocol for CzyzowiczLvProtocol {
 
     fn output(&self, state: Opinion) -> Option<Opinion> {
         Some(state)
+    }
+}
+
+impl EnumerableProtocol for CzyzowiczLvProtocol {
+    fn state_space(&self) -> Vec<Opinion> {
+        vec![Opinion::A, Opinion::B]
     }
 }
 

@@ -1,3 +1,4 @@
+use crate::counted::EnumerableProtocol;
 use crate::protocol::{Opinion, PopulationProtocol};
 
 /// Per-agent state of the 4-state exact-majority protocol.
@@ -66,6 +67,17 @@ impl PopulationProtocol for ExactMajority4State {
             FourState::StrongA | FourState::WeakA => Some(Opinion::A),
             FourState::StrongB | FourState::WeakB => Some(Opinion::B),
         }
+    }
+}
+
+impl EnumerableProtocol for ExactMajority4State {
+    fn state_space(&self) -> Vec<FourState> {
+        vec![
+            FourState::StrongA,
+            FourState::StrongB,
+            FourState::WeakA,
+            FourState::WeakB,
+        ]
     }
 }
 

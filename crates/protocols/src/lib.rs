@@ -19,11 +19,29 @@
 //!   al. \[6\]: bounded (non-mass-action) growth, no individual deaths and
 //!   non-self-destructive interference competition; its majority-consensus
 //!   threshold is `O(√n·log n)`.
+//! * [`SelfDestructiveLvProtocol`] — the self-destructive counterpart of the
+//!   Czyzowicz dynamics (`X + Y → ∅ + ∅` on a static scheduler): the gap is
+//!   invariant, so any non-zero gap decides correctly in `Θ(n log n)`
+//!   interactions — the discrete rendition of the paper's self-destructive
+//!   competition mechanism.
 //!
 //! All population protocols implement the [`PopulationProtocol`] trait and are
 //! run with [`run_protocol`], which pairs agents uniformly at random (the
 //! standard random scheduler) until consensus or an interaction budget is
 //! exhausted.
+//!
+//! # Count-based batched simulation
+//!
+//! Every protocol here is anonymous with an `O(1)` state space, so the
+//! [`counted`] module simulates populations as state → count maps instead of
+//! agent lists: [`CountedDynamics`] compiles a protocol (any
+//! [`EnumerableProtocol`], or the `k`-opinion Czyzowicz dynamics) into a
+//! dense transition table, and [`CountedSimulation`] steps it either one
+//! exact interaction at a time or in collision-free *batches* of `Θ(√n)`
+//! interactions sampled by the birthday-bound and hypergeometric draws of
+//! [`sampling`] — equal in distribution to the agent-list stepper, at `o(1)`
+//! sampling work per interaction. This is the engine behind the batched
+//! protocol backends and the `n = 10⁷` threshold sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,14 +49,19 @@
 
 mod andaur;
 mod approximate_majority;
+pub mod counted;
 mod czyzowicz;
 mod exact_majority;
 mod protocol;
+pub mod sampling;
+mod self_destructive;
 
 pub use andaur::{AndaurOutcome, AndaurResourceModel};
 pub use approximate_majority::{ApproximateMajority, TriState};
+pub use counted::{CountedDynamics, CountedSimulation, EnumerableProtocol};
 pub use czyzowicz::CzyzowiczLvProtocol;
 pub use exact_majority::{ExactMajority4State, FourState};
 pub use protocol::{
     run_protocol, Interaction, Opinion, PopulationProtocol, ProtocolOutcome, ProtocolSimulation,
 };
+pub use self_destructive::{SdState, SelfDestructiveLvProtocol};

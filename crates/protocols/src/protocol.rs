@@ -199,9 +199,15 @@ impl<'a, P: PopulationProtocol> ProtocolSimulation<'a, P> {
         self.opinions
     }
 
-    /// Whether every agent outputs the same opinion.
+    /// Whether every agent outputs the same opinion — `O(1)` from the
+    /// incrementally maintained committed counts (the counted criterion the
+    /// batch engine's absorption checks share), instead of the `O(n)` state
+    /// scan of [`PopulationProtocol::has_converged`]: all `n` agents output
+    /// A, or all output B.
     pub fn has_converged(&self) -> bool {
-        self.protocol.has_converged(&self.states)
+        let (a, b) = self.opinions;
+        let n = self.population();
+        a == n || b == n
     }
 
     /// The consensus opinion, if converged.
@@ -263,9 +269,12 @@ pub fn run_protocol<P: PopulationProtocol, R: Rng + ?Sized>(
 ) -> ProtocolOutcome {
     let mut sim = ProtocolSimulation::new(protocol, a, b);
     let n = sim.population();
-    // Convergence is only checked every `n` interactions to keep the check
-    // from dominating the run time; this can overshoot the interaction count
-    // by at most one epoch.
+    // Convergence is only checked every `n` interactions; the check itself
+    // is O(1) (committed counts), the epoch merely batches the loop
+    // bookkeeping. Epochs are clamped to the remaining budget, so the run
+    // never performs more than `max_interactions` interactions — and a run
+    // that converges exactly *at* the budget is reported as converged, not
+    // truncated (convergence is checked first).
     let check_every = n.max(1);
     let mut outcome = ProtocolOutcome {
         population: n,
@@ -281,12 +290,13 @@ pub fn run_protocol<P: PopulationProtocol, R: Rng + ?Sized>(
             outcome.interactions = sim.interactions();
             return outcome;
         }
-        if sim.interactions() >= max_interactions {
+        let remaining = max_interactions.saturating_sub(sim.interactions());
+        if remaining == 0 {
             outcome.truncated = true;
             outcome.interactions = sim.interactions();
             return outcome;
         }
-        for _ in 0..check_every {
+        for _ in 0..check_every.min(remaining) {
             sim.step(rng);
         }
     }
@@ -338,6 +348,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let outcome = run_protocol(&Infection, 500, 500, &mut rng, 10);
         assert!(outcome.truncated || outcome.decision.is_some());
+    }
+
+    #[test]
+    fn truncated_runs_never_overshoot_the_budget() {
+        // Regression: the old loop stepped whole n-sized epochs past the
+        // budget, so a 10-interaction budget burned 1000 interactions.
+        let mut rng = StdRng::seed_from_u64(20);
+        let outcome = run_protocol(&Infection, 500, 500, &mut rng, 10);
+        assert!(outcome.truncated);
+        assert_eq!(outcome.interactions, 10, "epochs must clamp to the budget");
+    }
+
+    #[test]
+    fn converging_exactly_at_the_budget_is_not_truncated() {
+        // Regression for the off-by-one: from (1, 1) the first Infection
+        // interaction always converts the responder, so the run converges at
+        // exactly the 1-interaction budget and must report its decision.
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let outcome = run_protocol(&Infection, 1, 1, &mut rng, 1);
+            assert!(!outcome.truncated, "seed {seed} mis-reported truncation");
+            assert!(outcome.decision.is_some());
+            assert_eq!(outcome.interactions, 1);
+        }
     }
 
     #[test]

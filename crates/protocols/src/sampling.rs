@@ -1,0 +1,504 @@
+//! Samplers behind the count-based batched protocol engine.
+//!
+//! The batched stepper of [`crate::CountedSimulation`] replaces per-agent
+//! simulation with a handful of distributional draws per *epoch* of
+//! `Θ(√n)` interactions:
+//!
+//! * [`sample_batch_length`] — the birthday-bound distribution of the number
+//!   of consecutive collision-free interactions (one uniform draw plus one
+//!   float multiply per interaction represented);
+//! * [`sample_hypergeometric`] — without-replacement draws used to pick the
+//!   interacting agents by *state counts* instead of identities (sequential
+//!   for tiny draws, an inverse-transform walk outward from the mode
+//!   otherwise, so the expected cost is `O(standard deviation)` rather than
+//!   `O(draws)`);
+//! * [`sample_counts_without_replacement`] — the multivariate version,
+//!   splitting a without-replacement sample across a whole count vector.
+//!
+//! All samplers consume randomness only through the passed [`Rng`] and are
+//! exact up to `f64` rounding of the hypergeometric pmf (relative error
+//! `≲ 1e-8` at populations of `10⁷`), which is the "statistical, not
+//! bit-exact" agreement contract of the batched execution mode.
+
+use rand::Rng;
+use std::sync::OnceLock;
+
+/// Arguments below this bound resolve `ln n!` by table lookup — sized so
+/// every `Θ(√n)`-scale argument of an epoch (batch lengths up to `2ℓ`) hits
+/// the table even at `n = 10⁷`, leaving only the `O(1)` urn-sized arguments
+/// to the Stirling series.
+const LN_FACTORIAL_TABLE: usize = 8192;
+
+fn ln_factorial_table() -> &'static [f64] {
+    static TABLE: OnceLock<Vec<f64>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = vec![0.0f64; LN_FACTORIAL_TABLE];
+        for i in 2..LN_FACTORIAL_TABLE {
+            table[i] = table[i - 1] + (i as f64).ln();
+        }
+        table
+    })
+}
+
+/// Natural log of `n!`: table lookup for `n < 8192`, Stirling series (error
+/// `< 1e-12` relative) beyond.
+pub fn ln_factorial(n: u64) -> f64 {
+    if (n as usize) < LN_FACTORIAL_TABLE {
+        return ln_factorial_table()[n as usize];
+    }
+    let x = n as f64;
+    let inv = 1.0 / x;
+    let inv3 = inv * inv * inv;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + inv / 12.0 - inv3 / 360.0
+        + inv3 * inv * inv / 1260.0
+}
+
+/// `ln C(n, k)` via [`ln_factorial`].
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Samples the number of successes when drawing `draws` items without
+/// replacement from an urn of `successes + failures` items.
+///
+/// Exact for tiny draws (sequential integer draws); otherwise an
+/// inverse-transform walk outward from the distribution's mode, whose
+/// expected number of pmf evaluations is proportional to the standard
+/// deviation — `O(√draws)` — rather than to `draws`.
+///
+/// # Panics
+///
+/// Panics if `draws > successes + failures`.
+pub fn sample_hypergeometric<R: Rng + ?Sized>(
+    rng: &mut R,
+    successes: u64,
+    failures: u64,
+    draws: u64,
+) -> u64 {
+    let total = successes + failures;
+    assert!(
+        draws <= total,
+        "cannot draw {draws} items from an urn of {total}"
+    );
+    if draws == 0 || successes == 0 {
+        return 0;
+    }
+    if failures == 0 {
+        return draws;
+    }
+    // Complement symmetry: the successes drawn and the successes left behind
+    // partition `successes`, so sampling the smaller "sample" is equivalent.
+    if 2 * draws > total {
+        return successes - sample_hypergeometric(rng, successes, failures, total - draws);
+    }
+    // Colour symmetry: count the rarer colour so the support stays short.
+    if successes > failures {
+        return draws - sample_hypergeometric(rng, failures, successes, draws);
+    }
+    if draws <= 16 {
+        return sample_sequential(rng, successes, total, draws);
+    }
+    sample_from_mode(rng, successes, failures, draws)
+}
+
+/// Exact sequential without-replacement draws (integer arithmetic only).
+fn sample_sequential<R: Rng + ?Sized>(
+    rng: &mut R,
+    mut successes: u64,
+    mut total: u64,
+    draws: u64,
+) -> u64 {
+    let mut hits = 0;
+    for _ in 0..draws {
+        if rng.gen_range(0..total) < successes {
+            hits += 1;
+            successes -= 1;
+            if successes == 0 {
+                break;
+            }
+        }
+        total -= 1;
+    }
+    hits
+}
+
+/// Inverse transform over the hypergeometric pmf, accumulating outward from
+/// the mode so the expected number of terms visited is `O(sd)`.
+fn sample_from_mode<R: Rng + ?Sized>(
+    rng: &mut R,
+    successes: u64,
+    failures: u64,
+    draws: u64,
+) -> u64 {
+    let total = successes + failures;
+    let min_k = draws.saturating_sub(failures);
+    let max_k = draws.min(successes);
+    let mode = ((((draws + 1) as f64) * ((successes + 1) as f64)) / ((total + 2) as f64)) as u64;
+    let mode = mode.clamp(min_k, max_k);
+    let ln_p_mode =
+        ln_choose(successes, mode) + ln_choose(failures, draws - mode) - ln_choose(total, draws);
+    let p_mode = ln_p_mode.exp();
+    let u: f64 = rng.gen();
+    let mut acc = p_mode;
+    if u < acc {
+        return mode;
+    }
+    let (sf, ff, df) = (successes as f64, failures as f64, draws as f64);
+    let mut lo = mode;
+    let mut hi = mode;
+    let mut p_lo = p_mode;
+    let mut p_hi = p_mode;
+    loop {
+        let mut advanced = false;
+        if hi < max_k {
+            let k = hi as f64;
+            p_hi *= (sf - k) * (df - k) / ((k + 1.0) * (ff - df + k + 1.0));
+            hi += 1;
+            acc += p_hi;
+            advanced = true;
+            if u < acc {
+                return hi;
+            }
+        }
+        if lo > min_k {
+            let k = lo as f64;
+            p_lo *= k * (ff - df + k) / ((sf - k + 1.0) * (df - k + 1.0));
+            lo -= 1;
+            acc += p_lo;
+            advanced = true;
+            if u < acc {
+                return lo;
+            }
+        }
+        if !advanced {
+            // The support is exhausted; the residual `1 − acc` is float
+            // leakage (≲ 1e-12), attributed to the mode.
+            return mode;
+        }
+    }
+}
+
+/// Splits a without-replacement sample of `draws` items across the urn
+/// described by `counts`, writing the per-category sample sizes into `out`
+/// (a chain of univariate hypergeometric draws).
+///
+/// # Panics
+///
+/// Panics if `out.len() != counts.len()` or `draws` exceeds the urn size.
+pub fn sample_counts_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    counts: &[u64],
+    draws: u64,
+    out: &mut [u64],
+) {
+    assert_eq!(counts.len(), out.len(), "mismatched category counts");
+    let mut remaining_total: u64 = counts.iter().sum();
+    assert!(
+        draws <= remaining_total,
+        "cannot draw {draws} items from an urn of {remaining_total}"
+    );
+    let mut remaining_draws = draws;
+    for (slot, &category) in out.iter_mut().zip(counts) {
+        if remaining_draws == 0 {
+            *slot = 0;
+            continue;
+        }
+        let take =
+            sample_hypergeometric(rng, category, remaining_total - category, remaining_draws);
+        *slot = take;
+        remaining_draws -= take;
+        remaining_total -= category;
+    }
+    debug_assert_eq!(remaining_draws, 0);
+}
+
+/// Samples the number of consecutive *collision-free* interactions in a
+/// population of `n` agents: the largest `ℓ` such that `ℓ` uniformly random
+/// ordered pairs of distinct agents involve `2ℓ` distinct agents, with the
+/// `(ℓ+1)`-th interaction being the first to touch an already-used agent
+/// (the birthday bound — `E[ℓ] = Θ(√n)`).
+///
+/// One-shot convenience over [`BatchLengthSampler`]; steppers that draw many
+/// epochs at one population size should hold the sampler (the survival table
+/// is built once and each draw is then one uniform plus a binary search —
+/// `O(log n)` instead of `O(ℓ)` float multiplies).
+///
+/// The result is always at least 1 (the first interaction cannot collide)
+/// and at most `⌊n/2⌋`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn sample_batch_length<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n >= 2, "collision-free batches need at least two agents");
+    let nf = n as f64;
+    let denominator = nf * (nf - 1.0);
+    let u: f64 = rng.gen();
+    let mut survival = 1.0;
+    let mut len = 0u64;
+    loop {
+        let untouched = nf - 2.0 * len as f64;
+        if untouched < 2.0 {
+            // Fewer than two fresh agents remain: the next pair must collide.
+            return len;
+        }
+        let p = untouched * (untouched - 1.0) / denominator;
+        let next = survival * p;
+        if next <= u {
+            return len;
+        }
+        survival = next;
+        len += 1;
+    }
+}
+
+/// Precomputed inverse-transform sampler for the collision-free batch-length
+/// distribution at one population size `n` (see [`sample_batch_length`]).
+///
+/// The exact survival products `P(ℓ ≥ j) = ∏_{i<j} (n−2i)(n−2i−1)/(n(n−1))`
+/// are tabulated once (truncated where they fall below `1e-18` — far beyond
+/// any float-representable uniform draw), so each sample costs one uniform
+/// draw plus a binary search over `O(√(n log(1/ε)))` entries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchLengthSampler {
+    n: u64,
+    /// `survival[j] = P(ℓ ≥ j + 1)`, strictly decreasing.
+    survival: Vec<f64>,
+}
+
+impl BatchLengthSampler {
+    /// Builds the survival table for population size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "collision-free batches need at least two agents");
+        let nf = n as f64;
+        let denominator = nf * (nf - 1.0);
+        let mut survival = Vec::new();
+        let mut s = 1.0f64;
+        let mut j = 0u64;
+        loop {
+            let untouched = nf - 2.0 * j as f64;
+            if untouched < 2.0 {
+                break;
+            }
+            s *= untouched * (untouched - 1.0) / denominator;
+            if s <= 1e-18 {
+                break;
+            }
+            survival.push(s);
+            j += 1;
+        }
+        BatchLengthSampler { n, survival }
+    }
+
+    /// The population size this sampler was built for.
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// Draws one batch length — identical in distribution to
+    /// [`sample_batch_length`]`(rng, n)` up to the `1e-18` tail truncation.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen();
+        // ℓ = #{j : survival[j] > u}; survival[0] = 1 > u, so ℓ ≥ 1.
+        let mut lo = 0usize;
+        let mut hi = self.survival.len();
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.survival[mid] > u {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ln_factorial_matches_direct_summation() {
+        for n in [0u64, 1, 2, 10, 32, 33, 100, 10_000] {
+            let direct: f64 = (2..=n).map(|i| (i as f64).ln()).sum();
+            let approx = ln_factorial(n);
+            assert!(
+                (approx - direct).abs() <= 1e-9 * direct.max(1.0),
+                "ln {n}! = {approx}, direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn hypergeometric_respects_support() {
+        let mut r = rng(1);
+        for (s, f, d) in [(5u64, 95, 50), (60, 40, 70), (3, 3, 6), (1000, 1000, 900)] {
+            for _ in 0..200 {
+                let k = sample_hypergeometric(&mut r, s, f, d);
+                assert!(k <= d.min(s), "k = {k} from ({s}, {f}, {d})");
+                assert!(k >= d.saturating_sub(f), "k = {k} from ({s}, {f}, {d})");
+            }
+        }
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_cases() {
+        let mut r = rng(2);
+        assert_eq!(sample_hypergeometric(&mut r, 0, 10, 5), 0);
+        assert_eq!(sample_hypergeometric(&mut r, 10, 0, 5), 5);
+        assert_eq!(sample_hypergeometric(&mut r, 10, 10, 0), 0);
+        assert_eq!(sample_hypergeometric(&mut r, 10, 10, 20), 10);
+    }
+
+    #[test]
+    fn hypergeometric_moments_match_theory() {
+        // Large enough that the from-mode path is exercised.
+        let (s, f, d) = (400u64, 600u64, 250u64);
+        let total = (s + f) as f64;
+        let mean_theory = d as f64 * s as f64 / total;
+        let var_theory = d as f64
+            * (s as f64 / total)
+            * (f as f64 / total)
+            * ((total - d as f64) / (total - 1.0));
+        let mut r = rng(3);
+        let trials = 40_000;
+        let samples: Vec<u64> = (0..trials)
+            .map(|_| sample_hypergeometric(&mut r, s, f, d))
+            .collect();
+        let mean: f64 = samples.iter().map(|&k| k as f64).sum::<f64>() / trials as f64;
+        let var: f64 = samples
+            .iter()
+            .map(|&k| (k as f64 - mean).powi(2))
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (mean - mean_theory).abs() < 0.1,
+            "mean {mean} vs {mean_theory}"
+        );
+        assert!(
+            (var - var_theory).abs() < 0.05 * var_theory.max(1.0),
+            "var {var} vs {var_theory}"
+        );
+    }
+
+    /// χ²-style check of the walk-from-mode sampler against exact pmf values
+    /// on a support small enough to enumerate.
+    #[test]
+    fn hypergeometric_distribution_matches_exact_pmf() {
+        let (s, f, d) = (30u64, 70u64, 40u64);
+        // Exact pmf by the multiplicative recurrence from k = 0 upward
+        // (support is 0..=30 here).
+        let mut pmf = vec![0.0f64; (d.min(s) + 1) as usize];
+        pmf[0] = (ln_choose(f, d) - ln_choose(s + f, d)).exp();
+        for k in 1..pmf.len() {
+            let km1 = (k - 1) as f64;
+            pmf[k] = pmf[k - 1] * (s as f64 - km1) * (d as f64 - km1)
+                / (k as f64 * (f as f64 - d as f64 + km1 + 1.0));
+        }
+        let trials = 60_000u64;
+        let mut observed = vec![0u64; pmf.len()];
+        let mut r = rng(4);
+        for _ in 0..trials {
+            observed[sample_hypergeometric(&mut r, s, f, d) as usize] += 1;
+        }
+        let mut chi2 = 0.0;
+        let mut dof = 0usize;
+        for (k, &p) in pmf.iter().enumerate() {
+            let expected = p * trials as f64;
+            if expected >= 5.0 {
+                chi2 += (observed[k] as f64 - expected).powi(2) / expected;
+                dof += 1;
+            }
+        }
+        // Generous bound: P(χ²_{dof} > 2·dof + 20) is far below 1e-3.
+        assert!(
+            chi2 < 2.0 * dof as f64 + 20.0,
+            "χ² = {chi2} over {dof} cells"
+        );
+    }
+
+    #[test]
+    fn multivariate_draw_partitions_the_sample() {
+        let counts = [5u64, 0, 17, 40, 3];
+        let mut out = [0u64; 5];
+        let mut r = rng(5);
+        for draws in [0u64, 1, 10, 65] {
+            sample_counts_without_replacement(&mut r, &counts, draws, &mut out);
+            assert_eq!(out.iter().sum::<u64>(), draws);
+            for (o, c) in out.iter().zip(&counts) {
+                assert!(o <= c, "drew {o} from a category of {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_length_matches_naive_birthday_simulation() {
+        // Reference: simulate pair draws by identity and count until the
+        // first collision; compare the mean against the closed-form sampler.
+        let n = 64u64;
+        let trials = 20_000;
+        let mut r = rng(6);
+        let naive_mean: f64 = (0..trials)
+            .map(|_| {
+                let mut used = vec![false; n as usize];
+                let mut len = 0u64;
+                loop {
+                    let i = r.gen_range(0..n) as usize;
+                    let mut j = r.gen_range(0..n - 1) as usize;
+                    if j >= i {
+                        j += 1;
+                    }
+                    if used[i] || used[j] {
+                        return len as f64;
+                    }
+                    used[i] = true;
+                    used[j] = true;
+                    len += 1;
+                }
+            })
+            .sum::<f64>()
+            / trials as f64;
+        let mut r = rng(7);
+        let sampled_mean: f64 = (0..trials)
+            .map(|_| sample_batch_length(&mut r, n) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        assert!(
+            (naive_mean - sampled_mean).abs() < 0.15,
+            "naive {naive_mean} vs sampled {sampled_mean}"
+        );
+        // Birthday scale: Θ(√n).
+        assert!(sampled_mean > 0.5 * (n as f64).sqrt() / 2.0);
+        assert!(sampled_mean < 3.0 * (n as f64).sqrt());
+    }
+
+    #[test]
+    fn batch_length_bounds() {
+        let mut r = rng(8);
+        for n in [2u64, 3, 5, 100] {
+            for _ in 0..500 {
+                let len = sample_batch_length(&mut r, n);
+                assert!(len >= 1, "first interaction cannot collide (n = {n})");
+                assert!(2 * len <= n, "len {len} uses more than {n} agents");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two agents")]
+    fn batch_length_rejects_tiny_populations() {
+        let _ = sample_batch_length(&mut rng(9), 1);
+    }
+}

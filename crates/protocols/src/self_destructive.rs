@@ -1,0 +1,143 @@
+//! The self-destructive discrete Lotka–Volterra dynamics: pairwise
+//! annihilation on a static scheduler.
+
+use crate::counted::EnumerableProtocol;
+use crate::protocol::{Opinion, PopulationProtocol};
+
+/// Per-agent state of the self-destructive discrete LV dynamics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SdState {
+    /// Alive with opinion A.
+    A,
+    /// Alive with opinion B.
+    B,
+    /// Destroyed in a competitive encounter; inert forever, no output.
+    Dead,
+}
+
+/// The *self-destructive* counterpart of the Czyzowicz et al. discrete
+/// Lotka–Volterra protocol: a competitive encounter destroys **both**
+/// participants instead of converting the responder —
+///
+/// ```text
+/// (A, B) → (Dead, Dead)        (B, A) → (Dead, Dead)
+/// ```
+///
+/// and all other pairs are inert. This is the population-protocol rendition
+/// of the paper's self-destructive competition mechanism (Table 1 row 1 and
+/// the δ-free cancellation of §2.2): every annihilation removes one agent of
+/// *each* opinion, so the signed gap `a − b` is invariant and the initial
+/// majority wins for **any** non-zero gap — there is no threshold to find,
+/// the exact analogue of the paper's claim that self-destructive
+/// interference collapses the consensus threshold. Consensus (the minority's
+/// committed count reaching zero) takes `Θ(n log n)` interactions in
+/// expectation, which makes this the second baseline — alongside approximate
+/// majority — whose threshold sweeps stay tractable at `n = 10⁷` under the
+/// batched stepper, in sharp contrast to the `Θ(n²)` conversion dynamics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SelfDestructiveLvProtocol;
+
+impl SelfDestructiveLvProtocol {
+    /// Creates the protocol.
+    pub fn new() -> Self {
+        SelfDestructiveLvProtocol
+    }
+}
+
+impl PopulationProtocol for SelfDestructiveLvProtocol {
+    type State = SdState;
+
+    fn initial_state(&self, input: Opinion) -> SdState {
+        match input {
+            Opinion::A => SdState::A,
+            Opinion::B => SdState::B,
+        }
+    }
+
+    fn transition(&self, initiator: SdState, responder: SdState) -> (SdState, SdState) {
+        match (initiator, responder) {
+            (SdState::A, SdState::B) | (SdState::B, SdState::A) => (SdState::Dead, SdState::Dead),
+            other => other,
+        }
+    }
+
+    fn output(&self, state: SdState) -> Option<Opinion> {
+        match state {
+            SdState::A => Some(Opinion::A),
+            SdState::B => Some(Opinion::B),
+            SdState::Dead => None,
+        }
+    }
+}
+
+impl EnumerableProtocol for SelfDestructiveLvProtocol {
+    fn state_space(&self) -> Vec<SdState> {
+        vec![SdState::A, SdState::B, SdState::Dead]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::run_protocol;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn annihilation_destroys_both_participants() {
+        let p = SelfDestructiveLvProtocol::new();
+        assert_eq!(
+            p.transition(SdState::A, SdState::B),
+            (SdState::Dead, SdState::Dead)
+        );
+        assert_eq!(
+            p.transition(SdState::B, SdState::A),
+            (SdState::Dead, SdState::Dead)
+        );
+        // Same-opinion and dead pairs are inert.
+        assert_eq!(
+            p.transition(SdState::A, SdState::A),
+            (SdState::A, SdState::A)
+        );
+        assert_eq!(
+            p.transition(SdState::Dead, SdState::B),
+            (SdState::Dead, SdState::B)
+        );
+        assert_eq!(p.output(SdState::Dead), None);
+    }
+
+    #[test]
+    fn any_positive_gap_decides_the_majority() {
+        // The gap is invariant under annihilation, so even ∆ = 1 is always
+        // decided correctly — the "no threshold" behaviour. Dead agents have
+        // no output, so the consensus criterion is a committed count hitting
+        // zero (what the engine backend's stop condition checks), not
+        // all-agents output consensus.
+        let p = SelfDestructiveLvProtocol::new();
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut sim = crate::ProtocolSimulation::new(&p, 26, 25);
+            loop {
+                let (a, b) = sim.opinion_counts();
+                if a == 0 || b == 0 {
+                    // Exactly the invariant gap survives.
+                    assert_eq!((a, b), (1, 0), "seed {seed} decided the minority");
+                    break;
+                }
+                sim.step(&mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn ties_annihilate_completely() {
+        let p = SelfDestructiveLvProtocol::new();
+        let mut rng = StdRng::seed_from_u64(7);
+        let outcome = run_protocol(&p, 20, 20, &mut rng, 100_000);
+        // From a tie every alive agent is eventually annihilated: all
+        // outputs are gone, so consensus is never reached and the run can
+        // only end by exhausting its budget.
+        assert!(outcome.truncated);
+        assert!(outcome.decision.is_none());
+    }
+}

@@ -1,4 +1,4 @@
-//! The experiment suite of DESIGN.md (E1–E13).
+//! The experiment suite of DESIGN.md (E1–E16).
 //!
 //! Every experiment regenerates one artefact of the paper's evaluation —
 //! a row of Table 1, a theorem's quantitative claim, or a supporting scaling
@@ -24,6 +24,7 @@
 //! | E13 | §5.1 pseudo-coupling domination | [`ablation::e13_pseudo_coupling`] |
 //! | E14 | k-species plurality consensus (beyond the paper) | [`multispecies::e14_multispecies_plurality`] |
 //! | E15 | threshold scaling per backend + plurality margins | [`thresholds::e15_threshold_scaling_backends`] |
+//! | E16 | large-n batched protocol threshold sweeps | [`thresholds::e16_large_n_protocol_sweeps`] |
 
 pub mod ablation;
 pub mod baselines;
@@ -173,6 +174,7 @@ pub fn run_all(config: ExperimentConfig) -> Vec<ExperimentReport> {
         ablation::e13_pseudo_coupling(config),
         multispecies::e14_multispecies_plurality(config),
         thresholds::e15_threshold_scaling_backends(config),
+        thresholds::e16_large_n_protocol_sweeps(config),
     ]
 }
 
@@ -195,6 +197,7 @@ pub fn run_by_id(id: &str, config: ExperimentConfig) -> Option<ExperimentReport>
         "e13" => ablation::e13_pseudo_coupling(config),
         "e14" => multispecies::e14_multispecies_plurality(config),
         "e15" => thresholds::e15_threshold_scaling_backends(config),
+        "e16" => thresholds::e16_large_n_protocol_sweeps(config),
         _ => return None,
     };
     Some(report)

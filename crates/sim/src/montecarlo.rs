@@ -845,6 +845,11 @@ mod tests {
             "approx-majority",
             "exact-majority",
             "czyzowicz-lv",
+            "annihilation-lv",
+            "czyzowicz-lv-k",
+            "approx-majority-agents",
+            "exact-majority-agents",
+            "czyzowicz-lv-agents",
         ] {
             let mc1 = MonteCarlo::new(64, Seed::from(5))
                 .with_threads(1)

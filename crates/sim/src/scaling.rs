@@ -75,6 +75,9 @@ impl fmt::Display for ScalingLaw {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScalingFit {
     fits: Vec<(ScalingLaw, f64, f64)>,
+    /// Standard error of each fitted coefficient, in [`ScalingLaw::all`]
+    /// order (`f64::INFINITY` with fewer than two samples).
+    std_errors: Vec<f64>,
 }
 
 impl ScalingFit {
@@ -86,15 +89,41 @@ impl ScalingFit {
     pub fn fit(ns: &[f64], ys: &[f64]) -> Self {
         assert_eq!(ns.len(), ys.len(), "mismatched sample lengths");
         assert!(!ns.is_empty(), "cannot fit an empty sample");
+        let mut std_errors = Vec::with_capacity(6);
         let fits = ScalingLaw::all()
             .into_iter()
             .map(|law| {
                 let xs: Vec<f64> = ns.iter().map(|&n| law.eval(n)).collect();
                 let (c, rmse) = fit_proportional(&xs, ys);
+                std_errors.push(coefficient_std_error(&xs, ys, c));
                 (law, c, rmse)
             })
             .collect();
-        ScalingFit { fits }
+        ScalingFit { fits, std_errors }
+    }
+
+    /// The standard error of a law's fitted coefficient
+    /// (`√(Σr²/(m−1)) / √(Σx²)` for residuals `r = y − c·x` over `m`
+    /// samples; `f64::INFINITY` when `m < 2`).
+    pub fn coefficient_std_error(&self, law: ScalingLaw) -> f64 {
+        let index = self
+            .fits
+            .iter()
+            .position(|(l, _, _)| *l == law)
+            .expect("all laws are fitted");
+        self.std_errors[index]
+    }
+
+    /// A `z`-score confidence interval for a law's fitted coefficient —
+    /// `c ± z·SE(c)`, e.g. `z = 1.96` for 95%. With it a sweep can report
+    /// whether the coefficient of a *competing* law is consistent with the
+    /// data (an interval containing the competing fit means the sweep
+    /// cannot separate the laws yet; disjoint intervals at well-separated
+    /// relative errors mean it can).
+    pub fn coefficient_interval(&self, law: ScalingLaw, z: f64) -> (f64, f64) {
+        let (c, _) = self.for_law(law);
+        let se = self.coefficient_std_error(law);
+        (c - z * se, c + z * se)
     }
 
     /// The law with the smallest relative RMS error.
@@ -119,6 +148,20 @@ impl ScalingFit {
     pub fn all(&self) -> &[(ScalingLaw, f64, f64)] {
         &self.fits
     }
+}
+
+/// Standard error of the proportional-fit coefficient `c` of `y ≈ c·x`.
+fn coefficient_std_error(xs: &[f64], ys: &[f64], c: f64) -> f64 {
+    let m = xs.len();
+    if m < 2 {
+        return f64::INFINITY;
+    }
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    if sxx <= 0.0 {
+        return f64::INFINITY;
+    }
+    let residual_sq: f64 = xs.iter().zip(ys).map(|(x, y)| (y - c * x).powi(2)).sum();
+    (residual_sq / (m as f64 - 1.0)).sqrt() / sxx.sqrt()
 }
 
 impl fmt::Display for ScalingFit {
@@ -182,6 +225,32 @@ mod tests {
         let (_, err_poly) = fit.for_law(ScalingLaw::SqrtN);
         let (_, err_log) = fit.for_law(ScalingLaw::Log2N);
         assert!(err_poly > 2.0 * err_log);
+    }
+
+    #[test]
+    fn coefficient_intervals_cover_the_generating_law_and_exclude_rivals() {
+        let ns: Vec<f64> = [1e4, 1e5, 1e6, 1e7].to_vec();
+        // √(n log n) data with mild multiplicative noise.
+        let noise = [1.04, 0.97, 1.02, 0.99];
+        let ys: Vec<f64> = ns
+            .iter()
+            .zip(noise.iter())
+            .map(|(&n, &w)| 2.0 * ScalingLaw::SqrtNLogN.eval(n) * w)
+            .collect();
+        let fit = ScalingFit::fit(&ns, &ys);
+        let (low, high) = fit.coefficient_interval(ScalingLaw::SqrtNLogN, 1.96);
+        assert!(low <= 2.0 && 2.0 <= high, "CI ({low}, {high}) misses c = 2");
+        assert!(fit.coefficient_std_error(ScalingLaw::SqrtNLogN) < 0.1);
+        // The wrong laws pay for it in relative RMSE: linear is far worse.
+        let (_, err_right) = fit.for_law(ScalingLaw::SqrtNLogN);
+        let (_, err_linear) = fit.for_law(ScalingLaw::Linear);
+        assert!(err_linear > 5.0 * err_right);
+    }
+
+    #[test]
+    fn single_sample_fits_report_infinite_uncertainty() {
+        let fit = ScalingFit::fit(&[1_000.0], &[50.0]);
+        assert!(fit.coefficient_std_error(ScalingLaw::Linear).is_infinite());
     }
 
     #[test]

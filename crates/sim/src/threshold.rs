@@ -791,6 +791,44 @@ mod tests {
     }
 
     #[test]
+    fn annihilation_backend_succeeds_at_the_smallest_feasible_gap() {
+        // The self-destructive annihilation dynamics preserve the gap, so
+        // like exact majority they have no threshold: the first probe (the
+        // smallest feasible gap) already reaches the target.
+        let search = ThresholdSearch::new(20, Seed::from(16)).with_backend("annihilation-lv");
+        let factory = TwoSpeciesGap::new(LvModel::default(), 64).with_max_events(100 * 64 * 64);
+        let result = search.find_gap(&factory);
+        assert!(!result.saturated);
+        assert_eq!(result.threshold, 2, "gap invariance makes any gap decide");
+        assert_eq!(result.probes.len(), 1, "the first probe already succeeds");
+    }
+
+    #[test]
+    fn batched_backends_sweep_larger_populations_than_the_agent_list_could() {
+        // A smoke of the new scale on the search itself: a full adaptive
+        // search at n = 20 000 on the batched approximate-majority backend
+        // stays cheap (the per-trial cost is ~√n-batched), and every probe
+        // realises its gap exactly on the parity lattice.
+        let search = ThresholdSearch::new(24, Seed::from(17)).with_backend("approx-majority");
+        let n = 8_000;
+        let budget = (40.0 * n as f64 * (n as f64).ln()).ceil() as u64;
+        let factory = TwoSpeciesGap::new(LvModel::default(), n).with_max_events(budget);
+        let result = search.find_gap(&factory);
+        assert!(!result.saturated);
+        assert!(result.threshold >= 2);
+        // Far below the linear regime: the batched backend measures a
+        // sub-linear threshold even at 20k agents.
+        assert!(
+            result.threshold < n / 10,
+            "threshold ∆ = {} is not sub-linear at n = {n}",
+            result.threshold
+        );
+        for probe in &result.probes {
+            assert_eq!(probe.gap % 2, 0, "n is even: feasible gaps are even");
+        }
+    }
+
+    #[test]
     fn plurality_search_covers_k_species() {
         let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
         let search = ThresholdSearch::new(40, Seed::from(13));

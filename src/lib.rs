@@ -23,18 +23,25 @@
 //!   [`engine::Scenario`] description (model + initial population + stop
 //!   condition + observers) executed by any [`engine::Backend`] from the
 //!   open string-keyed registry (`"jump-chain"`, `"gillespie-direct"`,
-//!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, `"approx-majority"`,
-//!   `"exact-majority"`, `"czyzowicz-lv"`), plus named multi-species
-//!   scenario presets ([`engine::presets`]).
+//!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, the batched protocol
+//!   baselines `"approx-majority"`, `"exact-majority"`, `"czyzowicz-lv"`,
+//!   `"annihilation-lv"`, `"czyzowicz-lv-k"` and their bit-exact `-agents`
+//!   legacy variants), plus named multi-species scenario presets
+//!   ([`engine::presets`]).
 //! * [`protocols`] — baseline protocols from related work (3-state approximate
 //!   majority, 4-state exact majority, Czyzowicz et al. LV population
-//!   protocol, Andaur et al. resource-consumer model).
+//!   protocol, the self-destructive annihilation dynamics, Andaur et al.
+//!   resource-consumer model), with the count-based batched simulation
+//!   engine ([`protocols::CountedDynamics`] / [`protocols::CountedSimulation`]
+//!   and the birthday-bound/hypergeometric samplers in
+//!   [`protocols::sampling`]) that pushes protocol runs to `n = 10⁷⁺`.
 //! * [`sim`] — Monte-Carlo engine over scenario batches, estimators
 //!   (including `k`-species [`sim::PluralityStats`]), the backend-generic
 //!   adaptive threshold search ([`sim::ThresholdSearch`] over
 //!   [`sim::GapScenario`] factories), scaling fits and the experiment suite
 //!   that regenerates Table 1 of the paper plus the multi-species plurality
-//!   suite and the per-backend threshold-scaling comparison.
+//!   suite, the per-backend threshold-scaling comparison and the large-`n`
+//!   batched protocol sweeps (E16).
 //!
 //! # Quick start
 //!

@@ -79,6 +79,33 @@ fn protocols_layer_runs_baselines() {
 }
 
 #[test]
+fn protocols_layer_exposes_the_counted_batch_engine() {
+    use lv_consensus::protocols::{CountedDynamics, CountedSimulation};
+    let dynamics = CountedDynamics::from_protocol(&ApproximateMajority::new());
+    let mut sim = CountedSimulation::new(&dynamics, &[6_000, 4_000]);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    while !sim.is_absorbed() {
+        if sim.step_epoch(&mut rng, u64::MAX).is_none() {
+            sim.step(&mut rng);
+        }
+    }
+    let opinions = sim.opinion_counts();
+    assert!(opinions[0] == 10_000 || opinions[1] == 10_000);
+    // The batched backends resolve through the facade registry too.
+    for name in [
+        "annihilation-lv",
+        "czyzowicz-lv-k",
+        "approx-majority-agents",
+    ] {
+        let backend = lv_consensus::engine::backend(name).unwrap();
+        assert_eq!(backend.name(), name);
+    }
+    assert!(lv_consensus::engine::backend("approx-majority")
+        .unwrap()
+        .batched());
+}
+
+#[test]
 fn sim_layer_estimates_and_fits() {
     let estimate = SuccessEstimate::new(90, 100);
     assert!(estimate.wilson_interval(1.96).0 > 0.8);
