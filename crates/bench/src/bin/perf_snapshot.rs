@@ -2,8 +2,9 @@
 //! artifact.
 //!
 //! Runs the fixed-work kernels the Criterion benches measure interactively
-//! (`simulator_kernels_k6`, `batch_streaming`, `protocol_batching`) with a
-//! plain wall-clock timer and writes the results to `BENCH_5.json`, so the
+//! (`simulator_kernels_k6`, `batch_streaming`, `protocol_batching`) plus the
+//! threshold-surface server's cache-hit round trip (`server_roundtrip`) with
+//! a plain wall-clock timer and writes the results to `BENCH_6.json`, so the
 //! performance trajectory of the hot paths is recorded per revision instead
 //! of living only in scrollback. CI runs `--quick` mode on every push, which
 //! keeps the artifact (and the kernels behind it) from rotting.
@@ -58,7 +59,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_5.json".to_string();
+    let mut out_path = "BENCH_6.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -168,7 +169,68 @@ fn main() {
         speedups.push((n, agents_ms, batched_ms, agents_ms / batched_ms));
     }
 
-    // ---- Emit BENCH_5.json (no serde_json in the offline workspace; the
+    // ---- server_roundtrip: the threshold-surface service answering a
+    // cached cell, (a) as a direct in-process call and (b) as a full wire
+    // round trip over a Unix socket — the price of a cache hit with and
+    // without framing, codec and socket in the path.
+    {
+        use lv_server::{
+            BindAddr, Client, EstimateRequest, InProcessExecutor, ScenarioSpec, Server,
+            ServiceConfig, ThresholdService,
+        };
+        let requests: u64 = if quick { 50 } else { 200 };
+        let spec = ScenarioSpec::two_species(
+            LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+            "jump-chain",
+        );
+        let request = EstimateRequest {
+            spec: spec.clone(),
+            n: 256,
+            gap: 8,
+            target_ci: 0.08,
+            max_trials: 0,
+        };
+
+        let service = ThresholdService::new(
+            Box::new(InProcessExecutor::new(1)),
+            ServiceConfig::default(),
+        );
+        let warm = service.estimate(&request).expect("warm the cell");
+        assert!(warm.fresh_trials > 0);
+        let in_process_ms = time_ms(reps, || {
+            for _ in 0..requests {
+                let hit = service.estimate(&request).expect("cached estimate");
+                assert!(hit.cache_hit);
+            }
+        });
+        kernels.push(Kernel {
+            name: format!("server_roundtrip/estimate_cache_hit_in_process_{requests}req"),
+            wall_ms: in_process_ms,
+            events: requests,
+        });
+
+        let socket =
+            std::env::temp_dir().join(format!("lv-perf-snapshot-{}.sock", std::process::id()));
+        let server =
+            Server::bind(service, &BindAddr::Unix(socket.clone())).expect("bind perf socket");
+        let handle = std::thread::spawn(move || server.serve().expect("serve"));
+        let mut client = Client::connect_unix(&socket).expect("connect");
+        let wire_ms = time_ms(reps, || {
+            for _ in 0..requests {
+                let hit = client.estimate(request.clone()).expect("cached estimate");
+                assert!(hit.cache_hit);
+            }
+        });
+        kernels.push(Kernel {
+            name: format!("server_roundtrip/estimate_cache_hit_unix_socket_{requests}req"),
+            wall_ms: wire_ms,
+            events: requests,
+        });
+        client.shutdown().expect("shutdown");
+        handle.join().expect("server thread");
+    }
+
+    // ---- Emit BENCH_6.json (no serde_json in the offline workspace; the
     // format is flat enough to print directly).
     let mut json = String::new();
     json.push_str("{\n");

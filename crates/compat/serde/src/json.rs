@@ -1,0 +1,457 @@
+//! A minimal JSON text codec for the shim's [`Value`] data model.
+//!
+//! Deviations from strict JSON, all deliberate: the writer emits the bare
+//! literals `NaN`, `Infinity` and `-Infinity` for non-finite floats (scaling
+//! fits report `f64::INFINITY` standard errors on single-sample fits), and
+//! the reader accepts them back. Finite floats are written in Rust's
+//! shortest round-trip representation, so `Value → text → Value` is exact.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serializes a value to JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    out
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T>(text: &str) -> Result<T, Error>
+where
+    T: for<'de> Deserialize<'de>,
+{
+    T::from_value(&parse(text)?)
+}
+
+/// Serializes an already-built [`Value`] tree to JSON text.
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+/// Parses JSON text into a [`Value`] tree.
+pub fn parse(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::F64(f) => write_f64(*f, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(fields) => {
+            out.push('{');
+            for (i, (key, field)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(field, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_f64(f: f64, out: &mut String) {
+    if f.is_nan() {
+        out.push_str("NaN");
+    } else if f == f64::INFINITY {
+        out.push_str("Infinity");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-Infinity");
+    } else {
+        // `{:?}` is the shortest representation that parses back exactly,
+        // and always contains `.` or `e` so integers stay distinguishable.
+        out.push_str(&format!("{f:?}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                byte as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(Error::custom("value nested too deeply"));
+        }
+        let value = match self.peek() {
+            None => Err(Error::custom("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'N') if self.eat_literal("NaN") => Ok(Value::F64(f64::NAN)),
+            Some(b'I') if self.eat_literal("Infinity") => Ok(Value::F64(f64::INFINITY)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                other as char, self.pos
+            ))),
+        };
+        self.depth -= 1;
+        value
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(fields));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::custom("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self
+                        .peek()
+                        .ok_or_else(|| Error::custom("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let first = self.parse_hex4()?;
+                            let scalar = if (0xd800..0xdc00).contains(&first) {
+                                // A surrogate pair: expect `\uXXXX` low half.
+                                if !self.eat_literal("\\u") {
+                                    return Err(Error::custom("unpaired surrogate"));
+                                }
+                                let second = self.parse_hex4()?;
+                                if !(0xdc00..0xe000).contains(&second) {
+                                    return Err(Error::custom("invalid low surrogate"));
+                                }
+                                0x10000 + ((first - 0xd800) << 10) + (second - 0xdc00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(scalar)
+                                    .ok_or_else(|| Error::custom("invalid unicode escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    }
+                }
+                _ => return Err(Error::custom("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid unicode escape"))?;
+        let scalar =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(scalar)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        let negative = self.peek() == Some(b'-');
+        if negative {
+            self.pos += 1;
+            if self.eat_literal("Infinity") {
+                return Ok(Value::F64(f64::NEG_INFINITY));
+            }
+        }
+        let mut floating = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    floating = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        if !floating {
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::I64(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::U64(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let value = parse(text).unwrap();
+            assert_eq!(value_to_string(&value), text, "round-tripping {text}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        for f in [f64::INFINITY, f64::NEG_INFINITY] {
+            let text = value_to_string(&Value::F64(f));
+            assert_eq!(parse(&text).unwrap(), Value::F64(f));
+        }
+        let nan = value_to_string(&Value::F64(f64::NAN));
+        match parse(&nan).unwrap() {
+            Value::F64(f) => assert!(f.is_nan()),
+            other => panic!("expected NaN, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn finite_floats_round_trip_exactly() {
+        for f in [0.1, 1.0 / 3.0, 1e300, 5e-324, -2.5, 1.0] {
+            let text = value_to_string(&Value::F64(f));
+            assert_eq!(parse(&text).unwrap(), Value::F64(f), "{text}");
+        }
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let value = Value::Map(vec![
+            (
+                "xs".to_string(),
+                Value::Seq(vec![Value::U64(1), Value::Null]),
+            ),
+            ("name".to_string(), Value::Str("a \"b\"\n".to_string())),
+        ]);
+        let text = value_to_string(&value);
+        assert_eq!(parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn string_escapes_parse() {
+        assert_eq!(
+            parse(r#""\u0041\u00e9\ud83d\ude00\t""#).unwrap(),
+            Value::Str("Aé😀\t".to_string())
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        for text in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "tru",
+            "01x",
+            "[1 2]",
+            "nul",
+            "--1",
+            "\"\\q\"",
+            "{\"a\" 1}",
+            "1e",
+            "[]]",
+        ] {
+            assert!(parse(text).is_err(), "{text:?} should fail");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_rejected_not_overflowed() {
+        let text = "[".repeat(4096) + &"]".repeat(4096);
+        assert!(parse(&text).is_err());
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let value = parse(" { \"a\" : [ 1 , 2 ] } ").unwrap();
+        assert_eq!(
+            value,
+            Value::Map(vec![(
+                "a".to_string(),
+                Value::Seq(vec![Value::U64(1), Value::U64(2)])
+            )])
+        );
+    }
+}

@@ -2,18 +2,504 @@
 //!
 //! The workspace annotates its data types with `#[derive(Serialize,
 //! Deserialize)]` so that a real serde can be dropped in when the build
-//! environment has registry access, but nothing in-tree actually serializes.
-//! This shim therefore provides [`Serialize`] and [`Deserialize`] as marker
-//! traits (no methods) and re-exports no-op derive macros that implement
-//! them. Swapping this crate for the real `serde` is a manifest-only change.
+//! environment has registry access. Unlike the original marker-only shim,
+//! this version carries a small self-describing data model — [`Value`] — so
+//! in-tree code (the threshold-surface server, sweep persistence) can
+//! actually serialize:
+//!
+//! * [`Serialize::to_value`] / [`Deserialize::from_value`] have *defaulted*
+//!   methods, so legacy marker impls (`impl Serialize for X {}`) keep
+//!   compiling; the derive macros generate real field-by-field bodies for
+//!   named structs, tuple structs and unit-only enums, and fall back to
+//!   marker impls for shapes they cannot handle (data-carrying enums).
+//! * [`json`] is a minimal text codec for [`Value`] that round-trips every
+//!   finite `f64` exactly (shortest representation) and admits the
+//!   non-finite literals `NaN`, `Infinity` and `-Infinity` that scaling
+//!   fits legitimately produce.
+//!
+//! Swapping this crate for the real `serde` remains a manifest-plus-codec
+//! change: the derive surface is a strict subset of serde's.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-/// Marker stand-in for `serde::Serialize`.
-pub trait Serialize {}
+use std::fmt;
 
-/// Marker stand-in for `serde::Deserialize`.
-pub trait Deserialize<'de> {}
+/// A self-describing serialized value — the shim's entire data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`; also what marker-only (non-derived) impls produce.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer (non-negative integers normalise to [`Value::U64`]).
+    I64(i64),
+    /// A floating-point number, possibly non-finite.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence (tuples, vectors, arrays, tuple structs).
+    Seq(Vec<Value>),
+    /// An ordered field map (named-field structs).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field in a [`Value::Map`].
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Map(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, accepting any non-negative integer `Value`.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(u) => Some(*u),
+            Value::I64(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, accepting any in-range integer `Value`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(i) => Some(*i),
+            Value::U64(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, accepting any numeric `Value`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::F64(f) => Some(*f),
+            Value::U64(u) => Some(*u as f64),
+            Value::I64(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is a `Seq`.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is a `Map`.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// A (de)serialization error: a plain message, as in `serde::de::Error`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(message: impl fmt::Display) -> Self {
+        Error(message.to_string())
+    }
+
+    /// A required struct field was absent from the value.
+    pub fn missing_field(name: &str) -> Self {
+        Error(format!("missing field `{name}`"))
+    }
+
+    /// An enum string named no known variant.
+    pub fn unknown_variant(name: &str) -> Self {
+        Error(format!("unknown variant `{name}`"))
+    }
+
+    /// The value had the wrong shape for the requested type.
+    pub fn invalid_type(expected: &str, found: &Value) -> Self {
+        let found = match found {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::U64(_) | Value::I64(_) => "an integer",
+            Value::F64(_) => "a number",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        };
+        Error(format!("invalid type: expected {expected}, found {found}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Stand-in for `serde::Serialize` with a defaulted body so legacy marker
+/// impls (`impl Serialize for X {}`) keep compiling.
+pub trait Serialize {
+    /// Converts `self` into the shim's [`Value`] data model. The default
+    /// (marker impls) produces [`Value::Null`].
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+/// Stand-in for `serde::Deserialize` with a defaulted body so legacy marker
+/// impls keep compiling.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds `Self` from a [`Value`]. The default (marker impls) always
+    /// errors.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let _ = value;
+        Err(Error::custom(
+            "deserialization is not implemented for this type under the offline serde shim",
+        ))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_u64()
+                    .ok_or_else(|| Error::invalid_type("an unsigned integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value
+            .as_u64()
+            .ok_or_else(|| Error::invalid_type("an unsigned integer", value))?;
+        usize::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let raw = i64::from(*self);
+                if raw >= 0 {
+                    Value::U64(raw as u64)
+                } else {
+                    Value::I64(raw)
+                }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let raw = value
+                    .as_i64()
+                    .ok_or_else(|| Error::invalid_type("an integer", value))?;
+                <$t>::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        if *self >= 0 {
+            Value::U64(*self as u64)
+        } else {
+            Value::I64(*self as i64)
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let raw = value
+            .as_i64()
+            .ok_or_else(|| Error::invalid_type("an integer", value))?;
+        isize::try_from(raw).map_err(|_| Error::custom("integer out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::invalid_type("a number", value))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::invalid_type("a number", value))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::invalid_type("a boolean", value))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::invalid_type("a string", value))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        T::to_value(self)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_seq()
+            .ok_or_else(|| Error::invalid_type("a sequence", value))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected a sequence of length {N}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $index:tt),+);)*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$index.to_value()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let items = value
+                    .as_seq()
+                    .ok_or_else(|| Error::invalid_type("a sequence", value))?;
+                let arity = [$($index as usize),+].len();
+                if items.len() != arity {
+                    return Err(Error::custom(format!(
+                        "expected a sequence of length {arity}, found {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$index])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0);
+    (A: 0, B: 1);
+    (A: 0, B: 1, C: 2);
+    (A: 0, B: 1, C: 2, D: 3);
+}
+
+/// Helpers invoked by the generated `Deserialize` bodies.
+pub mod de {
+    use super::{Deserialize, Error, Value};
+
+    /// Extracts and deserializes a named struct field.
+    pub fn field<T>(value: &Value, name: &str) -> Result<T, Error>
+    where
+        T: for<'de> Deserialize<'de>,
+    {
+        match value.get(name) {
+            Some(inner) => {
+                T::from_value(inner).map_err(|e| Error::custom(format!("field `{name}`: {e}")))
+            }
+            // A missing field still deserializes when the target tolerates
+            // null (e.g. `Option<T>`), which doubles as light schema
+            // evolution for snapshots.
+            None => T::from_value(&Value::Null).map_err(|_| Error::missing_field(name)),
+        }
+    }
+
+    /// Extracts and deserializes a tuple-struct element.
+    pub fn element<T>(value: &Value, index: usize) -> Result<T, Error>
+    where
+        T: for<'de> Deserialize<'de>,
+    {
+        let items = value
+            .as_seq()
+            .ok_or_else(|| Error::invalid_type("a sequence", value))?;
+        let inner = items
+            .get(index)
+            .ok_or_else(|| Error::custom(format!("missing tuple element {index}")))?;
+        T::from_value(inner).map_err(|e| Error::custom(format!("element {index}: {e}")))
+    }
+
+    /// Extracts the variant name of a unit-enum value.
+    pub fn variant(value: &Value) -> Result<&str, Error> {
+        value
+            .as_str()
+            .ok_or_else(|| Error::invalid_type("a variant string", value))
+    }
+}
+
+pub mod json;
 
 pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip_through_values() {
+        assert_eq!(u64::from_value(&42u64.to_value()).unwrap(), 42);
+        assert_eq!(i64::from_value(&(-7i64).to_value()).unwrap(), -7);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+    }
+
+    #[test]
+    fn options_vectors_tuples_and_arrays_round_trip() {
+        let none: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_value(&none.to_value()).unwrap(), None);
+        let some = Some(3u64);
+        assert_eq!(Option::<u64>::from_value(&some.to_value()).unwrap(), some);
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::from_value(&v.to_value()).unwrap(), v);
+        let t = (1u64, -2i64, 0.5f64);
+        assert_eq!(<(u64, i64, f64)>::from_value(&t.to_value()).unwrap(), t);
+        let a = [4u64, 5];
+        assert_eq!(<[u64; 2]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u32::from_value(&Value::U64(u64::MAX)).is_err());
+        assert!(u64::from_value(&Value::I64(-1)).is_err());
+    }
+
+    #[test]
+    fn marker_impls_still_compile_and_default() {
+        struct Opaque;
+        impl Serialize for Opaque {}
+        impl<'de> Deserialize<'de> for Opaque {}
+        assert_eq!(Opaque.to_value(), Value::Null);
+        assert!(Opaque::from_value(&Value::Null).is_err());
+    }
+}

@@ -1,56 +1,323 @@
-//! No-op `Serialize`/`Deserialize` derives for the in-workspace serde
-//! stand-in.
+//! `Serialize`/`Deserialize` derives for the in-workspace serde stand-in.
 //!
-//! The shim's traits are empty markers, so the derives only need the type
-//! name. Generic types are rejected with a clear error; none of the types in
-//! this workspace that derive the serde traits are generic, and real serde
-//! can be substituted when registry access is available.
+//! The shim's traits have defaulted methods, so a derive has two choices
+//! per type: generate a *real* field-by-field body (named-field structs,
+//! tuple structs and unit-only enums — every shape the workspace persists),
+//! or fall back to an empty marker impl whose defaulted methods serialize
+//! to `Value::Null` and refuse to deserialize (data-carrying enums, unions
+//! and anything this hand-rolled parser cannot classify). Falling back
+//! never breaks the build; it only limits what can round-trip.
+//!
+//! Generic types are rejected with a clear error, as in the original no-op
+//! shim: none of the deriving types in this workspace are generic.
 
-use proc_macro::{TokenStream, TokenTree};
+use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Extracts the identifier of the struct/enum/union a derive is attached to.
+/// What the derive input looks like, as far as codegen cares.
+enum Shape {
+    /// `struct S { a: A, b: B }`
+    Named { name: String, fields: Vec<String> },
+    /// `struct S(A, B);`
+    Tuple { name: String, arity: usize },
+    /// `struct S;`
+    Unit { name: String },
+    /// `enum E { V1, V2 }` — every variant payload-free.
+    UnitEnum { name: String, variants: Vec<String> },
+    /// Anything else — marker impl only.
+    Opaque { name: String },
+}
+
+impl Shape {
+    fn name(&self) -> &str {
+        match self {
+            Shape::Named { name, .. }
+            | Shape::Tuple { name, .. }
+            | Shape::Unit { name }
+            | Shape::UnitEnum { name, .. }
+            | Shape::Opaque { name } => name,
+        }
+    }
+}
+
+/// Classifies the derive input.
 ///
-/// Panics (surfacing as a compile error) when the item is generic, since the
-/// no-op derive does not implement bound propagation.
-fn type_name(input: TokenStream) -> String {
-    let mut tokens = input.into_iter();
-    while let Some(token) = tokens.next() {
-        if let TokenTree::Ident(ident) = &token {
-            let word = ident.to_string();
-            if word == "struct" || word == "enum" || word == "union" {
-                let name = match tokens.next() {
-                    Some(TokenTree::Ident(name)) => name.to_string(),
-                    other => panic!("expected a type name after `{word}`, found {other:?}"),
-                };
-                if let Some(TokenTree::Punct(p)) = tokens.next() {
-                    if p.as_char() == '<' {
-                        panic!(
-                            "the offline serde derive shim does not support generic type \
-                             `{name}`; implement the marker trait manually"
-                        );
-                    }
+/// Panics (surfacing as a compile error) when the item is generic, since
+/// the shim does not implement bound propagation.
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    break word;
                 }
-                return name;
+            }
+            Some(_) => {}
+            None => panic!("derive input contained no struct/enum/union"),
+        }
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(name)) => name.to_string(),
+        other => panic!("expected a type name after `{keyword}`, found {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "the offline serde derive shim does not support generic type `{name}`; \
+                 implement the traits manually"
+            );
+        }
+    }
+    match (keyword.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            match parse_named_fields(group.stream()) {
+                Some(fields) => Shape::Named { name, fields },
+                None => Shape::Opaque { name },
+            }
+        }
+        ("struct", Some(TokenTree::Group(group)))
+            if group.delimiter() == Delimiter::Parenthesis =>
+        {
+            Shape::Tuple {
+                name,
+                arity: count_tuple_fields(group.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit { name },
+        ("enum", Some(TokenTree::Group(group))) if group.delimiter() == Delimiter::Brace => {
+            match parse_unit_variants(group.stream()) {
+                Some(variants) => Shape::UnitEnum { name, variants },
+                None => Shape::Opaque { name },
+            }
+        }
+        _ => Shape::Opaque { name },
+    }
+}
+
+/// Extracts the field names of a named-field struct body, or `None` when
+/// the body does not parse as `[attrs] [vis] name : type` repeated.
+fn parse_named_fields(body: TokenStream) -> Option<Vec<String>> {
+    let mut tokens = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        let name = match tokens.next() {
+            None => return Some(fields),
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "pub" {
+                    // `pub(crate)`-style restrictions carry a group.
+                    if let Some(TokenTree::Group(_)) = tokens.peek() {
+                        tokens.next();
+                    }
+                    match tokens.next() {
+                        Some(TokenTree::Ident(ident)) => ident.to_string(),
+                        _ => return None,
+                    }
+                } else {
+                    word
+                }
+            }
+            Some(_) => return None,
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return None,
+        }
+        fields.push(name);
+        // Consume the type: everything up to the next comma outside angle
+        // brackets (`<`/`>` arrive as plain punctuation, so commas inside
+        // `Map<K, V>` would otherwise look like field separators).
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return Some(fields),
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
             }
         }
     }
-    panic!("derive input contained no struct/enum/union");
 }
 
-/// No-op stand-in for `#[derive(serde::Serialize)]`.
+/// Counts the fields of a tuple-struct body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut arity = 0;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in body {
+        if let TokenTree::Punct(p) = &token {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    arity += 1;
+                    saw_tokens = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+/// Extracts the variant names of a unit-only enum body, or `None` when any
+/// variant carries data.
+fn parse_unit_variants(body: TokenStream) -> Option<Vec<String>> {
+    let mut tokens = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens);
+        match tokens.next() {
+            None => return Some(variants),
+            Some(TokenTree::Ident(ident)) => variants.push(ident.to_string()),
+            Some(_) => return None,
+        }
+        match tokens.next() {
+            None => return Some(variants),
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // An explicit discriminant: still a unit variant. Consume
+                // the expression up to the separating comma.
+                loop {
+                    match tokens.next() {
+                        None => return Some(variants),
+                        Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                        Some(_) => {}
+                    }
+                }
+            }
+            Some(_) => return None,
+        }
+    }
+}
+
+/// Skips `#[...]` attributes (including expanded `///` doc comments).
+fn skip_attributes(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    while let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() != '#' {
+            break;
+        }
+        tokens.next();
+        if let Some(TokenTree::Group(_)) = tokens.peek() {
+            tokens.next();
+        }
+    }
+}
+
+/// Stand-in for `#[derive(serde::Serialize)]`.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl ::serde::Serialize for {name} {{}}")
-        .parse()
-        .expect("generated impl must parse")
+    let shape = parse_shape(input);
+    let name = shape.name();
+    let body = match &shape {
+        Shape::Named { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "::serde::Value::Map(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            ))
+        }
+        Shape::Tuple { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            Some(format!(
+                "::serde::Value::Seq(::std::vec::Vec::from([{}]))",
+                entries.join(", ")
+            ))
+        }
+        Shape::Unit { .. } => Some("::serde::Value::Map(::std::vec::Vec::new())".to_string()),
+        Shape::UnitEnum { variants, .. } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{v}\"))"
+                    )
+                })
+                .collect();
+            Some(format!("match self {{ {} }}", arms.join(", ")))
+        }
+        Shape::Opaque { .. } => None,
+    };
+    let output = match body {
+        Some(body) => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+             }}"
+        ),
+        None => format!("impl ::serde::Serialize for {name} {{}}"),
+    };
+    output.parse().expect("generated impl must parse")
 }
 
-/// No-op stand-in for `#[derive(serde::Deserialize)]`.
+/// Stand-in for `#[derive(serde::Deserialize)]`.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let name = type_name(input);
-    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
-        .parse()
-        .expect("generated impl must parse")
+    let shape = parse_shape(input);
+    let name = shape.name();
+    let body = match &shape {
+        Shape::Named { fields, .. } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de::field(value, \"{f}\")?"))
+                .collect();
+            Some(format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(", ")
+            ))
+        }
+        Shape::Tuple { arity, .. } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::de::element(value, {i}usize)?"))
+                .collect();
+            Some(format!(
+                "::std::result::Result::Ok({name}({}))",
+                entries.join(", ")
+            ))
+        }
+        Shape::Unit { .. } => Some(format!("::std::result::Result::Ok({name})")),
+        Shape::UnitEnum { variants, .. } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            Some(format!(
+                "match ::serde::de::variant(value)? {{ {}, other => \
+                 ::std::result::Result::Err(::serde::Error::unknown_variant(other)) }}",
+                arms.join(", ")
+            ))
+        }
+        Shape::Opaque { .. } => None,
+    };
+    let output = match body {
+        Some(body) => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_value(value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+             }}"
+        ),
+        None => format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}"),
+    };
+    output.parse().expect("generated impl must parse")
 }

@@ -1,5 +1,6 @@
 use crate::species::SpeciesId;
 use crate::state::State;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -148,7 +149,7 @@ impl StopCondition {
 }
 
 /// Why a simulation run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StopReason {
     /// The state-based stop condition was met.
     ConditionMet,

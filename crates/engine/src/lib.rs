@@ -96,6 +96,7 @@ mod registry;
 mod report;
 mod scenario;
 pub mod stream;
+pub mod wilson;
 
 pub use backend::Backend;
 pub use backends::{

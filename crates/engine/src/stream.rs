@@ -578,29 +578,13 @@ impl EarlyStop {
     /// The Wilson score half-width of `successes / trials` at this rule's
     /// z-value (the same interval `lv_sim::SuccessEstimate` reports).
     pub fn half_width(&self, successes: u64, trials: u64) -> f64 {
-        if trials == 0 {
-            return f64::INFINITY;
-        }
-        let n = trials as f64;
-        let p = successes as f64 / n;
-        let z2 = self.z * self.z;
-        let denom = 1.0 + z2 / n;
-        (self.z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+        crate::wilson::half_width(successes, trials, self.z)
     }
 
     /// The Wilson score interval of `successes / trials` at this rule's
     /// z-value, clamped to `[0, 1]` (`(0, 1)` over the empty sample).
     pub fn interval(&self, successes: u64, trials: u64) -> (f64, f64) {
-        if trials == 0 {
-            return (0.0, 1.0);
-        }
-        let n = trials as f64;
-        let p = successes as f64 / n;
-        let z2 = self.z * self.z;
-        let denom = 1.0 + z2 / n;
-        let centre = (p + z2 / (2.0 * n)) / denom;
-        let half = self.half_width(successes, trials);
-        ((centre - half).max(0.0), (centre + half).min(1.0))
+        crate::wilson::interval(successes, trials, self.z)
     }
 
     /// Whether the rule fires for the given running tally: the half-width

@@ -1,0 +1,97 @@
+//! Wilson score intervals for binomial success probabilities — the one
+//! shared implementation behind [`EarlyStop`](crate::EarlyStop), the
+//! Monte-Carlo `SuccessEstimate`, threshold search and the threshold-surface
+//! server cache.
+//!
+//! The Wilson interval behaves sensibly at the extremes `p ∈ {0, 1}` that
+//! high-probability experiments routinely produce, unlike the normal
+//! approximation: its centre shrinks toward ½ and its width stays positive.
+//!
+//! Formulae, for `p = successes/trials`, `n = trials` and z-value `z`:
+//!
+//! ```text
+//! denom  = 1 + z²/n
+//! centre = (p + z²/2n) / denom
+//! half   = (z/denom) · √(p(1−p)/n + z²/4n²)
+//! ```
+
+/// The z-value of a 95% interval, the workspace-wide default.
+pub const Z95: f64 = 1.96;
+
+/// The Wilson score half-width of `successes / trials` at z-value `z`
+/// (`f64::INFINITY` over the empty sample).
+pub fn half_width(successes: u64, trials: u64, z: f64) -> f64 {
+    if trials == 0 {
+        return f64::INFINITY;
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt()
+}
+
+/// The Wilson score interval of `successes / trials` at z-value `z`,
+/// clamped to `[0, 1]` (the vacuous `(0, 1)` over the empty sample).
+pub fn interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = half_width(successes, trials, z);
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Whether the interval at z-value `z` lies entirely on one side of
+/// `boundary` — i.e. whether the sample already *decides* if the success
+/// probability clears the boundary.
+pub fn decides(successes: u64, trials: u64, z: f64, boundary: f64) -> bool {
+    let (low, high) = interval(successes, trials, z);
+    low > boundary || high < boundary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_vacuous() {
+        assert!(half_width(0, 0, Z95).is_infinite());
+        assert_eq!(interval(0, 0, Z95), (0.0, 1.0));
+        assert!(!decides(0, 0, Z95, 0.5));
+    }
+
+    #[test]
+    fn interval_contains_the_point_estimate_and_stays_in_unit_range() {
+        for (s, n) in [(0u64, 50u64), (50, 50), (25, 50), (1, 1000)] {
+            let (low, high) = interval(s, n, Z95);
+            let p = s as f64 / n as f64;
+            assert!((0.0..=1.0).contains(&low));
+            assert!((0.0..=1.0).contains(&high));
+            assert!(low <= p + 1e-12 && p <= high + 1e-12);
+        }
+    }
+
+    #[test]
+    fn half_width_shrinks_roughly_as_inverse_sqrt_trials() {
+        let narrow = half_width(800, 1000, Z95);
+        let wide = half_width(8, 10, Z95);
+        assert!(narrow < wide / 5.0);
+    }
+
+    #[test]
+    fn decides_fires_only_away_from_the_boundary() {
+        assert!(decides(99, 100, Z95, 0.5));
+        assert!(decides(1, 100, Z95, 0.5));
+        assert!(!decides(50, 100, Z95, 0.5));
+    }
+
+    #[test]
+    fn larger_z_widens_the_interval() {
+        assert!(half_width(60, 100, 2.576) > half_width(60, 100, Z95));
+    }
+}

@@ -1,0 +1,243 @@
+//! `lv-client` — the command-line client of `lv-serve`.
+//!
+//! ```text
+//! lv-client --unix /tmp/lv.sock estimate --n 200 --gap 10 --ci 0.05
+//! lv-client --tcp 127.0.0.1:7878 threshold --n 500 --trials 200
+//! lv-client --unix /tmp/lv.sock sweep --ns 100,200 --gaps 2,4,8 --ci 0.1
+//! lv-client --unix /tmp/lv.sock status | cache-stats | shutdown
+//! ```
+//!
+//! Output is one `key=value` line per answer, greppable by scripts (the CI
+//! smoke greps `cache_hit=` and `fresh_trials=`). Model flags: `--kind`
+//! (`sd` | `nsd`, default `sd`), `--backend` (default `jump-chain`).
+
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_server::{Client, EstimateRequest, ScenarioSpec, SweepRequest, ThresholdRequest};
+use std::io::{Read, Write};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lv-client (--tcp ADDR | --unix PATH) COMMAND [flags]\n\
+         commands:\n\
+         \x20 estimate  --n N --gap G [--ci X] [--max-trials T] [--kind sd|nsd] [--backend B]\n\
+         \x20 threshold --n N [--trials T] [--target X] [--kind sd|nsd] [--backend B]\n\
+         \x20 sweep     --ns N1,N2,… --gaps G1,G2,… [--ci X] [--kind sd|nsd] [--backend B]\n\
+         \x20 status | cache-stats | shutdown"
+    );
+    std::process::exit(2);
+}
+
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .find(|(flag, _)| flag == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            Some(text) => text.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number, got {text:?}");
+                usage();
+            }),
+            None => default,
+        }
+    }
+
+    fn required_number<T: std::str::FromStr>(&self, name: &str) -> T {
+        match self.get(name) {
+            Some(text) => text.parse().unwrap_or_else(|_| {
+                eprintln!("{name} needs a number, got {text:?}");
+                usage();
+            }),
+            None => {
+                eprintln!("{name} is required");
+                usage();
+            }
+        }
+    }
+
+    fn list(&self, name: &str) -> Vec<u64> {
+        let Some(text) = self.get(name) else {
+            eprintln!("{name} is required");
+            usage();
+        };
+        text.split(',')
+            .map(|piece| {
+                piece.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("{name} needs comma-separated numbers, got {piece:?}");
+                    usage();
+                })
+            })
+            .collect()
+    }
+
+    fn spec(&self) -> ScenarioSpec {
+        let kind = match self.get("--kind").unwrap_or("sd") {
+            "sd" => CompetitionKind::SelfDestructive,
+            "nsd" => CompetitionKind::NonSelfDestructive,
+            other => {
+                eprintln!("--kind must be sd or nsd, got {other:?}");
+                usage();
+            }
+        };
+        let model = LvModel::neutral(kind, 1.0, 1.0, 1.0);
+        ScenarioSpec::two_species(model, self.get("--backend").unwrap_or("jump-chain"))
+    }
+}
+
+fn run<S: Read + Write>(mut client: Client<S>, command: &str, flags: &Flags) -> ExitCode {
+    let outcome = match command {
+        "estimate" => client
+            .estimate(EstimateRequest {
+                spec: flags.spec(),
+                n: flags.required_number("--n"),
+                gap: flags.required_number("--gap"),
+                target_ci: flags.number("--ci", 0.05),
+                max_trials: flags.number("--max-trials", 0),
+            })
+            .map(|r| {
+                println!(
+                    "estimate fingerprint={} n={} gap={} point={:.6} ci_low={:.6} ci_high={:.6} \
+                     half_width={:.6} successes={} trials={} cache_hit={} fresh_trials={} \
+                     interpolated={} coalesced={}",
+                    r.fingerprint,
+                    r.n,
+                    r.gap,
+                    r.point,
+                    r.ci_low,
+                    r.ci_high,
+                    r.half_width,
+                    r.successes,
+                    r.trials,
+                    r.cache_hit,
+                    r.fresh_trials,
+                    r.interpolated,
+                    r.coalesced,
+                );
+            }),
+        "threshold" => client
+            .threshold(ThresholdRequest {
+                spec: flags.spec(),
+                n: flags.required_number("--n"),
+                target: flags.number("--target", 0.0),
+                trials: flags.number("--trials", 0),
+            })
+            .map(|r| {
+                println!(
+                    "threshold fingerprint={} n={} threshold={} target={:.6} measured={:.6} \
+                     saturated={} probes={} fresh_trials={}",
+                    r.fingerprint,
+                    r.result.n,
+                    r.result.threshold,
+                    r.result.target,
+                    r.result.success_at_threshold,
+                    r.result.saturated,
+                    r.result.probes.len(),
+                    r.fresh_trials,
+                );
+            }),
+        "sweep" => client
+            .sweep(SweepRequest {
+                spec: flags.spec(),
+                n_lattice: flags.list("--ns"),
+                gap_lattice: flags.list("--gaps"),
+                target_ci: flags.number("--ci", 0.05),
+            })
+            .map(|r| {
+                for cell in &r.cells {
+                    println!(
+                        "cell n={} gap={} requested_gap={} point={:.6} half_width={:.6} trials={}",
+                        cell.n,
+                        cell.gap,
+                        cell.requested_gap,
+                        cell.point,
+                        cell.half_width,
+                        cell.trials,
+                    );
+                }
+                println!(
+                    "sweep fingerprint={} cells={} fresh_trials={}",
+                    r.fingerprint,
+                    r.cells.len(),
+                    r.fresh_trials
+                );
+            }),
+        "status" => client.status().map(|r| {
+            println!(
+                "status schema_version={} executor=\"{}\" served={}",
+                r.schema_version, r.executor, r.served
+            );
+        }),
+        "cache-stats" => client.cache_stats().map(|r| {
+            println!(
+                "cache entries={} cells={} trials={} hits={} misses={} coalesced={} interpolated={}",
+                r.entries, r.cells, r.trials, r.hits, r.misses, r.coalesced, r.interpolated
+            );
+        }),
+        "shutdown" => client.shutdown().map(|()| println!("shutting_down=true")),
+        other => {
+            eprintln!("unknown command {other:?}");
+            usage();
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut words = args.iter();
+    let mut tcp = None;
+    let mut unix = None;
+    let mut command = None;
+    let mut flags = Vec::new();
+    while let Some(word) = words.next() {
+        match word.as_str() {
+            "--tcp" => tcp = words.next().cloned(),
+            "--unix" => unix = words.next().cloned(),
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with("--") => {
+                let Some(value) = words.next() else {
+                    eprintln!("{flag} needs a value");
+                    usage();
+                };
+                flags.push((flag.to_string(), value.clone()));
+            }
+            word => {
+                if command.replace(word.to_string()).is_some() {
+                    eprintln!("more than one command given");
+                    usage();
+                }
+            }
+        }
+    }
+    let Some(command) = command else { usage() };
+    let flags = Flags(flags);
+    match (tcp, unix) {
+        (Some(addr), None) => match Client::connect_tcp(&addr) {
+            Ok(client) => run(client, &command, &flags),
+            Err(e) => {
+                eprintln!("connect failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        (None, Some(path)) => match Client::connect_unix(&path) {
+            Ok(client) => run(client, &command, &flags),
+            Err(e) => {
+                eprintln!("connect failed: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => usage(),
+    }
+}

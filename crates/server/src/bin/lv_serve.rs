@@ -1,0 +1,137 @@
+//! `lv-serve` — the threshold-surface server binary.
+//!
+//! ```text
+//! lv-serve --tcp 127.0.0.1:7878            # serve over TCP
+//! lv-serve --unix /tmp/lv.sock             # serve over a Unix socket
+//!          --workers 4                     # multi-process trial execution
+//!          --threads 8                     # in-process executor threads
+//!          --cache-snapshot surface.json   # warm-start + save on shutdown
+//! lv-serve --worker [--threads 1]          # worker mode (spawned by pools)
+//! ```
+
+use lv_server::{
+    BindAddr, InProcessExecutor, Server, ServiceConfig, SurfaceSnapshot, ThresholdService,
+    TrialExecutor, WorkerPool,
+};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    bind: Option<BindAddr>,
+    workers: usize,
+    threads: usize,
+    snapshot: Option<PathBuf>,
+    worker_mode: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: lv-serve (--tcp ADDR | --unix PATH) [--workers N] [--threads N] \
+         [--cache-snapshot FILE]\n       lv-serve --worker [--threads N]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut options = Options {
+        bind: None,
+        workers: 0,
+        threads: 0,
+        snapshot: None,
+        worker_mode: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().unwrap_or_else(|| usage_for(flag));
+        match arg.as_str() {
+            "--tcp" => options.bind = Some(BindAddr::Tcp(value("--tcp"))),
+            "--unix" => options.bind = Some(BindAddr::Unix(PathBuf::from(value("--unix")))),
+            "--workers" => options.workers = parse_number(&value("--workers"), "--workers"),
+            "--threads" => options.threads = parse_number(&value("--threads"), "--threads"),
+            "--cache-snapshot" => options.snapshot = Some(PathBuf::from(value("--cache-snapshot"))),
+            "--worker" => options.worker_mode = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    options
+}
+
+fn usage_for(flag: &str) -> ! {
+    eprintln!("{flag} needs a value");
+    usage();
+}
+
+fn parse_number(text: &str, flag: &str) -> usize {
+    text.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a number, got {text:?}");
+        usage();
+    })
+}
+
+fn main() -> ExitCode {
+    let options = parse_options();
+
+    if options.worker_mode {
+        return match lv_server::run_worker(options.threads.max(1)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("worker failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let Some(bind) = options.bind else {
+        usage();
+    };
+    let executor: Box<dyn TrialExecutor> = if options.workers > 0 {
+        let program = match std::env::current_exe() {
+            Ok(path) => path,
+            Err(e) => {
+                eprintln!("cannot locate own binary for worker spawning: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        Box::new(WorkerPool::new(program, options.workers))
+    } else {
+        Box::new(InProcessExecutor::new(options.threads))
+    };
+
+    let mut service = ThresholdService::new(executor, ServiceConfig::default());
+    if let Some(path) = &options.snapshot {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match serde::json::from_str::<SurfaceSnapshot>(&text) {
+                Ok(snapshot) => {
+                    service = service.with_snapshot(&snapshot);
+                    eprintln!("warm-started cache from {}", path.display());
+                }
+                Err(e) => eprintln!("ignoring unreadable snapshot {}: {e}", path.display()),
+            },
+            Err(_) => eprintln!("no snapshot at {} yet; starting cold", path.display()),
+        }
+    }
+
+    let server = match Server::bind(service, &bind) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let server = match &options.snapshot {
+        Some(path) => server.with_snapshot_path(path),
+        None => server,
+    };
+    println!("listening on {}", server.local_addr());
+    match server.serve() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

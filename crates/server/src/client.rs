@@ -1,0 +1,112 @@
+//! The typed client: one [`Client`] per connection, one method per
+//! request kind. Error responses come back as `Err(ServiceError)` with the
+//! server's machine-readable code intact.
+
+use crate::error::ServiceError;
+use crate::proto::{
+    CacheStatsResponse, EstimateRequest, EstimateResponse, Hello, Request, Response,
+    StatusResponse, SurfaceResponse, SweepRequest, ThresholdRequest, ThresholdResponse,
+};
+use crate::wire::{read_message, write_message, MAX_FRAME_BYTES};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A connected, handshaken client over any byte stream.
+pub struct Client<S: Read + Write> {
+    stream: S,
+}
+
+impl Client<TcpStream> {
+    /// Connects and handshakes over TCP.
+    pub fn connect_tcp(addr: &str) -> Result<Self, ServiceError> {
+        Client::handshake(TcpStream::connect(addr)?)
+    }
+}
+
+impl Client<UnixStream> {
+    /// Connects and handshakes over a Unix-domain socket.
+    pub fn connect_unix(path: impl AsRef<Path>) -> Result<Self, ServiceError> {
+        Client::handshake(UnixStream::connect(path)?)
+    }
+}
+
+impl<S: Read + Write> Client<S> {
+    /// Performs the `Hello` exchange over an already-open stream.
+    pub fn handshake(mut stream: S) -> Result<Self, ServiceError> {
+        write_message(&mut stream, &Hello::current())?;
+        let hello: Hello = read_message(&mut stream, MAX_FRAME_BYTES)?;
+        hello.check()?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and reads one response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        write_message(&mut self.stream, request)?;
+        Ok(read_message(&mut self.stream, MAX_FRAME_BYTES)?)
+    }
+
+    fn expect<T>(
+        &mut self,
+        request: Request,
+        extract: impl FnOnce(Response) -> Option<T>,
+    ) -> Result<T, ServiceError> {
+        match self.request(&request)? {
+            Response::Error(e) => Err(e.into()),
+            response => extract(response)
+                .ok_or_else(|| ServiceError::internal("server sent a mismatched response kind")),
+        }
+    }
+
+    /// Estimates one `(n, gap)` cell.
+    pub fn estimate(&mut self, request: EstimateRequest) -> Result<EstimateResponse, ServiceError> {
+        self.expect(Request::Estimate(request), |r| match r {
+            Response::Estimate(inner) => Some(inner),
+            _ => None,
+        })
+    }
+
+    /// Runs (or re-reads) a threshold search at one `n`.
+    pub fn threshold(
+        &mut self,
+        request: ThresholdRequest,
+    ) -> Result<ThresholdResponse, ServiceError> {
+        self.expect(Request::Threshold(request), |r| match r {
+            Response::Threshold(inner) => Some(inner),
+            _ => None,
+        })
+    }
+
+    /// Sweeps a lattice of cells.
+    pub fn sweep(&mut self, request: SweepRequest) -> Result<SurfaceResponse, ServiceError> {
+        self.expect(Request::SweepSurface(request), |r| match r {
+            Response::Surface(inner) => Some(inner),
+            _ => None,
+        })
+    }
+
+    /// Reads server status.
+    pub fn status(&mut self) -> Result<StatusResponse, ServiceError> {
+        self.expect(Request::Status, |r| match r {
+            Response::Status(inner) => Some(inner),
+            _ => None,
+        })
+    }
+
+    /// Reads cache counters.
+    pub fn cache_stats(&mut self) -> Result<CacheStatsResponse, ServiceError> {
+        self.expect(Request::CacheStats, |r| match r {
+            Response::CacheStats(inner) => Some(inner),
+            _ => None,
+        })
+    }
+
+    /// Asks the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ServiceError> {
+        self.expect(Request::Shutdown, |r| match r {
+            Response::ShuttingDown => Some(()),
+            _ => None,
+        })
+    }
+}

@@ -1,0 +1,69 @@
+//! The one error type of the serving layer.
+
+use crate::wire::WireError;
+use std::fmt;
+
+/// A service-level failure: a short machine-readable code plus a message.
+///
+/// Codes travel on the wire in error responses, so clients can branch
+/// without parsing prose: `bad-request`, `unknown-backend`, `off-lattice`,
+/// `version-mismatch`, `codec`, `io`, `worker`, `internal`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    code: String,
+    message: String,
+}
+
+impl ServiceError {
+    /// An error with an explicit code.
+    pub fn new(code: &str, message: impl fmt::Display) -> Self {
+        ServiceError {
+            code: code.to_string(),
+            message: message.to_string(),
+        }
+    }
+
+    /// A `bad-request` error.
+    pub fn bad_request(message: impl fmt::Display) -> Self {
+        ServiceError::new("bad-request", message)
+    }
+
+    /// An `internal` error.
+    pub fn internal(message: impl fmt::Display) -> Self {
+        ServiceError::new("internal", message)
+    }
+
+    /// The machine-readable code.
+    pub fn code(&self) -> &str {
+        &self.code
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        let code = match &e {
+            WireError::Codec(_) => "codec",
+            _ => "io",
+        };
+        ServiceError::new(code, e)
+    }
+}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::new("io", e)
+    }
+}

@@ -1,0 +1,140 @@
+//! Single-flight coalescing of concurrent identical work.
+//!
+//! [`SingleFlight`] hands out per-key guards: the first caller to a key
+//! becomes the *leader* and proceeds immediately; later callers for the
+//! same key block until the leader drops its guard, then proceed one at a
+//! time with [`FlightGuard::waited`] set. The server keys flights by cache
+//! cell, so N concurrent identical `Estimate` requests spend the trials of
+//! exactly one — followers wake to find the cache already tight and serve
+//! it without fresh work.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Default)]
+struct KeyState {
+    busy: bool,
+    refs: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    keys: Mutex<HashMap<u64, KeyState>>,
+    wake: Condvar,
+}
+
+/// A keyed mutual-exclusion table with coalescing bookkeeping.
+#[derive(Clone, Default)]
+pub struct SingleFlight {
+    inner: Arc<Inner>,
+}
+
+/// Exclusive occupancy of one key; dropped to release it.
+pub struct FlightGuard {
+    inner: Arc<Inner>,
+    key: u64,
+    waited: bool,
+}
+
+impl SingleFlight {
+    /// An empty flight table.
+    pub fn new() -> Self {
+        SingleFlight::default()
+    }
+
+    /// Acquires `key`, blocking while another guard holds it.
+    pub fn acquire(&self, key: u64) -> FlightGuard {
+        let mut keys = self.inner.keys.lock().unwrap();
+        keys.entry(key).or_default().refs += 1;
+        let mut waited = false;
+        while keys.get(&key).is_some_and(|state| state.busy) {
+            waited = true;
+            keys = self.inner.wake.wait(keys).unwrap();
+        }
+        keys.get_mut(&key).unwrap().busy = true;
+        FlightGuard {
+            inner: Arc::clone(&self.inner),
+            key,
+            waited,
+        }
+    }
+}
+
+impl FlightGuard {
+    /// Whether another request held this key first — i.e. this request was
+    /// coalesced behind in-flight identical work.
+    pub fn waited(&self) -> bool {
+        self.waited
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        let mut keys = self.inner.keys.lock().unwrap();
+        let state = keys.get_mut(&self.key).unwrap();
+        state.busy = false;
+        state.refs -= 1;
+        if state.refs == 0 {
+            keys.remove(&self.key);
+        }
+        drop(keys);
+        self.inner.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::thread;
+
+    #[test]
+    fn leader_does_not_wait() {
+        let flight = SingleFlight::new();
+        let guard = flight.acquire(7);
+        assert!(!guard.waited());
+        drop(guard);
+        // After full release the table is empty and the next caller leads.
+        assert!(!flight.acquire(7).waited());
+    }
+
+    #[test]
+    fn distinct_keys_do_not_contend() {
+        let flight = SingleFlight::new();
+        let a = flight.acquire(1);
+        let b = flight.acquire(2);
+        assert!(!a.waited());
+        assert!(!b.waited());
+    }
+
+    #[test]
+    fn followers_serialize_behind_the_leader() {
+        let flight = SingleFlight::new();
+        let concurrent = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let coalesced = Arc::new(AtomicU64::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let flight = flight.clone();
+                let concurrent = Arc::clone(&concurrent);
+                let peak = Arc::clone(&peak);
+                let coalesced = Arc::clone(&coalesced);
+                thread::spawn(move || {
+                    let guard = flight.acquire(42);
+                    let now = concurrent.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    thread::sleep(std::time::Duration::from_millis(2));
+                    concurrent.fetch_sub(1, Ordering::SeqCst);
+                    if guard.waited() {
+                        coalesced.fetch_add(1, Ordering::SeqCst);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        assert_eq!(peak.load(Ordering::SeqCst), 1, "two guards held at once");
+        assert_eq!(coalesced.load(Ordering::SeqCst), 7, "all but one waited");
+    }
+}

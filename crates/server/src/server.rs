@@ -1,0 +1,238 @@
+//! The serving loop: TCP or Unix-socket listener, thread-per-connection,
+//! graceful drain on shutdown.
+//!
+//! Connection lifecycle: the client opens with a `Hello` frame; the server
+//! always answers with its own `Hello` (so a mismatched client can read
+//! why), rejects mismatched schema versions with an error response, then
+//! serves one response per request frame until the client closes. A
+//! malformed frame — bad magic, oversized declaration, truncation, broken
+//! JSON — costs that connection an error response and a drop; the listener
+//! and every other connection keep serving.
+//!
+//! A `Shutdown` request flips the stop flag: the acceptor stops accepting,
+//! in-flight connections drain, and (when configured) the cache is written
+//! to the snapshot path for the next warm start.
+
+use crate::error::ServiceError;
+use crate::proto::{Hello, Request, Response};
+use crate::service::ThresholdService;
+use crate::wire::{read_message, write_message, WireError, MAX_FRAME_BYTES};
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Where a server listens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BindAddr {
+    /// A TCP address like `127.0.0.1:7878` (port 0 picks an ephemeral one).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+enum Listener {
+    Tcp(TcpListener),
+    Unix(UnixListener, PathBuf),
+}
+
+/// A bound, not-yet-serving server.
+pub struct Server {
+    service: Arc<ThresholdService>,
+    listener: Listener,
+    snapshot_path: Option<PathBuf>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the listener (Unix sockets: a stale socket file is removed
+    /// first).
+    pub fn bind(service: ThresholdService, addr: &BindAddr) -> Result<Self, ServiceError> {
+        let listener = match addr {
+            BindAddr::Tcp(spec) => {
+                let listener = TcpListener::bind(spec)?;
+                listener.set_nonblocking(true)?;
+                Listener::Tcp(listener)
+            }
+            BindAddr::Unix(path) => {
+                if path.exists() {
+                    let _ = std::fs::remove_file(path);
+                }
+                let listener = UnixListener::bind(path)?;
+                listener.set_nonblocking(true)?;
+                Listener::Unix(listener, path.clone())
+            }
+        };
+        Ok(Server {
+            service: Arc::new(service),
+            listener,
+            snapshot_path: None,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Writes the cache to `path` on graceful shutdown.
+    pub fn with_snapshot_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_path = Some(path.into());
+        self
+    }
+
+    /// The bound address, rendered (useful after binding port 0).
+    pub fn local_addr(&self) -> String {
+        match &self.listener {
+            Listener::Tcp(listener) => listener
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_default(),
+            Listener::Unix(_, path) => path.display().to_string(),
+        }
+    }
+
+    /// A handle that flips the server's stop flag from another thread.
+    pub fn stop_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// The shared service (for warm-path testing against the same cache).
+    pub fn service(&self) -> Arc<ThresholdService> {
+        Arc::clone(&self.service)
+    }
+
+    /// Serves until a `Shutdown` request (or the stop handle) flips the
+    /// stop flag, then drains in-flight connections and snapshots.
+    pub fn serve(self) -> Result<(), ServiceError> {
+        let workers: Mutex<Vec<std::thread::JoinHandle<()>>> = Mutex::new(Vec::new());
+        loop {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            // Connection reads poll the stop flag between frames, so an
+            // idle keep-alive client cannot stall a graceful drain.
+            let accepted: Option<Box<dyn Conn>> = match &self.listener {
+                Listener::Tcp(listener) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+                        Some(Box::new(stream))
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) if is_transient_accept_error(&e) => None,
+                    Err(e) => return Err(e.into()),
+                },
+                Listener::Unix(listener, _) => match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        let _ = stream.set_read_timeout(Some(IDLE_POLL));
+                        Some(Box::new(stream))
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(e) if is_transient_accept_error(&e) => None,
+                    Err(e) => return Err(e.into()),
+                },
+            };
+            match accepted {
+                Some(conn) => {
+                    let service = Arc::clone(&self.service);
+                    let stop = Arc::clone(&self.stop);
+                    let handle = std::thread::spawn(move || {
+                        serve_connection(conn, &service, &stop);
+                    });
+                    let mut workers = workers.lock().unwrap();
+                    workers.push(handle);
+                    workers.retain(|h| !h.is_finished());
+                }
+                None => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+        // Drain: every accepted connection finishes its in-flight work.
+        for handle in workers.into_inner().unwrap() {
+            let _ = handle.join();
+        }
+        if let Some(path) = &self.snapshot_path {
+            let text = serde::json::to_string(&self.service.snapshot());
+            std::fs::write(path, text)?;
+        }
+        if let Listener::Unix(_, path) = &self.listener {
+            let _ = std::fs::remove_file(path);
+        }
+        Ok(())
+    }
+}
+
+/// How often an idle connection wakes to poll the stop flag.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Accept errors that condemn one pending connection, not the listener.
+fn is_transient_accept_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// The read+write face of one accepted connection.
+trait Conn: Read + Write + Send {}
+impl<T: Read + Write + Send> Conn for T {}
+
+/// Serves one connection to completion. All failure paths degrade to "send
+/// an error response if possible, then drop this connection" — never to a
+/// panic or a dead server. `Idle` wakeups (the stream's read timeout at a
+/// frame boundary) re-check the stop flag, so a client that holds its
+/// connection open without sending cannot stall the drain.
+fn serve_connection(mut conn: Box<dyn Conn>, service: &ThresholdService, stop: &AtomicBool) {
+    // Handshake: read the client's Hello, always answer with ours.
+    let hello = loop {
+        match read_message::<_, Hello>(&mut conn, MAX_FRAME_BYTES) {
+            Ok(hello) => break hello,
+            Err(WireError::Idle) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) => {
+                let _ = write_message(&mut conn, &Response::Error(ServiceError::from(e).into()));
+                return;
+            }
+        }
+    };
+    if write_message(&mut conn, &Hello::current()).is_err() {
+        return;
+    }
+    if let Err(e) = hello.check() {
+        let _ = write_message(&mut conn, &Response::Error(e.into()));
+        return;
+    }
+
+    loop {
+        let request: Request = match read_message(&mut conn, MAX_FRAME_BYTES) {
+            Ok(request) => request,
+            Err(WireError::Eof) => return,
+            Err(WireError::Idle) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(e) => {
+                // Malformed frame: answer with a typed error, drop the
+                // connection, keep the server alive.
+                let _ = write_message(&mut conn, &Response::Error(ServiceError::from(e).into()));
+                return;
+            }
+        };
+        let shutdown = matches!(request, Request::Shutdown);
+        let response = service.handle(&request);
+        if write_message(&mut conn, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            return;
+        }
+    }
+}

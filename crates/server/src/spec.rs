@@ -1,0 +1,348 @@
+//! Canonical scenario specifications and model fingerprints.
+//!
+//! A [`ScenarioSpec`] is everything a worker needs to rebuild a gap family
+//! from scratch: the model (two-species or `k`-species — the distinction is
+//! preserved because the jump-chain backend has a specialised two-species
+//! fast path with its own RNG consumption pattern), the backend registry
+//! name and the per-trial event budget. Its [`fingerprint`] — FNV-1a over
+//! the canonical JSON serialization — keys the server's threshold-surface
+//! cache, so two requests for the same physics share one posterior.
+//!
+//! [`fingerprint`]: ScenarioSpec::fingerprint
+
+use crate::error::ServiceError;
+use lv_lotka::{LvModel, MultiLvModel};
+use lv_sim::{GapScenario, PluralityGap, TwoSpeciesGap};
+use serde::{Deserialize, Serialize, Value};
+
+/// The model of a [`ScenarioSpec`]: the paper's two-species system or the
+/// general `k`-species one, kept distinct so rebuilt scenarios take the
+/// same execution path (and consume the same RNG stream) as local ones.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// A two-species [`LvModel`].
+    Two(LvModel),
+    /// A `k`-species [`MultiLvModel`].
+    Multi(MultiLvModel),
+}
+
+impl ModelSpec {
+    /// Number of species.
+    pub fn species_count(&self) -> usize {
+        match self {
+            ModelSpec::Two(_) => 2,
+            ModelSpec::Multi(model) => model.species_count(),
+        }
+    }
+
+    /// Checks the invariants a deserialized model may have bypassed
+    /// (constructors assert them; the wire does not).
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        let valid = match self {
+            ModelSpec::Two(model) => model.rates().is_valid(),
+            ModelSpec::Multi(model) => {
+                let k = model.species_count();
+                let finite = |r: f64| r.is_finite() && r >= 0.0;
+                k >= 2
+                    && (0..k).all(|i| {
+                        finite(model.beta(i))
+                            && finite(model.delta(i))
+                            && finite(model.gamma(i))
+                            && (0..k).all(|j| i == j || finite(model.alpha(i, j)))
+                            && model.alpha(i, i) == 0.0
+                    })
+            }
+        };
+        if valid {
+            Ok(())
+        } else {
+            Err(ServiceError::bad_request(
+                "model rates must be finite, non-negative, with a zero attack diagonal",
+            ))
+        }
+    }
+}
+
+impl Serialize for ModelSpec {
+    fn to_value(&self) -> Value {
+        let (tag, body) = match self {
+            ModelSpec::Two(model) => ("two", model.to_value()),
+            ModelSpec::Multi(model) => ("multi", model.to_value()),
+        };
+        Value::Map(vec![
+            ("kind".to_string(), Value::Str(tag.to_string())),
+            ("model".to_string(), body),
+        ])
+    }
+}
+
+impl<'de> Deserialize<'de> for ModelSpec {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let tag: String = serde::de::field(value, "kind")?;
+        let body = value
+            .get("model")
+            .ok_or_else(|| serde::Error::missing_field("model"))?;
+        match tag.as_str() {
+            "two" => LvModel::from_value(body).map(ModelSpec::Two),
+            "multi" => MultiLvModel::from_value(body).map(ModelSpec::Multi),
+            other => Err(serde::Error::unknown_variant(other)),
+        }
+    }
+}
+
+/// A canonical, fingerprintable scenario specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The competitive model.
+    pub model: ModelSpec,
+    /// Backend registry name (canonical or alias; fingerprints canonicalise
+    /// through the registry so aliases share cache entries).
+    pub backend: String,
+    /// Per-individual event budget (`max_events = n · events_per_individual`);
+    /// `0` selects the engine default.
+    pub events_per_individual: u64,
+}
+
+impl ScenarioSpec {
+    /// A spec over the paper's two-species model.
+    pub fn two_species(model: LvModel, backend: &str) -> Self {
+        ScenarioSpec {
+            model: ModelSpec::Two(model),
+            backend: backend.to_string(),
+            events_per_individual: 0,
+        }
+    }
+
+    /// A spec over a `k`-species model.
+    pub fn multi_species(model: MultiLvModel, backend: &str) -> Self {
+        ScenarioSpec {
+            model: ModelSpec::Multi(model),
+            backend: backend.to_string(),
+            events_per_individual: 0,
+        }
+    }
+
+    /// Replaces the per-individual event budget.
+    pub fn with_events_per_individual(mut self, events: u64) -> Self {
+        self.events_per_individual = events;
+        self
+    }
+
+    /// Validates the spec: known backend, supported species count, valid
+    /// rates. Returns the spec with the backend name canonicalised.
+    pub fn validated(mut self) -> Result<Self, ServiceError> {
+        self.model.validate()?;
+        let backend = lv_engine::backend(&self.backend).ok_or_else(|| {
+            ServiceError::new(
+                "unknown-backend",
+                format!("unknown backend {:?}", self.backend),
+            )
+        })?;
+        if !backend.supports_species(self.model.species_count()) {
+            return Err(ServiceError::bad_request(format!(
+                "backend {:?} does not support {}-species scenarios",
+                self.backend,
+                self.model.species_count()
+            )));
+        }
+        self.backend = backend.name().to_string();
+        Ok(self)
+    }
+
+    /// The cache fingerprint: FNV-1a 64 over the canonical JSON form.
+    ///
+    /// Only through [`ScenarioSpec::validated`]-canonicalised specs is the
+    /// fingerprint alias-stable.
+    pub fn fingerprint(&self) -> u64 {
+        let canonical = serde::json::to_string(self);
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in canonical.as_bytes() {
+            hash ^= u64::from(*byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
+    /// The fingerprint rendered as the wire's fixed-width hex string.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:016x}", self.fingerprint())
+    }
+
+    /// Builds the gap family over population `n`.
+    pub fn family(&self, n: u64) -> Result<GapFamily, ServiceError> {
+        match &self.model {
+            ModelSpec::Two(model) => {
+                if n < 4 {
+                    return Err(ServiceError::bad_request(format!(
+                        "two-species thresholds need n >= 4, got {n}"
+                    )));
+                }
+                let mut family = TwoSpeciesGap::new(*model, n);
+                if self.events_per_individual > 0 {
+                    family = family
+                        .with_max_events(lv_engine::majority_budget(n, self.events_per_individual));
+                }
+                Ok(GapFamily::Two(family))
+            }
+            ModelSpec::Multi(model) => {
+                let k = model.species_count() as u64;
+                if n < 2 * k {
+                    return Err(ServiceError::bad_request(format!(
+                        "{k}-species thresholds need n >= 2k = {}, got {n}",
+                        2 * k
+                    )));
+                }
+                let mut family = PluralityGap::new(model.clone(), n);
+                if self.events_per_individual > 0 {
+                    family = family
+                        .with_max_events(lv_engine::majority_budget(n, self.events_per_individual));
+                }
+                Ok(GapFamily::Multi(family))
+            }
+        }
+    }
+}
+
+/// A concrete gap family built from a spec — two-species or plurality,
+/// behind one [`GapScenario`] face.
+#[derive(Debug, Clone)]
+pub enum GapFamily {
+    /// The paper's two-species `(a, b)` split.
+    Two(TwoSpeciesGap),
+    /// The planted-leader plurality split.
+    Multi(PluralityGap),
+}
+
+impl GapFamily {
+    fn inner(&self) -> &dyn GapScenario {
+        match self {
+            GapFamily::Two(f) => f,
+            GapFamily::Multi(f) => f,
+        }
+    }
+
+    /// Whether `gap` lies on the feasible lattice.
+    pub fn feasible(&self, gap: u64) -> bool {
+        let (min, max, stride) = (self.min_gap(), self.max_gap(), self.stride());
+        gap >= min && gap <= max && (gap - min).is_multiple_of(stride)
+    }
+
+    /// The nearest feasible gap to `gap` (rounding half up, clamped to the
+    /// lattice range).
+    pub fn snap(&self, gap: u64) -> u64 {
+        let (min, max, stride) = (self.min_gap(), self.max_gap(), self.stride());
+        if gap <= min {
+            return min;
+        }
+        let index = (gap - min + stride / 2) / stride;
+        (min + index * stride).min(max)
+    }
+}
+
+impl GapScenario for GapFamily {
+    fn population(&self) -> u64 {
+        self.inner().population()
+    }
+
+    fn species_count(&self) -> usize {
+        self.inner().species_count()
+    }
+
+    fn min_gap(&self) -> u64 {
+        self.inner().min_gap()
+    }
+
+    fn stride(&self) -> u64 {
+        self.inner().stride()
+    }
+
+    fn max_gap(&self) -> u64 {
+        self.inner().max_gap()
+    }
+
+    fn scenario(&self, gap: u64) -> lv_engine::Scenario {
+        self.inner().scenario(gap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lv_lotka::CompetitionKind;
+
+    fn sd_model() -> LvModel {
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0)
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        let spec =
+            ScenarioSpec::two_species(sd_model(), "jump-chain").with_events_per_individual(50);
+        let text = serde::json::to_string(&spec);
+        let back: ScenarioSpec = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+
+        let multi = ScenarioSpec::multi_species(
+            MultiLvModel::symmetric(CompetitionKind::NonSelfDestructive, 3, 1.0, 0.5, 2.0),
+            "gillespie-direct",
+        );
+        let text = serde::json::to_string(&multi);
+        let back: ScenarioSpec = serde::json::from_str(&text).unwrap();
+        assert_eq!(back, multi);
+    }
+
+    #[test]
+    fn fingerprints_are_stable_and_sensitive() {
+        let spec = ScenarioSpec::two_species(sd_model(), "jump-chain");
+        assert_eq!(spec.fingerprint(), spec.clone().fingerprint());
+        let other_kind = ScenarioSpec::two_species(
+            LvModel::neutral(CompetitionKind::NonSelfDestructive, 1.0, 1.0, 1.0),
+            "jump-chain",
+        );
+        assert_ne!(spec.fingerprint(), other_kind.fingerprint());
+        let other_backend = ScenarioSpec::two_species(sd_model(), "gillespie-direct");
+        assert_ne!(spec.fingerprint(), other_backend.fingerprint());
+        assert_eq!(spec.fingerprint_hex().len(), 16);
+    }
+
+    #[test]
+    fn validation_canonicalises_backend_aliases() {
+        let spec = ScenarioSpec::two_species(sd_model(), "jump-chain");
+        let alias = ScenarioSpec {
+            backend: "jump".to_string(),
+            ..spec.clone()
+        };
+        match alias.clone().validated() {
+            // When the registry knows the alias the two specs must collapse
+            // to one fingerprint; if not, validation must say so.
+            Ok(canonical) => assert_eq!(canonical.fingerprint(), spec.fingerprint()),
+            Err(e) => assert_eq!(e.code(), "unknown-backend"),
+        }
+        assert!(ScenarioSpec::two_species(sd_model(), "no-such-backend")
+            .validated()
+            .is_err());
+    }
+
+    #[test]
+    fn family_feasibility_and_snapping() {
+        let spec = ScenarioSpec::two_species(sd_model(), "jump-chain");
+        let family = spec.family(100).unwrap();
+        assert!(family.feasible(2));
+        assert!(family.feasible(98));
+        assert!(!family.feasible(3));
+        assert!(!family.feasible(100));
+        assert_eq!(family.snap(3), 4);
+        assert_eq!(family.snap(0), 2);
+        assert_eq!(family.snap(1_000), 98);
+        assert!(spec.family(3).is_err());
+    }
+
+    #[test]
+    fn invalid_deserialized_models_fail_validation() {
+        let spec = ScenarioSpec::two_species(sd_model(), "jump-chain");
+        let mut text = serde::json::to_string(&spec);
+        text = text.replace("1.0", "-1.0");
+        let hostile: ScenarioSpec = serde::json::from_str(&text).unwrap();
+        assert!(hostile.validated().is_err());
+    }
+}

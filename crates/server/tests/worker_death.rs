@@ -1,0 +1,32 @@
+//! Worker-death recovery, isolated in its own test process because the
+//! `LV_WORKER_EXIT_AFTER` hook is process-environment state (the pool
+//! forwards it to its first worker only).
+
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_server::{InProcessExecutor, ScenarioSpec, TrialExecutor, WorkerPool};
+use lv_sim::Seed;
+
+const SERVE_BIN: &str = env!("CARGO_BIN_EXE_lv-serve");
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::two_species(
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+        "jump-chain",
+    )
+}
+
+#[test]
+fn worker_death_is_retried_on_survivors() {
+    // The hook makes the pool's first worker exit after one served range;
+    // its remaining chunks must be requeued on the second worker and the
+    // result must stay bit-identical to in-process execution.
+    std::env::set_var("LV_WORKER_EXIT_AFTER", "1");
+    let pool = WorkerPool::new(SERVE_BIN, 2);
+    let bits = pool
+        .run_range(&spec(), 96, 8, Seed::new(2024), 0, 120)
+        .unwrap();
+    let reference = InProcessExecutor::new(1)
+        .run_range(&spec(), 96, 8, Seed::new(2024), 0, 120)
+        .unwrap();
+    assert_eq!(bits, reference, "death-retry changed the outcome");
+}

@@ -1,0 +1,57 @@
+//! Multi-process execution: the [`WorkerPool`] must be bit-identical to
+//! the in-process executor at every worker count (workers rebuild the
+//! scenario from the fingerprinted spec and run `rng_for_trial(i)` for the
+//! same absolute indices), and a worker death mid-batch must cost only a
+//! retry on the survivors.
+
+use lv_lotka::{CompetitionKind, LvModel};
+use lv_server::{InProcessExecutor, ScenarioSpec, TrialExecutor, WorkerPool};
+use lv_sim::Seed;
+
+const SERVE_BIN: &str = env!("CARGO_BIN_EXE_lv-serve");
+
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::two_species(
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+        "jump-chain",
+    )
+}
+
+#[test]
+fn worker_pools_are_bit_identical_to_in_process_at_any_width() {
+    let seed = Seed::new(2024);
+    let reference = InProcessExecutor::new(2)
+        .run_range(&spec(), 96, 8, seed, 0, 120)
+        .unwrap();
+    assert_eq!(reference.len(), 120);
+    for workers in [1usize, 2, 4] {
+        let pool = WorkerPool::new(SERVE_BIN, workers);
+        let bits = pool.run_range(&spec(), 96, 8, seed, 0, 120).unwrap();
+        assert_eq!(
+            bits, reference,
+            "{workers}-worker pool diverged from in-process execution"
+        );
+    }
+}
+
+#[test]
+fn worker_pools_honour_range_offsets() {
+    let seed = Seed::new(7);
+    let pool = WorkerPool::new(SERVE_BIN, 2);
+    let whole = pool.run_range(&spec(), 64, 4, seed, 0, 60).unwrap();
+    let tail = pool.run_range(&spec(), 64, 4, seed, 25, 60).unwrap();
+    assert_eq!(tail, whole[25..], "offset ranges must resume the stream");
+}
+
+#[test]
+fn a_worker_reports_semantic_errors_instead_of_dying() {
+    let mut bad = spec();
+    bad.backend = "no-such-backend".to_string();
+    let pool = WorkerPool::new(SERVE_BIN, 1);
+    let err = pool.run_range(&bad, 64, 4, Seed::new(1), 0, 8).unwrap_err();
+    assert_eq!(err.code(), "worker");
+    assert!(
+        err.message().contains("unknown backend"),
+        "the worker's own error must surface: {err}"
+    );
+}

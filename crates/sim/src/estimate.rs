@@ -48,13 +48,7 @@ impl SuccessEstimate {
     /// high-probability experiments routinely produce, unlike the normal
     /// approximation.
     pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
-        let n = self.trials as f64;
-        let p = self.point();
-        let z2 = z * z;
-        let denom = 1.0 + z2 / n;
-        let centre = (p + z2 / (2.0 * n)) / denom;
-        let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
-        ((centre - half).max(0.0), (centre + half).min(1.0))
+        lv_engine::wilson::interval(self.successes, self.trials, z)
     }
 
     /// Whether the estimate is consistent (within the given z-interval) with

@@ -1,0 +1,98 @@
+//! JSON persistence of sweep artifacts: a [`ThresholdResult`] (probe log
+//! included) and a [`ScalingFit`] must survive a round trip through their
+//! serialized form byte-for-byte, including the non-finite standard errors
+//! a single-sample fit reports — that is what lets a sweep be resumed or
+//! re-analysed from disk instead of re-simulated.
+
+use lv_sim::{GapProbe, ScalingFit, ScalingLaw, ThresholdResult};
+
+fn result() -> ThresholdResult {
+    ThresholdResult {
+        n: 4096,
+        species: 2,
+        backend: "jump-chain".to_string(),
+        threshold: 14,
+        target: 1.0 - 1.0 / 4096.0,
+        success_at_threshold: 0.999_755,
+        saturated: false,
+        probes: vec![
+            GapProbe {
+                gap: 2,
+                trials: 64,
+                successes: 33,
+                estimate: 33.0 / 64.0,
+                reached_target: false,
+            },
+            GapProbe {
+                gap: 14,
+                trials: 512,
+                successes: 511,
+                estimate: 511.0 / 512.0,
+                reached_target: true,
+            },
+        ],
+    }
+}
+
+#[test]
+fn threshold_results_round_trip_through_json() {
+    let original = result();
+    let text = serde::json::to_string(&original);
+    let back: ThresholdResult = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, original);
+    // Derived views survive, too: they read only the restored fields.
+    assert_eq!(back.trials_spent(), original.trials_spent());
+    assert_eq!(
+        back.probe_for(14).map(|p| p.successes),
+        Some(511),
+        "the probe log must restore in full"
+    );
+}
+
+#[test]
+fn saturated_results_round_trip() {
+    let mut saturated = result();
+    saturated.saturated = true;
+    saturated.probes.last_mut().unwrap().reached_target = false;
+    let text = serde::json::to_string(&saturated);
+    let back: ThresholdResult = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, saturated);
+}
+
+#[test]
+fn scaling_fits_round_trip_through_json() {
+    let ns: Vec<f64> = vec![256.0, 1024.0, 4096.0, 16384.0];
+    let ys: Vec<f64> = ns
+        .iter()
+        .map(|&n| 2.5 * ScalingLaw::Log2N.eval(n))
+        .collect();
+    let original = ScalingFit::fit(&ns, &ys);
+    let text = serde::json::to_string(&original);
+    let back: ScalingFit = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, original);
+    assert_eq!(back.best().0, ScalingLaw::Log2N);
+    for law in ScalingLaw::all() {
+        assert_eq!(back.for_law(law), original.for_law(law));
+        assert_eq!(
+            back.coefficient_std_error(law).to_bits(),
+            original.coefficient_std_error(law).to_bits(),
+            "standard errors must restore bit-for-bit ({law})"
+        );
+    }
+}
+
+#[test]
+fn infinite_standard_errors_survive_serialization() {
+    // A single-sample fit has infinite coefficient uncertainty; the codec
+    // must carry the non-finite value instead of mangling it to null.
+    let original = ScalingFit::fit(&[1_000.0], &[50.0]);
+    assert!(original
+        .coefficient_std_error(ScalingLaw::Linear)
+        .is_infinite());
+    let text = serde::json::to_string(&original);
+    let back: ScalingFit = serde::json::from_str(&text).unwrap();
+    assert_eq!(back, original);
+    for law in ScalingLaw::all() {
+        assert!(back.coefficient_std_error(law).is_infinite());
+    }
+}

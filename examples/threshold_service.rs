@@ -1,0 +1,118 @@
+//! The threshold-surface service end to end: start a server on a Unix
+//! socket, query one cell cold, watch the identical re-query come back as a
+//! pure cache hit, tighten the interval incrementally, sweep a small
+//! surface, and read an off-lattice point by interpolation.
+//!
+//! ```sh
+//! cargo run --release --example threshold_service
+//! ```
+
+use lv_consensus::lotka::{CompetitionKind, LvModel};
+use lv_consensus::server::{
+    BindAddr, Client, EstimateRequest, InProcessExecutor, ScenarioSpec, Server, ServiceConfig,
+    SweepRequest, ThresholdService,
+};
+use std::time::Instant;
+
+fn main() {
+    let spec = ScenarioSpec::two_species(
+        LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+        "jump-chain",
+    );
+
+    // An in-process service behind a Unix socket; `lv-serve --workers N`
+    // runs the same service with a multi-process worker pool instead.
+    let socket =
+        std::env::temp_dir().join(format!("lv-consensus-example-{}.sock", std::process::id()));
+    let service = ThresholdService::new(
+        Box::new(InProcessExecutor::new(0)),
+        ServiceConfig::default(),
+    );
+    let server = Server::bind(service, &BindAddr::Unix(socket.clone())).expect("bind");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    let mut client = Client::connect_unix(&socket).expect("connect");
+
+    // Cold: the server spends fresh trials to reach the requested width.
+    let request = EstimateRequest {
+        spec: spec.clone(),
+        n: 512,
+        gap: 8,
+        target_ci: 0.05,
+        max_trials: 0,
+    };
+    let start = Instant::now();
+    let cold = client.estimate(request.clone()).expect("estimate");
+    let cold_elapsed = start.elapsed();
+    println!(
+        "cold : ρ(512, 8) = {:.3} ± {:.3}  ({} fresh trials, {:.1?})",
+        cold.point, cold.half_width, cold.fresh_trials, cold_elapsed
+    );
+
+    // Hot: the identical query is served from the cache with zero trials.
+    let start = Instant::now();
+    let hot = client.estimate(request.clone()).expect("estimate");
+    let hot_elapsed = start.elapsed();
+    println!(
+        "hot  : ρ(512, 8) = {:.3} ± {:.3}  ({} fresh trials, cache_hit={}, {:.1?})",
+        hot.point, hot.half_width, hot.fresh_trials, hot.cache_hit, hot_elapsed
+    );
+    assert!(hot.cache_hit && hot.fresh_trials == 0);
+
+    // Tighter: the cell's RNG stream is extended, never restarted, so the
+    // refinement costs exactly the difference in trial counts.
+    let mut tighter = request.clone();
+    tighter.target_ci = 0.015;
+    let refined = client.estimate(tighter).expect("estimate");
+    println!(
+        "tight: ρ(512, 8) = {:.3} ± {:.3}  ({} fresh of {} total trials)",
+        refined.point, refined.half_width, refined.fresh_trials, refined.trials
+    );
+    assert_eq!(refined.fresh_trials, refined.trials - cold.trials);
+
+    // A small surface sweep; requested gaps snap to the feasible lattice
+    // and duplicate cells are probed once.
+    let sweep = client
+        .sweep(SweepRequest {
+            spec: spec.clone(),
+            n_lattice: vec![256, 512],
+            gap_lattice: vec![2, 8, 16],
+            target_ci: 0.1,
+        })
+        .expect("sweep");
+    println!(
+        "sweep: {} cells, {} fresh trials",
+        sweep.cells.len(),
+        sweep.fresh_trials
+    );
+    for cell in &sweep.cells {
+        println!(
+            "       ρ({:>3}, {:>2}) = {:.3} ± {:.3}",
+            cell.n, cell.gap, cell.point, cell.half_width
+        );
+    }
+
+    // Off the feasible lattice the server interpolates bilinearly from the
+    // cached corners — honestly widened, and without running a single trial.
+    let mid = client
+        .estimate(EstimateRequest {
+            spec,
+            n: 384,
+            gap: 9,
+            target_ci: 0.2,
+            max_trials: 0,
+        })
+        .expect("interpolate");
+    println!(
+        "mid  : ρ(384, 9) ≈ {:.3} ± {:.3}  (interpolated={}, fresh trials={})",
+        mid.point, mid.half_width, mid.interpolated, mid.fresh_trials
+    );
+
+    let stats = client.cache_stats().expect("cache stats");
+    println!(
+        "cache: {} cells, {} trials banked, {} hits / {} misses",
+        stats.cells, stats.trials, stats.hits, stats.misses
+    );
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+}

@@ -35,6 +35,13 @@
 //!   engine ([`protocols::CountedDynamics`] / [`protocols::CountedSimulation`]
 //!   and the birthday-bound/hypergeometric samplers in
 //!   [`protocols::sampling`]) that pushes protocol runs to `n = 10⁷⁺`.
+//! * [`server`] — the threshold-surface service: a memoized sweep server
+//!   ([`server::ThresholdService`]) over a versioned length-prefixed wire
+//!   format (TCP or Unix sockets), with incremental Wilson refinement,
+//!   single-flight request coalescing, bilinear off-lattice interpolation,
+//!   snapshot warm starts and an optional multi-process
+//!   [`server::WorkerPool`] that shards trial ranges bit-identically across
+//!   spawned worker processes (binaries `lv-serve` / `lv-client`).
 //! * [`sim`] — Monte-Carlo engine over scenario batches, estimators
 //!   (including `k`-species [`sim::PluralityStats`]), the backend-generic
 //!   adaptive threshold search ([`sim::ThresholdSearch`] over
@@ -86,4 +93,5 @@ pub use lv_engine as engine;
 pub use lv_lotka as lotka;
 pub use lv_ode as ode;
 pub use lv_protocols as protocols;
+pub use lv_server as server;
 pub use lv_sim as sim;
