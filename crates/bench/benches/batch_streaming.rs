@@ -21,6 +21,13 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch_streaming");
     group.sample_size(10);
 
+    // Direction to watch: the 4-thread kernel must not trail the 1-thread
+    // kernel by more than scheduling noise. On a box with ≥ 4 physical cores
+    // it should be markedly *faster*; on an oversubscribed (1-core) box the
+    // two should sit within a few percent — a persistent multi-×-percent gap
+    // means per-trial channel traffic has crept back into the worker loop
+    // (reports must travel in `FLUSH_TRIALS`-sized chunks, and auto shard
+    // sizing must key on physical cores, not configured threads).
     for threads in [1usize, 4] {
         let mc = MonteCarlo::new(STREAM_TRIALS, bench_seed()).with_threads(threads);
         group.bench_function(

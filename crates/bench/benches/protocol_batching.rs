@@ -9,7 +9,7 @@
 //! set (~26 ns at `10⁶`, ~62 ns at `10⁷`). The headline comparison is
 //! approximate-majority convergence on identical scenarios: ~25× at
 //! `n = 10⁶` and ~150× at `n = 10⁷` (see the `perf-snapshot` binary, which
-//! records both ratios in `BENCH_6.json`).
+//! records both ratios in `BENCH_7.json`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use lv_bench::bench_seed;

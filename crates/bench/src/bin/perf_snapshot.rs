@@ -2,25 +2,34 @@
 //! artifact.
 //!
 //! Runs the fixed-work kernels the Criterion benches measure interactively
-//! (`simulator_kernels_k6`, `batch_streaming`, `protocol_batching`) plus the
-//! threshold-surface server's cache-hit round trip (`server_roundtrip`) with
-//! a plain wall-clock timer and writes the results to `BENCH_6.json`, so the
-//! performance trajectory of the hot paths is recorded per revision instead
-//! of living only in scrollback. CI runs `--quick` mode on every push, which
-//! keeps the artifact (and the kernels behind it) from rotting.
+//! (`simulator_kernels_k6`, `batch_streaming`, `protocol_batching`,
+//! `protocol_bridging`) plus the threshold-surface server's cache-hit round
+//! trip (`server_roundtrip`) with a plain wall-clock timer and writes the
+//! results to `BENCH_7.json`, so the performance trajectory of the hot paths
+//! is recorded per revision instead of living only in scrollback. CI runs
+//! `--quick` mode on every push, which keeps the artifact (and the kernels
+//! behind it) from rotting.
 //!
 //! ```text
 //! perf-snapshot [--quick] [--out PATH]
 //! ```
 //!
 //! `--quick` shrinks the protocol-batching kernel from `n ∈ {10⁶, 10⁷}` to
-//! `n = 10⁵` and trims repetitions; the JSON records which mode produced it.
-//! The headline `speedups` entries are the batching acceptance comparison:
-//! batched vs agent-list approximate-majority convergence at equal `n` —
-//! ~25× at `n = 10⁶` and ~150× at `n = 10⁷` on the reference machine,
-//! because the batched per-interaction-equivalent cost *falls* with `n`
-//! (~1.1 ns at `10⁶`, ~0.4 ns at `10⁷`) while the agent-list cost rises
-//! once its state array outgrows the cache.
+//! `n = 10⁵`, the bridging kernels to `n = 10⁴`, and trims repetitions; the
+//! JSON records which mode produced it. The headline `speedups` entries are
+//! the two acceptance comparisons:
+//!
+//! - `protocol_batching`: batched vs agent-list approximate-majority
+//!   convergence at equal `n` — the batched per-interaction-equivalent cost
+//!   *falls* with `n` (one epoch of Θ(√n) interactions costs a constant
+//!   number of draws) while the agent-list cost rises once its state array
+//!   outgrows the cache.
+//! - `protocol_bridging`: diffusion-bridged vs exact counted conversion
+//!   dynamics at equal `n`. The bridged sampler runs the Θ(n²)-interaction
+//!   first-passage to absorption at every `n` (polylog-many blocks); the
+//!   counted stepper pays Θ(1) per *active* interaction, so beyond
+//!   `n = 10⁴` it is measured under an interaction budget and projected to
+//!   the bridged run's interaction count for an equal-work wall-clock ratio.
 
 use lv_engine::{backend, Scenario};
 use lv_lotka::{CompetitionKind, LvModel, MultiLvModel};
@@ -53,13 +62,28 @@ struct Kernel {
     events: u64,
 }
 
+/// One headline acceleration comparison: the baseline and accelerated
+/// wall-clock times for the *same* amount of work (projected to equal event
+/// counts where the baseline runs under a budget).
+struct Speedup {
+    name: String,
+    baseline_ms: f64,
+    accelerated_ms: f64,
+}
+
+impl Speedup {
+    fn ratio(&self) -> f64 {
+        self.baseline_ms / self.accelerated_ms
+    }
+}
+
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_6.json".to_string();
+    let mut out_path = "BENCH_7.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,7 +158,7 @@ fn main() {
     };
     let batched = backend("approx-majority").expect("builtin backend");
     let agents = backend("approx-majority-agents").expect("builtin backend");
-    let mut speedups: Vec<(u64, f64, f64, f64)> = Vec::new();
+    let mut speedups: Vec<Speedup> = Vec::new();
     for &n in sizes {
         let a = n * 55 / 100;
         let scenario = Scenario::new(LvModel::default(), (a, n - a))
@@ -166,7 +190,127 @@ fn main() {
             wall_ms: agents_ms,
             events: agent_interactions,
         });
-        speedups.push((n, agents_ms, batched_ms, agents_ms / batched_ms));
+        speedups.push(Speedup {
+            name: format!("approx_majority_batched_vs_agents_n{n}"),
+            baseline_ms: agents_ms,
+            accelerated_ms: batched_ms,
+        });
+    }
+
+    // ---- protocol_batching/k3 epoch cost: the per-epoch price of the
+    // k = 3 chained-hypergeometric split, with the process-wide
+    // `BatchLengthSampler` cache warm — the alias tables behind the epoch
+    // draw are built once per population size, not once per simulation, so
+    // this measures the steady-state sampling cost alone.
+    {
+        use lv_protocols::{CountedDynamics, CountedSimulation};
+        use rand::SeedableRng;
+        let epochs: u64 = if quick { 20_000 } else { 100_000 };
+        let dynamics = CountedDynamics::k_opinion_czyzowicz(3);
+        let epoch_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+            let mut sim = CountedSimulation::new(&dynamics, &[500_000, 300_000, 200_000]);
+            for _ in 0..epochs {
+                if sim.step_epoch(&mut rng, u64::MAX).is_none() {
+                    sim.step(&mut rng);
+                }
+            }
+            assert!(!sim.is_absorbed());
+        });
+        kernels.push(Kernel {
+            name: format!("protocol_batching/k3_hypergeometric_epoch_cost_{epochs}epochs"),
+            wall_ms: epoch_ms,
+            events: epochs,
+        });
+    }
+
+    // ---- protocol_bridging: conversion dynamics first passage, diffusion-
+    // bridged vs exact counted vs agent-list. The bridged sampler reaches
+    // absorption at every n — that is the tentpole claim: Θ(n²) interactions
+    // compressed into polylog-many bridge blocks — so it is always timed to
+    // absorption. The exact steppers pay Θ(1) per (active) interaction, so
+    // they run to absorption only at n = 10⁴ and under an interaction budget
+    // beyond that; the `speedups` entry projects the counted per-interaction
+    // cost onto the bridged run's interaction count for an equal-work ratio.
+    {
+        let bridge_sizes: &[u64] = if quick {
+            &[10_000]
+        } else {
+            &[10_000, 100_000, 1_000_000, 10_000_000]
+        };
+        /// Interaction budget for the exact steppers beyond n = 10⁴ (the
+        /// full first passage there would take hours at n = 10⁶).
+        const EXACT_BUDGET: u64 = 2_000_000;
+        let bridged = backend("czyzowicz-lv-bridged").expect("builtin backend");
+        let counted = backend("czyzowicz-lv").expect("builtin backend");
+        let cz_agents = backend("czyzowicz-lv-agents").expect("builtin backend");
+        for &n in bridge_sizes {
+            let a = n * 55 / 100;
+            let to_absorption = Scenario::new(LvModel::default(), (a, n - a)).with_stop(
+                lv_crn::StopCondition::any_species_extinct().with_max_events(u64::MAX / 2),
+            );
+            let exact_full = n <= 10_000;
+
+            let mut bridged_events = 0u64;
+            let bridged_ms = time_ms(reps, || {
+                let mut rng = seed().rng_for_trial(3);
+                let report = bridged.run(&to_absorption, &mut rng);
+                assert!(report.consensus_reached());
+                bridged_events = report.events;
+            });
+            kernels.push(Kernel {
+                name: format!("protocol_bridging/czyzowicz_bridged_n{n}"),
+                wall_ms: bridged_ms,
+                events: bridged_events,
+            });
+
+            let exact_scenario = if exact_full {
+                to_absorption.clone()
+            } else {
+                Scenario::new(LvModel::default(), (a, n - a)).with_stop(
+                    lv_crn::StopCondition::any_species_extinct().with_max_events(EXACT_BUDGET),
+                )
+            };
+            let mut counted_events = 0u64;
+            let counted_ms = time_ms(if exact_full { reps.min(2) } else { reps.min(3) }, || {
+                let mut rng = seed().rng_for_trial(3);
+                let report = counted.run(&exact_scenario, &mut rng);
+                counted_events = report.events;
+            });
+            kernels.push(Kernel {
+                name: format!(
+                    "protocol_bridging/czyzowicz_counted_n{n}{}",
+                    if exact_full { "" } else { "_budget" }
+                ),
+                wall_ms: counted_ms,
+                events: counted_events,
+            });
+
+            let mut agent_events = 0u64;
+            let cz_agents_ms = time_ms(1, || {
+                let mut rng = seed().rng_for_trial(3);
+                let report = cz_agents.run(&exact_scenario, &mut rng);
+                agent_events = report.events;
+            });
+            kernels.push(Kernel {
+                name: format!(
+                    "protocol_bridging/czyzowicz_agents_n{n}{}",
+                    if exact_full { "" } else { "_budget" }
+                ),
+                wall_ms: cz_agents_ms,
+                events: agent_events,
+            });
+
+            // Equal-work ratio: the counted stepper's measured
+            // per-interaction cost, projected onto the interaction count the
+            // bridged run actually traversed.
+            let projected_counted_ms = counted_ms / counted_events as f64 * bridged_events as f64;
+            speedups.push(Speedup {
+                name: format!("czyzowicz_bridged_vs_counted_n{n}"),
+                baseline_ms: projected_counted_ms,
+                accelerated_ms: bridged_ms,
+            });
+        }
     }
 
     // ---- server_roundtrip: the threshold-surface service answering a
@@ -230,11 +374,11 @@ fn main() {
         handle.join().expect("server thread");
     }
 
-    // ---- Emit BENCH_6.json (no serde_json in the offline workspace; the
+    // ---- Emit BENCH_7.json (no serde_json in the offline workspace; the
     // format is flat enough to print directly).
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"lv-consensus-perf-v1\",\n");
+    json.push_str("  \"schema\": \"lv-consensus-perf-v2\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n"));
     json.push_str("  \"kernels\": [\n");
     for (i, kernel) in kernels.iter().enumerate() {
@@ -257,11 +401,14 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str("  \"speedups\": [\n");
-    for (i, (n, agents_ms, batched_ms, speedup)) in speedups.iter().enumerate() {
+    for (i, s) in speedups.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"approx_majority_batched_vs_agents_n{n}\", \
-             \"baseline_ms\": {agents_ms:.3}, \"batched_ms\": {batched_ms:.3}, \
-             \"speedup\": {speedup:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"baseline_ms\": {:.3}, \"accelerated_ms\": {:.3}, \
+             \"speedup\": {:.2}}}{}\n",
+            json_escape(&s.name),
+            s.baseline_ms,
+            s.accelerated_ms,
+            s.ratio(),
             if i + 1 < speedups.len() { "," } else { "" }
         ));
     }
@@ -269,8 +416,8 @@ fn main() {
     json.push_str("}\n");
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("could not write {out_path}: {e}"));
     println!("{json}");
-    for (n, _, _, speedup) in &speedups {
-        println!("batched vs agent-list speedup at n = {n}: {speedup:.1}x");
+    for s in &speedups {
+        println!("{}: {:.1}x", s.name, s.ratio());
     }
     println!("wrote {out_path}");
 }

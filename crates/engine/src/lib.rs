@@ -10,21 +10,26 @@
 //!   [`lv_lotka::LvModel`] or the general `k`-species
 //!   [`lv_lotka::MultiLvModel`]), an initial [`lv_lotka::Population`], a
 //!   [`lv_crn::StopCondition`] and a set of composable [`ObserverSpec`]s;
-//! * [`Backend`] — the *how*: an object-safe execution engine. Thirteen are
+//! * [`Backend`] — the *how*: an object-safe execution engine. Fifteen are
 //!   built in — the exact specialised jump chain (the paper's chain `S`),
 //!   the Gillespie direct method, the next-reaction method, tau-leaping,
 //!   the deterministic mean-field ODE, five count-based *batched*
 //!   population-protocol baselines (3-state approximate majority, 4-state
 //!   exact majority, the 2-state Czyzowicz et al. discrete LV dynamics, the
 //!   self-destructive annihilation dynamics, and the `k`-opinion Czyzowicz
-//!   dynamics), plus bit-exact agent-list legacy variants of the first
-//!   three protocol baselines ([`Backend::batched`] reports the mode);
+//!   dynamics), the two diffusion-bridged conversion backends
+//!   (`"czyzowicz-lv-bridged"` / `"czyzowicz-lv-k-bridged"`, which sample
+//!   the conversion count walk in first-passage bridge blocks at
+//!   `Õ(poly log n)` per trial), plus bit-exact agent-list legacy variants
+//!   of the first three protocol baselines ([`Backend::batched`] reports
+//!   the mode);
 //! * [`BackendRegistry`] — string-keyed backend selection for CLIs and
 //!   benches (`"jump-chain"`, `"gillespie-direct"`, `"next-reaction"`,
 //!   `"tau-leaping"`, `"ode"`, `"approx-majority"`, `"exact-majority"`,
 //!   `"czyzowicz-lv"`, `"annihilation-lv"`, `"czyzowicz-lv-k"`, the
-//!   `-agents` legacy variants, plus aliases), open for external
-//!   registration via [`BackendRegistry::register`];
+//!   `-bridged` first-passage variants, the `-agents` legacy variants,
+//!   plus aliases), open for external registration via
+//!   [`BackendRegistry::register`];
 //! * [`presets`] — named multi-species scenario presets (3-species cyclic
 //!   competition, planted `k`-species plurality, two-vs-many coalition);
 //! * [`RunReport`] — the uniform result: summary fields plus one

@@ -52,9 +52,9 @@ use crate::scenario::Scenario;
 use lv_crn::StopReason;
 use lv_lotka::PopulationEvent;
 use lv_protocols::{
-    ApproximateMajority, CountedDynamics, CountedSimulation, CzyzowiczLvProtocol,
-    ExactMajority4State, FourState, Interaction, Opinion, PopulationProtocol, ProtocolSimulation,
-    SelfDestructiveLvProtocol,
+    ApproximateMajority, BridgeStep, BridgedConversionWalk, CountedDynamics, CountedSimulation,
+    CzyzowiczLvProtocol, ExactMajority4State, FourState, Interaction, Opinion, PopulationProtocol,
+    ProtocolSimulation, SelfDestructiveLvProtocol,
 };
 use rand::rngs::StdRng;
 
@@ -254,6 +254,59 @@ fn run_counted(
             dynamics.output(interaction.responder_after),
         );
         driver.record(event, &opinions, sim.interactions() as f64, 1);
+    }
+}
+
+/// Runs the conversion dynamics through the diffusion-bridged count walk of
+/// [`BridgedConversionWalk`]: large blocks of conversions advanced as
+/// binomial bridges away from the boundaries (reported as aggregated
+/// records, `event = None`, `firings` = block interactions), exact
+/// geometric-plus-conversion steps inside the boundary band (classified as
+/// competitive attacks when they resolve a single interaction), and exact
+/// budget truncation — an inert stretch cut at the budget freezes the
+/// counts, so `max_events` is honored to the interaction, exactly like the
+/// epoch refusal of [`run_counted`].
+fn run_bridged(name: &'static str, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+    let mut driver = Driver::new(scenario);
+    if let Some(reason) = driver.check_stop() {
+        return driver.finish(name, reason);
+    }
+    let initial = scenario.initial();
+    if initial.total() < 2 {
+        return driver.finish(name, StopReason::Absorbed);
+    }
+    let mut walk = BridgedConversionWalk::new(initial.counts());
+    loop {
+        if let Some(reason) = driver.check_stop() {
+            return driver.finish(name, reason);
+        }
+        if walk.is_absorbed() {
+            return driver.finish(name, StopReason::Absorbed);
+        }
+        // check_stop just passed, so the budget has at least one event left.
+        let mut remaining = scenario
+            .stop()
+            .max_events()
+            .map_or(u64::MAX, |max| max - driver.events());
+        if let Some(max_time) = scenario.stop().max_time() {
+            // The protocol clock *is* the interaction count (see
+            // `run_counted`).
+            let more = (max_time - walk.interactions() as f64).ceil().max(1.0);
+            if more < u64::MAX as f64 {
+                remaining = remaining.min(more as u64);
+            }
+        }
+        let step = walk.advance(rng, remaining);
+        let time = walk.interactions() as f64;
+        let event = match step {
+            BridgeStep::Exact {
+                fired: 1,
+                attacker,
+                victim,
+            } => Some(PopulationEvent::Interspecific { attacker, victim }),
+            _ => None,
+        };
+        driver.record(event, walk.counts(), time, step.fired());
     }
 }
 
@@ -677,6 +730,97 @@ impl Backend for CzyzowiczKBackend {
     }
 }
 
+/// The two-state Czyzowicz conversion dynamics executed by **diffusion-
+/// bridged first-passage sampling** (`"czyzowicz-lv-bridged"`): the A-count
+/// performs an unbiased ±1 walk on conversions, advanced in binomial-bridge
+/// blocks away from the boundaries with a CLT-sampled interaction clock, and
+/// stepped exactly (geometric inert stretch + fair-coin conversion) inside
+/// the boundary-proximity band, so absorption is never approximated.
+///
+/// Agreement with `"czyzowicz-lv"` (counted) and `"czyzowicz-lv-agents"`
+/// (agent list) is statistical — identical outcome laws, e.g. the exact
+/// proportional law `P(A wins) = a/n`, on a different RNG stream — but
+/// per-trial cost is `Õ(poly log n)` instead of the `Θ(n²)` interactions the
+/// other execution modes must walk through, which is what pushes the
+/// linear-gap-law sweeps of E16 to `n = 10⁷`. Both exact variants stay
+/// registered for cross-validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CzyzowiczLvBridgedBackend;
+
+impl Backend for CzyzowiczLvBridgedBackend {
+    fn name(&self) -> &'static str {
+        "czyzowicz-lv-bridged"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["cz-bridged"]
+    }
+
+    fn description(&self) -> &'static str {
+        "2-state Czyzowicz baseline via diffusion-bridged first-passage sampling (polylog/trial)"
+    }
+
+    fn supports_species(&self, species: usize) -> bool {
+        species == 2
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        assert_eq!(
+            scenario.species_count(),
+            2,
+            "the {} backend cannot run {}-species scenarios",
+            self.name(),
+            scenario.species_count()
+        );
+        run_bridged(self.name(), scenario, rng)
+    }
+}
+
+/// The `k`-opinion Czyzowicz conversion dynamics executed by diffusion-
+/// bridged first-passage sampling (`"czyzowicz-lv-k-bridged"`): the
+/// `(k−1)`-dimensional count walk is bridged per unordered species pair
+/// (multinomial split of each block's conversions at the block-start pair
+/// intensities, then a fair-coin binomial bridge per pair) under a
+/// per-species boundary band, so no opinion's extinction is ever
+/// approximated. See [`CzyzowiczLvBridgedBackend`] for the two-species
+/// contract; `"czyzowicz-lv-k"` stays registered for cross-validation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CzyzowiczKBridgedBackend;
+
+impl Backend for CzyzowiczKBridgedBackend {
+    fn name(&self) -> &'static str {
+        "czyzowicz-lv-k-bridged"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["cz-k-bridged"]
+    }
+
+    fn description(&self) -> &'static str {
+        "k-opinion Czyzowicz dynamics via per-pair diffusion bridging (polylog/trial)"
+    }
+
+    fn models_kinetics(&self) -> bool {
+        false
+    }
+
+    fn batched(&self) -> bool {
+        true
+    }
+
+    fn run(&self, scenario: &Scenario, rng: &mut StdRng) -> RunReport {
+        run_bridged(self.name(), scenario, rng)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -695,6 +839,8 @@ mod tests {
             &CzyzowiczLvBackend,
             &AnnihilationLvBackend,
             &CzyzowiczKBackend,
+            &CzyzowiczLvBridgedBackend,
+            &CzyzowiczKBridgedBackend,
             &ApproxMajorityAgentsBackend,
             &ExactMajorityAgentsBackend,
             &CzyzowiczLvAgentsBackend,
@@ -821,14 +967,19 @@ mod tests {
         // dynamics run any k.
         assert!(!ApproxMajorityBackend.supports_species(3));
         assert!(!CzyzowiczLvBackend.supports_species(3));
+        assert!(!CzyzowiczLvBridgedBackend.supports_species(3));
         assert!(CzyzowiczKBackend.supports_species(3));
         assert!(CzyzowiczKBackend.supports_species(6));
+        assert!(CzyzowiczKBridgedBackend.supports_species(3));
+        assert!(CzyzowiczKBridgedBackend.supports_species(6));
         // Batched vs agent-list execution is reported.
         assert!(ApproxMajorityBackend.batched());
         assert!(ExactMajorityBackend.batched());
         assert!(CzyzowiczLvBackend.batched());
         assert!(AnnihilationLvBackend.batched());
         assert!(CzyzowiczKBackend.batched());
+        assert!(CzyzowiczLvBridgedBackend.batched());
+        assert!(CzyzowiczKBridgedBackend.batched());
         assert!(!ApproxMajorityAgentsBackend.batched());
         assert!(!ExactMajorityAgentsBackend.batched());
         assert!(!CzyzowiczLvAgentsBackend.batched());
@@ -1059,6 +1210,7 @@ mod tests {
                 &ApproxMajorityAgentsBackend as &dyn Backend,
             ),
             (&CzyzowiczLvBackend, &CzyzowiczLvAgentsBackend),
+            (&CzyzowiczLvBridgedBackend, &CzyzowiczLvAgentsBackend),
         ] {
             let p_batched = measure(batched, 1_000);
             let p_agents = measure(agents, 2_000);
@@ -1068,5 +1220,96 @@ mod tests {
                 batched.name()
             );
         }
+    }
+
+    #[test]
+    fn bridged_backend_preserves_the_population_and_decides() {
+        // Large enough that block bridging (not just band stepping) carries
+        // most of the run.
+        let scenario = Scenario::new(LvModel::default(), (60_000, 40_000))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(u64::MAX / 2));
+        let report = CzyzowiczLvBridgedBackend.run(&scenario, &mut rng(13));
+        assert_eq!(report.backend, "czyzowicz-lv-bridged");
+        assert!(report.consensus_reached());
+        assert_eq!(
+            report.final_state.total(),
+            100_000,
+            "conversions preserve n"
+        );
+        // A conversion trial near this gap needs Ω(n) interactions but the
+        // bridged walk resolves them in very few recorded steps.
+        assert!(report.events >= 100_000, "{} interactions", report.events);
+        assert!(
+            report.steps < 100_000,
+            "bridging did not aggregate: {} steps for {} events",
+            report.steps,
+            report.events
+        );
+    }
+
+    #[test]
+    fn bridged_event_budget_is_exact_even_on_the_block_path() {
+        // The budget is far above MIN_BLOCK so bridge blocks really fire,
+        // yet truncation must land on the exact event count: oversized
+        // blocks are refused (falling back to exact band stepping), never
+        // clipped or overshot.
+        let scenario = Scenario::new(LvModel::default(), (500_000, 480_000))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(123_456));
+        for backend in [
+            &CzyzowiczLvBridgedBackend as &dyn Backend,
+            &CzyzowiczKBridgedBackend,
+        ] {
+            let report = backend.run(&scenario, &mut rng(14));
+            assert_eq!(
+                report.reason,
+                StopReason::MaxEventsReached,
+                "{}",
+                backend.name()
+            );
+            assert_eq!(report.events, 123_456, "{}", backend.name());
+        }
+    }
+
+    #[test]
+    fn bridged_backend_follows_the_proportional_law() {
+        // P(A wins) = a/n exactly for the conversion dynamics; at n = 1000
+        // the bridged walk mixes block and band regimes. 300 trials at
+        // p = 0.6 give a ~±0.055 (2σ) band.
+        let scenario = Scenario::new(LvModel::default(), (600, 400))
+            .with_stop(StopCondition::any_species_extinct().with_max_events(u64::MAX / 2));
+        let trials = 300u64;
+        let wins = (0..trials)
+            .filter(|&seed| {
+                let report = CzyzowiczLvBridgedBackend.run(&scenario, &mut rng(500 + seed));
+                assert!(report.consensus_reached(), "seed {seed} truncated");
+                report.final_state.winner() == Some(0)
+            })
+            .count();
+        let fraction = wins as f64 / trials as f64;
+        assert!(
+            (fraction - 0.6).abs() < 0.09,
+            "majority won {fraction}, proportional law says 0.6"
+        );
+    }
+
+    #[test]
+    fn k_bridged_backend_follows_the_k_species_proportional_law() {
+        use lv_lotka::{CompetitionKind, MultiLvModel};
+        let model = MultiLvModel::symmetric(CompetitionKind::SelfDestructive, 3, 1.0, 1.0, 1.0);
+        let scenario = Scenario::plurality(model, vec![300, 150, 150])
+            .with_stop(StopCondition::consensus().with_max_events(u64::MAX / 2));
+        let trials = 300u64;
+        let wins = (0..trials)
+            .filter(|&seed| {
+                let report = CzyzowiczKBridgedBackend.run(&scenario, &mut rng(700 + seed));
+                assert!(report.consensus_reached(), "seed {seed} truncated");
+                report.final_state.winner() == Some(0)
+            })
+            .count();
+        let fraction = wins as f64 / trials as f64;
+        assert!(
+            (fraction - 0.5).abs() < 0.09,
+            "leader won {fraction}, k-species proportional law says 0.5"
+        );
     }
 }

@@ -7,7 +7,8 @@ use crate::backends::{
 };
 use crate::protocol_backend::{
     AnnihilationLvBackend, ApproxMajorityAgentsBackend, ApproxMajorityBackend, CzyzowiczKBackend,
-    CzyzowiczLvAgentsBackend, CzyzowiczLvBackend, ExactMajorityAgentsBackend, ExactMajorityBackend,
+    CzyzowiczKBridgedBackend, CzyzowiczLvAgentsBackend, CzyzowiczLvBackend,
+    CzyzowiczLvBridgedBackend, ExactMajorityAgentsBackend, ExactMajorityBackend,
 };
 use std::fmt;
 use std::sync::OnceLock;
@@ -34,12 +35,14 @@ impl std::error::Error for DuplicateBackendError {}
 
 /// The set of available [`Backend`]s, addressable by name or alias.
 ///
-/// The process-wide [`BackendRegistry::global`] holds the thirteen built-ins:
+/// The process-wide [`BackendRegistry::global`] holds the fifteen built-ins:
 /// five Lotka–Volterra kernels, five count-based *batched* protocol
-/// baselines (including the `k`-species `"czyzowicz-lv-k"` dynamics), and
-/// the bit-exact agent-list legacy variants of the original three protocol
-/// baselines (`-agents` names — [`Backend::batched`] reports which mode a
-/// backend uses). Downstream crates can build their own registries and plug
+/// baselines (including the `k`-species `"czyzowicz-lv-k"` dynamics), the
+/// two diffusion-bridged conversion backends (`"czyzowicz-lv-bridged"` and
+/// `"czyzowicz-lv-k-bridged"`), and the bit-exact agent-list legacy variants
+/// of the original three protocol baselines (`-agents` names —
+/// [`Backend::batched`] reports which mode a backend uses). Downstream
+/// crates can build their own registries and plug
 /// in custom backends with [`BackendRegistry::register`] /
 /// [`BackendRegistry::with_backend`] — duplicate names or aliases are
 /// rejected with a [`DuplicateBackendError`] instead of silently shadowing.
@@ -48,7 +51,7 @@ impl std::error::Error for DuplicateBackendError {}
 /// use lv_engine::BackendRegistry;
 ///
 /// let registry = BackendRegistry::global();
-/// assert_eq!(registry.names().len(), 13);
+/// assert_eq!(registry.names().len(), 15);
 /// assert!(registry.get("gillespie-direct").is_some());
 /// // Aliases resolve to the same backend.
 /// assert_eq!(
@@ -85,11 +88,13 @@ impl BackendRegistry {
         }
     }
 
-    /// A registry holding the thirteen built-in backends: the five
+    /// A registry holding the fifteen built-in backends: the five
     /// Lotka–Volterra kernels, the batched `"approx-majority"`,
     /// `"exact-majority"`, `"czyzowicz-lv"`, `"annihilation-lv"` and
-    /// `"czyzowicz-lv-k"` protocol baselines, and the bit-exact `-agents`
-    /// legacy variants of the first three.
+    /// `"czyzowicz-lv-k"` protocol baselines, the diffusion-bridged
+    /// `"czyzowicz-lv-bridged"` / `"czyzowicz-lv-k-bridged"` conversion
+    /// backends, and the bit-exact `-agents` legacy variants of the first
+    /// three protocol baselines.
     pub fn builtin() -> Self {
         let mut registry = BackendRegistry::empty();
         let builtins: Vec<Box<dyn Backend>> = vec![
@@ -103,6 +108,8 @@ impl BackendRegistry {
             Box::new(CzyzowiczLvBackend),
             Box::new(AnnihilationLvBackend),
             Box::new(CzyzowiczKBackend),
+            Box::new(CzyzowiczLvBridgedBackend),
+            Box::new(CzyzowiczKBridgedBackend),
             Box::new(ApproxMajorityAgentsBackend),
             Box::new(ExactMajorityAgentsBackend),
             Box::new(CzyzowiczLvAgentsBackend),
@@ -207,6 +214,8 @@ mod tests {
                 "czyzowicz-lv",
                 "annihilation-lv",
                 "czyzowicz-lv-k",
+                "czyzowicz-lv-bridged",
+                "czyzowicz-lv-k-bridged",
                 "approx-majority-agents",
                 "exact-majority-agents",
                 "czyzowicz-lv-agents"
@@ -231,6 +240,14 @@ mod tests {
         assert_eq!(backend("cz-k").unwrap().name(), "czyzowicz-lv-k");
         assert_eq!(backend("k-opinion-lv").unwrap().name(), "czyzowicz-lv-k");
         assert_eq!(
+            backend("cz-bridged").unwrap().name(),
+            "czyzowicz-lv-bridged"
+        );
+        assert_eq!(
+            backend("cz-k-bridged").unwrap().name(),
+            "czyzowicz-lv-k-bridged"
+        );
+        assert_eq!(
             backend("am-agents").unwrap().name(),
             "approx-majority-agents"
         );
@@ -253,7 +270,7 @@ mod tests {
     fn iter_supporting_filters_by_species_count() {
         let registry = BackendRegistry::global();
         let all: Vec<_> = registry.iter_supporting(2).map(|b| b.name()).collect();
-        assert_eq!(all.len(), 13);
+        assert_eq!(all.len(), 15);
         let k3: Vec<_> = registry.iter_supporting(3).map(|b| b.name()).collect();
         assert_eq!(
             k3,
@@ -263,7 +280,8 @@ mod tests {
                 "next-reaction",
                 "tau-leaping",
                 "ode",
-                "czyzowicz-lv-k"
+                "czyzowicz-lv-k",
+                "czyzowicz-lv-k-bridged"
             ]
         );
     }
@@ -283,7 +301,9 @@ mod tests {
                 "exact-majority",
                 "czyzowicz-lv",
                 "annihilation-lv",
-                "czyzowicz-lv-k"
+                "czyzowicz-lv-k",
+                "czyzowicz-lv-bridged",
+                "czyzowicz-lv-k-bridged"
             ]
         );
         // The LV kernels and the legacy agent-list baselines resolve every
@@ -325,7 +345,7 @@ mod tests {
                 aliases: &["c"],
             }))
             .unwrap();
-        assert_eq!(registry.names().len(), 14);
+        assert_eq!(registry.names().len(), 16);
         assert_eq!(registry.get("c").unwrap().name(), "custom");
         // The global registry is unaffected.
         assert!(BackendRegistry::global().get("custom").is_none());
@@ -343,7 +363,7 @@ mod tests {
         assert_eq!(err.name, "jump-chain");
         assert_eq!(
             registry.names().len(),
-            13,
+            15,
             "failed registration must not mutate"
         );
         assert!(err.to_string().contains("jump-chain"));

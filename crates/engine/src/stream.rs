@@ -129,11 +129,31 @@ impl StreamConfig {
     /// The effective shard size: the configured one, or an automatic choice
     /// giving each worker several claims (for load balancing) while keeping
     /// shards no larger than 256 trials.
+    ///
+    /// Load balancing only happens across *physical* cores: threads beyond
+    /// the machine's available parallelism time-slice the same cores, so
+    /// splitting the batch finer for them buys nothing and multiplies queue
+    /// and channel traffic. Oversubscribed configurations therefore get the
+    /// shard size of the physical core count.
     pub fn effective_shard_size(&self) -> u64 {
-        self.shard_size
-            .unwrap_or_else(|| (self.trials / (self.threads as u64 * 4).max(1)).clamp(1, 256))
+        self.shard_size.unwrap_or_else(|| {
+            let cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            let balancing = self.threads.min(cores) as u64;
+            (self.trials / (balancing * 4).max(1)).clamp(1, 256)
+        })
     }
 }
+
+/// How many completed trials a parallel worker accumulates before flushing
+/// them to the consumer in a single channel message.
+///
+/// This decouples *delivery* granularity from *load-balancing* granularity
+/// (the shard size): per-trial sends cost more than a cheap trial itself,
+/// while whole-shard messages would make an early-stopping consumer wait for
+/// a full shard per worker before its stopping rule can see the first trial.
+pub const FLUSH_TRIALS: u64 = 16;
 
 /// A lock-free dispenser of dynamic trial shards.
 ///
@@ -631,9 +651,11 @@ enum StreamInner {
     /// once, replicate the report (matching the batch runner's behaviour of
     /// executing deterministic backends a single time).
     Deterministic { report: RunReport },
-    /// Sharded multi-threaded execution feeding a reorder buffer.
+    /// Sharded multi-threaded execution feeding a reorder buffer. Each
+    /// channel message is one flushed chunk of a shard: the starting trial
+    /// index and up to [`FLUSH_TRIALS`] reports in trial order.
     Parallel {
-        receiver: Receiver<(u64, RunReport)>,
+        receiver: Receiver<(u64, Vec<RunReport>)>,
         pending: BTreeMap<u64, RunReport>,
         queue: Arc<ShardQueue>,
         workers: Vec<JoinHandle<()>>,
@@ -652,10 +674,12 @@ enum StreamInner {
 /// consuming side restores index order before yielding. Combined with the
 /// per-trial RNG contract of [`TrialRngFactory`], every fold over the stream
 /// is bit-identical regardless of thread count or scheduling. No batch is
-/// ever materialised, no matter how slow the consumer: reports flow through
-/// a *bounded* channel (capacity ≈ threads × shard size), so workers block
-/// on a full channel instead of racing ahead, and the reorder buffer only
-/// ever holds what the channel could carry.
+/// ever materialised, no matter how slow the consumer: reports travel in
+/// chunks of up to [`FLUSH_TRIALS`] per channel message (a send per trial
+/// costs more than a cheap trial itself, while whole-shard messages would
+/// delay early stopping by a shard per worker) through a *bounded* channel,
+/// so workers block on a full channel instead of racing ahead, and the
+/// reorder buffer only ever holds the few chunks in flight.
 ///
 /// Dropping the stream halts the queue and joins the workers; a panic on a
 /// worker thread is re-raised on the consuming thread once the stream
@@ -722,10 +746,10 @@ impl ReportStream {
         let queue = Arc::new(ShardQueue::new(scheduled, shard));
         // Bounded channel = backpressure: a consumer slower than the worker
         // pool makes the workers block on `send` instead of racing ahead and
-        // buffering the whole batch — in-flight reports are capped at the
-        // channel capacity plus one blocked send per worker.
-        let capacity = (threads as u64 * shard).clamp(threads as u64, 4_096) as usize;
-        let (sender, receiver) = bounded(capacity);
+        // buffering the whole batch. Messages are chunks of up to
+        // FLUSH_TRIALS reports, so two slots per worker cap in-flight
+        // reports at a few chunks per worker.
+        let (sender, receiver) = bounded(threads * 2);
         // Build the scenario's CRN form once, before the workers clone the
         // Arc, so the reaction network is shared instead of rebuilt per
         // thread (protocol backends have no CRN form; skip for them).
@@ -739,12 +763,18 @@ impl ReportStream {
                 let scenario = Arc::clone(&scenario);
                 let queue = Arc::clone(&queue);
                 let rng_for_trial = Arc::clone(&rng_for_trial);
-                let sender: Sender<(u64, RunReport)> = sender.clone();
+                let sender: Sender<(u64, Vec<RunReport>)> = sender.clone();
                 let panic = Arc::clone(&panic);
                 std::thread::spawn(move || {
                     while let Some(shard) = queue.claim() {
+                        let mut chunk_start = shard.start;
+                        let mut reports =
+                            Vec::with_capacity(FLUSH_TRIALS.min(shard.end - shard.start) as usize);
                         for trial in shard {
                             if queue.is_halted() {
+                                // Halted mid-shard (early stop or drop): the
+                                // consumer has stopped folding, so the
+                                // partial chunk is discarded.
                                 return;
                             }
                             // Catch backend panics here rather than letting
@@ -758,20 +788,42 @@ impl ReportStream {
                                     let mut rng = rng_for_trial(trial);
                                     backend.run(&scenario, &mut rng)
                                 }));
-                            let report = match result {
-                                Ok(report) => report,
+                            match result {
+                                Ok(report) => reports.push(report),
                                 Err(payload) => {
                                     queue.halt();
+                                    // Deliver the chunk's completed prefix —
+                                    // the consumer folds trials in order up
+                                    // to the panicked one before re-raising.
+                                    if !reports.is_empty() {
+                                        let _ = sender.send((chunk_start, reports));
+                                    }
                                     let mut slot =
                                         panic.lock().unwrap_or_else(|poison| poison.into_inner());
                                     slot.get_or_insert(payload);
                                     return;
                                 }
-                            };
-                            if sender.send((trial, report)).is_err() {
-                                // Receiver gone: the stream was dropped.
-                                return;
                             }
+                            // Chunked sends: one message per FLUSH_TRIALS
+                            // completed trials, not one per trial (per-trial
+                            // sends cost more than a cheap trial itself —
+                            // the 512-trial batch-streaming bench regressed
+                            // 4-thread vs 1-thread on them) and not one per
+                            // shard (which would delay early stopping by a
+                            // whole shard per worker).
+                            if reports.len() as u64 == FLUSH_TRIALS {
+                                if sender
+                                    .send((chunk_start, std::mem::take(&mut reports)))
+                                    .is_err()
+                                {
+                                    // Receiver gone: the stream was dropped.
+                                    return;
+                                }
+                                chunk_start = trial + 1;
+                            }
+                        }
+                        if !reports.is_empty() && sender.send((chunk_start, reports)).is_err() {
+                            return;
                         }
                     }
                 })
@@ -898,9 +950,11 @@ impl Iterator for ReportStream {
                     break Some(report);
                 }
                 match receiver.recv() {
-                    Ok((index, report)) => {
-                        debug_assert!(index >= trial, "trial {index} delivered twice");
-                        pending.insert(index, report);
+                    Ok((start, reports)) => {
+                        debug_assert!(start >= trial, "shard at {start} delivered twice");
+                        for (offset, report) in reports.into_iter().enumerate() {
+                            pending.insert(start + offset as u64, report);
+                        }
                     }
                     // Every sender hung up with trials still owed: a worker
                     // must have panicked — re-raise it below, outside this

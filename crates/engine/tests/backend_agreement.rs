@@ -22,12 +22,18 @@ fn one_scenario_runs_on_every_backend() {
     let model = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
     let scenario = Scenario::majority(model, 400, 100).observe(ObserverSpec::GapTrajectory);
     let registry = BackendRegistry::global();
-    assert_eq!(registry.names().len(), 13);
+    assert_eq!(registry.names().len(), 15);
     // The Czyzowicz conversion baselines follow the proportional law (a 4:1
     // majority wins only 80% of runs) and need ~n² interactions, so neither
     // a win nor consensus within the default budget is guaranteed for them —
     // for every other backend both are.
-    let proportional = ["czyzowicz-lv", "czyzowicz-lv-agents", "czyzowicz-lv-k"];
+    let proportional = [
+        "czyzowicz-lv",
+        "czyzowicz-lv-agents",
+        "czyzowicz-lv-k",
+        "czyzowicz-lv-bridged",
+        "czyzowicz-lv-k-bridged",
+    ];
     for backend in registry.iter() {
         let report = backend.run(&scenario, &mut rng(11));
         assert_eq!(report.backend, backend.name());
@@ -159,6 +165,7 @@ fn all_backends_honor_the_event_budget() {
         "approx-majority",
         "exact-majority",
         "czyzowicz-lv",
+        "czyzowicz-lv-bridged",
     ] {
         let report = backend(name).unwrap().run(&scenario, &mut rng(7));
         assert_eq!(report.reason, StopReason::MaxEventsReached, "{name}");
@@ -199,6 +206,8 @@ fn continuous_backends_honor_the_time_budget() {
         "czyzowicz-lv",
         "annihilation-lv",
         "czyzowicz-lv-k",
+        "czyzowicz-lv-bridged",
+        "czyzowicz-lv-k-bridged",
         "approx-majority-agents",
     ] {
         let report = backend(name).unwrap().run(&scenario, &mut rng(8));

@@ -21,8 +21,9 @@ fn k3_scenario_runs_end_to_end_on_all_five_lv_backends() {
     let scenario =
         Scenario::plurality(model, vec![120, 40, 40]).observe(ObserverSpec::GapTrajectory);
     let k3_backends: Vec<_> = BackendRegistry::global().iter_supporting(3).collect();
-    // Five LV kernels plus the k-opinion Czyzowicz protocol baseline.
-    assert_eq!(k3_backends.len(), 6);
+    // Five LV kernels plus the k-opinion Czyzowicz protocol baseline, in
+    // both counted and diffusion-bridged execution modes.
+    assert_eq!(k3_backends.len(), 7);
     let lv_backends: Vec<_> = k3_backends
         .into_iter()
         .filter(|b| b.models_kinetics())

@@ -30,6 +30,7 @@
 use crate::protocol::{Interaction, Opinion, PopulationProtocol};
 use crate::sampling::{sample_counts_without_replacement, BatchLengthSampler};
 use rand::Rng;
+use std::sync::Arc;
 
 /// A [`PopulationProtocol`] whose full state space can be enumerated — the
 /// requirement for building the dense transition table of
@@ -230,10 +231,12 @@ pub struct CountedSimulation<'a> {
     responders: Vec<u64>,
     row: Vec<u64>,
     touched: Vec<u64>,
-    /// Cached batch-length inverse-transform table; protocol transitions
-    /// conserve agents, so one table serves the whole run (rebuilt lazily if
-    /// the population ever changed).
-    batch_lengths: Option<BatchLengthSampler>,
+    /// Cached batch-length inverse-transform table, shared process-wide
+    /// through [`BatchLengthSampler::shared`] — a sweep runs millions of
+    /// trials at one population size and must not rebuild the `O(√n)` table
+    /// per trial. Protocol transitions conserve agents, so one table serves
+    /// the whole run (re-fetched lazily if the population ever changed).
+    batch_lengths: Option<Arc<BatchLengthSampler>>,
 }
 
 impl<'a> CountedSimulation<'a> {
@@ -404,7 +407,7 @@ impl<'a> CountedSimulation<'a> {
             .as_ref()
             .is_none_or(|sampler| sampler.population() != n)
         {
-            self.batch_lengths = Some(BatchLengthSampler::new(n));
+            self.batch_lengths = Some(BatchLengthSampler::shared(n));
         }
         let len = self
             .batch_lengths

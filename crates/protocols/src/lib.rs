@@ -42,6 +42,16 @@
 //! [`sampling`] — equal in distribution to the agent-list stepper, at `o(1)`
 //! sampling work per interaction. This is the engine behind the batched
 //! protocol backends and the `n = 10⁷` threshold sweeps.
+//!
+//! # Diffusion-bridged first-passage sampling
+//!
+//! Batched epochs make each interaction `o(1)`, but the conversion dynamics
+//! still *perform* `Θ(n²)` interactions per trial near a tie. The [`bridge`]
+//! module removes that wall for the Czyzowicz conversion dynamics:
+//! [`BridgedConversionWalk`] advances the count chain in diffusion-bridged
+//! blocks (exact binomial displacement bridges, a CLT interaction clock, and
+//! a boundary-exact band where stepping is exact), bringing per-trial cost
+//! down to `Õ(poly log n)` so linear-law sweeps reach `n = 10⁷`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -49,6 +59,7 @@
 
 mod andaur;
 mod approximate_majority;
+pub mod bridge;
 pub mod counted;
 mod czyzowicz;
 mod exact_majority;
@@ -58,6 +69,7 @@ mod self_destructive;
 
 pub use andaur::{AndaurOutcome, AndaurResourceModel};
 pub use approximate_majority::{ApproximateMajority, TriState};
+pub use bridge::{BridgeStep, BridgedConversionWalk};
 pub use counted::{CountedDynamics, CountedSimulation, EnumerableProtocol};
 pub use czyzowicz::CzyzowiczLvProtocol;
 pub use exact_majority::{ExactMajority4State, FourState};

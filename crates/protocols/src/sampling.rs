@@ -21,7 +21,8 @@
 //! bit-exact" agreement contract of the batched execution mode.
 
 use rand::Rng;
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Arguments below this bound resolve `ln n!` by table lookup — sized so
 /// every `Θ(√n)`-scale argument of an epoch (batch lengths up to `2ℓ`) hits
@@ -298,6 +299,32 @@ impl BatchLengthSampler {
     /// The population size this sampler was built for.
     pub fn population(&self) -> u64 {
         self.n
+    }
+
+    /// The process-wide shared survival table for population size `n`.
+    ///
+    /// A threshold sweep runs millions of trials at a handful of fixed
+    /// population sizes, and every [`crate::CountedSimulation`] used to
+    /// rebuild its `O(√n)`-entry table from scratch; this cache builds each
+    /// table once per process and hands out `Arc` clones (one mutex lock
+    /// per *simulation*, not per epoch — the simulation caches the `Arc`).
+    /// The cache is cleared if it ever tracks more than 256 distinct
+    /// population sizes, bounding its memory at a few tens of megabytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn shared(n: u64) -> Arc<BatchLengthSampler> {
+        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<BatchLengthSampler>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap_or_else(|poison| poison.into_inner());
+        if map.len() > 256 && !map.contains_key(&n) {
+            map.clear();
+        }
+        Arc::clone(
+            map.entry(n)
+                .or_insert_with(|| Arc::new(BatchLengthSampler::new(n))),
+        )
     }
 
     /// Draws one batch length — identical in distribution to

@@ -6,20 +6,26 @@
 //! cargo run --release --example large_n_thresholds
 //! ```
 //!
-//! Three demonstrations:
+//! Four demonstrations:
 //!
 //! 1. the adaptive threshold search for the batched 3-state approximate-
 //!    majority backend at `n = 10⁵` and `n = 10⁶` (each probe runs whole
 //!    epochs of `Θ(√n)` interactions per handful of hypergeometric draws);
 //! 2. the Czyzowicz conversion dynamics at smaller `n` for the linear-law
 //!    contrast (their `Θ(n²)` interactions per trial — not the simulator —
-//!    are what caps their size);
-//! 3. a certification that the self-destructive annihilation dynamics
+//!    are what caps the counted stepper's size);
+//! 3. the *diffusion-bridged* Czyzowicz backend carrying that same linear
+//!    law to `n = 10⁷`: whole stretches of the count random walk are
+//!    sampled from their binomial/Gaussian bridge (exact stepping inside a
+//!    boundary band, so absorption is never approximated), collapsing the
+//!    `Θ(n²)` interactions per trial into polylog-many block draws;
+//! 4. a certification that the self-destructive annihilation dynamics
 //!    decide correctly at `n = 10⁶` (gap invariance: no threshold exists).
 //!
-//! Batched backends agree with the agent-list stepper statistically — same
-//! outcome distributions — but not bit-for-bit (the RNG stream differs);
-//! see `BackendRegistry` and the `-agents` backends for bit-exact runs.
+//! Batched and bridged backends agree with the agent-list stepper
+//! statistically — same outcome distributions — but not bit-for-bit (the
+//! RNG stream differs); see `BackendRegistry` and the `-agents` backends
+//! for bit-exact runs.
 
 use lv_consensus::engine::stream::EarlyStop;
 use lv_consensus::lotka::LvModel;
@@ -66,7 +72,33 @@ fn main() {
     let (law, coefficient, _) = fit.best();
     println!("\napprox-majority threshold fits {coefficient:.3} x {law}");
 
-    // 3. Gap invariance at n = 10⁶: the annihilation dynamics decide any
+    // 3. The diffusion-bridged backend runs the same conversion dynamics
+    // with whole bridge blocks instead of resolved interactions, so the
+    // linear-law sweep continues three decades past the counted stepper —
+    // a near-tie trial at n = 10⁷ traverses ~10¹³ interactions in
+    // milliseconds.
+    println!("\n== bridged czyzowicz-lv threshold sweep to n = 10^7 ==");
+    let bridged =
+        ThresholdSearch::new(20, seed.derive("cz-bridged")).with_backend("czyzowicz-lv-bridged");
+    let mut bridged_ns = Vec::new();
+    let mut bridged_thresholds = Vec::new();
+    for n in [100_000u64, 1_000_000, 10_000_000] {
+        let factory = TwoSpeciesGap::new(LvModel::default(), n).with_max_events(4 * n * n);
+        let result = bridged.find_gap(&factory);
+        println!("{result}");
+        bridged_ns.push(n as f64);
+        bridged_thresholds.push(result.threshold as f64);
+    }
+    let fit = ScalingFit::fit(&bridged_ns, &bridged_thresholds);
+    let (law, coefficient, _) = fit.best();
+    println!("bridged czyzowicz threshold fits {coefficient:.3} x {law}");
+    assert_eq!(
+        law,
+        lv_consensus::sim::ScalingLaw::Linear,
+        "the conversion dynamics must keep their linear gap law at n = 10^7"
+    );
+
+    // 4. Gap invariance at n = 10⁶: the annihilation dynamics decide any
     // non-zero gap correctly — certified with an early-stopped probe.
     println!("\n== annihilation-lv certification at n = 10^6 ==");
     let n = 1_000_000u64;

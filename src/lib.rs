@@ -25,8 +25,10 @@
 //!   open string-keyed registry (`"jump-chain"`, `"gillespie-direct"`,
 //!   `"next-reaction"`, `"tau-leaping"`, `"ode"`, the batched protocol
 //!   baselines `"approx-majority"`, `"exact-majority"`, `"czyzowicz-lv"`,
-//!   `"annihilation-lv"`, `"czyzowicz-lv-k"` and their bit-exact `-agents`
-//!   legacy variants), plus named multi-species scenario presets
+//!   `"annihilation-lv"`, `"czyzowicz-lv-k"`, the diffusion-bridged
+//!   conversion backends `"czyzowicz-lv-bridged"` /
+//!   `"czyzowicz-lv-k-bridged"` and the bit-exact `-agents` legacy
+//!   variants), plus named multi-species scenario presets
 //!   ([`engine::presets`]).
 //! * [`protocols`] — baseline protocols from related work (3-state approximate
 //!   majority, 4-state exact majority, Czyzowicz et al. LV population
@@ -34,7 +36,10 @@
 //!   resource-consumer model), with the count-based batched simulation
 //!   engine ([`protocols::CountedDynamics`] / [`protocols::CountedSimulation`]
 //!   and the birthday-bound/hypergeometric samplers in
-//!   [`protocols::sampling`]) that pushes protocol runs to `n = 10⁷⁺`.
+//!   [`protocols::sampling`]) that pushes protocol runs to `n = 10⁷⁺`, and
+//!   the diffusion-bridged first-passage sampler
+//!   ([`protocols::BridgedConversionWalk`]) that collapses the `Θ(n²)`
+//!   interactions of a conversion trial into `Õ(poly log n)` bridge blocks.
 //! * [`server`] — the threshold-surface service: a memoized sweep server
 //!   ([`server::ThresholdService`]) over a versioned length-prefixed wire
 //!   format (TCP or Unix sockets), with incremental Wilson refinement,

@@ -95,6 +95,8 @@ fn protocols_layer_exposes_the_counted_batch_engine() {
     for name in [
         "annihilation-lv",
         "czyzowicz-lv-k",
+        "czyzowicz-lv-bridged",
+        "czyzowicz-lv-k-bridged",
         "approx-majority-agents",
     ] {
         let backend = lv_consensus::engine::backend(name).unwrap();
