@@ -1,0 +1,94 @@
+//! Diagnostics: what a pass reports and how it prints.
+
+use std::fmt;
+
+/// One finding: `file:line [pass-id] message`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative `/`-separated path.
+    pub file: String,
+    /// 1-based line number (0 for file-level findings with no anchor line).
+    pub line: usize,
+    /// Id of the pass that produced the finding.
+    pub pass: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(
+        file: impl Into<String>,
+        line: usize,
+        pass: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            file: file.into(),
+            line,
+            pass: pass.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Renders the diagnostic as a JSON object (hand-rolled: the analyzer
+    /// is pure std and its output schema is four flat fields).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"file\":\"{}\",\"line\":{},\"pass\":\"{}\",\"message\":\"{}\"}}",
+            escape_json(&self.file),
+            self.line,
+            escape_json(&self.pass),
+            escape_json(&self.message)
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} [{}] {}",
+            self.file, self.line, self.pass, self.message
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_contract() {
+        let d = Diagnostic::new("crates/x/src/lib.rs", 12, "determinism", "found `HashMap`");
+        assert_eq!(
+            d.to_string(),
+            "crates/x/src/lib.rs:12 [determinism] found `HashMap`"
+        );
+    }
+
+    #[test]
+    fn json_escapes_specials() {
+        let d = Diagnostic::new("a.rs", 1, "p", "quote \" back \\ tab\t");
+        assert_eq!(
+            d.to_json(),
+            "{\"file\":\"a.rs\",\"line\":1,\"pass\":\"p\",\"message\":\"quote \\\" back \\\\ tab\\t\"}"
+        );
+    }
+}

@@ -1,0 +1,368 @@
+//! A small comment- and string-literal-aware Rust lexer.
+//!
+//! The passes never need a syntax tree — they need to know, for every byte
+//! of a source file, whether it is *code*, a *comment*, or the inside of a
+//! *string/char literal*. [`lex`] produces a **masked** copy of the source
+//! (same byte length, newlines preserved) in which comment bytes and
+//! literal contents are blanked to spaces, so token scans over the mask
+//! cannot be fooled by `"HashMap"` in a string or `.unwrap()` in a doc
+//! comment. Line comments and string literals are additionally collected
+//! verbatim: comments carry the `lv-analyze::allow(...)` annotations, and
+//! string literals carry the backend names and wire error codes the
+//! registry/doc pass cross-checks.
+
+/// One `//` line comment (doc comments included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// The comment text, from the leading `//` to the end of the line.
+    pub text: String,
+    /// Whether any code precedes the comment on its line (a *trailing*
+    /// comment annotates its own line; a comment alone on a line annotates
+    /// the next code line).
+    pub trailing: bool,
+}
+
+/// One string literal (regular, raw, or byte), contents verbatim.
+#[derive(Debug, Clone)]
+pub struct StrLit {
+    /// 1-based line the literal starts on.
+    pub line: usize,
+    /// Byte offset of the opening delimiter in the source.
+    pub offset: usize,
+    /// Byte offset just past the closing delimiter.
+    pub end: usize,
+    /// The literal's contents, escapes untouched.
+    pub value: String,
+}
+
+/// The lexed view of one file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// The source with comments and literal contents blanked to spaces.
+    /// Same byte length as the input; newlines preserved, so line numbers
+    /// and byte offsets agree with the original.
+    pub masked: String,
+    /// Every `//` comment, verbatim.
+    pub comments: Vec<Comment>,
+    /// Every string literal, verbatim.
+    pub strings: Vec<StrLit>,
+}
+
+/// Lexes `source`, classifying every byte as code, comment, or literal.
+pub fn lex(source: &str) -> Lexed {
+    let bytes = source.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut line_has_code = false;
+
+    // Pushes a masked byte: newlines survive (they carry line structure),
+    // everything else becomes a space.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+
+        // Line comment.
+        if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                blank(&mut out, bytes[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line,
+                text: source[start..i].to_string(),
+                trailing: line_has_code,
+            });
+            continue;
+        }
+
+        // Block comment (nesting respected).
+        if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    blank(&mut out, bytes[i]);
+                    blank(&mut out, bytes[i + 1]);
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                        line_has_code = false;
+                    }
+                    blank(&mut out, bytes[i]);
+                    i += 1;
+                }
+            }
+            continue;
+        }
+
+        // Raw (and raw-byte) string literal: r"...", r#"..."#, br#"..."#.
+        if (b == b'r' || (b == b'b' && bytes.get(i + 1) == Some(&b'r'))) && !prev_is_ident(bytes, i)
+        {
+            let prefix = if b == b'b' { 2 } else { 1 };
+            let mut j = i + prefix;
+            let mut hashes = 0usize;
+            while bytes.get(j) == Some(&b'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if bytes.get(j) == Some(&b'"') {
+                // Emit the prefix, hashes and opening quote as code.
+                for &p in &bytes[i..=j] {
+                    out.push(p);
+                }
+                line_has_code = true;
+                let content_start = j + 1;
+                let start_line = line;
+                let mut k = content_start;
+                let mut terminated = false;
+                // Scan for `"` followed by `hashes` hashes.
+                while k < bytes.len() {
+                    if bytes[k] == b'"' {
+                        let mut h = 0;
+                        while h < hashes && bytes.get(k + 1 + h) == Some(&b'#') {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            terminated = true;
+                            break;
+                        }
+                    }
+                    if bytes[k] == b'\n' {
+                        line += 1;
+                        line_has_code = false;
+                    }
+                    blank(&mut out, bytes[k]);
+                    k += 1;
+                }
+                strings.push(StrLit {
+                    line: start_line,
+                    offset: i,
+                    end: if terminated {
+                        k + 1 + hashes
+                    } else {
+                        bytes.len()
+                    },
+                    value: source[content_start..k.min(bytes.len())].to_string(),
+                });
+                if terminated {
+                    out.push(b'"');
+                    out.extend(std::iter::repeat_n(b'#', hashes));
+                    i = k + 1 + hashes;
+                } else {
+                    // Unterminated raw string: consume to EOF.
+                    i = bytes.len();
+                }
+                continue;
+            }
+            // Not a raw string after all: fall through as plain code.
+        }
+
+        // Regular (and byte) string literal.
+        if b == b'"' || (b == b'b' && bytes.get(i + 1) == Some(&b'"') && !prev_is_ident(bytes, i)) {
+            if b == b'b' {
+                out.push(b'b');
+                i += 1;
+            }
+            out.push(b'"');
+            line_has_code = true;
+            let start_line = line;
+            let content_start = i + 1;
+            let mut j = content_start;
+            while j < bytes.len() {
+                if bytes[j] == b'\\' {
+                    blank(&mut out, bytes[j]);
+                    if j + 1 < bytes.len() {
+                        if bytes[j + 1] == b'\n' {
+                            line += 1;
+                            line_has_code = false;
+                        }
+                        blank(&mut out, bytes[j + 1]);
+                    }
+                    j += 2;
+                    continue;
+                }
+                if bytes[j] == b'"' {
+                    break;
+                }
+                if bytes[j] == b'\n' {
+                    line += 1;
+                    line_has_code = false;
+                }
+                blank(&mut out, bytes[j]);
+                j += 1;
+            }
+            let close = if j < bytes.len() { j + 1 } else { j };
+            strings.push(StrLit {
+                line: start_line,
+                offset: i,
+                end: close,
+                value: source[content_start..j.min(bytes.len())].to_string(),
+            });
+            if j < bytes.len() {
+                out.push(b'"');
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+
+        // Char literal vs lifetime.
+        if b == b'\'' {
+            let next = bytes.get(i + 1).copied();
+            let is_char = match next {
+                Some(b'\\') => true,
+                Some(_) => {
+                    // `'x'` (one char, possibly multi-byte UTF-8, then `'`).
+                    let rest = &source[i + 1..];
+                    match rest.chars().next() {
+                        Some(c) => rest.as_bytes().get(c.len_utf8()) == Some(&b'\''),
+                        None => false,
+                    }
+                }
+                None => false,
+            };
+            if is_char {
+                out.push(b'\'');
+                line_has_code = true;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'\'' {
+                    if bytes[j] == b'\\' {
+                        blank(&mut out, bytes[j]);
+                        j += 1;
+                        if j < bytes.len() {
+                            blank(&mut out, bytes[j]);
+                            j += 1;
+                        }
+                        continue;
+                    }
+                    blank(&mut out, bytes[j]);
+                    j += 1;
+                }
+                if j < bytes.len() {
+                    out.push(b'\'');
+                    j += 1;
+                }
+                i = j;
+                continue;
+            }
+            // A lifetime: the quote itself is code.
+            out.push(b'\'');
+            line_has_code = true;
+            i += 1;
+            continue;
+        }
+
+        // Plain code byte.
+        if b == b'\n' {
+            line += 1;
+            line_has_code = false;
+        } else if !b.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        out.push(b);
+        i += 1;
+    }
+
+    Lexed {
+        masked: String::from_utf8(out)
+            .unwrap_or_else(|e| String::from_utf8_lossy(e.as_bytes()).into_owned()),
+        comments,
+        strings,
+    }
+}
+
+fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_are_masked() {
+        let src = "let x = \"HashMap\"; // uses .unwrap()\nlet y = 1; /* Instant */ let z = 2;\n";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("HashMap"));
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(!lexed.masked.contains("Instant"));
+        assert!(lexed.masked.contains("let x = \""));
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "HashMap");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].trailing);
+    }
+
+    #[test]
+    fn raw_strings_and_escapes_are_handled() {
+        let src = r####"let a = r#"quote " inside"#; let b = "esc \" ape"; let c = br"bytes";"####;
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 3);
+        assert_eq!(lexed.strings[0].value, "quote \" inside");
+        assert_eq!(lexed.strings[1].value, "esc \\\" ape");
+        assert_eq!(lexed.strings[2].value, "bytes");
+        assert!(!lexed.masked.contains("quote"));
+        assert!(!lexed.masked.contains("bytes"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("&'a str"));
+        assert!(!lexed.masked.contains("'x'"));
+        assert!(lexed.masked.contains("' '"), "char contents blanked");
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let src = "a /* outer /* inner */ still */ b\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains('a'));
+        assert!(lexed.masked.contains('b'));
+        assert!(!lexed.masked.contains("inner"));
+        assert!(!lexed.masked.contains("still"));
+    }
+
+    #[test]
+    fn standalone_comment_is_not_trailing() {
+        let src = "// alone\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].trailing);
+        assert!(lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn multibyte_chars_in_strings_survive_masking() {
+        let src = "let s = \"µ ≈ Θ(√n)\"; let t = 5;\n";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("let t = 5"));
+        assert_eq!(lexed.strings[0].value, "µ ≈ Θ(√n)");
+    }
+}

@@ -1,0 +1,169 @@
+#![forbid(unsafe_code)]
+//! `lv-analyze` — workspace invariant analysis for the lv-consensus tree.
+//!
+//! The scientific claims of this repository rest on invariants no
+//! compiler checks: bit-reproducible RNG streams at any thread count,
+//! a serving layer that answers malformed input instead of dying, and
+//! docs that stay in sync with the backend registry and wire protocol.
+//! This crate turns those conventions into machine-checked passes over
+//! the source tree (see [`passes`]) with a CI-gating binary.
+//!
+//! A violation is either fixed or suppressed in place with
+//! `// lv-analyze::allow(pass-id, reason = "...")` — the reason is
+//! mandatory, and malformed annotations are themselves (unsuppressable)
+//! diagnostics. See `crates/analyze/ANALYSIS.md` for the pass catalogue.
+
+pub mod diag;
+pub mod lexer;
+pub mod passes;
+pub mod source;
+
+use diag::Diagnostic;
+use passes::Pass;
+use source::Workspace;
+
+/// Pass id under which malformed `lv-analyze::allow` annotations are
+/// reported. These diagnostics cannot be suppressed.
+pub const ALLOW_GRAMMAR_PASS: &str = "allow-grammar";
+
+/// The outcome of an analysis run.
+#[derive(Debug)]
+pub struct Report {
+    /// Diagnostics not covered by a well-formed allow annotation — any
+    /// entry here fails the run.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics matched (and silenced) by an allow annotation, kept
+    /// for `--verbose`-style accounting and tests.
+    pub suppressed: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs `passes` over the workspace and resolves allow annotations.
+///
+/// A diagnostic is suppressed when the same file carries a well-formed
+/// `lv-analyze::allow(pass-id, ...)` whose target line equals the
+/// diagnostic's line. Malformed annotations become `allow-grammar`
+/// violations; so do well-formed annotations that suppress nothing
+/// (a stale allow is a lie about the code and must be removed).
+pub fn run(ws: &Workspace, passes: &[Box<dyn Pass>]) -> Report {
+    let mut violations = Vec::new();
+    let mut suppressed = Vec::new();
+
+    // (file, pass, target_line, used) for every well-formed allow.
+    let mut allows: Vec<(String, String, usize, bool)> = ws
+        .files
+        .iter()
+        .flat_map(|f| {
+            f.allows
+                .iter()
+                .map(|a| (f.rel.clone(), a.pass.clone(), a.target_line, false))
+        })
+        .collect();
+
+    for file in &ws.files {
+        for bad in &file.bad_allows {
+            violations.push(Diagnostic::new(
+                &file.rel,
+                bad.line,
+                ALLOW_GRAMMAR_PASS,
+                format!("malformed lv-analyze::allow annotation: {}", bad.message),
+            ));
+        }
+    }
+
+    for pass in passes {
+        for diagnostic in pass.run(ws) {
+            let matched = allows.iter_mut().find(|(file, pass_id, line, _)| {
+                *file == diagnostic.file && *pass_id == diagnostic.pass && *line == diagnostic.line
+            });
+            match matched {
+                Some(slot) => {
+                    slot.3 = true;
+                    suppressed.push(diagnostic);
+                }
+                None => violations.push(diagnostic),
+            }
+        }
+    }
+
+    // Stale allows: annotation present, nothing to suppress. Only flag
+    // them for passes that actually ran, so `--pass` selection does not
+    // misreport the other passes' annotations as stale.
+    let ran: Vec<&str> = passes.iter().map(|p| p.id()).collect();
+    for (file, pass_id, line, used) in &allows {
+        if !used && ran.iter().any(|id| id == pass_id) {
+            violations.push(Diagnostic::new(
+                file.clone(),
+                *line,
+                ALLOW_GRAMMAR_PASS,
+                format!("stale lv-analyze::allow({pass_id}, ...): it suppresses no diagnostic"),
+            ));
+        }
+    }
+
+    // Unknown pass ids in allows are caught the same way (they can never
+    // match a diagnostic), which also guards against typos.
+
+    violations.sort_by(|a, b| (&a.file, a.line, &a.pass).cmp(&(&b.file, b.line, &b.pass)));
+    suppressed.sort_by(|a, b| (&a.file, a.line, &a.pass).cmp(&(&b.file, b.line, &b.pass)));
+    Report {
+        violations,
+        suppressed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws_with(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/nonexistent"),
+            files: files
+                .into_iter()
+                .map(|(rel, text)| source::SourceFile::parse(rel.into(), text.into()))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn allow_suppresses_matching_line_only() {
+        let ws = ws_with(vec![(
+            "crates/sim/src/x.rs",
+            "use std::collections::HashMap; // lv-analyze::allow(determinism, reason = \"test of the driver\")\nlet other = HashMap::new();\n",
+        )]);
+        let report = run(&ws, &passes::default_passes()[..1]);
+        assert_eq!(report.suppressed.len(), 1);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].line, 2);
+    }
+
+    #[test]
+    fn stale_allow_is_a_violation() {
+        let ws = ws_with(vec![(
+            "crates/sim/src/x.rs",
+            "let clean = 1; // lv-analyze::allow(determinism, reason = \"nothing here\")\n",
+        )]);
+        let report = run(&ws, &passes::default_passes()[..1]);
+        assert_eq!(report.violations.len(), 1);
+        assert!(report.violations[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn malformed_allow_is_a_violation() {
+        let ws = ws_with(vec![(
+            "crates/sim/src/x.rs",
+            "let x = 1; // lv-analyze::allow(determinism, reason = \"\")\n",
+        )]);
+        let report = run(&ws, &passes::default_passes()[..1]);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].pass, ALLOW_GRAMMAR_PASS);
+    }
+}

@@ -1,0 +1,175 @@
+#![forbid(unsafe_code)]
+//! `lv-analyze` CLI: run the workspace invariant passes and gate CI.
+//!
+//! ```text
+//! lv-analyze [--root PATH] [--format text|json] [--pass ID]... [--update-api]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use lv_analyze::passes;
+use lv_analyze::source::Workspace;
+
+enum Format {
+    Text,
+    Json,
+}
+
+struct Options {
+    root: Option<PathBuf>,
+    format: Format,
+    update_api: bool,
+    only_passes: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("lv-analyze: {message}");
+            eprintln!(
+                "usage: lv-analyze [--root PATH] [--format text|json] [--pass ID]... [--update-api]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let root = match options.root.clone().map(Ok).unwrap_or_else(detect_root) {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("lv-analyze: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let ws = match Workspace::load(&root) {
+        Ok(ws) => ws,
+        Err(e) => {
+            eprintln!(
+                "lv-analyze: failed to load workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if options.update_api {
+        let rendered = passes::render_api(&ws);
+        let path = root.join(passes::SNAPSHOT_PATH);
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("lv-analyze: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("lv-analyze: wrote {}", path.display());
+        return ExitCode::SUCCESS;
+    }
+
+    let mut roster = passes::default_passes();
+    if !options.only_passes.is_empty() {
+        let known: Vec<&str> = roster.iter().map(|p| p.id()).collect();
+        if let Some(unknown) = options
+            .only_passes
+            .iter()
+            .find(|id| !known.contains(&id.as_str()))
+        {
+            eprintln!(
+                "lv-analyze: unknown pass `{unknown}` (known: {})",
+                known.join(", ")
+            );
+            return ExitCode::from(2);
+        }
+        roster.retain(|p| options.only_passes.iter().any(|id| id == p.id()));
+    }
+
+    let report = lv_analyze::run(&ws, &roster);
+    match options.format {
+        Format::Text => {
+            for diagnostic in &report.violations {
+                println!("{diagnostic}");
+            }
+            eprintln!(
+                "lv-analyze: {} pass(es), {} violation(s), {} suppressed by allow annotations",
+                roster.len(),
+                report.violations.len(),
+                report.suppressed.len()
+            );
+        }
+        Format::Json => {
+            let body: Vec<String> = report.violations.iter().map(|d| d.to_json()).collect();
+            println!(
+                "{{\"clean\":{},\"violations\":[{}],\"suppressed\":{}}}",
+                report.is_clean(),
+                body.join(","),
+                report.suppressed.len()
+            );
+        }
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        root: None,
+        format: Format::Text,
+        update_api: false,
+        only_passes: Vec::new(),
+    };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                let value = args.next().ok_or("--root needs a path")?;
+                options.root = Some(PathBuf::from(value));
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => options.format = Format::Text,
+                Some("json") => options.format = Format::Json,
+                other => return Err(format!("--format needs text|json, got {other:?}")),
+            },
+            "--update-api" => options.update_api = true,
+            "--pass" => {
+                let value = args.next().ok_or("--pass needs a pass id")?;
+                options.only_passes.push(value);
+            }
+            "--list-passes" => {
+                for pass in passes::default_passes() {
+                    println!("{:16} {}", pass.id(), pass.description());
+                }
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(options)
+}
+
+/// Ascends from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn detect_root() -> Result<PathBuf, String> {
+    let start = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    let mut dir: &Path = &start;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Ok(dir.to_path_buf());
+            }
+        }
+        match dir.parent() {
+            Some(parent) => dir = parent,
+            None => {
+                return Err(format!(
+                    "no workspace Cargo.toml found above {} (use --root)",
+                    start.display()
+                ))
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! `api-snapshot` — the public surface is a reviewed artifact.
+//!
+//! Lexically extracts every top-level `pub` item from the facade root and
+//! each library crate root into a canonical text rendering, and diffs it
+//! against the checked-in `API.txt`. Any drift — an item added, removed,
+//! or re-signed — fails the pass until `API.txt` is regenerated with
+//! `lv-analyze --update-api` (and the change thereby shows up in review).
+
+use crate::diag::Diagnostic;
+use crate::source::{SourceFile, Workspace};
+
+use super::Pass;
+
+/// The roots whose `pub` surface is snapshotted, in rendering order:
+/// the facade first, then the library crates in dependency order. The
+/// bench harness and compat shims are not public surface.
+pub const API_ROOTS: &[&str] = &[
+    "src/lib.rs",
+    "crates/crn/src/lib.rs",
+    "crates/chains/src/lib.rs",
+    "crates/core/src/lib.rs",
+    "crates/ode/src/lib.rs",
+    "crates/protocols/src/lib.rs",
+    "crates/engine/src/lib.rs",
+    "crates/sim/src/lib.rs",
+    "crates/server/src/lib.rs",
+    "crates/analyze/src/lib.rs",
+];
+
+/// Path of the checked-in snapshot, relative to the workspace root.
+pub const SNAPSHOT_PATH: &str = "API.txt";
+
+pub struct ApiSnapshot;
+
+impl Pass for ApiSnapshot {
+    fn id(&self) -> &'static str {
+        "api-snapshot"
+    }
+
+    fn description(&self) -> &'static str {
+        "the pub surface of the crate roots must match the checked-in API.txt"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let rendered = render_api(ws);
+        let Some(snapshot) = ws.read_text(SNAPSHOT_PATH) else {
+            return vec![Diagnostic::new(
+                SNAPSHOT_PATH,
+                0,
+                self.id(),
+                "API.txt is missing; generate it with `lv-analyze --update-api`",
+            )];
+        };
+        if snapshot == rendered {
+            return Vec::new();
+        }
+        // Report the first diverging line so the drift is locatable.
+        let mut line = 1usize;
+        let mut have = snapshot.lines();
+        let mut want = rendered.lines();
+        let detail = loop {
+            match (have.next(), want.next()) {
+                (Some(h), Some(w)) if h == w => line += 1,
+                (Some(h), Some(w)) => break format!("line {line}: have `{h}`, want `{w}`"),
+                (Some(h), None) => break format!("line {line}: stale trailing `{h}`"),
+                (None, Some(w)) => break format!("line {line}: missing `{w}`"),
+                (None, None) => break "trailing whitespace differs".to_string(),
+            }
+        };
+        vec![Diagnostic::new(
+            SNAPSHOT_PATH,
+            line,
+            self.id(),
+            format!("public API drifted from snapshot ({detail}); regenerate with `lv-analyze --update-api`"),
+        )]
+    }
+}
+
+/// Renders the canonical API snapshot text for the workspace: one `#`
+/// header per root, one normalized `pub` item per line.
+pub fn render_api(ws: &Workspace) -> String {
+    let mut out = String::new();
+    for rel in API_ROOTS {
+        let Some(file) = ws.file(rel) else { continue };
+        out.push_str("# ");
+        out.push_str(rel);
+        out.push('\n');
+        for item in extract_pub_items(file) {
+            out.push_str(&item);
+            out.push('\n');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Extracts the top-level (brace-depth-0) `pub` items of a file, each
+/// normalized to a single whitespace-collapsed line. `pub use` items run
+/// to their `;` (use-list braces included); everything else is truncated
+/// at its body `{` or terminating `;`.
+fn extract_pub_items(file: &SourceFile) -> Vec<String> {
+    let masked = file.lexed.masked.as_bytes();
+    let mut items = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0;
+    while i < masked.len() {
+        match masked[i] {
+            b'{' => {
+                depth += 1;
+                i += 1;
+            }
+            b'}' => {
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            b'p' if depth == 0 && token_at(masked, i, b"pub") => {
+                let after = i + 3;
+                // Bare `pub ` only: `pub(crate)` and friends are not
+                // public surface.
+                if after < masked.len() && masked[after].is_ascii_whitespace() {
+                    let mut j = after;
+                    while j < masked.len() && masked[j].is_ascii_whitespace() {
+                        j += 1;
+                    }
+                    let is_use = token_at(masked, j, b"use");
+                    let mut k = j;
+                    if is_use {
+                        // `pub use ...;` — use-list braces are balanced,
+                        // so skipping to `;` leaves `depth` correct.
+                        while k < masked.len() && masked[k] != b';' {
+                            k += 1;
+                        }
+                        let end = (k + 1).min(masked.len());
+                        items.push(normalize_span(file, i, end));
+                        i = end;
+                    } else {
+                        while k < masked.len() && masked[k] != b';' && masked[k] != b'{' {
+                            k += 1;
+                        }
+                        let end = if masked.get(k) == Some(&b';') {
+                            k + 1
+                        } else {
+                            k
+                        };
+                        items.push(normalize_span(file, i, end));
+                        // Resume at the delimiter so `{` bodies are depth-
+                        // tracked (and their nested `pub` items skipped).
+                        i = k;
+                    }
+                    continue;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    items
+}
+
+fn token_at(bytes: &[u8], at: usize, token: &[u8]) -> bool {
+    if at + token.len() > bytes.len() || &bytes[at..at + token.len()] != token {
+        return false;
+    }
+    let before_ok = at == 0 || !is_ident(bytes[at - 1]);
+    let after_ok = at + token.len() >= bytes.len() || !is_ident(bytes[at + token.len()]);
+    before_ok && after_ok
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Renders the span `[start, end)` of a file: masked text (comments
+/// elided) with string-literal contents restored from the original, then
+/// whitespace-collapsed.
+fn normalize_span(file: &SourceFile, start: usize, end: usize) -> String {
+    let mut buf: Vec<u8> = file.lexed.masked.as_bytes()[start..end].to_vec();
+    let original = file.text.as_bytes();
+    for lit in &file.lexed.strings {
+        if lit.offset >= start && lit.end <= end {
+            buf[lit.offset - start..lit.end - start]
+                .copy_from_slice(&original[lit.offset..lit.end]);
+        }
+    }
+    String::from_utf8_lossy(&buf)
+        .split_whitespace()
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs".into(), src.into())
+    }
+
+    #[test]
+    fn extracts_top_level_pub_items_only() {
+        let f = parse(
+            "pub use a::{b, c};\npub fn run(x: u32) -> u32 {\n    pub_helper()\n}\n\
+             impl T {\n    pub fn hidden(&self) {}\n}\npub(crate) fn internal() {}\n",
+        );
+        let items = extract_pub_items(&f);
+        assert_eq!(
+            items,
+            vec!["pub use a::{b, c};", "pub fn run(x: u32) -> u32"]
+        );
+    }
+
+    #[test]
+    fn const_string_values_survive() {
+        let f = parse("pub const MAGIC: &str = \"LVS1\";\n");
+        let items = extract_pub_items(&f);
+        assert_eq!(items, vec!["pub const MAGIC: &str = \"LVS1\";"]);
+    }
+
+    #[test]
+    fn comments_inside_signatures_are_elided() {
+        let f = parse("pub fn f(\n    // trailing comment\n    x: u32,\n) -> u32 { x }\n");
+        let items = extract_pub_items(&f);
+        assert_eq!(items, vec!["pub fn f( x: u32, ) -> u32"]);
+    }
+}

@@ -1,0 +1,72 @@
+//! `determinism` — the simulation crates must stay bit-reproducible.
+//!
+//! Forbids iteration-order-unstable collections (`HashMap`, `HashSet`),
+//! wall-clock reads (`Instant`, `SystemTime`), and nondeterministic RNG
+//! construction (`thread_rng`, `from_entropy`) in the deterministic
+//! crates' library code. Test code (`#[cfg(test)]` / `#[test]`) and
+//! `src/bin/` entry points are exempt: they do not sit on a result path.
+
+use crate::diag::Diagnostic;
+use crate::source::Workspace;
+
+use super::{has_ident_token, Pass};
+
+/// Crates whose outputs must be a pure function of (config, seed).
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "crates/core",
+    "crates/crn",
+    "crates/chains",
+    "crates/ode",
+    "crates/protocols",
+    "crates/engine",
+    "crates/sim",
+];
+
+/// Tokens that break determinism, with the reason reported.
+const FORBIDDEN: &[(&str, &str)] = &[
+    ("HashMap", "iteration order is randomized; use `BTreeMap`"),
+    ("HashSet", "iteration order is randomized; use `BTreeSet`"),
+    ("Instant", "wall-clock reads make runs irreproducible"),
+    ("SystemTime", "wall-clock reads make runs irreproducible"),
+    ("thread_rng", "OS-entropy RNG breaks seed reproducibility"),
+    ("from_entropy", "OS-entropy RNG breaks seed reproducibility"),
+];
+
+pub struct Determinism;
+
+impl Pass for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid unordered collections, wall clocks and entropy RNGs in the deterministic crates"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for krate in DETERMINISTIC_CRATES {
+            for file in ws.files_under(krate) {
+                if file.rel.contains("/src/bin/") {
+                    continue;
+                }
+                for (line_no, line) in file.masked_lines() {
+                    if file.is_test_line(line_no) {
+                        continue;
+                    }
+                    for (token, why) in FORBIDDEN {
+                        if has_ident_token(line, token) {
+                            diags.push(Diagnostic::new(
+                                &file.rel,
+                                line_no,
+                                self.id(),
+                                format!("`{token}` in deterministic crate: {why}"),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        diags
+    }
+}

@@ -1,0 +1,141 @@
+//! The pass framework: a [`Pass`] is one invariant checked over the whole
+//! workspace, returning plain diagnostics; the driver in `lib.rs` matches
+//! them against `lv-analyze::allow` annotations afterwards.
+
+use crate::diag::Diagnostic;
+use crate::source::Workspace;
+
+mod api_snapshot;
+mod determinism;
+mod panic_safety;
+mod registry_docs;
+mod rng_discipline;
+mod unsafe_audit;
+
+pub use api_snapshot::{render_api, ApiSnapshot, API_ROOTS, SNAPSHOT_PATH};
+pub use determinism::Determinism;
+pub use panic_safety::PanicSafety;
+pub use registry_docs::RegistryDocs;
+pub use rng_discipline::RngDiscipline;
+pub use unsafe_audit::UnsafeAudit;
+
+/// One workspace invariant.
+pub trait Pass {
+    /// Stable kebab-case id, used in diagnostics and allow annotations.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--help`-style listings.
+    fn description(&self) -> &'static str;
+    /// Checks the invariant, returning every violation found.
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic>;
+}
+
+/// The full built-in pass roster, in reporting order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(Determinism),
+        Box::new(PanicSafety),
+        Box::new(UnsafeAudit),
+        Box::new(RegistryDocs),
+        Box::new(RngDiscipline),
+        Box::new(ApiSnapshot),
+    ]
+}
+
+/// Whether `line` (masked text) contains `token` delimited by
+/// non-identifier characters on both sides.
+pub(crate) fn has_ident_token(line: &str, token: &str) -> bool {
+    let bytes = line.as_bytes();
+    let mut from = 0;
+    while let Some(at) = line[from..].find(token).map(|o| from + o) {
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + token.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + 1;
+    }
+    false
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Finds the next identifier-delimited occurrence of `token` in `text`
+/// at or after `from`, returning its byte offset.
+pub(crate) fn find_ident_token(text: &str, token: &str, from: usize) -> Option<usize> {
+    let bytes = text.as_bytes();
+    let mut search = from;
+    while let Some(at) = text[search..].find(token).map(|o| search + o) {
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let after = at + token.len();
+        let after_ok = after >= bytes.len() || !is_ident_byte(bytes[after]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        search = at + 1;
+    }
+    None
+}
+
+/// Returns the span `(open, close)` of the first `{ ... }` block at or
+/// after `from`: `open` is the offset of `{`, `close` the offset just past
+/// the matching `}`. Call on masked text only (literal braces are blanked).
+pub(crate) fn brace_span(text: &str, from: usize) -> Option<(usize, usize)> {
+    let bytes = text.as_bytes();
+    let open = text[from..].find('{').map(|o| from + o)?;
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, i + 1));
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// 1-based line number of byte `offset` in `text`.
+pub(crate) fn line_of(text: &str, offset: usize) -> usize {
+    text.as_bytes()[..offset.min(text.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ident_token_respects_boundaries() {
+        assert!(has_ident_token("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_ident_token("type MyHashMap = ();", "HashMap"));
+        assert!(!has_ident_token("type HashMapLike = ();", "HashMap"));
+        assert!(has_ident_token("HashMap::new()", "HashMap"));
+    }
+
+    #[test]
+    fn brace_span_matches_nesting() {
+        let text = "fn f() { if x { y } else { z } } fn g() {}";
+        let (open, close) = brace_span(text, 0).unwrap();
+        assert_eq!(&text[open..close], "{ if x { y } else { z } }");
+    }
+
+    #[test]
+    fn line_of_counts_newlines() {
+        let text = "a\nb\nc";
+        assert_eq!(line_of(text, 0), 1);
+        assert_eq!(line_of(text, 2), 2);
+        assert_eq!(line_of(text, 4), 3);
+    }
+}

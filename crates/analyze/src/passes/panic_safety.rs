@@ -1,0 +1,67 @@
+//! `panic-safety` — the serving layer answers errors, it does not die.
+//!
+//! Forbids `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, `todo!` and
+//! `unimplemented!` in `crates/server/src` library code. A panic on the
+//! request path either kills the process or (when caught) silently costs
+//! a whole connection the server could have answered with an error frame.
+//! Test code and `src/bin/` CLIs (whose crash affects only themselves)
+//! are exempt.
+
+use crate::diag::Diagnostic;
+use crate::source::Workspace;
+
+use super::Pass;
+
+/// Patterns are plain substrings: `.unwrap()` and `.expect(` cannot be
+/// confused with identifiers, and the macro names keep their `!`.
+const FORBIDDEN: &[(&str, &str)] = &[
+    (
+        ".unwrap()",
+        "use poison recovery, `?`, or a typed `ServiceError`",
+    ),
+    (
+        ".expect(",
+        "use poison recovery, `?`, or a typed `ServiceError`",
+    ),
+    ("panic!", "return an error frame instead of dying"),
+    ("unreachable!", "return an error frame instead of dying"),
+    ("todo!", "the request path cannot contain stubs"),
+    ("unimplemented!", "the request path cannot contain stubs"),
+];
+
+pub struct PanicSafety;
+
+impl Pass for PanicSafety {
+    fn id(&self) -> &'static str {
+        "panic-safety"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid unwrap/expect/panic on the server request path"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for file in ws.files_under("crates/server/src") {
+            if file.rel.contains("/src/bin/") {
+                continue;
+            }
+            for (line_no, line) in file.masked_lines() {
+                if file.is_test_line(line_no) {
+                    continue;
+                }
+                for (pattern, fix) in FORBIDDEN {
+                    if line.contains(pattern) {
+                        diags.push(Diagnostic::new(
+                            &file.rel,
+                            line_no,
+                            self.id(),
+                            format!("`{pattern}` on the server request path: {fix}"),
+                        ));
+                    }
+                }
+            }
+        }
+        diags
+    }
+}

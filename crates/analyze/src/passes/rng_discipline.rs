@@ -1,0 +1,90 @@
+//! `rng-discipline` — one root seed, one derivation chain.
+//!
+//! Reproducibility at any thread count and worker-pool width rests on a
+//! single discipline: RNG streams are derived *only* through
+//! `Seed::rng_for_trial` from a caller-provided root seed. Constructing
+//! seeds or RNGs ad hoc (`Seed::new(`, `Seed::from(`, `seed_from_u64`,
+//! `thread_rng`, `from_entropy`) anywhere else silently forks the stream
+//! and breaks bit-identity. Legitimate construction sites — user-facing
+//! entry points that accept a root seed, the canonical derivation in
+//! `lv_sim::seed`, and wire-carried seed reconstruction in workers —
+//! carry `lv-analyze::allow` annotations naming the justification.
+//! Test code and `src/bin/` entry points are exempt.
+
+use crate::diag::Diagnostic;
+use crate::source::Workspace;
+
+use super::{has_ident_token, Pass};
+
+/// Where the discipline applies: the facade plus every library crate that
+/// participates in simulation or serving (bench and the compat shims sit
+/// outside the result path).
+const SCOPES: &[&str] = &[
+    "src",
+    "crates/crn",
+    "crates/chains",
+    "crates/core",
+    "crates/ode",
+    "crates/protocols",
+    "crates/engine",
+    "crates/sim",
+    "crates/server",
+    "crates/analyze",
+];
+
+/// Substring patterns (`Seed::new(`) and identifier tokens.
+const SUBSTRINGS: &[&str] = &["Seed::new(", "Seed::from("];
+const IDENTS: &[&str] = &["seed_from_u64", "thread_rng", "from_entropy"];
+
+pub struct RngDiscipline;
+
+impl Pass for RngDiscipline {
+    fn id(&self) -> &'static str {
+        "rng-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "seeds and RNGs are constructed only at annotated derivation sites"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for scope in SCOPES {
+            for file in ws.files_under(scope) {
+                if file.rel.contains("/src/bin/") {
+                    continue;
+                }
+                for (line_no, line) in file.masked_lines() {
+                    if file.is_test_line(line_no) {
+                        continue;
+                    }
+                    for pattern in SUBSTRINGS {
+                        if line.contains(pattern) {
+                            diags.push(self.report(file.rel.clone(), line_no, pattern));
+                        }
+                    }
+                    for token in IDENTS {
+                        if has_ident_token(line, token) {
+                            diags.push(self.report(file.rel.clone(), line_no, token));
+                        }
+                    }
+                }
+            }
+        }
+        diags
+    }
+}
+
+impl RngDiscipline {
+    fn report(&self, file: String, line: usize, pattern: &str) -> Diagnostic {
+        Diagnostic::new(
+            file,
+            line,
+            self.id(),
+            format!(
+                "`{pattern}` outside an annotated derivation site: \
+                 derive streams via `Seed::rng_for_trial` from a caller-provided root seed"
+            ),
+        )
+    }
+}

@@ -1,0 +1,49 @@
+//! `unsafe-audit` — every crate root declares `#![forbid(unsafe_code)]`.
+//!
+//! The workspace is pure safe Rust; `forbid` (not `deny`) means no inner
+//! attribute can re-enable it. The pass checks every `src/lib.rs` in the
+//! tree, compat shims included.
+
+use crate::diag::Diagnostic;
+use crate::source::Workspace;
+
+use super::Pass;
+
+pub struct UnsafeAudit;
+
+impl Pass for UnsafeAudit {
+    fn id(&self) -> &'static str {
+        "unsafe-audit"
+    }
+
+    fn description(&self) -> &'static str {
+        "every crate root must keep #![forbid(unsafe_code)]"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        for file in &ws.files {
+            if !(file.rel == "src/lib.rs" || file.rel.ends_with("/src/lib.rs")) {
+                continue;
+            }
+            // Normalize whitespace so `#! [ forbid( unsafe_code ) ]`
+            // variants still count; scan masked text so a commented-out
+            // attribute does not.
+            let squashed: String = file
+                .lexed
+                .masked
+                .chars()
+                .filter(|c| !c.is_whitespace())
+                .collect();
+            if !squashed.contains("#![forbid(unsafe_code)]") {
+                diags.push(Diagnostic::new(
+                    &file.rel,
+                    1,
+                    self.id(),
+                    "crate root is missing `#![forbid(unsafe_code)]`",
+                ));
+            }
+        }
+        diags
+    }
+}

@@ -1,0 +1,468 @@
+//! Source model: the loaded workspace tree, per-file lexed views,
+//! `#[cfg(test)]` region detection, and `lv-analyze::allow` annotations.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, Lexed};
+
+/// A parsed `// lv-analyze::allow(pass-id, reason = "...")` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// Pass the annotation suppresses.
+    pub pass: String,
+    /// The mandatory human-readable justification.
+    pub reason: String,
+    /// 1-based line the annotation *applies to*: its own line for a
+    /// trailing comment, the next code line for a standalone comment.
+    pub target_line: usize,
+    /// 1-based line the annotation comment itself sits on.
+    pub comment_line: usize,
+}
+
+/// A malformed allow annotation (bad grammar or empty reason). These are
+/// reported by the driver as unsuppressable `allow-grammar` diagnostics.
+#[derive(Debug, Clone)]
+pub struct BadAllow {
+    pub line: usize,
+    pub message: String,
+}
+
+/// One `.rs` file of the workspace, lexed and annotated.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// Raw file contents.
+    pub text: String,
+    /// Lexed view (masked text, comments, string literals).
+    pub lexed: Lexed,
+    /// `test_lines[i]` is true when 1-based line `i + 1` falls inside a
+    /// `#[cfg(test)]` or `#[test]` region.
+    pub test_lines: Vec<bool>,
+    /// Well-formed allow annotations.
+    pub allows: Vec<Allow>,
+    /// Malformed allow annotations.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+impl SourceFile {
+    /// Builds the lexed + annotated view of one file.
+    pub fn parse(rel: String, text: String) -> SourceFile {
+        let lexed = lexer::lex(&text);
+        let test_lines = detect_test_lines(&lexed.masked);
+        let (allows, bad_allows) = parse_allows(&lexed);
+        SourceFile {
+            rel,
+            text,
+            lexed,
+            test_lines,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Whether 1-based `line` is inside a test region.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.test_lines.get(line - 1).copied().unwrap_or(false)
+    }
+
+    /// Lines of the masked text, 1-based iteration helper.
+    pub fn masked_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.lexed
+            .masked
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// The loaded workspace: every `.rs` file under `src/` trees, plus
+/// on-demand access to non-Rust files (README.md, PROTOCOL.md, API.txt).
+#[derive(Debug)]
+pub struct Workspace {
+    /// Workspace root directory.
+    pub root: PathBuf,
+    /// All loaded files, sorted by relative path.
+    pub files: Vec<SourceFile>,
+}
+
+impl Workspace {
+    /// Walks `root` and loads every `.rs` file under a `src/` tree,
+    /// skipping `target`, `.git`, `tests`, `benches` and `examples`
+    /// directories. Files are sorted by relative path so diagnostics are
+    /// emitted in a stable order.
+    pub fn load(root: &Path) -> io::Result<Workspace> {
+        let mut map: BTreeMap<String, String> = BTreeMap::new();
+        walk(root, root, &mut map)?;
+        let files = map
+            .into_iter()
+            .map(|(rel, text)| SourceFile::parse(rel, text))
+            .collect();
+        Ok(Workspace {
+            root: root.to_path_buf(),
+            files,
+        })
+    }
+
+    /// Files whose relative path starts with `prefix` (`/`-separated).
+    pub fn files_under<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a SourceFile> {
+        self.files.iter().filter(move |f| {
+            f.rel == prefix
+                || f.rel
+                    .strip_prefix(prefix)
+                    .is_some_and(|rest| rest.starts_with('/'))
+        })
+    }
+
+    /// Looks up a loaded file by exact relative path.
+    pub fn file(&self, rel: &str) -> Option<&SourceFile> {
+        self.files.iter().find(|f| f.rel == rel)
+    }
+
+    /// Reads a non-Rust file (README.md, PROTOCOL.md, API.txt, ...)
+    /// relative to the root. Returns `None` if it does not exist.
+    pub fn read_text(&self, rel: &str) -> Option<String> {
+        std::fs::read_to_string(self.root.join(rel)).ok()
+    }
+}
+
+fn walk(root: &Path, dir: &Path, map: &mut BTreeMap<String, String>) -> io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if matches!(&*name, "target" | ".git" | "tests" | "benches" | "examples") {
+                continue;
+            }
+            walk(root, &path, map)?;
+        } else if name.ends_with(".rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            // Only files inside a `src/` tree are part of the analyzed
+            // surface; build scripts and stray scripts are out of scope.
+            if rel.split('/').any(|seg| seg == "src") {
+                let text = std::fs::read_to_string(&path)?;
+                map.insert(rel, text);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Marks the lines covered by `#[cfg(test)]` / `#[test]` items. Works on
+/// the masked text: finds each attribute, skips any further attributes and
+/// whitespace, then extends the region over the next braced block (or
+/// through the terminating `;` for block-less items).
+fn detect_test_lines(masked: &str) -> Vec<bool> {
+    let n_lines = masked.lines().count();
+    let mut flags = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+
+    // Byte offset -> 1-based line lookup.
+    let mut line_starts = vec![0usize];
+    for (i, &b) in bytes.iter().enumerate() {
+        if b == b'\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let line_of = |offset: usize| -> usize {
+        match line_starts.binary_search(&offset) {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        }
+    };
+
+    let mut search = 0usize;
+    while let Some(found) = find_test_attr(masked, search) {
+        let (attr_start, mut pos) = found;
+        // Skip any subsequent attributes (e.g. `#[test]\n#[ignore]`) and
+        // whitespace before the item itself.
+        loop {
+            while pos < bytes.len() && bytes[pos].is_ascii_whitespace() {
+                pos += 1;
+            }
+            if pos < bytes.len() && bytes[pos] == b'#' {
+                // Another attribute: skip its bracketed payload.
+                pos += 1;
+                if pos < bytes.len() && bytes[pos] == b'[' {
+                    let mut depth = 0usize;
+                    while pos < bytes.len() {
+                        match bytes[pos] {
+                            b'[' => depth += 1,
+                            b']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    pos += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        pos += 1;
+                    }
+                    continue;
+                }
+            }
+            break;
+        }
+        // The item: region runs to the matching close of its first `{`,
+        // or through a `;` if one comes first (e.g. `#[cfg(test)] use ...;`).
+        let mut end = pos;
+        let mut depth = 0usize;
+        let mut entered = false;
+        while end < bytes.len() {
+            match bytes[end] {
+                b'{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if entered && depth == 0 {
+                        end += 1;
+                        break;
+                    }
+                }
+                b';' if !entered => {
+                    end += 1;
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        let first = line_of(attr_start);
+        let last = line_of(end.saturating_sub(1).max(attr_start));
+        for line in first..=last.min(n_lines) {
+            flags[line - 1] = true;
+        }
+        search = end.max(attr_start + 1);
+    }
+    flags
+}
+
+/// Finds the next `#[cfg(test)]` or `#[test]` attribute at or after
+/// `from`, returning (start offset, offset just past the attribute).
+fn find_test_attr(masked: &str, from: usize) -> Option<(usize, usize)> {
+    let bytes = masked.as_bytes();
+    let mut i = from;
+    while i < bytes.len() {
+        let next = masked[i..].find('#').map(|o| i + o)?;
+        // Parse `#[ ... ]` and normalize its contents.
+        let mut j = next + 1;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if j >= bytes.len() || bytes[j] != b'[' {
+            i = next + 1;
+            continue;
+        }
+        let open = j;
+        let mut depth = 0usize;
+        let mut close = open;
+        while close < bytes.len() {
+            match bytes[close] {
+                b'[' => depth += 1,
+                b']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        if close >= bytes.len() {
+            return None;
+        }
+        let inner: String = masked[open + 1..close]
+            .chars()
+            .filter(|c| !c.is_whitespace())
+            .collect();
+        if inner == "test" || inner.starts_with("cfg(test)") || inner.starts_with("cfg(test,") {
+            return Some((next, close + 1));
+        }
+        i = next + 1;
+    }
+    None
+}
+
+/// Extracts well- and ill-formed `lv-analyze::allow` annotations from the
+/// collected comments. The grammar is
+/// `// lv-analyze::allow(pass-id, reason = "...")`; the reason string is
+/// mandatory and must be non-empty. A trailing comment targets its own
+/// line; a standalone comment targets the next line that carries code
+/// (skipping blank/comment-only lines, so annotations can stack).
+fn parse_allows(lexed: &Lexed) -> (Vec<Allow>, Vec<BadAllow>) {
+    const MARKER: &str = "lv-analyze::allow";
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+
+    // Lines that carry real (masked) code, for standalone-comment target
+    // resolution.
+    let code_lines: Vec<bool> = lexed.masked.lines().map(|l| !l.trim().is_empty()).collect();
+
+    for comment in &lexed.comments {
+        // The marker must open the comment (`// lv-analyze::allow(...)`);
+        // prose that merely *mentions* the marker mid-sentence or in
+        // backticks is not an annotation.
+        let content = comment.text.trim_start_matches('/');
+        let content = content.strip_prefix('!').unwrap_or(content).trim_start();
+        let Some(after) = content.strip_prefix(MARKER) else {
+            continue;
+        };
+        match parse_allow_args(after) {
+            Ok((pass, reason)) => {
+                let target_line = if comment.trailing {
+                    comment.line
+                } else {
+                    // Next line with code. Annotation comments themselves
+                    // are masked blank, so stacked annotations all resolve
+                    // to the same code line.
+                    (comment.line..code_lines.len())
+                        .find(|&idx| code_lines[idx])
+                        .map(|idx| idx + 1)
+                        .unwrap_or(comment.line)
+                };
+                allows.push(Allow {
+                    pass,
+                    reason,
+                    target_line,
+                    comment_line: comment.line,
+                });
+            }
+            Err(message) => bad.push(BadAllow {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `(pass-id, reason = "...")` after the marker.
+fn parse_allow_args(after: &str) -> Result<(String, String), String> {
+    let after = after.trim_start();
+    let Some(rest) = after.strip_prefix('(') else {
+        return Err("expected `(` after `lv-analyze::allow`".to_string());
+    };
+    let Some(close) = rest.rfind(')') else {
+        return Err("unclosed `lv-analyze::allow(...)`".to_string());
+    };
+    let inner = &rest[..close];
+    let Some(comma) = inner.find(',') else {
+        return Err("expected `lv-analyze::allow(pass-id, reason = \"...\")`".to_string());
+    };
+    let pass = inner[..comma].trim();
+    if pass.is_empty() || !pass.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'-') {
+        return Err(format!("invalid pass id `{pass}`"));
+    }
+    let reason_part = inner[comma + 1..].trim();
+    let Some(eq_rest) = reason_part.strip_prefix("reason") else {
+        return Err("expected `reason = \"...\"`".to_string());
+    };
+    let eq_rest = eq_rest.trim_start();
+    let Some(val) = eq_rest.strip_prefix('=') else {
+        return Err("expected `=` after `reason`".to_string());
+    };
+    let val = val.trim();
+    let Some(stripped) = val.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+        return Err("reason must be a double-quoted string".to_string());
+    };
+    if stripped.trim().is_empty() {
+        return Err("reason must be non-empty".to_string());
+    }
+    Ok((pass.to_string(), stripped.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_regions_cover_mod_tests() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn after() {}\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attr_with_following_attrs() {
+        let src = "#[test]\n#[ignore]\nfn t() {\n    let x = 1;\n}\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        for line in 1..=5 {
+            assert!(f.is_test_line(line), "line {line}");
+        }
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_use_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::fmt;\nfn live() {}\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert!(f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn trailing_allow_targets_own_line() {
+        let src =
+            "let m = make(); // lv-analyze::allow(determinism, reason = \"ordered downstream\")\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].pass, "determinism");
+        assert_eq!(f.allows[0].target_line, 1);
+        assert!(f.bad_allows.is_empty());
+    }
+
+    #[test]
+    fn standalone_allow_targets_next_code_line() {
+        let src = "// lv-analyze::allow(rng-discipline, reason = \"root seed entry point\")\n\nlet s = seed();\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].target_line, 3);
+    }
+
+    #[test]
+    fn stacked_allows_share_a_target() {
+        let src = "// lv-analyze::allow(determinism, reason = \"a\")\n// lv-analyze::allow(rng-discipline, reason = \"b\")\nlet s = seed();\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].target_line, 3);
+        assert_eq!(f.allows[1].target_line, 3);
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let src = "// lv-analyze::allow(determinism, reason = \"\")\nlet x = 1;\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert!(f.allows.is_empty());
+        assert_eq!(f.bad_allows.len(), 1);
+        assert!(f.bad_allows[0].message.contains("non-empty"));
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let src = "// lv-analyze::allow(determinism)\nlet x = 1;\n";
+        let f = SourceFile::parse("x.rs".into(), src.into());
+        assert!(f.allows.is_empty());
+        assert_eq!(f.bad_allows.len(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! End-to-end exit-code tests: each pass has a `bad` fixture tree the
+//! binary must reject (exit 1, naming the pass) and a `clean` tree it
+//! must accept (exit 0) — and the repository itself must be clean.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_root(pass: &str, kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(pass)
+        .join(kind)
+}
+
+fn analyze(root: &Path, passes: &[&str], extra: &[&str]) -> Output {
+    let mut command = Command::new(env!("CARGO_BIN_EXE_lv-analyze"));
+    command.arg("--root").arg(root);
+    for pass in passes {
+        command.arg("--pass").arg(pass);
+    }
+    command.args(extra);
+    command.output().expect("lv-analyze should spawn")
+}
+
+/// Runs the given passes over both fixture trees of `pass`: the bad tree
+/// must fail mentioning `[{pass}]`, the clean tree must pass.
+fn assert_pass_fixtures(pass: &str, run_passes: &[&str]) {
+    let bad = analyze(&fixture_root(pass, "bad"), run_passes, &[]);
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert_eq!(
+        bad.status.code(),
+        Some(1),
+        "{pass}/bad must exit 1; stdout:\n{stdout}"
+    );
+    assert!(
+        stdout.contains(&format!("[{pass}]")),
+        "{pass}/bad diagnostics must name the pass; stdout:\n{stdout}"
+    );
+
+    let clean = analyze(&fixture_root(pass, "clean"), run_passes, &[]);
+    let stdout = String::from_utf8_lossy(&clean.stdout).to_string();
+    assert_eq!(
+        clean.status.code(),
+        Some(0),
+        "{pass}/clean must exit 0; stdout:\n{stdout}"
+    );
+}
+
+#[test]
+fn determinism_fixtures() {
+    assert_pass_fixtures("determinism", &["determinism"]);
+}
+
+#[test]
+fn panic_safety_fixtures() {
+    assert_pass_fixtures("panic-safety", &["panic-safety"]);
+}
+
+#[test]
+fn unsafe_audit_fixtures() {
+    assert_pass_fixtures("unsafe-audit", &["unsafe-audit"]);
+}
+
+#[test]
+fn registry_docs_fixtures() {
+    assert_pass_fixtures("registry-docs", &["registry-docs"]);
+    // The bad tree reports all three catalogue kinds: name, alias, code.
+    let bad = analyze(
+        &fixture_root("registry-docs", "bad"),
+        &["registry-docs"],
+        &[],
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(stdout.contains("demo-backend"), "missing name:\n{stdout}");
+    assert!(stdout.contains("demo-alias"), "missing alias:\n{stdout}");
+    assert!(stdout.contains("missing-code"), "missing code:\n{stdout}");
+}
+
+#[test]
+fn rng_discipline_fixtures() {
+    assert_pass_fixtures("rng-discipline", &["rng-discipline"]);
+}
+
+#[test]
+fn api_snapshot_fixtures() {
+    assert_pass_fixtures("api-snapshot", &["api-snapshot"]);
+}
+
+/// Allow-annotation grammar rides along with whichever passes run: a
+/// reason-less or empty-reason annotation and a stale annotation are
+/// violations; well-formed trailing and standalone annotations suppress.
+#[test]
+fn allow_grammar_fixtures() {
+    let bad = analyze(&fixture_root("allow-grammar", "bad"), &["determinism"], &[]);
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert_eq!(bad.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("[allow-grammar]"),
+        "malformed annotations must be reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("stale"),
+        "stale allow must be reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[determinism]"),
+        "a malformed allow must not suppress the diagnostic:\n{stdout}"
+    );
+
+    let clean = analyze(
+        &fixture_root("allow-grammar", "clean"),
+        &["determinism"],
+        &[],
+    );
+    let stdout = String::from_utf8_lossy(&clean.stdout).to_string();
+    assert_eq!(clean.status.code(), Some(0), "stdout:\n{stdout}");
+}
+
+/// `--pass` selection must not misreport other passes' annotations as
+/// stale: the rng-discipline clean tree carries an rng allow, and running
+/// only determinism over it stays clean.
+#[test]
+fn pass_selection_ignores_foreign_allows() {
+    let out = analyze(
+        &fixture_root("rng-discipline", "clean"),
+        &["determinism"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn json_format_reports_violations() {
+    let out = analyze(
+        &fixture_root("determinism", "bad"),
+        &["determinism"],
+        &["--format", "json"],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(1));
+    assert!(stdout.contains("\"clean\":false"), "json body:\n{stdout}");
+    assert!(
+        stdout.contains("\"pass\":\"determinism\""),
+        "json body:\n{stdout}"
+    );
+}
+
+#[test]
+fn unknown_pass_is_a_usage_error() {
+    let out = analyze(
+        &fixture_root("determinism", "clean"),
+        &["no-such-pass"],
+        &[],
+    );
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// The gate this whole crate exists for: the repository tree itself is
+/// clean under every pass.
+#[test]
+fn repository_tree_is_clean() {
+    let repo = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf();
+    let out = analyze(&repo, &[], &[]);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "repository must be lv-analyze clean;\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+}

@@ -1,0 +1,9 @@
+use std::collections::HashMap; // lv-analyze::allow(determinism)
+
+pub fn empty_reason() {} // lv-analyze::allow(determinism, reason = "")
+
+pub fn stale() {} // lv-analyze::allow(determinism, reason = "this line triggers nothing, so the allow is stale")
+
+pub fn tally() -> HashMap<u64, u64> {
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+use std::collections::HashMap; // lv-analyze::allow(determinism, reason = "fixture: trailing-form annotation suppresses its own line")
+
+// lv-analyze::allow(determinism, reason = "fixture: standalone-form annotation targets the next code line")
+use std::collections::HashSet;
+
+pub fn touch() -> (HashMap<u64, u64>, HashSet<u64>) { // lv-analyze::allow(determinism, reason = "fixture: one annotation suppresses every same-pass diagnostic on its line")
+    Default::default()
+}

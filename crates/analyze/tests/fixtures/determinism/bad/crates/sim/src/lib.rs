@@ -1,0 +1,9 @@
+use std::collections::HashMap;
+
+pub fn tally(items: &[u64]) -> HashMap<u64, u64> {
+    let mut counts = HashMap::new();
+    for &item in items {
+        *counts.entry(item).or_insert(0) += 1;
+    }
+    counts
+}

@@ -1,0 +1,20 @@
+use std::collections::BTreeMap;
+
+pub fn tally(items: &[u64]) -> BTreeMap<u64, u64> {
+    let mut counts = BTreeMap::new();
+    for &item in items {
+        *counts.entry(item).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code is exempt: this HashMap must not be reported.
+    use std::collections::HashMap;
+
+    #[test]
+    fn exempt() {
+        let _ = HashMap::<u64, u64>::new();
+    }
+}

@@ -1,0 +1,14 @@
+pub fn answer(input: Option<u64>) -> u64 {
+    input.unwrap()
+}
+
+pub fn announce(input: Option<u64>) -> u64 {
+    input.expect("the caller always passes Some")
+}
+
+pub fn dispatch(tag: &str) -> u64 {
+    match tag {
+        "status" => 1,
+        _ => unreachable!("unknown tag"),
+    }
+}

@@ -1,0 +1,19 @@
+pub fn answer(input: Option<u64>) -> Result<u64, String> {
+    input.ok_or_else(|| "missing input".to_string())
+}
+
+pub fn dispatch(tag: &str) -> Result<u64, String> {
+    match tag {
+        "status" => Ok(1),
+        other => Err(format!("unknown tag {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_unwrap() {
+        let value: Option<u64> = Some(3);
+        assert_eq!(value.unwrap(), 3);
+    }
+}

@@ -1,0 +1,15 @@
+pub struct ServiceError {
+    code: String,
+}
+
+impl ServiceError {
+    pub fn new(code: &str) -> Self {
+        ServiceError {
+            code: code.to_string(),
+        }
+    }
+
+    pub fn undocumented() -> Self {
+        ServiceError::new("missing-code")
+    }
+}

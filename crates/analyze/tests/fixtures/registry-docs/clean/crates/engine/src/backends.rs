@@ -1,0 +1,11 @@
+pub struct DemoBackend;
+
+impl DemoBackend {
+    fn name(&self) -> &'static str {
+        "demo-backend"
+    }
+
+    fn aliases(&self) -> &'static [&'static str] {
+        &["demo-alias"]
+    }
+}

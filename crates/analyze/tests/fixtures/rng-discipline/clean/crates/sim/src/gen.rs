@@ -1,0 +1,7 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn fresh_stream(seed: u64) -> StdRng {
+    // lv-analyze::allow(rng-discipline, reason = "fixture: a sanctioned derivation site with a documented justification")
+    StdRng::seed_from_u64(seed)
+}

@@ -1,0 +1,5 @@
+//! A crate root with the mandatory forbid attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

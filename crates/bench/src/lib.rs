@@ -6,6 +6,8 @@
 //! `src/bin/experiments.rs` is the harness that regenerates the actual tables
 //! and series reported in EXPERIMENTS.md.
 
+#![forbid(unsafe_code)]
+
 use lv_sim::experiments::ExperimentConfig;
 use lv_sim::Seed;
 

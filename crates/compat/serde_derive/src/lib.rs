@@ -11,6 +11,8 @@
 //! Generic types are rejected with a clear error, as in the original no-op
 //! shim: none of the deriving types in this workspace are generic.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// What the derive input looks like, as far as codegen cares.

@@ -21,7 +21,7 @@
 //! bit-exact" agreement contract of the batched execution mode.
 
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// Arguments below this bound resolve `ln n!` by table lookup — sized so
@@ -315,8 +315,8 @@ impl BatchLengthSampler {
     ///
     /// Panics if `n < 2`.
     pub fn shared(n: u64) -> Arc<BatchLengthSampler> {
-        static CACHE: OnceLock<Mutex<HashMap<u64, Arc<BatchLengthSampler>>>> = OnceLock::new();
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        static CACHE: OnceLock<Mutex<BTreeMap<u64, Arc<BatchLengthSampler>>>> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
         let mut map = cache.lock().unwrap_or_else(|poison| poison.into_inner());
         if map.len() > 256 && !map.contains_key(&n) {
             map.clear();

@@ -12,7 +12,7 @@
 use crate::spec::ScenarioSpec;
 use lv_engine::wilson;
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// One cell's accumulated tally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -59,9 +59,14 @@ pub struct Interpolated {
 }
 
 /// The memoized threshold surface.
+///
+/// Entries live in a `BTreeMap` so iteration — and with it snapshot
+/// serialization — is ordered by fingerprint: two snapshots of surfaces
+/// holding the same cells are byte-identical regardless of the order the
+/// cells were banked in.
 #[derive(Debug, Default)]
 pub struct ThresholdSurface {
-    entries: HashMap<u64, SurfaceEntry>,
+    entries: BTreeMap<u64, SurfaceEntry>,
 }
 
 /// A serializable snapshot of the whole surface (satellite of the
@@ -114,7 +119,10 @@ impl ThresholdSurface {
             .copied()
     }
 
-    /// Banks `add_successes / add_trials` fresh trials into a cell.
+    /// Banks `add_successes / add_trials` fresh trials into a cell,
+    /// returning the cell's updated tally (so callers need no follow-up
+    /// `cell()` lookup that would force them to handle an impossible
+    /// `None`).
     pub fn record(
         &mut self,
         fingerprint: u64,
@@ -123,7 +131,7 @@ impl ThresholdSurface {
         gap: u64,
         add_successes: u64,
         add_trials: u64,
-    ) {
+    ) -> CellStats {
         let entry = self
             .entries
             .entry(fingerprint)
@@ -134,6 +142,7 @@ impl ThresholdSurface {
         let cell = entry.cells.entry((n, gap)).or_default();
         cell.successes += add_successes;
         cell.trials += add_trials;
+        *cell
     }
 
     /// Number of distinct fingerprints.
@@ -193,30 +202,27 @@ impl ThresholdSurface {
         })
     }
 
-    /// Serializes the whole surface.
+    /// Serializes the whole surface. Entry and cell order both come from
+    /// ordered maps, so equal surfaces serialize to equal bytes.
     pub fn snapshot(&self, schema_version: u32) -> SurfaceSnapshot {
-        let mut fingerprints: Vec<u64> = self.entries.keys().copied().collect();
-        fingerprints.sort_unstable();
         SurfaceSnapshot {
             schema_version,
-            entries: fingerprints
-                .into_iter()
-                .map(|fp| {
-                    let entry = &self.entries[&fp];
-                    SnapshotEntry {
-                        fingerprint: format!("{fp:016x}"),
-                        spec: entry.spec.clone(),
-                        cells: entry
-                            .cells
-                            .iter()
-                            .map(|(&(n, gap), cell)| SnapshotCell {
-                                n,
-                                gap,
-                                successes: cell.successes,
-                                trials: cell.trials,
-                            })
-                            .collect(),
-                    }
+            entries: self
+                .entries
+                .iter()
+                .map(|(&fp, entry)| SnapshotEntry {
+                    fingerprint: format!("{fp:016x}"),
+                    spec: entry.spec.clone(),
+                    cells: entry
+                        .cells
+                        .iter()
+                        .map(|(&(n, gap), cell)| SnapshotCell {
+                            n,
+                            gap,
+                            successes: cell.successes,
+                            trials: cell.trials,
+                        })
+                        .collect(),
                 })
                 .collect(),
         }
@@ -320,6 +326,58 @@ mod tests {
         assert_eq!(restored.cell(fp, 100, 4), surface.cell(fp, 100, 4));
         assert_eq!(restored.cell(fp, 200, 8), surface.cell(fp, 200, 8));
         assert_eq!(restored.total_trials(), 48);
+    }
+
+    #[test]
+    fn snapshot_bytes_are_insertion_order_independent() {
+        let spec_a = spec();
+        let spec_b = ScenarioSpec::two_species(
+            LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+            "gillespie-direct",
+        );
+        let (fp_a, fp_b) = (spec_a.fingerprint(), spec_b.fingerprint());
+        let cells: Vec<(u64, &ScenarioSpec, u64, u64, u64, u64)> = vec![
+            (fp_a, &spec_a, 100, 4, 10, 16),
+            (fp_a, &spec_a, 200, 8, 30, 32),
+            (fp_b, &spec_b, 100, 4, 7, 16),
+            (fp_b, &spec_b, 400, 2, 1, 4),
+        ];
+        let mut forward = ThresholdSurface::new();
+        for &(fp, spec, n, gap, s, t) in &cells {
+            forward.record(fp, spec, n, gap, s, t);
+        }
+        let mut reverse = ThresholdSurface::new();
+        for &(fp, spec, n, gap, s, t) in cells.iter().rev() {
+            reverse.record(fp, spec, n, gap, s, t);
+        }
+        let bytes_forward = serde::json::to_string(&forward.snapshot(1));
+        let bytes_reverse = serde::json::to_string(&reverse.snapshot(1));
+        assert_eq!(
+            bytes_forward, bytes_reverse,
+            "snapshot bytes depend on insertion order"
+        );
+        // And two writes of the *same* surface are byte-identical too.
+        assert_eq!(bytes_forward, serde::json::to_string(&forward.snapshot(1)));
+    }
+
+    #[test]
+    fn record_returns_the_updated_tally() {
+        let mut surface = ThresholdSurface::new();
+        let fp = spec().fingerprint();
+        assert_eq!(
+            surface.record(fp, &spec(), 100, 4, 10, 16),
+            CellStats {
+                successes: 10,
+                trials: 16
+            }
+        );
+        assert_eq!(
+            surface.record(fp, &spec(), 100, 4, 5, 8),
+            CellStats {
+                successes: 15,
+                trials: 24
+            }
+        );
     }
 
     #[test]

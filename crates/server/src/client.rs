@@ -47,7 +47,7 @@ impl<S: Read + Write> Client<S> {
         Ok(read_message(&mut self.stream, MAX_FRAME_BYTES)?)
     }
 
-    fn expect<T>(
+    fn round_trip<T>(
         &mut self,
         request: Request,
         extract: impl FnOnce(Response) -> Option<T>,
@@ -61,7 +61,7 @@ impl<S: Read + Write> Client<S> {
 
     /// Estimates one `(n, gap)` cell.
     pub fn estimate(&mut self, request: EstimateRequest) -> Result<EstimateResponse, ServiceError> {
-        self.expect(Request::Estimate(request), |r| match r {
+        self.round_trip(Request::Estimate(request), |r| match r {
             Response::Estimate(inner) => Some(inner),
             _ => None,
         })
@@ -72,7 +72,7 @@ impl<S: Read + Write> Client<S> {
         &mut self,
         request: ThresholdRequest,
     ) -> Result<ThresholdResponse, ServiceError> {
-        self.expect(Request::Threshold(request), |r| match r {
+        self.round_trip(Request::Threshold(request), |r| match r {
             Response::Threshold(inner) => Some(inner),
             _ => None,
         })
@@ -80,7 +80,7 @@ impl<S: Read + Write> Client<S> {
 
     /// Sweeps a lattice of cells.
     pub fn sweep(&mut self, request: SweepRequest) -> Result<SurfaceResponse, ServiceError> {
-        self.expect(Request::SweepSurface(request), |r| match r {
+        self.round_trip(Request::SweepSurface(request), |r| match r {
             Response::Surface(inner) => Some(inner),
             _ => None,
         })
@@ -88,7 +88,7 @@ impl<S: Read + Write> Client<S> {
 
     /// Reads server status.
     pub fn status(&mut self) -> Result<StatusResponse, ServiceError> {
-        self.expect(Request::Status, |r| match r {
+        self.round_trip(Request::Status, |r| match r {
             Response::Status(inner) => Some(inner),
             _ => None,
         })
@@ -96,7 +96,7 @@ impl<S: Read + Write> Client<S> {
 
     /// Reads cache counters.
     pub fn cache_stats(&mut self) -> Result<CacheStatsResponse, ServiceError> {
-        self.expect(Request::CacheStats, |r| match r {
+        self.round_trip(Request::CacheStats, |r| match r {
             Response::CacheStats(inner) => Some(inner),
             _ => None,
         })
@@ -104,7 +104,7 @@ impl<S: Read + Write> Client<S> {
 
     /// Asks the server to drain and exit.
     pub fn shutdown(&mut self) -> Result<(), ServiceError> {
-        self.expect(Request::Shutdown, |r| match r {
+        self.round_trip(Request::Shutdown, |r| match r {
             Response::ShuttingDown => Some(()),
             _ => None,
         })

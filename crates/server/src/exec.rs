@@ -18,6 +18,7 @@
 use crate::error::ServiceError;
 use crate::proto::{Hello, RunOutcome, RunRange};
 use crate::spec::ScenarioSpec;
+use crate::sync;
 use crate::wire::{read_message, write_message, WireError, MAX_FRAME_BYTES};
 use lv_engine::stream::{ReportStream, StreamConfig};
 use lv_sim::{GapScenario, Seed};
@@ -162,8 +163,22 @@ impl WorkerPool {
         let mut child = command
             .spawn()
             .map_err(|e| ServiceError::new("worker", format!("spawn failed: {e}")))?;
-        let mut stdin = child.stdin.take().expect("piped stdin");
-        let mut stdout = child.stdout.take().expect("piped stdout");
+        let Some(mut stdin) = child.stdin.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ServiceError::new(
+                "worker",
+                "spawned worker has no piped stdin",
+            ));
+        };
+        let Some(mut stdout) = child.stdout.take() else {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err(ServiceError::new(
+                "worker",
+                "spawned worker has no piped stdout",
+            ));
+        };
         let handshake = (|| -> Result<(), WireError> {
             write_message(&mut stdin, &Hello::current())?;
             let hello: Hello = read_message(&mut stdout, MAX_FRAME_BYTES)?;
@@ -239,12 +254,12 @@ impl TrialExecutor for WorkerPool {
                     let mut conn = match self.spawn_worker(index) {
                         Ok(conn) => conn,
                         Err(e) => {
-                            failures.lock().unwrap().push(e);
+                            sync::lock(failures).push(e);
                             return;
                         }
                     };
                     loop {
-                        let range = match queue.lock().unwrap().pop_front() {
+                        let range = match sync::lock(queue).pop_front() {
                             Some((chunk_lo, chunk_hi)) => RunRange {
                                 spec: spec.clone(),
                                 n,
@@ -257,24 +272,21 @@ impl TrialExecutor for WorkerPool {
                         };
                         match conn.run(&range) {
                             Ok(outcome) => match outcome.decode() {
-                                Ok(bits) => done.lock().unwrap().push((range.lo, bits)),
+                                Ok(bits) => sync::lock(done).push((range.lo, bits)),
                                 Err(e) => {
                                     // The worker reported a semantic error;
                                     // a retry would deterministically fail
                                     // the same way, so surface it.
-                                    queue.lock().unwrap().push_front((range.lo, range.hi));
-                                    failures.lock().unwrap().push(e);
+                                    sync::lock(queue).push_front((range.lo, range.hi));
+                                    sync::lock(failures).push(e);
                                     return;
                                 }
                             },
                             Err(e) => {
                                 // The worker died mid-range: requeue the
                                 // chunk for the survivors and bow out.
-                                queue.lock().unwrap().push_back((range.lo, range.hi));
-                                failures
-                                    .lock()
-                                    .unwrap()
-                                    .push(ServiceError::new("worker", e));
+                                sync::lock(queue).push_back((range.lo, range.hi));
+                                sync::lock(failures).push(ServiceError::new("worker", e));
                                 return;
                             }
                         }
@@ -283,10 +295,10 @@ impl TrialExecutor for WorkerPool {
             }
         });
 
-        let mut pieces = done.into_inner().unwrap();
+        let mut pieces = sync::into_inner(done);
         let collected: u64 = pieces.iter().map(|(_, bits)| bits.len() as u64).sum();
         if collected < total {
-            let failures = failures.into_inner().unwrap();
+            let failures = sync::into_inner(failures);
             let detail = failures
                 .first()
                 .map(|e| e.to_string())
@@ -351,6 +363,7 @@ pub fn run_worker(threads: usize) -> Result<(), ServiceError> {
             &range.spec,
             range.n,
             range.gap,
+            // lv-analyze::allow(rng-discipline, reason = "reconstructs the pool's wire-carried root seed verbatim; the worker derives no seed of its own")
             Seed::new(range.seed),
             range.lo,
             range.hi,

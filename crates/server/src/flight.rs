@@ -8,7 +8,8 @@
 //! exactly one — followers wake to find the cache already tight and serve
 //! it without fresh work.
 
-use std::collections::HashMap;
+use crate::sync;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Default)]
@@ -19,7 +20,9 @@ struct KeyState {
 
 #[derive(Default)]
 struct Inner {
-    keys: Mutex<HashMap<u64, KeyState>>,
+    // Ordered map: iteration and drop behaviour stay deterministic, and
+    // the table never observes randomized hashing.
+    keys: Mutex<BTreeMap<u64, KeyState>>,
     wake: Condvar,
 }
 
@@ -42,16 +45,19 @@ impl SingleFlight {
         SingleFlight::default()
     }
 
-    /// Acquires `key`, blocking while another guard holds it.
+    /// Acquires `key`, blocking while another guard holds it. A panic in
+    /// some other request's handler (a poisoned table lock) does not
+    /// propagate here: the table's bookkeeping is valid at every instant,
+    /// so acquisition recovers the lock and proceeds.
     pub fn acquire(&self, key: u64) -> FlightGuard {
-        let mut keys = self.inner.keys.lock().unwrap();
+        let mut keys = sync::lock(&self.inner.keys);
         keys.entry(key).or_default().refs += 1;
         let mut waited = false;
         while keys.get(&key).is_some_and(|state| state.busy) {
             waited = true;
-            keys = self.inner.wake.wait(keys).unwrap();
+            keys = sync::wait(&self.inner.wake, keys);
         }
-        keys.get_mut(&key).unwrap().busy = true;
+        keys.entry(key).or_default().busy = true;
         FlightGuard {
             inner: Arc::clone(&self.inner),
             key,
@@ -70,12 +76,13 @@ impl FlightGuard {
 
 impl Drop for FlightGuard {
     fn drop(&mut self) {
-        let mut keys = self.inner.keys.lock().unwrap();
-        let state = keys.get_mut(&self.key).unwrap();
-        state.busy = false;
-        state.refs -= 1;
-        if state.refs == 0 {
-            keys.remove(&self.key);
+        let mut keys = sync::lock(&self.inner.keys);
+        if let Some(state) = keys.get_mut(&self.key) {
+            state.busy = false;
+            state.refs = state.refs.saturating_sub(1);
+            if state.refs == 0 {
+                keys.remove(&self.key);
+            }
         }
         drop(keys);
         self.inner.wake.notify_all();
@@ -105,6 +112,26 @@ mod tests {
         let b = flight.acquire(2);
         assert!(!a.waited());
         assert!(!b.waited());
+    }
+
+    #[test]
+    fn poisoned_table_still_serves_later_acquisitions() {
+        let flight = SingleFlight::new();
+        let poisoner = flight.clone();
+        let _ = thread::spawn(move || {
+            let _keys = poisoner.inner.keys.lock().unwrap();
+            panic!("poison the flight table");
+        })
+        .join();
+        assert!(flight.inner.keys.is_poisoned());
+        let guard = flight.acquire(3);
+        assert!(!guard.waited());
+        drop(guard);
+        assert!(flight.inner.keys.lock().is_err(), "still poisoned");
+        assert!(
+            !flight.acquire(3).waited(),
+            "key fully released despite poison"
+        );
     }
 
     #[test]

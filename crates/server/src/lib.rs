@@ -23,6 +23,8 @@
 //! memoized request brain) → [`server`]/[`client`] (sockets). See
 //! `PROTOCOL.md` for the wire contract.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod client;
 pub mod error;
@@ -32,6 +34,7 @@ pub mod proto;
 pub mod server;
 pub mod service;
 pub mod spec;
+pub mod sync;
 pub mod wire;
 
 pub use cache::{CellStats, SurfaceSnapshot, ThresholdSurface};

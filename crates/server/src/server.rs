@@ -140,7 +140,7 @@ impl Server {
                     let handle = std::thread::spawn(move || {
                         serve_connection(conn, &service, &stop);
                     });
-                    let mut workers = workers.lock().unwrap();
+                    let mut workers = crate::sync::lock(&workers);
                     workers.push(handle);
                     workers.retain(|h| !h.is_finished());
                 }
@@ -148,7 +148,7 @@ impl Server {
             }
         }
         // Drain: every accepted connection finishes its in-flight work.
-        for handle in workers.into_inner().unwrap() {
+        for handle in crate::sync::into_inner(workers) {
             let _ = handle.join();
         }
         if let Some(path) = &self.snapshot_path {

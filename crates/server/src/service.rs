@@ -29,6 +29,7 @@ use crate::proto::{
     SCHEMA_VERSION,
 };
 use crate::spec::ScenarioSpec;
+use crate::sync;
 use lv_engine::wilson;
 use lv_sim::{GapProbe, GapScenario, Seed, ThresholdResult};
 use std::collections::BTreeMap;
@@ -98,18 +99,19 @@ impl ThresholdService {
     /// Warm-starts the cache from a snapshot (mismatched records are
     /// dropped by [`ThresholdSurface::restore`]).
     pub fn with_snapshot(self, snapshot: &SurfaceSnapshot) -> Self {
-        *self.surface.lock().unwrap() = ThresholdSurface::restore(snapshot);
+        *sync::lock(&self.surface) = ThresholdSurface::restore(snapshot);
         self
     }
 
     /// Serializes the current cache.
     pub fn snapshot(&self) -> SurfaceSnapshot {
-        self.surface.lock().unwrap().snapshot(SCHEMA_VERSION)
+        sync::lock(&self.surface).snapshot(SCHEMA_VERSION)
     }
 
     /// The deterministic RNG root of one cell, derived from the spec
     /// fingerprint only — request parameters never shift trial streams.
     fn cell_seed(fingerprint: u64, n: u64, gap: u64) -> Seed {
+        // lv-analyze::allow(rng-discipline, reason = "the canonical cell-seed derivation site: the root seed is the spec fingerprint itself, so every request type and server restart shares one stream per cell")
         Seed::new(fingerprint)
             .derive("surface")
             .derive(&format!("n={n}"))
@@ -129,9 +131,7 @@ impl ThresholdService {
     }
 
     fn cell(&self, fingerprint: u64, n: u64, gap: u64) -> CellStats {
-        self.surface
-            .lock()
-            .unwrap()
+        sync::lock(&self.surface)
             .cell(fingerprint, n, gap)
             .unwrap_or_default()
     }
@@ -152,9 +152,7 @@ impl ThresholdService {
             self.executor
                 .run_range(spec, n, gap, seed, stats.trials, stats.trials + batch)?;
         let successes = bits.iter().filter(|&&b| b).count() as u64;
-        let mut surface = self.surface.lock().unwrap();
-        surface.record(fingerprint, spec, n, gap, successes, batch);
-        Ok(surface.cell(fingerprint, n, gap).unwrap())
+        Ok(sync::lock(&self.surface).record(fingerprint, spec, n, gap, successes, batch))
     }
 
     /// The next batch size toward a target half-width: the Wald sample-size
@@ -268,7 +266,7 @@ impl ThresholdService {
         if !family.feasible(request.gap) {
             // Off the lattice: answer by interpolation from cached
             // neighbours, or explain what would be feasible.
-            let interpolated = self.surface.lock().unwrap().interpolate(
+            let interpolated = sync::lock(&self.surface).interpolate(
                 fingerprint,
                 request.n,
                 request.gap,
@@ -531,7 +529,7 @@ impl ThresholdService {
 
     /// Answers a `CacheStats`.
     pub fn cache_stats(&self) -> CacheStatsResponse {
-        let surface = self.surface.lock().unwrap();
+        let surface = sync::lock(&self.surface);
         CacheStatsResponse {
             entries: surface.entry_count(),
             cells: surface.cell_count(),
@@ -567,6 +565,102 @@ impl ThresholdService {
                     .unwrap_or_else(|| "request handler panicked".to_string());
                 Response::Error(ServiceError::internal(message).into())
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::InProcessExecutor;
+    use lv_lotka::{CompetitionKind, LvModel};
+    use std::sync::Arc;
+    use std::thread;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::two_species(
+            LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0),
+            "jump-chain",
+        )
+    }
+
+    fn estimate_request() -> EstimateRequest {
+        EstimateRequest {
+            spec: spec(),
+            n: 64,
+            gap: 8,
+            target_ci: 0.2,
+            max_trials: 64,
+        }
+    }
+
+    fn service() -> ThresholdService {
+        ThresholdService::new(
+            Box::new(InProcessExecutor::new(1)),
+            ServiceConfig::default(),
+        )
+    }
+
+    /// A request that panics mid-handler (poisoning the surface lock in the
+    /// worst case) must cost only itself: the next request over the same
+    /// service still gets a real answer, not a propagated panic.
+    #[test]
+    fn poisoned_surface_lock_does_not_kill_the_service() {
+        let service = Arc::new(service());
+        let poisoner = Arc::clone(&service);
+        let _ = thread::spawn(move || {
+            let _guard = poisoner.surface.lock().unwrap();
+            panic!("poison the surface cache mid-request");
+        })
+        .join();
+        assert!(service.surface.is_poisoned());
+
+        match service.handle(&Request::CacheStats) {
+            Response::CacheStats(stats) => assert_eq!(stats.cells, 0),
+            other => panic!("expected CacheStats, got {other:?}"),
+        }
+        match service.handle(&Request::Estimate(estimate_request())) {
+            Response::Estimate(estimate) => {
+                assert!(estimate.trials > 0, "refinement ran through the poison")
+            }
+            other => panic!("expected Estimate, got {other:?}"),
+        }
+        assert!(service.surface.is_poisoned(), "recovery does not unpoison");
+        assert!(!service.snapshot().entries.is_empty());
+    }
+
+    /// A panic inside a handler becomes an `internal` error response and the
+    /// service keeps serving.
+    #[test]
+    fn handler_panics_become_internal_error_responses() {
+        struct PanickingExecutor;
+        impl TrialExecutor for PanickingExecutor {
+            fn run_range(
+                &self,
+                _spec: &ScenarioSpec,
+                _n: u64,
+                _gap: u64,
+                _seed: Seed,
+                _lo: u64,
+                _hi: u64,
+            ) -> Result<Vec<bool>, ServiceError> {
+                panic!("executor exploded")
+            }
+            fn describe(&self) -> String {
+                "panicking".to_string()
+            }
+        }
+        let service = ThresholdService::new(Box::new(PanickingExecutor), ServiceConfig::default());
+        match service.handle(&Request::Estimate(estimate_request())) {
+            Response::Error(e) => {
+                assert_eq!(e.code, "internal");
+                assert!(e.message.contains("executor exploded"));
+            }
+            other => panic!("expected an error response, got {other:?}"),
+        }
+        match service.handle(&Request::Status) {
+            Response::Status(status) => assert_eq!(status.served, 2),
+            other => panic!("expected Status, got {other:?}"),
         }
     }
 }

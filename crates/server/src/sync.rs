@@ -1,0 +1,63 @@
+//! Poison-tolerant synchronization helpers.
+//!
+//! Every handler runs under `catch_unwind`, so a panicking request
+//! already costs exactly its own connection — but the panic also poisons
+//! whatever `Mutex` the thread held, and a bare `.lock().unwrap()` would
+//! then propagate the poison to every *later* request, escalating one
+//! lost connection into a dead server. These helpers recover the guard
+//! instead: the protected state (tally maps, flight bookkeeping, worker
+//! handles) is structurally valid at every instant — cells only
+//! accumulate by whole-number bumps and table entries are inserted or
+//! removed atomically — so the data under a poisoned lock is still
+//! coherent and the next request can proceed.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard from a poisoned lock.
+pub fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consumes `mutex`, recovering the value from a poisoned lock.
+pub fn into_inner<T>(mutex: Mutex<T>) -> T {
+    mutex.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the guard from a poisoned lock.
+pub fn wait<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let mutex = Arc::new(Mutex::new(41u64));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(mutex.is_poisoned());
+        let mut guard = lock(&mutex);
+        *guard += 1;
+        assert_eq!(*guard, 42);
+    }
+
+    #[test]
+    fn into_inner_recovers_from_poison() {
+        let mutex = Arc::new(Mutex::new(7u64));
+        let poisoner = Arc::clone(&mutex);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.lock().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        let mutex = Arc::into_inner(mutex).expect("sole owner");
+        assert_eq!(into_inner(mutex), 7);
+    }
+}

@@ -7,7 +7,7 @@ use lv_lotka::{CompetitionKind, LvModel};
 use lv_server::wire::{read_message, write_frame, write_message, MAGIC, MAX_FRAME_BYTES};
 use lv_server::{
     BindAddr, Client, EstimateRequest, Hello, InProcessExecutor, Request, Response, ScenarioSpec,
-    Server, ServiceConfig, SweepRequest, ThresholdService,
+    Server, ServiceConfig, ServiceError, SweepRequest, ThresholdService, TrialExecutor,
 };
 use std::io::Write;
 use std::net::TcpStream;
@@ -201,6 +201,71 @@ fn unix_socket_serving_cache_and_graceful_snapshot() {
     client.shutdown().unwrap();
     warm_handle.join().unwrap();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Delegates to the in-process executor except at `gap == 2`, where it
+/// panics mid-request — simulating a handler blowing up while the service
+/// holds internal locks.
+struct PanicAtGapTwo(InProcessExecutor);
+
+impl TrialExecutor for PanicAtGapTwo {
+    fn run_range(
+        &self,
+        spec: &ScenarioSpec,
+        n: u64,
+        gap: u64,
+        seed: lv_sim::Seed,
+        lo: u64,
+        hi: u64,
+    ) -> Result<Vec<bool>, ServiceError> {
+        if gap == 2 {
+            panic!("executor panic injected by test");
+        }
+        self.0.run_range(spec, n, gap, seed, lo, hi)
+    }
+
+    fn describe(&self) -> String {
+        "panic-at-gap-two".to_string()
+    }
+}
+
+/// A request whose handler panics costs that request an `internal` error
+/// frame — not the connection, not the server: the same client and a
+/// fresh client are both served real answers afterwards.
+#[test]
+fn handler_panic_answers_an_error_frame_and_keeps_serving() {
+    let service = ThresholdService::new(
+        Box::new(PanicAtGapTwo(InProcessExecutor::new(2))),
+        ServiceConfig::default(),
+    );
+    let server = Server::bind(service, &BindAddr::Tcp("127.0.0.1:0".to_string())).unwrap();
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect_tcp(&addr).unwrap();
+    let poisoned = EstimateRequest {
+        spec: spec(),
+        n: 64,
+        gap: 2,
+        target_ci: 0.2,
+        max_trials: 0,
+    };
+    let err = client.estimate(poisoned).unwrap_err();
+    assert_eq!(err.code(), "internal");
+    assert!(err.message().contains("executor panic injected by test"));
+
+    // The same connection keeps working...
+    match client.request(&estimate_request()).unwrap() {
+        Response::Estimate(r) => assert!(r.trials > 0),
+        other => panic!("expected an estimate, got {other:?}"),
+    }
+    // ...and so does a fresh one.
+    let mut fresh = Client::connect_tcp(&addr).unwrap();
+    match fresh.request(&estimate_request()).unwrap() {
+        Response::Estimate(r) => assert!(r.trials > 0),
+        other => panic!("expected an estimate, got {other:?}"),
+    }
+    shutdown(&addr, handle);
 }
 
 #[test]

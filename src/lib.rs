@@ -92,6 +92,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use lv_chains as chains;
 pub use lv_crn as crn;
 pub use lv_engine as engine;

@@ -107,6 +107,22 @@ fn protocols_layer_exposes_the_counted_batch_engine() {
         .batched());
 }
 
+/// The checked-in `API.txt` must match what `lv-analyze` renders from the
+/// crate roots — the same check the `api-snapshot` pass gates CI on, run
+/// here in-process so `cargo test` catches drift without the binary.
+#[test]
+fn api_snapshot_matches_checked_in_api_txt() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ws = lv_analyze::source::Workspace::load(root).expect("workspace loads");
+    let rendered = lv_analyze::passes::render_api(&ws);
+    let checked_in = std::fs::read_to_string(root.join(lv_analyze::passes::SNAPSHOT_PATH))
+        .expect("API.txt is checked in");
+    assert_eq!(
+        checked_in, rendered,
+        "API.txt is stale; regenerate with `cargo run -p lv-analyze -- --update-api`"
+    );
+}
+
 #[test]
 fn sim_layer_estimates_and_fits() {
     let estimate = SuccessEstimate::new(90, 100);
