@@ -2,6 +2,32 @@
 
 use std::fmt;
 
+/// How much a finding weighs: `Deny` findings fail the run (exit 1),
+/// `Warn` findings are reported but do not gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Warn,
+    Deny,
+}
+
+impl Severity {
+    /// Stable lower-case name, used in JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+
+    /// The SARIF `level` this severity maps to.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Warn => "warning",
+            Severity::Deny => "error",
+        }
+    }
+}
+
 /// One finding: `file:line [pass-id] message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Diagnostic {
@@ -13,6 +39,10 @@ pub struct Diagnostic {
     pub pass: String,
     /// Human-readable description of the violation.
     pub message: String,
+    /// Whether the finding gates the run. Defaults to [`Severity::Deny`];
+    /// the driver demotes it when the producing pass (or a `--warn` flag)
+    /// says so.
+    pub severity: Severity,
 }
 
 impl Diagnostic {
@@ -27,17 +57,19 @@ impl Diagnostic {
             line,
             pass: pass.into(),
             message: message.into(),
+            severity: Severity::Deny,
         }
     }
 
     /// Renders the diagnostic as a JSON object (hand-rolled: the analyzer
-    /// is pure std and its output schema is four flat fields).
+    /// is pure std and its output schema is five flat fields).
     pub fn to_json(&self) -> String {
         format!(
-            "{{\"file\":\"{}\",\"line\":{},\"pass\":\"{}\",\"message\":\"{}\"}}",
+            "{{\"file\":\"{}\",\"line\":{},\"pass\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\"}}",
             escape_json(&self.file),
             self.line,
             escape_json(&self.pass),
+            self.severity.as_str(),
             escape_json(&self.message)
         )
     }
@@ -45,9 +77,13 @@ impl Diagnostic {
 
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mark = match self.severity {
+            Severity::Deny => "",
+            Severity::Warn => "warning: ",
+        };
         write!(
             f,
-            "{}:{} [{}] {}",
+            "{}:{} [{}] {mark}{}",
             self.file, self.line, self.pass, self.message
         )
     }
@@ -84,11 +120,19 @@ mod tests {
     }
 
     #[test]
+    fn warn_severity_is_marked_in_display_and_json() {
+        let mut d = Diagnostic::new("a.rs", 3, "p", "m");
+        d.severity = Severity::Warn;
+        assert_eq!(d.to_string(), "a.rs:3 [p] warning: m");
+        assert!(d.to_json().contains("\"severity\":\"warn\""));
+    }
+
+    #[test]
     fn json_escapes_specials() {
         let d = Diagnostic::new("a.rs", 1, "p", "quote \" back \\ tab\t");
         assert_eq!(
             d.to_json(),
-            "{\"file\":\"a.rs\",\"line\":1,\"pass\":\"p\",\"message\":\"quote \\\" back \\\\ tab\\t\"}"
+            "{\"file\":\"a.rs\",\"line\":1,\"pass\":\"p\",\"severity\":\"deny\",\"message\":\"quote \\\" back \\\\ tab\\t\"}"
         );
     }
 }

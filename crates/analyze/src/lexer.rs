@@ -359,6 +359,33 @@ mod tests {
     }
 
     #[test]
+    fn raw_identifiers_are_not_raw_strings() {
+        // `r#type` shares its first two bytes with `r#"..."#`; only the
+        // quote decides, so the identifier must survive as code.
+        let src = "let r#type = 1; let r#match = 2;\n";
+        let lexed = lex(src);
+        assert!(lexed.strings.is_empty());
+        assert_eq!(lexed.masked, src);
+
+        // A raw identifier directly next to a real raw string on one line:
+        // the identifier stays code, the string is collected.
+        let src = "let r#type = r#\"raw \"content\"\"#; done();\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "raw \"content\"");
+        assert!(lexed.masked.contains("let r#type = r#\""));
+        assert!(lexed.masked.contains("done()"));
+        assert!(!lexed.masked.contains("content"));
+
+        // Raw byte strings keep working alongside.
+        let src = "let b = br#\"bytes # here\"#; let r#fn = 3;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings.len(), 1);
+        assert_eq!(lexed.strings[0].value, "bytes # here");
+        assert!(lexed.masked.contains("let r#fn = 3"));
+    }
+
+    #[test]
     fn multibyte_chars_in_strings_survive_masking() {
         let src = "let s = \"µ ≈ Θ(√n)\"; let t = 5;\n";
         let lexed = lex(src);

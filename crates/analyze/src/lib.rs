@@ -15,10 +15,12 @@
 
 pub mod diag;
 pub mod lexer;
+pub mod model;
 pub mod passes;
+pub mod sarif;
 pub mod source;
 
-use diag::Diagnostic;
+use diag::{Diagnostic, Severity};
 use passes::Pass;
 use source::Workspace;
 
@@ -42,6 +44,11 @@ impl Report {
     pub fn is_clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Whether any violation gates the run (warn-level findings do not).
+    pub fn failing(&self) -> bool {
+        self.violations.iter().any(|d| d.severity == Severity::Deny)
+    }
 }
 
 /// Runs `passes` over the workspace and resolves allow annotations.
@@ -55,7 +62,8 @@ pub fn run(ws: &Workspace, passes: &[Box<dyn Pass>]) -> Report {
     let mut violations = Vec::new();
     let mut suppressed = Vec::new();
 
-    // (file, pass, target_line, used) for every well-formed allow.
+    // (file, pass, target_line, used) for every well-formed allow — from
+    // Rust sources and Cargo.toml manifests alike.
     let mut allows: Vec<(String, String, usize, bool)> = ws
         .files
         .iter()
@@ -64,21 +72,36 @@ pub fn run(ws: &Workspace, passes: &[Box<dyn Pass>]) -> Report {
                 .iter()
                 .map(|a| (f.rel.clone(), a.pass.clone(), a.target_line, false))
         })
+        .chain(ws.manifests.iter().flat_map(|m| {
+            m.allows
+                .iter()
+                .map(|a| (m.rel.clone(), a.pass.clone(), a.target_line, false))
+        }))
         .collect();
 
-    for file in &ws.files {
-        for bad in &file.bad_allows {
-            violations.push(Diagnostic::new(
-                &file.rel,
-                bad.line,
-                ALLOW_GRAMMAR_PASS,
-                format!("malformed lv-analyze::allow annotation: {}", bad.message),
-            ));
-        }
+    let bad_allows = ws
+        .files
+        .iter()
+        .flat_map(|f| f.bad_allows.iter().map(|bad| (&f.rel, bad)))
+        .chain(
+            ws.manifests
+                .iter()
+                .flat_map(|m| m.bad_allows.iter().map(|bad| (&m.rel, bad))),
+        );
+    for (rel, bad) in bad_allows {
+        violations.push(Diagnostic::new(
+            rel,
+            bad.line,
+            ALLOW_GRAMMAR_PASS,
+            format!("malformed lv-analyze::allow annotation: {}", bad.message),
+        ));
     }
 
     for pass in passes {
-        for diagnostic in pass.run(ws) {
+        let severity = pass.severity();
+        for mut diagnostic in pass.run(ws) {
+            diagnostic.severity = diagnostic.severity.min(severity);
+            let diagnostic = diagnostic;
             let matched = allows.iter_mut().find(|(file, pass_id, line, _)| {
                 *file == diagnostic.file && *pass_id == diagnostic.pass && *line == diagnostic.line
             });
@@ -130,6 +153,7 @@ mod tests {
                 .into_iter()
                 .map(|(rel, text)| source::SourceFile::parse(rel.into(), text.into()))
                 .collect(),
+            manifests: Vec::new(),
         }
     }
 
@@ -154,6 +178,19 @@ mod tests {
         let report = run(&ws, &passes::default_passes()[..1]);
         assert_eq!(report.violations.len(), 1);
         assert!(report.violations[0].message.contains("stale"));
+    }
+
+    #[test]
+    fn manifest_allows_join_the_matching_pool() {
+        let mut ws = ws_with(vec![]);
+        ws.manifests.push(source::ManifestFile::parse(
+            "crates/x/Cargo.toml".into(),
+            "[dependencies]\n# lv-analyze::allow(determinism, reason = \"never fires\")\nrand.workspace = true\n",
+        ));
+        let report = run(&ws, &passes::default_passes()[..1]);
+        assert_eq!(report.violations.len(), 1, "unused manifest allow is stale");
+        assert!(report.violations[0].message.contains("stale"));
+        assert_eq!(report.violations[0].file, "crates/x/Cargo.toml");
     }
 
     #[test]

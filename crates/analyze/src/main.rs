@@ -2,20 +2,24 @@
 //! `lv-analyze` CLI: run the workspace invariant passes and gate CI.
 //!
 //! ```text
-//! lv-analyze [--root PATH] [--format text|json] [--pass ID]... [--update-api]
+//! lv-analyze [--root PATH] [--format text|json|sarif] [--pass ID]...
+//!            [--warn ID]... [--update-api]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! Exit codes: 0 = clean (warn-level findings do not gate), 1 = deny
+//! violations found, 2 = usage or I/O error.
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use lv_analyze::diag::Severity;
 use lv_analyze::passes;
 use lv_analyze::source::Workspace;
 
 enum Format {
     Text,
     Json,
+    Sarif,
 }
 
 struct Options {
@@ -23,16 +27,17 @@ struct Options {
     format: Format,
     update_api: bool,
     only_passes: Vec<String>,
+    warn_passes: Vec<String>,
 }
+
+const USAGE: &str = "usage: lv-analyze [--root PATH] [--format text|json|sarif] [--pass ID]... [--warn ID]... [--update-api]";
 
 fn main() -> ExitCode {
     let options = match parse_args(std::env::args().skip(1)) {
         Ok(options) => options,
         Err(message) => {
             eprintln!("lv-analyze: {message}");
-            eprintln!(
-                "usage: lv-analyze [--root PATH] [--format text|json] [--pass ID]... [--update-api]"
-            );
+            eprintln!("{USAGE}");
             return ExitCode::from(2);
         }
     };
@@ -68,23 +73,31 @@ fn main() -> ExitCode {
     }
 
     let mut roster = passes::default_passes();
+    let known: Vec<&str> = roster.iter().map(|p| p.id()).collect();
+    if let Some(unknown) = options
+        .only_passes
+        .iter()
+        .chain(&options.warn_passes)
+        .find(|id| !known.contains(&id.as_str()))
+    {
+        eprintln!(
+            "lv-analyze: unknown pass `{unknown}` (known: {})",
+            known.join(", ")
+        );
+        return ExitCode::from(2);
+    }
     if !options.only_passes.is_empty() {
-        let known: Vec<&str> = roster.iter().map(|p| p.id()).collect();
-        if let Some(unknown) = options
-            .only_passes
-            .iter()
-            .find(|id| !known.contains(&id.as_str()))
-        {
-            eprintln!(
-                "lv-analyze: unknown pass `{unknown}` (known: {})",
-                known.join(", ")
-            );
-            return ExitCode::from(2);
-        }
         roster.retain(|p| options.only_passes.iter().any(|id| id == p.id()));
     }
 
-    let report = lv_analyze::run(&ws, &roster);
+    let mut report = lv_analyze::run(&ws, &roster);
+    // `--warn ID` demotes a pass's findings for this run, so a newly
+    // added pass can report on CI without gating it yet.
+    for diagnostic in &mut report.violations {
+        if options.warn_passes.contains(&diagnostic.pass) {
+            diagnostic.severity = Severity::Warn;
+        }
+    }
     match options.format {
         Format::Text => {
             for diagnostic in &report.violations {
@@ -100,17 +113,19 @@ fn main() -> ExitCode {
         Format::Json => {
             let body: Vec<String> = report.violations.iter().map(|d| d.to_json()).collect();
             println!(
-                "{{\"clean\":{},\"violations\":[{}],\"suppressed\":{}}}",
+                "{{\"clean\":{},\"failing\":{},\"violations\":[{}],\"suppressed\":{}}}",
                 report.is_clean(),
+                report.failing(),
                 body.join(","),
                 report.suppressed.len()
             );
         }
+        Format::Sarif => println!("{}", lv_analyze::sarif::render_sarif(&roster, &report)),
     }
-    if report.is_clean() {
-        ExitCode::SUCCESS
-    } else {
+    if report.failing() {
         ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -120,6 +135,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
         format: Format::Text,
         update_api: false,
         only_passes: Vec::new(),
+        warn_passes: Vec::new(),
     };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
@@ -131,12 +147,17 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--format" => match args.next().as_deref() {
                 Some("text") => options.format = Format::Text,
                 Some("json") => options.format = Format::Json,
-                other => return Err(format!("--format needs text|json, got {other:?}")),
+                Some("sarif") => options.format = Format::Sarif,
+                other => return Err(format!("--format needs text|json|sarif, got {other:?}")),
             },
             "--update-api" => options.update_api = true,
             "--pass" => {
                 let value = args.next().ok_or("--pass needs a pass id")?;
                 options.only_passes.push(value);
+            }
+            "--warn" => {
+                let value = args.next().ok_or("--warn needs a pass id")?;
+                options.warn_passes.push(value);
             }
             "--list-passes" => {
                 for pass in passes::default_passes() {

@@ -1,0 +1,542 @@
+//! A lightweight semantic model over the lexer's masked text: brace
+//! trees, `fn` items, statement boundaries, guard live ranges, call
+//! sites, and enum variants — everything the cross-file passes need,
+//! pure std, no syntax tree.
+//!
+//! All offsets are byte offsets into the *masked* text (same length as
+//! the source, so lines agree). The model is deliberately approximate —
+//! see `ANALYSIS.md` for the scoping rules and their known limits — but
+//! every approximation errs toward *missing* an edge, never toward
+//! inventing code that is not there.
+
+use crate::passes::{brace_span, find_ident_token, line_of};
+
+/// Keywords that look like calls when followed by `(`.
+const CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "fn", "move", "in", "as", "let", "else",
+    "impl", "pub", "where", "unsafe", "dyn", "ref", "mut", "use", "crate", "super", "self", "Self",
+];
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+/// A function item extracted from masked text.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's bare name (impl/trait context is not tracked).
+    pub name: String,
+    /// Byte offset of the `fn` keyword.
+    pub offset: usize,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Body span `(open, close)`: offset of `{` and offset just past the
+    /// matching `}`. `None` for body-less trait signatures.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Extracts every `fn` item (free functions, methods, nested fns) from
+/// masked text. `fn`-pointer types (`fn(u64) -> u64`) carry no name and
+/// are skipped.
+pub fn fn_defs(masked: &str) -> Vec<FnDef> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(at) = find_ident_token(masked, "fn", from) {
+        from = at + 2;
+        let mut i = at + 2;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let name_start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = masked[name_start..i].to_string();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        // Generic parameters: skip to the matching `>`, ignoring the `>`
+        // of `->` inside `Fn(..) -> ..` bounds.
+        if bytes.get(i) == Some(&b'<') {
+            let mut depth = 0i32;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'<' => depth += 1,
+                    b'>' if i > 0 && bytes[i - 1] == b'-' => {}
+                    b'>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+                i += 1;
+            }
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Body: the first `{` unless a `;` comes first (trait signature).
+        let mut j = i;
+        let body = loop {
+            match bytes.get(j) {
+                None | Some(&b';') => break None,
+                Some(&b'{') => break brace_span(masked, j),
+                _ => j += 1,
+            }
+        };
+        out.push(FnDef {
+            name,
+            offset: at,
+            line: line_of(masked, at),
+            body,
+        });
+    }
+    out
+}
+
+/// Every matched `{ ... }` span, as `(open, just-past-close)`, sorted by
+/// open offset. Call on masked text only.
+pub fn brace_pairs(masked: &str) -> Vec<(usize, usize)> {
+    let mut stack = Vec::new();
+    let mut out = Vec::new();
+    for (i, &b) in masked.as_bytes().iter().enumerate() {
+        match b {
+            b'{' => stack.push(i),
+            b'}' => {
+                if let Some(open) = stack.pop() {
+                    out.push((open, i + 1));
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The innermost brace pair strictly containing `offset`.
+pub fn enclosing_block(pairs: &[(usize, usize)], offset: usize) -> Option<(usize, usize)> {
+    pairs
+        .iter()
+        .copied()
+        .filter(|&(open, close)| open < offset && offset < close)
+        .min_by_key(|&(open, close)| close - open)
+}
+
+/// End (exclusive) of the statement or expression starting at `from`: the
+/// first `;` or `,` at bracket depth zero, or the delimiter closing the
+/// enclosing block. This models Rust temporary lifetimes: a guard
+/// temporary in a `match` scrutinee lives to the whole statement's `;`,
+/// while a match-arm expression ends at its `,`.
+pub fn statement_end(masked: &str, from: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' | b'(' | b'[' => depth += 1,
+            b'}' | b')' | b']' => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            b';' | b',' if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    bytes.len()
+}
+
+/// Start of the statement containing `at`: the offset just past the
+/// previous `;`, `,`, `{`, or `}` at bracket depth zero (scanning
+/// backwards, bracket-aware), or just past an unmatched opening bracket.
+pub fn statement_start(masked: &str, at: usize) -> usize {
+    let bytes = masked.as_bytes();
+    let mut depth = 0i32;
+    let mut i = at;
+    while i > 0 {
+        i -= 1;
+        match bytes[i] {
+            b')' | b']' => depth += 1,
+            b'}' => {
+                if depth == 0 {
+                    return i + 1;
+                }
+                depth += 1;
+            }
+            b'{' | b'(' | b'[' => {
+                if depth == 0 {
+                    return i + 1;
+                }
+                depth -= 1;
+            }
+            b';' | b',' if depth == 0 => return i + 1,
+            _ => {}
+        }
+    }
+    0
+}
+
+/// If the statement containing the expression starting at `expr_at` is a
+/// direct binding `let [mut] NAME = <that expression>`, returns `NAME`.
+/// Pattern bindings, type ascriptions and compound right-hand sides (e.g.
+/// `let x = match lock(..) {..}`) return `None` — the expression is then
+/// a temporary scoped to its statement.
+pub fn binding_name(masked: &str, expr_at: usize) -> Option<String> {
+    let start = statement_start(masked, expr_at);
+    let prefix = masked[start..expr_at].trim();
+    let rest = prefix.strip_prefix("let")?;
+    if !rest.starts_with(|c: char| c.is_whitespace()) {
+        return None;
+    }
+    let rest = rest.trim_start();
+    let rest = match rest.strip_prefix("mut") {
+        Some(r) if r.starts_with(|c: char| c.is_whitespace()) => r.trim_start(),
+        _ => rest,
+    };
+    let name_end = rest
+        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let name = &rest[..name_end];
+    if name.is_empty() {
+        return None;
+    }
+    (rest[name_end..].trim() == "=").then(|| name.to_string())
+}
+
+/// Offset of an explicit `drop(NAME)` of `name` within `range`, if any.
+pub fn explicit_drop(masked: &str, name: &str, range: (usize, usize)) -> Option<usize> {
+    let bytes = masked.as_bytes();
+    let mut from = range.0;
+    while let Some(at) = find_ident_token(masked, "drop", from) {
+        if at >= range.1 {
+            return None;
+        }
+        from = at + 4;
+        let mut i = at + 4;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let arg_start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if &masked[arg_start..i] != name {
+            continue;
+        }
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b')') {
+            return Some(at);
+        }
+    }
+    None
+}
+
+/// A call site `name(...)` with its receiver/path classification.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// The called function or method's bare name.
+    pub name: String,
+    /// Byte offset of the name token.
+    pub offset: usize,
+    /// 1-based line.
+    pub line: usize,
+    /// Whether the callee can be resolved by bare name: free calls, path
+    /// calls, and methods on a simple place expression (`self.field.m(..)`,
+    /// `ident.m(..)`). Methods chained onto another call's result are not
+    /// resolvable — their receiver type is unknown, and resolving by name
+    /// alone would invent edges.
+    pub resolvable: bool,
+}
+
+/// Extracts every call site in `masked[range.0..range.1]`. Macro
+/// invocations (`name!(..)`) are not calls and are skipped.
+pub fn call_sites(masked: &str, range: (usize, usize)) -> Vec<CallSite> {
+    let bytes = masked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = range.0;
+    let end = range.1.min(bytes.len());
+    while i < end {
+        if !is_ident_start(bytes[i]) || (i > 0 && is_ident(bytes[i - 1])) {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        while i < end && is_ident(bytes[i]) {
+            i += 1;
+        }
+        let name = &masked[start..i];
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_whitespace() {
+            j += 1;
+        }
+        if bytes.get(j) != Some(&b'(') || CALL_KEYWORDS.contains(&name) {
+            continue;
+        }
+        out.push(CallSite {
+            name: name.to_string(),
+            offset: start,
+            line: line_of(masked, start),
+            resolvable: receiver_is_simple(bytes, start),
+        });
+    }
+    out
+}
+
+/// Whether the receiver (or path) before a call name at `name_start` is a
+/// simple place: nothing, `path::`, or a dotted chain of plain idents.
+fn receiver_is_simple(bytes: &[u8], name_start: usize) -> bool {
+    let mut i = name_start;
+    while i > 0 && bytes[i - 1].is_ascii_whitespace() {
+        i -= 1;
+    }
+    if i == 0 {
+        return true;
+    }
+    match bytes[i - 1] {
+        b'.' => {
+            // A method call: walk the dotted receiver chain backwards.
+            // Every segment must be a plain identifier; hitting `)` / `]`
+            // means the receiver is a call or index result.
+            let mut k = i - 1;
+            loop {
+                let seg_end = k;
+                while k > 0 && is_ident(bytes[k - 1]) {
+                    k -= 1;
+                }
+                if k == seg_end {
+                    return false;
+                }
+                if k > 0 && bytes[k - 1] == b'.' {
+                    k -= 1;
+                    continue;
+                }
+                return true;
+            }
+        }
+        b':' => i >= 2 && bytes[i - 2] == b':',
+        _ => true,
+    }
+}
+
+/// The variants of the enum `name`, as `(variant, 1-based line)`.
+pub fn enum_variants(masked: &str, name: &str) -> Option<Vec<(String, usize)>> {
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    let (open, close) = loop {
+        let at = find_ident_token(masked, "enum", from)?;
+        from = at + 4;
+        let mut i = at + 4;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let start = i;
+        while i < bytes.len() && is_ident(bytes[i]) {
+            i += 1;
+        }
+        if &masked[start..i] == name {
+            break brace_span(masked, i)?;
+        }
+    };
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut expect_variant = false;
+    let mut i = open;
+    while i < close {
+        match bytes[i] {
+            b'{' | b'(' | b'[' => {
+                depth += 1;
+                if depth == 1 {
+                    expect_variant = true;
+                }
+            }
+            b'}' | b')' | b']' => depth -= 1,
+            b',' if depth == 1 => expect_variant = true,
+            b'#' if depth == 1 => {
+                // Variant attribute: skip its `[...]` payload.
+                let mut k = i + 1;
+                while k < close && bytes[k] != b'[' {
+                    k += 1;
+                }
+                let mut d = 0i32;
+                while k < close {
+                    match bytes[k] {
+                        b'[' => d += 1,
+                        b']' => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                i = k;
+            }
+            b if depth == 1 && expect_variant && is_ident_start(b) => {
+                let start = i;
+                while i < close && is_ident(bytes[i]) {
+                    i += 1;
+                }
+                out.push((masked[start..i].to_string(), line_of(masked, start)));
+                expect_variant = false;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fn_defs_extracts_names_generics_and_bodies() {
+        let src = "pub fn alpha(x: u64) -> u64 { x }\nfn beta<T: Fn(u64) -> u64>(f: T) {\n    fn inner() {}\n}\ntrait T { fn sig(&self); }\nlet p: fn(u64) -> u64 = alpha;\n";
+        let fns = fn_defs(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta", "inner", "sig"]);
+        assert!(fns[0].body.is_some());
+        assert!(fns[3].body.is_none(), "trait signature has no body");
+        let (open, close) = fns[0].body.unwrap();
+        assert_eq!(&src[open..close], "{ x }");
+    }
+
+    #[test]
+    fn enclosing_block_picks_innermost() {
+        let src = "fn f() { if x { y } }";
+        let pairs = brace_pairs(src);
+        let y = src.find('y').unwrap();
+        let (open, close) = enclosing_block(&pairs, y).unwrap();
+        assert_eq!(&src[open..close], "{ y }");
+    }
+
+    #[test]
+    fn statement_end_models_temporary_lifetimes() {
+        // A guard temporary in a match scrutinee lives to the statement's
+        // `;` (arm braces included) ...
+        let src = "let r = match lock(q).pop() { Some(v) => v, None => { return; } };\nnext();";
+        let at = src.find("lock").unwrap();
+        assert_eq!(
+            &src[statement_end(src, at) - 1..statement_end(src, at)],
+            ";"
+        );
+        assert!(statement_end(src, at) > src.find("return").unwrap());
+        // ... while a match-arm expression ends at its own `,`.
+        let src = "match x { Ok(b) => lock(d).push(b), Err(e) => { lock(f).push(e); } }";
+        let at = src.find("lock(d)").unwrap();
+        let end = statement_end(src, at);
+        assert!(end <= src.find("Err").unwrap(), "arm ends before next arm");
+    }
+
+    #[test]
+    fn statement_start_stops_at_block_and_statement_boundaries() {
+        let src = "if c { x(); }\nlet mut keys = lock(&t.keys);";
+        let at = src.find("lock").unwrap();
+        let start = statement_start(src, at);
+        assert_eq!(src[start..at].trim(), "let mut keys =");
+    }
+
+    #[test]
+    fn binding_name_detects_direct_guards_only() {
+        let src = "let mut keys = lock(&self.keys);";
+        assert_eq!(
+            binding_name(src, src.find("lock").unwrap()).as_deref(),
+            Some("keys")
+        );
+        let src = "let r = match lock(q).pop() { _ => 0 };";
+        assert_eq!(binding_name(src, src.find("lock").unwrap()), None);
+        let src = "Ok(lock(&s).record(x))";
+        assert_eq!(binding_name(src, src.find("lock").unwrap()), None);
+        let src = "*lock(&s) = y;";
+        assert_eq!(binding_name(src, src.find("lock").unwrap()), None);
+    }
+
+    #[test]
+    fn explicit_drop_finds_only_the_named_guard() {
+        let src = "let a = lock(&x); drop(b); drop(a); later();";
+        let at = explicit_drop(src, "a", (0, src.len())).unwrap();
+        assert_eq!(&src[at..at + 7], "drop(a)");
+        assert!(explicit_drop(src, "c", (0, src.len())).is_none());
+    }
+
+    #[test]
+    fn call_sites_classify_receivers() {
+        let src = "helper(); self.flight.acquire(k); sync::lock(&q); lock(&q).pop_front(); mac!(x); keys.entry(k).or_default();";
+        let calls = call_sites(src, (0, src.len()));
+        let by_name: Vec<(&str, bool)> = calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.resolvable))
+            .collect();
+        assert_eq!(
+            by_name,
+            vec![
+                ("helper", true),
+                ("acquire", true),
+                ("lock", true),
+                ("lock", true),
+                ("pop_front", false),
+                ("entry", true),
+                ("or_default", false),
+            ]
+        );
+    }
+
+    #[test]
+    fn enum_variants_handles_payloads_and_units() {
+        let src = "pub enum Request {\n    Estimate(EstimateRequest),\n    Sweep { n: u64 },\n    Status,\n}\nenum Other { A }\n";
+        let vars = enum_variants(src, "Request").unwrap();
+        let names: Vec<&str> = vars.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["Estimate", "Sweep", "Status"]);
+        assert_eq!(vars[0].1, 2);
+        assert_eq!(enum_variants(src, "Missing"), None);
+        assert_eq!(
+            enum_variants(src, "Other").unwrap(),
+            vec![("A".to_string(), 6)]
+        );
+    }
+}

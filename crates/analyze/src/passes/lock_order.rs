@@ -1,0 +1,465 @@
+//! `lock-order`: deadlock-freedom of the server's mutex acquisitions.
+//!
+//! Extracts every `sync::lock(..)` / `crate::sync::lock(..)` call site in
+//! `crates/server`, computes each guard's live range from its binding
+//! (temporaries end at their statement, named guards at end-of-scope or
+//! an explicit `drop`), and builds the global lock-acquisition graph:
+//! edge A → B when B is acquired while a guard of A is live, including
+//! through same-crate `fn` calls one level deep. Any cycle — two locks
+//! taken in opposite orders on different paths, or a re-acquisition of a
+//! lock already held — is a potential deadlock and fails the run. Guards
+//! held across blocking operations (executor dispatch, channel sends,
+//! socket I/O) are flagged too. `sync::wait` is exempt: a condvar wait
+//! releases the lock it was handed.
+//!
+//! Locks are identified by the last path segment of the lock expression
+//! (`&self.inner.keys` → `keys`); the canonical acquisition order is
+//! documented in `crates/server/src/sync.rs` and quoted in diagnostics.
+
+use std::collections::BTreeSet;
+
+use crate::diag::Diagnostic;
+use crate::model;
+use crate::passes::{line_of, Pass};
+use crate::source::{SourceFile, Workspace};
+
+const SCOPE: &str = "crates/server";
+
+/// Call names treated as blocking while a guard is live. `wait` is
+/// deliberately absent: `sync::wait` atomically releases the guard.
+const BLOCKING: &[&str] = &[
+    "run_range",
+    "dispatch",
+    "read_message",
+    "write_message",
+    "send",
+    "recv",
+    "accept",
+    "connect",
+    "join",
+];
+
+pub struct LockOrder;
+
+/// One acquisition-graph edge: acquisition indices (from, to), plus the
+/// linking call's name and line for interprocedural edges.
+type Edge = (usize, usize, Option<(String, usize)>);
+
+/// One lock acquisition and its guard's live range.
+struct Acq {
+    /// Lock identity: last path segment of the lock expression.
+    lock: String,
+    file_idx: usize,
+    /// Offset of the `sync::lock` match in the masked text.
+    offset: usize,
+    line: usize,
+    /// Guard live range (masked offsets), from just past the call's
+    /// closing paren to statement end / scope end / explicit drop.
+    range: (usize, usize),
+    /// Index into the fn table of the containing fn body, if any.
+    fn_idx: Option<usize>,
+}
+
+struct FnInfo {
+    name: String,
+    file_idx: usize,
+    body: (usize, usize),
+}
+
+impl Pass for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "server mutex acquisitions form an acyclic order and no guard is held across blocking calls"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let files: Vec<&SourceFile> = ws.files_under(SCOPE).collect();
+        if files.is_empty() {
+            return Vec::new();
+        }
+
+        // Global fn table (bodies only, test items excluded).
+        let mut fns: Vec<FnInfo> = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            for def in model::fn_defs(&file.lexed.masked) {
+                if file.is_test_line(def.line) {
+                    continue;
+                }
+                if let Some(body) = def.body {
+                    fns.push(FnInfo {
+                        name: def.name,
+                        file_idx,
+                        body,
+                    });
+                }
+            }
+        }
+
+        let mut acqs: Vec<Acq> = Vec::new();
+        for (file_idx, file) in files.iter().enumerate() {
+            collect_acquisitions(file, file_idx, &fns, &mut acqs);
+        }
+
+        let canonical = canonical_order(&files);
+        let mut rendered: BTreeSet<String> = BTreeSet::new();
+        let mut diagnostics = Vec::new();
+
+        // Edges of the acquisition graph: (from, to, via-call-line).
+        let mut edges: Vec<Edge> = Vec::new();
+        for (a_idx, a) in acqs.iter().enumerate() {
+            // Direct: another acquisition inside a's live range.
+            for (b_idx, b) in acqs.iter().enumerate() {
+                if a_idx != b_idx
+                    && a.file_idx == b.file_idx
+                    && b.offset >= a.range.0
+                    && b.offset < a.range.1
+                {
+                    edges.push((a_idx, b_idx, None));
+                }
+            }
+            // One level deep: a same-crate fn called inside a's range
+            // contributes its own direct acquisitions.
+            let masked = &files[a.file_idx].lexed.masked;
+            for call in model::call_sites(masked, a.range) {
+                if BLOCKING.contains(&call.name.as_str()) {
+                    let key = format!("blocking:{}:{}:{}", a.file_idx, call.offset, a.offset);
+                    if rendered.insert(key) {
+                        diagnostics.push(Diagnostic::new(
+                            &files[a.file_idx].rel,
+                            call.line,
+                            self.id(),
+                            format!(
+                                "guard of lock `{}` (acquired at {}:{}) is held across blocking call `{}(...)`",
+                                a.lock, files[a.file_idx].rel, a.line, call.name
+                            ),
+                        ));
+                    }
+                    continue;
+                }
+                if !call.resolvable {
+                    continue;
+                }
+                for (fn_idx, info) in fns.iter().enumerate() {
+                    if info.name != call.name {
+                        continue;
+                    }
+                    for (b_idx, b) in acqs.iter().enumerate() {
+                        if b.fn_idx == Some(fn_idx) {
+                            edges.push((a_idx, b_idx, Some((call.name.clone(), call.line))));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Adjacency between lock names, for cycle detection.
+        let reachable = |from: &str, to: &str| -> bool {
+            let mut seen: BTreeSet<&str> = BTreeSet::new();
+            let mut queue = vec![from];
+            while let Some(node) = queue.pop() {
+                if node == to {
+                    return true;
+                }
+                if !seen.insert(node) {
+                    continue;
+                }
+                for (x, y, _) in &edges {
+                    if acqs[*x].lock == node {
+                        queue.push(&acqs[*y].lock);
+                    }
+                }
+            }
+            false
+        };
+
+        for (a_idx, b_idx, via) in &edges {
+            let (a, b) = (&acqs[*a_idx], &acqs[*b_idx]);
+            let via_txt = match via {
+                Some((name, link_line)) => {
+                    format!(" (via the call to `{name}` on line {link_line})")
+                }
+                None => String::new(),
+            };
+            let canon = canonical
+                .as_ref()
+                .map(|(rel, order)| format!("; canonical order ({rel}): {order}"))
+                .unwrap_or_default();
+            if a.lock == b.lock {
+                let key = format!("self:{}:{}:{}", a.lock, a.offset, b.offset);
+                if rendered.insert(key) {
+                    diagnostics.push(Diagnostic::new(
+                        &files[b.file_idx].rel,
+                        b.line,
+                        self.id(),
+                        format!(
+                            "lock `{}` re-acquired at {}:{} while its own guard (acquired at {}:{}) is still live{via_txt}; self-deadlock",
+                            b.lock, files[b.file_idx].rel, b.line, files[a.file_idx].rel, a.line
+                        ),
+                    ));
+                }
+            } else if reachable(&b.lock, &a.lock) {
+                let key = format!("cycle:{}:{}:{}:{}", a.lock, b.lock, a.offset, b.offset);
+                if rendered.insert(key) {
+                    diagnostics.push(Diagnostic::new(
+                        &files[b.file_idx].rel,
+                        b.line,
+                        self.id(),
+                        format!(
+                            "lock `{}` acquired at {}:{} while a guard of `{}` (acquired at {}:{}) is live{via_txt}; the `{}` -> `{}` edge closes a cycle in the lock-acquisition graph{canon}",
+                            b.lock,
+                            files[b.file_idx].rel,
+                            b.line,
+                            a.lock,
+                            files[a.file_idx].rel,
+                            a.line,
+                            a.lock,
+                            b.lock
+                        ),
+                    ));
+                }
+            }
+        }
+
+        diagnostics
+    }
+}
+
+/// Finds every `sync::lock(..)` acquisition in `file` and computes its
+/// guard's live range.
+fn collect_acquisitions(file: &SourceFile, file_idx: usize, fns: &[FnInfo], out: &mut Vec<Acq>) {
+    let masked = &file.lexed.masked;
+    let bytes = masked.as_bytes();
+    let pairs = model::brace_pairs(masked);
+    let mut from = 0;
+    while let Some(at) = masked[from..].find("sync::lock").map(|o| from + o) {
+        from = at + 1;
+        if at > 0 && (bytes[at - 1].is_ascii_alphanumeric() || bytes[at - 1] == b'_') {
+            continue;
+        }
+        // The argument list.
+        let mut i = at + "sync::lock".len();
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let arg_open = i;
+        let mut depth = 0i32;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let arg_close = i + 1;
+        let line = line_of(masked, at);
+        if file.is_test_line(line) {
+            continue;
+        }
+        // Lock identity: last identifier in the argument expression.
+        let Some(lock) = last_ident(&masked[arg_open..i.min(masked.len())]) else {
+            continue;
+        };
+        // The whole lock expression may start with a path prefix
+        // (`crate::sync::lock(..)`): walk it back for binding detection.
+        let mut expr_start = at;
+        while expr_start >= 2 && bytes[expr_start - 1] == b':' && bytes[expr_start - 2] == b':' {
+            expr_start -= 2;
+            while expr_start > 0
+                && (bytes[expr_start - 1].is_ascii_alphanumeric() || bytes[expr_start - 1] == b'_')
+            {
+                expr_start -= 1;
+            }
+        }
+        let range_end = match model::binding_name(masked, expr_start) {
+            Some(name) => {
+                let scope_end = model::enclosing_block(&pairs, at)
+                    .map(|(_, close)| close)
+                    .unwrap_or(masked.len());
+                model::explicit_drop(masked, &name, (arg_close, scope_end)).unwrap_or(scope_end)
+            }
+            None => model::statement_end(masked, at),
+        };
+        let fn_idx = fns
+            .iter()
+            .position(|f| f.file_idx == file_idx && f.body.0 < at && at < f.body.1);
+        out.push(Acq {
+            lock,
+            file_idx,
+            offset: at,
+            line,
+            range: (arg_close, range_end.max(arg_close)),
+            fn_idx,
+        });
+    }
+}
+
+/// The last identifier token in a lock-argument expression
+/// (`&self.inner.keys` → `keys`).
+fn last_ident(arg: &str) -> Option<String> {
+    let mut last: Option<String> = None;
+    let bytes = arg.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_alphabetic() || bytes[i] == b'_' {
+            let start = i;
+            while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                i += 1;
+            }
+            last = Some(arg[start..i].to_string());
+        } else {
+            i += 1;
+        }
+    }
+    last
+}
+
+/// The documented canonical acquisition order: the first source comment in
+/// scope containing `Lock order:`, preferring `sync.rs`.
+fn canonical_order(files: &[&SourceFile]) -> Option<(String, String)> {
+    let mut found: Option<(String, String)> = None;
+    for file in files {
+        for comment in &file.lexed.comments {
+            if let Some(pos) = comment.text.find("Lock order:") {
+                let order = comment.text[pos + "Lock order:".len()..].trim().to_string();
+                if file.rel.ends_with("sync.rs") {
+                    return Some((file.rel.clone(), order));
+                }
+                if found.is_none() {
+                    found = Some((file.rel.clone(), order));
+                }
+            }
+        }
+    }
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/nonexistent"),
+            files: files
+                .into_iter()
+                .map(|(rel, text)| SourceFile::parse(rel.into(), text.into()))
+                .collect(),
+            manifests: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn consistent_nesting_is_clean() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn forward(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let b = sync::lock(&s.beta);\n    drop(b);\n    drop(a);\n}\nfn again(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let b = sync::lock(&s.beta);\n}\n",
+        )]);
+        assert!(LockOrder.run(&ws).is_empty());
+    }
+
+    #[test]
+    fn opposite_nesting_is_a_cycle() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn forward(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let b = sync::lock(&s.beta);\n}\nfn backward(s: &S) {\n    let b = sync::lock(&s.beta);\n    let a = sync::lock(&s.alpha);\n}\n",
+        )]);
+        let diags = LockOrder.run(&ws);
+        assert_eq!(diags.len(), 2, "{diags:?}");
+        assert!(diags.iter().all(|d| d.message.contains("closes a cycle")));
+    }
+
+    #[test]
+    fn cycle_through_one_level_call_is_found() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn forward(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let b = sync::lock(&s.beta);\n}\nfn backward(s: &S) {\n    let b = sync::lock(&s.beta);\n    bump_alpha(s);\n}\nfn bump_alpha(s: &S) {\n    let mut a = sync::lock(&s.alpha);\n}\n",
+        )]);
+        let diags = LockOrder.run(&ws);
+        assert!(!diags.is_empty());
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.message.contains("via the call to `bump_alpha`")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_drop_ends_the_range() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn forward(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let b = sync::lock(&s.beta);\n}\nfn fine(s: &S) {\n    let b = sync::lock(&s.beta);\n    drop(b);\n    let a = sync::lock(&s.alpha);\n}\n",
+        )]);
+        assert!(LockOrder.run(&ws).is_empty());
+    }
+
+    #[test]
+    fn temporaries_do_not_span_match_arms() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn work(q: &Q) {\n    match go() {\n        Ok(b) => sync::lock(&q.done).push(b),\n        Err(e) => {\n            sync::lock(&q.queue).push_front(e);\n            sync::lock(&q.failures).push(e);\n        }\n    }\n}\nfn order(q: &Q) {\n    let f = sync::lock(&q.failures);\n    let d = sync::lock(&q.done);\n}\n",
+        )]);
+        // If the `done` temporary leaked across the `Err` arm it would
+        // create done -> failures, closing a cycle with order()'s
+        // failures -> done. It must not.
+        assert!(LockOrder.run(&ws).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_a_self_deadlock() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn twice(s: &S) {\n    let a = sync::lock(&s.alpha);\n    let again = sync::lock(&s.alpha);\n}\n",
+        )]);
+        let diags = LockOrder.run(&ws);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("self-deadlock"));
+    }
+
+    #[test]
+    fn guard_held_across_blocking_call_is_flagged() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn bad(s: &S) {\n    let a = sync::lock(&s.alpha);\n    s.executor.run_range(&job);\n}\nfn ok(s: &S) {\n    let a = sync::lock(&s.alpha);\n    drop(a);\n    s.executor.run_range(&job);\n}\n",
+        )]);
+        let diags = LockOrder.run(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("blocking call `run_range(...)`"));
+        assert_eq!(diags[0].line, 3);
+    }
+
+    #[test]
+    fn methods_chained_on_call_results_do_not_resolve() {
+        // `.cell(..)` on the guard expression must not resolve to the
+        // sibling fn `cell` (which also locks `surface`): that would be a
+        // phantom self-cycle.
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "fn cell(s: &S) -> u64 {\n    sync::lock(&s.surface).cell(1)\n}\n",
+        )]);
+        assert!(LockOrder.run(&ws).is_empty());
+    }
+
+    #[test]
+    fn test_code_is_out_of_scope() {
+        let ws = ws(vec![(
+            "crates/server/src/lib.rs",
+            "#[cfg(test)]\nmod tests {\n    fn t(s: &S) {\n        let a = sync::lock(&s.alpha);\n        let b = sync::lock(&s.beta);\n        let a2 = sync::lock(&s.alpha);\n    }\n}\n",
+        )]);
+        assert!(LockOrder.run(&ws).is_empty());
+    }
+}

@@ -2,19 +2,25 @@
 //! workspace, returning plain diagnostics; the driver in `lib.rs` matches
 //! them against `lv-analyze::allow` annotations afterwards.
 
-use crate::diag::Diagnostic;
+use crate::diag::{Diagnostic, Severity};
 use crate::source::Workspace;
 
 mod api_snapshot;
+mod crate_layering;
 mod determinism;
+mod lock_order;
 mod panic_safety;
+mod proto_exhaustive;
 mod registry_docs;
 mod rng_discipline;
 mod unsafe_audit;
 
 pub use api_snapshot::{render_api, ApiSnapshot, API_ROOTS, SNAPSHOT_PATH};
+pub use crate_layering::CrateLayering;
 pub use determinism::Determinism;
+pub use lock_order::LockOrder;
 pub use panic_safety::PanicSafety;
+pub use proto_exhaustive::ProtoExhaustive;
 pub use registry_docs::RegistryDocs;
 pub use rng_discipline::RngDiscipline;
 pub use unsafe_audit::UnsafeAudit;
@@ -25,6 +31,11 @@ pub trait Pass {
     fn id(&self) -> &'static str;
     /// One-line description for `--help`-style listings.
     fn description(&self) -> &'static str;
+    /// The pass's default severity: `Deny` findings gate the run, `Warn`
+    /// findings only report. The CLI can demote a pass with `--warn ID`.
+    fn severity(&self) -> Severity {
+        Severity::Deny
+    }
     /// Checks the invariant, returning every violation found.
     fn run(&self, ws: &Workspace) -> Vec<Diagnostic>;
 }
@@ -38,6 +49,9 @@ pub fn default_passes() -> Vec<Box<dyn Pass>> {
         Box::new(RegistryDocs),
         Box::new(RngDiscipline),
         Box::new(ApiSnapshot),
+        Box::new(LockOrder),
+        Box::new(CrateLayering),
+        Box::new(ProtoExhaustive),
     ]
 }
 

@@ -1,0 +1,382 @@
+//! `proto-exhaustive`: every wire-protocol request is fully plumbed.
+//!
+//! The server's `Request` enum is the protocol's source of truth. For
+//! each of its variants this pass checks the four places a request must
+//! surface:
+//!
+//! 1. a dispatch arm in `ThresholdService::handle` that produces a
+//!    `Response` variant,
+//! 2. a wire tag in the `tagged_enum_serde!` invocation for `Request`,
+//! 3. an `lv-client` subcommand whose literal matches the tag (exact,
+//!    dash-for-underscore, or an unambiguous prefix of at least three
+//!    characters, e.g. `sweep` for `sweep_surface`),
+//! 4. a mention of the backtick-quoted tag in `PROTOCOL.md`.
+//!
+//! Rust's own exhaustiveness checking covers (1) only until someone adds
+//! a `_ =>` arm; (2)–(4) it cannot see at all. Diagnostics anchor at the
+//! variant's declaration line in `proto.rs` so the fix starts from the
+//! enum. If the tree has no `proto.rs` the pass is silent — there is no
+//! protocol to check.
+
+use crate::diag::Diagnostic;
+use crate::model;
+use crate::passes::{find_ident_token, Pass};
+use crate::source::{SourceFile, Workspace};
+
+pub struct ProtoExhaustive;
+
+const PROTO_RS: &str = "crates/server/src/proto.rs";
+const SERVICE_RS: &str = "crates/server/src/service.rs";
+const CLIENT_RS: &str = "crates/server/src/bin/lv_client.rs";
+const PROTOCOL_MD: &str = "crates/server/PROTOCOL.md";
+
+impl Pass for ProtoExhaustive {
+    fn id(&self) -> &'static str {
+        "proto-exhaustive"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Request variant has a dispatch arm, wire tag, client subcommand and doc section"
+    }
+
+    fn run(&self, ws: &Workspace) -> Vec<Diagnostic> {
+        let Some(proto) = ws.file(PROTO_RS) else {
+            return Vec::new();
+        };
+        let Some(variants) = model::enum_variants(&proto.lexed.masked, "Request") else {
+            return Vec::new();
+        };
+
+        let handle_body = ws
+            .file(SERVICE_RS)
+            .and_then(|f| Some((f, handle_fn_body(f)?)));
+        let client_lits: Vec<String> = ws
+            .file(CLIENT_RS)
+            .map(|f| f.lexed.strings.iter().map(|s| s.value.clone()).collect())
+            .unwrap_or_default();
+        let doc = ws.read_text(PROTOCOL_MD);
+
+        let mut diagnostics = Vec::new();
+        for (variant, line) in variants {
+            let mut missing = |message: String| {
+                diagnostics.push(Diagnostic::new(PROTO_RS, line, self.id(), message));
+            };
+
+            if let Some((service, body)) = &handle_body {
+                match dispatch_arm(&service.lexed.masked, *body, &variant) {
+                    None => missing(format!(
+                        "`Request::{variant}` has no dispatch arm in `ThresholdService::handle` ({SERVICE_RS})"
+                    )),
+                    Some(arm) if !arm.contains("Response::") => missing(format!(
+                        "the `ThresholdService::handle` arm for `Request::{variant}` produces no `Response` counterpart"
+                    )),
+                    Some(_) => {}
+                }
+            } else {
+                missing(format!(
+                    "`Request::{variant}` cannot be dispatched: no `fn handle` found in {SERVICE_RS}"
+                ));
+            }
+
+            let Some(tag) = wire_tag(proto, &variant) else {
+                missing(format!(
+                    "`Request::{variant}` has no wire tag in the `tagged_enum_serde!(Request ...)` invocation"
+                ));
+                continue;
+            };
+
+            if !client_lits.iter().any(|lit| tag_matches(&tag, lit)) {
+                missing(format!(
+                    "wire tag `{tag}` (`Request::{variant}`) has no matching lv-client subcommand ({CLIENT_RS})"
+                ));
+            }
+
+            match &doc {
+                Some(doc) if !doc.contains(&format!("`{tag}`")) => missing(format!(
+                    "wire tag `{tag}` (`Request::{variant}`) is not documented in {PROTOCOL_MD}"
+                )),
+                _ => {}
+            }
+        }
+        diagnostics
+    }
+}
+
+/// The body span of `fn handle` in the service file.
+fn handle_fn_body(service: &SourceFile) -> Option<(usize, usize)> {
+    model::fn_defs(&service.lexed.masked)
+        .into_iter()
+        .find(|f| f.name == "handle")
+        .and_then(|f| f.body)
+}
+
+/// The match-arm text for `Request::{variant}` inside `body`, from the
+/// pattern through the arm's terminating `,` / block close.
+fn dispatch_arm<'a>(masked: &'a str, body: (usize, usize), variant: &str) -> Option<&'a str> {
+    let mut from = body.0;
+    while let Some(at) = find_ident_token(masked, variant, from) {
+        if at >= body.1 {
+            return None;
+        }
+        from = at + variant.len();
+        if !masked[..at].trim_end().ends_with("::")
+            || !masked[..at]
+                .trim_end()
+                .trim_end_matches(':')
+                .trim_end()
+                .ends_with("Request")
+        {
+            continue;
+        }
+        let end = model::statement_end(masked, at).min(body.1);
+        return Some(&masked[at..end]);
+    }
+    None
+}
+
+/// The wire tag paired with `variant` in the `tagged_enum_serde!` macro
+/// invocation for `Request`: the first string literal after the variant's
+/// `=>` inside that invocation.
+fn wire_tag(proto: &SourceFile, variant: &str) -> Option<String> {
+    let masked = &proto.lexed.masked;
+    let bytes = masked.as_bytes();
+    let mut from = 0;
+    let (open, close) = loop {
+        let at = find_ident_token(masked, "tagged_enum_serde", from)?;
+        from = at + 1;
+        let mut i = at + "tagged_enum_serde".len();
+        if bytes.get(i) != Some(&b'!') {
+            continue;
+        }
+        i += 1;
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) != Some(&b'(') {
+            continue;
+        }
+        let open = i;
+        let mut depth = 0i32;
+        let mut j = open;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' => depth += 1,
+                b')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        // The invocation we want names `Request` first.
+        if find_ident_token(masked, "Request", open)
+            .is_some_and(|r| r < j && masked[open + 1..r].trim().is_empty())
+        {
+            break (open, j);
+        }
+    };
+    let at = find_ident_token(masked, variant, open)?;
+    if at >= close {
+        return None;
+    }
+    let arrow = masked[at..close].find("=>").map(|o| at + o)?;
+    proto
+        .lexed
+        .strings
+        .iter()
+        .find(|s| s.offset > arrow && s.offset < close)
+        .map(|s| s.value.clone())
+}
+
+/// Whether an lv-client string literal selects wire tag `tag`.
+fn tag_matches(tag: &str, lit: &str) -> bool {
+    lit == tag || lit == tag.replace('_', "-") || (lit.len() >= 3 && tag.starts_with(lit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn ws(files: Vec<(&str, &str)>) -> Workspace {
+        Workspace {
+            root: PathBuf::from("/nonexistent"),
+            files: files
+                .into_iter()
+                .map(|(rel, text)| SourceFile::parse(rel.into(), text.into()))
+                .collect(),
+            manifests: Vec::new(),
+        }
+    }
+
+    const PROTO_OK: &str = r#"
+pub enum Request {
+    Estimate(EstimateRequest),
+    Status,
+}
+tagged_enum_serde!(Request {
+    Estimate(EstimateRequest) => "estimate",
+    ;
+    Status => "status",
+});
+tagged_enum_serde!(Response {
+    Estimate(EstimateResponse) => "estimate",
+    ;
+    Ready => "ready",
+});
+"#;
+
+    const SERVICE_OK: &str = r#"
+impl ThresholdService {
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
+            Request::Status => Ok(Response::Status(self.status())),
+        }
+    }
+}
+"#;
+
+    const CLIENT_OK: &str = r#"
+fn run(cmd: &str) {
+    match cmd {
+        "estimate" => estimate(),
+        "status" => status(),
+        _ => usage(),
+    }
+}
+"#;
+
+    #[test]
+    fn fully_plumbed_protocol_is_clean() {
+        let ws = ws(vec![
+            (PROTO_RS, PROTO_OK),
+            (SERVICE_RS, SERVICE_OK),
+            (CLIENT_RS, CLIENT_OK),
+        ]);
+        let diags = ProtoExhaustive.run(&ws);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_dispatch_arm_is_flagged_at_the_variant_line() {
+        let service = r#"
+impl ThresholdService {
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
+            _ => Response::Error(unknown()),
+        }
+    }
+}
+"#;
+        let ws = ws(vec![
+            (PROTO_RS, PROTO_OK),
+            (SERVICE_RS, service),
+            (CLIENT_RS, CLIENT_OK),
+        ]);
+        let diags = ProtoExhaustive.run(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .message
+            .contains("`Request::Status` has no dispatch arm"));
+        assert_eq!(diags[0].file, PROTO_RS);
+        assert_eq!(diags[0].line, 4, "anchored at the Status variant");
+    }
+
+    #[test]
+    fn arm_without_a_response_is_flagged() {
+        let service = r#"
+impl ThresholdService {
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
+            Request::Status => std::process::exit(0),
+        }
+    }
+}
+"#;
+        let ws = ws(vec![
+            (PROTO_RS, PROTO_OK),
+            (SERVICE_RS, service),
+            (CLIENT_RS, CLIENT_OK),
+        ]);
+        let diags = ProtoExhaustive.run(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0]
+            .message
+            .contains("produces no `Response` counterpart"));
+    }
+
+    #[test]
+    fn missing_wire_tag_is_flagged() {
+        let proto = r#"
+pub enum Request {
+    Estimate(EstimateRequest),
+    Status,
+}
+tagged_enum_serde!(Request {
+    Estimate(EstimateRequest) => "estimate",
+    ;
+});
+"#;
+        let ws = ws(vec![
+            (PROTO_RS, proto),
+            (SERVICE_RS, SERVICE_OK),
+            (CLIENT_RS, CLIENT_OK),
+        ]);
+        let diags = ProtoExhaustive.run(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains("has no wire tag"));
+    }
+
+    #[test]
+    fn tag_without_client_subcommand_is_flagged() {
+        let client = r#"
+fn run(cmd: &str) {
+    match cmd {
+        "estimate" => estimate(),
+        _ => usage(),
+    }
+}
+"#;
+        let ws = ws(vec![
+            (PROTO_RS, PROTO_OK),
+            (SERVICE_RS, SERVICE_OK),
+            (CLIENT_RS, client),
+        ]);
+        let diags = ProtoExhaustive.run(&ws);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert!(diags[0].message.contains(
+            "wire tag `status` (`Request::Status`) has no matching lv-client subcommand"
+        ));
+    }
+
+    #[test]
+    fn subcommand_matching_allows_dashes_and_prefixes() {
+        assert!(tag_matches("cache_stats", "cache-stats"));
+        assert!(tag_matches("sweep_surface", "sweep"));
+        assert!(tag_matches("status", "status"));
+        assert!(!tag_matches("status", "st"), "prefix must be >= 3 chars");
+        assert!(!tag_matches("status", "shutdown"));
+    }
+
+    #[test]
+    fn response_tags_are_not_mistaken_for_request_tags() {
+        // `Ready` exists only in the Response invocation; the Request
+        // lookup must not find it there.
+        let ws = ws(vec![(PROTO_RS, PROTO_OK)]);
+        let proto = ws.file(PROTO_RS).unwrap();
+        assert_eq!(wire_tag(proto, "Estimate").as_deref(), Some("estimate"));
+        assert_eq!(wire_tag(proto, "Ready"), None);
+    }
+
+    #[test]
+    fn tree_without_a_protocol_is_out_of_scope() {
+        let ws = ws(vec![("crates/sim/src/lib.rs", "fn f() {}")]);
+        assert!(ProtoExhaustive.run(&ws).is_empty());
+    }
+}

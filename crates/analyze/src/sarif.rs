@@ -1,0 +1,108 @@
+//! SARIF 2.1.0 output for `--format sarif`.
+//!
+//! Hand-rolled like the JSON output: the analyzer is pure std and the
+//! subset of SARIF it emits is one run with one tool driver, the pass
+//! roster as rules, and one result per violation. That is enough for
+//! code-scanning UIs and workflow-artifact viewers to render findings
+//! with file/line anchors.
+
+use crate::diag::{escape_json, Diagnostic};
+use crate::passes::Pass;
+use crate::Report;
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+/// Renders the report (violations only; suppressed findings are resolved
+/// annotations, not results) as a SARIF 2.1.0 log.
+pub fn render_sarif(passes: &[Box<dyn Pass>], report: &Report) -> String {
+    let mut rule_ids: Vec<(String, String)> = passes
+        .iter()
+        .map(|p| (p.id().to_string(), p.description().to_string()))
+        .collect();
+    // Driver-level diagnostics (the allow grammar) carry rule ids outside
+    // the roster; every result's ruleId must resolve to a rule.
+    for d in &report.violations {
+        if !rule_ids.iter().any(|(id, _)| *id == d.pass) {
+            rule_ids.push((d.pass.clone(), String::new()));
+        }
+    }
+
+    let rules: Vec<String> = rule_ids
+        .iter()
+        .map(|(id, description)| {
+            format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                escape_json(id),
+                escape_json(description)
+            )
+        })
+        .collect();
+    let results: Vec<String> = report.violations.iter().map(render_result).collect();
+
+    format!(
+        "{{\"$schema\":\"{SCHEMA}\",\"version\":\"2.1.0\",\"runs\":[{{\
+\"tool\":{{\"driver\":{{\"name\":\"lv-analyze\",\"rules\":[{}]}}}},\
+\"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
+}
+
+fn render_result(d: &Diagnostic) -> String {
+    format!(
+        "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+\"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+\"region\":{{\"startLine\":{}}}}}}}]}}",
+        escape_json(&d.pass),
+        d.severity.sarif_level(),
+        escape_json(&d.message),
+        escape_json(&d.file),
+        d.line.max(1)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use crate::passes::default_passes;
+
+    fn report(violations: Vec<Diagnostic>) -> Report {
+        Report {
+            violations,
+            suppressed: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_empty_results() {
+        let sarif = render_sarif(&default_passes(), &report(Vec::new()));
+        assert!(sarif.contains("\"version\":\"2.1.0\""));
+        assert!(sarif.contains("\"name\":\"lv-analyze\""));
+        assert!(sarif.contains("\"results\":[]"));
+        assert!(sarif.contains("\"id\":\"lock-order\""));
+    }
+
+    #[test]
+    fn violations_render_with_location_and_level() {
+        let mut warn = Diagnostic::new("crates/x/src/a.rs", 7, "lock-order", "cycle");
+        warn.severity = Severity::Warn;
+        let deny = Diagnostic::new("crates/x/Cargo.toml", 0, "crate-layering", "inversion");
+        let sarif = render_sarif(&default_passes(), &report(vec![warn, deny]));
+        assert!(sarif.contains("\"ruleId\":\"lock-order\""));
+        assert!(sarif.contains("\"level\":\"warning\""));
+        assert!(sarif.contains("\"level\":\"error\""));
+        assert!(sarif.contains("\"uri\":\"crates/x/src/a.rs\""));
+        assert!(sarif.contains("\"startLine\":7"));
+        assert!(sarif.contains("\"startLine\":1"), "line 0 clamps to 1");
+    }
+
+    #[test]
+    fn non_roster_rule_ids_get_a_rule_entry() {
+        let d = Diagnostic::new("a.rs", 1, "allow-grammar", "malformed");
+        let sarif = render_sarif(&default_passes(), &report(vec![d]));
+        assert!(sarif.contains("\"id\":\"allow-grammar\""));
+        assert!(sarif.contains("\"ruleId\":\"allow-grammar\""));
+    }
+}

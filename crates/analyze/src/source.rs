@@ -1,5 +1,6 @@
 //! Source model: the loaded workspace tree, per-file lexed views,
-//! `#[cfg(test)]` region detection, and `lv-analyze::allow` annotations.
+//! `#[cfg(test)]` region detection, `lv-analyze::allow` annotations, and
+//! parsed `Cargo.toml` manifests (for the crate-layering pass).
 
 use std::collections::BTreeMap;
 use std::io;
@@ -78,14 +79,153 @@ impl SourceFile {
     }
 }
 
-/// The loaded workspace: every `.rs` file under `src/` trees, plus
-/// on-demand access to non-Rust files (README.md, PROTOCOL.md, API.txt).
+/// One dependency declaration in a `Cargo.toml`.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// The dependency's package name (dashes preserved).
+    pub name: String,
+    /// 1-based line of the declaration.
+    pub line: usize,
+    /// Whether it was declared under `[dev-dependencies]`.
+    pub dev: bool,
+}
+
+/// One parsed `Cargo.toml`. The parser covers the TOML subset the
+/// workspace uses: `[section]` headers, `key = value` lines,
+/// `[dependencies.NAME]` sub-tables, and `#` comments (which may carry
+/// `lv-analyze::allow(...)` annotations, same grammar as in Rust source).
+#[derive(Debug)]
+pub struct ManifestFile {
+    /// Path relative to the workspace root, `/`-separated.
+    pub rel: String,
+    /// `[package] name`, if the manifest declares a package.
+    pub package: Option<String>,
+    /// Every `[dependencies]` / `[dev-dependencies]` entry.
+    pub deps: Vec<Dep>,
+    /// Well-formed allow annotations found in `#` comments.
+    pub allows: Vec<Allow>,
+    /// Malformed allow annotations.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+impl ManifestFile {
+    /// Parses one manifest. A trailing `# lv-analyze::allow(...)` targets
+    /// its own line; a standalone one targets the next non-blank,
+    /// non-comment line (i.e. the dependency entry below it).
+    pub fn parse(rel: String, text: &str) -> ManifestFile {
+        let mut manifest = ManifestFile {
+            rel,
+            package: None,
+            deps: Vec::new(),
+            allows: Vec::new(),
+            bad_allows: Vec::new(),
+        };
+        // Standalone allow comments waiting for their target line.
+        let mut pending: Vec<(usize, String, String)> = Vec::new();
+        let mut section = String::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let (code, comment) = split_toml_comment(raw);
+            let code = code.trim();
+            if let Some(comment) = comment {
+                if let Some(after) = comment.trim_start().strip_prefix("lv-analyze::allow") {
+                    match parse_allow_args(after) {
+                        Ok((pass, reason)) if code.is_empty() => {
+                            pending.push((line_no, pass, reason));
+                        }
+                        Ok((pass, reason)) => manifest.allows.push(Allow {
+                            pass,
+                            reason,
+                            target_line: line_no,
+                            comment_line: line_no,
+                        }),
+                        Err(message) => manifest.bad_allows.push(BadAllow {
+                            line: line_no,
+                            message,
+                        }),
+                    }
+                }
+            }
+            if code.is_empty() {
+                continue;
+            }
+            for (comment_line, pass, reason) in pending.drain(..) {
+                manifest.allows.push(Allow {
+                    pass,
+                    reason,
+                    target_line: line_no,
+                    comment_line,
+                });
+            }
+            if let Some(header) = code.strip_prefix('[') {
+                section = header.trim_end_matches(']').trim().to_string();
+                // `[dependencies.NAME]` sub-table headers declare a dep.
+                for (prefix, dev) in [("dependencies.", false), ("dev-dependencies.", true)] {
+                    if let Some(name) = section.strip_prefix(prefix) {
+                        manifest.deps.push(Dep {
+                            name: name.trim_matches(|c| c == '"' || c == '\'').to_string(),
+                            line: line_no,
+                            dev,
+                        });
+                    }
+                }
+                continue;
+            }
+            match section.as_str() {
+                "package" => {
+                    if let Some(value) = code.strip_prefix("name") {
+                        let value = value.trim_start();
+                        if let Some(value) = value.strip_prefix('=') {
+                            manifest.package = Some(value.trim().trim_matches('"').to_string());
+                        }
+                    }
+                }
+                "dependencies" | "dev-dependencies" => {
+                    let name: String = code
+                        .chars()
+                        .take_while(|&c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        manifest.deps.push(Dep {
+                            name,
+                            line: line_no,
+                            dev: section == "dev-dependencies",
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        manifest
+    }
+}
+
+/// Splits a TOML line into (code, comment-after-`#`), ignoring `#` inside
+/// double-quoted strings.
+fn split_toml_comment(line: &str) -> (&str, Option<&str>) {
+    let bytes = line.as_bytes();
+    let mut in_string = false;
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' => in_string = !in_string,
+            b'#' if !in_string => return (&line[..i], Some(&line[i + 1..])),
+            _ => {}
+        }
+    }
+    (line, None)
+}
+
+/// The loaded workspace: every `.rs` file under `src/` trees, every
+/// `Cargo.toml`, plus on-demand access to non-Rust files (README.md,
+/// PROTOCOL.md, API.txt).
 #[derive(Debug)]
 pub struct Workspace {
     /// Workspace root directory.
     pub root: PathBuf,
     /// All loaded files, sorted by relative path.
     pub files: Vec<SourceFile>,
+    /// All `Cargo.toml` manifests, sorted by relative path.
+    pub manifests: Vec<ManifestFile>,
 }
 
 impl Workspace {
@@ -95,14 +235,20 @@ impl Workspace {
     /// emitted in a stable order.
     pub fn load(root: &Path) -> io::Result<Workspace> {
         let mut map: BTreeMap<String, String> = BTreeMap::new();
-        walk(root, root, &mut map)?;
+        let mut manifest_map: BTreeMap<String, String> = BTreeMap::new();
+        walk(root, root, &mut map, &mut manifest_map)?;
         let files = map
             .into_iter()
             .map(|(rel, text)| SourceFile::parse(rel, text))
             .collect();
+        let manifests = manifest_map
+            .into_iter()
+            .map(|(rel, text)| ManifestFile::parse(rel, &text))
+            .collect();
         Ok(Workspace {
             root: root.to_path_buf(),
             files,
+            manifests,
         })
     }
 
@@ -128,7 +274,12 @@ impl Workspace {
     }
 }
 
-fn walk(root: &Path, dir: &Path, map: &mut BTreeMap<String, String>) -> io::Result<()> {
+fn walk(
+    root: &Path,
+    dir: &Path,
+    map: &mut BTreeMap<String, String>,
+    manifests: &mut BTreeMap<String, String>,
+) -> io::Result<()> {
     let mut entries: Vec<_> = std::fs::read_dir(dir)?.collect::<Result<_, _>>()?;
     entries.sort_by_key(|e| e.file_name());
     for entry in entries {
@@ -139,8 +290,8 @@ fn walk(root: &Path, dir: &Path, map: &mut BTreeMap<String, String>) -> io::Resu
             if matches!(&*name, "target" | ".git" | "tests" | "benches" | "examples") {
                 continue;
             }
-            walk(root, &path, map)?;
-        } else if name.ends_with(".rs") {
+            walk(root, &path, map, manifests)?;
+        } else if name.ends_with(".rs") || &*name == "Cargo.toml" {
             let rel = path
                 .strip_prefix(root)
                 .unwrap_or(&path)
@@ -148,6 +299,10 @@ fn walk(root: &Path, dir: &Path, map: &mut BTreeMap<String, String>) -> io::Resu
                 .map(|c| c.as_os_str().to_string_lossy())
                 .collect::<Vec<_>>()
                 .join("/");
+            if &*name == "Cargo.toml" {
+                manifests.insert(rel, std::fs::read_to_string(&path)?);
+                continue;
+            }
             // Only files inside a `src/` tree are part of the analyzed
             // surface; build scripts and stray scripts are out of scope.
             if rel.split('/').any(|seg| seg == "src") {
@@ -464,5 +619,48 @@ mod tests {
         let f = SourceFile::parse("x.rs".into(), src.into());
         assert!(f.allows.is_empty());
         assert_eq!(f.bad_allows.len(), 1);
+    }
+
+    #[test]
+    fn manifest_parses_package_and_deps() {
+        let toml = "[package]\nname = \"lv-sim\"\n\n[dependencies]\nlv-engine.workspace = true\nserde = { path = \"../compat/serde\" }\n\n[dev-dependencies]\nproptest.workspace = true\n\n[dependencies.lv-ode]\npath = \"../ode\"\n";
+        let m = ManifestFile::parse("crates/sim/Cargo.toml".into(), toml);
+        assert_eq!(m.package.as_deref(), Some("lv-sim"));
+        let names: Vec<(&str, bool)> = m.deps.iter().map(|d| (d.name.as_str(), d.dev)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("lv-engine", false),
+                ("serde", false),
+                ("proptest", true),
+                ("lv-ode", false),
+            ]
+        );
+        assert_eq!(m.deps[0].line, 5);
+    }
+
+    #[test]
+    fn manifest_skips_workspace_dependency_table() {
+        let toml =
+            "[workspace]\nmembers = [\"a\"]\n\n[workspace.dependencies]\nrand = { path = \"x\" }\n";
+        let m = ManifestFile::parse("Cargo.toml".into(), toml);
+        assert!(m.package.is_none());
+        assert!(m.deps.is_empty());
+    }
+
+    #[test]
+    fn manifest_allow_comments_follow_the_rust_grammar() {
+        let toml = "[dependencies]\n# lv-analyze::allow(crate-layering, reason = \"doctest harness\")\nlv-chains.workspace = true\nrand.workspace = true # lv-analyze::allow(crate-layering, reason = \"trailing\")\n# lv-analyze::allow(crate-layering)\nserde.workspace = true\n";
+        let m = ManifestFile::parse("crates/x/Cargo.toml".into(), toml);
+        assert_eq!(m.allows.len(), 2);
+        assert_eq!(m.allows[0].target_line, 3, "standalone targets next entry");
+        assert_eq!(m.allows[1].target_line, 4, "trailing targets own line");
+        assert_eq!(m.bad_allows.len(), 1, "reason-less allow is malformed");
+        // A `#` inside a string is not a comment.
+        let m = ManifestFile::parse(
+            "c.toml".into(),
+            "[package]\ndescription = \"a # b\"\nname = \"x\"\n",
+        );
+        assert_eq!(m.package.as_deref(), Some("x"));
     }
 }

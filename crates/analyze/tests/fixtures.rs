@@ -86,6 +86,137 @@ fn api_snapshot_fixtures() {
     assert_pass_fixtures("api-snapshot", &["api-snapshot"]);
 }
 
+#[test]
+fn lock_order_fixtures() {
+    assert_pass_fixtures("lock-order", &["lock-order"]);
+}
+
+/// Regression: a two-mutex cycle whose second edge runs through a
+/// one-level fn call must be reported, naming both acquisition sites,
+/// the linking call, and the canonical order from sync.rs; the guard
+/// held across a channel send is flagged too.
+#[test]
+fn lock_order_reports_the_cycle_through_a_call() {
+    let bad = analyze(&fixture_root("lock-order", "bad"), &["lock-order"], &[]);
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert_eq!(bad.status.code(), Some(1), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("via the call to `bump_alpha`"),
+        "interprocedural edge must name the linking call:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("lock `alpha` acquired at crates/server/src/state.rs:")
+            && stdout.contains("a guard of `beta` (acquired at crates/server/src/state.rs:"),
+        "cycle diagnostic must name both acquisition sites:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("canonical order (crates/server/src/sync.rs): alpha -> beta."),
+        "diagnostic must quote the documented order:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("blocking call `send(...)`"),
+        "guard held across a channel send must be flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn crate_layering_fixtures() {
+    assert_pass_fixtures("crate-layering", &["crate-layering"]);
+    // The bad tree reports both failure kinds, anchored in the manifest;
+    // the clean tree's unused dep is justified by a manifest allow.
+    let bad = analyze(
+        &fixture_root("crate-layering", "bad"),
+        &["crate-layering"],
+        &[],
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert!(
+        stdout.contains("layering inversion") && stdout.contains("`lv-server`"),
+        "inversion must be reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("`lv-ode` is never referenced"),
+        "unused dep must be reported:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("crates/sim/Cargo.toml:"),
+        "diagnostics must anchor at the manifest:\n{stdout}"
+    );
+}
+
+#[test]
+fn proto_exhaustive_fixtures() {
+    assert_pass_fixtures("proto-exhaustive", &["proto-exhaustive"]);
+    // The bad tree's `Flush` variant is missing all three plumbing sites.
+    let bad = analyze(
+        &fixture_root("proto-exhaustive", "bad"),
+        &["proto-exhaustive"],
+        &[],
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert!(
+        stdout.contains("`Request::Flush` has no dispatch arm"),
+        "missing dispatch arm:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("no matching lv-client subcommand"),
+        "missing client subcommand:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("not documented"),
+        "missing PROTOCOL.md section:\n{stdout}"
+    );
+}
+
+/// `--format sarif` renders a minimal SARIF 2.1.0 log: versioned, tool
+/// name set, one result per violation with rule id, level, and location.
+#[test]
+fn sarif_format_is_well_formed() {
+    let bad = analyze(
+        &fixture_root("lock-order", "bad"),
+        &["lock-order"],
+        &["--format", "sarif"],
+    );
+    let stdout = String::from_utf8_lossy(&bad.stdout).to_string();
+    assert_eq!(bad.status.code(), Some(1), "sarif:\n{stdout}");
+    for needle in [
+        "\"version\":\"2.1.0\"",
+        "\"name\":\"lv-analyze\"",
+        "\"ruleId\":\"lock-order\"",
+        "\"level\":\"error\"",
+        "\"startLine\":",
+        "\"uri\":\"crates/server/src/state.rs\"",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle}:\n{stdout}");
+    }
+
+    let clean = analyze(
+        &fixture_root("lock-order", "clean"),
+        &["lock-order"],
+        &["--format", "sarif"],
+    );
+    let stdout = String::from_utf8_lossy(&clean.stdout).to_string();
+    assert_eq!(clean.status.code(), Some(0), "sarif:\n{stdout}");
+    assert!(stdout.contains("\"results\":[]"), "sarif:\n{stdout}");
+}
+
+/// `--warn ID` demotes a pass's findings: still reported, no longer
+/// gating.
+#[test]
+fn warn_flag_demotes_violations_to_non_gating() {
+    let out = analyze(
+        &fixture_root("lock-order", "bad"),
+        &["lock-order"],
+        &["--warn", "lock-order"],
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(0), "stdout:\n{stdout}");
+    assert!(
+        stdout.contains("warning: "),
+        "findings must still print:\n{stdout}"
+    );
+}
+
 /// Allow-annotation grammar rides along with whichever passes run: a
 /// reason-less or empty-reason annotation and a stale annotation are
 /// violations; well-formed trailing and standalone annotations suppress.

@@ -1,0 +1,6 @@
+//! Crate-layering bad fixture: the manifest declares a dependency on the
+//! server (a layering inversion) and on lv-ode (never referenced).
+
+pub fn poll() -> &'static str {
+    lv_server::status()
+}

@@ -1,0 +1,7 @@
+//! Crate-layering clean fixture: the engine dependency is referenced and
+//! the deliberately-unused lv-ode dependency is justified with an allow
+//! annotation in the manifest.
+
+pub fn run() -> lv_engine::Scenario {
+    lv_engine::Scenario::default()
+}

@@ -1,0 +1,31 @@
+//! Lock-order bad fixture: an `alpha -> beta -> alpha` cycle whose second
+//! edge runs through a one-level fn call, plus a guard held across a
+//! channel send.
+
+pub struct State {
+    alpha: std::sync::Mutex<u64>,
+    beta: std::sync::Mutex<u64>,
+}
+
+impl State {
+    pub fn forward(&self) {
+        let alpha = sync::lock(&self.alpha);
+        let mut beta = sync::lock(&self.beta);
+        *beta += *alpha;
+    }
+
+    pub fn reverse(&self) -> u64 {
+        let beta = sync::lock(&self.beta);
+        self.bump_alpha();
+        *beta
+    }
+
+    pub fn bump_alpha(&self) {
+        *sync::lock(&self.alpha) += 1;
+    }
+
+    pub fn broadcast(&self, tx: &std::sync::mpsc::Sender<u64>) {
+        let beta = sync::lock(&self.beta);
+        tx.send(*beta).ok();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture sync helpers.
+//!
+//! Lock order: alpha -> beta.
+
+pub fn lock() {}

@@ -1,0 +1,31 @@
+//! Lock-order clean fixture: consistent nesting order everywhere, and a
+//! drop-before-reacquire path that must not count as holding both locks.
+
+pub struct State {
+    alpha: std::sync::Mutex<u64>,
+    beta: std::sync::Mutex<u64>,
+}
+
+impl State {
+    pub fn forward(&self) {
+        let alpha = sync::lock(&self.alpha);
+        let mut beta = sync::lock(&self.beta);
+        *beta += *alpha;
+    }
+
+    pub fn one_at_a_time(&self) -> u64 {
+        let alpha = sync::lock(&self.alpha);
+        let bump = *alpha + 1;
+        drop(alpha);
+        let mut beta = sync::lock(&self.beta);
+        *beta += bump;
+        *beta
+    }
+
+    pub fn send_after_release(&self, tx: &std::sync::mpsc::Sender<u64>) {
+        let beta = sync::lock(&self.beta);
+        let snapshot = *beta;
+        drop(beta);
+        tx.send(snapshot).ok();
+    }
+}

@@ -1,0 +1,7 @@
+fn run(command: &str) {
+    match command {
+        "estimate" => estimate(),
+        "status" => status(),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,21 @@
+//! Proto-exhaustive bad fixture: `Flush` has a wire tag but no dispatch
+//! arm, no client subcommand, and no PROTOCOL.md section.
+
+pub enum Request {
+    Estimate(EstimateRequest),
+    Status,
+    Flush,
+}
+
+tagged_enum_serde!(Request {
+    Estimate(EstimateRequest) => "estimate",
+    ;
+    Status => "status",
+    Flush => "flush",
+});
+
+tagged_enum_serde!(Response {
+    Estimate(EstimateResponse) => "estimate",
+    Status(StatusResponse) => "status",
+    ;
+});

@@ -1,0 +1,11 @@
+pub struct ThresholdService;
+
+impl ThresholdService {
+    pub fn handle(&self, request: &Request) -> Response {
+        match request {
+            Request::Estimate(r) => self.estimate(r).map(Response::Estimate),
+            Request::Status => Ok(Response::Status(self.status())),
+            _ => Response::Error(unknown()),
+        }
+    }
+}

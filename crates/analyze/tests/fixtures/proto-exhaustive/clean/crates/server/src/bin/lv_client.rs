@@ -1,0 +1,8 @@
+fn run(command: &str) {
+    match command {
+        "estimate" => estimate(),
+        "status" => status(),
+        "cache-stats" => cache_stats(),
+        _ => usage(),
+    }
+}

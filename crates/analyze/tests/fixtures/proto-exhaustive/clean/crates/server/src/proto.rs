@@ -1,0 +1,23 @@
+//! Proto-exhaustive clean fixture: every variant is fully plumbed — a
+//! dispatch arm, a wire tag, a client subcommand (`cache-stats` matches
+//! `cache_stats` by dash mapping), and a PROTOCOL.md section.
+
+pub enum Request {
+    Estimate(EstimateRequest),
+    Status,
+    CacheStats,
+}
+
+tagged_enum_serde!(Request {
+    Estimate(EstimateRequest) => "estimate",
+    ;
+    Status => "status",
+    CacheStats => "cache_stats",
+});
+
+tagged_enum_serde!(Response {
+    Estimate(EstimateResponse) => "estimate",
+    Status(StatusResponse) => "status",
+    CacheStats(CacheStatsResponse) => "cache_stats",
+    ;
+});

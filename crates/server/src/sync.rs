@@ -10,6 +10,19 @@
 //! accumulate by whole-number bumps and table entries are inserted or
 //! removed atomically — so the data under a poisoned lock is still
 //! coherent and the next request can proceed.
+//!
+//! Lock order: surface -> keys -> queue -> done -> failures -> workers.
+//!
+//! That is the canonical acquisition order across the server — the
+//! service's surface cache, the single-flight key table, then the
+//! executor's queue/done/failures trio, then the worker-handle list. No
+//! code path today holds one of these while taking another (each guard
+//! is a statement-scoped temporary or is dropped before the next
+//! acquisition; `flight::Table::acquire` holds `keys` across a condvar
+//! wait, which re-acquires the *same* lock, not a second one). The
+//! `lock-order` pass in `crates/analyze` checks this statically and
+//! quotes the order above in its diagnostics; keep both in sync when
+//! adding a lock.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
