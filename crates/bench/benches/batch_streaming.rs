@@ -24,10 +24,13 @@ fn bench(c: &mut Criterion) {
     // Direction to watch: the 4-thread kernel must not trail the 1-thread
     // kernel by more than scheduling noise. On a box with ≥ 4 physical cores
     // it should be markedly *faster*; on an oversubscribed (1-core) box the
-    // two should sit within a few percent — a persistent multi-×-percent gap
-    // means per-trial channel traffic has crept back into the worker loop
-    // (reports must travel in `FLUSH_TRIALS`-sized chunks, and auto shard
-    // sizing must key on physical cores, not configured threads).
+    // executor's worker clamp (`effective_workers`: min of configured
+    // threads, physical cores and scheduled flush chunks) collapses both
+    // configurations onto the same sequential plan, so the two should be
+    // indistinguishable. A persistent multi-×-percent gap means the clamp
+    // has regressed or per-trial channel traffic has crept back into the
+    // worker loop (reports must travel in `FLUSH_TRIALS`-sized chunks).
+    // `perf-snapshot` asserts this direction on every run.
     for threads in [1usize, 4] {
         let mc = MonteCarlo::new(STREAM_TRIALS, bench_seed()).with_threads(threads);
         group.bench_function(

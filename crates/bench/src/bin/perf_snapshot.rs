@@ -2,13 +2,13 @@
 //! artifact.
 //!
 //! Runs the fixed-work kernels the Criterion benches measure interactively
-//! (`simulator_kernels_k6`, `batch_streaming`, `protocol_batching`,
-//! `protocol_bridging`) plus the threshold-surface server's cache-hit round
-//! trip (`server_roundtrip`) with a plain wall-clock timer and writes the
-//! results to `BENCH_7.json`, so the performance trajectory of the hot paths
-//! is recorded per revision instead of living only in scrollback. CI runs
-//! `--quick` mode on every push, which keeps the artifact (and the kernels
-//! behind it) from rotting.
+//! (`simulator_kernels_k6`, `batch_streaming`, `sampling_kernels`,
+//! `protocol_batching`, `protocol_bridging`) plus the threshold-surface
+//! server's cache-hit round trip (`server_roundtrip`) with a plain
+//! wall-clock timer and writes the results to `BENCH_8.json`, so the
+//! performance trajectory of the hot paths is recorded per revision instead
+//! of living only in scrollback. CI runs `--quick` mode on every push, which
+//! keeps the artifact (and the kernels behind it) from rotting.
 //!
 //! ```text
 //! perf-snapshot [--quick] [--out PATH]
@@ -83,7 +83,7 @@ fn json_escape(s: &str) -> String {
 
 fn main() {
     let mut quick = false;
-    let mut out_path = "BENCH_7.json".to_string();
+    let mut out_path = "BENCH_8.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -104,6 +104,7 @@ fn main() {
     }
     let reps = if quick { 3 } else { 10 };
     let mut kernels: Vec<Kernel> = Vec::new();
+    let mut speedups: Vec<Speedup> = Vec::new();
 
     // ---- simulator_kernels_k6: 5000 exact CRN events on a symmetric
     // 6-species network, per simulator.
@@ -129,18 +130,180 @@ fn main() {
     // streaming executor, 1 and 4 threads.
     let stream_trials: u64 = if quick { 128 } else { 512 };
     let lv = LvModel::neutral(CompetitionKind::SelfDestructive, 1.0, 1.0, 1.0);
-    for threads in [1usize, 4] {
+    let mut stream_ms = [0.0f64; 2];
+    for (slot, threads) in [1usize, 4].into_iter().enumerate() {
         let mc = MonteCarlo::new(stream_trials, seed()).with_threads(threads);
         let wall_ms = time_ms(reps, || {
             let estimate = mc.success_probability(&lv, 282, 230);
             assert_eq!(estimate.trials(), stream_trials);
         });
+        stream_ms[slot] = wall_ms;
         kernels.push(Kernel {
             name: format!(
                 "batch_streaming/success_probability_{stream_trials}trials_{threads}threads"
             ),
             wall_ms,
             events: 0,
+        });
+    }
+    // Direction guard: asking for more threads must never *lose* to one
+    // thread. The executor clamps its worker count to the machine's cores and
+    // to the scheduled chunk count, so on a small batch the 4-thread request
+    // degenerates to the same plan as the 1-thread one instead of paying
+    // spawn/steal overhead for work that is too thin to split (the BENCH_7
+    // regression: 4.25 ms at 4 threads vs 3.97 ms at 1). Allow 25% noise.
+    assert!(
+        stream_ms[1] <= stream_ms[0] * 1.25,
+        "multi-thread streaming regressed vs single-thread: {:.3} ms at 4 threads vs {:.3} ms at 1",
+        stream_ms[1],
+        stream_ms[0],
+    );
+
+    // ---- sampling_kernels: per-draw cost of the urn samplers, retired
+    // inversion walk vs the constant-expected-time rejection kernels, at the
+    // urn shapes the k = 3 batched epoch actually draws from. The binomial
+    // comparison is pinned at n = 2¹⁶ where the *old* implementation was
+    // still exact (beyond that it switched to a normal approximation, so
+    // timing it there would compare different distributions). The prepared
+    // entries re-use a cached sampler across draws — the per-epoch pattern
+    // in `CountedSimulation` and `BridgedConversionWalk`.
+    {
+        use lv_protocols::sampling::{
+            sample_binomial, sample_binomial_by_inversion, sample_hypergeometric,
+            sample_hypergeometric_by_inversion, BinomialSampler, HypergeometricSampler,
+        };
+        use rand::{Rng, SeedableRng};
+        let draws: u64 = if quick { 50_000 } else { 200_000 };
+        let hyper_urns: &[(&str, u64, u64, u64)] = &[
+            ("population_split_n1e6", 500_000, 500_000, 1_772),
+            ("initiator_split_n1e6", 300_000, 200_000, 886),
+            ("small_urn", 600, 600, 400),
+        ];
+        for &(label, s, f, d) in hyper_urns {
+            let old_ms = time_ms(reps, || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+                let mut acc = 0u64;
+                for _ in 0..draws {
+                    acc = acc.wrapping_add(sample_hypergeometric_by_inversion(&mut rng, s, f, d));
+                }
+                std::hint::black_box(acc);
+            });
+            let new_ms = time_ms(reps, || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+                let mut acc = 0u64;
+                for _ in 0..draws {
+                    acc = acc.wrapping_add(sample_hypergeometric(&mut rng, s, f, d));
+                }
+                std::hint::black_box(acc);
+            });
+            let prepared_ms = time_ms(reps, || {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+                let sampler = HypergeometricSampler::new(s, f, d);
+                let mut acc = 0u64;
+                for _ in 0..draws {
+                    acc = acc.wrapping_add(sampler.sample(&mut rng));
+                }
+                std::hint::black_box(acc);
+            });
+            for (variant, ms) in [
+                ("inversion", old_ms),
+                ("rejection", new_ms),
+                ("rejection_prepared", prepared_ms),
+            ] {
+                kernels.push(Kernel {
+                    name: format!("sampling_kernels/hypergeometric_{label}_{variant}"),
+                    wall_ms: ms,
+                    events: draws,
+                });
+            }
+            speedups.push(Speedup {
+                name: format!("hypergeometric_rejection_vs_inversion_{label}"),
+                baseline_ms: old_ms,
+                accelerated_ms: new_ms,
+            });
+        }
+        let (n, p) = (65_536u64, 0.5f64);
+        let old_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(sample_binomial_by_inversion(&mut rng, n, p));
+            }
+            std::hint::black_box(acc);
+        });
+        let new_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(sample_binomial(&mut rng, n, p));
+            }
+            std::hint::black_box(acc);
+        });
+        let prepared_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+            let sampler = BinomialSampler::new(n, p);
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(sampler.sample(&mut rng));
+            }
+            std::hint::black_box(acc);
+        });
+        for (variant, ms) in [
+            ("inversion", old_ms),
+            ("btrs", new_ms),
+            ("btrs_prepared", prepared_ms),
+        ] {
+            kernels.push(Kernel {
+                name: format!("sampling_kernels/binomial_n65536_p05_{variant}"),
+                wall_ms: ms,
+                events: draws,
+            });
+        }
+        speedups.push(Speedup {
+            name: "binomial_btrs_vs_inversion_n65536".to_string(),
+            baseline_ms: old_ms,
+            accelerated_ms: new_ms,
+        });
+        // Poisson: the retired Knuth product-of-uniforms at mean 50 (O(mean)
+        // uniforms per draw) vs the PTRS rejection kernel (O(1)).
+        let mean = 50.0f64;
+        let knuth_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+            let threshold = (-mean).exp();
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                let mut k = 0u64;
+                let mut product: f64 = 1.0;
+                loop {
+                    product *= rng.gen::<f64>();
+                    if product <= threshold {
+                        break;
+                    }
+                    k += 1;
+                }
+                acc = acc.wrapping_add(k);
+            }
+            std::hint::black_box(acc);
+        });
+        let ptrs_ms = time_ms(reps, || {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0xFEED);
+            let mut acc = 0u64;
+            for _ in 0..draws {
+                acc = acc.wrapping_add(lv_crn::distributions::sample_poisson(&mut rng, mean));
+            }
+            std::hint::black_box(acc);
+        });
+        for (variant, ms) in [("knuth", knuth_ms), ("ptrs", ptrs_ms)] {
+            kernels.push(Kernel {
+                name: format!("sampling_kernels/poisson_mean50_{variant}"),
+                wall_ms: ms,
+                events: draws,
+            });
+        }
+        speedups.push(Speedup {
+            name: "poisson_ptrs_vs_knuth_mean50".to_string(),
+            baseline_ms: knuth_ms,
+            accelerated_ms: ptrs_ms,
         });
     }
 
@@ -158,7 +321,6 @@ fn main() {
     };
     let batched = backend("approx-majority").expect("builtin backend");
     let agents = backend("approx-majority-agents").expect("builtin backend");
-    let mut speedups: Vec<Speedup> = Vec::new();
     for &n in sizes {
         let a = n * 55 / 100;
         let scenario = Scenario::new(LvModel::default(), (a, n - a))
@@ -374,7 +536,7 @@ fn main() {
         handle.join().expect("server thread");
     }
 
-    // ---- Emit BENCH_7.json (no serde_json in the offline workspace; the
+    // ---- Emit BENCH_8.json (no serde_json in the offline workspace; the
     // format is flat enough to print directly).
     let mut json = String::new();
     json.push_str("{\n");

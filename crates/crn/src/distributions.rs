@@ -34,40 +34,167 @@ pub fn sample_exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
     -u.ln() / rate
 }
 
-/// Samples a Poisson random variable with the given mean.
+/// Means at or above this bound use the PTRS rejection sampler; below it
+/// Knuth's product-of-uniforms loop is both exact and cheaper (its expected
+/// iteration count is `mean + 1`).
+const PTRS_MIN_MEAN: f64 = 10.0;
+
+/// `ln k!` for the PTRS acceptance test: process-wide table for `k < 1024`
+/// (covers every tau-leaping firing count up to means of several hundred),
+/// Stirling series — one `ln` call, relative error `< 1e-12` — beyond.
+fn ln_factorial(k: u64) -> f64 {
+    static TABLE: std::sync::OnceLock<Vec<f64>> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = vec![0.0f64; 1024];
+        for i in 2..table.len() {
+            table[i] = table[i - 1] + (i as f64).ln();
+        }
+        table
+    });
+    if let Some(&value) = table.get(k as usize) {
+        return value;
+    }
+    let x = k as f64;
+    let inv = 1.0 / x;
+    let inv3 = inv * inv * inv;
+    (x + 0.5) * x.ln() - x + 0.918_938_533_204_672_7 + inv / 12.0 - inv3 / 360.0
+        + inv3 * inv * inv / 1260.0
+}
+
+/// Samples a Poisson random variable with the given mean, exact in law at
+/// **all** means: Knuth's product-of-uniforms method below mean 10 and the
+/// PTRS transformed-rejection sampler (Hörmann) — constant expected
+/// iterations, no normal approximation — above.
 ///
-/// Uses Knuth's product-of-uniforms method for small means and a
-/// normal approximation (rounded, clamped at zero) for large means, which is
-/// accurate to within the tau-leaping error budget for `mean > 64`.
+/// One-shot convenience over [`PoissonSampler`]; tau-leaping loops that draw
+/// many counts at slowly-changing propensities should prepare the sampler
+/// once per distinct mean.
 ///
 /// # Panics
 ///
 /// Panics if `mean` is negative or NaN.
 pub fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
-    assert!(mean >= 0.0, "Poisson mean must be non-negative");
-    if mean == 0.0 {
-        return 0;
-    }
-    if mean <= 64.0 {
-        // Knuth: multiply uniforms until the product drops below e^{-mean}.
-        let threshold = (-mean).exp();
-        let mut count = 0u64;
-        let mut product = 1.0;
-        loop {
-            product *= rng.gen::<f64>();
-            if product <= threshold {
-                return count;
+    PoissonSampler::new(mean).sample(rng)
+}
+
+/// The per-mean kernel of a [`PoissonSampler`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum PoissonKernel {
+    /// `mean == 0`: always zero, consumes no randomness.
+    Zero,
+    /// Knuth's product-of-uniforms loop with the cached threshold
+    /// `e^{-mean}`.
+    Knuth { threshold: f64 },
+    /// Hörmann's PTRS transformed rejection (mean ≥ 10): constant expected
+    /// iterations independent of the mean.
+    Ptrs {
+        mean: f64,
+        log_mean: f64,
+        /// Hat slope parameter.
+        a: f64,
+        /// Hat width parameter `0.931 + 2.53·√mean`.
+        b: f64,
+        /// Inverse hat normalization `1.1239 + 1.1328/(b − 3.4)`.
+        inv_alpha: f64,
+        /// Squeeze acceptance bound on `v`.
+        v_r: f64,
+    },
+}
+
+/// A prepared Poisson sampler: the kernel choice and its setup constants
+/// (threshold for Knuth, hat/squeeze parameters for PTRS) are computed once
+/// in [`PoissonSampler::new`], after which every
+/// [`sample`](PoissonSampler::sample) runs in constant expected time for
+/// means ≥ 10 and `O(mean)` below. Equal in distribution — and bit-equal in
+/// RNG stream — to the one-shot [`sample_poisson`], which delegates here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonSampler {
+    mean: f64,
+    kernel: PoissonKernel,
+}
+
+impl PoissonSampler {
+    /// Prepares a sampler for `Poisson(mean)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is negative or NaN.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean >= 0.0, "Poisson mean must be non-negative");
+        let kernel = if mean == 0.0 {
+            PoissonKernel::Zero
+        } else if mean < PTRS_MIN_MEAN {
+            PoissonKernel::Knuth {
+                threshold: (-mean).exp(),
             }
-            count += 1;
-        }
-    } else {
-        // Normal approximation with continuity correction.
-        let z = sample_standard_normal(rng);
-        let value = mean + mean.sqrt() * z + 0.5;
-        if value <= 0.0 {
-            0
         } else {
-            value.floor() as u64
+            let b = 0.931 + 2.53 * mean.sqrt();
+            PoissonKernel::Ptrs {
+                mean,
+                log_mean: mean.ln(),
+                a: -0.059 + 0.02483 * b,
+                b,
+                inv_alpha: 1.1239 + 1.1328 / (b - 3.4),
+                v_r: 0.9277 - 3.6224 / (b - 2.0),
+            }
+        };
+        PoissonSampler { mean, kernel }
+    }
+
+    /// The mean this sampler was prepared for.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Whether this sampler was prepared for exactly this mean.
+    #[inline]
+    pub fn matches(&self, mean: f64) -> bool {
+        self.mean == mean
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        match self.kernel {
+            PoissonKernel::Zero => 0,
+            PoissonKernel::Knuth { threshold } => {
+                // Knuth: multiply uniforms until the product drops below
+                // e^{-mean}.
+                let mut count = 0u64;
+                let mut product = 1.0;
+                loop {
+                    product *= rng.gen::<f64>();
+                    if product <= threshold {
+                        return count;
+                    }
+                    count += 1;
+                }
+            }
+            PoissonKernel::Ptrs {
+                mean,
+                log_mean,
+                a,
+                b,
+                inv_alpha,
+                v_r,
+            } => loop {
+                let u: f64 = rng.gen::<f64>() - 0.5;
+                let v: f64 = rng.gen();
+                let us = 0.5 - u.abs();
+                let kf = ((2.0 * a / us + b) * u + mean + 0.43).floor();
+                // Squeeze acceptance: most iterations end here.
+                if us >= 0.07 && v <= v_r {
+                    return kf as u64;
+                }
+                if kf < 0.0 || (us < 0.013 && v > us) {
+                    continue;
+                }
+                let k = kf as u64;
+                if (v * inv_alpha / (a / (us * us) + b)).ln()
+                    <= kf * log_mean - mean - ln_factorial(k)
+                {
+                    return k;
+                }
+            },
         }
     }
 }
@@ -157,19 +284,71 @@ mod tests {
     }
 
     #[test]
-    fn poisson_large_mean_uses_normal_approximation() {
+    fn poisson_large_mean_matches_moments_through_ptrs() {
         let mut r = rng(4);
         let mean = 400.0;
         let n = 5_000;
         let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut r, mean)).collect();
         let m: f64 = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|&x| (x as f64 - m).powi(2)).sum::<f64>() / n as f64;
         assert!((m - mean).abs() < 3.0, "mean {m}");
+        assert!((var - mean).abs() < 0.1 * mean, "variance {var}");
     }
 
     #[test]
     fn poisson_zero_mean_is_zero() {
         let mut r = rng(5);
         assert_eq!(sample_poisson(&mut r, 0.0), 0);
+    }
+
+    /// χ² of the sampler against the exact pmf at means straddling the
+    /// Knuth → PTRS threshold (10), pinning both kernels to the same law.
+    #[test]
+    fn poisson_distribution_matches_exact_pmf_across_the_kernel_threshold() {
+        for (seed, mean) in [(21u64, 8.0f64), (22, 10.0), (23, 12.0), (24, 40.0)] {
+            let mut r = rng(seed);
+            let trials = 60_000u64;
+            let cap = (mean + 10.0 * mean.sqrt()) as usize + 2;
+            let mut observed = vec![0u64; cap];
+            for _ in 0..trials {
+                let k = sample_poisson(&mut r, mean) as usize;
+                if k < cap {
+                    observed[k] += 1;
+                }
+            }
+            // pmf by the recurrence p(k) = p(k−1)·mean/k from p(0) = e^{−mean}.
+            let mut chi2 = 0.0;
+            let mut dof = 0usize;
+            let mut pmf = (-mean).exp();
+            for (k, &count) in observed.iter().enumerate() {
+                if k > 0 {
+                    pmf *= mean / k as f64;
+                }
+                let expected = pmf * trials as f64;
+                if expected >= 5.0 {
+                    chi2 += (count as f64 - expected).powi(2) / expected;
+                    dof += 1;
+                }
+            }
+            assert!(
+                chi2 < 2.0 * dof as f64 + 20.0,
+                "mean {mean}: χ² = {chi2} over {dof} cells"
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_poisson_matches_one_shot_stream_bit_for_bit() {
+        for mean in [0.0f64, 3.5, 9.9, 10.0, 400.0] {
+            let sampler = PoissonSampler::new(mean);
+            assert!(sampler.matches(mean));
+            assert_eq!(sampler.mean(), mean);
+            let mut r1 = rng(31);
+            let mut r2 = rng(31);
+            for _ in 0..500 {
+                assert_eq!(sampler.sample(&mut r1), sample_poisson(&mut r2, mean));
+            }
+        }
     }
 
     #[test]

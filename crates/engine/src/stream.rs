@@ -144,6 +144,37 @@ impl StreamConfig {
             (self.trials / (balancing * 4).max(1)).clamp(1, 256)
         })
     }
+
+    /// The number of worker threads actually spawned for `scheduled` trials:
+    /// the configured count, clamped so no worker exists without enough work
+    /// to amortise its channel traffic.
+    ///
+    /// Two clamps beyond the obvious `min(scheduled)`:
+    ///
+    /// * **Physical cores** — threads beyond the machine's available
+    ///   parallelism time-slice the same cores; they add channel and queue
+    ///   traffic without adding throughput (BENCH_7 measured the 512-trial
+    ///   success-probability batch *slower* at 4 threads than at 1 on a
+    ///   single-core host for exactly this reason).
+    /// * **Flush chunks** — delivery happens in [`FLUSH_TRIALS`]-sized
+    ///   chunks, so a batch of `scheduled` trials contains only
+    ///   `⌈scheduled / FLUSH_TRIALS⌉` chunks of per-worker work worth
+    ///   parallelising; more workers than chunks just fragments delivery
+    ///   into sub-chunk messages.
+    ///
+    /// When the clamp leaves a single worker the stream runs sequentially on
+    /// the consuming thread, with no queue or channel at all.
+    pub fn effective_workers(&self, scheduled: u64) -> usize {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let chunks = scheduled.div_ceil(FLUSH_TRIALS).max(1);
+        self.threads
+            .min(cores)
+            .min(chunks.min(usize::MAX as u64) as usize)
+            .min(scheduled.min(usize::MAX as u64) as usize)
+            .max(1)
+    }
 }
 
 /// How many completed trials a parallel worker accumulates before flushing
@@ -729,7 +760,7 @@ impl ReportStream {
                 halted: false,
             };
         }
-        let threads = config.threads().min(scheduled as usize).max(1);
+        let threads = config.effective_workers(scheduled);
         if threads == 1 {
             return ReportStream {
                 inner: StreamInner::Sequential {
@@ -933,6 +964,11 @@ impl Iterator for ReportStream {
             return None;
         }
         let trial = self.next;
+        // A panic caught on the sequential path, re-raised below once the
+        // borrow of `inner` ends and the stream is marked halted (so a
+        // caller that catches the panic sees an ended stream, exactly like
+        // the parallel path).
+        let mut sequential_panic: Option<Box<dyn std::any::Any + Send>> = None;
         let report = match &mut self.inner {
             StreamInner::Sequential {
                 scenario,
@@ -940,7 +976,15 @@ impl Iterator for ReportStream {
                 rng_for_trial,
             } => {
                 let mut rng = rng_for_trial(trial);
-                Some(backend.run(scenario, &mut rng))
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    backend.run(scenario, &mut rng)
+                })) {
+                    Ok(report) => Some(report),
+                    Err(payload) => {
+                        sequential_panic = Some(payload);
+                        None
+                    }
+                }
             }
             StreamInner::Deterministic { report } => Some(report.clone()),
             StreamInner::Parallel {
@@ -963,6 +1007,10 @@ impl Iterator for ReportStream {
                 }
             },
         };
+        if let Some(payload) = sequential_panic {
+            self.halted = true;
+            std::panic::resume_unwind(payload);
+        }
         let Some(report) = report else {
             // Every sender hung up with trials still owed: a worker panicked
             // and halted the queue. `join_workers` re-raises the payload; if

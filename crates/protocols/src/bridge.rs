@@ -16,9 +16,10 @@
 //!   exactly `a/n`.
 //! * **Bridged blocks.** Away from the boundaries the walk is advanced `L`
 //!   conversions at a time: the block's net displacement is
-//!   `2·Binomial(L, ½) − L`, sampled exactly (inversion from the mode) for
-//!   moderate `L` and through the normal limit with continuity correction
-//!   for huge ones. The block length obeys the *boundary-proximity band*
+//!   `2·Binomial(L, ½) − L`, sampled **exactly at every block length**
+//!   through the constant-time BTRS rejection kernel of [`crate::sampling`]
+//!   (there is no normal-approximation branch for the displacement at any
+//!   size). The block length obeys the *boundary-proximity band*
 //!   `BAND·sd(L) ≤ min(a, n − a)`, so the chance that the unobserved path
 //!   crossed a boundary inside a block is at most `2·exp(−BAND²/2) ≈ 4·10⁻²²`
 //!   (Hoeffding) — below the resolution of any `f64` uniform draw — and the
@@ -43,8 +44,10 @@
 //!   per-species band constraint `BAND²·Var(Δcₘ) ≤ cₘ²` so no species can
 //!   be driven into (or through) extinction inside a block.
 //!
-//! The two-species displacement bridge is *exact* for any block length (the
-//! conversion directions are iid fair coins); the clock and the `k ≥ 3`
+//! The displacement bridge is *exact in law* for any block length — the
+//! conversion directions are iid fair coins and every binomial draw (the
+//! fair-coin bridge and the `k ≥ 3` pair splits alike) uses the exact
+//! rejection sampler; the clock and the `k ≥ 3`
 //! frozen-intensity split are statistical approximations of the same order
 //! as the batched stepper's contract — equal outcome laws, different RNG
 //! stream — and are cross-validated against the exact counted stepper in
@@ -52,8 +55,10 @@
 //! `O(BAND²·log n)` blocks plus an `O(BAND⁴)` exact tail, i.e.
 //! `Õ(poly log n)` instead of `Θ(n²)`.
 
-use crate::sampling::ln_factorial;
+use crate::sampling::CachedBinomial;
 use rand::Rng;
+
+pub use crate::sampling::sample_binomial;
 
 /// The boundary-proximity band constant `c`: blocks keep
 /// `c · sd(displacement) ≤ distance-to-boundary`, so a mid-block boundary
@@ -63,13 +68,6 @@ pub const BAND: u64 = 10;
 /// Blocks shorter than this are not worth their sampling overhead; the walk
 /// falls back to exact band stepping instead.
 pub const MIN_BLOCK: u64 = 32;
-
-/// Binomials with `n` at most this are always sampled exactly.
-const EXACT_BINOMIAL_MAX_N: u64 = 65_536;
-
-/// Binomials with variance at most this are sampled exactly regardless of
-/// `n` (the inversion walk visits `O(sd)` pmf terms).
-const EXACT_BINOMIAL_MAX_VAR: f64 = 4_096.0;
 
 /// One standard normal draw via Box–Muller (the offline `rand` shim exposes
 /// only uniform sampling).
@@ -102,83 +100,6 @@ pub fn sample_geometric<R: Rng + ?Sized>(rng: &mut R, q: f64) -> u64 {
         u64::MAX
     } else {
         g as u64
-    }
-}
-
-/// `ln C(n, k)` via the shared [`ln_factorial`] table/Stirling series.
-fn ln_choose(n: u64, k: u64) -> f64 {
-    debug_assert!(k <= n);
-    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
-}
-
-/// Samples `Binomial(n, p)`: exact inversion outward from the mode when `n`
-/// is moderate ([`EXACT_BINOMIAL_MAX_N`]) or the variance is small, the
-/// normal limit with continuity correction (clamped to the support) for the
-/// huge blocks of the bridge — the "exact for moderate blocks, Gaussian for
-/// huge ones" contract.
-pub fn sample_binomial<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    if n == 0 || p <= 0.0 {
-        return 0;
-    }
-    if p >= 1.0 {
-        return n;
-    }
-    if p > 0.5 {
-        return n - sample_binomial(rng, n, 1.0 - p);
-    }
-    let variance = n as f64 * p * (1.0 - p);
-    if n <= EXACT_BINOMIAL_MAX_N || variance <= EXACT_BINOMIAL_MAX_VAR {
-        return binomial_from_mode(rng, n, p);
-    }
-    let mean = n as f64 * p;
-    let draw = (mean + variance.sqrt() * sample_standard_normal(rng)).round();
-    draw.clamp(0.0, n as f64) as u64
-}
-
-/// Inverse transform over the binomial pmf accumulating outward from the
-/// mode, mirroring the hypergeometric sampler of [`crate::sampling`]: the
-/// expected number of pmf terms visited is `O(sd)`.
-fn binomial_from_mode<R: Rng + ?Sized>(rng: &mut R, n: u64, p: f64) -> u64 {
-    let mode = ((((n + 1) as f64) * p) as u64).min(n);
-    let ln_q = (-p).ln_1p();
-    let ln_p_mode = ln_choose(n, mode) + mode as f64 * p.ln() + (n - mode) as f64 * ln_q;
-    let p_mode = ln_p_mode.exp();
-    let odds = p / (1.0 - p);
-    let u: f64 = rng.gen();
-    let mut acc = p_mode;
-    if u < acc {
-        return mode;
-    }
-    let nf = n as f64;
-    let (mut lo, mut hi) = (mode, mode);
-    let (mut p_lo, mut p_hi) = (p_mode, p_mode);
-    loop {
-        let mut advanced = false;
-        if hi < n {
-            let k = hi as f64;
-            p_hi *= (nf - k) / (k + 1.0) * odds;
-            hi += 1;
-            acc += p_hi;
-            advanced = true;
-            if u < acc {
-                return hi;
-            }
-        }
-        if lo > 0 {
-            let k = lo as f64;
-            p_lo *= k / ((nf - k + 1.0) * odds);
-            lo -= 1;
-            acc += p_lo;
-            advanced = true;
-            if u < acc {
-                return lo;
-            }
-        }
-        // Support exhausted, or both tails underflowed on a huge support:
-        // the residual `1 − acc` is float leakage, attributed to the mode.
-        if !advanced || (p_hi < 1e-300 && p_lo < 1e-300) {
-            return mode;
-        }
     }
 }
 
@@ -248,6 +169,12 @@ pub struct BridgedConversionWalk {
     interactions: u64,
     /// Scratch: proposed per-species deltas of a block.
     deltas: Vec<i64>,
+    /// Prepared binomial samplers for the `k ≥ 3` chained-multinomial pair
+    /// splits, one per unordered species pair (row-major over `i < j`).
+    split_slots: Vec<CachedBinomial>,
+    /// Prepared binomial samplers for each pair's fair-coin displacement
+    /// bridge `Binomial(Lᵢⱼ, ½)`.
+    coin_slots: Vec<CachedBinomial>,
 }
 
 impl BridgedConversionWalk {
@@ -262,11 +189,14 @@ impl BridgedConversionWalk {
         // Keeps D = n² − Σc² (≤ n²) representable in the u64 draws of the
         // exact stepper.
         assert!(n < (1 << 32), "populations beyond 2^32 are unsupported");
+        let pairs = counts.len() * (counts.len() - 1) / 2;
         BridgedConversionWalk {
             counts: counts.to_vec(),
             n,
             interactions: 0,
             deltas: vec![0; counts.len()],
+            split_slots: vec![CachedBinomial::new(); pairs],
+            coin_slots: vec![CachedBinomial::new(); pairs],
         }
     }
 
@@ -363,12 +293,12 @@ impl BridgedConversionWalk {
         let k = self.counts.len();
         let mut remaining_len = len;
         let mut remaining_weight = cross;
+        let mut pair = 0usize;
         for i in 0..k {
-            if self.counts[i] == 0 {
-                continue;
-            }
             for j in (i + 1)..k {
-                if self.counts[j] == 0 || remaining_len == 0 {
+                let slot = pair;
+                pair += 1;
+                if self.counts[i] == 0 || self.counts[j] == 0 || remaining_len == 0 {
                     continue;
                 }
                 // Twice c_i·c_j ordered pairs convert between i and j.
@@ -376,7 +306,7 @@ impl BridgedConversionWalk {
                 let events = if weight >= remaining_weight {
                     remaining_len
                 } else {
-                    sample_binomial(
+                    self.split_slots[slot].sample(
                         rng,
                         remaining_len,
                         (weight as f64 / remaining_weight as f64).min(1.0),
@@ -388,8 +318,8 @@ impl BridgedConversionWalk {
                     continue;
                 }
                 // Within the pair each conversion favours i or j with equal
-                // probability: the fair-coin bridge.
-                let towards_i = sample_binomial(rng, events, 0.5);
+                // probability: the fair-coin bridge (exact at any length).
+                let towards_i = self.coin_slots[slot].sample(rng, events, 0.5);
                 let net = 2 * towards_i as i64 - events as i64;
                 self.deltas[i] += net;
                 self.deltas[j] -= net;
@@ -540,58 +470,22 @@ mod tests {
     }
 
     #[test]
-    fn binomial_respects_support_and_moments() {
+    fn reexported_binomial_is_exact_at_bridge_scales() {
+        // The χ² and prepared-sampler suites live with the kernel in
+        // `sampling::binomial`; here we only pin that the bridge's binomial
+        // *is* that exact kernel, at a block size the old code would have
+        // routed through the retired normal approximation.
         let mut r = rng(3);
-        // Degenerate ends.
-        assert_eq!(sample_binomial(&mut r, 0, 0.5), 0);
-        assert_eq!(sample_binomial(&mut r, 10, 0.0), 0);
-        assert_eq!(sample_binomial(&mut r, 10, 1.0), 10);
-        // Exact path (small n) and normal path (huge n), same checks.
-        for (n, p) in [(200u64, 0.3), (5_000, 0.5), (1 << 20, 0.5), (1 << 30, 0.2)] {
-            let trials = 20_000;
-            let samples: Vec<u64> = (0..trials).map(|_| sample_binomial(&mut r, n, p)).collect();
-            assert!(samples.iter().all(|&x| x <= n));
-            let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / trials as f64;
-            let mean_theory = n as f64 * p;
-            let sd = (n as f64 * p * (1.0 - p)).sqrt();
-            let tolerance = 5.0 * sd / (trials as f64).sqrt();
-            assert!(
-                (mean - mean_theory).abs() < tolerance,
-                "Binomial({n}, {p}): mean {mean} vs {mean_theory} ± {tolerance}"
-            );
-        }
-    }
-
-    #[test]
-    fn binomial_exact_path_matches_pmf() {
-        // χ² of the from-mode sampler against the exact pmf on a small
-        // support.
-        let (n, p) = (40u64, 0.35f64);
-        let mut pmf = vec![0.0f64; (n + 1) as usize];
-        for (k, slot) in pmf.iter_mut().enumerate() {
-            *slot = (ln_choose(n, k as u64)
-                + k as f64 * p.ln()
-                + (n - k as u64) as f64 * (1.0 - p).ln())
-            .exp();
-        }
-        let trials = 60_000u64;
-        let mut observed = vec![0u64; pmf.len()];
-        let mut r = rng(4);
-        for _ in 0..trials {
-            observed[sample_binomial(&mut r, n, p) as usize] += 1;
-        }
-        let mut chi2 = 0.0;
-        let mut dof = 0usize;
-        for (k, &prob) in pmf.iter().enumerate() {
-            let expected = prob * trials as f64;
-            if expected >= 5.0 {
-                chi2 += (observed[k] as f64 - expected).powi(2) / expected;
-                dof += 1;
-            }
-        }
+        let (n, p) = (1u64 << 30, 0.2f64);
+        let trials = 2_000;
+        let mean: f64 = (0..trials)
+            .map(|_| sample_binomial(&mut r, n, p) as f64)
+            .sum::<f64>()
+            / trials as f64;
+        let sd = (n as f64 * p * (1.0 - p)).sqrt();
         assert!(
-            chi2 < 2.0 * dof as f64 + 20.0,
-            "χ² = {chi2} over {dof} cells"
+            (mean - n as f64 * p).abs() < 6.0 * sd / (trials as f64).sqrt(),
+            "mean {mean}"
         );
     }
 

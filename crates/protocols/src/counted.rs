@@ -28,7 +28,9 @@
 //! Czyzowicz-style dynamics of [`CountedDynamics::k_opinion_czyzowicz`].
 
 use crate::protocol::{Interaction, Opinion, PopulationProtocol};
-use crate::sampling::{sample_counts_without_replacement, BatchLengthSampler};
+use crate::sampling::{
+    sample_counts_without_replacement_cached, BatchLengthSampler, CachedHypergeometric,
+};
 use rand::Rng;
 use std::sync::Arc;
 
@@ -61,6 +63,13 @@ pub struct CountedDynamics {
     /// need no pairing draws in a batch (their participants pass through
     /// unchanged), e.g. Blank-initiated pairs in approximate majority.
     inert_row: Vec<bool>,
+    /// `Some((i', r'))` when every cell of this initiator's row produces the
+    /// same output pair regardless of the responder's state — such rows are
+    /// *responder-oblivious*: the composition of the responders they consume
+    /// never reaches an output, so a batch needs no per-row pairing draws
+    /// for them (see [`CountedSimulation::step_epoch`]). The conversion
+    /// dynamics (`(i, j) → (i, i)`) are the canonical case.
+    uniform_row: Vec<Option<(u16, u16)>>,
 }
 
 impl CountedDynamics {
@@ -102,6 +111,7 @@ impl CountedDynamics {
             index_of(&protocol.initial_state(Opinion::B)),
         ];
         let inert_row = inert_rows(states.len(), &transitions);
+        let uniform_row = uniform_rows(states.len(), &transitions);
         CountedDynamics {
             state_count: states.len(),
             species: 2,
@@ -109,6 +119,7 @@ impl CountedDynamics {
             outputs,
             initial,
             inert_row,
+            uniform_row,
         }
     }
 
@@ -134,6 +145,7 @@ impl CountedDynamics {
             }
         }
         let inert_row = inert_rows(k, &transitions);
+        let uniform_row = uniform_rows(k, &transitions);
         CountedDynamics {
             state_count: k,
             species: k,
@@ -141,6 +153,7 @@ impl CountedDynamics {
             outputs: (0..k as u16).map(Some).collect(),
             initial: (0..k as u16).collect(),
             inert_row,
+            uniform_row,
         }
     }
 
@@ -188,6 +201,20 @@ fn inert_rows(state_count: usize, transitions: &[(u16, u16)]) -> Vec<bool> {
         .collect()
 }
 
+/// Rows whose output pair is the same for every responder state
+/// (responder-oblivious rows). Disjoint from [`inert_rows`] for two or more
+/// states, since an inert row's responder output varies with the responder.
+fn uniform_rows(state_count: usize, transitions: &[(u16, u16)]) -> Vec<Option<(u16, u16)>> {
+    (0..state_count)
+        .map(|s| {
+            let first = transitions[s * state_count];
+            (1..state_count)
+                .all(|t| transitions[s * state_count + t] == first)
+                .then_some(first)
+        })
+        .collect()
+}
+
 /// Picks the category of the `target`-th agent in a count vector
 /// (`target < Σ counts`).
 fn pick_weighted(counts: &[u64], mut target: u64) -> usize {
@@ -231,6 +258,16 @@ pub struct CountedSimulation<'a> {
     responders: Vec<u64>,
     row: Vec<u64>,
     touched: Vec<u64>,
+    /// Prepared hypergeometric samplers, one slot per draw site of the
+    /// epoch's count-split chains: slots `0..k` split the population,
+    /// `k..2k` split the participants into initiators, `(2+i)·k..(3+i)·k`
+    /// pair initiator state `i`'s responders, and `(2+k)·k..(3+k)·k` serve
+    /// the aggregated draw of the responder-oblivious rows. Between
+    /// consecutive epochs the urns a site sees often repeat (counts move by
+    /// `O(√n)` out of `n`), and even on a miss the rebuilt rejection-sampler
+    /// setup is `O(1)` — this is what turns the epoch's ~10 draws into
+    /// constant-time work.
+    hyper_slots: Vec<CachedHypergeometric>,
     /// Cached batch-length inverse-transform table, shared process-wide
     /// through [`BatchLengthSampler::shared`] — a sweep runs millions of
     /// trials at one population size and must not rebuild the `O(√n)` table
@@ -268,6 +305,7 @@ impl<'a> CountedSimulation<'a> {
             responders: vec![0; k],
             row: vec![0; k],
             touched: vec![0; k],
+            hyper_slots: vec![CachedHypergeometric::new(); (3 + k) * k],
             batch_lengths: None,
         }
     }
@@ -419,7 +457,13 @@ impl<'a> CountedSimulation<'a> {
         }
         let k = self.dynamics.state_count();
         // The 2ℓ distinct participants, by state, removed from the urn.
-        sample_counts_without_replacement(rng, &self.counts, 2 * len, &mut self.drawn);
+        sample_counts_without_replacement_cached(
+            rng,
+            &self.counts,
+            2 * len,
+            &mut self.drawn,
+            &mut self.hyper_slots[..k],
+        );
         for state in 0..k {
             self.counts[state] -= self.drawn[state];
         }
@@ -427,7 +471,13 @@ impl<'a> CountedSimulation<'a> {
         // between initiator and responder multisets is a uniform bijection,
         // realised as per-initiator-state hypergeometric splits over the
         // remaining responder pool.
-        sample_counts_without_replacement(rng, &self.drawn, len, &mut self.initiators);
+        sample_counts_without_replacement_cached(
+            rng,
+            &self.drawn,
+            len,
+            &mut self.initiators,
+            &mut self.hyper_slots[k..2 * k],
+        );
         for state in 0..k {
             self.responders[state] = self.drawn[state] - self.initiators[state];
         }
@@ -435,13 +485,32 @@ impl<'a> CountedSimulation<'a> {
         // Reactive rows first (the hypergeometric row conditionals are
         // exchangeable, so processing order is free); fully inert rows need
         // no pairing draws at all — their initiators and whatever responders
-        // remain afterwards pass through unchanged.
+        // remain afterwards pass through unchanged. Responder-oblivious rows
+        // (every cell of the row produces the same output pair, e.g. the
+        // conversion dynamics' `(i, j) → (i, i)`) contribute their outputs
+        // directly: the composition of the responders they consume never
+        // reaches an output, so one aggregated draw after the
+        // responder-sensitive rows — or none, when they exhaust the pool —
+        // replaces their per-row pairing splits.
+        let mut oblivious = 0u64;
         for initiator in 0..k {
             let matches = self.initiators[initiator];
             if matches == 0 || self.dynamics.inert_row[initiator] {
                 continue;
             }
-            sample_counts_without_replacement(rng, &self.responders, matches, &mut self.row);
+            if let Some((i_after, r_after)) = self.dynamics.uniform_row[initiator] {
+                self.touched[i_after as usize] += matches;
+                self.touched[r_after as usize] += matches;
+                oblivious += matches;
+                continue;
+            }
+            sample_counts_without_replacement_cached(
+                rng,
+                &self.responders,
+                matches,
+                &mut self.row,
+                &mut self.hyper_slots[(2 + initiator) * k..(3 + initiator) * k],
+            );
             for responder in 0..k {
                 let fired = self.row[responder];
                 if fired == 0 {
@@ -451,6 +520,25 @@ impl<'a> CountedSimulation<'a> {
                 let (i_after, r_after) = self.dynamics.transition(initiator, responder);
                 self.touched[i_after] += fired;
                 self.touched[r_after] += fired;
+            }
+        }
+        if oblivious > 0 {
+            let pool: u64 = self.responders.iter().sum();
+            if oblivious == pool {
+                // The oblivious rows consume every remaining responder:
+                // nothing survives to pass through, so no draw is needed.
+                self.responders.fill(0);
+            } else {
+                sample_counts_without_replacement_cached(
+                    rng,
+                    &self.responders,
+                    oblivious,
+                    &mut self.row,
+                    &mut self.hyper_slots[(2 + k) * k..(3 + k) * k],
+                );
+                for state in 0..k {
+                    self.responders[state] -= self.row[state];
+                }
             }
         }
         for state in 0..k {

@@ -39,8 +39,11 @@
 //! dense transition table, and [`CountedSimulation`] steps it either one
 //! exact interaction at a time or in collision-free *batches* of `Θ(√n)`
 //! interactions sampled by the birthday-bound and hypergeometric draws of
-//! [`sampling`] — equal in distribution to the agent-list stepper, at `o(1)`
-//! sampling work per interaction. This is the engine behind the batched
+//! [`sampling`] — equal in distribution to the agent-list stepper. The
+//! sampling layer's rejection kernels ([`HypergeometricSampler`],
+//! [`BinomialSampler`]) run in constant expected time with per-urn cached
+//! setup, so each epoch costs `O(1)` draws of `O(1)` work — `o(1)` per
+//! interaction with small constants. This is the engine behind the batched
 //! protocol backends and the `n = 10⁷` threshold sweeps.
 //!
 //! # Diffusion-bridged first-passage sampling
@@ -49,9 +52,10 @@
 //! still *perform* `Θ(n²)` interactions per trial near a tie. The [`bridge`]
 //! module removes that wall for the Czyzowicz conversion dynamics:
 //! [`BridgedConversionWalk`] advances the count chain in diffusion-bridged
-//! blocks (exact binomial displacement bridges, a CLT interaction clock, and
-//! a boundary-exact band where stepping is exact), bringing per-trial cost
-//! down to `Õ(poly log n)` so linear-law sweeps reach `n = 10⁷`.
+//! blocks (binomial displacement bridges that are exact in law at *every*
+//! block size — no normal-approximation branch — a CLT interaction clock,
+//! and a boundary-exact band where stepping is exact), bringing per-trial
+//! cost down to `Õ(poly log n)` so linear-law sweeps reach `n = 10⁷`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -76,4 +80,5 @@ pub use exact_majority::{ExactMajority4State, FourState};
 pub use protocol::{
     run_protocol, Interaction, Opinion, PopulationProtocol, ProtocolOutcome, ProtocolSimulation,
 };
+pub use sampling::{BinomialSampler, HypergeometricSampler};
 pub use self_destructive::{SdState, SelfDestructiveLvProtocol};

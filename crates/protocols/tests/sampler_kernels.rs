@@ -1,0 +1,200 @@
+//! Cross-branch checks of the rejection sampling kernels through the public
+//! API: χ² goodness-of-fit on urns that force each parameter *reduction*
+//! (complement, colour swap, both) before dispatch, and property tests that
+//! a prepared sampler reused across draws stays bit-for-bit equal to the
+//! one-shot entry points on the same RNG stream.
+//!
+//! The in-module unit tests pin each kernel (sequential, walk, HRUA, BTRS)
+//! on its home turf; this suite pins the affine map *back* from the reduced
+//! urn, which is where an off-by-one would silently skew every batched
+//! epoch.
+
+use lv_protocols::sampling::{
+    ln_factorial, sample_binomial, sample_hypergeometric, BinomialSampler, HypergeometricSampler,
+};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn ln_choose(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Exact hypergeometric pmf: `k` successes drawing `d` from `s + f`.
+fn hyper_pmf(s: u64, f: u64, d: u64, k: u64) -> f64 {
+    if k > d || k > s || d - k > f {
+        return 0.0;
+    }
+    (ln_choose(s, k) + ln_choose(f, d - k) - ln_choose(s + f, d)).exp()
+}
+
+/// Exact binomial pmf.
+fn binom_pmf(n: u64, p: f64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    (ln_choose(n, k) + k as f64 * p.ln() + (n - k) as f64 * (1.0 - p).ln()).exp()
+}
+
+/// χ² statistic of the sampled histogram against `pmf` over the support
+/// `min_k..=max_k`, pooling adjacent outcomes until each pooled bin expects
+/// at least five observations. Returns `(statistic, pooled_bins)`.
+fn chi_squared(samples: &[u64], min_k: u64, max_k: u64, pmf: impl Fn(u64) -> f64) -> (f64, usize) {
+    let trials = samples.len() as f64;
+    let mut observed = std::collections::HashMap::new();
+    for &s in samples {
+        assert!(
+            (min_k..=max_k).contains(&s),
+            "sample {s} escaped the support"
+        );
+        *observed.entry(s).or_insert(0u64) += 1;
+    }
+    let mut bins: Vec<(f64, f64)> = Vec::new();
+    let (mut obs_acc, mut exp_acc) = (0.0f64, 0.0f64);
+    for k in min_k..=max_k {
+        obs_acc += *observed.get(&k).unwrap_or(&0) as f64;
+        exp_acc += pmf(k) * trials;
+        if exp_acc >= 5.0 {
+            bins.push((obs_acc, exp_acc));
+            obs_acc = 0.0;
+            exp_acc = 0.0;
+        }
+    }
+    // Fold a thin tail into the last full bin so no bin expects < 5.
+    if exp_acc > 0.0 {
+        if let Some(last) = bins.last_mut() {
+            last.0 += obs_acc;
+            last.1 += exp_acc;
+        } else {
+            bins.push((obs_acc, exp_acc));
+        }
+    }
+    let stat = bins.iter().map(|&(o, e)| (o - e).powi(2) / e).sum::<f64>();
+    (stat, bins.len())
+}
+
+/// Draw `trials` hypergeometric samples and χ²-test them against the exact
+/// pmf. The generous `2·dof + 20` bound keeps the fixed-seed test far from
+/// the flake region while still catching a mis-mapped reduction (which
+/// shifts the whole distribution and blows the statistic up by orders of
+/// magnitude).
+fn assert_hyper_matches_pmf(seed: u64, s: u64, f: u64, d: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let trials = 20_000;
+    let samples: Vec<u64> = (0..trials)
+        .map(|_| sample_hypergeometric(&mut rng, s, f, d))
+        .collect();
+    let min_k = d.saturating_sub(f);
+    let max_k = d.min(s);
+    let (stat, bins) = chi_squared(&samples, min_k, max_k, |k| hyper_pmf(s, f, d, k));
+    let dof = bins.saturating_sub(1).max(1) as f64;
+    assert!(
+        stat < 2.0 * dof + 20.0,
+        "χ² = {stat:.1} over {bins} bins for urn ({s}, {f}, {d})"
+    );
+}
+
+#[test]
+fn complement_reduction_preserves_the_distribution() {
+    // 2d > s + f forces the draw-complement reduction (d ← total − d,
+    // k ← d − k) in front of an HRUA-sized reduced urn.
+    assert_hyper_matches_pmf(101, 300, 300, 450);
+}
+
+#[test]
+fn colour_swap_reduction_preserves_the_distribution() {
+    // s > f forces the colour swap (count failures, k ← d − k) in front of
+    // an HRUA-sized reduced urn.
+    assert_hyper_matches_pmf(102, 900, 300, 200);
+}
+
+#[test]
+fn stacked_reductions_preserve_the_distribution() {
+    // Both reductions fire: 2d > total complements the draws, then the
+    // reduced urn still has s > f and swaps colours. The affine map back is
+    // the composition of the two sign flips.
+    assert_hyper_matches_pmf(103, 800, 400, 900);
+}
+
+#[test]
+fn colour_swap_into_the_walk_kernel_preserves_the_distribution() {
+    // After the colour swap the variance is below the walk threshold, so the
+    // reduced urn routes to the inversion walk rather than HRUA — the map
+    // back must be kernel-independent.
+    assert_hyper_matches_pmf(104, 500, 100, 30);
+}
+
+#[test]
+fn flipped_binomial_preserves_the_distribution() {
+    // p > 1/2 flips to the complement success probability before BTRS; the
+    // result is mapped back as n − k.
+    let mut rng = StdRng::seed_from_u64(105);
+    let (n, p) = (60u64, 0.75f64);
+    let trials = 20_000;
+    let samples: Vec<u64> = (0..trials)
+        .map(|_| sample_binomial(&mut rng, n, p))
+        .collect();
+    let (stat, bins) = chi_squared(&samples, 0, n, |k| binom_pmf(n, p, k));
+    let dof = bins.saturating_sub(1).max(1) as f64;
+    assert!(stat < 2.0 * dof + 20.0, "χ² = {stat:.1} over {bins} bins");
+}
+
+#[test]
+fn flipped_binomial_through_the_walk_kernel_preserves_the_distribution() {
+    // p = 0.9 flips to 0.1; the flipped mean n·p′ = 5 sits below the BTRS
+    // threshold so the walk kernel serves the draw.
+    let mut rng = StdRng::seed_from_u64(106);
+    let (n, p) = (50u64, 0.9f64);
+    let trials = 20_000;
+    let samples: Vec<u64> = (0..trials)
+        .map(|_| sample_binomial(&mut rng, n, p))
+        .collect();
+    let (stat, bins) = chi_squared(&samples, 0, n, |k| binom_pmf(n, p, k));
+    let dof = bins.saturating_sub(1).max(1) as f64;
+    assert!(stat < 2.0 * dof + 20.0, "χ² = {stat:.1} over {bins} bins");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A prepared sampler reused across draws is bit-for-bit the one-shot
+    /// function on the same RNG stream — the contract that lets the epoch
+    /// hot path cache per-urn setup without changing any simulation in law.
+    #[test]
+    fn prepared_hypergeometric_is_the_one_shot_stream(
+        s in 0u64..5_000,
+        f in 0u64..5_000,
+        d_frac in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let d = ((s + f) as f64 * d_frac) as u64;
+        let sampler = HypergeometricSampler::new(s, f, d);
+        let mut prepared_rng = StdRng::seed_from_u64(seed);
+        let mut one_shot_rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(
+                sampler.sample(&mut prepared_rng),
+                sample_hypergeometric(&mut one_shot_rng, s, f, d)
+            );
+        }
+    }
+
+    #[test]
+    fn prepared_binomial_is_the_one_shot_stream(
+        n in 0u64..1_000_000,
+        p in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let sampler = BinomialSampler::new(n, p);
+        let mut prepared_rng = StdRng::seed_from_u64(seed);
+        let mut one_shot_rng = StdRng::seed_from_u64(seed);
+        for _ in 0..8 {
+            prop_assert_eq!(
+                sampler.sample(&mut prepared_rng),
+                sample_binomial(&mut one_shot_rng, n, p)
+            );
+        }
+    }
+}
